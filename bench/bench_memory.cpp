@@ -1,0 +1,66 @@
+// §IV-D5 reproduction: memory usage of ParCFL_DQ vs SeqCFL.
+//
+// The paper: despite storing jmp edges, ParCFL^16_DQ *reduces* peak memory by
+// ~35% vs SeqCFL, because redundant traversals (and the transient memo state
+// they allocate) shrink; worst cases (tomcat/fop) stay close to parity.
+//
+// We report per-phase deltas of VmHWM (peak RSS is monotone, so phases are
+// ordered smallest-expected-first), the jmp store's own footprint, and the
+// transient memo churn via traversal steps (each step allocates visited/memo
+// entries, the dominant transient cost).
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "support/mem_meter.hpp"
+
+using namespace parcfl;
+using namespace parcfl::bench;
+
+int main() {
+  const double s = scale();
+  const unsigned t = threads();
+  std::printf("Memory study (§IV-D5), scale=%.2f, threads=%u\n\n", s, t);
+  std::printf("%-15s %14s %14s %14s %14s %12s\n", "Benchmark", "rssΔ DQ(KB)",
+              "rssΔ Seq(KB)", "jmpStore(KB)", "steps DQ", "steps Seq");
+  print_rule(95);
+
+  double sum_ratio = 0;
+  int rows = 0;
+  for (const char* name : {"_202_jess", "_213_javac", "fop", "tomcat"}) {
+    const Workload w = build_workload(synth::benchmark_spec(name), s);
+
+    // DQ first: it allocates less transient state, so the monotone VmHWM
+    // attribution is conservative *against* our claim.
+    const std::uint64_t before_dq = support::peak_rss_bytes();
+    const auto dq = run_mode(w, cfl::Mode::kDataSharingScheduling, t);
+    const std::uint64_t after_dq = support::peak_rss_bytes();
+
+    const auto seq = run_mode(w, cfl::Mode::kSequential, 1);
+    const std::uint64_t after_seq = support::peak_rss_bytes();
+
+    const std::uint64_t dq_delta = after_dq - before_dq;
+    const std::uint64_t seq_delta = after_seq - after_dq;
+
+    std::printf("%-15s %14" PRIu64 " %14" PRIu64 " %14" PRIu64 " %14" PRIu64
+                " %12" PRIu64 "\n",
+                name, dq_delta / 1024, seq_delta / 1024,
+                dq.jmp_store_bytes / 1024, dq.totals.traversed_steps,
+                seq.totals.traversed_steps);
+
+    if (seq.totals.traversed_steps > 0) {
+      sum_ratio += static_cast<double>(dq.totals.traversed_steps) /
+                   static_cast<double>(seq.totals.traversed_steps);
+      ++rows;
+    }
+  }
+
+  std::printf("\nTransient-allocation proxy: DQ performs %.0f%% of SeqCFL's "
+              "traversal work on average\n(each step touches visited sets and "
+              "memo entries — the dominant transient allocation),\nwhile the "
+              "persistent jmp store stays small. Paper: DQ uses ~35%% less "
+              "peak memory;\nworst case (tomcat) ~103%% of SeqCFL.\n",
+              100.0 * sum_ratio / (rows > 0 ? rows : 1));
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Kernel-level microbenchmarks (google-benchmark): the building blocks whose
+// constants determine the engine's throughput — context interning, the
+// sharded jmp map, single demand queries, the Andersen baseline, and SCC.
+
+#include <benchmark/benchmark.h>
+
+#include "andersen/andersen.hpp"
+#include "cfl/context.hpp"
+#include "cfl/jmp_store.hpp"
+#include "cfl/solver.hpp"
+#include "frontend/lower.hpp"
+#include "pag/collapse.hpp"
+#include "support/scc.hpp"
+#include "support/sharded_map.hpp"
+#include "synth/generator.hpp"
+
+namespace {
+
+using namespace parcfl;
+
+const pag::Pag& workload_pag() {
+  static const pag::Pag pag = [] {
+    synth::GeneratorConfig cfg;
+    cfg.seed = 77;
+    cfg.app_methods = 30;
+    cfg.library_methods = 30;
+    cfg.containers = 4;
+    cfg.container_use_blocks = 24;
+    auto lowered = frontend::lower(synth::generate(cfg));
+    return std::move(pag::collapse_assign_cycles(lowered.pag).pag);
+  }();
+  return pag;
+}
+
+std::vector<pag::NodeId> workload_queries(const pag::Pag& pag) {
+  std::vector<pag::NodeId> out;
+  for (std::uint32_t n = 0; n < pag.node_count(); ++n)
+    if (pag.kind(pag::NodeId(n)) == pag::NodeKind::kLocal &&
+        pag.node(pag::NodeId(n)).is_application)
+      out.push_back(pag::NodeId(n));
+  return out;
+}
+
+void BM_ContextPush(benchmark::State& state) {
+  cfl::ContextTable table;
+  std::uint32_t site = 0;
+  for (auto _ : state) {
+    cfl::CtxId c = cfl::ContextTable::empty();
+    for (int d = 0; d < 8; ++d)
+      c = table.push(c, pag::CallSiteId(site++ % 64));
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_ContextPush);
+
+void BM_ContextPopTop(benchmark::State& state) {
+  cfl::ContextTable table;
+  cfl::CtxId c = cfl::ContextTable::empty();
+  for (int d = 0; d < 16; ++d) c = table.push(c, pag::CallSiteId(d));
+  for (auto _ : state) {
+    cfl::CtxId cur = c;
+    std::uint64_t sum = 0;
+    while (cur != cfl::ContextTable::empty()) {
+      sum += table.top(cur).value();
+      cur = table.pop(cur);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_ContextPopTop);
+
+void BM_ShardedMapInsertLookup(benchmark::State& state) {
+  support::ShardedMap<std::uint64_t, std::uint64_t> map;
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    map.insert_if_absent(key & 1023, key);
+    std::uint64_t out = 0;
+    benchmark::DoNotOptimize(map.find_copy((key * 7) & 1023, out));
+    ++key;
+  }
+}
+BENCHMARK(BM_ShardedMapInsertLookup);
+
+void BM_JmpStoreLookupHit(benchmark::State& state) {
+  cfl::JmpStore store;
+  for (std::uint32_t i = 0; i < 1024; ++i)
+    store.insert_finished(
+        cfl::JmpStore::key(cfl::Direction::kBackward, pag::NodeId(i), cfl::CtxId(0)),
+        100, {{pag::NodeId(i + 1), cfl::CtxId(0), 50}});
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    cfl::JmpStore::Lookup lk;
+    benchmark::DoNotOptimize(store.lookup(
+        cfl::JmpStore::key(cfl::Direction::kBackward, pag::NodeId(i++ & 1023),
+                           cfl::CtxId(0)),
+        lk));
+  }
+}
+BENCHMARK(BM_JmpStoreLookupHit);
+
+void BM_SingleQueryNoSharing(benchmark::State& state) {
+  const auto& pag = workload_pag();
+  const auto queries = workload_queries(pag);
+  cfl::ContextTable contexts;
+  cfl::SolverOptions so;
+  so.budget = 50'000;
+  cfl::Solver solver(pag, contexts, nullptr, so);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.points_to(queries[i++ % queries.size()]));
+  }
+}
+BENCHMARK(BM_SingleQueryNoSharing);
+
+void BM_SingleQuerySharing(benchmark::State& state) {
+  const auto& pag = workload_pag();
+  const auto queries = workload_queries(pag);
+  cfl::ContextTable contexts;
+  cfl::JmpStore store;
+  cfl::SolverOptions so;
+  so.budget = 50'000;
+  so.data_sharing = true;
+  so.tau_finished = 10;
+  so.tau_unfinished = 1000;
+  cfl::Solver solver(pag, contexts, &store, so);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.points_to(queries[i++ % queries.size()]));
+  }
+}
+BENCHMARK(BM_SingleQuerySharing);
+
+void BM_AndersenSolve(benchmark::State& state) {
+  const auto& pag = workload_pag();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(andersen::solve(pag));
+  }
+}
+BENCHMARK(BM_AndersenSolve);
+
+void BM_SccLargeChainWithCycles(benchmark::State& state) {
+  const std::uint32_t n = 50'000;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    edges.emplace_back(i, i + 1);
+    if (i % 17 == 0 && i >= 16) edges.emplace_back(i, i - 16);
+  }
+  const auto g = support::CsrGraph::from_edges(n, edges);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(support::strongly_connected_components(g));
+  }
+}
+BENCHMARK(BM_SccLargeChainWithCycles);
+
+}  // namespace
+
+BENCHMARK_MAIN();

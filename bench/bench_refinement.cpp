@@ -1,0 +1,95 @@
+// Refinement vs general-purpose configuration for type-cast checking — the
+// comparison behind the paper's §IV-A remark that its baseline uses the
+// non-refinement configuration of [18] because refinement only suits certain
+// clients (e.g. cast checking), and behind [18]'s own claim that refinement
+// answers such clients far more cheaply when the regular approximation
+// already proves the property.
+//
+// For every cast in each workload we report: verdict agreement, total
+// charged steps for the general-purpose checker vs the refinement driver,
+// and how often the approximation sufficed without any refinement.
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "clients/refinement.hpp"
+#include "frontend/lower.hpp"
+
+using namespace parcfl;
+using namespace parcfl::bench;
+
+int main() {
+  const double s = scale();
+  std::printf("Refinement study: cast checking, general-purpose vs refined "
+              "(scale=%.2f)\n\n",
+              s);
+  std::printf("%-15s %7s %9s %9s %9s %12s %12s %8s\n", "Benchmark", "#casts",
+              "safe", "mayfail", "agree", "exact steps", "refin steps",
+              "0-refine");
+  print_rule(95);
+
+  for (const char* name : {"_213_javac", "batik", "pmd", "sunflow", "xalan"}) {
+    const auto spec = synth::benchmark_spec(name);
+    auto cfg = synth::config_for(spec, s);
+    cfg.cast_weight = 0.08;  // cast-rich variant of the workload
+    cfg.subclass_prob = 0.5;
+    const auto program = synth::generate(cfg);
+    const auto lowered = frontend::lower(program);
+    if (lowered.casts.empty()) continue;
+
+    cfl::SolverOptions base = solver_options();
+
+    // General-purpose: one exact points-to query per cast source.
+    cfl::ContextTable c1;
+    cfl::Solver solver(lowered.pag, c1, nullptr, base);
+    std::vector<pag::NodeId> srcs;
+    for (const auto& cast : lowered.casts) srcs.push_back(cast.src);
+    const auto table = clients::PointsToTable::from_solver(solver, srcs);
+    const auto exact = clients::check_casts(program, lowered, lowered.pag, table);
+    const std::uint64_t exact_steps = solver.counters().charged_steps;
+
+    // Refinement driver.
+    cfl::ContextTable c2;
+    const auto refined =
+        clients::refine_all_casts(program, lowered, lowered.pag, c2, base);
+
+    std::uint64_t refine_steps = 0, zero_refine = 0, agree = 0;
+    std::uint64_t safe = 0, mayfail = 0, stronger = 0, weaker = 0;
+    for (std::size_t i = 0; i < refined.size(); ++i) {
+      refine_steps += refined[i].stats.charged_steps;
+      zero_refine += refined[i].stats.refined.empty() ? 1 : 0;
+      if (refined[i].verdict == exact[i].verdict) {
+        ++agree;
+      } else if (exact[i].verdict == clients::CastVerdict::kUnknown) {
+        ++stronger;  // refinement proved what the exact pass could not afford
+      } else {
+        ++weaker;
+      }
+      safe += refined[i].verdict == clients::CastVerdict::kSafe ? 1 : 0;
+      mayfail += refined[i].verdict == clients::CastVerdict::kMayFail ? 1 : 0;
+    }
+
+    std::printf("%-15s %7zu %9" PRIu64 " %9" PRIu64 " %8" PRIu64 "/%zu %12" PRIu64
+                " %12" PRIu64 " %7.0f%%\n",
+                name, refined.size(), safe, mayfail, agree, refined.size(),
+                exact_steps, refine_steps,
+                100.0 * static_cast<double>(zero_refine) /
+                    static_cast<double>(refined.size()));
+    if (stronger + weaker > 0)
+      std::printf("%-15s   disagreements: %" PRIu64
+                  " where refinement proved more (exact ran out of budget), %"
+                  PRIu64 " other\n",
+                  "", stronger, weaker);
+  }
+
+  std::printf(
+      "\nExpected shape: verdicts agree (any disagreement should be the\n"
+      "refinement proving casts the exact pass could not afford); most casts\n"
+      "are proven by the approximation alone (high 0-refine%%). Note on cost:\n"
+      "[18]'s refinement wins against an *unmemoised* exact analysis; our\n"
+      "exact baseline memoises sub-queries, so at this scale the approximate\n"
+      "space (which conflates all bases per field) is often the larger one —\n"
+      "the same scale trade-off as the tau thresholds (EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Table II reproduction: comparison of parallel pointer analyses.
+//
+// The paper's Table II is qualitative (algorithm class, on-demand?, context/
+// field/flow sensitivity, platform); we reprint it, and back the key
+// quantitative claim — demand-driven answers cost a fraction of a
+// whole-program solve when only some variables are queried — by running our
+// Andersen baseline (the algorithm class of every prior parallel analysis)
+// against the demand CFL engine on the same workload.
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "andersen/andersen.hpp"
+#include "bench_util.hpp"
+#include "support/timer.hpp"
+
+using namespace parcfl;
+using namespace parcfl::bench;
+
+int main() {
+  std::printf("Table II: parallel pointer analyses (paper, qualitative)\n\n");
+  std::printf("%-12s %-22s %-9s %-7s %-5s %-5s %-6s %-8s\n", "Analysis",
+              "Algorithm", "OnDemand", "Context", "Field", "Flow", "Lang",
+              "Platform");
+  print_rule(85);
+  std::printf("%-12s %-22s %-9s %-7s %-5s %-5s %-6s %-8s\n", "[8]",
+              "Andersen", "no", "no", "yes", "no", "C", "CPU");
+  std::printf("%-12s %-22s %-9s %-7s %-5s %-5s %-6s %-8s\n", "[3]",
+              "Andersen", "no", "no", "no", "part", "Java", "CPU");
+  std::printf("%-12s %-22s %-9s %-7s %-5s %-5s %-6s %-8s\n", "[7]",
+              "Andersen", "no", "no", "yes", "no", "C", "GPU");
+  std::printf("%-12s %-22s %-9s %-7s %-5s %-5s %-6s %-8s\n", "[14]",
+              "Andersen", "no", "yes", "no", "no", "C", "CPU");
+  std::printf("%-12s %-22s %-9s %-7s %-5s %-5s %-6s %-8s\n", "[9]",
+              "Andersen", "no", "no", "yes", "yes", "C", "CPU");
+  std::printf("%-12s %-22s %-9s %-7s %-5s %-5s %-6s %-8s\n", "[10]",
+              "Andersen", "no", "no", "yes", "yes", "C", "GPU");
+  std::printf("%-12s %-22s %-9s %-7s %-5s %-5s %-6s %-8s\n", "[20]",
+              "Andersen", "no", "no", "yes", "no", "C", "CPU-GPU");
+  std::printf("%-12s %-22s %-9s %-7s %-5s %-5s %-6s %-8s\n", "this work",
+              "CFL-Reachability", "yes", "yes", "yes", "no", "Java", "CPU");
+
+  std::printf("\nQuantitative backing (this reproduction): whole-program "
+              "Andersen vs demand CFL\n\n");
+  std::printf("%-15s %12s %12s %14s %14s %14s\n", "Benchmark", "Andersen(s)",
+              "CFL-all(s)", "CFL-10pct(s)", "CFL-1pct(s)", "per-query(us)");
+  print_rule(90);
+
+  const double s = scale();
+  for (const char* name : {"_209_db", "avrora", "pmd", "sunflow"}) {
+    const Workload w = build_workload(synth::benchmark_spec(name), s);
+
+    support::WallTimer andersen_timer;
+    const auto andersen_result = andersen::solve(w.pag);
+    const double andersen_s = andersen_timer.seconds();
+    (void)andersen_result;
+
+    const auto all = run_mode(w, cfl::Mode::kDataSharingScheduling, 1);
+
+    auto subset = [&](double fraction) {
+      const std::size_t n =
+          std::max<std::size_t>(1, static_cast<std::size_t>(
+                                       w.queries.size() * fraction));
+      const std::vector<pag::NodeId> some(w.queries.begin(),
+                                          w.queries.begin() + n);
+      cfl::EngineOptions o;
+      o.mode = cfl::Mode::kDataSharingScheduling;
+      o.threads = 1;
+      o.solver = solver_options();
+      return cfl::Engine(w.pag, o).run(some).wall_seconds;
+    };
+
+    const double ten = subset(0.10);
+    const double one = subset(0.01);
+    std::printf("%-15s %12.4f %12.4f %14.4f %14.4f %14.1f\n", name, andersen_s,
+                all.wall_seconds, ten, one,
+                w.queries.empty()
+                    ? 0.0
+                    : 1e6 * all.wall_seconds / static_cast<double>(w.queries.size()));
+  }
+
+  std::printf("\nExpected shape: demand CFL answers small query subsets far "
+              "below the whole-program solve;\nthe full batch may cost more "
+              "than one Andersen pass (the price of context-sensitivity),\n"
+              "which is exactly why the paper parallelises it.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Alias disambiguation client (one of the paper's motivating use cases,
+// §I): batch-query a whole synthetic application with the parallel engine,
+// then answer may-alias questions for intra-method variable pairs from the
+// points-to results. Prints disambiguation statistics and the engine's
+// sharing counters.
+//
+//   $ ./examples/alias_checker [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "parcfl.hpp"
+#include "support/timer.hpp"
+
+using namespace parcfl;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+
+  // A mid-size synthetic application with container-heavy heap usage.
+  synth::GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.app_methods = 40;
+  cfg.library_methods = 60;
+  cfg.containers = 5;
+  cfg.container_use_blocks = 40;
+  const auto program = synth::generate(cfg);
+  const auto lowered = frontend::lower(program);
+  auto collapsed = pag::collapse_assign_cycles(lowered.pag);
+
+  std::printf("program: %zu methods, %zu vars; PAG: %u nodes, %u edges\n",
+              program.methods().size(), program.vars().size(),
+              collapsed.pag.node_count(), collapsed.pag.edge_count());
+
+  // Batch points-to for all application locals via the DQ engine.
+  std::vector<pag::NodeId> queries;
+  for (const pag::NodeId q : lowered.queries)
+    queries.push_back(collapsed.representative[q.value()]);
+  std::sort(queries.begin(), queries.end());
+  queries.erase(std::unique(queries.begin(), queries.end()), queries.end());
+
+  cfl::EngineOptions engine_options;
+  engine_options.mode = cfl::Mode::kDataSharingScheduling;
+  engine_options.threads = 8;
+  engine_options.solver.budget = 100'000;
+  engine_options.solver.tau_finished = 50;
+  engine_options.solver.tau_unfinished = 10'000;
+
+  support::WallTimer timer;
+  cfl::Engine engine(collapsed.pag, engine_options);
+  const auto result = engine.run(queries);
+  std::printf("answered %zu queries in %.3fs (%s; %u threads)\n",
+              queries.size(), timer.seconds(), to_string(engine_options.mode),
+              engine_options.threads);
+  std::printf("engine counters: %s\n\n", result.totals.to_string().c_str());
+
+  // Alias disambiguation per method: for each application method, check all
+  // local pairs using a sequential solver against the same graph.
+  cfl::ContextTable contexts;
+  cfl::Solver solver(collapsed.pag, contexts, nullptr, engine_options.solver);
+
+  std::uint64_t pairs = 0, no_alias = 0, may_alias = 0, unknown = 0;
+  for (std::uint32_t mi = 0; mi < program.methods().size(); ++mi) {
+    const auto& method = program.methods()[mi];
+    if (!method.is_application) continue;
+    const auto& locals = method.locals;
+    for (std::size_t i = 0; i < locals.size(); ++i) {
+      for (std::size_t j = i + 1; j < locals.size(); ++j) {
+        const auto a = collapsed.representative[lowered.node_of(locals[i]).value()];
+        const auto b = collapsed.representative[lowered.node_of(locals[j]).value()];
+        if (a == b) continue;  // collapsed: trivially aliased
+        ++pairs;
+        switch (solver.may_alias(a, b)) {
+          case cfl::Solver::AliasAnswer::kNo: ++no_alias; break;
+          case cfl::Solver::AliasAnswer::kMay: ++may_alias; break;
+          case cfl::Solver::AliasAnswer::kUnknown: ++unknown; break;
+        }
+      }
+    }
+  }
+
+  std::printf("alias disambiguation over %llu intra-method pairs:\n",
+              static_cast<unsigned long long>(pairs));
+  std::printf("  proven no-alias : %llu (%.1f%%)\n",
+              static_cast<unsigned long long>(no_alias),
+              pairs ? 100.0 * no_alias / pairs : 0.0);
+  std::printf("  may-alias       : %llu (%.1f%%)\n",
+              static_cast<unsigned long long>(may_alias),
+              pairs ? 100.0 * may_alias / pairs : 0.0);
+  std::printf("  unknown (budget): %llu (%.1f%%)\n",
+              static_cast<unsigned long long>(unknown),
+              pairs ? 100.0 * unknown / pairs : 0.0);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Cast-safety client: generate a synthetic application containing checked
+// casts, batch-analyse it with the parallel engine, and classify every cast
+// as safe / may-fail / unknown from the points-to results. Type-cast checking
+// is the canonical client for refinement-style demand analyses ([18] in the
+// paper); here it runs on the general-purpose configuration.
+//
+//   $ ./examples/cast_checker [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "parcfl.hpp"
+
+using namespace parcfl;
+
+int main(int argc, char** argv) {
+  synth::GeneratorConfig cfg;
+  cfg.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
+  cfg.app_methods = 30;
+  cfg.library_methods = 40;
+  cfg.cast_weight = 0.10;  // cast-rich application
+  cfg.subclass_prob = 0.6;
+  const auto program = synth::generate(cfg);
+  const auto lowered = frontend::lower(program);
+
+  std::printf("program: %zu methods, %zu casts recorded\n",
+              program.methods().size(), lowered.casts.size());
+
+  // Batch points-to over every variable a cast reads.
+  std::vector<pag::NodeId> queries;
+  for (const auto& cast : lowered.casts) queries.push_back(cast.src);
+  std::sort(queries.begin(), queries.end());
+  queries.erase(std::unique(queries.begin(), queries.end()), queries.end());
+
+  cfl::EngineOptions options;
+  options.mode = cfl::Mode::kDataSharingScheduling;
+  options.threads = 8;
+  options.solver.budget = 200'000;
+  options.collect_objects = true;
+  cfl::Engine engine(lowered.pag, options);
+  const auto table =
+      clients::PointsToTable::from_engine_result(engine.run(queries));
+
+  const auto reports = clients::check_casts(program, lowered, lowered.pag, table);
+  std::size_t safe = 0, may_fail = 0, unknown = 0;
+  for (const auto& r : reports) {
+    switch (r.verdict) {
+      case clients::CastVerdict::kSafe: ++safe; break;
+      case clients::CastVerdict::kMayFail: ++may_fail; break;
+      case clients::CastVerdict::kUnknown: ++unknown; break;
+    }
+  }
+
+  std::printf("cast verdicts over %zu casts:\n", reports.size());
+  std::printf("  proven safe : %zu\n", safe);
+  std::printf("  may fail    : %zu\n", may_fail);
+  std::printf("  unknown     : %zu (out of budget)\n", unknown);
+
+  // Show a few concrete may-fail witnesses.
+  int shown = 0;
+  for (const auto& r : reports) {
+    if (r.verdict != clients::CastVerdict::kMayFail || shown >= 3) continue;
+    std::printf("  e.g. cast to type %u may receive object %u of type %u\n",
+                r.site.target.value(), r.witness.value(),
+                lowered.pag.node(r.witness).type.value());
+    ++shown;
+  }
+  return 0;
+}

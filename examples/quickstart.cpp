@@ -1,0 +1,127 @@
+// Quickstart: build the paper's Fig. 2 Vector example through the IR
+// frontend, lower it to a PAG, and answer demand queries — showing how
+// context-sensitivity keeps the two Vector clients apart.
+//
+//   $ ./examples/quickstart
+
+#include <cstdio>
+
+#include "parcfl.hpp"
+
+using namespace parcfl;
+
+int main() {
+  // ---- 1. Describe the program (Fig. 2 of the paper) ----------------------
+  frontend::Program p;
+  const auto t_object = p.add_type("Object");
+  const auto t_array = p.add_type("Object[]");
+  const auto t_vector = p.add_type("Vector");
+  const auto t_string = p.add_type("String");
+  const auto t_integer = p.add_type("Integer");
+  const auto f_elems = p.add_field(t_vector, "elems", t_array);
+  const auto f_arr = p.add_field(t_array, "arr", t_object);
+
+  // Vector(): t = new Object[]; this.elems = t
+  const auto ctor = p.add_method("Vector.<init>", /*is_application=*/false);
+  const auto ctor_this = p.add_param(ctor, "this", t_vector);
+  const auto ctor_t = p.add_local(ctor, "t", t_array);
+  p.stmt_alloc(ctor, ctor_t, t_array);
+  p.stmt_store(ctor, ctor_this, f_elems, ctor_t);
+
+  // add(this, e): t = this.elems; t.arr = e
+  const auto add = p.add_method("Vector.add", false);
+  const auto add_this = p.add_param(add, "this", t_vector);
+  const auto add_e = p.add_param(add, "e", t_object);
+  const auto add_t = p.add_local(add, "t", t_array);
+  p.stmt_load(add, add_t, add_this, f_elems);
+  p.stmt_store(add, add_t, f_arr, add_e);
+
+  // get(this): t = this.elems; return t.arr
+  const auto get = p.add_method("Vector.get", false);
+  const auto get_this = p.add_param(get, "this", t_vector);
+  const auto get_t = p.add_local(get, "t", t_array);
+  const auto get_ret = p.add_local(get, "ret", t_object);
+  p.stmt_load(get, get_t, get_this, f_elems);
+  p.stmt_load(get, get_ret, get_t, f_arr);
+  p.set_return_var(get, get_ret);
+
+  // main: v1 holds a String, v2 holds an Integer.
+  const auto main_m = p.add_method("main", /*is_application=*/true);
+  const auto v1 = p.add_local(main_m, "v1", t_vector);
+  const auto n1 = p.add_local(main_m, "n1", t_string);
+  const auto s1 = p.add_local(main_m, "s1", t_object);
+  const auto v2 = p.add_local(main_m, "v2", t_vector);
+  const auto n2 = p.add_local(main_m, "n2", t_integer);
+  const auto s2 = p.add_local(main_m, "s2", t_object);
+  p.stmt_alloc(main_m, v1, t_vector);
+  p.stmt_call(main_m, frontend::VarId::invalid(), ctor, {v1});
+  p.stmt_alloc(main_m, n1, t_string);
+  p.stmt_call(main_m, frontend::VarId::invalid(), add, {v1, n1});
+  p.stmt_call(main_m, s1, get, {v1});
+  p.stmt_alloc(main_m, v2, t_vector);
+  p.stmt_call(main_m, frontend::VarId::invalid(), ctor, {v2});
+  p.stmt_alloc(main_m, n2, t_integer);
+  p.stmt_call(main_m, frontend::VarId::invalid(), add, {v2, n2});
+  p.stmt_call(main_m, s2, get, {v2});
+
+  // ---- 2. Lower to a PAG ---------------------------------------------------
+  frontend::LowerOptions lo;
+  lo.record_names = true;
+  const auto lowered = frontend::lower(p, lo);
+  std::printf("PAG: %u nodes, %u edges\n\n", lowered.pag.node_count(),
+              lowered.pag.edge_count());
+
+  // ---- 3. Ask demand queries ----------------------------------------------
+  cfl::ContextTable contexts;
+  cfl::SolverOptions options;  // context- and field-sensitive by default
+  cfl::Solver solver(lowered.pag, contexts, nullptr, options);
+
+  auto show = [&](const char* label, frontend::VarId var) {
+    const auto result = solver.points_to(lowered.node_of(var));
+    std::printf("pts(%s) = {", label);
+    bool first = true;
+    for (const auto node : result.nodes()) {
+      std::printf("%s%s", first ? "" : ", ",
+                  lowered.pag.name(node).empty() ? "?" : lowered.pag.name(node).c_str());
+      first = false;
+    }
+    std::printf("}%s\n", result.complete() ? "" : "  (budget exhausted)");
+  };
+
+  std::printf("Context-sensitive (the paper's LPT = LFS ∩ RCS):\n");
+  show("s1", s1);  // only the String cell
+  show("s2", s2);  // only the Integer cell
+  show("v1", v1);
+
+  // The same queries without context-sensitivity conflate the clients.
+  cfl::SolverOptions ci = options;
+  ci.context_sensitive = false;
+  cfl::Solver ci_solver(lowered.pag, contexts, nullptr, ci);
+  const auto r1 = ci_solver.points_to(lowered.node_of(s1));
+  std::printf("\nContext-insensitive pts(s1) has %zu objects "
+              "(conflates both Vector clients)\n",
+              r1.nodes().size());
+
+  // Alias client: s1/n1 may alias; s1/n2 cannot.
+  std::printf("\nmay_alias(s1, n1) = %s\n",
+              solver.may_alias(lowered.node_of(s1), lowered.node_of(n1)) ==
+                      cfl::Solver::AliasAnswer::kMay
+                  ? "may"
+                  : "no");
+  std::printf("may_alias(s1, n2) = %s\n",
+              solver.may_alias(lowered.node_of(s1), lowered.node_of(n2)) ==
+                      cfl::Solver::AliasAnswer::kNo
+                  ? "no"
+                  : "may");
+
+  // Witness: why does s1 point to the String object? (a debugging aid)
+  std::printf("\nwitness for s1 -> String object:\n");
+  const auto chain = solver.explain_points_to(
+      lowered.node_of(s1), lowered.object_node[2] /* n1's allocation */);
+  for (const auto& step : chain)
+    std::printf("  %-10s %s\n", cfl::Solver::to_string(step.via),
+                lowered.pag.name(step.config.node).empty()
+                    ? "?"
+                    : lowered.pag.name(step.config.node).c_str());
+  return 0;
+}

@@ -1,0 +1,180 @@
+#include "andersen/andersen.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/check.hpp"
+#include "support/timer.hpp"
+
+namespace parcfl::andersen {
+
+using pag::EdgeKind;
+using pag::FieldId;
+using pag::NodeId;
+using pag::Pag;
+
+namespace {
+
+std::uint64_t cell_key(std::uint32_t object, std::uint32_t field) {
+  return (static_cast<std::uint64_t>(object) << 32) | field;
+}
+
+/// The constraint solver. Constraint-graph nodes are PAG variables
+/// (ids [0, n)) plus dynamically discovered (object, field) heap cells
+/// (ids >= n). Sets are sorted vectors with difference propagation.
+class Solver {
+ public:
+  explicit Solver(const Pag& pag) : pag_(pag), n_(pag.node_count()) {
+    pts_.resize(n_);
+    delta_.resize(n_);
+    succ_.resize(n_);
+    queued_.resize(n_, false);
+  }
+
+  AndersenResult run() {
+    support::WallTimer timer;
+    seed();
+    while (!worklist_.empty()) {
+      const std::uint32_t v = worklist_.back();
+      worklist_.pop_back();
+      queued_[v] = false;
+      ++stats_.worklist_pops;
+      process(v);
+    }
+
+    AndersenResult result;
+    result.var_pts_.assign(pts_.begin(), pts_.begin() + n_);
+    for (const auto& [key, cell] : cell_index_)
+      result.heap_pts_.emplace(key, pts_[cell]);
+    for (std::uint32_t v = 0; v < n_; ++v)
+      stats_.total_pts_size += result.var_pts_[v].size();
+    stats_.heap_cells = cell_index_.size();
+    stats_.solve_seconds = timer.seconds();
+    result.stats_ = stats_;
+    return result;
+  }
+
+ private:
+  void seed() {
+    for (const pag::Edge& e : pag_.edges()) {
+      switch (e.kind) {
+        case EdgeKind::kNew:
+          add_to_delta(e.dst.value(), e.src.value());
+          break;
+        case EdgeKind::kAssignLocal:
+        case EdgeKind::kAssignGlobal:
+        case EdgeKind::kParam:
+        case EdgeKind::kRet:
+          succ_[e.src.value()].push_back(e.dst.value());
+          break;
+        case EdgeKind::kLoad:
+        case EdgeKind::kStore:
+          break;  // handled dynamically as base points-to sets grow
+      }
+    }
+  }
+
+  std::uint32_t cell_for(std::uint32_t object, std::uint32_t field) {
+    const auto [it, fresh] =
+        cell_index_.emplace(cell_key(object, field),
+                            static_cast<std::uint32_t>(pts_.size()));
+    if (fresh) {
+      pts_.emplace_back();
+      delta_.emplace_back();
+      succ_.emplace_back();
+      queued_.push_back(false);
+    }
+    return it->second;
+  }
+
+  void add_to_delta(std::uint32_t node, std::uint32_t object) {
+    delta_[node].push_back(object);
+    if (!queued_[node]) {
+      queued_[node] = true;
+      worklist_.push_back(node);
+    }
+  }
+
+  /// Add the copy edge src -> dst if new; propagate src's current set.
+  void add_copy_edge(std::uint32_t src, std::uint32_t dst) {
+    if (!dynamic_edges_.insert((static_cast<std::uint64_t>(src) << 32) | dst)
+             .second)
+      return;
+    succ_[src].push_back(dst);
+    if (!pts_[src].empty()) {
+      for (const std::uint32_t o : pts_[src]) delta_[dst].push_back(o);
+      if (!queued_[dst]) {
+        queued_[dst] = true;
+        worklist_.push_back(dst);
+      }
+    }
+  }
+
+  void process(std::uint32_t v) {
+    // diff = delta \ pts, then pts |= diff.
+    std::vector<std::uint32_t> incoming = std::move(delta_[v]);
+    delta_[v].clear();
+    std::sort(incoming.begin(), incoming.end());
+    incoming.erase(std::unique(incoming.begin(), incoming.end()), incoming.end());
+
+    std::vector<std::uint32_t> diff;
+    diff.reserve(incoming.size());
+    std::set_difference(incoming.begin(), incoming.end(), pts_[v].begin(),
+                        pts_[v].end(), std::back_inserter(diff));
+    if (diff.empty()) return;
+
+    std::vector<std::uint32_t> merged;
+    merged.reserve(pts_[v].size() + diff.size());
+    std::set_union(pts_[v].begin(), pts_[v].end(), diff.begin(), diff.end(),
+                   std::back_inserter(merged));
+    pts_[v] = std::move(merged);
+    ++stats_.propagations;
+
+    for (const std::uint32_t t : succ_[v]) {
+      for (const std::uint32_t o : diff) delta_[t].push_back(o);
+      if (!queued_[t]) {
+        queued_[t] = true;
+        worklist_.push_back(t);
+      }
+    }
+
+    if (v >= n_) return;  // heap cells have no load/store obligations
+    const NodeId var(v);
+    // Loads x = v.f: connect each new cell (o, f) into x.
+    for (const pag::HalfEdge ld : pag_.out_edges(var, EdgeKind::kLoad))
+      for (const std::uint32_t o : diff)
+        add_copy_edge(cell_for(o, ld.aux), ld.other.value());
+    // Stores v.f = y: connect y into each new cell (o, f).
+    for (const pag::HalfEdge st : pag_.in_edges(var, EdgeKind::kStore))
+      for (const std::uint32_t o : diff)
+        add_copy_edge(st.other.value(), cell_for(o, st.aux));
+  }
+
+  const Pag& pag_;
+  const std::uint32_t n_;
+  std::vector<std::vector<std::uint32_t>> pts_;
+  std::vector<std::vector<std::uint32_t>> delta_;
+  std::vector<std::vector<std::uint32_t>> succ_;
+  std::vector<bool> queued_;
+  std::vector<std::uint32_t> worklist_;
+  std::unordered_map<std::uint64_t, std::uint32_t> cell_index_;
+  std::unordered_set<std::uint64_t> dynamic_edges_;
+  AndersenStats stats_;
+};
+
+}  // namespace
+
+bool AndersenResult::points_to(NodeId v, NodeId o) const {
+  const auto& set = var_pts_[v.value()];
+  return std::binary_search(set.begin(), set.end(), o.value());
+}
+
+std::span<const std::uint32_t> AndersenResult::heap_cell(NodeId o, FieldId f) const {
+  const auto it = heap_pts_.find(cell_key(o.value(), f.value()));
+  if (it == heap_pts_.end()) return {};
+  return it->second;
+}
+
+AndersenResult solve(const Pag& pag) { return Solver(pag).run(); }
+
+}  // namespace parcfl::andersen

@@ -1,0 +1,61 @@
+#pragma once
+// Whole-program Andersen-style (inclusion-based) pointer analysis over a PAG:
+// field-sensitive, context- and flow-insensitive. This is the algorithm class
+// every prior parallel pointer analysis in the paper's Table II implements,
+// and the natural baseline/oracle for the demand-driven CFL analysis:
+//
+//   * with context-sensitivity disabled and an unlimited budget, the demand
+//     CFL solver must return exactly Andersen's per-variable result
+//     (LFS projected to the context-insensitive setting computes the same
+//     relation — tested extensively);
+//   * with context-sensitivity enabled, the demand result is a subset
+//     (more precise).
+//
+// Constraint system (param/ret/assign_g all treated as assign):
+//   new    l <- o        : o ∈ pts(l)
+//   assign d <- s        : pts(d) ⊇ pts(s)
+//   ld     x <- p (f)    : ∀ o ∈ pts(p): pts(x) ⊇ pts(o.f)
+//   st     q <- y (f)    : ∀ o ∈ pts(q): pts(o.f) ⊇ pts(y)
+//
+// Solved with a difference-propagation worklist over sorted-vector sets.
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "pag/pag.hpp"
+
+namespace parcfl::andersen {
+
+struct AndersenStats {
+  std::uint64_t propagations = 0;   // set-union operations performed
+  std::uint64_t worklist_pops = 0;
+  std::uint64_t total_pts_size = 0;  // sum over variables
+  std::uint64_t heap_cells = 0;      // distinct (object, field) cells
+  double solve_seconds = 0.0;
+};
+
+class AndersenResult {
+ public:
+  /// Sorted object-node ids variable v may point to.
+  std::span<const std::uint32_t> points_to(pag::NodeId v) const {
+    return var_pts_[v.value()];
+  }
+  bool points_to(pag::NodeId v, pag::NodeId o) const;
+
+  /// Sorted contents of the (object, field) heap cell (empty if untracked).
+  std::span<const std::uint32_t> heap_cell(pag::NodeId o, pag::FieldId f) const;
+
+  const AndersenStats& stats() const { return stats_; }
+
+  // Raw result storage; populated by solve(). Treat as read-only.
+  std::vector<std::vector<std::uint32_t>> var_pts_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> heap_pts_;
+  AndersenStats stats_;
+};
+
+/// Run the analysis to fixpoint.
+AndersenResult solve(const pag::Pag& pag);
+
+}  // namespace parcfl::andersen

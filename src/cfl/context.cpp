@@ -1,0 +1,65 @@
+#include "cfl/context.hpp"
+
+#include <mutex>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace parcfl::cfl {
+
+ContextTable::ContextTable(std::uint32_t max_depth) : max_depth_(max_depth) {}
+
+ContextTable::Entry* ContextTable::slot_for(std::uint32_t id) {
+  const std::size_t chunk_index = id >> kChunkBits;
+  PARCFL_CHECK_MSG(chunk_index < kMaxChunks, "context table exhausted");
+  Chunk* chunk = chunks_[chunk_index].load(std::memory_order_acquire);
+  if (chunk == nullptr) {
+    std::lock_guard lock(chunks_mu_);
+    chunk = chunks_[chunk_index].load(std::memory_order_acquire);
+    if (chunk == nullptr) {
+      owned_chunks_.push_back(std::make_unique<Chunk>());
+      chunk = owned_chunks_.back().get();
+      chunks_[chunk_index].store(chunk, std::memory_order_release);
+    }
+  }
+  return &(*chunk)[id & (kChunkSize - 1)];
+}
+
+CtxId ContextTable::push(CtxId c, pag::CallSiteId site) {
+  PARCFL_DCHECK(site.valid());
+  if (depth(c) >= max_depth_) return CtxId::invalid();
+
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(c.value()) << 32) | site.value();
+  std::uint32_t id = 0;
+  intern_.update(key, [&](std::uint32_t& stored) {
+    if (stored == 0) {
+      // First thread to intern this (parent, site): allocate and publish the
+      // entry before the id escapes the shard lock.
+      const auto fresh =
+          static_cast<std::uint32_t>(next_id_.fetch_add(1, std::memory_order_acq_rel));
+      Entry* e = slot_for(fresh);
+      e->parent = c;
+      e->site = site;
+      e->depth = depth(c) + 1;
+      stored = fresh;
+    }
+    id = stored;
+  });
+  return CtxId(id);
+}
+
+std::string ContextTable::to_string(CtxId c) const {
+  std::vector<std::uint32_t> sites;
+  for (CtxId cur = c; cur != empty(); cur = pop(cur)) sites.push_back(top(cur).value());
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = sites.size(); i-- > 0;) {
+    os << 'i' << sites[i];
+    if (i != 0) os << ", ";
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace parcfl::cfl

@@ -1,0 +1,105 @@
+#include "cfl/engine.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
+
+namespace parcfl::cfl {
+
+const char* to_string(Mode mode) {
+  switch (mode) {
+    case Mode::kSequential: return "SeqCFL";
+    case Mode::kNaive: return "ParCFL_naive";
+    case Mode::kDataSharing: return "ParCFL_D";
+    case Mode::kDataSharingScheduling: return "ParCFL_DQ";
+  }
+  return "?";
+}
+
+std::uint64_t EngineResult::makespan_steps() const {
+  std::uint64_t best = 0;
+  for (std::uint64_t t : per_thread_traversed) best = std::max(best, t);
+  return best;
+}
+
+Engine::Engine(const pag::Pag& pag, const EngineOptions& options)
+    : pag_(pag), options_(options) {
+  if (options_.mode == Mode::kSequential) options_.threads = 1;
+  PARCFL_CHECK(options_.threads >= 1);
+}
+
+EngineResult Engine::run(std::span<const pag::NodeId> queries) {
+  ContextTable contexts;
+  JmpStore store;
+  return run(queries, contexts, store);
+}
+
+EngineResult Engine::run(std::span<const pag::NodeId> queries,
+                         ContextTable& contexts, JmpStore& store) {
+  EngineResult result;
+
+  const bool sharing = options_.mode == Mode::kDataSharing ||
+                       options_.mode == Mode::kDataSharingScheduling;
+  const bool scheduling = options_.mode == Mode::kDataSharingScheduling;
+
+  SolverOptions solver_options = options_.solver;
+  solver_options.data_sharing = sharing;
+
+  support::WallTimer schedule_timer;
+  const Schedule schedule =
+      scheduling ? schedule_queries(pag_, queries) : identity_schedule(queries);
+  result.schedule_seconds = schedule_timer.seconds();
+  result.mean_group_size = scheduling ? schedule.mean_group_size : 0.0;
+  result.group_count = scheduling ? schedule.group_count : 0;
+
+  const unsigned threads = options_.threads;
+  std::vector<std::unique_ptr<Solver>> solvers;
+  solvers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t)
+    solvers.push_back(std::make_unique<Solver>(pag_, contexts,
+                                               sharing ? &store : nullptr,
+                                               solver_options));
+
+  result.outcomes.resize(schedule.ordered.size());
+  if (options_.collect_objects) result.objects.resize(schedule.ordered.size());
+
+  support::WallTimer run_timer;
+  auto run_unit = [&](unsigned worker, std::uint64_t unit_index) {
+    Solver& solver = *solvers[worker];
+    const auto [begin, end] = schedule.units[unit_index];
+    for (std::uint32_t i = begin; i < end; ++i) {
+      const pag::NodeId var = schedule.ordered[i];
+      const std::uint64_t charged_before = solver.counters().charged_steps;
+      const QueryResult qr = solver.points_to(var);
+      auto nodes = qr.nodes();
+      result.outcomes[i] = QueryOutcome{
+          var, qr.status, static_cast<std::uint32_t>(nodes.size()),
+          solver.counters().charged_steps - charged_before};
+      if (options_.collect_objects) result.objects[i] = std::move(nodes);
+    }
+  };
+
+  if (threads == 1) {
+    // Run inline: the sequential baseline must not pay thread-pool costs.
+    for (std::uint64_t u = 0; u < schedule.units.size(); ++u) run_unit(0, u);
+  } else {
+    support::ThreadPool pool(threads);
+    const std::function<void(unsigned, std::uint64_t)> body = run_unit;
+    pool.parallel_for(schedule.units.size(), body);
+  }
+  result.wall_seconds = run_timer.seconds();
+
+  result.per_thread_traversed.resize(threads, 0);
+  for (unsigned t = 0; t < threads; ++t) {
+    result.per_thread_traversed[t] = solvers[t]->counters().traversed_steps;
+    result.totals.merge(solvers[t]->counters());
+  }
+  result.jmp_stats = store.stats();
+  result.jmp_store_bytes = store.memory_bytes();
+  result.context_count = contexts.size();
+  return result;
+}
+
+}  // namespace parcfl::cfl

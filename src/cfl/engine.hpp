@@ -1,0 +1,96 @@
+#pragma once
+// Parallel query engine (paper §III). Queries arrive in batch mode; work
+// units are distributed to worker threads from a shared cursor. Four
+// configurations reproduce the paper's evaluation axes:
+//
+//   kSequential            SeqCFL        1 thread, no sharing, no scheduling
+//   kNaive                 ParCFL_naive  N threads, shared work list only (§III-A)
+//   kDataSharing           ParCFL_D      + jmp-edge data sharing (§III-B)
+//   kDataSharingScheduling ParCFL_DQ     + query scheduling (§III-C)
+//
+// Because this reproduction may run on machines with fewer cores than the
+// paper's 16, the engine reports, besides wall-clock time, per-thread
+// *traversed step* counts. The simulated parallel makespan
+// (max over threads of traversed steps) is machine-independent and captures
+// exactly the algorithmic work reduction responsible for the paper's
+// superlinear speedups; see DESIGN.md §1.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cfl/context.hpp"
+#include "cfl/jmp_store.hpp"
+#include "cfl/scheduler.hpp"
+#include "cfl/solver.hpp"
+#include "pag/pag.hpp"
+#include "support/stats.hpp"
+
+namespace parcfl::cfl {
+
+enum class Mode : std::uint8_t {
+  kSequential,
+  kNaive,
+  kDataSharing,
+  kDataSharingScheduling,
+};
+
+const char* to_string(Mode mode);
+
+struct EngineOptions {
+  Mode mode = Mode::kSequential;
+  unsigned threads = 1;  // ignored for kSequential
+  SolverOptions solver;  // budget, sensitivity, taus (sharing flag is derived)
+  bool collect_objects = false;  // retain each query's object set in the
+                                 // result (for clients::PointsToTable)
+};
+
+struct QueryOutcome {
+  pag::NodeId var;
+  QueryStatus status;
+  std::uint32_t object_count;    // distinct objects found (possibly partial)
+  std::uint64_t charged_steps;   // budget consumed by this query
+};
+
+struct EngineResult {
+  std::vector<QueryOutcome> outcomes;        // in scheduled issue order
+  /// Per-outcome sorted object sets; filled when collect_objects was set.
+  std::vector<std::vector<pag::NodeId>> objects;
+  support::QueryCounters totals;             // merged over all workers
+  std::vector<std::uint64_t> per_thread_traversed;
+  double wall_seconds = 0.0;
+  double schedule_seconds = 0.0;
+  double mean_group_size = 0.0;  // Sg (0 unless scheduling ran)
+  std::uint32_t group_count = 0;
+  JmpStore::Stats jmp_stats;
+  std::uint64_t jmp_store_bytes = 0;
+  std::uint64_t context_count = 0;
+
+  /// Simulated parallel completion time in traversal steps.
+  std::uint64_t makespan_steps() const;
+};
+
+/// One engine per (PAG, options); each run() uses a fresh context table and
+/// jmp store, so runs are independent measurements.
+class Engine {
+ public:
+  Engine(const pag::Pag& pag, const EngineOptions& options);
+
+  /// Answer every query; `queries` are PAG variable node ids. Uses a fresh
+  /// context table and jmp store, so runs are independent measurements.
+  EngineResult run(std::span<const pag::NodeId> queries);
+
+  /// Same, but over caller-provided shared state — e.g. warm-started from
+  /// cfl/persist.hpp, or carried across multiple batches.
+  EngineResult run(std::span<const pag::NodeId> queries, ContextTable& contexts,
+                   JmpStore& store);
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  const pag::Pag& pag_;
+  EngineOptions options_;
+};
+
+}  // namespace parcfl::cfl

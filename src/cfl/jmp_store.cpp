@@ -1,0 +1,57 @@
+#include "cfl/jmp_store.hpp"
+
+namespace parcfl::cfl {
+
+bool JmpStore::insert_finished(std::uint64_t k, std::uint32_t cost,
+                               std::vector<JmpTarget> targets) {
+  auto rec = std::make_shared<FinishedJmp>();
+  rec->cost = cost;
+  rec->targets = std::move(targets);
+  const std::uint64_t rec_bytes =
+      sizeof(FinishedJmp) + rec->targets.capacity() * sizeof(JmpTarget);
+
+  bool inserted = false;
+  map_.update(k, [&](Entry& e) {
+    if (e.finished == nullptr) {
+      e.finished = std::move(rec);
+      inserted = true;
+    }
+  });
+  if (inserted) {
+    bytes_.fetch_add(rec_bytes + sizeof(Entry), std::memory_order_relaxed);
+    support::MemTally::note_alloc(rec_bytes);
+  }
+  return inserted;
+}
+
+bool JmpStore::insert_unfinished(std::uint64_t k, std::uint32_t s) {
+  bool inserted = false;
+  map_.update(k, [&](Entry& e) {
+    if (e.unfinished_s == 0) {
+      e.unfinished_s = s;
+      inserted = true;
+    }
+  });
+  if (inserted) bytes_.fetch_add(sizeof(Entry), std::memory_order_relaxed);
+  return inserted;
+}
+
+JmpStore::Stats JmpStore::stats() const {
+  Stats s;
+  map_.for_each_copy([&](std::uint64_t, const Entry& e) {
+    if (e.finished != nullptr) {
+      ++s.finished_entries;
+      for (const JmpTarget& t : e.finished->targets) {
+        ++s.finished_edges;
+        s.finished_hist.add(t.steps);
+      }
+    }
+    if (e.unfinished_s != 0) {
+      ++s.unfinished_edges;
+      s.unfinished_hist.add(e.unfinished_s);
+    }
+  });
+  return s;
+}
+
+}  // namespace parcfl::cfl

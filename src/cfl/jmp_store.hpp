@@ -1,0 +1,124 @@
+#pragma once
+// Shared store of jmp (shortcut) edges — the data-sharing scheme of §III-B.
+// Conceptually these extend the PAG (Fig. 4); following the paper's
+// implementation (§IV-A) they live in a concurrent map keyed by the source
+// configuration (x, c) rather than being spliced into the read-only graph.
+//
+// Two kinds of entries per key (both may be present; Alg. 2 checks the
+// unfinished kind first):
+//
+//  * finished — Fig. 3(a): ReachableNodes(x, c) completed; the entry stores
+//    the full target set {(y_k, c_k)} with the per-target step distance s_k
+//    and the total traversal cost. A later query taking the shortcut charges
+//    the cost to its budget (identical budget semantics) without traversing.
+//
+//  * unfinished — Fig. 3(b): a traversal ran out of budget s steps after
+//    (x, c); a later query whose remaining budget is below s terminates
+//    early (ET).
+//
+// Insertion is first-wins for both kinds (the paper: concurrent inserters —
+// "only one of the two will succeed"; preferring the larger s was judged
+// cost-ineffective). Keys are direction-qualified: the backward (PointsTo)
+// and forward (FlowsTo) heap matches share independently.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cfl/context.hpp"
+#include "pag/pag.hpp"
+#include "support/mem_meter.hpp"
+#include "support/sharded_map.hpp"
+#include "support/stats.hpp"
+
+namespace parcfl::cfl {
+
+enum class Direction : std::uint8_t { kBackward = 0, kForward = 1 };
+
+struct JmpTarget {
+  pag::NodeId node;
+  CtxId ctx;
+  std::uint32_t steps;  // s_k: charged steps from (x,c) to discovery of this target
+};
+
+/// Immutable once published.
+struct FinishedJmp {
+  std::uint32_t cost;  // total charged steps of the completed ReachableNodes
+  std::vector<JmpTarget> targets;
+};
+
+class JmpStore {
+ public:
+  struct Lookup {
+    std::shared_ptr<const FinishedJmp> finished;  // null if absent
+    std::uint32_t unfinished_s = 0;               // 0 = absent
+  };
+
+  /// Key for configuration (x, c) in a traversal direction.
+  static std::uint64_t key(Direction dir, pag::NodeId x, CtxId c) {
+    PARCFL_DCHECK(x.value() < (1u << 31) && c.value() < (1u << 31));
+    return (static_cast<std::uint64_t>(x.value()) << 33) |
+           (static_cast<std::uint64_t>(c.value()) << 1) |
+           static_cast<std::uint64_t>(dir);
+  }
+
+  /// Copy out both entry kinds for a key. Returns false if no entry exists.
+  bool lookup(std::uint64_t k, Lookup& out) const {
+    Entry e;
+    if (!map_.find_copy(k, e)) return false;
+    out.finished = std::move(e.finished);
+    out.unfinished_s = e.unfinished_s;
+    return out.finished != nullptr || out.unfinished_s != 0;
+  }
+
+  /// Publish a finished jmp set (Fig. 3a / Alg. 2 line 20). First wins.
+  /// Returns true if this call inserted.
+  bool insert_finished(std::uint64_t k, std::uint32_t cost,
+                       std::vector<JmpTarget> targets);
+
+  /// Publish an unfinished jmp (Fig. 3b / Alg. 2 line 24). First wins.
+  bool insert_unfinished(std::uint64_t k, std::uint32_t s);
+
+  /// Statistics for Table I (#Jumps) and Fig. 7 (histograms by steps saved).
+  struct Stats {
+    std::uint64_t finished_entries = 0;
+    std::uint64_t finished_edges = 0;  // total jmp targets (one jmp edge each)
+    std::uint64_t unfinished_edges = 0;
+    support::Pow2Histogram finished_hist;    // per jmp edge, bucketed by s_k
+    support::Pow2Histogram unfinished_hist;  // per unfinished edge, by s
+    std::uint64_t total_jmps() const { return finished_edges + unfinished_edges; }
+  };
+  Stats stats() const;
+
+  std::size_t entry_count() const { return map_.size(); }
+
+  /// Visit a copy of every entry as (key, Lookup). Shard-consistent snapshot
+  /// (see ShardedMap::for_each_copy); used by persistence and statistics.
+  template <class Fn>
+  void for_each_entry(Fn&& fn) const {
+    map_.for_each_copy([&](std::uint64_t key, const Entry& e) {
+      Lookup lk;
+      lk.finished = e.finished;
+      lk.unfinished_s = e.unfinished_s;
+      fn(key, lk);
+    });
+  }
+
+  /// Approximate bytes held by jmp records (for the §IV-D5 memory study).
+  std::uint64_t memory_bytes() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
+  void clear() { map_.clear(); bytes_.store(0, std::memory_order_relaxed); }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const FinishedJmp> finished;
+    std::uint32_t unfinished_s = 0;
+  };
+
+  support::ShardedMap<std::uint64_t, Entry> map_;
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+}  // namespace parcfl::cfl

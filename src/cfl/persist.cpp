@@ -1,0 +1,156 @@
+#include "cfl/persist.hpp"
+
+#include <cinttypes>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace parcfl::cfl {
+
+std::uint64_t pag_fingerprint(const pag::Pag& pag) {
+  auto mix = [](std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  // XOR of per-edge mixes: order-independent, so builder edge order (and
+  // dedupe order) cannot perturb it; node kinds are folded in positionally.
+  std::uint64_t h = mix(pag.node_count()) ^ mix(pag.edge_count() + 0x9e37);
+  for (const pag::Edge& e : pag.edges()) {
+    const std::uint64_t packed =
+        (static_cast<std::uint64_t>(e.kind) << 56) ^
+        (static_cast<std::uint64_t>(e.dst.value()) << 28) ^
+        (static_cast<std::uint64_t>(e.src.value())) ^
+        (static_cast<std::uint64_t>(e.aux) << 40);
+    h ^= mix(packed + 0x12345);
+  }
+  for (std::uint32_t n = 0; n < pag.node_count(); ++n)
+    h ^= mix((static_cast<std::uint64_t>(n) << 8) +
+             static_cast<std::uint64_t>(pag.kind(pag::NodeId(n))));
+  return h;
+}
+
+void save_sharing_state(std::ostream& os, const pag::Pag& pag,
+                        const ContextTable& contexts, const JmpStore& store) {
+  os << "parcfl-state 1\n";
+  os << "pag " << pag.node_count() << ' ' << pag.edge_count() << ' '
+     << pag_fingerprint(pag) << "\n";
+
+  // Contexts in id order: a parent is always interned before its children,
+  // so parents precede children in the file.
+  const auto count = contexts.size();
+  for (std::uint64_t id = 1; id < count; ++id) {
+    const CtxId c(static_cast<std::uint32_t>(id));
+    os << "ctx " << id << ' ' << contexts.pop(c).value() << ' '
+       << contexts.top(c).value() << "\n";
+  }
+
+  store.for_each_entry([&](std::uint64_t key, const JmpStore::Lookup& entry) {
+    const auto dir = static_cast<unsigned>(key & 1);
+    const auto ctx = static_cast<std::uint32_t>((key >> 1) & 0xffffffffu);
+    const auto node = static_cast<std::uint32_t>(key >> 33);
+    if (entry.finished != nullptr) {
+      os << "fin " << dir << ' ' << node << ' ' << ctx << ' '
+         << entry.finished->cost << ' ' << entry.finished->targets.size();
+      for (const JmpTarget& t : entry.finished->targets)
+        os << ' ' << t.node.value() << ' ' << t.ctx.value() << ' ' << t.steps;
+      os << "\n";
+    }
+    if (entry.unfinished_s != 0) {
+      os << "unf " << dir << ' ' << node << ' ' << ctx << ' '
+         << entry.unfinished_s << "\n";
+    }
+  });
+}
+
+namespace {
+
+bool fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+}  // namespace
+
+bool load_sharing_state(std::istream& is, const pag::Pag& pag,
+                        ContextTable& contexts, JmpStore& store,
+                        std::string* error) {
+  std::string line;
+  if (!std::getline(is, line) || line != "parcfl-state 1")
+    return fail(error, "bad header");
+
+  std::uint32_t nodes = 0, edges = 0;
+  std::uint64_t fingerprint = 0;
+  {
+    if (!std::getline(is, line)) return fail(error, "missing pag line");
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag >> nodes >> edges >> fingerprint) || tag != "pag")
+      return fail(error, "bad pag line");
+    if (nodes != pag.node_count() || edges != pag.edge_count() ||
+        fingerprint != pag_fingerprint(pag))
+      return fail(error, "state was computed for a different PAG");
+  }
+
+  // old ctx id -> id in the receiving table. Index 0 is the empty context.
+  std::vector<CtxId> remap{ContextTable::empty()};
+  auto mapped = [&](std::uint32_t old) -> CtxId {
+    return old < remap.size() ? remap[old] : CtxId::invalid();
+  };
+
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "ctx") {
+      std::uint64_t id = 0;
+      std::uint32_t parent = 0, site = 0;
+      if (!(ls >> id >> parent >> site) || id != remap.size())
+        return fail(error, "bad or out-of-order ctx line");
+      const CtxId p = mapped(parent);
+      if (!p.valid() && parent != 0) return fail(error, "ctx parent unknown");
+      const CtxId fresh = contexts.push(p, pag::CallSiteId(site));
+      if (!fresh.valid()) return fail(error, "context depth cap on load");
+      remap.push_back(fresh);
+    } else if (tag == "fin") {
+      unsigned dir = 0;
+      std::uint32_t node = 0, ctx = 0, cost = 0;
+      std::size_t n = 0;
+      if (!(ls >> dir >> node >> ctx >> cost >> n) || dir > 1 ||
+          node >= pag.node_count())
+        return fail(error, "bad fin line");
+      const CtxId c = mapped(ctx);
+      if (!c.valid()) return fail(error, "fin ctx unknown");
+      std::vector<JmpTarget> targets;
+      targets.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint32_t tn = 0, tc = 0, ts = 0;
+        if (!(ls >> tn >> tc >> ts) || tn >= pag.node_count())
+          return fail(error, "bad fin target");
+        const CtxId tctx = mapped(tc);
+        if (!tctx.valid()) return fail(error, "fin target ctx unknown");
+        targets.push_back(JmpTarget{pag::NodeId(tn), tctx, ts});
+      }
+      store.insert_finished(
+          JmpStore::key(static_cast<Direction>(dir), pag::NodeId(node), c), cost,
+          std::move(targets));
+    } else if (tag == "unf") {
+      unsigned dir = 0;
+      std::uint32_t node = 0, ctx = 0, s = 0;
+      if (!(ls >> dir >> node >> ctx >> s) || dir > 1 || s == 0 ||
+          node >= pag.node_count())
+        return fail(error, "bad unf line");
+      const CtxId c = mapped(ctx);
+      if (!c.valid()) return fail(error, "unf ctx unknown");
+      store.insert_unfinished(
+          JmpStore::key(static_cast<Direction>(dir), pag::NodeId(node), c), s);
+    } else {
+      return fail(error, "unknown directive: " + tag);
+    }
+  }
+  return true;
+}
+
+}  // namespace parcfl::cfl

@@ -1,0 +1,45 @@
+#pragma once
+// Persistence for the shared analysis state (context table + jmp store).
+//
+// The paper's data sharing lives within one batch run; the incremental
+// analyses it cites ([6], [16]) reuse previously computed CFL-reachable
+// paths across runs. This module provides that reuse for unchanged programs:
+// a run can save its jmp edges and reload them later, so a warm-started
+// batch takes shortcuts from step one. State is only meaningful for the
+// exact PAG it was computed on — a fingerprint is stored and checked.
+//
+// Format (line-oriented text, '#' comments):
+//   parcfl-state 1
+//   pag <node-count> <edge-count> <fingerprint>
+//   ctx <id> <parent-id> <site>                (in increasing id order)
+//   fin <dir> <node> <ctx> <cost> <n> {<node> <ctx> <steps>}*n
+//   unf <dir> <node> <ctx> <s>
+//
+// Context ids are remapped on load (the receiving table may already hold
+// other contexts), so state can be merged into a live analysis.
+
+#include <iosfwd>
+#include <string>
+
+#include "cfl/context.hpp"
+#include "cfl/jmp_store.hpp"
+#include "pag/pag.hpp"
+
+namespace parcfl::cfl {
+
+/// Order-independent structural fingerprint of a PAG (used to refuse state
+/// computed for a different graph).
+std::uint64_t pag_fingerprint(const pag::Pag& pag);
+
+/// Serialise every context and jmp entry.
+void save_sharing_state(std::ostream& os, const pag::Pag& pag,
+                        const ContextTable& contexts, const JmpStore& store);
+
+/// Load state saved by save_sharing_state into (possibly non-empty) contexts
+/// and store. Returns false and fills *error on malformed input or a PAG
+/// fingerprint mismatch.
+bool load_sharing_state(std::istream& is, const pag::Pag& pag,
+                        ContextTable& contexts, JmpStore& store,
+                        std::string* error = nullptr);
+
+}  // namespace parcfl::cfl

@@ -1,0 +1,60 @@
+#pragma once
+// Query scheduling (paper §III-C). Batch queries are:
+//
+//  1. *Grouped* by the `direct` relation (eq. 5) — connectivity over the
+//     assignment-family edges (assign_l | assign_g | param_i | ret_i); loads
+//     and stores do not connect their endpoints.
+//  2. *Ordered within a group* by connection distance (CD): the length of the
+//     longest direct-relation path through the variable, modulo recursion
+//     (SCCs condensed); shorter CDs are issued first.
+//  3. *Ordered across groups* by dependence depth (DD): DD(v) = 1 / L(type(v))
+//     where L(t) is the type-containment level (modulo recursion); the DD of
+//     a group is the minimum over its members, and groups are issued in
+//     increasing DD (deepest types first, since consumers of their heap paths
+//     depend on them).
+//  4. *Load-balanced*: with M the mean group size, larger groups are split
+//     and adjacent smaller groups merged so each work unit holds ~M queries,
+//     reducing synchronisation on the shared work list.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pag/pag.hpp"
+
+namespace parcfl::cfl {
+
+struct Schedule {
+  /// All queries, in issue order.
+  std::vector<pag::NodeId> ordered;
+  /// Work units as [begin, end) ranges into `ordered`.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> units;
+
+  std::uint32_t group_count = 0;
+  double mean_group_size = 0.0;  // the Sg statistic of Table I
+};
+
+/// Per-variable metrics, exposed for tests and the Fig. 5 bench.
+struct SchedulingMetrics {
+  std::vector<std::uint32_t> group_of;    // query index -> group id
+  std::vector<std::uint64_t> cd;          // query index -> connection distance
+  std::vector<std::uint32_t> type_level;  // type id -> L(t)
+  std::vector<double> group_dd;           // group id -> dependence depth
+};
+
+/// Compute L(t) for every type from the PAG's node typing and field uses:
+/// L(t) = 1 + max over the types stored into t's fields (0 for value types),
+/// with type-recursion collapsed. Field containment is recovered from the
+/// graph itself: a store q.f = y adds an edge type(q) -> type(y).
+std::vector<std::uint32_t> compute_type_levels(const pag::Pag& pag);
+
+/// Produce the full §III-C schedule for `queries` (PAG variable nodes).
+/// When `metrics` is non-null it is filled for inspection.
+Schedule schedule_queries(const pag::Pag& pag, std::span<const pag::NodeId> queries,
+                          SchedulingMetrics* metrics = nullptr);
+
+/// The trivial schedule used by the naive / D configurations: input order,
+/// one query per work unit.
+Schedule identity_schedule(std::span<const pag::NodeId> queries);
+
+}  // namespace parcfl::cfl

@@ -1,0 +1,573 @@
+#include "cfl/solver.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace parcfl::cfl {
+
+using pag::EdgeKind;
+using pag::HalfEdge;
+using pag::NodeId;
+
+std::vector<NodeId> QueryResult::nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(tuples.size());
+  for (const PtPair& t : tuples) out.push_back(t.node);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool QueryResult::contains(NodeId n) const {
+  for (const PtPair& t : tuples)
+    if (t.node == n) return true;
+  return false;
+}
+
+Solver::Solver(const pag::Pag& pag, ContextTable& contexts, JmpStore* store,
+               const SolverOptions& options)
+    : pag_(pag), contexts_(contexts), store_(store), options_(options) {
+  if (options_.data_sharing)
+    PARCFL_CHECK_MSG(store_ != nullptr, "data sharing requires a JmpStore");
+}
+
+QueryResult Solver::points_to(NodeId l) {
+  PARCFL_CHECK_MSG(pag_.is_variable(l), "points_to takes a variable node");
+  return run_query(l, Direction::kBackward);
+}
+
+QueryResult Solver::flows_to(NodeId o) {
+  PARCFL_CHECK_MSG(pag_.is_object(o), "flows_to takes an object node");
+  return run_query(o, Direction::kForward);
+}
+
+const char* Solver::to_string(Via via) {
+  switch (via) {
+    case Via::kQueryRoot: return "query";
+    case Via::kNew: return "new";
+    case Via::kAssignLocal: return "assign";
+    case Via::kAssignGlobal: return "global";
+    case Via::kParam: return "param";
+    case Via::kRet: return "ret";
+    case Via::kHeapMatch: return "heap-match";
+  }
+  return "?";
+}
+
+std::vector<Solver::WitnessStep> Solver::explain_points_to(NodeId var,
+                                                           NodeId object) {
+  witness_pred_.clear();
+  witness_obj_.clear();
+  recording_witness_ = true;
+  const QueryResult result = run_query(var, Direction::kBackward);
+  recording_witness_ = false;
+  (void)result;
+
+  // The fact may have been discovered under any context: take the first.
+  Key obj_key = 0;
+  const WitnessPred* obj_pred = nullptr;
+  for (const auto& [key, pred] : witness_obj_) {
+    if (static_cast<std::uint32_t>(key >> 32) == object.value()) {
+      obj_key = key;
+      obj_pred = &pred;
+      break;
+    }
+  }
+  if (obj_pred == nullptr) return {};
+
+  // Walk the predecessor chain back to the query root, then reverse.
+  std::vector<WitnessStep> chain;
+  chain.push_back(WitnessStep{
+      PtPair{object, CtxId(static_cast<std::uint32_t>(obj_key))}, Via::kNew});
+  Key cur = obj_pred->from;
+  for (;;) {
+    const PtPair config{NodeId(static_cast<std::uint32_t>(cur >> 32)),
+                        CtxId(static_cast<std::uint32_t>(cur))};
+    const auto it = witness_pred_.find(cur);
+    PARCFL_CHECK_MSG(it != witness_pred_.end(), "broken witness chain");
+    chain.push_back(WitnessStep{config, it->second.via});
+    if (it->second.via == Via::kQueryRoot) break;
+    cur = it->second.from;
+  }
+  std::reverse(chain.begin(), chain.end());
+  witness_pred_.clear();
+  witness_obj_.clear();
+  return chain;
+}
+
+Solver::AliasAnswer Solver::may_alias(NodeId v1, NodeId v2) {
+  const QueryResult r1 = points_to(v1);
+  const QueryResult r2 = points_to(v2);
+  const std::vector<NodeId> o1 = r1.nodes();
+  const std::vector<NodeId> o2 = r2.nodes();
+  std::vector<NodeId> common;
+  std::set_intersection(o1.begin(), o1.end(), o2.begin(), o2.end(),
+                        std::back_inserter(common));
+  if (!common.empty()) return AliasAnswer::kMay;
+  if (r1.complete() && r2.complete()) return AliasAnswer::kNo;
+  return AliasAnswer::kUnknown;
+}
+
+void Solver::out_of_budget(std::uint64_t bdg, bool early) {
+  // Alg. 2 OUTOFBUDGET (lines 23-25): for every active ReachableNodes frame
+  // (x, c) entered at s0 charged steps, the analysis reached the aborting
+  // node in charged - s0 further steps, so a traversal arriving at (x, c)
+  // with less than min(B, BDG + charged - s0) remaining budget is doomed.
+  if (options_.data_sharing && store_ != nullptr) {
+    for (const SharingFrame& frame : sharing_stack_) {
+      const std::uint64_t s =
+          std::min<std::uint64_t>(options_.budget, bdg + charged_ - frame.s0);
+      if (s >= options_.tau_unfinished) {
+        if (store_->insert_unfinished(frame.jmp_key, static_cast<std::uint32_t>(s)))
+          ++counters_.jmps_added_unfinished;
+      } else {
+        ++counters_.jmps_suppressed;
+      }
+    }
+  }
+  throw OutOfBudgetEx{early};
+}
+
+template <class ComputeFn>
+void Solver::reachable_nodes(Direction dir, NodeId x, CtxId c, ResultSet& out,
+                             ComputeFn&& compute) {
+  const bool sharing =
+      options_.data_sharing && store_ != nullptr &&
+      (dir == Direction::kBackward || options_.share_forward);
+
+  std::uint64_t jmp_key = 0;
+  if (sharing) {
+    jmp_key = JmpStore::key(dir, x, c);
+    ++counters_.jmp_lookups;
+    JmpStore::Lookup lk;
+    if (store_->lookup(jmp_key, lk)) {
+      // Fig. 3(b): an unfinished jmp(s) warns that s more steps are needed
+      // from here; terminate early if the remaining budget cannot cover it.
+      if (lk.unfinished_s != 0 &&
+          options_.budget - std::min(charged_, options_.budget) < lk.unfinished_s) {
+        ++counters_.early_terminations;
+        // The recorded s proves this query would have exhausted its budget:
+        // everything between here and B is traversal the jmp edge avoided.
+        saved_ += options_.budget - std::min(charged_, options_.budget);
+        out_of_budget(lk.unfinished_s, /*early=*/true);
+      }
+      // Fig. 3(a): take the shortcuts. The full traversal cost is charged to
+      // the budget (once per query — repeats against warm memos are free in
+      // the unshared run too) but nothing is walked.
+      if (lk.finished != nullptr) {
+        if (consumed_jmp_keys_.insert(jmp_key).second) {
+          if (options_.charge_jmp_costs) charged_ += lk.finished->cost;
+          saved_ += lk.finished->cost;
+          ++counters_.jmps_taken;
+        }
+        for (const JmpTarget& t : lk.finished->targets) out.add(t.node, t.ctx);
+        return;
+      }
+    }
+  }
+
+  const std::uint64_t s0 = charged_;
+  if (sharing) sharing_stack_.push_back(SharingFrame{jmp_key, s0});
+
+  // Taint bookkeeping: we need to know whether *this* ReachableNodes body
+  // consumed any partial (cyclic) result — only untainted, hence complete,
+  // target sets may be published to the shared store.
+  const bool outer_taint = taint_flag_;
+  taint_flag_ = false;
+
+  std::vector<JmpTarget> found;
+  compute(found, s0);
+
+  const bool rn_tainted = taint_flag_;
+  taint_flag_ = rn_tainted || outer_taint;
+
+  if (sharing) sharing_stack_.pop_back();
+
+  for (const JmpTarget& t : found) out.add(t.node, t.ctx);
+
+  if (sharing) {
+    const std::uint64_t cost = charged_ - s0;
+    if (!rn_tainted) {
+      // Complete right now: publish immediately (Alg. 2 line 20). A warm
+      // recompute may be cheap even though the cold first pass was not; keep
+      // the max as the representative cost.
+      std::uint64_t effective_cost = cost;
+      if (const auto it = pending_jmps_.find(jmp_key); it != pending_jmps_.end()) {
+        effective_cost = std::max<std::uint64_t>(effective_cost, it->second.max_cost);
+        pending_jmps_.erase(it);
+      }
+      if (effective_cost >= options_.tau_finished) {
+        const std::size_t edge_count = found.size();
+        if (store_->insert_finished(jmp_key,
+                                    static_cast<std::uint32_t>(
+                                        std::min<std::uint64_t>(effective_cost,
+                                                                UINT32_MAX)),
+                                    std::move(found)))
+          counters_.jmps_added_finished += edge_count;
+      } else {
+        ++counters_.jmps_suppressed;
+      }
+    } else {
+      // Possibly partial: defer until the query's fixpoint converges.
+      PendingJmp& pending = pending_jmps_[jmp_key];
+      pending.max_cost =
+          std::max(pending.max_cost, static_cast<std::uint32_t>(
+                                         std::min<std::uint64_t>(cost, UINT32_MAX)));
+      pending.iteration = iteration_;
+      pending.targets = std::move(found);
+    }
+  }
+}
+
+void Solver::reachable_nodes_backward(NodeId x, CtxId c, ResultSet& out) {
+  reachable_nodes(
+      Direction::kBackward, x, c, out,
+      [&](std::vector<JmpTarget>& found, std::uint64_t s0) {
+        std::unordered_set<Key> dedup;
+        // Alg. 1 lines 17-25: match each load x = p.f against every store
+        // q.f = y whose base q aliases p. alias(p) is computed as
+        // FlowsTo(o, c0) for each (o, c0) in PointsTo(p, c); instead of
+        // scanning all stores on f per alias candidate, we look up the
+        // candidate's incoming store edges directly (same match set).
+        for (const HalfEdge ld : pag_.in_edges(x, EdgeKind::kLoad)) {
+          const NodeId p = ld.other;
+          const std::uint32_t f = ld.aux;
+          if (options_.field_approximation && !options_.refined_fields.contains(f)) {
+            // Regular approximation: every store on f matches, no alias test.
+            // Targets restart from the empty context (an over-approximation
+            // consistent with partial balance).
+            for (const HalfEdge st : pag_.stores_on_field(pag::FieldId(f))) {
+              const NodeId y(st.aux);
+              if (!dedup.insert(make_key(y, ContextTable::empty())).second)
+                continue;
+              found.push_back(JmpTarget{y, ContextTable::empty(),
+                                        static_cast<std::uint32_t>(charged_ - s0)});
+            }
+            continue;
+          }
+          const ResultSet& pts = compute_points_to(p, c);
+          for (std::size_t i = 0; i < pts.items.size(); ++i) {
+            const PtPair oc = pts.items[i];
+            const ResultSet& aliased = compute_flows_to(oc.node, oc.ctx);
+            for (std::size_t j = 0; j < aliased.items.size(); ++j) {
+              const PtPair qc = aliased.items[j];
+              for (const HalfEdge st : pag_.in_edges(qc.node, EdgeKind::kStore)) {
+                if (st.aux != f) continue;
+                const NodeId y = st.other;  // rhs of q.f = y
+                if (!dedup.insert(make_key(y, qc.ctx)).second) continue;
+                found.push_back(JmpTarget{
+                    y, qc.ctx, static_cast<std::uint32_t>(charged_ - s0)});
+              }
+            }
+          }
+        }
+      });
+}
+
+void Solver::reachable_nodes_forward(NodeId z, CtxId c, ResultSet& out) {
+  reachable_nodes(
+      Direction::kForward, z, c, out,
+      [&](std::vector<JmpTarget>& found, std::uint64_t s0) {
+        std::unordered_set<Key> dedup;
+        // Mirror image: a store q.f = z forwards z's value into o.f for each
+        // object o pointed to by q; every load x = p'.f on an aliased base p'
+        // then continues the flowsTo path at x.
+        for (const HalfEdge st : pag_.out_edges(z, EdgeKind::kStore)) {
+          const NodeId q = st.other;  // base of q.f = z
+          const std::uint32_t f = st.aux;
+          if (options_.field_approximation && !options_.refined_fields.contains(f)) {
+            for (const HalfEdge ld : pag_.loads_on_field(pag::FieldId(f))) {
+              const NodeId target(ld.aux);  // dst of x = p.f
+              if (!dedup.insert(make_key(target, ContextTable::empty())).second)
+                continue;
+              found.push_back(JmpTarget{target, ContextTable::empty(),
+                                        static_cast<std::uint32_t>(charged_ - s0)});
+            }
+            continue;
+          }
+          const ResultSet& pts = compute_points_to(q, c);
+          for (std::size_t i = 0; i < pts.items.size(); ++i) {
+            const PtPair oc = pts.items[i];
+            const ResultSet& aliased = compute_flows_to(oc.node, oc.ctx);
+            for (std::size_t j = 0; j < aliased.items.size(); ++j) {
+              const PtPair pc = aliased.items[j];
+              for (const HalfEdge ld : pag_.out_edges(pc.node, EdgeKind::kLoad)) {
+                if (ld.aux != f) continue;
+                const NodeId x = ld.other;  // dst of x = p'.f
+                if (!dedup.insert(make_key(x, pc.ctx)).second) continue;
+                found.push_back(JmpTarget{
+                    x, pc.ctx, static_cast<std::uint32_t>(charged_ - s0)});
+              }
+            }
+          }
+        }
+      });
+}
+
+const Solver::ResultSet& Solver::compute_points_to(NodeId root, CtxId rc) {
+  const Key key = make_key(root, rc);
+  MemoEntry& entry = pts_memo_[key];
+  if (entry.state == MemoEntry::State::kDone) {
+    taint_flag_ = taint_flag_ || entry.tainted;
+    return entry.set;
+  }
+  if (entry.state == MemoEntry::State::kInProgress) {
+    taint_flag_ = true;  // cycle: the caller sees a partial set
+    return entry.set;
+  }
+
+  entry.state = MemoEntry::State::kInProgress;
+  if (++recursion_depth_ > options_.max_recursion_depth)
+    out_of_budget(0, /*early=*/false);
+  const bool outer_taint = taint_flag_;
+  taint_flag_ = false;
+
+  // Witnesses are recorded for the root (depth-1) computation only: the
+  // chain from the query variable to an allocation lives entirely inside it
+  // (heap matches appear as single annotated hops).
+  const bool record = recording_witness_ && recursion_depth_ == 1;
+
+  std::vector<PtPair> work;
+  std::unordered_set<Key> visited;
+  auto push = [&](NodeId n, CtxId cc, const PtPair& from, Via via) {
+    if (!visited.insert(make_key(n, cc)).second) return;
+    work.push_back(PtPair{n, cc});
+    if (record)
+      witness_pred_.emplace(make_key(n, cc),
+                            WitnessPred{make_key(from.node, from.ctx), via});
+  };
+  push(root, rc, PtPair{root, rc}, Via::kQueryRoot);
+
+  while (!work.empty()) {
+    const PtPair cur = work.back();
+    work.pop_back();
+    const NodeId u = cur.node;
+    const CtxId cu = cur.ctx;
+    step();
+
+    // flowsTo̅ terminals over incoming edges (Alg. 1 lines 7-15).
+    for (const HalfEdge he : pag_.in_edges(u, EdgeKind::kNew)) {
+      if (entry.set.add(he.other, cu)) grew_ = true;
+      if (record)
+        witness_obj_.emplace(make_key(he.other, cu),
+                             WitnessPred{make_key(u, cu), Via::kNew});
+    }
+    for (const HalfEdge he : pag_.in_edges(u, EdgeKind::kAssignLocal))
+      push(he.other, cu, cur, Via::kAssignLocal);
+    for (const HalfEdge he : pag_.in_edges(u, EdgeKind::kAssignGlobal))
+      push(he.other, ContextTable::empty(), cur, Via::kAssignGlobal);
+    for (const HalfEdge he : pag_.in_edges(u, EdgeKind::kParam)) {
+      if (!options_.context_sensitive) {
+        push(he.other, cu, cur, Via::kParam);
+        continue;
+      }
+      // Backward over param_i exits the callee: match the top of the stack,
+      // allowing partially balanced parentheses when the stack is empty.
+      if (cu == ContextTable::empty())
+        push(he.other, ContextTable::empty(), cur, Via::kParam);
+      else if (contexts_.top(cu) == pag::CallSiteId(he.aux))
+        push(he.other, contexts_.pop(cu), cur, Via::kParam);
+    }
+    for (const HalfEdge he : pag_.in_edges(u, EdgeKind::kRet)) {
+      if (!options_.context_sensitive) {
+        push(he.other, cu, cur, Via::kRet);
+        continue;
+      }
+      // Backward over ret_i enters the callee: push the call site.
+      const CtxId cc = contexts_.push(cu, pag::CallSiteId(he.aux));
+      if (!cc.valid()) out_of_budget(0, /*early=*/false);  // depth overflow
+      push(he.other, cc, cur, Via::kRet);
+    }
+
+    if (options_.field_sensitive && !pag_.in_edges(u, EdgeKind::kLoad).empty()) {
+      ResultSet rch;
+      reachable_nodes_backward(u, cu, rch);
+      for (const PtPair& t : rch.items) push(t.node, t.ctx, cur, Via::kHeapMatch);
+    }
+  }
+
+  --recursion_depth_;
+  entry.tainted = taint_flag_;
+  entry.state = MemoEntry::State::kDone;
+  taint_flag_ = outer_taint || entry.tainted;
+  return entry.set;
+}
+
+const Solver::ResultSet& Solver::compute_flows_to(NodeId root, CtxId rc) {
+  const Key key = make_key(root, rc);
+  MemoEntry& entry = flows_memo_[key];
+  if (entry.state == MemoEntry::State::kDone) {
+    taint_flag_ = taint_flag_ || entry.tainted;
+    return entry.set;
+  }
+  if (entry.state == MemoEntry::State::kInProgress) {
+    taint_flag_ = true;
+    return entry.set;
+  }
+
+  entry.state = MemoEntry::State::kInProgress;
+  if (++recursion_depth_ > options_.max_recursion_depth)
+    out_of_budget(0, /*early=*/false);
+  const bool outer_taint = taint_flag_;
+  taint_flag_ = false;
+
+  std::vector<PtPair> work;
+  std::unordered_set<Key> visited;
+  auto push = [&](NodeId n, CtxId cc) {
+    if (visited.insert(make_key(n, cc)).second) work.push_back(PtPair{n, cc});
+  };
+  push(root, rc);
+
+  while (!work.empty()) {
+    const PtPair cur = work.back();
+    work.pop_back();
+    const NodeId u = cur.node;
+    const CtxId cu = cur.ctx;
+    step();
+
+    // Every variable reached along a flowsTo path is pointed to by root.
+    if (pag_.is_variable(u)) {
+      if (entry.set.add(u, cu)) grew_ = true;
+    }
+
+    // flowsTo terminals over outgoing edges (the mirror of PointsTo).
+    for (const HalfEdge he : pag_.out_edges(u, EdgeKind::kNew)) push(he.other, cu);
+    for (const HalfEdge he : pag_.out_edges(u, EdgeKind::kAssignLocal))
+      push(he.other, cu);
+    for (const HalfEdge he : pag_.out_edges(u, EdgeKind::kAssignGlobal))
+      push(he.other, ContextTable::empty());
+    for (const HalfEdge he : pag_.out_edges(u, EdgeKind::kParam)) {
+      if (!options_.context_sensitive) {
+        push(he.other, cu);
+        continue;
+      }
+      // Forward over param_i enters the callee.
+      const CtxId cc = contexts_.push(cu, pag::CallSiteId(he.aux));
+      if (!cc.valid()) out_of_budget(0, /*early=*/false);
+      push(he.other, cc);
+    }
+    for (const HalfEdge he : pag_.out_edges(u, EdgeKind::kRet)) {
+      if (!options_.context_sensitive) {
+        push(he.other, cu);
+        continue;
+      }
+      // Forward over ret_i exits the callee back to the call site.
+      if (cu == ContextTable::empty())
+        push(he.other, ContextTable::empty());
+      else if (contexts_.top(cu) == pag::CallSiteId(he.aux))
+        push(he.other, contexts_.pop(cu));
+    }
+
+    if (options_.field_sensitive && pag_.is_variable(u) &&
+        !pag_.out_edges(u, EdgeKind::kStore).empty()) {
+      ResultSet rch;
+      reachable_nodes_forward(u, cu, rch);
+      for (const PtPair& t : rch.items) push(t.node, t.ctx);
+    }
+  }
+
+  --recursion_depth_;
+  entry.tainted = taint_flag_;
+  entry.state = MemoEntry::State::kDone;
+  taint_flag_ = outer_taint || entry.tainted;
+  return entry.set;
+}
+
+QueryResult Solver::run_query(NodeId root, Direction dir) {
+  pts_memo_.clear();
+  flows_memo_.clear();
+  sharing_stack_.clear();
+  charged_ = 0;
+  traversed_ = 0;
+  saved_ = 0;
+  taint_flag_ = false;
+  recursion_depth_ = 0;
+  pending_jmps_.clear();
+  consumed_jmp_keys_.clear();
+  iteration_ = 0;
+
+  auto& memo = dir == Direction::kBackward ? pts_memo_ : flows_memo_;
+  const Key root_key = make_key(root, ContextTable::empty());
+
+  QueryResult result;
+  std::uint32_t iterations = 0;
+  bool converged = false;
+  try {
+    for (;;) {
+      ++iterations;
+      iteration_ = iterations;
+      grew_ = false;
+      taint_flag_ = false;
+      if (dir == Direction::kBackward)
+        compute_points_to(root, ContextTable::empty());
+      else
+        compute_flows_to(root, ContextTable::empty());
+
+      // Exact if the root computation never touched a cycle; otherwise
+      // iterate (sets grow monotonically) until stable or capped.
+      const bool root_tainted = memo[root_key].tainted;
+      if (!root_tainted) {
+        converged = true;
+        break;
+      }
+      if (iterations > 1 && !grew_) {
+        converged = true;
+        break;
+      }
+      if (iterations >= options_.max_fixpoint_iters) break;
+
+      // Demote every tainted entry for recomputation, keeping its set as the
+      // (monotone) starting point.
+      auto demote = [](std::unordered_map<Key, MemoEntry>& m) {
+        for (auto& [k, e] : m) {
+          if (e.tainted && e.state == MemoEntry::State::kDone) {
+            e.state = MemoEntry::State::kStale;
+            e.tainted = false;
+          }
+        }
+      };
+      demote(pts_memo_);
+      demote(flows_memo_);
+    }
+    result.status = QueryStatus::kComplete;
+
+    // Deferred publication: during the final (converged) iteration no memo
+    // set grew, so every result read then — including partial reads on
+    // cycles — was already complete. Tainted RN results from that iteration
+    // are therefore exact and shareable.
+    if (converged && options_.data_sharing && store_ != nullptr) {
+      for (auto& [key, pending] : pending_jmps_) {
+        if (pending.iteration != iterations) continue;  // possibly stale
+        if (pending.max_cost >= options_.tau_finished) {
+          const std::size_t edge_count = pending.targets.size();
+          if (store_->insert_finished(key, pending.max_cost,
+                                      std::move(pending.targets)))
+            counters_.jmps_added_finished += edge_count;
+        } else {
+          ++counters_.jmps_suppressed;
+        }
+      }
+    }
+    pending_jmps_.clear();
+  } catch (const OutOfBudgetEx& ex) {
+    result.status = ex.early_termination ? QueryStatus::kEarlyTermination
+                                         : QueryStatus::kOutOfBudget;
+    sharing_stack_.clear();
+    pending_jmps_.clear();
+  }
+
+  if (auto it = memo.find(root_key); it != memo.end())
+    result.tuples = it->second.set.items;
+
+  ++counters_.queries;
+  if (result.status == QueryStatus::kOutOfBudget) ++counters_.out_of_budget;
+  counters_.charged_steps += charged_;
+  counters_.traversed_steps += traversed_;
+  counters_.saved_steps += saved_;
+  counters_.points_to_tuples += result.tuples.size();
+  counters_.fixpoint_iterations += iterations - 1;
+  return result;
+}
+
+}  // namespace parcfl::cfl

@@ -1,0 +1,269 @@
+#pragma once
+// Demand-driven, budgeted, context- and field-sensitive pointer analysis via
+// CFL-reachability — the paper's Algorithm 1 (PointsTo / FlowsTo /
+// ReachableNodes) with the Algorithm 2 data-sharing extension.
+//
+// Grammars implemented (paper eqs. 2-4, with flowsTo̅ as the start symbol for
+// PointsTo):
+//
+//   flowsTo  -> new ( assign | jmp | st(f) alias ld(f) )*
+//   alias    -> flowsTo̅ flowsTo
+//   flowsTo̅  -> ( assign | jmp | ld(f) alias st(f) )* new      (inverse edges)
+//   RCS      -> balanced param_i/ret_i parentheses, partial balance allowed
+//               when the context stack is empty (eq. 3)
+//
+// PointsTo(l, c) walks the PAG *backwards* (against value flow); FlowsTo(o, c)
+// walks *forwards*. Heap accesses are matched in ReachableNodes: a load
+// x = p.f reaches every store q.f = y whose base q aliases p (Alg. 1 lines
+// 17-25), where the alias test itself issues recursive PointsTo/FlowsTo
+// sub-queries.
+//
+// Budget semantics (paper §II-B3): each node traversal charges one step
+// against the per-query budget B; exhaustion aborts the query. With data
+// sharing, consuming a finished jmp charges the shortcut's recorded cost
+// without traversing — so the budget-limited behaviour (and hence precision)
+// is identical with sharing on or off, while the actual work shrinks. The
+// solver therefore tracks `charged` (budget-visible) and `traversed` (real
+// work) steps separately; Table I's "steps saved" is their difference.
+//
+// Re-entrant sub-queries (points-to cycles that survive the assign-SCC
+// collapse) return their partial result and taint the reader; the top-level
+// query iterates to a fixpoint (sets grow monotonically). jmp edges are only
+// published from untainted computations, keeping the shared store sound.
+//
+// Thread-safety: one Solver per worker thread. The PAG, ContextTable and
+// JmpStore are shared; all per-query state is Solver-local.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+// Refinement (§IV-A's "refinement-based configuration", after Sridharan &
+// Bodík [18]): with field_approximation enabled, a load x = p.f matches
+// *every* store q.f = y on the same field without testing that p and q alias
+// — a regular over-approximation that skips the expensive recursive alias
+// sub-queries. Fields in `refined_fields` keep the exact CFL matching.
+// Clients (see clients/refinement.hpp) iterate: prove with the cheap
+// approximation when possible, refine the fields that caused imprecision
+// otherwise. The paper itself evaluates the non-refinement configuration;
+// this mode reproduces the alternative its §IV-A mentions.
+
+#include "cfl/context.hpp"
+#include "cfl/jmp_store.hpp"
+#include "pag/pag.hpp"
+#include "support/stats.hpp"
+
+namespace parcfl::cfl {
+
+struct SolverOptions {
+  std::uint64_t budget = 75000;   // B — max charged steps per query (paper §IV-A)
+  bool context_sensitive = true;  // RCS filtering on param/ret parentheses
+  bool field_sensitive = true;    // heap matching via ReachableNodes; when
+                                  // false the CFL degenerates to LFT (eq. 1)
+  bool data_sharing = false;      // Algorithm 2 (requires a JmpStore)
+  bool share_forward = true;      // also share FlowsTo-side heap matches
+  /// Algorithm 2 line 5 charges a consumed shortcut's full recorded cost to
+  /// the budget, which reproduces the budget behaviour of the paper's
+  /// *unmemoised* sequential baseline. Our baseline memoises sub-queries, so
+  /// that charging would abort queries the plain run completes (it double
+  /// counts sub-traversals shared between shortcuts). Default: budget tracks
+  /// actual traversal, keeping answers identical across all configurations;
+  /// enable for paper-exact accounting (see bench_ablation).
+  bool charge_jmp_costs = false;
+  std::uint32_t tau_finished = 100;    // τF: min cost to publish a finished jmp
+  std::uint32_t tau_unfinished = 10000;  // τU: min s to publish an unfinished jmp
+  bool field_approximation = false;  // regular approximation of field parens
+  std::unordered_set<std::uint32_t> refined_fields;  // exact matching anyway
+  std::uint32_t max_fixpoint_iters = 16;  // cycle-closure iterations per query
+  std::uint32_t max_recursion_depth = 2000;  // native-stack guard on the
+                                             // mutually recursive sub-queries;
+                                             // exceeding it aborts the query
+                                             // like budget exhaustion
+};
+
+enum class QueryStatus : std::uint8_t {
+  kComplete,          // traversal exhausted within budget: full answer
+  kOutOfBudget,       // budget exhausted mid-traversal: partial answer
+  kEarlyTermination,  // aborted via an unfinished jmp (budget would not suffice)
+};
+
+struct PtPair {
+  pag::NodeId node;
+  CtxId ctx;
+};
+
+struct QueryResult {
+  QueryStatus status = QueryStatus::kComplete;
+  std::vector<PtPair> tuples;  // (object, ctx) for PointsTo; (var, ctx) for FlowsTo
+
+  /// Deduplicated object/variable ids (context projected away).
+  std::vector<pag::NodeId> nodes() const;
+  bool contains(pag::NodeId n) const;
+  bool complete() const { return status == QueryStatus::kComplete; }
+};
+
+class Solver {
+ public:
+  /// `store` may be null when options.data_sharing is false.
+  Solver(const pag::Pag& pag, ContextTable& contexts, JmpStore* store,
+         const SolverOptions& options);
+
+  /// Points-to set of variable l in the empty (unconstrained) context.
+  QueryResult points_to(pag::NodeId l);
+
+  /// Variables the object o may flow to, from the empty context.
+  QueryResult flows_to(pag::NodeId o);
+
+  /// May v1 and v2 point to a common object? (client helper; both sub-queries
+  /// must complete for a definitive "no").
+  enum class AliasAnswer : std::uint8_t { kNo, kMay, kUnknown };
+  AliasAnswer may_alias(pag::NodeId v1, pag::NodeId v2);
+
+  /// How one traversal hop was justified, for witnesses.
+  enum class Via : std::uint8_t {
+    kQueryRoot,
+    kNew,
+    kAssignLocal,
+    kAssignGlobal,
+    kParam,
+    kRet,
+    kHeapMatch,  // reached through a matched load/store pair (alias test)
+  };
+
+  struct WitnessStep {
+    PtPair config;
+    Via via;  // how this configuration was reached from the previous step
+  };
+
+  /// Explain why `object` ∈ points_to(var): the chain of configurations the
+  /// backward traversal followed from the query root to the allocation site,
+  /// each labelled with the edge class used (heap matches are reported as
+  /// one kHeapMatch hop; their internal alias traversal is not expanded).
+  /// Empty when the fact does not hold within the budget. Re-runs the query
+  /// with predecessor recording — a debugging aid, not a hot-path API.
+  std::vector<WitnessStep> explain_points_to(pag::NodeId var, pag::NodeId object);
+
+  static const char* to_string(Via via);
+
+  /// Counters accumulated over every query answered by this solver.
+  const support::QueryCounters& counters() const { return counters_; }
+  void reset_counters() { counters_ = {}; }
+
+  const SolverOptions& options() const { return options_; }
+
+ private:
+  // ---- query-local state -------------------------------------------------
+  using Key = std::uint64_t;  // (node << 32) | ctx
+
+  static Key make_key(pag::NodeId n, CtxId c) {
+    return (static_cast<std::uint64_t>(n.value()) << 32) | c.value();
+  }
+
+  struct ResultSet {
+    std::vector<PtPair> items;
+    std::unordered_set<Key> present;
+
+    bool add(pag::NodeId n, CtxId c) {
+      if (!present.insert(make_key(n, c)).second) return false;
+      items.push_back(PtPair{n, c});
+      return true;
+    }
+  };
+
+  struct MemoEntry {
+    enum class State : std::uint8_t { kFresh, kInProgress, kDone, kStale };
+    State state = State::kFresh;
+    bool tainted = false;  // consumed a partial (cycle) or tainted result
+    ResultSet set;
+  };
+
+  struct OutOfBudgetEx {
+    bool early_termination;
+  };
+
+  struct SharingFrame {
+    std::uint64_t jmp_key;
+    std::uint64_t s0;  // charged steps when ReachableNodes(x, c) began
+  };
+
+  // ---- traversal ----------------------------------------------------------
+  void step() {
+    ++charged_;
+    ++traversed_;
+    if (charged_ > options_.budget) out_of_budget(0, /*early=*/false);
+  }
+
+  /// Alg. 2's OUTOFBUDGET: publish unfinished jmps for every active
+  /// ReachableNodes frame, then abort the query.
+  [[noreturn]] void out_of_budget(std::uint64_t bdg, bool early);
+
+  /// Memoised PointsTo(x, c) / FlowsTo(o, c). The returned reference is
+  /// stable (node-based map) but its set may keep growing while iterated.
+  const ResultSet& compute_points_to(pag::NodeId x, CtxId c);
+  const ResultSet& compute_flows_to(pag::NodeId o, CtxId c);
+
+  /// Heap-access match for the backward (PointsTo) direction: all (y, c')
+  /// such that some load x = p.f matches a store q.f = y with q alias p.
+  void reachable_nodes_backward(pag::NodeId x, CtxId c, ResultSet& out);
+  /// Forward (FlowsTo) mirror: stores out of z feed loads on aliased bases.
+  void reachable_nodes_forward(pag::NodeId z, CtxId c, ResultSet& out);
+
+  /// Shared shortcut-or-compute wrapper around both ReachableNodes bodies.
+  template <class ComputeFn>
+  void reachable_nodes(Direction dir, pag::NodeId x, CtxId c, ResultSet& out,
+                       ComputeFn&& compute);
+
+  QueryResult run_query(pag::NodeId root, Direction dir);
+
+  // ---- shared, immutable/concurrent --------------------------------------
+  const pag::Pag& pag_;
+  ContextTable& contexts_;
+  JmpStore* store_;
+  SolverOptions options_;
+
+  // ---- per-query ----------------------------------------------------------
+  std::unordered_map<Key, MemoEntry> pts_memo_;
+  std::unordered_map<Key, MemoEntry> flows_memo_;
+  std::vector<SharingFrame> sharing_stack_;  // the S of Algorithm 2
+
+  /// Tainted ReachableNodes results cannot be published when computed — a
+  /// partial (cyclic) read may still grow. But once the query's fixpoint
+  /// converges (an iteration with no set growth), every read made during
+  /// that final iteration saw a complete set, so its RN results are exact
+  /// and are published then. Cost is the max observed across iterations
+  /// (the first, cold iteration approximates what a fresh query would pay).
+  struct PendingJmp {
+    std::uint32_t max_cost = 0;
+    std::uint32_t iteration = 0;       // iteration that produced `targets`
+    std::vector<JmpTarget> targets;
+  };
+  std::unordered_map<std::uint64_t, PendingJmp> pending_jmps_;
+
+  /// Witness recording (only while explain_points_to runs, and only for the
+  /// root computation): first-discovery predecessor of each configuration,
+  /// and of each (object, ctx) result.
+  struct WitnessPred {
+    Key from;
+    Via via;
+  };
+  bool recording_witness_ = false;
+  std::unordered_map<Key, WitnessPred> witness_pred_;
+  std::unordered_map<Key, WitnessPred> witness_obj_;
+  /// jmp keys already charged this query: re-consuming a shortcut during a
+  /// later fixpoint iteration charges nothing, mirroring the near-zero cost
+  /// of recomputing a ReachableNodes body against warm memo tables.
+  std::unordered_set<std::uint64_t> consumed_jmp_keys_;
+  std::uint32_t iteration_ = 0;
+  std::uint64_t charged_ = 0;
+  std::uint64_t traversed_ = 0;
+  std::uint64_t saved_ = 0;
+  bool taint_flag_ = false;  // taint of the computation currently running
+  bool grew_ = false;        // any memo set grew during this iteration
+  std::uint32_t recursion_depth_ = 0;
+
+  support::QueryCounters counters_;
+};
+
+}  // namespace parcfl::cfl

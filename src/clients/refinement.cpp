@@ -1,0 +1,131 @@
+#include "clients/refinement.hpp"
+
+#include <algorithm>
+
+namespace parcfl::clients {
+
+using pag::FieldId;
+using pag::NodeId;
+
+namespace {
+
+/// The offending object of an over-approximate answer, if any.
+struct Offence {
+  bool found = false;
+  bool incomplete = false;
+  NodeId object;
+};
+
+Offence first_offence(const frontend::Program& program,
+                      const pag::Pag& analysis_pag, const cfl::QueryResult& r,
+                      pag::TypeId target) {
+  Offence off;
+  if (!r.complete()) {
+    off.incomplete = true;
+    return off;
+  }
+  for (const NodeId o : r.nodes()) {
+    const pag::TypeId ot = analysis_pag.node(o).type;
+    if (!ot.valid() || !program.is_subtype(ot, target)) {
+      off.found = true;
+      off.object = o;
+      return off;
+    }
+  }
+  return off;
+}
+
+}  // namespace
+
+RefinedCastResult refine_cast(const frontend::Program& program,
+                              const pag::Pag& analysis_pag, NodeId src,
+                              pag::TypeId target, cfl::ContextTable& contexts,
+                              const cfl::SolverOptions& base) {
+  RefinedCastResult result;
+
+  cfl::SolverOptions options = base;
+  options.field_approximation = true;
+  options.refined_fields.clear();
+
+  // At most one refinement round per field, plus the initial pass.
+  const std::uint32_t max_rounds = analysis_pag.field_count() + 1;
+  for (std::uint32_t round = 0; round < max_rounds; ++round) {
+    cfl::Solver solver(analysis_pag, contexts, nullptr, options);
+    ++result.stats.iterations;
+    const auto answer = solver.points_to(src);
+
+    const Offence off = first_offence(program, analysis_pag, answer, target);
+    if (off.incomplete) {
+      // The over-approximate space exhausted the budget; the exact space may
+      // still fit — fall back to the general-purpose analysis below.
+      result.stats.charged_steps += solver.counters().charged_steps;
+      break;
+    }
+    if (!off.found) {
+      // The over-approximation already proves safety — and exact matching
+      // could only shrink the set further.
+      result.stats.charged_steps += solver.counters().charged_steps;
+      result.verdict = CastVerdict::kSafe;
+      return result;
+    }
+
+    // Offending object: implicate the fields on its witness's heap hops.
+    const auto chain = solver.explain_points_to(src, off.object);
+    result.stats.charged_steps += solver.counters().charged_steps;  // both passes
+    std::vector<FieldId> culprits;
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+      if (chain[i].via != cfl::Solver::Via::kHeapMatch) continue;
+      // The heap match happened while expanding the previous step's node:
+      // every load field there is a candidate.
+      for (const pag::HalfEdge ld :
+           analysis_pag.in_edges(chain[i - 1].config.node, pag::EdgeKind::kLoad))
+        if (!options.refined_fields.contains(ld.aux))
+          culprits.push_back(FieldId(ld.aux));
+    }
+    if (culprits.empty()) {
+      // No unrefined field is implicated at the witness's heap hops. The
+      // offence may still be an approximation artifact from a nested alias
+      // sub-query (the witness only exposes top-level hops), so decide with
+      // the fully exact pass below rather than concluding may-fail here.
+      break;
+    }
+    for (const FieldId f : culprits) {
+      options.refined_fields.insert(f.value());
+      result.stats.refined.push_back(f);
+    }
+  }
+
+  // Fallback: every field refined, or the approximation ran out of budget —
+  // the answer is the general-purpose one.
+  result.stats.fully_refined = true;
+  cfl::SolverOptions exact = base;
+  exact.field_approximation = false;
+  cfl::Solver solver(analysis_pag, contexts, nullptr, exact);
+  ++result.stats.iterations;
+  const auto answer = solver.points_to(src);
+  result.stats.charged_steps += solver.counters().charged_steps;
+  const Offence off = first_offence(program, analysis_pag, answer, target);
+  if (off.incomplete) result.verdict = CastVerdict::kUnknown;
+  else if (off.found) {
+    result.verdict = CastVerdict::kMayFail;
+    result.witness = off.object;
+  } else {
+    result.verdict = CastVerdict::kSafe;
+  }
+  return result;
+}
+
+std::vector<RefinedCastResult> refine_all_casts(
+    const frontend::Program& program, const frontend::LoweredProgram& lowered,
+    const pag::Pag& analysis_pag, cfl::ContextTable& contexts,
+    const cfl::SolverOptions& base, std::span<const NodeId> remap) {
+  auto translate = [&](NodeId n) { return remap.empty() ? n : remap[n.value()]; };
+  std::vector<RefinedCastResult> results;
+  results.reserve(lowered.casts.size());
+  for (const frontend::CastSite& cast : lowered.casts)
+    results.push_back(refine_cast(program, analysis_pag, translate(cast.src),
+                                  cast.target, contexts, base));
+  return results;
+}
+
+}  // namespace parcfl::clients

@@ -1,0 +1,54 @@
+#pragma once
+// Client-driven refinement (the "refinement-based configuration" the paper's
+// §IV-A attributes to Sridharan-Bodík [18], which it notes suits clients
+// like type-cast checking).
+//
+// Strategy: answer the query under the cheap regular approximation of field
+// parentheses (every same-field store matches, no alias sub-queries). If the
+// over-approximate answer already satisfies the client — e.g. every object a
+// cast source may point to is a subtype of the target — the expensive exact
+// matching was never needed. Otherwise, refine exactly the fields implicated
+// by a witness of the offending fact and retry, until the answer stabilises
+// or everything is refined (at which point the result equals the
+// general-purpose analysis).
+
+#include <cstdint>
+#include <vector>
+
+#include "cfl/solver.hpp"
+#include "clients/clients.hpp"
+#include "frontend/ir.hpp"
+#include "frontend/lower.hpp"
+
+namespace parcfl::clients {
+
+struct RefinementStats {
+  std::uint32_t iterations = 0;           // analysis passes run
+  std::vector<pag::FieldId> refined;      // fields upgraded to exact matching
+  std::uint64_t charged_steps = 0;        // total budget consumed
+  bool fully_refined = false;             // fell back to exact matching everywhere
+};
+
+struct RefinedCastResult {
+  CastVerdict verdict = CastVerdict::kUnknown;
+  pag::NodeId witness;  // offending object for kMayFail
+  RefinementStats stats;
+};
+
+/// Check one cast with iterative field refinement. `analysis_pag` is the
+/// graph to analyse (typically lowered.pag or its collapsed form); `src` is
+/// the cast source translated into that graph's node ids. `base` supplies
+/// budget/sensitivity; its approximation fields are overridden.
+RefinedCastResult refine_cast(const frontend::Program& program,
+                              const pag::Pag& analysis_pag, pag::NodeId src,
+                              pag::TypeId target, cfl::ContextTable& contexts,
+                              const cfl::SolverOptions& base);
+
+/// Convenience: run refine_cast for every recorded cast site.
+std::vector<RefinedCastResult> refine_all_casts(
+    const frontend::Program& program, const frontend::LoweredProgram& lowered,
+    const pag::Pag& analysis_pag, cfl::ContextTable& contexts,
+    const cfl::SolverOptions& base,
+    std::span<const pag::NodeId> remap = {});
+
+}  // namespace parcfl::clients

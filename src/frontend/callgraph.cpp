@@ -1,0 +1,33 @@
+#include "frontend/callgraph.hpp"
+
+#include <utility>
+
+namespace parcfl::frontend {
+
+CallGraph::CallGraph(const Program& program) {
+  const auto n = static_cast<std::uint32_t>(program.methods().size());
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  self_recursive_.assign(n, false);
+
+  for (std::uint32_t m = 0; m < n; ++m) {
+    for (const Stmt& s : program.methods()[m].body) {
+      if (s.op != Op::kCall) continue;
+      edges.emplace_back(m, s.callee.value());
+      if (s.callee.value() == m) self_recursive_[m] = true;
+    }
+  }
+  graph_ = support::CsrGraph::from_edges(n, edges);
+  scc_ = support::strongly_connected_components(graph_);
+}
+
+std::uint32_t CallGraph::recursive_method_count() const {
+  // Members of multi-method SCCs, plus self-recursive singletons.
+  std::vector<std::uint32_t> scc_sizes(scc_.component_count, 0);
+  for (std::uint32_t c : scc_.component_of) ++scc_sizes[c];
+  std::uint32_t count = 0;
+  for (std::uint32_t m = 0; m < scc_.component_of.size(); ++m)
+    if (scc_sizes[scc_.component_of[m]] > 1 || self_recursive_[m]) ++count;
+  return count;
+}
+
+}  // namespace parcfl::frontend

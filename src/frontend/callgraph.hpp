@@ -1,0 +1,40 @@
+#pragma once
+// Static call graph over IR methods, with SCC decomposition. The paper (§IV-A)
+// collapses recursion cycles of the call graph before the analysis: calls
+// within an SCC are treated context-insensitively (their param/ret edges are
+// lowered as plain assignments), which bounds context-stack depth.
+
+#include <cstdint>
+#include <vector>
+
+#include "frontend/ir.hpp"
+#include "support/scc.hpp"
+
+namespace parcfl::frontend {
+
+class CallGraph {
+ public:
+  explicit CallGraph(const Program& program);
+
+  std::uint32_t scc_of(MethodId m) const { return scc_.component_of[m.value()]; }
+  std::uint32_t scc_count() const { return scc_.component_count; }
+
+  /// True iff caller and callee belong to the same recursion cycle (including
+  /// self-recursion, which forms a singleton SCC with a self-loop).
+  bool in_same_cycle(MethodId caller, MethodId callee) const {
+    if (caller == callee) return self_recursive_[caller.value()];
+    return scc_of(caller) == scc_of(callee);
+  }
+
+  /// Number of methods involved in some recursion cycle.
+  std::uint32_t recursive_method_count() const;
+
+  const support::CsrGraph& graph() const { return graph_; }
+
+ private:
+  support::CsrGraph graph_;
+  support::SccResult scc_;
+  std::vector<bool> self_recursive_;
+};
+
+}  // namespace parcfl::frontend

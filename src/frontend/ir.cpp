@@ -1,0 +1,132 @@
+#include "frontend/ir.hpp"
+
+namespace parcfl::frontend {
+
+TypeId Program::add_type(std::string name, bool is_reference, TypeId super) {
+  PARCFL_CHECK(!super.valid() || super.value() < types_.size());
+  types_.push_back(TypeDecl{std::move(name), is_reference, super, {}});
+  return TypeId(static_cast<std::uint32_t>(types_.size() - 1));
+}
+
+bool Program::is_subtype(TypeId sub, TypeId super) const {
+  for (TypeId t = sub; t.valid(); t = types_[t.value()].super)
+    if (t == super) return true;
+  return false;
+}
+
+void Program::set_super(TypeId type, TypeId super) {
+  PARCFL_CHECK(type.valid() && super.valid());
+  PARCFL_CHECK_MSG(!is_subtype(super, type), "subtype cycle");
+  types_[type.value()].super = super;
+}
+
+FieldId Program::add_field(TypeId owner, std::string name, TypeId type) {
+  PARCFL_CHECK(owner.value() < types_.size() && type.value() < types_.size());
+  fields_.push_back(FieldDecl{std::move(name), owner, type});
+  const FieldId f(static_cast<std::uint32_t>(fields_.size() - 1));
+  types_[owner.value()].fields.push_back(f);
+  return f;
+}
+
+MethodId Program::add_method(std::string name, bool is_application) {
+  MethodDecl m;
+  m.name = std::move(name);
+  m.is_application = is_application;
+  methods_.push_back(std::move(m));
+  return MethodId(static_cast<std::uint32_t>(methods_.size() - 1));
+}
+
+VarId Program::add_local(MethodId m, std::string name, TypeId type) {
+  PARCFL_CHECK(m.value() < methods_.size());
+  vars_.push_back(VarDecl{std::move(name), type, m});
+  const VarId v(static_cast<std::uint32_t>(vars_.size() - 1));
+  methods_[m.value()].locals.push_back(v);
+  return v;
+}
+
+VarId Program::add_param(MethodId m, std::string name, TypeId type) {
+  const VarId v = add_local(m, std::move(name), type);
+  methods_[m.value()].params.push_back(v);
+  return v;
+}
+
+void Program::set_return_var(MethodId m, VarId v) {
+  PARCFL_CHECK(vars_[v.value()].method == m);
+  methods_[m.value()].return_var = v;
+}
+
+VarId Program::add_global(std::string name, TypeId type) {
+  vars_.push_back(VarDecl{std::move(name), type, MethodId::invalid()});
+  return VarId(static_cast<std::uint32_t>(vars_.size() - 1));
+}
+
+CallSiteId Program::fresh_call_site() { return CallSiteId(next_call_site_++); }
+
+namespace {
+
+parcfl::frontend::Stmt make_stmt(Op op) {
+  Stmt s;
+  s.op = op;
+  return s;
+}
+
+}  // namespace
+
+void Program::stmt_alloc(MethodId m, VarId dst, TypeId type) {
+  Stmt s = make_stmt(Op::kAlloc);
+  s.dst = dst;
+  s.alloc_type = type;
+  methods_[m.value()].body.push_back(std::move(s));
+}
+
+void Program::stmt_assign(MethodId m, VarId dst, VarId src) {
+  Stmt s = make_stmt(Op::kAssign);
+  s.dst = dst;
+  s.src = src;
+  methods_[m.value()].body.push_back(std::move(s));
+}
+
+void Program::stmt_cast(MethodId m, VarId dst, TypeId target, VarId src) {
+  Stmt s = make_stmt(Op::kCast);
+  s.dst = dst;
+  s.src = src;
+  s.alloc_type = target;
+  methods_[m.value()].body.push_back(std::move(s));
+}
+
+void Program::stmt_load(MethodId m, VarId dst, VarId base, FieldId f) {
+  Stmt s = make_stmt(Op::kLoad);
+  s.dst = dst;
+  s.src = base;
+  s.field = f;
+  methods_[m.value()].body.push_back(std::move(s));
+}
+
+void Program::stmt_store(MethodId m, VarId base, FieldId f, VarId src) {
+  Stmt s = make_stmt(Op::kStore);
+  s.dst = base;
+  s.src = src;
+  s.field = f;
+  methods_[m.value()].body.push_back(std::move(s));
+}
+
+CallSiteId Program::stmt_call(MethodId m, VarId receiver, MethodId callee,
+                              std::vector<VarId> args) {
+  PARCFL_CHECK(callee.value() < methods_.size());
+  Stmt s = make_stmt(Op::kCall);
+  s.dst = receiver;
+  s.callee = callee;
+  s.site = fresh_call_site();
+  s.args = std::move(args);
+  const CallSiteId site = s.site;
+  methods_[m.value()].body.push_back(std::move(s));
+  return site;
+}
+
+std::uint64_t Program::statement_count() const {
+  std::uint64_t total = 0;
+  for (const MethodDecl& m : methods_) total += m.body.size();
+  return total;
+}
+
+}  // namespace parcfl::frontend

@@ -1,0 +1,133 @@
+#pragma once
+// A Java-like intermediate representation — the substitute for the Soot
+// frontend the paper uses (see DESIGN.md §1). It models exactly what the
+// analysis consumes: reference types with fields (for the DD metric),
+// methods with locals/params/return, and the five pointer-relevant statement
+// shapes (allocation, copy, field load/store, call). Lowering to a PAG is in
+// frontend/lower.hpp.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pag/pag.hpp"
+#include "support/check.hpp"
+#include "support/strong_id.hpp"
+
+namespace parcfl::frontend {
+
+using pag::CallSiteId;
+using pag::FieldId;
+using pag::MethodId;
+using pag::TypeId;
+
+struct VarTag {};
+using VarId = support::StrongId<VarTag>;
+
+struct TypeDecl {
+  std::string name;
+  bool is_reference = true;
+  TypeId super;                 // superclass; invalid at the hierarchy root
+  std::vector<FieldId> fields;  // instance fields declared by this type
+};
+
+struct FieldDecl {
+  std::string name;
+  TypeId owner;
+  TypeId type;  // declared field type (containment edge for L(t))
+};
+
+/// A variable; globals have an invalid `method`.
+struct VarDecl {
+  std::string name;
+  TypeId type;
+  MethodId method;  // invalid => static/global variable
+};
+
+enum class Op : std::uint8_t {
+  kAlloc,   // dst = new alloc_type
+  kAssign,  // dst = src (either side may be a global)
+  kLoad,    // dst = src.field
+  kStore,   // dst.field = src   (dst is the base)
+  kCall,    // [dst =] callee(args...) at `site`
+  kCast,    // dst = (cast_type) src — value flow like kAssign, plus a
+            // checked-cast record the cast-safety client consumes
+};
+
+struct Stmt {
+  Op op;
+  VarId dst;  // kStore: the base; kCall: the return receiver (may be invalid)
+  VarId src;  // kLoad: the base; unused for kAlloc/kCall
+  FieldId field;        // kLoad / kStore
+  TypeId alloc_type;    // kAlloc; kCast: the cast target type
+  MethodId callee;      // kCall
+  CallSiteId site;      // kCall
+  std::vector<VarId> args;  // kCall actuals, positionally bound to formals
+};
+
+struct MethodDecl {
+  std::string name;
+  bool is_application = true;
+  std::vector<VarId> params;  // formals (locals of this method)
+  VarId return_var;           // invalid for void methods
+  std::vector<VarId> locals;  // every local incl. params and return_var
+  std::vector<Stmt> body;
+};
+
+/// A whole program. Use the add_* helpers to keep the cross-index invariants
+/// (fields registered with their owner; locals registered with their method).
+class Program {
+ public:
+  TypeId add_type(std::string name, bool is_reference = true,
+                  TypeId super = TypeId::invalid());
+
+  /// Reflexive-transitive subtype test along the `super` chain.
+  bool is_subtype(TypeId sub, TypeId super) const;
+
+  /// Late-bind a superclass (used by text parsing, where classes may extend
+  /// classes declared later in the file). Refuses subtype cycles.
+  void set_super(TypeId type, TypeId super);
+  FieldId add_field(TypeId owner, std::string name, TypeId type);
+  MethodId add_method(std::string name, bool is_application = true);
+  VarId add_local(MethodId m, std::string name, TypeId type);
+  VarId add_param(MethodId m, std::string name, TypeId type);
+  void set_return_var(MethodId m, VarId v);
+  VarId add_global(std::string name, TypeId type);
+  CallSiteId fresh_call_site();
+
+  // Statement helpers (appended to m's body).
+  void stmt_alloc(MethodId m, VarId dst, TypeId type);
+  void stmt_assign(MethodId m, VarId dst, VarId src);
+  void stmt_cast(MethodId m, VarId dst, TypeId target, VarId src);
+  void stmt_load(MethodId m, VarId dst, VarId base, FieldId f);
+  void stmt_store(MethodId m, VarId base, FieldId f, VarId src);
+  /// Returns the call site id used.
+  CallSiteId stmt_call(MethodId m, VarId receiver, MethodId callee,
+                       std::vector<VarId> args);
+
+  const std::vector<TypeDecl>& types() const { return types_; }
+  const std::vector<FieldDecl>& fields() const { return fields_; }
+  const std::vector<VarDecl>& vars() const { return vars_; }
+  const std::vector<MethodDecl>& methods() const { return methods_; }
+  std::uint32_t call_site_count() const { return next_call_site_; }
+
+  const TypeDecl& type(TypeId t) const { return types_[t.value()]; }
+  const FieldDecl& field(FieldId f) const { return fields_[f.value()]; }
+  const VarDecl& var(VarId v) const { return vars_[v.value()]; }
+  const MethodDecl& method(MethodId m) const { return methods_[m.value()]; }
+  MethodDecl& method_mut(MethodId m) { return methods_[m.value()]; }
+
+  bool is_global(VarId v) const { return !vars_[v.value()].method.valid(); }
+
+  /// Total statements across all methods.
+  std::uint64_t statement_count() const;
+
+ private:
+  std::vector<TypeDecl> types_;
+  std::vector<FieldDecl> fields_;
+  std::vector<VarDecl> vars_;
+  std::vector<MethodDecl> methods_;
+  std::uint32_t next_call_site_ = 0;
+};
+
+}  // namespace parcfl::frontend

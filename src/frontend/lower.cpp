@@ -1,0 +1,142 @@
+#include "frontend/lower.hpp"
+
+#include <string>
+
+namespace parcfl::frontend {
+
+using pag::EdgeKind;
+using pag::NodeId;
+using pag::NodeKind;
+
+LoweredProgram lower(const Program& program, const LowerOptions& options) {
+  LoweredProgram out;
+  pag::Pag::Builder builder;
+  builder.set_counts(static_cast<std::uint32_t>(program.fields().size()),
+                     program.call_site_count(),
+                     static_cast<std::uint32_t>(program.types().size()),
+                     static_cast<std::uint32_t>(program.methods().size()));
+
+  const CallGraph call_graph(program);
+
+  // 1. Variables.
+  out.var_node.reserve(program.vars().size());
+  for (std::size_t i = 0; i < program.vars().size(); ++i) {
+    const VarDecl& v = program.vars()[i];
+    NodeId n;
+    if (v.method.valid()) {
+      const bool app = program.method(v.method).is_application;
+      n = builder.add_local(v.type, v.method, app);
+    } else {
+      n = builder.add_global(v.type, /*is_application=*/true);
+    }
+    if (options.record_names) builder.set_name(n, v.name);
+    out.var_node.push_back(n);
+  }
+
+  auto node_of = [&](VarId v) { return out.var_node[v.value()]; };
+  auto is_global = [&](VarId v) { return program.is_global(v); };
+
+  // Temp local inserted when a statement shape needs a local but the IR names
+  // a global (Fig. 1 well-formedness).
+  auto temp_local = [&](MethodId m, TypeId t) {
+    ++out.temp_locals;
+    const NodeId n =
+        builder.add_local(t, m, program.method(m).is_application);
+    if (options.record_names)
+      builder.set_name(n, "$tmp" + std::to_string(out.temp_locals));
+    return n;
+  };
+
+  /// A local-node view of v inside method m, reading through globals.
+  auto read_as_local = [&](MethodId m, VarId v) {
+    const NodeId n = node_of(v);
+    if (!is_global(v)) return n;
+    const NodeId t = temp_local(m, program.var(v).type);
+    builder.assign_global(t, n);  // t = g
+    return t;
+  };
+  /// A local node whose value will be forwarded into v (writing globals).
+  auto write_as_local = [&](MethodId m, VarId v) {
+    const NodeId n = node_of(v);
+    if (!is_global(v)) return n;
+    const NodeId t = temp_local(m, program.var(v).type);
+    builder.assign_global(n, t);  // g = t
+    return t;
+  };
+
+  // 2. Statements.
+  for (std::uint32_t mi = 0; mi < program.methods().size(); ++mi) {
+    const MethodId m(mi);
+    const MethodDecl& method = program.methods()[mi];
+    for (const Stmt& s : method.body) {
+      switch (s.op) {
+        case Op::kAlloc: {
+          const NodeId obj = builder.add_object(s.alloc_type, m,
+                                                method.is_application);
+          out.object_node.push_back(obj);
+          if (options.record_names)
+            builder.set_name(obj, "o" + std::to_string(out.object_node.size()));
+          builder.new_edge(write_as_local(m, s.dst), obj);
+          break;
+        }
+        case Op::kAssign:
+        case Op::kCast: {
+          const NodeId dst = node_of(s.dst);
+          const NodeId src = node_of(s.src);
+          if (is_global(s.dst) || is_global(s.src))
+            builder.assign_global(dst, src);
+          else
+            builder.assign_local(dst, src);
+          if (s.op == Op::kCast)
+            out.casts.push_back(CastSite{m, dst, src, s.alloc_type});
+          break;
+        }
+        case Op::kLoad:
+          builder.load(write_as_local(m, s.dst), read_as_local(m, s.src), s.field);
+          break;
+        case Op::kStore:
+          builder.store(read_as_local(m, s.dst), read_as_local(m, s.src), s.field);
+          break;
+        case Op::kCall: {
+          const MethodDecl& callee = program.method(s.callee);
+          const bool collapse = options.collapse_recursion &&
+                                call_graph.in_same_cycle(m, s.callee);
+          if (collapse) ++out.collapsed_call_sites;
+
+          const std::size_t bound = std::min(s.args.size(), callee.params.size());
+          for (std::size_t a = 0; a < bound; ++a) {
+            const NodeId formal = node_of(callee.params[a]);
+            const NodeId actual = read_as_local(m, s.args[a]);
+            if (collapse)
+              builder.assign_local(formal, actual);
+            else
+              builder.param(formal, actual, s.site);
+          }
+          if (s.dst.valid() && callee.return_var.valid()) {
+            const NodeId receiver = write_as_local(m, s.dst);
+            const NodeId retval = node_of(callee.return_var);
+            if (collapse)
+              builder.assign_local(receiver, retval);
+            else
+              builder.ret(receiver, retval, s.site);
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  // 3. Batch query set: every local declared in application code, in
+  //    declaration order (matches §IV-C's "all the local variables in its
+  //    application code").
+  for (std::uint32_t mi = 0; mi < program.methods().size(); ++mi) {
+    const MethodDecl& method = program.methods()[mi];
+    if (!method.is_application) continue;
+    for (const VarId v : method.locals) out.queries.push_back(node_of(v));
+  }
+
+  out.pag = std::move(builder).finalize();
+  return out;
+}
+
+}  // namespace parcfl::frontend

@@ -1,0 +1,54 @@
+#pragma once
+// IR -> PAG lowering. Produces the Fig. 1 graph plus the bookkeeping the
+// analysis pipeline needs: the var -> node map, the batch query set ("all
+// local variables in application code", §IV-C), and lowering statistics.
+//
+// Lowering rules:
+//  * every IR variable becomes a local/global node; every kAlloc becomes an
+//    object node plus a `new` edge (via a temp local when the target is a
+//    global, since Fig. 1 allows new edges only into locals);
+//  * kAssign becomes assign_l, or assign_g when a global is involved;
+//  * kLoad/kStore involving globals go through temp locals (ld/st edges
+//    connect only locals in Fig. 1);
+//  * kCall becomes param_i edges formal <- actual and a ret_i edge
+//    receiver <- return_var — unless caller and callee share a call-graph
+//    recursion cycle, in which case plain assignments are emitted
+//    (recursion collapsing, §IV-A).
+
+#include <vector>
+
+#include "frontend/callgraph.hpp"
+#include "frontend/ir.hpp"
+#include "pag/pag.hpp"
+
+namespace parcfl::frontend {
+
+struct LowerOptions {
+  bool collapse_recursion = true;  // intra-SCC calls lowered context-insensitively
+  bool record_names = false;       // copy IR names into the PAG (small graphs)
+};
+
+/// A checked cast dst = (target) src, preserved through lowering so the
+/// cast-safety client (clients/clients.hpp) can verify it from points-to.
+struct CastSite {
+  MethodId method;
+  pag::NodeId dst;
+  pag::NodeId src;
+  TypeId target;
+};
+
+struct LoweredProgram {
+  pag::Pag pag;
+  std::vector<pag::NodeId> var_node;     // VarId -> PAG node
+  std::vector<pag::NodeId> object_node;  // alloc statement order -> object node
+  std::vector<pag::NodeId> queries;      // all application locals, batch order
+  std::vector<CastSite> casts;           // kCast statements, in program order
+  std::uint32_t collapsed_call_sites = 0;
+  std::uint32_t temp_locals = 0;
+
+  pag::NodeId node_of(VarId v) const { return var_node[v.value()]; }
+};
+
+LoweredProgram lower(const Program& program, const LowerOptions& options = {});
+
+}  // namespace parcfl::frontend

@@ -1,0 +1,463 @@
+#include "frontend/parser.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+namespace parcfl::frontend {
+
+namespace {
+
+// ---- tokenizer ---------------------------------------------------------------
+
+enum class Tok : std::uint8_t {
+  kIdent,
+  kPunct,  // one of ( ) { } : ; = , .
+  kEnd,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int line;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& source) : src_(source) {}
+
+  std::vector<Token> run(ParseError* error) {
+    std::vector<Token> tokens;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (c == ' ' || c == '\t' || c == '\r') {
+        ++pos_;
+      } else if (c == '#' || (c == '/' && pos_ + 1 < src_.size() &&
+                              src_[pos_ + 1] == '/')) {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else if (is_ident_char(c)) {
+        const std::size_t start = pos_;
+        while (pos_ < src_.size() && is_ident_char(src_[pos_])) ++pos_;
+        tokens.push_back(Token{Tok::kIdent, src_.substr(start, pos_ - start), line_});
+      } else if (std::string("(){}:;=,.").find(c) != std::string::npos) {
+        tokens.push_back(Token{Tok::kPunct, std::string(1, c), line_});
+        ++pos_;
+      } else {
+        if (error != nullptr)
+          *error = ParseError{line_, std::string("unexpected character '") + c + "'"};
+        return {};
+      }
+    }
+    tokens.push_back(Token{Tok::kEnd, "", line_});
+    return tokens;
+  }
+
+ private:
+  static bool is_ident_char(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == '$';
+  }
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+// ---- parser ------------------------------------------------------------------
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, ParseError* error)
+      : tokens_(std::move(tokens)), error_(error) {}
+
+  std::optional<Program> run() {
+    if (tokens_.empty()) return std::nullopt;  // lexer already set the error
+    if (!prescan()) return std::nullopt;
+    pos_ = 0;
+    while (!at(Tok::kEnd)) {
+      if (peek_is("class")) {
+        if (!parse_class()) return std::nullopt;
+      } else if (peek_is("global")) {
+        if (!parse_global()) return std::nullopt;
+      } else if (peek_is("method")) {
+        if (!parse_method()) return std::nullopt;
+      } else {
+        return fail("expected 'class', 'global' or 'method'");
+      }
+    }
+    return std::move(program_);
+  }
+
+ private:
+  // ---- helpers ----
+  const Token& cur() const { return tokens_[pos_]; }
+  bool at(Tok k) const { return cur().kind == k; }
+  bool peek_is(const std::string& word) const {
+    return cur().kind == Tok::kIdent && cur().text == word;
+  }
+  bool punct_is(const char* p) const {
+    return cur().kind == Tok::kPunct && cur().text == p;
+  }
+  void advance() {
+    if (!at(Tok::kEnd)) ++pos_;
+  }
+
+  std::nullopt_t fail(const std::string& msg) {
+    if (error_ != nullptr && error_->message.empty())
+      *error_ = ParseError{cur().line, msg};
+    return std::nullopt;
+  }
+  bool failb(const std::string& msg) {
+    (void)fail(msg);
+    return false;
+  }
+
+  bool expect_punct(const char* p) {
+    if (!punct_is(p)) return failb(std::string("expected '") + p + "'");
+    advance();
+    return true;
+  }
+  bool expect_ident(std::string& out) {
+    if (!at(Tok::kIdent)) return failb("expected an identifier");
+    out = cur().text;
+    advance();
+    return true;
+  }
+
+  bool lookup_type(const std::string& name, TypeId& out) {
+    const auto it = types_.find(name);
+    if (it == types_.end()) return failb("unknown type '" + name + "'");
+    out = it->second;
+    return true;
+  }
+  bool expect_type(TypeId& out) {
+    std::string name;
+    return expect_ident(name) && lookup_type(name, out);
+  }
+
+  // ---- pre-scan: register classes (with extends) and method signatures ----
+  bool prescan() {
+    // Classes first (types must exist before fields/params are typed).
+    for (pos_ = 0; !at(Tok::kEnd); advance()) {
+      if (!peek_is("class")) continue;
+      advance();
+      std::string name;
+      if (!expect_ident(name)) return false;
+      if (types_.contains(name)) return failb("duplicate class '" + name + "'");
+      types_.emplace(name, program_.add_type(name));
+      --pos_;  // the outer loop advances
+    }
+    // Superclasses and method signatures.
+    for (pos_ = 0; !at(Tok::kEnd);) {
+      if (peek_is("class")) {
+        advance();
+        std::string name, super;
+        if (!expect_ident(name)) return false;
+        if (peek_is("extends")) {
+          advance();
+          if (!expect_ident(super)) return false;
+          TypeId sup;
+          if (!lookup_type(super, sup)) return false;
+          if (program_.is_subtype(sup, types_.at(name)))
+            return failb("subtype cycle through '" + name + "'");
+          program_.set_super(types_.at(name), sup);
+        }
+        skip_braces();
+      } else if (peek_is("method")) {
+        if (!prescan_method()) return false;
+      } else {
+        advance();
+      }
+    }
+    return true;
+  }
+
+  bool prescan_method() {
+    advance();  // 'method'
+    bool is_app = true;
+    if (peek_is("app")) advance();
+    else if (peek_is("lib")) {
+      is_app = false;
+      advance();
+    }
+    std::string name;
+    if (!expect_ident(name)) return false;
+    if (methods_.contains(name)) return failb("duplicate method '" + name + "'");
+    const MethodId m = program_.add_method(name, is_app);
+    methods_.emplace(name, m);
+
+    if (!expect_punct("(")) return false;
+    auto& params = method_params_[m.value()];
+    while (!punct_is(")")) {
+      std::string pname;
+      TypeId ptype;
+      if (!expect_ident(pname) || !expect_punct(":") || !expect_type(ptype))
+        return false;
+      if (params.contains(pname))
+        return failb("duplicate parameter '" + pname + "'");
+      params.emplace(pname, program_.add_param(m, pname, ptype));
+      if (punct_is(",")) advance();
+      else if (!punct_is(")")) return failb("expected ',' or ')'");
+    }
+    advance();  // ')'
+    if (punct_is(":")) {
+      advance();
+      TypeId ret;
+      if (!expect_type(ret)) return false;
+      method_ret_type_.emplace(m.value(), ret);
+    }
+    skip_braces();
+    return true;
+  }
+
+  void skip_braces() {
+    while (!at(Tok::kEnd) && !punct_is("{")) advance();
+    int depth = 0;
+    while (!at(Tok::kEnd)) {
+      if (punct_is("{")) ++depth;
+      if (punct_is("}") && --depth == 0) {
+        advance();
+        return;
+      }
+      advance();
+    }
+  }
+
+  // ---- full parse ----
+  bool parse_class() {
+    advance();  // 'class'
+    std::string name;
+    if (!expect_ident(name)) return false;
+    const TypeId type = types_.at(name);
+    if (peek_is("extends")) {
+      advance();
+      std::string super;
+      if (!expect_ident(super)) return false;  // bound in prescan
+    }
+    if (!expect_punct("{")) return false;
+    while (!punct_is("}")) {
+      std::string fname;
+      TypeId ftype;
+      if (!expect_ident(fname) || !expect_punct(":") || !expect_type(ftype) ||
+          !expect_punct(";"))
+        return false;
+      const std::string key = name + "." + fname;
+      if (fields_.contains(key)) return failb("duplicate field '" + key + "'");
+      fields_.emplace(key, program_.add_field(type, fname, ftype));
+      // Fields are also addressable by bare name from any class context
+      // (first declaration wins), matching how the PAG tokenises fields.
+      fields_.emplace(fname, fields_.at(key));
+    }
+    advance();  // '}'
+    return true;
+  }
+
+  bool parse_global() {
+    advance();  // 'global'
+    std::string name;
+    TypeId type;
+    if (!expect_ident(name) || !expect_punct(":") || !expect_type(type) ||
+        !expect_punct(";"))
+      return false;
+    if (globals_.contains(name)) return failb("duplicate global '" + name + "'");
+    globals_.emplace(name, program_.add_global(name, type));
+    return true;
+  }
+
+  bool parse_method() {
+    advance();  // 'method'
+    if (peek_is("app") || peek_is("lib")) advance();
+    std::string name;
+    if (!expect_ident(name)) return false;
+    const MethodId m = methods_.at(name);
+
+    // Skip the signature (registered during prescan).
+    while (!punct_is("{")) {
+      if (at(Tok::kEnd)) return failb("expected '{'");
+      advance();
+    }
+    advance();  // '{'
+
+    locals_ = method_params_[m.value()];  // params are in scope
+    while (!punct_is("}")) {
+      if (at(Tok::kEnd)) return failb("unterminated method body");
+      if (!parse_stmt(m)) return false;
+    }
+    advance();  // '}'
+    return true;
+  }
+
+  /// Variable lookup: locals, then globals.
+  bool lookup_var(const std::string& name, VarId& out) {
+    if (const auto it = locals_.find(name); it != locals_.end()) {
+      out = it->second;
+      return true;
+    }
+    if (const auto it = globals_.find(name); it != globals_.end()) {
+      out = it->second;
+      return true;
+    }
+    return failb("unknown variable '" + name + "'");
+  }
+
+  bool lookup_field(const std::string& name, FieldId& out) {
+    const auto it = fields_.find(name);
+    if (it == fields_.end()) return failb("unknown field '" + name + "'");
+    out = it->second;
+    return true;
+  }
+
+  bool parse_stmt(MethodId m) {
+    if (peek_is("return")) {
+      advance();
+      std::string name;
+      VarId v;
+      if (!expect_ident(name) || !lookup_var(name, v) || !expect_punct(";"))
+        return false;
+      ensure_return_var(m);
+      program_.stmt_assign(m, program_.method(m).return_var, v);
+      return true;
+    }
+    if (peek_is("call")) return parse_call(m, VarId::invalid());
+
+    std::string lhs_name;
+    if (!expect_ident(lhs_name)) return false;
+
+    // Store:  base.field = src ;
+    if (punct_is(".")) {
+      advance();
+      std::string fname, src_name;
+      FieldId field;
+      VarId base, src;
+      if (!expect_ident(fname) || !lookup_field(fname, field) ||
+          !expect_punct("=") || !expect_ident(src_name) ||
+          !lookup_var(lhs_name, base) || !lookup_var(src_name, src) ||
+          !expect_punct(";"))
+        return false;
+      program_.stmt_store(m, base, field, src);
+      return true;
+    }
+
+    // Optional declaration:  lhs : Type  = ...
+    VarId lhs;
+    if (punct_is(":")) {
+      advance();
+      TypeId type;
+      if (!expect_type(type)) return false;
+      if (locals_.contains(lhs_name))
+        return failb("redeclaration of '" + lhs_name + "'");
+      lhs = program_.add_local(m, lhs_name, type);
+      locals_.emplace(lhs_name, lhs);
+    } else if (!lookup_var(lhs_name, lhs)) {
+      return false;
+    }
+
+    if (!expect_punct("=")) return false;
+
+    if (peek_is("new")) {
+      advance();
+      TypeId type;
+      if (!expect_type(type) || !expect_punct(";")) return false;
+      program_.stmt_alloc(m, lhs, type);
+      return true;
+    }
+    if (peek_is("call")) return parse_call(m, lhs);
+    if (punct_is("(")) {  // cast: (Type) src ;
+      advance();
+      TypeId target;
+      std::string src_name;
+      VarId src;
+      if (!expect_type(target) || !expect_punct(")") || !expect_ident(src_name) ||
+          !lookup_var(src_name, src) || !expect_punct(";"))
+        return false;
+      program_.stmt_cast(m, lhs, target, src);
+      return true;
+    }
+
+    std::string rhs_name;
+    if (!expect_ident(rhs_name)) return false;
+    if (punct_is(".")) {  // load: lhs = base.field ;
+      advance();
+      std::string fname;
+      FieldId field;
+      VarId base;
+      if (!expect_ident(fname) || !lookup_field(fname, field) ||
+          !lookup_var(rhs_name, base) || !expect_punct(";"))
+        return false;
+      program_.stmt_load(m, lhs, base, field);
+      return true;
+    }
+    VarId rhs;  // plain assign
+    if (!lookup_var(rhs_name, rhs) || !expect_punct(";")) return false;
+    program_.stmt_assign(m, lhs, rhs);
+    return true;
+  }
+
+  bool parse_call(MethodId m, VarId receiver) {
+    advance();  // 'call'
+    std::string callee_name;
+    if (!expect_ident(callee_name)) return false;
+    const auto it = methods_.find(callee_name);
+    if (it == methods_.end())
+      return failb("unknown method '" + callee_name + "'");
+    const MethodId callee = it->second;
+
+    if (!expect_punct("(")) return false;
+    std::vector<VarId> args;
+    while (!punct_is(")")) {
+      std::string arg_name;
+      VarId arg;
+      if (!expect_ident(arg_name) || !lookup_var(arg_name, arg)) return false;
+      args.push_back(arg);
+      if (punct_is(",")) advance();
+      else if (!punct_is(")")) return failb("expected ',' or ')'");
+    }
+    advance();  // ')'
+    if (!expect_punct(";")) return false;
+
+    if (args.size() != program_.method(callee).params.size())
+      return failb("call to '" + callee_name + "' with wrong arity");
+    if (receiver.valid()) ensure_return_var(callee);
+    program_.stmt_call(m, receiver, callee, std::move(args));
+    return true;
+  }
+
+  void ensure_return_var(MethodId m) {
+    if (program_.method(m).return_var.valid()) return;
+    const auto it = method_ret_type_.find(m.value());
+    const TypeId type = it != method_ret_type_.end()
+                            ? it->second
+                            : (program_.types().empty() ? TypeId::invalid()
+                                                        : TypeId(0));
+    const VarId ret = program_.add_local(m, "$ret", type);
+    program_.set_return_var(m, ret);
+  }
+
+  std::vector<Token> tokens_;
+  ParseError* error_;
+  std::size_t pos_ = 0;
+
+  Program program_;
+  std::unordered_map<std::string, TypeId> types_;
+  std::unordered_map<std::string, FieldId> fields_;
+  std::unordered_map<std::string, VarId> globals_;
+  std::unordered_map<std::string, MethodId> methods_;
+  std::unordered_map<std::uint32_t, std::unordered_map<std::string, VarId>>
+      method_params_;
+  std::unordered_map<std::uint32_t, TypeId> method_ret_type_;
+  std::unordered_map<std::string, VarId> locals_;  // current method scope
+};
+
+}  // namespace
+
+std::optional<Program> parse_jir(const std::string& source, ParseError* error) {
+  if (error != nullptr) *error = ParseError{};
+  Lexer lexer(source);
+  auto tokens = lexer.run(error);
+  if (tokens.empty()) return std::nullopt;
+  Parser parser(std::move(tokens), error);
+  return parser.run();
+}
+
+}  // namespace parcfl::frontend

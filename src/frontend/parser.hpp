@@ -1,0 +1,50 @@
+#pragma once
+// Text frontend: a small Java-like source language (".jir") parsed into the
+// IR, so analysable programs can be written by hand — test fixtures stay
+// readable, and pag_tool can compile and analyse source directly.
+//
+// Grammar (token-based; '#' and '//' start comments; ',' separates params):
+//
+//   program   := (class | global | method)*
+//   class     := 'class' Name ['extends' Name] '{' (field ';')* '}'
+//   field     := name ':' Type
+//   global    := 'global' name ':' Type ';'
+//   method    := 'method' ['app'|'lib'] Name '(' params? ')' [':' Type]
+//                '{' stmt* '}'
+//   params    := name ':' Type (',' name ':' Type)*
+//   stmt      := decl? lhs '=' rhs ';'
+//              | name '.' field '=' name ';'                   (store)
+//              | 'return' name ';'
+//              | ['call'] callstmt ';'
+//   decl      := name ':' Type                                  (declares lhs)
+//   rhs       := 'new' Type                                     (alloc)
+//              | '(' Type ')' name                              (cast)
+//              | name '.' field                                 (load)
+//              | 'call' Name '(' args? ')'                      (call w/ recv)
+//              | name                                           (assign)
+//
+// Classes and methods may be referenced before their declaration (the parser
+// pre-scans declarations). Methods default to application code; 'lib' marks
+// library code (excluded from the batch query set).
+
+#include <optional>
+#include <string>
+
+#include "frontend/ir.hpp"
+
+namespace parcfl::frontend {
+
+struct ParseError {
+  int line = 0;
+  std::string message;
+
+  std::string to_string() const {
+    return "line " + std::to_string(line) + ": " + message;
+  }
+};
+
+/// Parse a .jir program. On failure returns std::nullopt and fills *error.
+std::optional<Program> parse_jir(const std::string& source,
+                                 ParseError* error = nullptr);
+
+}  // namespace parcfl::frontend

@@ -1,0 +1,247 @@
+#include "oracle/earley.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/check.hpp"
+
+namespace parcfl::oracle {
+
+using pag::EdgeKind;
+using pag::NodeId;
+using pag::Pag;
+
+bool earley_accepts(const Grammar& g, const std::vector<std::uint32_t>& input) {
+  struct Item {
+    std::uint32_t prod;
+    std::uint32_t dot;
+    std::uint32_t origin;
+  };
+  const auto n = static_cast<std::uint32_t>(input.size());
+  std::vector<std::vector<Item>> chart(n + 1);
+  std::vector<std::unordered_set<std::uint64_t>> seen(n + 1);
+
+  auto add = [&](std::uint32_t pos, Item item) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(item.prod) << 40) |
+                              (static_cast<std::uint64_t>(item.dot) << 20) |
+                              item.origin;
+    if (seen[pos].insert(key).second) chart[pos].push_back(item);
+  };
+
+  for (std::uint32_t p = 0; p < g.productions.size(); ++p)
+    if (g.productions[p].lhs == g.start) add(0, Item{p, 0, 0});
+
+  for (std::uint32_t pos = 0; pos <= n; ++pos) {
+    for (std::size_t i = 0; i < chart[pos].size(); ++i) {
+      const Item item = chart[pos][i];
+      const auto& prod = g.productions[item.prod];
+      if (item.dot == prod.rhs.size()) {
+        // Completion: advance every item in the origin set waiting on lhs.
+        // (No epsilon productions in our grammars, so origin != pos except
+        // for genuinely empty rhs, which we forbid.)
+        for (std::size_t j = 0; j < chart[item.origin].size(); ++j) {
+          const Item waiting = chart[item.origin][j];
+          const auto& wp = g.productions[waiting.prod];
+          if (waiting.dot < wp.rhs.size() && wp.rhs[waiting.dot] == prod.lhs)
+            add(pos, Item{waiting.prod, waiting.dot + 1, waiting.origin});
+        }
+        continue;
+      }
+      const std::uint32_t sym = prod.rhs[item.dot];
+      if (sym < g.nonterminal_count) {
+        // Prediction.
+        for (std::uint32_t p = 0; p < g.productions.size(); ++p)
+          if (g.productions[p].lhs == sym) add(pos, Item{p, 0, pos});
+      } else if (pos < n && input[pos] == sym) {
+        // Scan.
+        add(pos + 1, Item{item.prod, item.dot + 1, item.origin});
+      }
+    }
+  }
+
+  for (const Item& item : chart[n])
+    if (g.productions[item.prod].lhs == g.start && item.origin == 0 &&
+        item.dot == g.productions[item.prod].rhs.size())
+      return true;
+  return false;
+}
+
+namespace {
+
+// Nonterminals of the LFS grammar.
+enum : std::uint32_t { kF, kR, kA, kAL, kFb, kRb, kAb, kNonterminalCount };
+
+// Terminal layout: 4 fixed terminals then 4 per field.
+constexpr std::uint32_t kTermBase = kNonterminalCount;
+constexpr std::uint32_t term_new() { return kTermBase + 0; }
+constexpr std::uint32_t term_new_bar() { return kTermBase + 1; }
+constexpr std::uint32_t term_assign() { return kTermBase + 2; }
+constexpr std::uint32_t term_assign_bar() { return kTermBase + 3; }
+constexpr std::uint32_t term_st(std::uint32_t f) { return kTermBase + 4 + 4 * f; }
+constexpr std::uint32_t term_ld(std::uint32_t f) { return kTermBase + 5 + 4 * f; }
+constexpr std::uint32_t term_st_bar(std::uint32_t f) { return kTermBase + 6 + 4 * f; }
+constexpr std::uint32_t term_ld_bar(std::uint32_t f) { return kTermBase + 7 + 4 * f; }
+
+}  // namespace
+
+Grammar build_lfs_grammar(std::uint32_t field_count) {
+  Grammar g;
+  g.nonterminal_count = kNonterminalCount;
+  g.start = kF;
+  auto prod = [&](std::uint32_t lhs, std::vector<std::uint32_t> rhs) {
+    g.productions.push_back(Grammar::Production{lhs, std::move(rhs)});
+  };
+
+  // flowsTo: F -> n | n R, with R a nonempty sequence of A elements.
+  prod(kF, {term_new()});
+  prod(kF, {term_new(), kR});
+  prod(kR, {kA});
+  prod(kR, {kA, kR});
+  prod(kA, {term_assign()});
+  // flowsTo̅: Fb -> nb | Rb nb (the reverse/inverse of F).
+  prod(kFb, {term_new_bar()});
+  prod(kFb, {kRb, term_new_bar()});
+  prod(kRb, {kAb});
+  prod(kRb, {kAb, kRb});
+  prod(kAb, {term_assign_bar()});
+  // alias -> flowsTo̅ flowsTo.
+  prod(kAL, {kFb, kF});
+  // Field parentheses, one pair of productions per field.
+  for (std::uint32_t f = 0; f < field_count; ++f) {
+    prod(kA, {term_st(f), kAL, term_ld(f)});
+    prod(kAb, {term_ld_bar(f), kAL, term_st_bar(f)});
+  }
+  return g;
+}
+
+namespace {
+
+enum class CtxOp : std::uint8_t { kNone, kClear, kPush, kExit };
+
+struct Move {
+  std::uint32_t to;
+  std::uint32_t terminal;
+  CtxOp op;
+  std::uint32_t site;
+};
+
+std::vector<std::vector<Move>> doubled_adjacency(const Pag& pag) {
+  std::vector<std::vector<Move>> adj(pag.node_count());
+  for (const pag::Edge& e : pag.edges()) {
+    const std::uint32_t d = e.dst.value(), s = e.src.value();
+    switch (e.kind) {
+      case EdgeKind::kNew:
+        adj[s].push_back({d, term_new(), CtxOp::kNone, 0});
+        adj[d].push_back({s, term_new_bar(), CtxOp::kNone, 0});
+        break;
+      case EdgeKind::kAssignLocal:
+        adj[s].push_back({d, term_assign(), CtxOp::kNone, 0});
+        adj[d].push_back({s, term_assign_bar(), CtxOp::kNone, 0});
+        break;
+      case EdgeKind::kAssignGlobal:
+        adj[s].push_back({d, term_assign(), CtxOp::kClear, 0});
+        adj[d].push_back({s, term_assign_bar(), CtxOp::kClear, 0});
+        break;
+      case EdgeKind::kParam:
+        adj[s].push_back({d, term_assign(), CtxOp::kPush, e.aux});
+        adj[d].push_back({s, term_assign_bar(), CtxOp::kExit, e.aux});
+        break;
+      case EdgeKind::kRet:
+        adj[s].push_back({d, term_assign(), CtxOp::kExit, e.aux});
+        adj[d].push_back({s, term_assign_bar(), CtxOp::kPush, e.aux});
+        break;
+      case EdgeKind::kLoad:  // x = p.f is (dst=x, src=p)
+        adj[s].push_back({d, term_ld(e.aux), CtxOp::kNone, 0});
+        adj[d].push_back({s, term_ld_bar(e.aux), CtxOp::kNone, 0});
+        break;
+      case EdgeKind::kStore:  // q.f = y is (dst=q, src=y)
+        adj[s].push_back({d, term_st(e.aux), CtxOp::kNone, 0});
+        adj[d].push_back({s, term_st_bar(e.aux), CtxOp::kNone, 0});
+        break;
+    }
+  }
+  return adj;
+}
+
+}  // namespace
+
+BruteForceResult brute_force_flows_to(const Pag& pag, NodeId o,
+                                      const BruteForceOptions& options) {
+  PARCFL_CHECK(pag.is_object(o));
+  const Grammar grammar = build_lfs_grammar(pag.field_count());
+  const auto adj = doubled_adjacency(pag);
+
+  std::unordered_set<std::uint32_t> accepted;
+  std::vector<std::uint32_t> labels;
+  std::vector<std::uint32_t> cstack;
+  std::uint64_t paths = 0;
+  std::uint32_t depth_limit = 0;
+  bool truncated = false;
+
+  // Depth-limited DFS over labelled paths, maintaining the RCS stack
+  // incrementally (prune on mismatch) and Earley-testing the prefix at each
+  // variable node. Driven by iterative deepening below so the enumeration
+  // budget is spent on short paths first.
+  auto dfs = [&](auto&& self, std::uint32_t node) -> void {
+    if (++paths > options.max_paths) {
+      truncated = true;
+      return;
+    }
+    if (!labels.empty() && pag.is_variable(NodeId(node)) &&
+        !accepted.contains(node) && earley_accepts(grammar, labels))
+      accepted.insert(node);
+    if (labels.size() >= depth_limit) return;
+
+    for (const Move& m : adj[node]) {
+      std::size_t saved_depth = cstack.size();
+      std::uint32_t saved_top = 0;
+      bool popped = false, cleared = false;
+      std::vector<std::uint32_t> saved_stack;
+
+      if (options.context_sensitive) {
+        switch (m.op) {
+          case CtxOp::kNone:
+            break;
+          case CtxOp::kClear:
+            saved_stack = cstack;
+            cstack.clear();
+            cleared = true;
+            break;
+          case CtxOp::kPush:
+            cstack.push_back(m.site);
+            break;
+          case CtxOp::kExit:
+            if (!cstack.empty()) {
+              if (cstack.back() != m.site) continue;  // unrealisable
+              saved_top = cstack.back();
+              cstack.pop_back();
+              popped = true;
+            }
+            break;
+        }
+      }
+
+      labels.push_back(m.terminal);
+      self(self, m.to);
+      labels.pop_back();
+
+      if (options.context_sensitive) {
+        if (cleared) cstack = std::move(saved_stack);
+        else if (popped) cstack.push_back(saved_top);
+        else cstack.resize(saved_depth);
+      }
+    }
+  };
+
+  for (depth_limit = 1; depth_limit <= options.max_path_length && !truncated;
+       ++depth_limit)
+    dfs(dfs, o.value());
+
+  BruteForceResult result;
+  result.vars.assign(accepted.begin(), accepted.end());
+  std::sort(result.vars.begin(), result.vars.end());
+  result.truncated = truncated;
+  return result;
+}
+
+}  // namespace parcfl::oracle

@@ -1,0 +1,265 @@
+#include "oracle/oracle.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/check.hpp"
+
+namespace parcfl::oracle {
+
+using pag::EdgeKind;
+using pag::HalfEdge;
+using pag::NodeId;
+using pag::Pag;
+
+namespace {
+
+/// Single-threaded context interning local to one oracle run.
+class Ctx {
+ public:
+  explicit Ctx(std::uint32_t max_depth) : max_depth_(max_depth) {
+    entries_.push_back({0, 0, 0});  // id 0: the empty stack
+  }
+
+  static constexpr std::uint32_t kEmpty = 0;
+
+  std::uint32_t push(std::uint32_t c, std::uint32_t site) {
+    PARCFL_CHECK_MSG(entries_[c].depth < max_depth_,
+                     "oracle context depth cap reached — shrink the test graph");
+    const std::uint64_t key = (static_cast<std::uint64_t>(c) << 32) | site;
+    const auto [it, fresh] =
+        intern_.emplace(key, static_cast<std::uint32_t>(entries_.size()));
+    if (fresh) entries_.push_back({c, site, entries_[c].depth + 1});
+    return it->second;
+  }
+
+  std::uint32_t pop(std::uint32_t c) const { return c == kEmpty ? kEmpty : entries_[c].parent; }
+  bool empty(std::uint32_t c) const { return c == kEmpty; }
+  std::uint32_t top(std::uint32_t c) const { return entries_[c].site; }
+
+ private:
+  struct Entry {
+    std::uint32_t parent;
+    std::uint32_t site;
+    std::uint32_t depth;
+  };
+  std::uint32_t max_depth_;
+  std::vector<Entry> entries_;
+  std::unordered_map<std::uint64_t, std::uint32_t> intern_;
+};
+
+std::uint64_t pack(std::uint32_t node, std::uint32_t ctx) {
+  return (static_cast<std::uint64_t>(node) << 32) | ctx;
+}
+
+/// The whole fixpoint engine; lives only during construction.
+class Fixpoint {
+ public:
+  Fixpoint(const Pag& pag, const OracleOptions& opt)
+      : pag_(pag), opt_(opt), ctx_(opt.max_context_depth) {}
+
+  void run(std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>& pt,
+           std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>& ft,
+           std::uint64_t& fact_count) {
+    // Demand the top-level configurations: every variable queried backward
+    // from the empty context; every object walked forward from it.
+    for (std::uint32_t n = 0; n < pag_.node_count(); ++n) {
+      if (pag_.is_variable(NodeId(n)))
+        demand(bt_, pack(n, Ctx::kEmpty));
+      else
+        demand(ft_, pack(n, Ctx::kEmpty));
+    }
+
+    // Naive evaluation: recompute every demanded closure until stable.
+    // (Demanding a new configuration also marks the round as changed.)
+    do {
+      changed_ = false;
+      // Iterate by index: closures may demand new configurations, which
+      // appends to the order vectors.
+      for (std::size_t i = 0; i < bt_order_.size(); ++i) backward_closure(bt_order_[i]);
+      for (std::size_t i = 0; i < ft_order_.size(); ++i) forward_closure(ft_order_[i]);
+    } while (changed_);
+
+    // Project results for empty-context roots.
+    fact_count = fact_count_;
+    for (const std::uint64_t cfg : bt_order_) {
+      if (static_cast<std::uint32_t>(cfg) != Ctx::kEmpty) continue;
+      const auto node = static_cast<std::uint32_t>(cfg >> 32);
+      auto& objs = pt[node];
+      for (const std::uint64_t oc : bt_[cfg]) objs.push_back(static_cast<std::uint32_t>(oc >> 32));
+      std::sort(objs.begin(), objs.end());
+      objs.erase(std::unique(objs.begin(), objs.end()), objs.end());
+    }
+    for (const std::uint64_t cfg : ft_order_) {
+      if (static_cast<std::uint32_t>(cfg) != Ctx::kEmpty) continue;
+      const auto node = static_cast<std::uint32_t>(cfg >> 32);
+      auto& vars = ft[node];
+      for (const std::uint64_t vc : ft_[cfg]) vars.push_back(static_cast<std::uint32_t>(vc >> 32));
+      std::sort(vars.begin(), vars.end());
+      vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+    }
+  }
+
+ private:
+  using FactMap = std::unordered_map<std::uint64_t, std::unordered_set<std::uint64_t>>;
+
+  void demand(FactMap& rel, std::uint64_t cfg) {
+    if (rel.contains(cfg)) return;
+    rel.emplace(cfg, std::unordered_set<std::uint64_t>{});
+    (&rel == &bt_ ? bt_order_ : ft_order_).push_back(cfg);
+    changed_ = true;
+  }
+
+  bool record(FactMap& rel, std::uint64_t cfg, std::uint64_t fact) {
+    if (!rel[cfg].insert(fact).second) return false;
+    ++fact_count_;
+    PARCFL_CHECK_MSG(fact_count_ <= opt_.max_facts,
+                     "oracle fact limit exceeded — shrink the test graph");
+    changed_ = true;
+    return true;
+  }
+
+  std::uint32_t apply_push(std::uint32_t c, std::uint32_t site) {
+    if (!opt_.context_sensitive) return Ctx::kEmpty;
+    return ctx_.push(c, site);
+  }
+
+  /// Exit semantics with partial balance: returns true (and sets out) when
+  /// traversal may continue.
+  bool apply_exit(std::uint32_t c, std::uint32_t site, std::uint32_t& out) const {
+    if (!opt_.context_sensitive) {
+      out = Ctx::kEmpty;
+      return true;
+    }
+    if (ctx_.empty(c)) {
+      out = Ctx::kEmpty;
+      return true;
+    }
+    if (ctx_.top(c) != site) return false;
+    out = ctx_.pop(c);
+    return true;
+  }
+
+  /// Backward (PointsTo) closure from one root configuration.
+  void backward_closure(std::uint64_t root) {
+    std::vector<std::uint64_t> work{root};
+    std::unordered_set<std::uint64_t> visited{root};
+    while (!work.empty()) {
+      const std::uint64_t cfg = work.back();
+      work.pop_back();
+      const NodeId u(static_cast<std::uint32_t>(cfg >> 32));
+      const auto cu = static_cast<std::uint32_t>(cfg);
+
+      auto visit = [&](std::uint32_t node, std::uint32_t c) {
+        const std::uint64_t next = pack(node, c);
+        if (visited.insert(next).second) work.push_back(next);
+      };
+
+      for (const HalfEdge he : pag_.in_edges(u, EdgeKind::kNew))
+        record(bt_, root, pack(he.other.value(), cu));
+      for (const HalfEdge he : pag_.in_edges(u, EdgeKind::kAssignLocal))
+        visit(he.other.value(), cu);
+      for (const HalfEdge he : pag_.in_edges(u, EdgeKind::kAssignGlobal))
+        visit(he.other.value(), Ctx::kEmpty);
+      for (const HalfEdge he : pag_.in_edges(u, EdgeKind::kParam)) {
+        std::uint32_t c2;
+        if (apply_exit(cu, he.aux, c2)) visit(he.other.value(), c2);
+      }
+      for (const HalfEdge he : pag_.in_edges(u, EdgeKind::kRet))
+        visit(he.other.value(), apply_push(cu, he.aux));
+
+      if (!opt_.field_sensitive) continue;
+      for (const HalfEdge ld : pag_.in_edges(u, EdgeKind::kLoad)) {
+        // x = p.f in (u=x, cu): walk back through any store q.f = y whose
+        // base q aliases p.
+        const std::uint64_t pcfg = pack(ld.other.value(), cu);
+        demand(bt_, pcfg);
+        for (const std::uint64_t ocfg : bt_[pcfg]) {
+          demand(ft_, ocfg);
+          for (const std::uint64_t qcfg : ft_[ocfg]) {
+            const NodeId q(static_cast<std::uint32_t>(qcfg >> 32));
+            const auto cq = static_cast<std::uint32_t>(qcfg);
+            for (const HalfEdge st : pag_.in_edges(q, EdgeKind::kStore))
+              if (st.aux == ld.aux) visit(st.other.value(), cq);
+          }
+        }
+      }
+    }
+  }
+
+  /// Forward (FlowsTo) closure from one root object configuration.
+  void forward_closure(std::uint64_t root) {
+    std::vector<std::uint64_t> work{root};
+    std::unordered_set<std::uint64_t> visited{root};
+    while (!work.empty()) {
+      const std::uint64_t cfg = work.back();
+      work.pop_back();
+      const NodeId u(static_cast<std::uint32_t>(cfg >> 32));
+      const auto cu = static_cast<std::uint32_t>(cfg);
+
+      auto visit = [&](std::uint32_t node, std::uint32_t c) {
+        const std::uint64_t next = pack(node, c);
+        if (visited.insert(next).second) work.push_back(next);
+      };
+
+      if (pag_.is_variable(u)) record(ft_, root, cfg);
+
+      for (const HalfEdge he : pag_.out_edges(u, EdgeKind::kNew))
+        visit(he.other.value(), cu);
+      for (const HalfEdge he : pag_.out_edges(u, EdgeKind::kAssignLocal))
+        visit(he.other.value(), cu);
+      for (const HalfEdge he : pag_.out_edges(u, EdgeKind::kAssignGlobal))
+        visit(he.other.value(), Ctx::kEmpty);
+      for (const HalfEdge he : pag_.out_edges(u, EdgeKind::kParam))
+        visit(he.other.value(), apply_push(cu, he.aux));
+      for (const HalfEdge he : pag_.out_edges(u, EdgeKind::kRet)) {
+        std::uint32_t c2;
+        if (apply_exit(cu, he.aux, c2)) visit(he.other.value(), c2);
+      }
+
+      if (!opt_.field_sensitive || !pag_.is_variable(u)) continue;
+      for (const HalfEdge st : pag_.out_edges(u, EdgeKind::kStore)) {
+        // q.f = u in (u, cu): the value continues at any load x = p.f whose
+        // base p aliases q.
+        const std::uint64_t qcfg = pack(st.other.value(), cu);
+        demand(bt_, qcfg);
+        for (const std::uint64_t ocfg : bt_[qcfg]) {
+          demand(ft_, ocfg);
+          for (const std::uint64_t pcfg : ft_[ocfg]) {
+            const NodeId p(static_cast<std::uint32_t>(pcfg >> 32));
+            const auto cp = static_cast<std::uint32_t>(pcfg);
+            for (const HalfEdge ld : pag_.out_edges(p, EdgeKind::kLoad))
+              if (ld.aux == st.aux) visit(ld.other.value(), cp);
+          }
+        }
+      }
+    }
+  }
+
+  const Pag& pag_;
+  OracleOptions opt_;
+  Ctx ctx_;
+  FactMap bt_, ft_;
+  std::vector<std::uint64_t> bt_order_, ft_order_;
+  bool changed_ = false;
+  std::uint64_t fact_count_ = 0;
+};
+
+}  // namespace
+
+ExactOracle::ExactOracle(const Pag& pag, const OracleOptions& options) {
+  Fixpoint fp(pag, options);
+  fp.run(pt_, ft_, fact_count_);
+}
+
+std::vector<std::uint32_t> ExactOracle::points_to(NodeId v) const {
+  const auto it = pt_.find(v.value());
+  return it == pt_.end() ? std::vector<std::uint32_t>{} : it->second;
+}
+
+std::vector<std::uint32_t> ExactOracle::flows_to(NodeId o) const {
+  const auto it = ft_.find(o.value());
+  return it == ft_.end() ? std::vector<std::uint32_t>{} : it->second;
+}
+
+}  // namespace parcfl::oracle

@@ -1,0 +1,61 @@
+#pragma once
+// Reference oracle for the demand CFL solver, used by the property-based test
+// suites (never on the hot path).
+//
+// ExactOracle evaluates LPT = LFS ∩ RCS (paper eqs. 2-3) exhaustively as a
+// global monotone fixpoint over *configurations* (node, context-stack), with
+// the same partial-balance context semantics as Algorithm 1 (pop on an empty
+// stack is allowed — a realisable path need not start and end in the same
+// method). Two mutually recursive relations are tabulated:
+//
+//   BT((x,cx)) ∋ (o,co)  — backward flowsTo̅ closure (the PointsTo walk)
+//   FT((o,co)) ∋ (q,cq)  — forward  flowsTo  closure (the FlowsTo walk)
+//
+// with the heap rule matching ld(f)/st(f) through the alias relation
+// (alias = flowsTo̅ flowsTo). The traversal *rules* necessarily mirror the
+// solver's (they are the specification); the evaluation strategy shares none
+// of the solver's machinery — no budget, no memoisation, no taint/fixpoint
+// iteration, no data sharing — which is precisely the machinery the oracle
+// exists to check. Evaluation is naive: closures are recomputed in rounds
+// until no relation grows.
+//
+// Contexts are enumerated on the fly with a depth cap; reaching the cap
+// aborts (tests must use call structures whose realisable nesting stays
+// below it). Cost is exponential in the worst case: use on small PAGs only.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "pag/pag.hpp"
+
+namespace parcfl::oracle {
+
+struct OracleOptions {
+  bool context_sensitive = true;
+  bool field_sensitive = true;
+  std::uint32_t max_context_depth = 10;
+  std::uint64_t max_facts = 4'000'000;  // safety valve for runaway tests
+};
+
+class ExactOracle {
+ public:
+  ExactOracle(const pag::Pag& pag, const OracleOptions& options = {});
+
+  /// Sorted distinct object ids that variable v may point to when queried
+  /// from the empty context (the solver's points_to(v) ground truth).
+  std::vector<std::uint32_t> points_to(pag::NodeId v) const;
+
+  /// Sorted distinct variable ids object o may flow to when walked from the
+  /// empty context (the solver's flows_to(o) ground truth).
+  std::vector<std::uint32_t> flows_to(pag::NodeId o) const;
+
+  std::uint64_t fact_count() const { return fact_count_; }
+
+ private:
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> pt_;  // var -> objects
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> ft_;  // object -> vars
+  std::uint64_t fact_count_ = 0;
+};
+
+}  // namespace parcfl::oracle

@@ -1,0 +1,72 @@
+#include "pag/collapse.hpp"
+
+#include <utility>
+
+#include "support/scc.hpp"
+
+namespace parcfl::pag {
+
+CollapseResult collapse_assign_cycles(const Pag& pag) {
+  const std::uint32_t n = pag.node_count();
+
+  // Subgraph of collapsible assignments only.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> sub_edges;
+  for (const Edge& e : pag.edges()) {
+    const NodeInfo& d = pag.node(e.dst);
+    const NodeInfo& s = pag.node(e.src);
+    const bool local_pair = e.kind == EdgeKind::kAssignLocal &&
+                            d.kind == NodeKind::kLocal && s.kind == NodeKind::kLocal &&
+                            d.method == s.method;
+    const bool global_pair = e.kind == EdgeKind::kAssignGlobal &&
+                             d.kind == NodeKind::kGlobal && s.kind == NodeKind::kGlobal;
+    if (local_pair || global_pair)
+      sub_edges.emplace_back(e.src.value(), e.dst.value());
+  }
+
+  const auto sub = support::CsrGraph::from_edges(n, sub_edges);
+  const auto scc = support::strongly_connected_components(sub);
+
+  // Pick one representative per SCC (its first member encountered) and build
+  // the dense renumbering for surviving nodes.
+  std::vector<std::uint32_t> scc_rep(scc.component_count, UINT32_MAX);
+  std::vector<std::uint32_t> old_to_new(n, UINT32_MAX);
+
+  CollapseResult result;
+  Pag::Builder builder;
+  builder.set_counts(pag.field_count(), pag.call_site_count(), pag.type_count(),
+                     pag.method_count());
+
+  std::uint32_t merged = 0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const std::uint32_t comp = scc.component_of[v];
+    if (scc_rep[comp] == UINT32_MAX) {
+      const NodeInfo& info = pag.node(NodeId(v));
+      const NodeId fresh =
+          builder.add_node(info.kind, info.type, info.method, info.is_application);
+      if (!pag.name(NodeId(v)).empty()) builder.set_name(fresh, pag.name(NodeId(v)));
+      scc_rep[comp] = fresh.value();
+    } else {
+      ++merged;
+    }
+    old_to_new[v] = scc_rep[comp];
+  }
+
+  for (const Edge& e : pag.edges()) {
+    const NodeId dst(old_to_new[e.dst.value()]);
+    const NodeId src(old_to_new[e.src.value()]);
+    // A collapsed assignment becomes a self-loop; it carries no information.
+    if (dst == src &&
+        (e.kind == EdgeKind::kAssignLocal || e.kind == EdgeKind::kAssignGlobal))
+      continue;
+    builder.add_edge(e.kind, dst, src, e.aux);
+  }
+
+  result.pag = std::move(builder).finalize();
+  result.representative.reserve(n);
+  for (std::uint32_t v = 0; v < n; ++v)
+    result.representative.emplace_back(old_to_new[v]);
+  result.collapsed_nodes = merged;
+  return result;
+}
+
+}  // namespace parcfl::pag

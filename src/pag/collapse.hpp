@@ -1,0 +1,28 @@
+#pragma once
+// Points-to cycle elimination (paper §IV-A, following Sridharan-Bodik [18]):
+// variables on a cycle of plain assignments have identical points-to sets, so
+// they can be collapsed to one representative before the demand analysis
+// runs. We collapse exactly the cycles whose members are interchangeable
+// under the context rules of the CFL:
+//   * assign_l cycles among locals of the same method (context preserved), and
+//   * assign_g cycles among globals only (context already cleared for all).
+// Mixed local/global cycles and cycles through param/ret edges are left
+// intact (the solver's query-local fixpoint handles them soundly).
+
+#include <vector>
+
+#include "pag/pag.hpp"
+
+namespace parcfl::pag {
+
+struct CollapseResult {
+  Pag pag;                          // rewritten graph (self-assigns dropped, deduped)
+  std::vector<NodeId> representative;  // original node id -> node id in `pag`
+  std::uint32_t collapsed_nodes = 0;   // nodes merged away
+};
+
+/// Collapse safe assignment cycles. Node ids are renumbered; use
+/// `representative` to translate query variables.
+CollapseResult collapse_assign_cycles(const Pag& pag);
+
+}  // namespace parcfl::pag

@@ -1,0 +1,197 @@
+#include "pag/pag.hpp"
+
+#include <algorithm>
+
+namespace parcfl::pag {
+
+const char* to_string(EdgeKind kind) {
+  switch (kind) {
+    case EdgeKind::kNew: return "new";
+    case EdgeKind::kAssignLocal: return "assignl";
+    case EdgeKind::kAssignGlobal: return "assigng";
+    case EdgeKind::kLoad: return "ld";
+    case EdgeKind::kStore: return "st";
+    case EdgeKind::kParam: return "param";
+    case EdgeKind::kRet: return "ret";
+  }
+  return "?";
+}
+
+const char* to_string(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kLocal: return "local";
+    case NodeKind::kGlobal: return "global";
+    case NodeKind::kObject: return "object";
+  }
+  return "?";
+}
+
+const std::string& Pag::name(NodeId n) const {
+  static const std::string kEmpty;
+  if (n.value() >= names_.size()) return kEmpty;
+  return names_[n.value()];
+}
+
+void Pag::set_name(NodeId n, std::string name) {
+  if (names_.size() < nodes_.size()) names_.resize(nodes_.size());
+  names_[n.value()] = std::move(name);
+}
+
+std::size_t Pag::memory_bytes() const {
+  std::size_t bytes = nodes_.capacity() * sizeof(NodeInfo) +
+                      edges_.capacity() * sizeof(Edge);
+  auto csr_bytes = [](const Csr& c) {
+    return c.offsets.capacity() * sizeof(std::uint32_t) +
+           c.entries.capacity() * sizeof(HalfEdge);
+  };
+  for (unsigned k = 0; k < kEdgeKindCount; ++k)
+    bytes += csr_bytes(in_[k]) + csr_bytes(out_[k]);
+  bytes += csr_bytes(stores_by_field_) + csr_bytes(loads_by_field_);
+  for (const auto& s : names_) bytes += s.capacity();
+  return bytes;
+}
+
+NodeId Pag::Builder::add_node(NodeKind kind, TypeId type, MethodId method,
+                              bool is_application) {
+  NodeInfo info;
+  info.kind = kind;
+  info.type = type;
+  info.method = method;
+  info.is_application = is_application;
+  nodes_.push_back(info);
+  return NodeId(static_cast<std::uint32_t>(nodes_.size() - 1));
+}
+
+void Pag::Builder::add_edge(EdgeKind kind, NodeId dst, NodeId src, std::uint32_t aux) {
+  PARCFL_CHECK(dst.valid() && src.valid());
+  PARCFL_CHECK(dst.value() < nodes_.size() && src.value() < nodes_.size());
+  if (kind != EdgeKind::kLoad && kind != EdgeKind::kStore &&
+      kind != EdgeKind::kParam && kind != EdgeKind::kRet) {
+    PARCFL_CHECK_MSG(aux == 0, "aux payload only valid on ld/st/param/ret edges");
+  }
+  edges_.push_back(Edge{kind, dst, src, aux});
+}
+
+void Pag::Builder::set_name(NodeId n, std::string name) {
+  if (names_.size() <= n.value()) names_.resize(n.value() + 1);
+  names_[n.value()] = std::move(name);
+  has_names_ = true;
+}
+
+void Pag::Builder::set_counts(std::uint32_t fields, std::uint32_t call_sites,
+                              std::uint32_t types, std::uint32_t methods) {
+  field_count_ = fields;
+  call_site_count_ = call_sites;
+  type_count_ = types;
+  method_count_ = methods;
+}
+
+namespace {
+
+struct EdgeOrder {
+  bool operator()(const Edge& a, const Edge& b) const {
+    if (a.kind != b.kind) return a.kind < b.kind;
+    if (a.dst != b.dst) return a.dst < b.dst;
+    if (a.src != b.src) return a.src < b.src;
+    return a.aux < b.aux;
+  }
+};
+
+}  // namespace
+
+Pag Pag::Builder::finalize() && {
+  Pag pag;
+  pag.nodes_ = std::move(nodes_);
+  if (has_names_) {
+    names_.resize(pag.nodes_.size());
+    pag.names_ = std::move(names_);
+  }
+
+  if (dedupe_) {
+    std::sort(edges_.begin(), edges_.end(), EdgeOrder{});
+    edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  }
+  pag.edges_ = std::move(edges_);
+
+  const auto n = static_cast<std::uint32_t>(pag.nodes_.size());
+
+  // Infer id-space sizes when the caller did not declare them.
+  std::uint32_t max_field = 0, max_cs = 0, has_field = 0, has_cs = 0;
+  std::uint32_t max_type = 0, has_type = 0, max_method = 0, has_method = 0;
+  for (const Edge& e : pag.edges_) {
+    if (e.kind == EdgeKind::kLoad || e.kind == EdgeKind::kStore) {
+      max_field = std::max(max_field, e.aux);
+      has_field = 1;
+    } else if (e.kind == EdgeKind::kParam || e.kind == EdgeKind::kRet) {
+      max_cs = std::max(max_cs, e.aux);
+      has_cs = 1;
+    }
+  }
+  for (const NodeInfo& info : pag.nodes_) {
+    if (info.type.valid()) {
+      max_type = std::max(max_type, info.type.value());
+      has_type = 1;
+    }
+    if (info.method.valid()) {
+      max_method = std::max(max_method, info.method.value());
+      has_method = 1;
+    }
+  }
+  pag.field_count_ = std::max(field_count_, max_field + has_field);
+  pag.call_site_count_ = std::max(call_site_count_, max_cs + has_cs);
+  pag.type_count_ = std::max(type_count_, max_type + has_type);
+  pag.method_count_ = std::max(method_count_, max_method + has_method);
+
+  // Build the 14 per-(direction, kind) CSRs with counting sort.
+  auto build_csr = [n](Csr& csr, const std::vector<Edge>& edges, bool by_dst,
+                       EdgeKind kind) {
+    csr.offsets.assign(n + 1, 0);
+    for (const Edge& e : edges)
+      if (e.kind == kind) ++csr.offsets[(by_dst ? e.dst : e.src).value() + 1];
+    for (std::uint32_t i = 1; i <= n; ++i) csr.offsets[i] += csr.offsets[i - 1];
+    csr.entries.resize(csr.offsets[n]);
+    std::vector<std::uint32_t> cursor(csr.offsets.begin(), csr.offsets.end() - 1);
+    for (const Edge& e : edges) {
+      if (e.kind != kind) continue;
+      const NodeId key = by_dst ? e.dst : e.src;
+      const NodeId other = by_dst ? e.src : e.dst;
+      csr.entries[cursor[key.value()]++] = HalfEdge{other, e.aux};
+    }
+  };
+
+  for (unsigned k = 0; k < kEdgeKindCount; ++k) {
+    const auto kind = static_cast<EdgeKind>(k);
+    build_csr(pag.in_[k], pag.edges_, /*by_dst=*/true, kind);
+    build_csr(pag.out_[k], pag.edges_, /*by_dst=*/false, kind);
+    pag.kind_counts_[k] =
+        static_cast<std::uint32_t>(pag.in_[k].entries.size());
+  }
+
+  // Field-indexed store/load tables for the heap-access match.
+  auto build_field_csr = [&pag](Csr& csr, EdgeKind kind) {
+    const std::uint32_t f_count = pag.field_count_;
+    csr.offsets.assign(f_count + 1, 0);
+    for (const Edge& e : pag.edges_)
+      if (e.kind == kind) ++csr.offsets[e.aux + 1];
+    for (std::uint32_t i = 1; i <= f_count; ++i) csr.offsets[i] += csr.offsets[i - 1];
+    csr.entries.resize(f_count == 0 ? 0 : csr.offsets[f_count]);
+    std::vector<std::uint32_t> cursor(csr.offsets.begin(),
+                                      csr.offsets.empty() ? csr.offsets.end()
+                                                          : csr.offsets.end() - 1);
+    for (const Edge& e : pag.edges_) {
+      if (e.kind != kind) continue;
+      // Store q.f = y is (dst=q base, src=y rhs): entry {base, rhs}.
+      // Load  x = p.f is (dst=x, src=p base):     entry {base, dst}.
+      if (kind == EdgeKind::kStore)
+        csr.entries[cursor[e.aux]++] = HalfEdge{e.dst, e.src.value()};
+      else
+        csr.entries[cursor[e.aux]++] = HalfEdge{e.src, e.dst.value()};
+    }
+  };
+  build_field_csr(pag.stores_by_field_, EdgeKind::kStore);
+  build_field_csr(pag.loads_by_field_, EdgeKind::kLoad);
+
+  return pag;
+}
+
+}  // namespace parcfl::pag

@@ -1,0 +1,86 @@
+#include "pag/validate.hpp"
+
+#include <sstream>
+
+namespace parcfl::pag {
+
+namespace {
+
+void report(std::vector<std::string>& errors, std::size_t edge_index, const Edge& e,
+            const std::string& msg) {
+  std::ostringstream os;
+  os << "edge #" << edge_index << " (" << to_string(e.kind) << " " << e.dst.value()
+     << " <- " << e.src.value() << "): " << msg;
+  errors.push_back(os.str());
+}
+
+}  // namespace
+
+std::vector<std::string> validate(const Pag& pag) {
+  std::vector<std::string> errors;
+
+  for (std::size_t i = 0; i < pag.edges().size(); ++i) {
+    const Edge& e = pag.edges()[i];
+    const NodeKind dk = pag.kind(e.dst);
+    const NodeKind sk = pag.kind(e.src);
+
+    switch (e.kind) {
+      case EdgeKind::kNew:
+        if (dk != NodeKind::kLocal && dk != NodeKind::kGlobal)
+          report(errors, i, e, "new edge must target a variable");
+        if (sk != NodeKind::kObject)
+          report(errors, i, e, "new edge must source an object");
+        break;
+      case EdgeKind::kAssignLocal:
+        if (dk != NodeKind::kLocal || sk != NodeKind::kLocal)
+          report(errors, i, e, "assignl must connect two locals");
+        break;
+      case EdgeKind::kAssignGlobal:
+        if (dk == NodeKind::kObject || sk == NodeKind::kObject)
+          report(errors, i, e, "assigng cannot involve objects");
+        else if (dk != NodeKind::kGlobal && sk != NodeKind::kGlobal)
+          report(errors, i, e, "assigng must involve at least one global");
+        break;
+      case EdgeKind::kLoad:
+      case EdgeKind::kStore:
+        if (dk != NodeKind::kLocal || sk != NodeKind::kLocal)
+          report(errors, i, e, "ld/st edges connect only locals");
+        if (e.aux >= pag.field_count())
+          report(errors, i, e, "field id out of range");
+        break;
+      case EdgeKind::kParam:
+      case EdgeKind::kRet:
+        if (dk != NodeKind::kLocal || sk != NodeKind::kLocal)
+          report(errors, i, e, "param/ret edges connect only locals");
+        if (e.aux >= pag.call_site_count())
+          report(errors, i, e, "call-site id out of range");
+        break;
+    }
+  }
+
+  // Metadata sanity.
+  for (std::uint32_t i = 0; i < pag.node_count(); ++i) {
+    const NodeInfo& info = pag.node(NodeId(i));
+    if (info.type.valid() && info.type.value() >= pag.type_count()) {
+      std::ostringstream os;
+      os << "node " << i << ": type id out of range";
+      errors.push_back(os.str());
+    }
+    if (info.method.valid() && info.method.value() >= pag.method_count()) {
+      std::ostringstream os;
+      os << "node " << i << ": method id out of range";
+      errors.push_back(os.str());
+    }
+    if (info.kind == NodeKind::kGlobal && info.method.valid()) {
+      std::ostringstream os;
+      os << "node " << i << ": globals must not belong to a method";
+      errors.push_back(os.str());
+    }
+  }
+
+  return errors;
+}
+
+bool is_well_formed(const Pag& pag) { return validate(pag).empty(); }
+
+}  // namespace parcfl::pag

@@ -1,0 +1,20 @@
+#pragma once
+// Structural validation of a PAG against the Fig. 1 well-formedness rules:
+// edges connect only local variables unless they are assign_g edges involving
+// a global; new edges target locals and source objects; objects never appear
+// where variables are required; aux ids are in range.
+
+#include <string>
+#include <vector>
+
+#include "pag/pag.hpp"
+
+namespace parcfl::pag {
+
+/// Returns a list of human-readable violations (empty means well-formed).
+std::vector<std::string> validate(const Pag& pag);
+
+/// Convenience: true iff validate(pag) is empty.
+bool is_well_formed(const Pag& pag);
+
+}  // namespace parcfl::pag

@@ -1,0 +1,16 @@
+#include "support/arena.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace parcfl::support {
+
+void Arena::grow(std::size_t min_bytes) {
+  const std::size_t bytes = std::max(block_bytes_, min_bytes);
+  blocks_.push_back(std::make_unique<std::byte[]>(bytes));
+  current_ = blocks_.back().get();
+  capacity_ = bytes;
+  cursor_ = 0;
+}
+
+}  // namespace parcfl::support

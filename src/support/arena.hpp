@@ -1,0 +1,77 @@
+#pragma once
+// Bump-pointer arena for write-once records (jmp-edge target lists, context
+// table chunks). Blocks are never freed individually; the arena releases
+// everything at destruction. Thread-safety: Arena itself is single-owner;
+// concurrent producers each use their own Arena (per-thread) or synchronise
+// externally. Published pointers remain valid for the arena's lifetime, which
+// is what lets readers stay lock-free after publication.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace parcfl::support {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t block_bytes = 1 << 16) : block_bytes_(block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Allocate raw storage with the given size/alignment.
+  void* allocate(std::size_t bytes, std::size_t align) {
+    PARCFL_DCHECK(align > 0 && (align & (align - 1)) == 0);
+    std::size_t offset = (cursor_ + align - 1) & ~(align - 1);
+    if (current_ == nullptr || offset + bytes > capacity_) {
+      grow(bytes + align);
+      offset = (cursor_ + align - 1) & ~(align - 1);
+    }
+    void* p = current_ + offset;
+    cursor_ = offset + bytes;
+    allocated_bytes_ += bytes;
+    return p;
+  }
+
+  /// Construct a T in the arena. T must be trivially destructible (the arena
+  /// never runs destructors).
+  template <class T, class... Args>
+  T* create(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    return new (allocate(sizeof(T), alignof(T))) T(std::forward<Args>(args)...);
+  }
+
+  /// Copy a span of trivially-copyable elements into the arena; returns the
+  /// stable pointer.
+  template <class T>
+  T* copy_array(const T* src, std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (count == 0) return nullptr;
+    T* dst = static_cast<T*>(allocate(sizeof(T) * count, alignof(T)));
+    std::memcpy(dst, src, sizeof(T) * count);
+    return dst;
+  }
+
+  std::size_t allocated_bytes() const { return allocated_bytes_; }
+
+ private:
+  void grow(std::size_t min_bytes);
+
+  std::size_t block_bytes_;
+  std::vector<std::unique_ptr<std::byte[]>> blocks_;
+  std::byte* current_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t cursor_ = 0;
+  std::size_t allocated_bytes_ = 0;
+};
+
+}  // namespace parcfl::support

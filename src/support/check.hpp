@@ -1,0 +1,36 @@
+#pragma once
+// Lightweight runtime checking for parcfl.
+//
+// PARCFL_CHECK is always on (cheap invariants on hot boundaries are still
+// cheap relative to graph traversal); PARCFL_DCHECK compiles out in NDEBUG
+// builds and guards expensive consistency checks.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace parcfl::support {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "parcfl: CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg && *msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace parcfl::support
+
+#define PARCFL_CHECK(expr)                                                   \
+  do {                                                                       \
+    if (!(expr)) ::parcfl::support::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define PARCFL_CHECK_MSG(expr, msg)                                          \
+  do {                                                                       \
+    if (!(expr)) ::parcfl::support::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define PARCFL_DCHECK(expr) ((void)0)
+#else
+#define PARCFL_DCHECK(expr) PARCFL_CHECK(expr)
+#endif

@@ -1,0 +1,34 @@
+#include "support/mem_meter.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace parcfl::support {
+
+std::atomic<std::uint64_t> MemTally::current_{0};
+std::atomic<std::uint64_t> MemTally::peak_{0};
+
+namespace {
+
+std::uint64_t read_status_kb(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  const std::size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0) {
+      std::sscanf(line + field_len, "%*[^0-9]%lu", &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+}  // namespace
+
+std::uint64_t current_rss_bytes() { return read_status_kb("VmRSS:"); }
+std::uint64_t peak_rss_bytes() { return read_status_kb("VmHWM:"); }
+
+}  // namespace parcfl::support

@@ -1,0 +1,55 @@
+#pragma once
+// Peak-memory measurement for the §IV-D5 experiment. Two complementary
+// sources:
+//  * VmHWM from /proc/self/status — OS view of peak resident set. Reliable
+//    but process-global and monotone, so per-phase comparison needs
+//    reset_peak_rss() (Linux >= 4.0 via /proc/self/clear_refs is not usable
+//    for HWM; instead we report deltas against a phase baseline).
+//  * A process-wide allocation tally (opt-in via AllocationMeter scopes) that
+//    tracks bytes handed out by the analysis' own bookkeeping (jmp store,
+//    memo tables), which is the quantity the paper attributes jmp overhead to.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace parcfl::support {
+
+/// Current resident set size in bytes (VmRSS), or 0 if unavailable.
+std::uint64_t current_rss_bytes();
+
+/// Peak resident set size in bytes (VmHWM), or 0 if unavailable.
+std::uint64_t peak_rss_bytes();
+
+/// Process-wide tally for analysis-owned allocations. Components that want
+/// their footprint measured call note_alloc/note_free explicitly (cheap
+/// relaxed atomics); this avoids a global operator new hook, which would
+/// distort timing benchmarks.
+class MemTally {
+ public:
+  static void note_alloc(std::size_t bytes) {
+    auto cur = current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    // Racy max update is fine: peak is advisory.
+    std::uint64_t prev = peak_.load(std::memory_order_relaxed);
+    while (cur > prev &&
+           !peak_.compare_exchange_weak(prev, cur, std::memory_order_relaxed)) {
+    }
+  }
+  static void note_free(std::size_t bytes) {
+    current_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+  static std::uint64_t current_bytes() {
+    return current_.load(std::memory_order_relaxed);
+  }
+  static std::uint64_t peak_bytes() { return peak_.load(std::memory_order_relaxed); }
+  static void reset() {
+    current_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static std::atomic<std::uint64_t> current_;
+  static std::atomic<std::uint64_t> peak_;
+};
+
+}  // namespace parcfl::support

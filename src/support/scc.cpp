@@ -1,0 +1,131 @@
+#include "support/scc.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace parcfl::support {
+
+CsrGraph CsrGraph::from_edges(
+    std::size_t n, std::span<const std::pair<std::uint32_t, std::uint32_t>> edges) {
+  CsrGraph g;
+  g.offsets.assign(n + 1, 0);
+  for (const auto& [src, dst] : edges) {
+    PARCFL_CHECK(src < n && dst < n);
+    ++g.offsets[src + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) g.offsets[i] += g.offsets[i - 1];
+  g.targets.resize(edges.size());
+  std::vector<std::uint32_t> cursor(g.offsets.begin(), g.offsets.end() - 1);
+  for (const auto& [src, dst] : edges) g.targets[cursor[src]++] = dst;
+  return g;
+}
+
+std::vector<std::vector<std::uint32_t>> SccResult::members_by_component() const {
+  std::vector<std::vector<std::uint32_t>> members(component_count);
+  for (std::uint32_t v = 0; v < component_of.size(); ++v)
+    members[component_of[v]].push_back(v);
+  return members;
+}
+
+namespace {
+
+constexpr std::uint32_t kUnvisited = 0xffffffffu;
+
+}  // namespace
+
+SccResult strongly_connected_components(const CsrGraph& g) {
+  const auto n = static_cast<std::uint32_t>(g.vertex_count());
+  SccResult out;
+  out.component_of.assign(n, kUnvisited);
+
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::uint32_t> stack;             // Tarjan's SCC stack
+  stack.reserve(64);
+  std::uint32_t next_index = 0;
+
+  // Explicit DFS frames: (vertex, next successor position).
+  struct Frame {
+    std::uint32_t v;
+    std::uint32_t pos;
+  };
+  std::vector<Frame> dfs;
+
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!dfs.empty()) {
+      Frame& f = dfs.back();
+      const auto succs = g.successors(f.v);
+      if (f.pos < succs.size()) {
+        const std::uint32_t w = succs[f.pos++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          dfs.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+      } else {
+        const std::uint32_t v = f.v;
+        dfs.pop_back();
+        if (!dfs.empty())
+          lowlink[dfs.back().v] = std::min(lowlink[dfs.back().v], lowlink[v]);
+        if (lowlink[v] == index[v]) {
+          // v is the root of an SCC; pop members off the stack.
+          const std::uint32_t comp = out.component_count++;
+          for (;;) {
+            const std::uint32_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            out.component_of[w] = comp;
+            if (w == v) break;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+CsrGraph condense(const CsrGraph& g, const SccResult& scc) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(g.targets.size());
+  for (std::uint32_t v = 0; v < g.vertex_count(); ++v) {
+    const std::uint32_t cv = scc.component_of[v];
+    for (std::uint32_t w : g.successors(v)) {
+      const std::uint32_t cw = scc.component_of[w];
+      if (cv != cw) edges.emplace_back(cv, cw);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return CsrGraph::from_edges(scc.component_count, edges);
+}
+
+std::vector<std::uint32_t> topological_order(const CsrGraph& g) {
+  const auto n = static_cast<std::uint32_t>(g.vertex_count());
+  std::vector<std::uint32_t> indegree(n, 0);
+  for (std::uint32_t v = 0; v < n; ++v)
+    for (std::uint32_t w : g.successors(v)) ++indegree[w];
+
+  std::vector<std::uint32_t> order;
+  order.reserve(n);
+  for (std::uint32_t v = 0; v < n; ++v)
+    if (indegree[v] == 0) order.push_back(v);
+  for (std::size_t i = 0; i < order.size(); ++i)
+    for (std::uint32_t w : g.successors(order[i]))
+      if (--indegree[w] == 0) order.push_back(w);
+
+  PARCFL_CHECK_MSG(order.size() == n, "topological_order: graph has a cycle");
+  return order;
+}
+
+}  // namespace parcfl::support

@@ -1,0 +1,55 @@
+#pragma once
+// Iterative Tarjan strongly-connected components over a compact adjacency
+// representation. Used for:
+//  * call-graph recursion collapsing (paper §IV-A),
+//  * points-to (assign) cycle elimination (paper §IV-A, following [18]),
+//  * longest-path "modulo recursion" in the scheduler's CD metric (§III-C2),
+//  * type-containment levels "modulo recursion" in the DD metric (§III-C2).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace parcfl::support {
+
+/// A minimal immutable digraph in CSR form over dense 0..n-1 vertex ids.
+struct CsrGraph {
+  std::vector<std::uint32_t> offsets;  // size n+1
+  std::vector<std::uint32_t> targets;  // size m
+
+  std::size_t vertex_count() const { return offsets.empty() ? 0 : offsets.size() - 1; }
+
+  std::span<const std::uint32_t> successors(std::uint32_t v) const {
+    return {targets.data() + offsets[v], targets.data() + offsets[v + 1]};
+  }
+
+  /// Build from an edge list (pairs may repeat; duplicates are kept).
+  static CsrGraph from_edges(std::size_t n,
+                             std::span<const std::pair<std::uint32_t, std::uint32_t>> edges);
+};
+
+/// Result of an SCC decomposition. Components are numbered in *reverse
+/// topological order of the condensation* (Tarjan's natural output): if there
+/// is an edge from component a to component b (a != b), then comp_id of the
+/// source is greater than comp_id of the target.
+struct SccResult {
+  std::vector<std::uint32_t> component_of;  // vertex -> component id
+  std::uint32_t component_count = 0;
+
+  /// component -> member vertices (computed lazily by members_by_component()).
+  std::vector<std::vector<std::uint32_t>> members_by_component() const;
+};
+
+/// Iterative Tarjan; safe for graphs with millions of vertices (no recursion).
+SccResult strongly_connected_components(const CsrGraph& g);
+
+/// Condense g by an SCC result: returns the DAG over component ids with
+/// duplicate edges removed and self-loops dropped.
+CsrGraph condense(const CsrGraph& g, const SccResult& scc);
+
+/// Topological order of a DAG (components in condensation are already
+/// reverse-topological; this is for general DAGs). Vertices with no
+/// constraints come first. Precondition: g is acyclic (checked).
+std::vector<std::uint32_t> topological_order(const CsrGraph& g);
+
+}  // namespace parcfl::support

@@ -1,0 +1,118 @@
+#pragma once
+// A sharded concurrent hash map — our substitute for the JVM
+// ConcurrentHashMap the paper uses to manage jmp edges (§IV-A). Keys hash to
+// one of N shards; each shard is an open-hashing table guarded by its own
+// lock. Values are expected to be small (the jmp store keeps pointers to
+// arena-allocated immutable records).
+//
+// Concurrency contract:
+//  * find_copy / insert_if_absent / update are linearisable per key.
+//  * insert_if_absent has first-wins semantics: the first inserter's value is
+//    kept, matching the paper's discussion of concurrent jmp insertion
+//    ("only one of the two will succeed").
+//  * for_each_copy takes each shard lock in turn; it sees a consistent
+//    snapshot per shard, not globally (fine for statistics).
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "support/spinlock.hpp"
+
+namespace parcfl::support {
+
+template <class Key, class Value, class Hash = std::hash<Key>, unsigned kShardBits = 6>
+class ShardedMap {
+ public:
+  static constexpr unsigned kShards = 1u << kShardBits;
+
+  ShardedMap() = default;
+  ShardedMap(const ShardedMap&) = delete;
+  ShardedMap& operator=(const ShardedMap&) = delete;
+
+  /// Insert (key, value) if absent; returns true if this call inserted.
+  bool insert_if_absent(const Key& key, const Value& value) {
+    Shard& s = shard_for(key);
+    std::lock_guard lock(s.mu);
+    return s.map.emplace(key, value).second;
+  }
+
+  /// Copy out the value for key, if present.
+  bool find_copy(const Key& key, Value& out) const {
+    const Shard& s = shard_for(key);
+    std::lock_guard lock(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end()) return false;
+    out = it->second;
+    return true;
+  }
+
+  bool contains(const Key& key) const {
+    const Shard& s = shard_for(key);
+    std::lock_guard lock(s.mu);
+    return s.map.contains(key);
+  }
+
+  /// Run fn(value&) under the shard lock, creating a default value if absent.
+  /// Use for read-modify-write on entries (e.g. publishing a second jmp kind
+  /// into an existing entry).
+  template <class Fn>
+  void update(const Key& key, Fn&& fn) {
+    Shard& s = shard_for(key);
+    std::lock_guard lock(s.mu);
+    fn(s.map[key]);
+  }
+
+  /// Iterate over a copy of every (key, value). Shard-consistent snapshot.
+  template <class Fn>
+  void for_each_copy(Fn&& fn) const {
+    for (const Shard& s : shards_) {
+      std::vector<std::pair<Key, Value>> snapshot;
+      {
+        std::lock_guard lock(s.mu);
+        snapshot.assign(s.map.begin(), s.map.end());
+      }
+      for (const auto& [k, v] : snapshot) fn(k, v);
+    }
+  }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const Shard& s : shards_) {
+      std::lock_guard lock(s.mu);
+      total += s.map.size();
+    }
+    return total;
+  }
+
+  void clear() {
+    for (Shard& s : shards_) {
+      std::lock_guard lock(s.mu);
+      s.map.clear();
+    }
+  }
+
+ private:
+  struct Shard {
+    mutable SpinLock mu;
+    std::unordered_map<Key, Value, Hash> map;
+  };
+
+  Shard& shard_for(const Key& key) { return shards_[shard_index(key)]; }
+  const Shard& shard_for(const Key& key) const { return shards_[shard_index(key)]; }
+
+  std::size_t shard_index(const Key& key) const {
+    // Re-mix the hash so maps with identity std::hash still spread shards.
+    std::uint64_t h = Hash{}(key);
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return static_cast<std::size_t>(h & (kShards - 1));
+  }
+
+  Shard shards_[kShards];
+};
+
+}  // namespace parcfl::support

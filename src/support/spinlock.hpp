@@ -1,0 +1,51 @@
+#pragma once
+// Test-and-test-and-set spinlock with exponential backoff. Shard locks in the
+// jmp store are held for sub-microsecond critical sections (one hash-map
+// probe), where a futex-based mutex round trip would dominate. Satisfies the
+// Lockable named requirement so std::lock_guard works.
+
+#include <atomic>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace parcfl::support {
+
+class SpinLock {
+ public:
+  void lock() {
+    int spins = 0;
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      // Wait until it looks free before retrying the RMW (TTAS).
+      while (flag_.load(std::memory_order_relaxed)) {
+        cpu_relax();
+        if (++spins > 1024) {
+          spins = 0;
+          flag_.wait(true, std::memory_order_relaxed);  // park on contention
+        }
+      }
+    }
+  }
+
+  bool try_lock() { return !flag_.exchange(true, std::memory_order_acquire); }
+
+  void unlock() {
+    flag_.store(false, std::memory_order_release);
+    flag_.notify_one();
+  }
+
+ private:
+  static void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+    _mm_pause();
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+  }
+
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace parcfl::support

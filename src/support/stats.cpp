@@ -1,0 +1,61 @@
+#include "support/stats.hpp"
+
+#include <bit>
+#include <sstream>
+
+namespace parcfl::support {
+
+void Pow2Histogram::add(std::uint64_t value, std::uint64_t weight) {
+  unsigned bucket = value == 0 ? 0 : static_cast<unsigned>(std::bit_width(value) - 1);
+  if (bucket >= kBuckets) bucket = kBuckets - 1;
+  buckets_[bucket] += weight;
+  weight_sum_ += weight * value;
+}
+
+std::uint64_t Pow2Histogram::total_count() const {
+  std::uint64_t total = 0;
+  for (auto b : buckets_) total += b;
+  return total;
+}
+
+void Pow2Histogram::merge(const Pow2Histogram& other) {
+  for (unsigned i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  weight_sum_ += other.weight_sum_;
+}
+
+std::string Pow2Histogram::to_string() const {
+  std::ostringstream os;
+  for (unsigned i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    os << "2^" << i << ": " << buckets_[i] << "\n";
+  }
+  return os.str();
+}
+
+void QueryCounters::merge(const QueryCounters& other) {
+  queries += other.queries;
+  out_of_budget += other.out_of_budget;
+  early_terminations += other.early_terminations;
+  charged_steps += other.charged_steps;
+  traversed_steps += other.traversed_steps;
+  saved_steps += other.saved_steps;
+  jmp_lookups += other.jmp_lookups;
+  jmps_taken += other.jmps_taken;
+  jmps_added_finished += other.jmps_added_finished;
+  jmps_added_unfinished += other.jmps_added_unfinished;
+  jmps_suppressed += other.jmps_suppressed;
+  points_to_tuples += other.points_to_tuples;
+  fixpoint_iterations += other.fixpoint_iterations;
+}
+
+std::string QueryCounters::to_string() const {
+  std::ostringstream os;
+  os << "queries=" << queries << " oob=" << out_of_budget
+     << " ETs=" << early_terminations << " charged=" << charged_steps
+     << " traversed=" << traversed_steps << " saved=" << saved_steps
+     << " jmpsTaken=" << jmps_taken << " jmpsFin=" << jmps_added_finished
+     << " jmpsUnf=" << jmps_added_unfinished << " tuples=" << points_to_tuples;
+  return os.str();
+}
+
+}  // namespace parcfl::support

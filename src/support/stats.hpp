@@ -1,0 +1,56 @@
+#pragma once
+// Analysis statistics: per-query counters, engine-level aggregates, and the
+// power-of-two histogram used for Fig. 7 (jmp edges bucketed by steps saved).
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parcfl::support {
+
+/// Histogram over power-of-two buckets [2^i, 2^(i+1)), i in [0, kBuckets).
+/// Values of 0 land in bucket 0; values beyond the top land in the last.
+class Pow2Histogram {
+ public:
+  static constexpr unsigned kBuckets = 20;
+
+  void add(std::uint64_t value, std::uint64_t weight = 1);
+
+  std::uint64_t bucket(unsigned i) const { return buckets_.at(i); }
+  std::uint64_t total_count() const;
+  std::uint64_t total_weight() const { return weight_sum_; }
+
+  /// Merge another histogram into this one.
+  void merge(const Pow2Histogram& other);
+
+  /// Render one line per non-empty bucket: "2^i..2^(i+1): count".
+  std::string to_string() const;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t weight_sum_ = 0;
+};
+
+/// Counters accumulated while answering queries. Each worker keeps its own
+/// copy (no sharing); the engine merges them at the end of a run.
+struct QueryCounters {
+  std::uint64_t queries = 0;             // queries processed
+  std::uint64_t out_of_budget = 0;       // queries that exhausted the budget
+  std::uint64_t early_terminations = 0;  // aborts via unfinished-jmp check (#ETs)
+  std::uint64_t charged_steps = 0;       // budget-visible steps (paper's `steps`)
+  std::uint64_t traversed_steps = 0;     // steps actually walked (work metric)
+  std::uint64_t saved_steps = 0;         // charged - traversed contribution of jmps
+  std::uint64_t jmp_lookups = 0;         // ReachableNodes store probes
+  std::uint64_t jmps_taken = 0;          // finished shortcuts consumed
+  std::uint64_t jmps_added_finished = 0;
+  std::uint64_t jmps_added_unfinished = 0;
+  std::uint64_t jmps_suppressed = 0;     // below tau thresholds (Fig. 7 "opt")
+  std::uint64_t points_to_tuples = 0;    // total result-set size
+  std::uint64_t fixpoint_iterations = 0; // top-level re-runs for cycle closure
+
+  void merge(const QueryCounters& other);
+  std::string to_string() const;
+};
+
+}  // namespace parcfl::support

@@ -1,0 +1,45 @@
+#pragma once
+// Strongly-typed 32-bit index wrappers. The PAG, IR and context tables all use
+// dense integer ids; distinct tag types prevent mixing (e.g.) a node id with a
+// call-site id at compile time with zero runtime cost.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace parcfl::support {
+
+template <class Tag>
+class StrongId {
+ public:
+  using value_type = std::uint32_t;
+  static constexpr value_type kInvalidValue = std::numeric_limits<value_type>::max();
+
+  constexpr StrongId() : v_(kInvalidValue) {}
+  constexpr explicit StrongId(value_type v) : v_(v) {}
+
+  static constexpr StrongId invalid() { return StrongId(); }
+  constexpr bool valid() const { return v_ != kInvalidValue; }
+  constexpr value_type value() const { return v_; }
+
+  constexpr bool operator==(const StrongId&) const = default;
+  constexpr auto operator<=>(const StrongId&) const = default;
+
+ private:
+  value_type v_;
+};
+
+}  // namespace parcfl::support
+
+// Hash support so strong ids drop straight into unordered containers.
+template <class Tag>
+struct std::hash<parcfl::support::StrongId<Tag>> {
+  std::size_t operator()(const parcfl::support::StrongId<Tag>& id) const noexcept {
+    // Finalizer from SplitMix64; ids are dense so mixing matters for maps.
+    std::uint64_t z = id.value() + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};

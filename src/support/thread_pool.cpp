@@ -1,0 +1,115 @@
+#include "support/thread_pool.hpp"
+
+#include "support/check.hpp"
+
+namespace parcfl::support {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    workers_.emplace_back([this, i] { worker_main(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::parallel_for(std::uint64_t unit_count,
+                              const std::function<void(unsigned, std::uint64_t)>& body) {
+  if (unit_count == 0) return;
+  ForJob job;
+  job.count = unit_count;
+  job.body = &body;
+  {
+    std::lock_guard lock(mu_);
+    PARCFL_CHECK_MSG(for_job_ == nullptr, "nested parallel_for is not supported");
+    for_job_ = &job;
+    ++for_generation_;
+  }
+  cv_.notify_all();
+  {
+    // Wait until every unit ran AND no worker still holds a reference to the
+    // stack-allocated job (a worker may observe cursor exhaustion after the
+    // last unit completed; it must check out before `job` is destroyed).
+    std::unique_lock lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return job.done.load(std::memory_order_acquire) == unit_count &&
+             job.users.load(std::memory_order_acquire) == 0;
+    });
+    for_job_ = nullptr;
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    tasks_.push_back(std::move(task));
+    ++pending_tasks_;
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  done_cv_.wait(lock, [&] { return pending_tasks_ == 0; });
+}
+
+void ThreadPool::worker_main(unsigned id) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    ForJob* job = nullptr;
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [&] {
+        return stop_ || !tasks_.empty() ||
+               (for_job_ != nullptr && for_generation_ != seen_generation);
+      });
+      if (stop_) return;
+      if (!tasks_.empty()) {
+        task = std::move(tasks_.back());
+        tasks_.pop_back();
+      } else {
+        job = for_job_;
+        seen_generation = for_generation_;
+        job->users.fetch_add(1, std::memory_order_acq_rel);
+      }
+    }
+
+    if (task) {
+      task();
+      std::lock_guard lock(mu_);
+      if (--pending_tasks_ == 0) done_cv_.notify_all();
+      continue;
+    }
+
+    // Claim-and-run loop for the active parallel_for. Workers race on an
+    // atomic cursor; completion is tracked with a separate counter so the
+    // issuing thread only wakes when the *last* unit finished running (cursor
+    // exhaustion alone would be too early).
+    std::uint64_t finished = 0;
+    for (;;) {
+      const std::uint64_t i = job->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job->count) break;
+      (*job->body)(id, i);
+      ++finished;
+    }
+    job->done.fetch_add(finished, std::memory_order_acq_rel);
+    job->users.fetch_sub(1, std::memory_order_acq_rel);
+    {
+      std::lock_guard lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace parcfl::support

@@ -1,0 +1,67 @@
+#pragma once
+// A small fork-join thread pool. The engine uses one parallel_for-style
+// dispatch per analysis run: workers claim work-unit indices from an atomic
+// counter (the "lock-protected shared work list" of §III-A degenerates to a
+// fetch_add since units are pre-materialised), run the unit, and exit when
+// the counter passes the end.
+//
+// The pool is also usable as a persistent executor (submit/wait) for tests.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace parcfl::support {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers. threads == 0 means "hardware concurrency".
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Run body(worker_id, unit_index) for every unit in [0, unit_count),
+  /// dynamically load-balanced. Blocks until all units complete. worker_id is
+  /// in [0, thread_count()). The calling thread never runs units itself: all
+  /// work runs on pool workers, so per-worker step accounting stays exact.
+  void parallel_for(std::uint64_t unit_count,
+                    const std::function<void(unsigned, std::uint64_t)>& body);
+
+  /// Enqueue a one-off task (test utility).
+  void submit(std::function<void()> task);
+
+  /// Wait until all submitted tasks have finished.
+  void wait_idle();
+
+ private:
+  void worker_main(unsigned id);
+
+  struct ForJob {
+    std::atomic<std::uint64_t> next{0};
+    std::uint64_t count = 0;
+    const std::function<void(unsigned, std::uint64_t)>* body = nullptr;
+    std::atomic<std::uint64_t> done{0};
+    std::atomic<std::uint32_t> users{0};  // workers currently holding this job
+  };
+
+  std::mutex mu_;
+  std::condition_variable cv_;           // workers sleep here
+  std::condition_variable done_cv_;      // parallel_for/wait_idle sleep here
+  std::vector<std::function<void()>> tasks_;
+  ForJob* for_job_ = nullptr;            // guarded by mu_; non-null while active
+  std::uint64_t for_generation_ = 0;     // bumps when a for-job is installed
+  std::uint64_t pending_tasks_ = 0;
+  bool stop_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace parcfl::support

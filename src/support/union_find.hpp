@@ -1,0 +1,52 @@
+#pragma once
+// Union-find (disjoint set union) with path halving and union by size.
+// Used by the query scheduler to form `direct`-relation groups (paper §III-C1)
+// and by the PAG assign-SCC collapser.
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace parcfl::support {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+
+  std::uint32_t find(std::uint32_t x) {
+    PARCFL_DCHECK(x < parent_.size());
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merge the sets containing a and b; returns the new root.
+  std::uint32_t unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return a;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return a;
+  }
+
+  bool same(std::uint32_t a, std::uint32_t b) { return find(a) == find(b); }
+
+  /// Size of the set containing x.
+  std::uint32_t set_size(std::uint32_t x) { return size_[find(x)]; }
+
+  std::size_t element_count() const { return parent_.size(); }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+};
+
+}  // namespace parcfl::support

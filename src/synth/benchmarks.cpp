@@ -1,0 +1,104 @@
+#include "synth/benchmarks.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+namespace parcfl::synth {
+
+namespace {
+
+// method_ratio and query_ratio are Table I's #Methods and #Queries columns
+// normalised by the suite averages (50,972 methods; 30,624 queries).
+// heap_intensity orders the benchmarks by their reported per-query traversal
+// weight (#S / #Queries) and steps-saved ratio RS: jess/javac/mpegaudio/
+// tomcat are the heap-heaviest, check/compress the lightest.
+std::vector<BenchmarkSpec> make_specs() {
+  return {
+      {"_200_check", false, 1.07, 0.036, 0.25, 2001},
+      {"_201_compress", false, 1.07, 0.043, 0.25, 2002},
+      {"_202_jess", false, 1.08, 0.247, 0.95, 2003},
+      {"_205_raytrace", false, 1.07, 0.106, 0.80, 2004},
+      {"_209_db", false, 1.07, 0.044, 0.45, 2005},
+      {"_213_javac", false, 1.09, 0.480, 0.90, 2006},
+      {"_222_mpegaudio", false, 1.08, 0.209, 0.85, 2007},
+      {"_227_mtrt", false, 1.07, 0.106, 0.80, 2008},
+      {"_228_jack", false, 1.08, 0.215, 0.75, 2009},
+      {"_999_checkit", false, 1.07, 0.048, 0.40, 2010},
+      {"avrora", true, 0.58, 0.799, 0.55, 2011},
+      {"batik", true, 1.29, 2.105, 0.70, 2012},
+      {"fop", true, 1.57, 2.336, 0.75, 2013},
+      {"h2", true, 0.64, 1.466, 0.65, 2014},
+      {"luindex", true, 0.56, 0.732, 0.60, 2015},
+      {"lusearch", true, 0.55, 0.572, 0.65, 2016},
+      {"pmd", true, 0.66, 1.856, 0.60, 2017},
+      {"sunflow", true, 1.11, 0.697, 0.55, 2018},
+      {"tomcat", true, 1.63, 6.068, 0.85, 2019},
+      {"xalan", true, 0.65, 1.836, 0.60, 2020},
+  };
+}
+
+}  // namespace
+
+const std::vector<BenchmarkSpec>& table1_benchmarks() {
+  static const std::vector<BenchmarkSpec> specs = make_specs();
+  return specs;
+}
+
+const BenchmarkSpec& benchmark_spec(const std::string& name) {
+  for (const BenchmarkSpec& spec : table1_benchmarks())
+    if (spec.name == name) return spec;
+  PARCFL_CHECK_MSG(false, "unknown benchmark name");
+  __builtin_unreachable();
+}
+
+GeneratorConfig config_for(const BenchmarkSpec& spec, double scale) {
+  GeneratorConfig cfg;
+  cfg.seed = spec.seed;
+
+  // Base sizes chosen so that scale=1.0 yields graphs a single host core can
+  // sweep through all engine configurations in seconds; every knob keeps the
+  // paper's cross-benchmark proportions.
+  const double methods = 160.0 * spec.method_ratio * scale;
+  // JVM98: big shared library, few app queries. DaCapo: the reverse.
+  const double app_fraction = spec.is_dacapo
+                                  ? std::min(0.8, 0.25 + 0.09 * spec.query_ratio)
+                                  : std::min(0.5, 0.06 + 0.45 * spec.query_ratio);
+  cfg.app_methods = std::max<std::uint32_t>(
+      3, static_cast<std::uint32_t>(methods * app_fraction));
+  cfg.library_methods = std::max<std::uint32_t>(
+      5, static_cast<std::uint32_t>(methods * (1.0 - app_fraction)));
+
+  cfg.classes = std::max<std::uint32_t>(8, static_cast<std::uint32_t>(methods / 4));
+  cfg.globals = std::max<std::uint32_t>(4, cfg.classes / 4);
+  cfg.avg_locals = 6;
+  cfg.avg_stmts = 12;
+
+  // Heap intensity reshapes the statement mix and the container idiom load.
+  cfg.heap_weight = 0.18 + 0.30 * spec.heap_intensity;
+  cfg.assign_weight = 0.42 - 0.22 * spec.heap_intensity;
+  cfg.call_weight = 0.20;
+  cfg.alloc_weight = 0.15;
+  cfg.global_weight = 0.05;
+  cfg.containers = std::max<std::uint32_t>(
+      2, static_cast<std::uint32_t>(2 + 6 * spec.heap_intensity));
+  cfg.container_use_blocks = std::max<std::uint32_t>(
+      4, static_cast<std::uint32_t>(cfg.app_methods *
+                                    (0.3 + 1.2 * spec.heap_intensity)));
+  cfg.recursion_prob = 0.04;
+  return cfg;
+}
+
+double scale_from_env() {
+  const char* env = std::getenv("PARCFL_SCALE");
+  if (env == nullptr || *env == '\0') return 1.0;
+  const double v = std::atof(env);
+  return std::clamp(v, 0.05, 100.0);
+}
+
+frontend::Program build_benchmark(const std::string& name, double scale) {
+  return generate(config_for(benchmark_spec(name), scale));
+}
+
+}  // namespace parcfl::synth

@@ -1,0 +1,46 @@
+#pragma once
+// The 20 evaluation workloads of Table I (10 SPEC JVM98 + 10 DaCapo 2009),
+// reproduced as synthetic configurations whose *relative* shapes follow the
+// paper's reported statistics: JVM98 programs share a large library core
+// (few application queries relative to graph size), DaCapo programs are
+// application-heavy (many queries on smaller graphs), and the heap-intensity
+// knob is set from each benchmark's reported #S and RS.
+//
+// A global scale factor (default from PARCFL_SCALE, else 1.0) multiplies the
+// method counts so the full Table I harness stays tractable on small hosts
+// while preserving every cross-benchmark ratio.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "synth/generator.hpp"
+
+namespace parcfl::synth {
+
+struct BenchmarkSpec {
+  std::string name;
+  bool is_dacapo;            // JVM98 benchmarks carry the shared library core
+  double method_ratio;       // methods relative to the suite mean (Table I col 3)
+  double query_ratio;        // queries relative to the suite mean (col 6)
+  double heap_intensity;     // 0..1, from the reported RS/#S ordering
+  std::uint64_t seed;
+};
+
+/// All 20 Table I benchmarks, in the paper's row order.
+const std::vector<BenchmarkSpec>& table1_benchmarks();
+
+/// Look up a spec by name (aborts on unknown names).
+const BenchmarkSpec& benchmark_spec(const std::string& name);
+
+/// Concretise a spec into generator knobs at the given scale.
+GeneratorConfig config_for(const BenchmarkSpec& spec, double scale);
+
+/// Scale from the PARCFL_SCALE environment variable (default 1.0, clamped to
+/// [0.05, 100]).
+double scale_from_env();
+
+/// Generate the named benchmark's program at the given scale.
+frontend::Program build_benchmark(const std::string& name, double scale);
+
+}  // namespace parcfl::synth

@@ -1,0 +1,372 @@
+#include "synth/generator.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace parcfl::synth {
+
+using frontend::FieldId;
+using frontend::MethodId;
+using frontend::Program;
+using frontend::TypeId;
+using frontend::VarId;
+using support::Rng;
+
+namespace {
+
+std::string idx_name(const char* prefix, std::size_t i) {
+  return std::string(prefix) + std::to_string(i);
+}
+
+/// Everything the generator tracks while emitting one program.
+struct Gen {
+  const GeneratorConfig& cfg;
+  Program program;
+  Rng rng;
+
+  std::vector<TypeId> class_types;
+  std::vector<VarId> global_vars;
+
+  // Container idiom bookkeeping (per container k).
+  struct Container {
+    TypeId cont_type, box_type, elem_type;
+    FieldId elems_field, arr_field;
+    MethodId init, add, get;
+  };
+  std::vector<Container> containers;
+
+  // Per-method generation state.
+  struct MethodCtx {
+    MethodId id;
+    std::vector<VarId> vars;  // locals incl. params (candidates for operands)
+  };
+  std::vector<MethodCtx> methods;  // library first, then app
+
+  explicit Gen(const GeneratorConfig& c) : cfg(c), rng(c.seed) {}
+
+  TypeId random_class() {
+    return class_types[rng.below(class_types.size())];
+  }
+
+  VarId random_var(MethodCtx& m) { return m.vars[rng.below(m.vars.size())]; }
+
+  /// A variable of the given type when the method has one (Java programs are
+  /// type-consistent, which is what makes the scheduler's type-containment
+  /// DD metric meaningful); falls back to any variable.
+  VarId random_var_of(MethodCtx& m, TypeId type) {
+    std::uint32_t matches = 0;
+    for (const VarId v : m.vars)
+      if (program.var(v).type == type) ++matches;
+    if (matches == 0) return random_var(m);
+    std::uint64_t pick = rng.below(matches);
+    for (const VarId v : m.vars)
+      if (program.var(v).type == type && pick-- == 0) return v;
+    return random_var(m);
+  }
+
+  /// A field declared by v's static type, if any (falls back to any field;
+  /// invalid when the program declares no fields at all).
+  FieldId field_for(VarId v) {
+    const TypeId t = program.var(v).type;
+    const auto& fields = program.type(t).fields;
+    if (!fields.empty()) return fields[rng.below(fields.size())];
+    const std::size_t total = program.fields().size();
+    if (total == 0) return FieldId::invalid();
+    return FieldId(static_cast<std::uint32_t>(rng.below(total)));
+  }
+
+  void make_types();
+  void make_containers();
+  void make_globals();
+  MethodCtx make_method_shell(std::size_t index, bool is_application);
+  void fill_body(MethodCtx& m, std::size_t method_index);
+  void emit_container_blocks();
+  void make_main();
+};
+
+void Gen::make_types() {
+  const std::uint32_t n = std::max<std::uint32_t>(2, cfg.classes);
+  class_types.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    // Single-inheritance hierarchy: some classes extend an earlier one.
+    const TypeId super = i > 0 && rng.chance(cfg.subclass_prob)
+                             ? class_types[rng.below(i)]
+                             : TypeId::invalid();
+    class_types.push_back(program.add_type(
+        cfg.record_names ? idx_name("C", i) : std::string(),
+        /*is_reference=*/true, super));
+  }
+
+  // Reference-typed fields create the containment chains behind L(t). Bias
+  // field types toward earlier classes so levels form deep chains rather than
+  // one big cycle, with some arbitrary edges for realism.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t field_count =
+        static_cast<std::uint32_t>(rng.below(cfg.max_fields_per_class + 1));
+    for (std::uint32_t f = 0; f < field_count; ++f) {
+      const TypeId target = rng.chance(0.8) && i > 0
+                                ? class_types[rng.below(i)]
+                                : random_class();
+      program.add_field(class_types[i],
+                        cfg.record_names ? idx_name("f", program.fields().size())
+                                         : std::string(),
+                        target);
+    }
+  }
+}
+
+void Gen::make_containers() {
+  // The Fig. 2 Vector idiom: Cont.elems : Box, Box.arr : Elem, with library
+  // methods init/add/get. All three methods take `this` as a parameter so
+  // clients' base variables alias through param edges, exactly as in the
+  // paper's example.
+  for (std::uint32_t k = 0; k < cfg.containers; ++k) {
+    Container c;
+    c.elem_type = random_class();
+    c.box_type = program.add_type(cfg.record_names ? idx_name("Box", k)
+                                                   : std::string());
+    c.cont_type = program.add_type(cfg.record_names ? idx_name("Cont", k)
+                                                    : std::string());
+    c.arr_field = program.add_field(
+        c.box_type, cfg.record_names ? "arr" + std::to_string(k) : std::string(),
+        c.elem_type);
+    c.elems_field = program.add_field(
+        c.cont_type,
+        cfg.record_names ? "elems" + std::to_string(k) : std::string(),
+        c.box_type);
+
+    // init(this): t = new Box; this.elems = t
+    c.init = program.add_method(
+        cfg.record_names ? idx_name("cont_init", k) : std::string(),
+        /*is_application=*/false);
+    {
+      const VarId self = program.add_param(c.init, "this", c.cont_type);
+      const VarId t = program.add_local(c.init, "t", c.box_type);
+      program.stmt_alloc(c.init, t, c.box_type);
+      program.stmt_store(c.init, self, c.elems_field, t);
+    }
+    // add(this, e): t = this.elems; t.arr = e
+    c.add = program.add_method(
+        cfg.record_names ? idx_name("cont_add", k) : std::string(),
+        /*is_application=*/false);
+    {
+      const VarId self = program.add_param(c.add, "this", c.cont_type);
+      const VarId e = program.add_param(c.add, "e", c.elem_type);
+      const VarId t = program.add_local(c.add, "t", c.box_type);
+      program.stmt_load(c.add, t, self, c.elems_field);
+      program.stmt_store(c.add, t, c.arr_field, e);
+    }
+    // get(this): t = this.elems; ret = t.arr
+    c.get = program.add_method(
+        cfg.record_names ? idx_name("cont_get", k) : std::string(),
+        /*is_application=*/false);
+    {
+      const VarId self = program.add_param(c.get, "this", c.cont_type);
+      const VarId t = program.add_local(c.get, "t", c.box_type);
+      const VarId ret = program.add_local(c.get, "ret", c.elem_type);
+      program.stmt_load(c.get, t, self, c.elems_field);
+      program.stmt_load(c.get, ret, t, c.arr_field);
+      program.set_return_var(c.get, ret);
+    }
+    containers.push_back(c);
+  }
+}
+
+void Gen::make_globals() {
+  for (std::uint32_t i = 0; i < cfg.globals; ++i)
+    global_vars.push_back(program.add_global(
+        cfg.record_names ? idx_name("g", i) : std::string(), random_class()));
+}
+
+Gen::MethodCtx Gen::make_method_shell(std::size_t index, bool is_application) {
+  MethodCtx m;
+  m.id = program.add_method(
+      cfg.record_names ? idx_name(is_application ? "app" : "lib", index)
+                       : std::string(),
+      is_application);
+  const std::uint32_t params =
+      1 + static_cast<std::uint32_t>(rng.below(std::max(1u, cfg.max_params)));
+  for (std::uint32_t p = 0; p < params; ++p)
+    m.vars.push_back(program.add_param(m.id, cfg.record_names ? idx_name("p", p)
+                                                              : std::string(),
+                                       random_class()));
+  const std::uint32_t locals = std::max<std::uint32_t>(
+      2, static_cast<std::uint32_t>(rng.range(
+             static_cast<std::int64_t>(cfg.avg_locals) / 2,
+             static_cast<std::int64_t>(cfg.avg_locals) * 3 / 2)));
+  for (std::uint32_t l = 0; l < locals; ++l)
+    m.vars.push_back(program.add_local(m.id, cfg.record_names ? idx_name("v", l)
+                                                              : std::string(),
+                                       random_class()));
+  if (rng.chance(0.7)) {
+    const VarId ret = program.add_local(
+        m.id, cfg.record_names ? "ret" : std::string(), random_class());
+    program.set_return_var(m.id, ret);
+    m.vars.push_back(ret);
+  }
+  return m;
+}
+
+void Gen::fill_body(MethodCtx& m, std::size_t method_index) {
+  const double wsum = cfg.alloc_weight + cfg.assign_weight + cfg.heap_weight +
+                      cfg.global_weight + cfg.cast_weight + cfg.call_weight;
+  const std::uint32_t stmts = std::max<std::uint32_t>(
+      3, static_cast<std::uint32_t>(
+             rng.range(static_cast<std::int64_t>(cfg.avg_stmts) / 2,
+                       static_cast<std::int64_t>(cfg.avg_stmts) * 3 / 2)));
+
+  for (std::uint32_t s = 0; s < stmts; ++s) {
+    double pick = rng.uniform() * wsum;
+    if ((pick -= cfg.alloc_weight) < 0) {
+      const VarId dst = random_var(m);
+      program.stmt_alloc(m.id, dst, program.var(dst).type);
+    } else if ((pick -= cfg.assign_weight) < 0) {
+      const VarId src = random_var(m);
+      program.stmt_assign(m.id, random_var_of(m, program.var(src).type), src);
+    } else if ((pick -= cfg.heap_weight) < 0) {
+      const VarId base = random_var(m);
+      const FieldId f = field_for(base);
+      if (!f.valid()) continue;
+      // The accessed value is typed by the field's declaration: this keeps
+      // the observed containment graph equal to the declared one.
+      const TypeId value_type = program.field(f).type;
+      if (rng.chance(0.5))
+        program.stmt_load(m.id, random_var_of(m, value_type), base, f);
+      else
+        program.stmt_store(m.id, base, f, random_var_of(m, value_type));
+    } else if ((pick -= cfg.global_weight) < 0 && !global_vars.empty()) {
+      const VarId g = global_vars[rng.below(global_vars.size())];
+      const TypeId gt = program.var(g).type;
+      if (rng.chance(0.5))
+        program.stmt_assign(m.id, random_var_of(m, gt), g);  // l = g
+      else
+        program.stmt_assign(m.id, g, random_var_of(m, gt));  // g = l
+    } else if ((pick -= cfg.cast_weight) < 0) {
+      // dst = (T) src. Java casts relate hierarchy members: src's static
+      // type must be a supertype (downcast) or subtype (redundant upcast)
+      // of the target — arbitrary cross-type casts would add value flow no
+      // real bytecode has. Fall back to a same-typed source.
+      const TypeId target = random_class();
+      const VarId dst = random_var_of(m, target);
+      VarId src = VarId::invalid();
+      std::uint32_t related = 0;
+      for (const VarId v : m.vars) {
+        const TypeId vt = program.var(v).type;
+        if (program.is_subtype(vt, target) || program.is_subtype(target, vt))
+          ++related;
+      }
+      if (related > 0) {
+        std::uint64_t choice = rng.below(related);
+        for (const VarId v : m.vars) {
+          const TypeId vt = program.var(v).type;
+          if (program.is_subtype(vt, target) || program.is_subtype(target, vt))
+            if (choice-- == 0) {
+              src = v;
+              break;
+            }
+        }
+      }
+      if (!src.valid()) src = random_var_of(m, target);
+      program.stmt_cast(m.id, dst, target, src);
+    } else if (!methods.empty() || !containers.empty()) {
+      // Call: mostly an earlier method (acyclic), occasionally any method
+      // (may create recursion cycles, which lowering collapses).
+      MethodId callee;
+      if (!methods.empty() && !rng.chance(cfg.recursion_prob)) {
+        const std::size_t limit = std::min(method_index, methods.size());
+        if (limit == 0) continue;
+        callee = methods[rng.below(limit)].id;
+      } else if (!methods.empty()) {
+        callee = methods[rng.below(methods.size())].id;
+      } else {
+        continue;
+      }
+      const auto& decl = program.method(callee);
+      std::vector<VarId> args;
+      args.reserve(decl.params.size());
+      for (std::size_t a = 0; a < decl.params.size(); ++a)
+        args.push_back(random_var_of(m, program.var(decl.params[a]).type));
+      const VarId receiver =
+          decl.return_var.valid()
+              ? random_var_of(m, program.var(decl.return_var).type)
+              : VarId::invalid();
+      program.stmt_call(m.id, receiver, callee, std::move(args));
+    }
+  }
+}
+
+void Gen::emit_container_blocks() {
+  // Distribute Fig. 2-style client blocks over application methods:
+  //   c = new Cont_k; init(c); x = new Elem; add(c, x); y = get(c)
+  // Multiple independent clients of the same container methods are exactly
+  // what makes context-sensitivity observable (y must see only this block's
+  // x) and what makes the shared heap paths worth memoising via jmp edges.
+  if (containers.empty()) return;
+  const std::size_t app_begin =
+      methods.size() >= cfg.app_methods ? methods.size() - cfg.app_methods : 0;
+  if (app_begin == methods.size()) return;
+
+  for (std::uint32_t b = 0; b < cfg.container_use_blocks; ++b) {
+    MethodCtx& m = methods[app_begin + rng.below(methods.size() - app_begin)];
+    const Container& c = containers[rng.below(containers.size())];
+
+    const VarId cont = program.add_local(
+        m.id, cfg.record_names ? idx_name("cont", b) : std::string(), c.cont_type);
+    const VarId elem = program.add_local(
+        m.id, cfg.record_names ? idx_name("elem", b) : std::string(), c.elem_type);
+    const VarId got = program.add_local(
+        m.id, cfg.record_names ? idx_name("got", b) : std::string(), c.elem_type);
+
+    program.stmt_alloc(m.id, cont, c.cont_type);
+    program.stmt_call(m.id, VarId::invalid(), c.init, {cont});
+    program.stmt_alloc(m.id, elem, c.elem_type);
+    program.stmt_call(m.id, VarId::invalid(), c.add, {cont, elem});
+    program.stmt_call(m.id, got, c.get, {cont});
+
+    m.vars.push_back(cont);
+    m.vars.push_back(elem);
+    m.vars.push_back(got);
+  }
+}
+
+void Gen::make_main() {
+  const MethodId main_id = program.add_method("main", /*is_application=*/true);
+  const VarId arg = program.add_local(main_id, "args", random_class());
+  program.stmt_alloc(main_id, arg, program.var(arg).type);
+
+  // Call a sample of application methods so everything hangs off an entry.
+  const std::size_t app_begin =
+      methods.size() >= cfg.app_methods ? methods.size() - cfg.app_methods : 0;
+  for (std::size_t i = app_begin; i < methods.size(); ++i) {
+    if (!rng.chance(0.5)) continue;
+    const auto& decl = program.method(methods[i].id);
+    std::vector<VarId> args(decl.params.size(), arg);
+    program.stmt_call(main_id, VarId::invalid(), methods[i].id, std::move(args));
+  }
+}
+
+}  // namespace
+
+Program generate(const GeneratorConfig& config) {
+  Gen gen(config);
+  gen.make_types();
+  gen.make_containers();
+  gen.make_globals();
+
+  const std::uint32_t total_methods = config.library_methods + config.app_methods;
+  gen.methods.reserve(total_methods);
+  for (std::uint32_t i = 0; i < total_methods; ++i) {
+    const bool is_app = i >= config.library_methods;
+    gen.methods.push_back(gen.make_method_shell(i, is_app));
+  }
+  for (std::uint32_t i = 0; i < total_methods; ++i)
+    gen.fill_body(gen.methods[i], i);
+
+  gen.emit_container_blocks();
+  gen.make_main();
+  return std::move(gen.program);
+}
+
+}  // namespace parcfl::synth

@@ -1,0 +1,65 @@
+#pragma once
+// Synthetic Java-like program generator — the workload substitute for the
+// paper's Soot-exported SPEC JVM98 / DaCapo PAGs (DESIGN.md §1). The
+// generator is deterministic in its seed and produces the structural features
+// the analysis exercises:
+//
+//  * a class hierarchy with reference-typed fields (containment chains drive
+//    the scheduler's L(t)/DD metric),
+//  * container idioms modelled on the paper's Fig. 2 Vector example
+//    (Cont.elems -> Box.arr), whose add/get methods are shared by many
+//    clients — these create the long, repeatedly-traversed heap-access paths
+//    that data sharing targets,
+//  * a mostly-acyclic call graph with occasional recursion cycles (exercising
+//    recursion collapsing), param/ret parenthesis structure (exercising
+//    context-sensitivity), globals (context clearing), and
+//  * a library/application split (queries are issued for application locals
+//    only, as in §IV-C).
+
+#include <cstdint>
+#include <string>
+
+#include "frontend/ir.hpp"
+
+namespace parcfl::synth {
+
+struct GeneratorConfig {
+  std::uint64_t seed = 42;
+
+  // Program shape.
+  std::uint32_t classes = 30;
+  std::uint32_t max_fields_per_class = 3;
+  std::uint32_t library_methods = 40;
+  std::uint32_t app_methods = 30;
+  std::uint32_t avg_locals = 6;
+  std::uint32_t avg_stmts = 12;
+  std::uint32_t max_params = 3;
+  std::uint32_t globals = 10;
+
+  // Statement mix (weights are renormalised).
+  double alloc_weight = 0.15;
+  double assign_weight = 0.30;
+  double heap_weight = 0.30;    // split evenly between loads and stores
+  double global_weight = 0.05;  // global reads/writes
+  double call_weight = 0.20;
+  double cast_weight = 0.02;    // checked casts (cast-safety client fodder)
+
+  // Class hierarchy: chance a class extends an earlier one (drives the
+  // subtype relation the cast-safety client consumes). Kept moderate: every
+  // hierarchy member a cast touches couples that member's value-flow cone.
+  double subclass_prob = 0.25;
+
+  // Call-graph shape.
+  double recursion_prob = 0.04;  // chance a call targets a non-earlier method
+
+  // Container idiom (paper Fig. 2).
+  std::uint32_t containers = 4;            // Cont_k/Box_k class pairs
+  std::uint32_t container_use_blocks = 16; // create/add/get blocks in app code
+
+  bool record_names = false;  // name IR entities (small debug programs)
+};
+
+/// Generate a program. Deterministic in `config` (including seed).
+frontend::Program generate(const GeneratorConfig& config);
+
+}  // namespace parcfl::synth

@@ -1,0 +1,146 @@
+// Andersen baseline tests: hand-built constraint shapes plus agreement with
+// the context-insensitive ExactOracle on random graphs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "andersen/andersen.hpp"
+#include "oracle/oracle.hpp"
+#include "test_util.hpp"
+
+namespace parcfl::andersen {
+namespace {
+
+using pag::CallSiteId;
+using pag::FieldId;
+using pag::MethodId;
+using pag::NodeId;
+using pag::TypeId;
+
+TEST(Andersen, NewAndCopy) {
+  pag::Pag::Builder b;
+  const auto x = b.add_local(TypeId(0), MethodId(0));
+  const auto y = b.add_local(TypeId(0), MethodId(0));
+  const auto o = b.add_object(TypeId(0), MethodId(0));
+  b.new_edge(x, o);
+  b.assign_local(y, x);
+  const auto pag = std::move(b).finalize();
+  const auto result = solve(pag);
+  EXPECT_TRUE(result.points_to(x, o));
+  EXPECT_TRUE(result.points_to(y, o));
+  EXPECT_EQ(result.points_to(y).size(), 1u);
+}
+
+TEST(Andersen, LoadStoreThroughHeap) {
+  // p = new A; q = p; q.f = y0; x = p.f  =>  x points to what y0 points to.
+  pag::Pag::Builder b;
+  const auto p = b.add_local(TypeId(0), MethodId(0));
+  const auto q = b.add_local(TypeId(0), MethodId(0));
+  const auto x = b.add_local(TypeId(0), MethodId(0));
+  const auto y0 = b.add_local(TypeId(0), MethodId(0));
+  const auto oa = b.add_object(TypeId(0), MethodId(0));
+  const auto ob = b.add_object(TypeId(0), MethodId(0));
+  b.new_edge(p, oa);
+  b.assign_local(q, p);
+  b.new_edge(y0, ob);
+  b.store(q, y0, FieldId(0));
+  b.load(x, p, FieldId(0));
+  const auto pag = std::move(b).finalize();
+  const auto result = solve(pag);
+  EXPECT_TRUE(result.points_to(x, ob));
+  EXPECT_FALSE(result.points_to(x, oa));
+  // The heap cell (oa, f) holds ob.
+  const auto cell = result.heap_cell(oa, FieldId(0));
+  ASSERT_EQ(cell.size(), 1u);
+  EXPECT_EQ(cell[0], ob.value());
+}
+
+TEST(Andersen, FieldSensitivityKeepsFieldsApart) {
+  pag::Pag::Builder b;
+  const auto p = b.add_local(TypeId(0), MethodId(0));
+  const auto x = b.add_local(TypeId(0), MethodId(0));
+  const auto y = b.add_local(TypeId(0), MethodId(0));
+  const auto oa = b.add_object(TypeId(0), MethodId(0));
+  const auto ob = b.add_object(TypeId(0), MethodId(0));
+  b.new_edge(p, oa);
+  b.new_edge(y, ob);
+  b.store(p, y, FieldId(0));
+  b.load(x, p, FieldId(1));  // different field: no flow
+  const auto pag = std::move(b).finalize();
+  const auto result = solve(pag);
+  EXPECT_TRUE(result.points_to(x).empty());
+}
+
+TEST(Andersen, ParamRetActAsCopies) {
+  pag::Pag::Builder b;
+  const auto actual = b.add_local(TypeId(0), MethodId(0));
+  const auto formal = b.add_local(TypeId(0), MethodId(1));
+  const auto retvar = b.add_local(TypeId(0), MethodId(1));
+  const auto recv = b.add_local(TypeId(0), MethodId(0));
+  const auto o = b.add_object(TypeId(0), MethodId(0));
+  b.new_edge(actual, o);
+  b.param(formal, actual, CallSiteId(0));
+  b.assign_local(retvar, formal);
+  b.ret(recv, retvar, CallSiteId(0));
+  const auto pag = std::move(b).finalize();
+  const auto result = solve(pag);
+  EXPECT_TRUE(result.points_to(recv, o));
+}
+
+TEST(Andersen, CycleConverges) {
+  pag::Pag::Builder b;
+  const auto x = b.add_local(TypeId(0), MethodId(0));
+  const auto y = b.add_local(TypeId(0), MethodId(0));
+  const auto o = b.add_object(TypeId(0), MethodId(0));
+  b.new_edge(x, o);
+  b.assign_local(y, x);
+  b.assign_local(x, y);
+  const auto pag = std::move(b).finalize();
+  const auto result = solve(pag);
+  EXPECT_TRUE(result.points_to(y, o));
+  EXPECT_GT(result.stats().worklist_pops, 0u);
+}
+
+TEST(Andersen, HeapCycleConverges) {
+  // x = new O; x.f = x; y = x.f; y.f = y
+  pag::Pag::Builder b;
+  const auto x = b.add_local(TypeId(0), MethodId(0));
+  const auto y = b.add_local(TypeId(0), MethodId(0));
+  const auto o = b.add_object(TypeId(0), MethodId(0));
+  b.new_edge(x, o);
+  b.store(x, x, FieldId(0));
+  b.load(y, x, FieldId(0));
+  b.store(y, y, FieldId(0));
+  const auto pag = std::move(b).finalize();
+  const auto result = solve(pag);
+  EXPECT_TRUE(result.points_to(y, o));
+}
+
+class AndersenPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AndersenPropertyTest, MatchesContextInsensitiveOracle) {
+  test::RandomPagConfig cfg;
+  cfg.seed = GetParam() + 9000;
+  cfg.assign_edges = 6;
+  cfg.heap_edge_pairs = 3;
+  const auto pag = test::random_layered_pag(cfg);
+
+  oracle::OracleOptions oo;
+  oo.context_sensitive = false;
+  const oracle::ExactOracle exact(pag, oo);
+  const auto result = solve(pag);
+
+  for (const NodeId v : test::all_variables(pag)) {
+    const auto got = result.points_to(v);
+    const auto want = exact.points_to(v);
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), want.begin(), want.end()))
+        << "seed " << cfg.seed << " var " << v.value();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AndersenPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+}  // namespace
+}  // namespace parcfl::andersen

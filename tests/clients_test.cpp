@@ -1,0 +1,290 @@
+// Client-layer tests: PointsToTable construction, alias classes, cast
+// checking against the type hierarchy, nullness reports, mod-ref sets.
+
+#include <gtest/gtest.h>
+
+#include "clients/clients.hpp"
+#include "pag/collapse.hpp"
+#include "synth/generator.hpp"
+#include "test_util.hpp"
+
+namespace parcfl::clients {
+namespace {
+
+using frontend::VarId;
+using pag::NodeId;
+
+cfl::EngineOptions collecting_options() {
+  cfl::EngineOptions o;
+  o.mode = cfl::Mode::kDataSharingScheduling;
+  o.threads = 2;
+  o.solver.budget = 1'000'000;
+  o.collect_objects = true;
+  return o;
+}
+
+TEST(PointsToTable, FromEngineMatchesFromSolver) {
+  const auto fx = test::fig2();
+  cfl::Engine engine(fx.lowered.pag, collecting_options());
+  const auto result = engine.run(fx.lowered.queries);
+  const auto from_engine = PointsToTable::from_engine_result(result);
+
+  cfl::ContextTable contexts;
+  cfl::SolverOptions so;
+  so.budget = 1'000'000;
+  cfl::Solver solver(fx.lowered.pag, contexts, nullptr, so);
+  const auto from_solver = PointsToTable::from_solver(solver, fx.lowered.queries);
+
+  ASSERT_EQ(from_engine.size(), from_solver.size());
+  for (const NodeId q : fx.lowered.queries) {
+    const auto a = from_engine.points_to(q);
+    const auto b = from_solver.points_to(q);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+        << "var " << q.value();
+    EXPECT_TRUE(from_engine.is_complete(q));
+  }
+}
+
+TEST(PointsToTable, UnqueriedVariableIsEmptyAndIncomplete) {
+  PointsToTable table;
+  EXPECT_TRUE(table.points_to(NodeId(5)).empty());
+  EXPECT_FALSE(table.is_complete(NodeId(5)));
+  EXPECT_FALSE(table.contains(NodeId(5)));
+}
+
+TEST(PointsToTable, MayAliasMatchesSolver) {
+  const auto fx = test::fig2();
+  cfl::Engine engine(fx.lowered.pag, collecting_options());
+  const auto table = PointsToTable::from_engine_result(engine.run(fx.lowered.queries));
+
+  EXPECT_EQ(table.may_alias(fx.s1, fx.n1), cfl::Solver::AliasAnswer::kMay);
+  EXPECT_EQ(table.may_alias(fx.s1, fx.n2), cfl::Solver::AliasAnswer::kNo);
+  EXPECT_EQ(table.may_alias(fx.v1, fx.v2), cfl::Solver::AliasAnswer::kNo);
+  // A variable outside the table makes the answer unknown unless aliased.
+  EXPECT_EQ(table.may_alias(fx.s1, NodeId(fx.lowered.pag.node_count() - 1)),
+            cfl::Solver::AliasAnswer::kUnknown);
+}
+
+TEST(PointsToTable, AliasClassesPartitionFig2) {
+  const auto fx = test::fig2();
+  cfl::Engine engine(fx.lowered.pag, collecting_options());
+  const auto table = PointsToTable::from_engine_result(engine.run(fx.lowered.queries));
+
+  const auto classes = table.alias_classes();
+  // Every queried variable appears exactly once.
+  std::size_t total = 0;
+  for (const auto& c : classes) total += c.size();
+  EXPECT_EQ(total, fx.lowered.queries.size());
+
+  // s1/n1 share o16; s2/n2 share o20; v1 and v2 are singletons.
+  auto class_of = [&](NodeId v) -> const std::vector<NodeId>* {
+    for (const auto& c : classes)
+      if (std::find(c.begin(), c.end(), v) != c.end()) return &c;
+    return nullptr;
+  };
+  EXPECT_EQ(class_of(fx.s1), class_of(fx.n1));
+  EXPECT_EQ(class_of(fx.s2), class_of(fx.n2));
+  EXPECT_NE(class_of(fx.s1), class_of(fx.s2));
+  EXPECT_EQ(class_of(fx.v1)->size(), 1u);
+}
+
+// ---- cast checking ------------------------------------------------------------
+
+struct CastFixture {
+  frontend::Program program;
+  frontend::LoweredProgram lowered;
+  std::size_t safe_index, unsafe_index;
+};
+
+CastFixture cast_fixture() {
+  CastFixture f;
+  auto& p = f.program;
+  const auto t_base = p.add_type("Base");
+  const auto t_derived = p.add_type("Derived", true, t_base);
+  const auto t_other = p.add_type("Other");
+
+  const auto m = p.add_method("m", true);
+  const auto d = p.add_local(m, "d", t_derived);
+  const auto b = p.add_local(m, "b", t_base);
+  const auto cast_ok = p.add_local(m, "ok", t_derived);
+  const auto cast_bad = p.add_local(m, "bad", t_other);
+
+  p.stmt_alloc(m, d, t_derived);
+  p.stmt_assign(m, b, d);                 // upcast: b only ever holds Derived
+  p.stmt_cast(m, cast_ok, t_derived, b);  // downcast succeeds
+  p.stmt_cast(m, cast_bad, t_other, b);   // Derived is no Other: must fail
+  f.safe_index = 0;
+  f.unsafe_index = 1;
+
+  f.lowered = frontend::lower(p);
+  return f;
+}
+
+TEST(CastChecker, FlagsImpossibleCasts) {
+  const auto f = cast_fixture();
+  cfl::ContextTable contexts;
+  cfl::SolverOptions so;
+  cfl::Solver solver(f.lowered.pag, contexts, nullptr, so);
+  const auto table =
+      PointsToTable::from_solver(solver, test::all_variables(f.lowered.pag));
+
+  const auto reports = check_casts(f.program, f.lowered, f.lowered.pag, table);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[f.safe_index].verdict, CastVerdict::kSafe);
+  EXPECT_EQ(reports[f.unsafe_index].verdict, CastVerdict::kMayFail);
+  EXPECT_TRUE(reports[f.unsafe_index].witness.valid());
+}
+
+TEST(CastChecker, IncompleteAnswersAreUnknown) {
+  const auto f = cast_fixture();
+  cfl::ContextTable contexts;
+  cfl::SolverOptions so;
+  so.budget = 1;  // too small for b's two-node walk (some queries still finish)
+  cfl::Solver solver(f.lowered.pag, contexts, nullptr, so);
+  const auto table =
+      PointsToTable::from_solver(solver, test::all_variables(f.lowered.pag));
+  // Both casts read b, whose query exhausts the budget: nothing is provable.
+  const auto reports = check_casts(f.program, f.lowered, f.lowered.pag, table);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_FALSE(table.is_complete(f.lowered.casts[0].src));
+  for (const auto& r : reports) EXPECT_EQ(r.verdict, CastVerdict::kUnknown);
+}
+
+TEST(CastChecker, WorksThroughCollapsedGraph) {
+  const auto f = cast_fixture();
+  const auto collapsed = pag::collapse_assign_cycles(f.lowered.pag);
+  cfl::ContextTable contexts;
+  cfl::SolverOptions so;
+  cfl::Solver solver(collapsed.pag, contexts, nullptr, so);
+  const auto table =
+      PointsToTable::from_solver(solver, test::all_variables(collapsed.pag));
+  const auto reports = check_casts(f.program, f.lowered, collapsed.pag, table,
+                                   collapsed.representative);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[f.safe_index].verdict, CastVerdict::kSafe);
+  EXPECT_EQ(reports[f.unsafe_index].verdict, CastVerdict::kMayFail);
+}
+
+TEST(CastChecker, SubtypeChainIsReflexiveTransitive) {
+  frontend::Program p;
+  const auto a = p.add_type("A");
+  const auto b = p.add_type("B", true, a);
+  const auto c = p.add_type("C", true, b);
+  const auto d = p.add_type("D");
+  EXPECT_TRUE(p.is_subtype(c, a));
+  EXPECT_TRUE(p.is_subtype(c, c));
+  EXPECT_TRUE(p.is_subtype(b, a));
+  EXPECT_FALSE(p.is_subtype(a, c));
+  EXPECT_FALSE(p.is_subtype(d, a));
+}
+
+// ---- nullness -----------------------------------------------------------------
+
+TEST(Nullness, ReportsOnlyAppBases) {
+  const auto fx = test::fig2();
+  cfl::ContextTable contexts;
+  cfl::SolverOptions so;
+  cfl::Solver solver(fx.lowered.pag, contexts, nullptr, so);
+  const auto table =
+      PointsToTable::from_solver(solver, test::all_variables(fx.lowered.pag));
+
+  // Treat o15 (v1's Vector) as "null": v1 is never a dereference base in
+  // app code (main has no loads/stores), so the report must be empty.
+  const std::vector<NodeId> nulls{fx.o15};
+  const auto reports = check_dereferences(fx.lowered.pag, table, nulls);
+  for (const auto& r : reports)
+    EXPECT_TRUE(fx.lowered.pag.node(r.base).is_application);
+}
+
+TEST(Nullness, FlagsNullHoldingBases) {
+  frontend::Program p;
+  const auto t = p.add_type("T");
+  const auto f = p.add_field(t, "f", t);
+  const auto m = p.add_method("m", true);
+  const auto base = p.add_local(m, "base", t);
+  const auto out = p.add_local(m, "out", t);
+  p.stmt_alloc(m, base, t);  // object 0 models null
+  p.stmt_load(m, out, base, f);
+  const auto lowered = frontend::lower(p);
+
+  cfl::ContextTable contexts;
+  cfl::SolverOptions so;
+  cfl::Solver solver(lowered.pag, contexts, nullptr, so);
+  const auto table =
+      PointsToTable::from_solver(solver, test::all_variables(lowered.pag));
+
+  const std::vector<NodeId> nulls{lowered.object_node[0]};
+  const auto reports = check_dereferences(lowered.pag, table, nulls);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].base, lowered.node_of(base));
+  EXPECT_TRUE(reports[0].may_be_null);
+  EXPECT_TRUE(reports[0].complete);
+}
+
+// ---- mod-ref ------------------------------------------------------------------
+
+TEST(ModRef, ReadsWritesAndInterference) {
+  frontend::Program p;
+  const auto t = p.add_type("T");
+  const auto f = p.add_field(t, "f", t);
+  const auto g_field = p.add_field(t, "g", t);
+
+  // writer(x): x.f = x      reader(y): r = y.f      other(z): r2 = z.g
+  const auto writer = p.add_method("writer", true);
+  const auto wx = p.add_param(writer, "x", t);
+  p.stmt_store(writer, wx, f, wx);
+  const auto reader = p.add_method("reader", true);
+  const auto ry = p.add_param(reader, "y", t);
+  const auto rr = p.add_local(reader, "r", t);
+  p.stmt_load(reader, rr, ry, f);
+  const auto other = p.add_method("other", true);
+  const auto oz = p.add_param(other, "z", t);
+  const auto orr = p.add_local(other, "r2", t);
+  p.stmt_load(other, orr, oz, g_field);
+
+  // main wires the same object into all three.
+  const auto mn = p.add_method("main", true);
+  const auto v = p.add_local(mn, "v", t);
+  p.stmt_alloc(mn, v, t);
+  p.stmt_call(mn, frontend::VarId::invalid(), writer, {v});
+  p.stmt_call(mn, frontend::VarId::invalid(), reader, {v});
+  p.stmt_call(mn, frontend::VarId::invalid(), other, {v});
+
+  const auto lowered = frontend::lower(p);
+  cfl::ContextTable contexts;
+  cfl::SolverOptions so;
+  cfl::Solver solver(lowered.pag, contexts, nullptr, so);
+  const auto table =
+      PointsToTable::from_solver(solver, test::all_variables(lowered.pag));
+
+  const ModRefAnalysis modref(lowered.pag, table);
+  EXPECT_EQ(modref.writes(writer).size(), 1u);
+  EXPECT_TRUE(modref.reads(writer).empty());
+  EXPECT_EQ(modref.reads(reader).size(), 1u);
+  EXPECT_TRUE(modref.writes(reader).empty());
+
+  EXPECT_TRUE(modref.interferes(writer, reader));   // same cell (o, f)
+  EXPECT_FALSE(modref.interferes(writer, other));   // different field
+  EXPECT_FALSE(modref.interferes(reader, other));   // two reads never clash
+}
+
+TEST(ModRef, EmptyOnPrograms) {
+  synth::GeneratorConfig cfg;
+  cfg.seed = 3;
+  cfg.heap_weight = 0;
+  cfg.containers = 0;
+  cfg.container_use_blocks = 0;
+  const auto lowered = frontend::lower(synth::generate(cfg));
+  cfl::ContextTable contexts;
+  cfl::SolverOptions so;
+  cfl::Solver solver(lowered.pag, contexts, nullptr, so);
+  const auto table = PointsToTable::from_solver(solver, {});
+  const ModRefAnalysis modref(lowered.pag, table);
+  for (std::uint32_t m = 0; m < lowered.pag.method_count(); ++m) {
+    EXPECT_TRUE(modref.reads(pag::MethodId(m)).empty());
+    EXPECT_TRUE(modref.writes(pag::MethodId(m)).empty());
+  }
+}
+
+}  // namespace
+}  // namespace parcfl::clients

@@ -1,0 +1,110 @@
+// ContextTable tests: interning semantics, depth cap, lock-free reads under
+// concurrent interning.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "cfl/context.hpp"
+
+namespace parcfl::cfl {
+namespace {
+
+using pag::CallSiteId;
+
+TEST(ContextTable, EmptyBasics) {
+  ContextTable t;
+  EXPECT_EQ(ContextTable::empty(), CtxId(0));
+  EXPECT_EQ(t.depth(ContextTable::empty()), 0u);
+  EXPECT_EQ(t.pop(ContextTable::empty()), ContextTable::empty());
+  EXPECT_FALSE(t.top(ContextTable::empty()).valid());
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(ContextTable, PushPopTop) {
+  ContextTable t;
+  const CtxId c1 = t.push(ContextTable::empty(), CallSiteId(5));
+  ASSERT_TRUE(c1.valid());
+  EXPECT_EQ(t.depth(c1), 1u);
+  EXPECT_EQ(t.top(c1), CallSiteId(5));
+  EXPECT_EQ(t.pop(c1), ContextTable::empty());
+
+  const CtxId c2 = t.push(c1, CallSiteId(9));
+  EXPECT_EQ(t.depth(c2), 2u);
+  EXPECT_EQ(t.top(c2), CallSiteId(9));
+  EXPECT_EQ(t.pop(c2), c1);
+}
+
+TEST(ContextTable, InterningIsCanonical) {
+  ContextTable t;
+  const CtxId a = t.push(ContextTable::empty(), CallSiteId(1));
+  const CtxId b = t.push(ContextTable::empty(), CallSiteId(1));
+  EXPECT_EQ(a, b);
+  const CtxId c = t.push(ContextTable::empty(), CallSiteId(2));
+  EXPECT_NE(a, c);
+  EXPECT_EQ(t.size(), 3u);  // empty + two distinct
+}
+
+TEST(ContextTable, DepthCapReturnsInvalid) {
+  ContextTable t(3);
+  CtxId c = ContextTable::empty();
+  for (int i = 0; i < 3; ++i) {
+    c = t.push(c, CallSiteId(static_cast<std::uint32_t>(i)));
+    ASSERT_TRUE(c.valid());
+  }
+  EXPECT_FALSE(t.push(c, CallSiteId(99)).valid());
+}
+
+TEST(ContextTable, ToString) {
+  ContextTable t;
+  const CtxId c1 = t.push(ContextTable::empty(), CallSiteId(3));
+  const CtxId c2 = t.push(c1, CallSiteId(7));
+  EXPECT_EQ(t.to_string(ContextTable::empty()), "[]");
+  EXPECT_EQ(t.to_string(c2), "[i3, i7]");
+}
+
+TEST(ContextTable, ManyContextsCrossChunks) {
+  ContextTable t;
+  // More than one 4096-entry chunk.
+  std::vector<CtxId> ids;
+  for (std::uint32_t i = 0; i < 10'000; ++i)
+    ids.push_back(t.push(ContextTable::empty(), CallSiteId(i)));
+  for (std::uint32_t i = 0; i < 10'000; ++i) {
+    EXPECT_EQ(t.top(ids[i]), CallSiteId(i));
+    EXPECT_EQ(t.depth(ids[i]), 1u);
+  }
+}
+
+TEST(ContextTable, ConcurrentInterningIsConsistent) {
+  ContextTable t;
+  constexpr int kThreads = 8;
+  constexpr std::uint32_t kSites = 500;
+  std::vector<std::vector<CtxId>> per_thread(kThreads,
+                                             std::vector<CtxId>(kSites));
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      for (std::uint32_t i = 0; i < kSites; ++i) {
+        // Two-level contexts shared across threads.
+        const CtxId c1 = t.push(ContextTable::empty(), CallSiteId(i));
+        per_thread[w][i] = t.push(c1, CallSiteId(i + 1));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // All threads agree on the interned ids, and reads are coherent.
+  for (std::uint32_t i = 0; i < kSites; ++i) {
+    for (int w = 1; w < kThreads; ++w)
+      EXPECT_EQ(per_thread[w][i], per_thread[0][i]);
+    EXPECT_EQ(t.top(per_thread[0][i]), CallSiteId(i + 1));
+    EXPECT_EQ(t.depth(per_thread[0][i]), 2u);
+    EXPECT_EQ(t.top(t.pop(per_thread[0][i])), CallSiteId(i));
+  }
+  EXPECT_EQ(t.size(), 1u + kSites * 2);
+}
+
+}  // namespace
+}  // namespace parcfl::cfl

@@ -1,0 +1,146 @@
+// Engine-level property suite over random synthetic workloads: all four
+// paper configurations and every thread count must produce identical
+// answers when the budget is ample, and their statistics must satisfy the
+// structural invariants the benches rely on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "cfl/engine.hpp"
+#include "frontend/lower.hpp"
+#include "pag/collapse.hpp"
+#include "synth/generator.hpp"
+
+namespace parcfl::cfl {
+namespace {
+
+using pag::NodeId;
+
+struct Workload {
+  pag::Pag pag;
+  std::vector<NodeId> queries;
+};
+
+Workload make_workload(std::uint64_t seed) {
+  synth::GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.app_methods = 10 + seed % 7;
+  cfg.library_methods = 10 + seed % 5;
+  cfg.containers = 2 + seed % 3;
+  cfg.container_use_blocks = 6 + seed % 8;
+  const auto lowered = frontend::lower(synth::generate(cfg));
+  auto collapsed = pag::collapse_assign_cycles(lowered.pag);
+  std::vector<NodeId> queries;
+  for (const NodeId q : lowered.queries)
+    queries.push_back(collapsed.representative[q.value()]);
+  std::sort(queries.begin(), queries.end());
+  queries.erase(std::unique(queries.begin(), queries.end()), queries.end());
+  return Workload{std::move(collapsed.pag), std::move(queries)};
+}
+
+EngineOptions opts(Mode mode, unsigned threads) {
+  EngineOptions o;
+  o.mode = mode;
+  o.threads = threads;
+  o.solver.budget = 5'000'000;
+  o.solver.tau_finished = 5;
+  o.solver.tau_unfinished = 50;
+  o.collect_objects = true;
+  return o;
+}
+
+std::map<std::uint32_t, std::vector<NodeId>> answer_map(const EngineResult& r) {
+  std::map<std::uint32_t, std::vector<NodeId>> m;
+  for (std::size_t i = 0; i < r.outcomes.size(); ++i)
+    m[r.outcomes[i].var.value()] = r.objects[i];
+  return m;
+}
+
+class EnginePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EnginePropertyTest, AllModesAndThreadCountsAgree) {
+  const auto w = make_workload(GetParam());
+  const auto seq = Engine(w.pag, opts(Mode::kSequential, 1)).run(w.queries);
+  const auto want = answer_map(seq);
+
+  // Every query completed (the budget is ample) — otherwise agreement is
+  // only guaranteed per DESIGN.md's budget-accounting note.
+  for (const auto& qo : seq.outcomes)
+    ASSERT_EQ(qo.status, QueryStatus::kComplete);
+
+  for (const Mode mode :
+       {Mode::kNaive, Mode::kDataSharing, Mode::kDataSharingScheduling}) {
+    for (const unsigned threads : {1u, 3u, 8u}) {
+      const auto r = Engine(w.pag, opts(mode, threads)).run(w.queries);
+      EXPECT_EQ(answer_map(r), want)
+          << to_string(mode) << " threads=" << threads << " seed=" << GetParam();
+    }
+  }
+}
+
+TEST_P(EnginePropertyTest, StatisticsInvariants) {
+  const auto w = make_workload(GetParam() + 50);
+  const auto seq = Engine(w.pag, opts(Mode::kSequential, 1)).run(w.queries);
+  const auto d = Engine(w.pag, opts(Mode::kDataSharing, 4)).run(w.queries);
+
+  // Sequential: no sharing artefacts at all.
+  EXPECT_EQ(seq.totals.saved_steps, 0u);
+  EXPECT_EQ(seq.totals.jmps_taken, 0u);
+  EXPECT_EQ(seq.jmp_stats.total_jmps(), 0u);
+  EXPECT_EQ(seq.totals.charged_steps, seq.totals.traversed_steps);
+
+  // Sharing: work never exceeds the sequential baseline's (the budget is
+  // ample, so every traversal it skips is one the baseline performed).
+  EXPECT_LE(d.totals.traversed_steps, seq.totals.traversed_steps);
+  // jmps taken implies jmps added by someone.
+  if (d.totals.jmps_taken > 0) EXPECT_GT(d.jmp_stats.finished_edges, 0u);
+  // Per-thread accounting adds up.
+  std::uint64_t sum = 0;
+  for (const auto t : d.per_thread_traversed) sum += t;
+  EXPECT_EQ(sum, d.totals.traversed_steps);
+  // Outcome charges sum to the total charged steps.
+  std::uint64_t charged = 0;
+  for (const auto& qo : d.outcomes) charged += qo.charged_steps;
+  EXPECT_EQ(charged, d.totals.charged_steps);
+}
+
+TEST_P(EnginePropertyTest, SchedulingIsAPermutation) {
+  const auto w = make_workload(GetParam() + 100);
+  const auto dq =
+      Engine(w.pag, opts(Mode::kDataSharingScheduling, 2)).run(w.queries);
+  std::vector<std::uint32_t> got;
+  for (const auto& qo : dq.outcomes) got.push_back(qo.var.value());
+  std::sort(got.begin(), got.end());
+  std::vector<std::uint32_t> want;
+  for (const NodeId q : w.queries) want.push_back(q.value());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+  EXPECT_GT(dq.group_count, 0u);
+}
+
+TEST_P(EnginePropertyTest, TightBudgetStatusesAreConsistent) {
+  const auto w = make_workload(GetParam() + 150);
+  EngineOptions o = opts(Mode::kDataSharing, 2);
+  o.solver.budget = 200;  // most interesting queries die
+  const auto r = Engine(w.pag, o).run(w.queries);
+  for (const auto& qo : r.outcomes) {
+    // Status and charge must cohere: completion within budget, exhaustion at
+    // or slightly above it (the final step overshoots by at most one
+    // ReachableNodes charge), early termination strictly below.
+    if (qo.status == QueryStatus::kComplete) {
+      EXPECT_LE(qo.charged_steps, o.solver.budget);
+    } else if (qo.status == QueryStatus::kOutOfBudget) {
+      EXPECT_GT(qo.charged_steps, o.solver.budget / 2);
+    } else {
+      EXPECT_LE(qo.charged_steps, o.solver.budget);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnginePropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace parcfl::cfl

@@ -1,0 +1,205 @@
+// Frontend tests: IR construction, call-graph SCCs, lowering rules (including
+// recursion collapsing and global-access temps), query extraction.
+
+#include <gtest/gtest.h>
+
+#include "frontend/callgraph.hpp"
+#include "frontend/ir.hpp"
+#include "frontend/lower.hpp"
+#include "pag/validate.hpp"
+#include "test_util.hpp"
+
+namespace parcfl::frontend {
+namespace {
+
+TEST(Ir, BasicConstruction) {
+  Program p;
+  const auto t = p.add_type("T");
+  const auto f = p.add_field(t, "f", t);
+  const auto m = p.add_method("m");
+  const auto a = p.add_param(m, "a", t);
+  const auto b = p.add_local(m, "b", t);
+  p.set_return_var(m, b);
+  p.stmt_alloc(m, b, t);
+  p.stmt_load(m, b, a, f);
+
+  EXPECT_EQ(p.types().size(), 1u);
+  EXPECT_EQ(p.type(t).fields.size(), 1u);
+  EXPECT_EQ(p.method(m).params.size(), 1u);
+  EXPECT_EQ(p.method(m).locals.size(), 2u);
+  EXPECT_EQ(p.method(m).return_var, b);
+  EXPECT_EQ(p.statement_count(), 2u);
+  EXPECT_FALSE(p.is_global(a));
+  EXPECT_TRUE(p.is_global(p.add_global("g", t)));
+}
+
+TEST(Ir, CallSitesAreUnique) {
+  Program p;
+  const auto t = p.add_type("T");
+  const auto m1 = p.add_method("m1");
+  const auto m2 = p.add_method("m2");
+  (void)t;
+  const auto s1 = p.stmt_call(m1, VarId::invalid(), m2, {});
+  const auto s2 = p.stmt_call(m1, VarId::invalid(), m2, {});
+  EXPECT_NE(s1, s2);
+  EXPECT_EQ(p.call_site_count(), 2u);
+}
+
+Program recursive_program(bool mutual) {
+  Program p;
+  const auto t = p.add_type("T");
+  const auto a = p.add_method("a");
+  const auto b = p.add_method("b");
+  const auto c = p.add_method("c");
+  const auto va = p.add_param(a, "x", t);
+  const auto vb = p.add_param(b, "x", t);
+  const auto vc = p.add_param(c, "x", t);
+  p.stmt_call(a, VarId::invalid(), b, {va});
+  if (mutual) p.stmt_call(b, VarId::invalid(), a, {vb});
+  p.stmt_call(b, VarId::invalid(), c, {vb});
+  p.stmt_call(c, VarId::invalid(), c, {vc});  // self-recursive
+  return p;
+}
+
+TEST(CallGraph, DetectsSccsAndSelfRecursion) {
+  const Program p = recursive_program(true);
+  const CallGraph cg(p);
+  EXPECT_TRUE(cg.in_same_cycle(MethodId(0), MethodId(1)));
+  EXPECT_FALSE(cg.in_same_cycle(MethodId(0), MethodId(2)));
+  EXPECT_TRUE(cg.in_same_cycle(MethodId(2), MethodId(2)));  // self loop
+  EXPECT_EQ(cg.recursive_method_count(), 3u);
+}
+
+TEST(CallGraph, AcyclicProgramHasNoRecursion) {
+  const Program p = recursive_program(false);
+  const CallGraph cg(p);
+  EXPECT_FALSE(cg.in_same_cycle(MethodId(0), MethodId(1)));
+  EXPECT_FALSE(cg.in_same_cycle(MethodId(0), MethodId(0)));
+  EXPECT_EQ(cg.recursive_method_count(), 1u);  // only the self-recursive c
+}
+
+TEST(Lower, RecursionCollapsingRewritesParamEdges) {
+  const Program p = recursive_program(true);
+  LowerOptions collapse_on;
+  const auto with = lower(p, collapse_on);
+  LowerOptions collapse_off;
+  collapse_off.collapse_recursion = false;
+  const auto without = lower(p, collapse_off);
+
+  // a<->b cycle and c's self-call are collapsed: their param edges become
+  // assignl; only b->c keeps a param edge.
+  EXPECT_EQ(with.collapsed_call_sites, 3u);
+  EXPECT_EQ(with.pag.edge_count_of_kind(pag::EdgeKind::kParam), 1u);
+  EXPECT_EQ(without.collapsed_call_sites, 0u);
+  EXPECT_EQ(without.pag.edge_count_of_kind(pag::EdgeKind::kParam), 4u);
+  EXPECT_EQ(with.pag.edge_count_of_kind(pag::EdgeKind::kAssignLocal), 3u);
+}
+
+TEST(Lower, GlobalsGoThroughTemps) {
+  Program p;
+  const auto t = p.add_type("T");
+  const auto f = p.add_field(t, "f", t);
+  const auto g = p.add_global("g", t);
+  const auto m = p.add_method("m");
+  const auto l = p.add_local(m, "l", t);
+  p.stmt_alloc(m, g, t);       // new into a global -> temp
+  p.stmt_load(m, l, g, f);     // load from a global base -> temp
+  p.stmt_store(m, g, f, l);    // store to a global base -> temp
+  const auto lowered = lower(p);
+
+  EXPECT_EQ(lowered.temp_locals, 3u);
+  EXPECT_TRUE(pag::is_well_formed(lowered.pag)) << "lowering must satisfy Fig. 1";
+  // Every ld/st endpoint is a local.
+  for (const pag::Edge& e : lowered.pag.edges()) {
+    if (e.kind == pag::EdgeKind::kLoad || e.kind == pag::EdgeKind::kStore) {
+      EXPECT_EQ(lowered.pag.kind(e.dst), pag::NodeKind::kLocal);
+      EXPECT_EQ(lowered.pag.kind(e.src), pag::NodeKind::kLocal);
+    }
+  }
+}
+
+TEST(Lower, QueriesAreApplicationLocalsOnly) {
+  const auto fx = test::fig2();
+  // Application code is only main (6 declared locals); library methods
+  // contribute none.
+  EXPECT_EQ(fx.lowered.queries.size(), 6u);
+  for (const pag::NodeId q : fx.lowered.queries) {
+    EXPECT_EQ(fx.lowered.pag.kind(q), pag::NodeKind::kLocal);
+    EXPECT_TRUE(fx.lowered.pag.node(q).is_application);
+  }
+}
+
+TEST(Lower, ObjectsCarryAllocMethodAndAppFlag) {
+  const auto fx = test::fig2();
+  // o6 (the ctor's box) is a library allocation; o15/o16 are app allocations.
+  EXPECT_FALSE(fx.lowered.pag.node(fx.o6_box).is_application);
+  EXPECT_TRUE(fx.lowered.pag.node(fx.o15).is_application);
+}
+
+TEST(Lower, ArityMismatchIsTolerated) {
+  Program p;
+  const auto t = p.add_type("T");
+  const auto callee = p.add_method("callee");
+  p.add_param(callee, "a", t);
+  p.add_param(callee, "b", t);
+  const auto caller = p.add_method("caller");
+  const auto x = p.add_local(caller, "x", t);
+  p.stmt_call(caller, VarId::invalid(), callee, {x});  // one arg for two formals
+  const auto lowered = lower(p);
+  EXPECT_EQ(lowered.pag.edge_count_of_kind(pag::EdgeKind::kParam), 1u);
+}
+
+TEST(Lower, CastsLowerToAssignsAndAreRecorded) {
+  Program p;
+  const auto base = p.add_type("Base");
+  const auto derived = p.add_type("Derived", true, base);
+  const auto m = p.add_method("m");
+  const auto x = p.add_local(m, "x", derived);
+  const auto y = p.add_local(m, "y", base);
+  const auto z = p.add_local(m, "z", derived);
+  p.stmt_alloc(m, x, derived);
+  p.stmt_assign(m, y, x);
+  p.stmt_cast(m, z, derived, y);
+  const auto lowered = lower(p);
+
+  ASSERT_EQ(lowered.casts.size(), 1u);
+  EXPECT_EQ(lowered.casts[0].dst, lowered.node_of(z));
+  EXPECT_EQ(lowered.casts[0].src, lowered.node_of(y));
+  EXPECT_EQ(lowered.casts[0].target, derived);
+  // The cast contributes ordinary value flow.
+  EXPECT_EQ(lowered.pag.edge_count_of_kind(pag::EdgeKind::kAssignLocal), 2u);
+}
+
+TEST(Lower, CastThroughGlobalUsesAssignGlobal) {
+  Program p;
+  const auto t = p.add_type("T");
+  const auto g = p.add_global("g", t);
+  const auto m = p.add_method("m");
+  const auto l = p.add_local(m, "l", t);
+  p.stmt_cast(m, l, t, g);
+  const auto lowered = lower(p);
+  ASSERT_EQ(lowered.casts.size(), 1u);
+  EXPECT_EQ(lowered.pag.edge_count_of_kind(pag::EdgeKind::kAssignGlobal), 1u);
+  EXPECT_TRUE(pag::is_well_formed(lowered.pag));
+}
+
+TEST(Ir, SubtypeHierarchy) {
+  Program p;
+  const auto a = p.add_type("A");
+  const auto b = p.add_type("B", true, a);
+  EXPECT_EQ(p.type(b).super, a);
+  EXPECT_FALSE(p.type(a).super.valid());
+  EXPECT_TRUE(p.is_subtype(b, b));
+  EXPECT_TRUE(p.is_subtype(b, a));
+  EXPECT_FALSE(p.is_subtype(a, b));
+}
+
+TEST(Lower, Fig2IsWellFormed) {
+  const auto fx = test::fig2();
+  EXPECT_TRUE(pag::is_well_formed(fx.lowered.pag));
+  EXPECT_EQ(fx.lowered.object_node.size(), 5u);
+  EXPECT_EQ(fx.lowered.pag.edge_count_of_kind(pag::EdgeKind::kNew), 5u);
+}
+
+}  // namespace
+}  // namespace parcfl::frontend

@@ -1,0 +1,87 @@
+// PAG text-format fuzzing: random graphs round-trip bit-exactly; mutated
+// inputs never crash the parser (they parse or fail with a message).
+
+#include <gtest/gtest.h>
+
+#include "pag/pag_io.hpp"
+#include "pag/validate.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
+namespace parcfl::pag {
+namespace {
+
+class IoFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IoFuzzTest, RoundTripIsExact) {
+  test::RandomPagConfig cfg;
+  cfg.seed = GetParam();
+  cfg.layers = 2 + GetParam() % 4;
+  cfg.vars_per_layer = 2 + GetParam() % 5;
+  cfg.objects = 1 + GetParam() % 6;
+  cfg.assign_edges = GetParam() % 12;
+  cfg.param_ret_edges = GetParam() % 10;
+  cfg.heap_edge_pairs = GetParam() % 6;
+  const auto pag = test::random_layered_pag(cfg);
+
+  const std::string text = write_pag_string(pag);
+  std::string error;
+  const auto parsed = read_pag_string(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(write_pag_string(*parsed), text);
+
+  // Structure survives, not just the text.
+  ASSERT_EQ(parsed->node_count(), pag.node_count());
+  ASSERT_EQ(parsed->edge_count(), pag.edge_count());
+  for (std::uint32_t n = 0; n < pag.node_count(); ++n) {
+    EXPECT_EQ(parsed->kind(NodeId(n)), pag.kind(NodeId(n)));
+    EXPECT_EQ(parsed->node(NodeId(n)).method, pag.node(NodeId(n)).method);
+    EXPECT_EQ(parsed->node(NodeId(n)).is_application,
+              pag.node(NodeId(n)).is_application);
+  }
+  for (unsigned k = 0; k < kEdgeKindCount; ++k)
+    EXPECT_EQ(parsed->edge_count_of_kind(static_cast<EdgeKind>(k)),
+              pag.edge_count_of_kind(static_cast<EdgeKind>(k)));
+}
+
+TEST_P(IoFuzzTest, MutatedInputNeverCrashes) {
+  test::RandomPagConfig cfg;
+  cfg.seed = GetParam();
+  const auto pag = test::random_layered_pag(cfg);
+  std::string text = write_pag_string(pag);
+
+  support::Rng rng(GetParam() * 977 + 13);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string mutated = text;
+    const std::size_t edits = 1 + rng.below(4);
+    for (std::size_t e = 0; e < edits; ++e) {
+      if (mutated.empty()) break;
+      const std::size_t pos = rng.below(mutated.size());
+      switch (rng.below(3)) {
+        case 0:  // flip a character
+          mutated[pos] = static_cast<char>(' ' + rng.below(95));
+          break;
+        case 1:  // delete a span
+          mutated.erase(pos, 1 + rng.below(5));
+          break;
+        case 2:  // duplicate a span
+          mutated.insert(pos, mutated.substr(pos, 1 + rng.below(5)));
+          break;
+      }
+    }
+    std::string error;
+    const auto parsed = read_pag_string(mutated, &error);
+    // Either outcome is fine; a parse must yield a structurally sane graph.
+    if (parsed.has_value()) {
+      EXPECT_LE(parsed->edge_count(), 100000u);
+      (void)validate(*parsed);  // must not crash either
+    } else {
+      EXPECT_FALSE(error.empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IoFuzzTest, ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace parcfl::pag

@@ -1,0 +1,151 @@
+// Option-lattice property suite: the solver's sensitivity knobs form a
+// precision lattice, checked pairwise on random graphs:
+//
+//   field-insensitive (LFT)  ⊆  exact (LPT)  ⊆  context-insensitive (LFS)
+//                                exact        ⊆  field-approximated
+//   data sharing / taus / warm stores never move any point in the lattice.
+//
+// Each relation is the formal statement of a paper claim: LFT ⊆ LPT because
+// eq. (1) is eq. (2) minus the heap production; LPT ⊆ LFS because RCS only
+// filters paths; approximation ⊇ exact because "match any same-field store"
+// relaxes the alias test.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cfl/jmp_store.hpp"
+#include "cfl/solver.hpp"
+#include "test_util.hpp"
+
+namespace parcfl::cfl {
+namespace {
+
+using pag::NodeId;
+
+SolverOptions opts(bool cs, bool fs, bool approx) {
+  SolverOptions o;
+  o.budget = 20'000'000;
+  o.context_sensitive = cs;
+  o.field_sensitive = fs;
+  o.field_approximation = approx;
+  o.max_fixpoint_iters = 64;
+  return o;
+}
+
+/// `store` entries reference contexts interned in `contexts`; when sharing,
+/// the same table must be passed for the store's whole lifetime.
+std::vector<std::uint32_t> pts(const pag::Pag& pag, const SolverOptions& o,
+                               NodeId v, JmpStore* store = nullptr,
+                               ContextTable* contexts = nullptr) {
+  ContextTable own;
+  ContextTable& table = contexts != nullptr ? *contexts : own;
+  SolverOptions local = o;
+  if (store != nullptr) local.data_sharing = true;
+  Solver solver(pag, table, store, local);
+  std::vector<std::uint32_t> out;
+  const auto r = solver.points_to(v);
+  EXPECT_EQ(r.status, QueryStatus::kComplete);
+  for (const NodeId n : r.nodes()) out.push_back(n.value());
+  return out;
+}
+
+bool subset(const std::vector<std::uint32_t>& a,
+            const std::vector<std::uint32_t>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+class LatticeTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LatticeTest, SensitivityLatticeHolds) {
+  test::RandomPagConfig cfg;
+  cfg.seed = GetParam() + 21'000;
+  cfg.heap_edge_pairs = 3;
+  cfg.assign_edges = 5;
+  const auto pag = test::random_layered_pag(cfg);
+
+  for (const NodeId v : test::all_variables(pag)) {
+    const auto lft = pts(pag, opts(true, false, false), v);   // no heap at all
+    const auto lpt = pts(pag, opts(true, true, false), v);    // the paper's LPT
+    const auto lfs = pts(pag, opts(false, true, false), v);   // no RCS filter
+    const auto approx = pts(pag, opts(true, true, true), v);  // field approx
+
+    EXPECT_TRUE(subset(lft, lpt)) << "LFT ⊄ LPT at " << v.value();
+    EXPECT_TRUE(subset(lpt, lfs)) << "LPT ⊄ LFS at " << v.value();
+    EXPECT_TRUE(subset(lpt, approx)) << "LPT ⊄ approx at " << v.value();
+    // The degenerate corner: CI + field-insensitive contains LFT too.
+    const auto lft_ci = pts(pag, opts(false, false, false), v);
+    EXPECT_TRUE(subset(lft, lft_ci));
+    EXPECT_TRUE(subset(lft_ci, lfs));
+  }
+}
+
+TEST_P(LatticeTest, SharingIsInvariantAtEveryLatticePoint) {
+  test::RandomPagConfig cfg;
+  cfg.seed = GetParam() + 22'000;
+  cfg.heap_edge_pairs = 3;
+  const auto pag = test::random_layered_pag(cfg);
+
+  const bool flags[][2] = {{true, true}, {false, true}, {true, false}};
+  for (const auto& [cs, fs] : flags) {
+    SolverOptions o = opts(cs, fs, false);
+    o.tau_finished = 0;
+    o.tau_unfinished = 0;
+
+    JmpStore store;
+    ContextTable contexts;  // must outlive every use of `store`
+    // Warm the store over the whole batch, then compare each answer.
+    {
+      SolverOptions warm = o;
+      warm.data_sharing = true;
+      Solver solver(pag, contexts, &store, warm);
+      for (const NodeId v : test::all_variables(pag)) (void)solver.points_to(v);
+    }
+    for (const NodeId v : test::all_variables(pag)) {
+      const auto plain = pts(pag, o, v);
+      const auto shared = pts(pag, o, v, &store, &contexts);
+      EXPECT_EQ(plain, shared)
+          << "cs=" << cs << " fs=" << fs << " var " << v.value();
+    }
+  }
+}
+
+TEST_P(LatticeTest, BudgetMonotonicity) {
+  // A larger budget never yields a smaller answer (sets only grow with more
+  // exploration), and completion at budget B implies the identical answer at
+  // every larger budget.
+  test::RandomPagConfig cfg;
+  cfg.seed = GetParam() + 23'000;
+  const auto pag = test::random_layered_pag(cfg);
+
+  for (const NodeId v : test::all_variables(pag)) {
+    std::vector<std::uint32_t> prev;
+    bool prev_complete = false;
+    for (const std::uint64_t budget : {20ull, 200ull, 2000ull, 20'000'000ull}) {
+      ContextTable contexts;
+      SolverOptions o = opts(true, true, false);
+      o.budget = budget;
+      Solver solver(pag, contexts, nullptr, o);
+      const auto r = solver.points_to(v);
+      std::vector<std::uint32_t> cur;
+      for (const NodeId n : r.nodes()) cur.push_back(n.value());
+      if (prev_complete) {
+        EXPECT_EQ(cur, prev) << "answer changed after completion, var "
+                             << v.value() << " budget " << budget;
+      } else if (!prev.empty()) {
+        // Partial answers are sound and deterministic: more budget explores
+        // a superset prefix of the same traversal.
+        EXPECT_TRUE(subset(prev, cur)) << "partial answer lost facts, var "
+                                       << v.value() << " budget " << budget;
+      }
+      prev = cur;
+      prev_complete = r.status == QueryStatus::kComplete;
+    }
+    EXPECT_TRUE(prev_complete) << "var " << v.value();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LatticeTest, ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace parcfl::cfl

@@ -1,0 +1,195 @@
+// Oracle-infrastructure tests: the generic Earley parser, the LFS grammar,
+// and agreement of both oracles on hand-built graphs with known answers.
+
+#include <gtest/gtest.h>
+
+#include "oracle/earley.hpp"
+#include "oracle/oracle.hpp"
+#include "test_util.hpp"
+
+namespace parcfl::oracle {
+namespace {
+
+using pag::CallSiteId;
+using pag::FieldId;
+using pag::MethodId;
+using pag::NodeId;
+using pag::TypeId;
+
+Grammar balanced_parens() {
+  // S -> ( S ) | S S | ()
+  Grammar g;
+  g.nonterminal_count = 1;
+  g.start = 0;
+  const std::uint32_t open = 1, close = 2;
+  g.productions.push_back({0, {open, 0, close}});
+  g.productions.push_back({0, {0, 0}});
+  g.productions.push_back({0, {open, close}});
+  return g;
+}
+
+TEST(Earley, BalancedParens) {
+  const Grammar g = balanced_parens();
+  EXPECT_TRUE(earley_accepts(g, {1, 2}));
+  EXPECT_TRUE(earley_accepts(g, {1, 1, 2, 2}));
+  EXPECT_TRUE(earley_accepts(g, {1, 2, 1, 2}));
+  EXPECT_TRUE(earley_accepts(g, {1, 1, 2, 2, 1, 2}));
+  EXPECT_FALSE(earley_accepts(g, {1}));
+  EXPECT_FALSE(earley_accepts(g, {2, 1}));
+  EXPECT_FALSE(earley_accepts(g, {1, 2, 2}));
+  EXPECT_FALSE(earley_accepts(g, {}));
+}
+
+TEST(Earley, AmbiguousGrammarStillDecides) {
+  // E -> E + E | x (classic ambiguous grammar)
+  Grammar g;
+  g.nonterminal_count = 1;
+  g.start = 0;
+  const std::uint32_t plus = 1, x = 2;
+  g.productions.push_back({0, {0, plus, 0}});
+  g.productions.push_back({0, {x}});
+  EXPECT_TRUE(earley_accepts(g, {2}));
+  EXPECT_TRUE(earley_accepts(g, {2, 1, 2}));
+  EXPECT_TRUE(earley_accepts(g, {2, 1, 2, 1, 2}));
+  EXPECT_FALSE(earley_accepts(g, {1, 2}));
+  EXPECT_FALSE(earley_accepts(g, {2, 1}));
+}
+
+TEST(LfsGrammar, AcceptsCoreStrings) {
+  const Grammar g = build_lfs_grammar(2);
+  // Terminal ids mirror earley.cpp's layout: nonterminals occupy [0,7).
+  const std::uint32_t n = 7, nb = 8, a = 9, ab = 10;
+  const std::uint32_t s0 = 11, l0 = 12, sb0 = 13, lb0 = 14;
+  const std::uint32_t s1 = 15, l1 = 16;
+
+  EXPECT_TRUE(earley_accepts(g, {n}));            // new
+  EXPECT_TRUE(earley_accepts(g, {n, a}));         // new assign
+  EXPECT_TRUE(earley_accepts(g, {n, a, a}));      // new assign assign
+  // new st(f0) [nb n] ld(f0): store, alias via same object, load.
+  EXPECT_TRUE(earley_accepts(g, {n, s0, nb, n, l0}));
+  // Field mismatch is rejected.
+  EXPECT_FALSE(earley_accepts(g, {n, s0, nb, n, l1}));
+  EXPECT_FALSE(earley_accepts(g, {n, s1, nb, n, l0}));
+  // alias with assignments inside the inverse segment.
+  EXPECT_TRUE(earley_accepts(g, {n, a, s0, ab, nb, n, a, l0, a}));
+  // Nested alias inside the flowsTo̅ segment: lb(f) alias sb(f).
+  EXPECT_TRUE(earley_accepts(g, {n, s0, lb0, nb, n, sb0, nb, n, l0}));
+  // Not starting with new.
+  EXPECT_FALSE(earley_accepts(g, {a, n}));
+  // Dangling store.
+  EXPECT_FALSE(earley_accepts(g, {n, s0}));
+}
+
+TEST(ExactOracle, TransitiveAssignFlow) {
+  pag::Pag::Builder b;
+  const auto x = b.add_local(TypeId(0), MethodId(0));
+  const auto y = b.add_local(TypeId(0), MethodId(0));
+  const auto z = b.add_local(TypeId(0), MethodId(0));
+  const auto o = b.add_object(TypeId(0), MethodId(0));
+  b.new_edge(x, o);
+  b.assign_local(y, x);
+  b.assign_local(z, y);
+  const auto pag = std::move(b).finalize();
+
+  const ExactOracle oracle(pag);
+  EXPECT_EQ(oracle.points_to(z), (std::vector<std::uint32_t>{o.value()}));
+  EXPECT_EQ(oracle.flows_to(o),
+            (std::vector<std::uint32_t>{x.value(), y.value(), z.value()}));
+  EXPECT_GT(oracle.fact_count(), 0u);
+}
+
+TEST(ExactOracle, ContextSensitivityOnFig2) {
+  const auto fx = parcfl::test::fig2();
+  const ExactOracle cs(fx.lowered.pag);
+  const auto s1 = cs.points_to(fx.s1);
+  EXPECT_TRUE(std::binary_search(s1.begin(), s1.end(), fx.o16.value()));
+  EXPECT_FALSE(std::binary_search(s1.begin(), s1.end(), fx.o20.value()));
+
+  OracleOptions ci_opts;
+  ci_opts.context_sensitive = false;
+  const ExactOracle ci(fx.lowered.pag, ci_opts);
+  const auto s1_ci = ci.points_to(fx.s1);
+  EXPECT_TRUE(std::binary_search(s1_ci.begin(), s1_ci.end(), fx.o20.value()));
+}
+
+TEST(BruteForce, SimpleChainMatchesOracle) {
+  pag::Pag::Builder b;
+  const auto x = b.add_local(TypeId(0), MethodId(0));
+  const auto y = b.add_local(TypeId(0), MethodId(0));
+  const auto o = b.add_object(TypeId(0), MethodId(0));
+  b.new_edge(x, o);
+  b.assign_local(y, x);
+  const auto pag = std::move(b).finalize();
+
+  const auto r = brute_force_flows_to(pag, o);
+  EXPECT_FALSE(r.truncated);
+  EXPECT_EQ(r.vars, (std::vector<std::uint32_t>{x.value(), y.value()}));
+}
+
+TEST(BruteForce, HeapMatchRequiresAlias) {
+  // p, q point to the same object: store through q reaches load through p.
+  pag::Pag::Builder b;
+  const auto p = b.add_local(TypeId(0), MethodId(0));
+  const auto q = b.add_local(TypeId(0), MethodId(0));
+  const auto x = b.add_local(TypeId(0), MethodId(0));
+  const auto y = b.add_local(TypeId(0), MethodId(0));
+  const auto o = b.add_object(TypeId(0), MethodId(0));
+  const auto o2 = b.add_object(TypeId(0), MethodId(0));
+  b.new_edge(p, o);
+  b.new_edge(q, o);
+  b.new_edge(y, o2);
+  b.store(q, y, FieldId(0));
+  b.load(x, p, FieldId(0));
+  const auto pag = std::move(b).finalize();
+
+  const auto r = brute_force_flows_to(pag, o2);
+  EXPECT_FALSE(r.truncated);
+  // o2 flows to y and through the heap into x.
+  EXPECT_EQ(r.vars, (std::vector<std::uint32_t>{x.value(), y.value()}));
+
+  const ExactOracle oracle(pag);
+  EXPECT_EQ(oracle.flows_to(o2), r.vars);
+}
+
+TEST(BruteForce, ContextFilteringRejectsMismatchedSites) {
+  pag::Pag::Builder b;
+  const auto actual = b.add_local(TypeId(0), MethodId(0));
+  const auto formal = b.add_local(TypeId(0), MethodId(1));
+  const auto recv = b.add_local(TypeId(0), MethodId(0));
+  const auto o = b.add_object(TypeId(0), MethodId(0));
+  b.new_edge(actual, o);
+  b.param(formal, actual, CallSiteId(0));
+  b.ret(recv, formal, CallSiteId(1));  // mismatched exit
+  const auto pag = std::move(b).finalize();
+
+  const auto cs = brute_force_flows_to(pag, o);
+  EXPECT_EQ(cs.vars, (std::vector<std::uint32_t>{actual.value(), formal.value()}));
+
+  BruteForceOptions ci;
+  ci.context_sensitive = false;
+  const auto r_ci = brute_force_flows_to(pag, o, ci);
+  EXPECT_EQ(r_ci.vars, (std::vector<std::uint32_t>{actual.value(), formal.value(),
+                                                   recv.value()}));
+}
+
+TEST(BruteForce, TruncationFlagOnDenseCycles) {
+  pag::Pag::Builder b;
+  const auto x = b.add_local(TypeId(0), MethodId(0));
+  const auto y = b.add_local(TypeId(0), MethodId(0));
+  const auto o = b.add_object(TypeId(0), MethodId(0));
+  b.new_edge(x, o);
+  b.assign_local(y, x);
+  b.assign_local(x, y);
+  const auto pag = std::move(b).finalize();
+
+  BruteForceOptions opts;
+  opts.max_paths = 10;  // force truncation
+  opts.max_path_length = 30;
+  const auto r = brute_force_flows_to(pag, o, opts);
+  EXPECT_TRUE(r.truncated);
+  // Iterative deepening still finds the short witnesses first.
+  EXPECT_EQ(r.vars, (std::vector<std::uint32_t>{x.value(), y.value()}));
+}
+
+}  // namespace
+}  // namespace parcfl::oracle

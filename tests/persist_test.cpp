@@ -1,0 +1,197 @@
+// Persistence tests: sharing-state round-trips, fingerprint guarding,
+// context remapping into non-empty tables, and the warm-start property
+// (a reloaded store eliminates traversal work on the next batch).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cfl/persist.hpp"
+#include "cfl/solver.hpp"
+#include "pag/collapse.hpp"
+#include "frontend/lower.hpp"
+#include "synth/generator.hpp"
+#include "test_util.hpp"
+
+namespace parcfl::cfl {
+namespace {
+
+using pag::NodeId;
+
+struct SharedRun {
+  pag::Pag pag;
+  std::vector<NodeId> queries;
+};
+
+SharedRun heapy_workload(std::uint64_t seed = 31) {
+  synth::GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.app_methods = 12;
+  cfg.library_methods = 12;
+  cfg.containers = 3;
+  cfg.container_use_blocks = 12;
+  const auto lowered = frontend::lower(synth::generate(cfg));
+  auto collapsed = pag::collapse_assign_cycles(lowered.pag);
+  std::vector<NodeId> queries;
+  for (const NodeId q : lowered.queries)
+    queries.push_back(collapsed.representative[q.value()]);
+  std::sort(queries.begin(), queries.end());
+  queries.erase(std::unique(queries.begin(), queries.end()), queries.end());
+  return SharedRun{std::move(collapsed.pag), std::move(queries)};
+}
+
+SolverOptions sharing_options() {
+  SolverOptions o;
+  o.budget = 1'000'000;
+  o.data_sharing = true;
+  o.tau_finished = 5;
+  o.tau_unfinished = 50;
+  return o;
+}
+
+TEST(Persist, FingerprintDistinguishesGraphs) {
+  const auto a = heapy_workload(1);
+  const auto b = heapy_workload(2);
+  EXPECT_NE(pag_fingerprint(a.pag), pag_fingerprint(b.pag));
+  EXPECT_EQ(pag_fingerprint(a.pag), pag_fingerprint(heapy_workload(1).pag));
+}
+
+TEST(Persist, RoundTripPreservesEntries) {
+  const auto w = heapy_workload();
+  ContextTable contexts;
+  JmpStore store;
+  Solver solver(w.pag, contexts, &store, sharing_options());
+  for (const NodeId q : w.queries) (void)solver.points_to(q);
+  ASSERT_GT(store.entry_count(), 0u);
+
+  std::ostringstream out;
+  save_sharing_state(out, w.pag, contexts, store);
+
+  ContextTable contexts2;
+  JmpStore store2;
+  std::istringstream in(out.str());
+  std::string error;
+  ASSERT_TRUE(load_sharing_state(in, w.pag, contexts2, store2, &error)) << error;
+
+  EXPECT_EQ(store2.entry_count(), store.entry_count());
+  const auto s1 = store.stats();
+  const auto s2 = store2.stats();
+  EXPECT_EQ(s1.finished_edges, s2.finished_edges);
+  EXPECT_EQ(s1.unfinished_edges, s2.unfinished_edges);
+
+  // Saving the reloaded state again is byte-identical when the context
+  // tables enumerate identically (fresh table, same interning order).
+  std::ostringstream out2;
+  save_sharing_state(out2, w.pag, contexts2, store2);
+  // Entry iteration order may differ between stores; compare sorted lines.
+  auto sorted_lines = [](const std::string& text) {
+    std::vector<std::string> lines;
+    std::istringstream is(text);
+    for (std::string line; std::getline(is, line);) lines.push_back(line);
+    std::sort(lines.begin(), lines.end());
+    return lines;
+  };
+  EXPECT_EQ(sorted_lines(out.str()), sorted_lines(out2.str()));
+}
+
+TEST(Persist, WarmStartEliminatesTraversalWork) {
+  const auto w = heapy_workload();
+
+  // Cold run, saving state.
+  std::ostringstream state;
+  std::uint64_t cold_traversed = 0;
+  {
+    ContextTable contexts;
+    JmpStore store;
+    Solver solver(w.pag, contexts, &store, sharing_options());
+    for (const NodeId q : w.queries) (void)solver.points_to(q);
+    cold_traversed = solver.counters().traversed_steps;
+    save_sharing_state(state, w.pag, contexts, store);
+  }
+
+  // Warm run: loads the state first.
+  ContextTable contexts;
+  JmpStore store;
+  std::istringstream in(state.str());
+  ASSERT_TRUE(load_sharing_state(in, w.pag, contexts, store));
+  Solver solver(w.pag, contexts, &store, sharing_options());
+  std::vector<std::vector<NodeId>> warm_answers;
+  for (const NodeId q : w.queries) warm_answers.push_back(solver.points_to(q).nodes());
+  EXPECT_LT(solver.counters().traversed_steps, cold_traversed);
+  EXPECT_GT(solver.counters().jmps_taken, 0u);
+
+  // Warm answers equal cold answers.
+  ContextTable c3;
+  Solver plain(w.pag, c3, nullptr, SolverOptions{.budget = 1'000'000});
+  for (std::size_t i = 0; i < w.queries.size(); ++i)
+    EXPECT_EQ(warm_answers[i], plain.points_to(w.queries[i]).nodes())
+        << "query " << w.queries[i].value();
+}
+
+TEST(Persist, RejectsWrongGraph) {
+  const auto w1 = heapy_workload(5);
+  const auto w2 = heapy_workload(6);
+  ContextTable contexts;
+  JmpStore store;
+  Solver solver(w1.pag, contexts, &store, sharing_options());
+  for (const NodeId q : w1.queries) (void)solver.points_to(q);
+
+  std::ostringstream out;
+  save_sharing_state(out, w1.pag, contexts, store);
+
+  ContextTable c2;
+  JmpStore s2;
+  std::istringstream in(out.str());
+  std::string error;
+  EXPECT_FALSE(load_sharing_state(in, w2.pag, c2, s2, &error));
+  EXPECT_NE(error.find("different PAG"), std::string::npos);
+}
+
+TEST(Persist, RejectsMalformedInput) {
+  const auto w = heapy_workload();
+  ContextTable contexts;
+  JmpStore store;
+  std::string error;
+
+  std::istringstream bad1("nonsense");
+  EXPECT_FALSE(load_sharing_state(bad1, w.pag, contexts, store, &error));
+
+  std::istringstream bad2("parcfl-state 1\npag 1 1 12345\n");
+  EXPECT_FALSE(load_sharing_state(bad2, w.pag, contexts, store, &error));
+
+  std::ostringstream good;
+  save_sharing_state(good, w.pag, contexts, store);
+  std::string text = good.str() + "garbage line\n";
+  std::istringstream bad3(text);
+  EXPECT_FALSE(load_sharing_state(bad3, w.pag, contexts, store, &error));
+}
+
+TEST(Persist, LoadIntoNonEmptyContextTableRemaps) {
+  const auto w = heapy_workload();
+  std::ostringstream state;
+  {
+    ContextTable contexts;
+    JmpStore store;
+    Solver solver(w.pag, contexts, &store, sharing_options());
+    for (const NodeId q : w.queries) (void)solver.points_to(q);
+    save_sharing_state(state, w.pag, contexts, store);
+  }
+
+  // Pre-populate the receiving table with unrelated contexts so the saved
+  // ids cannot line up; loading must still produce a usable store.
+  ContextTable contexts;
+  for (std::uint32_t i = 0; i < 100; ++i)
+    (void)contexts.push(ContextTable::empty(), pag::CallSiteId(1000 + i));
+
+  JmpStore store;
+  std::istringstream in(state.str());
+  std::string error;
+  ASSERT_TRUE(load_sharing_state(in, w.pag, contexts, store, &error)) << error;
+
+  Solver solver(w.pag, contexts, &store, sharing_options());
+  for (const NodeId q : w.queries) (void)solver.points_to(q);
+  EXPECT_GT(solver.counters().jmps_taken, 0u);
+}
+
+}  // namespace
+}  // namespace parcfl::cfl

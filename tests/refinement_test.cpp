@@ -1,0 +1,217 @@
+// Refinement tests: the field approximation over-approximates the exact
+// analysis; the refinement driver proves safety cheaply when possible,
+// refines implicated fields when not, and converges to the exact verdict.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "clients/refinement.hpp"
+#include "frontend/lower.hpp"
+#include "synth/generator.hpp"
+#include "test_util.hpp"
+
+namespace parcfl::clients {
+namespace {
+
+using frontend::VarId;
+using pag::FieldId;
+using pag::MethodId;
+using pag::NodeId;
+using pag::TypeId;
+
+cfl::SolverOptions big() {
+  cfl::SolverOptions o;
+  o.budget = 10'000'000;
+  return o;
+}
+
+TEST(FieldApproximation, OverApproximatesExactMatching) {
+  // p -> o1, q -> o2 (distinct), store q.f = y, load x = p.f.
+  // Exact: no alias, x points to nothing. Approximate: x sees y's objects.
+  pag::Pag::Builder b;
+  const auto p = b.add_local(TypeId(0), MethodId(0));
+  const auto q = b.add_local(TypeId(0), MethodId(0));
+  const auto x = b.add_local(TypeId(0), MethodId(0));
+  const auto y = b.add_local(TypeId(0), MethodId(0));
+  const auto o1 = b.add_object(TypeId(0), MethodId(0));
+  const auto o2 = b.add_object(TypeId(0), MethodId(0));
+  const auto oy = b.add_object(TypeId(0), MethodId(0));
+  b.new_edge(p, o1);
+  b.new_edge(q, o2);
+  b.new_edge(y, oy);
+  b.store(q, y, FieldId(0));
+  b.load(x, p, FieldId(0));
+  const auto pag = std::move(b).finalize();
+
+  cfl::ContextTable contexts;
+  cfl::Solver exact(pag, contexts, nullptr, big());
+  EXPECT_TRUE(exact.points_to(x).nodes().empty());
+
+  cfl::SolverOptions approx_opts = big();
+  approx_opts.field_approximation = true;
+  cfl::Solver approx(pag, contexts, nullptr, approx_opts);
+  EXPECT_TRUE(approx.points_to(x).contains(oy));
+
+  // Refining the field restores exactness.
+  approx_opts.refined_fields.insert(0);
+  cfl::Solver refined(pag, contexts, nullptr, approx_opts);
+  EXPECT_TRUE(refined.points_to(x).nodes().empty());
+}
+
+class ApproxSupersetTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ApproxSupersetTest, ApproximationContainsExactAnswer) {
+  test::RandomPagConfig cfg;
+  cfg.seed = GetParam() + 17'000;
+  cfg.heap_edge_pairs = 4;
+  const auto pag = test::random_layered_pag(cfg);
+
+  cfl::ContextTable contexts;
+  cfl::Solver exact(pag, contexts, nullptr, big());
+  cfl::SolverOptions ao = big();
+  ao.field_approximation = true;
+  cfl::Solver approx(pag, contexts, nullptr, ao);
+
+  for (const NodeId v : test::all_variables(pag)) {
+    const auto e = exact.points_to(v).nodes();
+    const auto a = approx.points_to(v).nodes();
+    EXPECT_TRUE(std::includes(a.begin(), a.end(), e.begin(), e.end()))
+        << "seed " << cfg.seed << " var " << v.value();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApproxSupersetTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+/// Two unaliased containers with same-named fields; the cast reads from the
+/// Derived-only container. The approximation conflates them (may-fail); one
+/// refinement round separates them (safe).
+struct RefineFixture {
+  frontend::Program program;
+  frontend::LoweredProgram lowered;
+  NodeId cast_src;
+  TypeId t_derived;
+};
+
+RefineFixture refine_fixture() {
+  RefineFixture f;
+  auto& p = f.program;
+  const auto t_base = p.add_type("Base");
+  const auto t_derived = p.add_type("Derived", true, t_base);
+  const auto t_other = p.add_type("Other");
+  const auto t_box = p.add_type("Box");
+  const auto f_val = p.add_field(t_box, "val", t_base);
+
+  const auto m = p.add_method("m", true);
+  const auto box1 = p.add_local(m, "box1", t_box);
+  const auto box2 = p.add_local(m, "box2", t_box);
+  const auto d = p.add_local(m, "d", t_derived);
+  const auto other = p.add_local(m, "other", t_other);
+  const auto got = p.add_local(m, "got", t_base);
+
+  p.stmt_alloc(m, box1, t_box);
+  p.stmt_alloc(m, box2, t_box);
+  p.stmt_alloc(m, d, t_derived);
+  p.stmt_alloc(m, other, t_other);
+  p.stmt_store(m, box1, f_val, d);      // box1.val = Derived
+  p.stmt_store(m, box2, f_val, other);  // box2.val = Other
+  p.stmt_load(m, got, box1, f_val);     // got = box1.val  (Derived only)
+
+  f.lowered = frontend::lower(p);
+  f.cast_src = f.lowered.node_of(got);
+  f.t_derived = t_derived;
+  return f;
+}
+
+TEST(RefineCast, RefinesConflatedFieldAndProvesSafe) {
+  const auto f = refine_fixture();
+  cfl::ContextTable contexts;
+  const auto r = refine_cast(f.program, f.lowered.pag, f.cast_src, f.t_derived,
+                             contexts, big());
+  EXPECT_EQ(r.verdict, CastVerdict::kSafe);
+  EXPECT_GE(r.stats.iterations, 2u);       // approximation failed once
+  EXPECT_FALSE(r.stats.refined.empty());   // the val field was refined
+}
+
+TEST(RefineCast, ApproximationAloneProvesSafeCheaply) {
+  // Only Derived objects exist anywhere: even the conflating approximation
+  // proves the cast — one pass, nothing refined.
+  frontend::Program p;
+  const auto t_base = p.add_type("Base");
+  const auto t_derived = p.add_type("Derived", true, t_base);
+  const auto t_box = p.add_type("Box");
+  const auto f_val = p.add_field(t_box, "val", t_base);
+  const auto m = p.add_method("m", true);
+  const auto box = p.add_local(m, "box", t_box);
+  const auto d = p.add_local(m, "d", t_derived);
+  const auto got = p.add_local(m, "got", t_base);
+  p.stmt_alloc(m, box, t_box);
+  p.stmt_alloc(m, d, t_derived);
+  p.stmt_store(m, box, f_val, d);
+  p.stmt_load(m, got, box, f_val);
+  const auto lowered = frontend::lower(p);
+
+  cfl::ContextTable contexts;
+  const auto r = refine_cast(p, lowered.pag, lowered.node_of(got), t_derived,
+                             contexts, big());
+  EXPECT_EQ(r.verdict, CastVerdict::kSafe);
+  EXPECT_EQ(r.stats.iterations, 1u);
+  EXPECT_TRUE(r.stats.refined.empty());
+}
+
+TEST(RefineCast, GenuineMayFailSurvivesRefinement) {
+  // The offending object really is reachable exactly: Other stored into the
+  // same box the cast reads.
+  frontend::Program p;
+  const auto t_base = p.add_type("Base");
+  const auto t_derived = p.add_type("Derived", true, t_base);
+  const auto t_other = p.add_type("Other");
+  const auto t_box = p.add_type("Box");
+  const auto f_val = p.add_field(t_box, "val", t_base);
+  const auto m = p.add_method("m", true);
+  const auto box = p.add_local(m, "box", t_box);
+  const auto other = p.add_local(m, "other", t_other);
+  const auto got = p.add_local(m, "got", t_base);
+  p.stmt_alloc(m, box, t_box);
+  p.stmt_alloc(m, other, t_other);
+  p.stmt_store(m, box, f_val, other);
+  p.stmt_load(m, got, box, f_val);
+  const auto lowered = frontend::lower(p);
+
+  cfl::ContextTable contexts;
+  const auto r = refine_cast(p, lowered.pag, lowered.node_of(got), t_derived,
+                             contexts, big());
+  EXPECT_EQ(r.verdict, CastVerdict::kMayFail);
+  EXPECT_TRUE(r.witness.valid());
+}
+
+TEST(RefineCast, AgreesWithExactCheckerOnRandomWorkloads) {
+  synth::GeneratorConfig cfg;
+  cfg.seed = 57;
+  cfg.app_methods = 15;
+  cfg.library_methods = 15;
+  cfg.cast_weight = 0.1;
+  cfg.subclass_prob = 0.6;
+  const auto program = synth::generate(cfg);
+  const auto lowered = frontend::lower(program);
+  ASSERT_GT(lowered.casts.size(), 0u);
+
+  // Exact verdicts from the general-purpose checker.
+  cfl::ContextTable c1;
+  cfl::Solver solver(lowered.pag, c1, nullptr, big());
+  std::vector<NodeId> srcs;
+  for (const auto& cast : lowered.casts) srcs.push_back(cast.src);
+  const auto table = PointsToTable::from_solver(solver, srcs);
+  const auto exact = check_casts(program, lowered, lowered.pag, table);
+
+  cfl::ContextTable c2;
+  const auto refined =
+      refine_all_casts(program, lowered, lowered.pag, c2, big());
+  ASSERT_EQ(refined.size(), exact.size());
+  for (std::size_t i = 0; i < exact.size(); ++i)
+    EXPECT_EQ(refined[i].verdict, exact[i].verdict) << "cast " << i;
+}
+
+}  // namespace
+}  // namespace parcfl::clients

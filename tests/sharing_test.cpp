@@ -1,0 +1,263 @@
+// Data-sharing (Algorithm 2) tests: the jmp store itself, shortcut
+// consumption, budget charging, unfinished jmps and early termination, and
+// the τF/τU selective-insertion thresholds (§IV-A).
+
+#include <gtest/gtest.h>
+
+#include "cfl/jmp_store.hpp"
+#include "cfl/solver.hpp"
+#include "test_util.hpp"
+
+namespace parcfl::cfl {
+namespace {
+
+using pag::CallSiteId;
+using pag::FieldId;
+using pag::MethodId;
+using pag::NodeId;
+using pag::TypeId;
+
+TEST(JmpStore, KeyEncodesDirectionNodeContext) {
+  const auto k1 = JmpStore::key(Direction::kBackward, NodeId(5), CtxId(7));
+  const auto k2 = JmpStore::key(Direction::kForward, NodeId(5), CtxId(7));
+  const auto k3 = JmpStore::key(Direction::kBackward, NodeId(6), CtxId(7));
+  const auto k4 = JmpStore::key(Direction::kBackward, NodeId(5), CtxId(8));
+  EXPECT_NE(k1, k2);
+  EXPECT_NE(k1, k3);
+  EXPECT_NE(k1, k4);
+}
+
+TEST(JmpStore, FinishedFirstWins) {
+  JmpStore store;
+  const auto k = JmpStore::key(Direction::kBackward, NodeId(1), CtxId(0));
+  EXPECT_TRUE(store.insert_finished(k, 100, {{NodeId(2), CtxId(0), 50}}));
+  EXPECT_FALSE(store.insert_finished(k, 200, {{NodeId(3), CtxId(0), 60}}));
+
+  JmpStore::Lookup lk;
+  ASSERT_TRUE(store.lookup(k, lk));
+  ASSERT_NE(lk.finished, nullptr);
+  EXPECT_EQ(lk.finished->cost, 100u);
+  ASSERT_EQ(lk.finished->targets.size(), 1u);
+  EXPECT_EQ(lk.finished->targets[0].node, NodeId(2));
+}
+
+TEST(JmpStore, UnfinishedFirstWinsAndCoexists) {
+  JmpStore store;
+  const auto k = JmpStore::key(Direction::kBackward, NodeId(1), CtxId(0));
+  EXPECT_TRUE(store.insert_unfinished(k, 500));
+  EXPECT_FALSE(store.insert_unfinished(k, 900));
+  EXPECT_TRUE(store.insert_finished(k, 100, {}));
+
+  JmpStore::Lookup lk;
+  ASSERT_TRUE(store.lookup(k, lk));
+  EXPECT_EQ(lk.unfinished_s, 500u);
+  EXPECT_NE(lk.finished, nullptr);
+}
+
+TEST(JmpStore, StatsAndHistograms) {
+  JmpStore store;
+  store.insert_finished(JmpStore::key(Direction::kBackward, NodeId(1), CtxId(0)), 10,
+                        {{NodeId(2), CtxId(0), 4}, {NodeId(3), CtxId(0), 9}});
+  store.insert_unfinished(JmpStore::key(Direction::kBackward, NodeId(4), CtxId(0)),
+                          1024);
+  const auto s = store.stats();
+  EXPECT_EQ(s.finished_entries, 1u);
+  EXPECT_EQ(s.finished_edges, 2u);
+  EXPECT_EQ(s.unfinished_edges, 1u);
+  EXPECT_EQ(s.total_jmps(), 3u);
+  EXPECT_EQ(s.finished_hist.bucket(2), 1u);   // 4
+  EXPECT_EQ(s.finished_hist.bucket(3), 1u);   // 9
+  EXPECT_EQ(s.unfinished_hist.bucket(10), 1u);  // 1024
+  EXPECT_GT(store.memory_bytes(), 0u);
+}
+
+// ---- solver-level sharing ----------------------------------------------------
+
+/// x = p.f with p and q pointing to the same object and q.f = y, y = new o2:
+/// ReachableNodes(x, ∅) completes and is shareable.
+struct HeapGraph {
+  pag::Pag pag;
+  NodeId x, consumer, y, o2;
+};
+
+HeapGraph heap_graph() {
+  pag::Pag::Builder b;
+  const auto p = b.add_local(TypeId(0), MethodId(0));
+  const auto q = b.add_local(TypeId(0), MethodId(0));
+  const auto x = b.add_local(TypeId(0), MethodId(0));
+  const auto y = b.add_local(TypeId(0), MethodId(0));
+  const auto consumer = b.add_local(TypeId(0), MethodId(0));
+  const auto o = b.add_object(TypeId(0), MethodId(0));
+  const auto o2 = b.add_object(TypeId(0), MethodId(0));
+  b.new_edge(p, o);
+  b.new_edge(q, o);
+  b.new_edge(y, o2);
+  b.store(q, y, FieldId(0));
+  b.load(x, p, FieldId(0));
+  b.assign_local(consumer, x);
+  HeapGraph g{std::move(b).finalize(), x, consumer, y, o2};
+  return g;
+}
+
+SolverOptions sharing_opts(std::uint64_t budget = 1'000'000) {
+  SolverOptions o;
+  o.budget = budget;
+  o.data_sharing = true;
+  o.tau_finished = 0;
+  o.tau_unfinished = 0;
+  return o;
+}
+
+TEST(Sharing, SecondQueryTakesTheShortcut) {
+  const auto g = heap_graph();
+  ContextTable contexts;
+  JmpStore store;
+  Solver solver(g.pag, contexts, &store, sharing_opts());
+
+  const auto r1 = solver.points_to(g.x);
+  ASSERT_EQ(r1.status, QueryStatus::kComplete);
+  EXPECT_TRUE(r1.contains(g.o2));
+  EXPECT_GT(solver.counters().jmps_added_finished, 0u);
+  EXPECT_EQ(solver.counters().jmps_taken, 0u);
+
+  const auto before_saved = solver.counters().saved_steps;
+  const auto r2 = solver.points_to(g.consumer);
+  ASSERT_EQ(r2.status, QueryStatus::kComplete);
+  EXPECT_TRUE(r2.contains(g.o2));
+  EXPECT_GT(solver.counters().jmps_taken, 0u);
+  EXPECT_GT(solver.counters().saved_steps, before_saved);
+}
+
+TEST(Sharing, PaperChargingAccountsShortcutCosts) {
+  const auto g = heap_graph();
+  ContextTable contexts;
+  JmpStore store;
+  SolverOptions o = sharing_opts();
+  o.charge_jmp_costs = true;  // Alg. 2 line 5 verbatim
+  Solver solver(g.pag, contexts, &store, o);
+  (void)solver.points_to(g.x);
+  (void)solver.points_to(g.consumer);
+  EXPECT_GT(solver.counters().jmps_taken, 0u);
+  // Charged accounts for the shortcut, traversed does not.
+  EXPECT_GT(solver.counters().charged_steps, solver.counters().traversed_steps);
+}
+
+TEST(Sharing, ShortcutPreservesAnswerAndCompleteness) {
+  const auto g = heap_graph();
+  ContextTable c1, c2;
+  JmpStore store;
+  Solver sharing(g.pag, c1, &store, sharing_opts());
+  SolverOptions plain_opts;
+  plain_opts.budget = 1'000'000;
+  Solver plain(g.pag, c2, nullptr, plain_opts);
+
+  (void)sharing.points_to(g.x);  // warm the store
+  const auto shared = sharing.points_to(g.consumer);
+  const auto unshared = plain.points_to(g.consumer);
+  EXPECT_EQ(shared.nodes(), unshared.nodes());
+  EXPECT_EQ(shared.status, unshared.status);
+}
+
+TEST(Sharing, TauFinishedSuppressesCheapJmps) {
+  const auto g = heap_graph();
+  ContextTable contexts;
+  JmpStore store;
+  SolverOptions o = sharing_opts();
+  o.tau_finished = 1'000'000;  // nothing is ever expensive enough
+  Solver solver(g.pag, contexts, &store, o);
+  (void)solver.points_to(g.x);
+  EXPECT_EQ(solver.counters().jmps_added_finished, 0u);
+  EXPECT_GT(solver.counters().jmps_suppressed, 0u);
+  EXPECT_EQ(store.entry_count(), 0u);
+}
+
+/// A long assign chain behind a load's base: ReachableNodes cannot finish
+/// within the budget, producing an unfinished jmp at the load destination.
+struct ChainGraph {
+  pag::Pag pag;
+  NodeId x, entry;
+};
+
+ChainGraph chain_graph(std::uint32_t chain_length) {
+  pag::Pag::Builder b;
+  const auto x = b.add_local(TypeId(0), MethodId(0));
+  const auto p = b.add_local(TypeId(0), MethodId(0));
+  b.load(x, p, FieldId(0));
+  // A store exists so ReachableNodes has work to do.
+  const auto q = b.add_local(TypeId(0), MethodId(0));
+  const auto y = b.add_local(TypeId(0), MethodId(0));
+  b.store(q, y, FieldId(0));
+  // p <- c0 <- c1 <- ... <- o (long chain).
+  NodeId prev = p;
+  for (std::uint32_t i = 0; i < chain_length; ++i) {
+    const auto c = b.add_local(TypeId(0), MethodId(0));
+    b.assign_local(prev, c);
+    prev = c;
+  }
+  const auto o = b.add_object(TypeId(0), MethodId(0));
+  b.new_edge(prev, o);
+  b.new_edge(q, o);  // q aliases p, eventually
+  const auto entry = b.add_local(TypeId(0), MethodId(0));
+  b.assign_local(entry, x);
+  ChainGraph g{std::move(b).finalize(), x, entry};
+  return g;
+}
+
+TEST(Sharing, BudgetExhaustionAddsUnfinishedJmp) {
+  const auto g = chain_graph(200);
+  ContextTable contexts;
+  JmpStore store;
+  Solver solver(g.pag, contexts, &store, sharing_opts(/*budget=*/50));
+
+  const auto r = solver.points_to(g.x);
+  EXPECT_EQ(r.status, QueryStatus::kOutOfBudget);
+  EXPECT_GT(solver.counters().jmps_added_unfinished, 0u);
+  const auto stats = store.stats();
+  EXPECT_GT(stats.unfinished_edges, 0u);
+}
+
+TEST(Sharing, UnfinishedJmpTriggersEarlyTermination) {
+  const auto g = chain_graph(200);
+  ContextTable contexts;
+  JmpStore store;
+  Solver solver(g.pag, contexts, &store, sharing_opts(/*budget=*/50));
+
+  ASSERT_EQ(solver.points_to(g.x).status, QueryStatus::kOutOfBudget);
+  EXPECT_EQ(solver.counters().early_terminations, 0u);
+
+  // `entry` reaches x after one step; the recorded unfinished s (≈ budget)
+  // exceeds the remaining budget, so the query aborts immediately.
+  const auto traversed_before = solver.counters().traversed_steps;
+  const auto r = solver.points_to(g.entry);
+  EXPECT_EQ(r.status, QueryStatus::kEarlyTermination);
+  EXPECT_EQ(solver.counters().early_terminations, 1u);
+  // The early-terminated query walked only a couple of nodes.
+  EXPECT_LT(solver.counters().traversed_steps - traversed_before, 10u);
+}
+
+TEST(Sharing, TauUnfinishedSuppressesSmallWarnings) {
+  const auto g = chain_graph(200);
+  ContextTable contexts;
+  JmpStore store;
+  SolverOptions o = sharing_opts(/*budget=*/50);
+  o.tau_unfinished = 1'000'000;
+  Solver solver(g.pag, contexts, &store, o);
+  ASSERT_EQ(solver.points_to(g.x).status, QueryStatus::kOutOfBudget);
+  EXPECT_EQ(store.stats().unfinished_edges, 0u);
+  EXPECT_GT(solver.counters().jmps_suppressed, 0u);
+}
+
+TEST(Sharing, EarlyTerminationRequiresSharing) {
+  const auto g = chain_graph(200);
+  ContextTable contexts;
+  SolverOptions o;
+  o.budget = 50;
+  Solver solver(g.pag, contexts, nullptr, o);
+  ASSERT_EQ(solver.points_to(g.x).status, QueryStatus::kOutOfBudget);
+  const auto r = solver.points_to(g.entry);
+  EXPECT_EQ(r.status, QueryStatus::kOutOfBudget);  // no store, no ET
+  EXPECT_EQ(solver.counters().early_terminations, 0u);
+}
+
+}  // namespace
+}  // namespace parcfl::cfl

@@ -1,0 +1,263 @@
+// Structural edge cases for the demand solver: degenerate graphs, duplicate
+// and self edges, deep chains, nested containers with known exact answers,
+// context-depth limits, and query statuses.
+
+#include <gtest/gtest.h>
+
+#include "andersen/andersen.hpp"
+#include "cfl/solver.hpp"
+#include "frontend/lower.hpp"
+#include "test_util.hpp"
+
+namespace parcfl::cfl {
+namespace {
+
+using pag::CallSiteId;
+using pag::FieldId;
+using pag::MethodId;
+using pag::NodeId;
+using pag::TypeId;
+
+SolverOptions big_budget() {
+  SolverOptions o;
+  o.budget = 50'000'000;
+  return o;
+}
+
+TEST(SolverEdge, EmptyVariableHasEmptySet) {
+  pag::Pag::Builder b;
+  const auto x = b.add_local(TypeId(0), MethodId(0));
+  const auto pag = std::move(b).finalize();
+  ContextTable contexts;
+  Solver solver(pag, contexts, nullptr, big_budget());
+  const auto r = solver.points_to(x);
+  EXPECT_EQ(r.status, QueryStatus::kComplete);
+  EXPECT_TRUE(r.tuples.empty());
+}
+
+TEST(SolverEdge, ObjectWithNoEdgesFlowsNowhere) {
+  pag::Pag::Builder b;
+  b.add_local(TypeId(0), MethodId(0));
+  const auto o = b.add_object(TypeId(0), MethodId(0));
+  const auto pag = std::move(b).finalize();
+  ContextTable contexts;
+  Solver solver(pag, contexts, nullptr, big_budget());
+  EXPECT_TRUE(solver.flows_to(o).tuples.empty());
+}
+
+TEST(SolverEdge, SelfAssignIsHarmless) {
+  pag::Pag::Builder b;
+  b.set_dedupe(false);
+  const auto x = b.add_local(TypeId(0), MethodId(0));
+  const auto o = b.add_object(TypeId(0), MethodId(0));
+  b.new_edge(x, o);
+  b.assign_local(x, x);
+  const auto pag = std::move(b).finalize();
+  ContextTable contexts;
+  Solver solver(pag, contexts, nullptr, big_budget());
+  const auto r = solver.points_to(x);
+  EXPECT_EQ(r.status, QueryStatus::kComplete);
+  EXPECT_TRUE(r.contains(o));
+}
+
+TEST(SolverEdge, DuplicateEdgesDoNotDuplicateResults) {
+  pag::Pag::Builder b;
+  b.set_dedupe(false);
+  const auto x = b.add_local(TypeId(0), MethodId(0));
+  const auto y = b.add_local(TypeId(0), MethodId(0));
+  const auto o = b.add_object(TypeId(0), MethodId(0));
+  b.new_edge(x, o);
+  b.new_edge(x, o);
+  b.assign_local(y, x);
+  b.assign_local(y, x);
+  const auto pag = std::move(b).finalize();
+  ContextTable contexts;
+  Solver solver(pag, contexts, nullptr, big_budget());
+  const auto r = solver.points_to(y);
+  EXPECT_EQ(r.tuples.size(), 1u);
+}
+
+TEST(SolverEdge, LongChainCostsLinearSteps) {
+  constexpr std::uint32_t kLen = 5000;
+  pag::Pag::Builder b;
+  const auto head = b.add_local(TypeId(0), MethodId(0));
+  NodeId prev = head;
+  for (std::uint32_t i = 0; i < kLen; ++i) {
+    const auto next = b.add_local(TypeId(0), MethodId(0));
+    b.assign_local(prev, next);
+    prev = next;
+  }
+  const auto o = b.add_object(TypeId(0), MethodId(0));
+  b.new_edge(prev, o);
+  const auto pag = std::move(b).finalize();
+
+  ContextTable contexts;
+  Solver solver(pag, contexts, nullptr, big_budget());
+  const auto r = solver.points_to(head);
+  EXPECT_TRUE(r.contains(o));
+  // One step per node plus the head.
+  EXPECT_EQ(solver.counters().charged_steps, kLen + 1);
+}
+
+/// k-deep nested containers: c.f1 -> box1, box1.f2 -> box2, ..., boxk holds
+/// the payload. get-chains must retrieve exactly the payload object.
+TEST(SolverEdge, NestedContainersExactAnswer) {
+  for (std::uint32_t depth : {1u, 2u, 3u, 4u}) {
+    frontend::Program p;
+    const auto t = p.add_type("T");
+    std::vector<frontend::FieldId> fields;
+    for (std::uint32_t i = 0; i < depth; ++i)
+      fields.push_back(p.add_field(t, "f" + std::to_string(i), t));
+
+    const auto m = p.add_method("m", true);
+    // Build: cur = new; chain of stores downward; then loads back up.
+    const auto root = p.add_local(m, "root", t);
+    p.stmt_alloc(m, root, t);
+    frontend::VarId cur = root;
+    for (std::uint32_t i = 0; i < depth; ++i) {
+      const auto next = p.add_local(m, "w" + std::to_string(i), t);
+      p.stmt_alloc(m, next, t);
+      p.stmt_store(m, cur, fields[i], next);
+      cur = next;
+    }
+    const auto payload = p.add_local(m, "payload", t);
+    p.stmt_alloc(m, payload, t);
+    p.stmt_store(m, cur, fields[depth - 1], payload);
+
+    frontend::VarId read = root;
+    for (std::uint32_t i = 0; i < depth; ++i) {
+      const auto next = p.add_local(m, "r" + std::to_string(i), t);
+      p.stmt_load(m, next, read, fields[i]);
+      read = next;
+    }
+    // One more hop retrieves the payload (it sits beside the last box in
+    // the same field).
+    const auto got = p.add_local(m, "got", t);
+    p.stmt_load(m, got, read, fields[depth - 1]);
+
+    const auto lowered = frontend::lower(p);
+    ContextTable contexts;
+    Solver solver(lowered.pag, contexts, nullptr, big_budget());
+
+    // Validate against Andersen (flow-insensitive ground truth).
+    const auto andersen = andersen::solve(lowered.pag);
+    for (const NodeId v : test::all_variables(lowered.pag)) {
+      const auto r = solver.points_to(v);
+      ASSERT_EQ(r.status, QueryStatus::kComplete) << "depth " << depth;
+      std::vector<std::uint32_t> got_vals;
+      for (const NodeId n : r.nodes()) got_vals.push_back(n.value());
+      const auto want = andersen.points_to(v);
+      EXPECT_TRUE(std::equal(got_vals.begin(), got_vals.end(), want.begin(),
+                             want.end()))
+          << "depth " << depth << " var " << v.value();
+    }
+    // The payload is retrievable.
+    EXPECT_TRUE(solver.points_to(lowered.node_of(got))
+                    .contains(lowered.object_node.back()));
+  }
+}
+
+TEST(SolverEdge, ContextDepthOverflowAbortsQuery) {
+  // A ret-edge self-loop pushes unboundedly many contexts backwards.
+  pag::Pag::Builder b;
+  const auto x = b.add_local(TypeId(0), MethodId(0));
+  const auto y = b.add_local(TypeId(0), MethodId(0));
+  b.ret(x, y, CallSiteId(0));
+  b.ret(y, x, CallSiteId(1));
+  const auto o = b.add_object(TypeId(0), MethodId(0));
+  b.new_edge(y, o);
+  const auto pag = std::move(b).finalize();
+
+  ContextTable contexts(/*max_depth=*/16);
+  Solver solver(pag, contexts, nullptr, big_budget());
+  const auto r = solver.points_to(x);
+  EXPECT_EQ(r.status, QueryStatus::kOutOfBudget);
+  // The direct hit is still found before the abort.
+  EXPECT_TRUE(r.contains(o));
+}
+
+TEST(SolverEdge, RecursionDepthGuardAborts) {
+  // Deep heap nesting: x0 = b0.f; b0 aliases via x1 = b1.f ... forces nested
+  // ReachableNodes recursion proportional to the chain, beyond the guard.
+  constexpr std::uint32_t kDepth = 64;
+  pag::Pag::Builder b;
+  std::vector<NodeId> xs, bases;
+  for (std::uint32_t i = 0; i < kDepth; ++i) {
+    xs.push_back(b.add_local(TypeId(0), MethodId(0)));
+    bases.push_back(b.add_local(TypeId(0), MethodId(0)));
+  }
+  for (std::uint32_t i = 0; i < kDepth; ++i) {
+    b.load(xs[i], bases[i], FieldId(0));
+    if (i + 1 < kDepth) b.assign_local(bases[i], xs[i + 1]);
+  }
+  const auto o = b.add_object(TypeId(0), MethodId(0));
+  b.new_edge(bases[kDepth - 1], o);
+  const auto q = b.add_local(TypeId(0), MethodId(0));
+  const auto payload = b.add_local(TypeId(0), MethodId(0));
+  b.new_edge(q, o);
+  b.store(q, payload, FieldId(0));
+  const auto pag = std::move(b).finalize();
+
+  ContextTable contexts;
+  SolverOptions so = big_budget();
+  so.max_recursion_depth = 8;  // far below the nesting
+  Solver solver(pag, contexts, nullptr, so);
+  const auto r = solver.points_to(xs[0]);
+  EXPECT_EQ(r.status, QueryStatus::kOutOfBudget);
+
+  // With an adequate guard the same query completes.
+  SolverOptions ok = big_budget();
+  Solver solver2(pag, contexts, nullptr, ok);
+  EXPECT_EQ(solver2.points_to(xs[0]).status, QueryStatus::kComplete);
+}
+
+TEST(SolverEdge, CountersAccumulateAcrossQueries) {
+  const auto fx = test::fig2();
+  ContextTable contexts;
+  Solver solver(fx.lowered.pag, contexts, nullptr, big_budget());
+  (void)solver.points_to(fx.s1);
+  const auto after_one = solver.counters().queries;
+  (void)solver.points_to(fx.s2);
+  EXPECT_EQ(solver.counters().queries, after_one + 1);
+  solver.reset_counters();
+  EXPECT_EQ(solver.counters().queries, 0u);
+}
+
+TEST(SolverEdge, GlobalQueriesWork) {
+  pag::Pag::Builder b;
+  const auto g = b.add_global(TypeId(0));
+  const auto l = b.add_local(TypeId(0), MethodId(0));
+  const auto o = b.add_object(TypeId(0), MethodId(0));
+  b.new_edge(l, o);
+  b.assign_global(g, l);
+  const auto pag = std::move(b).finalize();
+  ContextTable contexts;
+  Solver solver(pag, contexts, nullptr, big_budget());
+  EXPECT_TRUE(solver.points_to(g).contains(o));
+}
+
+TEST(SolverEdge, FlowsToCrossesCallBoundary) {
+  // o -> actual -param_i-> formal; formal stored into a global; read back.
+  pag::Pag::Builder b;
+  const auto actual = b.add_local(TypeId(0), MethodId(0));
+  const auto formal = b.add_local(TypeId(0), MethodId(1));
+  const auto g = b.add_global(TypeId(0));
+  const auto reader = b.add_local(TypeId(0), MethodId(2));
+  const auto o = b.add_object(TypeId(0), MethodId(0));
+  b.new_edge(actual, o);
+  b.param(formal, actual, CallSiteId(3));
+  b.assign_global(g, formal);
+  b.assign_global(reader, g);
+  const auto pag = std::move(b).finalize();
+
+  ContextTable contexts;
+  Solver solver(pag, contexts, nullptr, big_budget());
+  const auto r = solver.flows_to(o);
+  EXPECT_TRUE(r.contains(actual));
+  EXPECT_TRUE(r.contains(formal));
+  EXPECT_TRUE(r.contains(g));
+  EXPECT_TRUE(r.contains(reader));
+}
+
+}  // namespace
+}  // namespace parcfl::cfl

@@ -1,0 +1,342 @@
+// Unit tests for the support substrate: rng, strong ids, union-find, SCC,
+// arena, sharded map, thread pool, histograms, memory meter.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "support/arena.hpp"
+#include "support/mem_meter.hpp"
+#include "support/rng.hpp"
+#include "support/scc.hpp"
+#include "support/sharded_map.hpp"
+#include "support/stats.hpp"
+#include "support/strong_id.hpp"
+#include "support/thread_pool.hpp"
+#include "support/union_find.hpp"
+
+namespace parcfl::support {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= a.next_u64() != b.next_u64();
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+struct FooTag {};
+using FooId = StrongId<FooTag>;
+
+TEST(StrongId, InvalidByDefault) {
+  FooId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, FooId::invalid());
+}
+
+TEST(StrongId, ComparesByValue) {
+  EXPECT_EQ(FooId(3), FooId(3));
+  EXPECT_NE(FooId(3), FooId(4));
+  EXPECT_LT(FooId(3), FooId(4));
+}
+
+TEST(StrongId, Hashable) {
+  std::set<std::size_t> hashes;
+  for (std::uint32_t i = 0; i < 100; ++i)
+    hashes.insert(std::hash<FooId>{}(FooId(i)));
+  EXPECT_GT(hashes.size(), 95u);  // no mass collisions on dense ids
+}
+
+TEST(UnionFind, BasicUnion) {
+  UnionFind uf(10);
+  EXPECT_FALSE(uf.same(1, 2));
+  uf.unite(1, 2);
+  EXPECT_TRUE(uf.same(1, 2));
+  uf.unite(2, 3);
+  EXPECT_TRUE(uf.same(1, 3));
+  EXPECT_FALSE(uf.same(1, 4));
+  EXPECT_EQ(uf.set_size(1), 3u);
+  EXPECT_EQ(uf.set_size(4), 1u);
+}
+
+TEST(UnionFind, SelfUnionIsNoop) {
+  UnionFind uf(4);
+  uf.unite(2, 2);
+  EXPECT_EQ(uf.set_size(2), 1u);
+}
+
+TEST(Scc, SingleCycle) {
+  // 0 -> 1 -> 2 -> 0
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges{{0, 1}, {1, 2}, {2, 0}};
+  const auto g = CsrGraph::from_edges(3, edges);
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.component_count, 1u);
+}
+
+TEST(Scc, ChainHasSingletons) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges{{0, 1}, {1, 2}, {2, 3}};
+  const auto g = CsrGraph::from_edges(4, edges);
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.component_count, 4u);
+  // Reverse topological numbering: successors have smaller component ids.
+  EXPECT_GT(scc.component_of[0], scc.component_of[1]);
+  EXPECT_GT(scc.component_of[1], scc.component_of[2]);
+  EXPECT_GT(scc.component_of[2], scc.component_of[3]);
+}
+
+TEST(Scc, TwoCyclesAndBridge) {
+  // {0,1} cycle -> {2,3} cycle, plus isolated 4.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges{
+      {0, 1}, {1, 0}, {1, 2}, {2, 3}, {3, 2}};
+  const auto g = CsrGraph::from_edges(5, edges);
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.component_count, 3u);
+  EXPECT_EQ(scc.component_of[0], scc.component_of[1]);
+  EXPECT_EQ(scc.component_of[2], scc.component_of[3]);
+  EXPECT_NE(scc.component_of[0], scc.component_of[2]);
+  EXPECT_GT(scc.component_of[0], scc.component_of[2]);  // source comp is later
+}
+
+TEST(Scc, CondenseDropsSelfLoopsAndDuplicates) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges{
+      {0, 1}, {1, 0}, {0, 2}, {1, 2}, {1, 2}};
+  const auto g = CsrGraph::from_edges(3, edges);
+  const auto scc = strongly_connected_components(g);
+  const auto dag = condense(g, scc);
+  EXPECT_EQ(dag.vertex_count(), 2u);
+  // Exactly one edge from the {0,1} component to {2}.
+  std::size_t total_edges = dag.targets.size();
+  EXPECT_EQ(total_edges, 1u);
+}
+
+TEST(Scc, TopologicalOrderOnDag) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges{
+      {0, 2}, {1, 2}, {2, 3}};
+  const auto g = CsrGraph::from_edges(4, edges);
+  const auto order = topological_order(g);
+  std::vector<std::uint32_t> pos(4);
+  for (std::uint32_t i = 0; i < 4; ++i) pos[order[i]] = i;
+  EXPECT_LT(pos[0], pos[2]);
+  EXPECT_LT(pos[1], pos[2]);
+  EXPECT_LT(pos[2], pos[3]);
+}
+
+TEST(Scc, LargeGraphNoRecursionOverflow) {
+  // A 100k-node chain would overflow a recursive Tarjan; the iterative one
+  // must handle it.
+  const std::uint32_t n = 100'000;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(n);
+  for (std::uint32_t i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  const auto g = CsrGraph::from_edges(n, edges);
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.component_count, n);
+}
+
+TEST(Arena, AllocatesAlignedStableMemory) {
+  Arena arena(128);  // small blocks to force growth
+  std::vector<std::uint64_t*> ptrs;
+  for (int i = 0; i < 100; ++i) {
+    auto* p = arena.create<std::uint64_t>(static_cast<std::uint64_t>(i));
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % alignof(std::uint64_t), 0u);
+    ptrs.push_back(p);
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(*ptrs[i], static_cast<std::uint64_t>(i));
+  EXPECT_GE(arena.allocated_bytes(), 100 * sizeof(std::uint64_t));
+}
+
+TEST(Arena, CopyArray) {
+  Arena arena;
+  const std::uint32_t src[] = {1, 2, 3, 4};
+  const std::uint32_t* copy = arena.copy_array(src, 4);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(copy[i], src[i]);
+  EXPECT_EQ(arena.copy_array<std::uint32_t>(nullptr, 0), nullptr);
+}
+
+TEST(ShardedMap, InsertIfAbsentFirstWins) {
+  ShardedMap<std::uint64_t, int> map;
+  EXPECT_TRUE(map.insert_if_absent(42, 1));
+  EXPECT_FALSE(map.insert_if_absent(42, 2));
+  int out = 0;
+  EXPECT_TRUE(map.find_copy(42, out));
+  EXPECT_EQ(out, 1);
+  EXPECT_FALSE(map.find_copy(43, out));
+}
+
+TEST(ShardedMap, UpdateCreatesDefault) {
+  ShardedMap<std::uint64_t, int> map;
+  map.update(7, [](int& v) { v += 5; });
+  map.update(7, [](int& v) { v += 5; });
+  int out = 0;
+  ASSERT_TRUE(map.find_copy(7, out));
+  EXPECT_EQ(out, 10);
+}
+
+TEST(ShardedMap, SizeAndClearAndForEach) {
+  ShardedMap<std::uint64_t, int> map;
+  for (std::uint64_t k = 0; k < 100; ++k) map.insert_if_absent(k, static_cast<int>(k));
+  EXPECT_EQ(map.size(), 100u);
+  std::uint64_t sum = 0;
+  map.for_each_copy([&](std::uint64_t, int v) { sum += static_cast<std::uint64_t>(v); });
+  EXPECT_EQ(sum, 4950u);
+  map.clear();
+  EXPECT_EQ(map.size(), 0u);
+}
+
+TEST(ShardedMap, ConcurrentFirstWinsIsConsistent) {
+  ShardedMap<std::uint64_t, int> map;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kKeys = 2000;
+  std::atomic<int> winners{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t k = 0; k < kKeys; ++k)
+        if (map.insert_if_absent(k, t)) winners.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Exactly one insert succeeded per key, and every key is present.
+  EXPECT_EQ(winners.load(), static_cast<int>(kKeys));
+  EXPECT_EQ(map.size(), kKeys);
+}
+
+TEST(ThreadPool, ParallelForCoversAllUnits) {
+  ThreadPool pool(4);
+  constexpr std::uint64_t kUnits = 10'000;
+  std::vector<std::atomic<int>> hits(kUnits);
+  const std::function<void(unsigned, std::uint64_t)> body =
+      [&](unsigned, std::uint64_t i) { hits[i].fetch_add(1); };
+  pool.parallel_for(kUnits, body);
+  for (std::uint64_t i = 0; i < kUnits; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, WorkerIdsAreInRange) {
+  ThreadPool pool(3);
+  std::atomic<bool> bad{false};
+  const std::function<void(unsigned, std::uint64_t)> body =
+      [&](unsigned worker, std::uint64_t) {
+        if (worker >= 3) bad.store(true);
+      };
+  pool.parallel_for(1000, body);
+  EXPECT_FALSE(bad.load());
+}
+
+TEST(ThreadPool, SequentialParallelForsReuseWorkers) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<std::uint64_t> sum{0};
+    const std::function<void(unsigned, std::uint64_t)> body =
+        [&](unsigned, std::uint64_t i) { sum.fetch_add(i); };
+    pool.parallel_for(100, body);
+    EXPECT_EQ(sum.load(), 4950u);
+  }
+}
+
+TEST(ThreadPool, EmptyForReturnsImmediately) {
+  ThreadPool pool(2);
+  const std::function<void(unsigned, std::uint64_t)> body =
+      [](unsigned, std::uint64_t) { FAIL(); };
+  pool.parallel_for(0, body);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) pool.submit([&] { done.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(Pow2Histogram, Bucketing) {
+  Pow2Histogram h;
+  h.add(0);   // bucket 0
+  h.add(1);   // bucket 0
+  h.add(2);   // bucket 1
+  h.add(3);   // bucket 1
+  h.add(4);   // bucket 2
+  h.add(1024);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(10), 1u);
+  EXPECT_EQ(h.total_count(), 6u);
+}
+
+TEST(Pow2Histogram, MergeAndWeight) {
+  Pow2Histogram a, b;
+  a.add(5, 2);
+  b.add(5, 3);
+  a.merge(b);
+  EXPECT_EQ(a.total_count(), 5u);
+  EXPECT_EQ(a.total_weight(), 25u);
+}
+
+TEST(QueryCounters, MergeSums) {
+  QueryCounters a, b;
+  a.queries = 3;
+  a.charged_steps = 10;
+  b.queries = 4;
+  b.charged_steps = 7;
+  b.early_terminations = 2;
+  a.merge(b);
+  EXPECT_EQ(a.queries, 7u);
+  EXPECT_EQ(a.charged_steps, 17u);
+  EXPECT_EQ(a.early_terminations, 2u);
+}
+
+TEST(MemMeter, RssReadable) {
+  EXPECT_GT(current_rss_bytes(), 0u);
+  EXPECT_GE(peak_rss_bytes(), current_rss_bytes() / 2);  // sanity, not exact
+}
+
+TEST(MemMeter, TallyTracksPeak) {
+  MemTally::reset();
+  MemTally::note_alloc(1000);
+  MemTally::note_alloc(500);
+  MemTally::note_free(800);
+  EXPECT_EQ(MemTally::current_bytes(), 700u);
+  EXPECT_EQ(MemTally::peak_bytes(), 1500u);
+  MemTally::reset();
+}
+
+}  // namespace
+}  // namespace parcfl::support

@@ -1,0 +1,206 @@
+#pragma once
+// Shared fixtures for the parcfl test suites:
+//
+//  * fig2(): the paper's running example (Fig. 2) — a Vector container with
+//    add/get, two clients in main — built through the IR frontend. The paper
+//    states the expected answers: with context-sensitivity s1 points to o16
+//    only; context-insensitively it also picks up o20.
+//
+//  * random_layered_pag(): random PAGs for property tests. Variables live in
+//    layers; param/ret edges connect adjacent layers (push = up, pop = down)
+//    and all other variable-connecting edges stay within one layer. This
+//    enforces the invariant stack-depth <= layer at every traversal point, so
+//    realisable context nesting is bounded by the layer count and the exact
+//    oracle's context cap is never hit.
+
+#include <string>
+#include <vector>
+
+#include "frontend/ir.hpp"
+#include "frontend/lower.hpp"
+#include "pag/pag.hpp"
+#include "support/rng.hpp"
+
+namespace parcfl::test {
+
+struct Fig2 {
+  frontend::Program program;
+  frontend::LoweredProgram lowered;
+  // PAG nodes of interest (named as in the paper).
+  pag::NodeId s1, s2, n1, n2, v1, v2;
+  pag::NodeId o15, o16, o19, o20;  // v1 Vector, "N1" String, v2 Vector, Integer(1)
+  pag::NodeId o6_box;              // the elems array allocated in the ctor
+};
+
+inline Fig2 fig2() {
+  using frontend::VarId;
+  Fig2 f;
+  auto& p = f.program;
+
+  const auto t_object = p.add_type("Object");
+  const auto t_array = p.add_type("Object[]");
+  const auto t_vector = p.add_type("Vector");
+  const auto t_string = p.add_type("String");
+  const auto t_integer = p.add_type("Integer");
+  const auto f_elems = p.add_field(t_vector, "elems", t_array);
+  const auto f_arr = p.add_field(t_array, "arr", t_object);
+
+  // Vector() constructor: t = new Object[]; this.elems = t
+  const auto m_ctor = p.add_method("Vector.<init>", false);
+  const VarId ctor_this = p.add_param(m_ctor, "this", t_vector);
+  const VarId ctor_t = p.add_local(m_ctor, "t", t_array);
+  p.stmt_alloc(m_ctor, ctor_t, t_array);  // line 6: o6
+  p.stmt_store(m_ctor, ctor_this, f_elems, ctor_t);
+
+  // add(this, e): t = this.elems; t.arr = e
+  const auto m_add = p.add_method("Vector.add", false);
+  const VarId add_this = p.add_param(m_add, "this", t_vector);
+  const VarId add_e = p.add_param(m_add, "e", t_object);
+  const VarId add_t = p.add_local(m_add, "t", t_array);
+  p.stmt_load(m_add, add_t, add_this, f_elems);
+  p.stmt_store(m_add, add_t, f_arr, add_e);
+
+  // get(this): t = this.elems; ret = t.arr
+  const auto m_get = p.add_method("Vector.get", false);
+  const VarId get_this = p.add_param(m_get, "this", t_vector);
+  const VarId get_t = p.add_local(m_get, "t", t_array);
+  const VarId get_ret = p.add_local(m_get, "ret", t_object);
+  p.stmt_load(m_get, get_t, get_this, f_elems);
+  p.stmt_load(m_get, get_ret, get_t, f_arr);
+  p.set_return_var(m_get, get_ret);
+
+  // main: two independent Vector clients (lines 14-22).
+  const auto m_main = p.add_method("main", true);
+  const VarId v1 = p.add_local(m_main, "v1", t_vector);
+  const VarId n1 = p.add_local(m_main, "n1", t_string);
+  const VarId s1 = p.add_local(m_main, "s1", t_object);
+  const VarId v2 = p.add_local(m_main, "v2", t_vector);
+  const VarId n2 = p.add_local(m_main, "n2", t_integer);
+  const VarId s2 = p.add_local(m_main, "s2", t_object);
+
+  p.stmt_alloc(m_main, v1, t_vector);                    // o15
+  p.stmt_call(m_main, VarId::invalid(), m_ctor, {v1});
+  p.stmt_alloc(m_main, n1, t_string);                    // o16
+  p.stmt_call(m_main, VarId::invalid(), m_add, {v1, n1});
+  p.stmt_call(m_main, s1, m_get, {v1});
+  p.stmt_alloc(m_main, v2, t_vector);                    // o19
+  p.stmt_call(m_main, VarId::invalid(), m_ctor, {v2});
+  p.stmt_alloc(m_main, n2, t_integer);                   // o20
+  p.stmt_call(m_main, VarId::invalid(), m_add, {v2, n2});
+  p.stmt_call(m_main, s2, m_get, {v2});
+
+  frontend::LowerOptions lo;
+  lo.record_names = true;
+  f.lowered = frontend::lower(p, lo);
+
+  f.s1 = f.lowered.node_of(s1);
+  f.s2 = f.lowered.node_of(s2);
+  f.n1 = f.lowered.node_of(n1);
+  f.n2 = f.lowered.node_of(n2);
+  f.v1 = f.lowered.node_of(v1);
+  f.v2 = f.lowered.node_of(v2);
+  // object_node is in allocation order: ctor's box is allocated once (index
+  // 0); main's allocations follow in statement order.
+  f.o6_box = f.lowered.object_node[0];
+  f.o15 = f.lowered.object_node[1];
+  f.o16 = f.lowered.object_node[2];
+  f.o19 = f.lowered.object_node[3];
+  f.o20 = f.lowered.object_node[4];
+  return f;
+}
+
+// ---- random layered PAGs ----------------------------------------------------
+
+struct RandomPagConfig {
+  std::uint64_t seed = 1;
+  std::uint32_t layers = 3;
+  std::uint32_t vars_per_layer = 3;
+  std::uint32_t globals = 1;
+  std::uint32_t objects = 3;
+  std::uint32_t fields = 2;
+  std::uint32_t call_sites = 3;
+  std::uint32_t assign_edges = 4;
+  std::uint32_t param_ret_edges = 4;
+  std::uint32_t heap_edge_pairs = 2;  // ld/st edges (not necessarily matching)
+  std::uint32_t global_edges = 1;
+};
+
+inline pag::Pag random_layered_pag(const RandomPagConfig& cfg) {
+  using pag::NodeId;
+  support::Rng rng(cfg.seed);
+  pag::Pag::Builder b;
+  b.set_counts(cfg.fields, cfg.call_sites, 1, cfg.layers);
+
+  std::vector<std::vector<NodeId>> layer_vars(cfg.layers);
+  for (std::uint32_t l = 0; l < cfg.layers; ++l)
+    for (std::uint32_t i = 0; i < cfg.vars_per_layer; ++i)
+      layer_vars[l].push_back(
+          b.add_local(pag::TypeId(0), pag::MethodId(l)));
+
+  std::vector<NodeId> globals;
+  for (std::uint32_t i = 0; i < cfg.globals; ++i)
+    globals.push_back(b.add_global(pag::TypeId(0)));
+
+  auto pick = [&](const std::vector<NodeId>& v) {
+    return v[rng.below(v.size())];
+  };
+  auto rand_layer = [&] { return static_cast<std::uint32_t>(rng.below(cfg.layers)); };
+
+  // Objects: all new edges of one object stay within one layer.
+  std::vector<NodeId> objects;
+  for (std::uint32_t i = 0; i < cfg.objects; ++i) {
+    const std::uint32_t l = rand_layer();
+    const NodeId o = b.add_object(pag::TypeId(0), pag::MethodId(l));
+    objects.push_back(o);
+    b.new_edge(pick(layer_vars[l]), o);
+    if (rng.chance(0.3)) b.new_edge(pick(layer_vars[l]), o);
+  }
+
+  for (std::uint32_t i = 0; i < cfg.assign_edges; ++i) {
+    const std::uint32_t l = rand_layer();
+    b.assign_local(pick(layer_vars[l]), pick(layer_vars[l]));
+  }
+  for (std::uint32_t i = 0; i < cfg.param_ret_edges && cfg.layers > 1; ++i) {
+    const std::uint32_t low = static_cast<std::uint32_t>(rng.below(cfg.layers - 1));
+    const auto site = pag::CallSiteId(
+        static_cast<std::uint32_t>(rng.below(cfg.call_sites)));
+    if (rng.chance(0.5))
+      b.param(pick(layer_vars[low + 1]), pick(layer_vars[low]), site);
+    else
+      b.ret(pick(layer_vars[low]), pick(layer_vars[low + 1]), site);
+  }
+  for (std::uint32_t i = 0; i < cfg.heap_edge_pairs; ++i) {
+    const std::uint32_t l1 = rand_layer(), l2 = rand_layer();
+    const auto f1 = pag::FieldId(static_cast<std::uint32_t>(rng.below(cfg.fields)));
+    const auto f2 = pag::FieldId(static_cast<std::uint32_t>(rng.below(cfg.fields)));
+    b.load(pick(layer_vars[l1]), pick(layer_vars[l1]), f1);
+    b.store(pick(layer_vars[l2]), pick(layer_vars[l2]), f2);
+  }
+  for (std::uint32_t i = 0; i < cfg.global_edges && !globals.empty(); ++i) {
+    const std::uint32_t l = rand_layer();
+    if (rng.chance(0.5))
+      b.assign_global(pick(globals), pick(layer_vars[l]));
+    else
+      b.assign_global(pick(layer_vars[l]), pick(globals));
+  }
+
+  return std::move(b).finalize();
+}
+
+/// All variable node ids of a PAG.
+inline std::vector<pag::NodeId> all_variables(const pag::Pag& pag) {
+  std::vector<pag::NodeId> out;
+  for (std::uint32_t n = 0; n < pag.node_count(); ++n)
+    if (pag.is_variable(pag::NodeId(n))) out.push_back(pag::NodeId(n));
+  return out;
+}
+
+/// All object node ids of a PAG.
+inline std::vector<pag::NodeId> all_objects(const pag::Pag& pag) {
+  std::vector<pag::NodeId> out;
+  for (std::uint32_t n = 0; n < pag.node_count(); ++n)
+    if (pag.is_object(pag::NodeId(n))) out.push_back(pag::NodeId(n));
+  return out;
+}
+
+}  // namespace parcfl::test
