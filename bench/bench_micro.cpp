@@ -4,12 +4,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
 #include "andersen/andersen.hpp"
 #include "cfl/context.hpp"
 #include "cfl/jmp_store.hpp"
 #include "cfl/solver.hpp"
 #include "frontend/lower.hpp"
 #include "pag/collapse.hpp"
+#include "support/flat_map.hpp"
 #include "support/scc.hpp"
 #include "support/sharded_map.hpp"
 #include "synth/generator.hpp"
@@ -40,6 +47,72 @@ std::vector<pag::NodeId> workload_queries(const pag::Pag& pag) {
       out.push_back(pag::NodeId(n));
   return out;
 }
+
+// Keys shaped like the solver's memo keys: (node << 32) | ctx with small,
+// clustered node and context ranges. This is the distribution the flat
+// tables were tuned for; the paired std::unordered_map benchmarks measure
+// what the solver hot path used to pay per probe.
+std::vector<std::uint64_t> solver_like_keys(std::size_t count) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(count);
+  std::mt19937_64 rng(2014);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t node = rng() % 4096;
+    const std::uint64_t ctx = rng() % 256;
+    keys.push_back((node << 32) | ctx);
+  }
+  return keys;
+}
+
+// One simulated query: reset the memo table, upsert every key (mix of hits
+// and misses since keys repeat), then probe again — the access pattern of
+// compute_points_to's visited/memo checks.
+void BM_FlatMapMemoPattern(benchmark::State& state) {
+  const auto keys = solver_like_keys(4096);
+  support::FlatMap<std::uint32_t> map;
+  for (auto _ : state) {
+    map.clear();  // O(1) epoch bump
+    std::uint64_t hits = 0;
+    for (const std::uint64_t k : keys) {
+      auto slot = map.try_emplace(k);
+      if (slot.inserted) slot.value = static_cast<std::uint32_t>(k);
+    }
+    for (const std::uint64_t k : keys) hits += map.find(k) != nullptr;
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * keys.size()));
+}
+BENCHMARK(BM_FlatMapMemoPattern);
+
+void BM_StdUnorderedMapMemoPattern(benchmark::State& state) {
+  const auto keys = solver_like_keys(4096);
+  std::unordered_map<std::uint64_t, std::uint32_t> map;
+  for (auto _ : state) {
+    map.clear();  // O(buckets), and the erased nodes were heap allocations
+    std::uint64_t hits = 0;
+    for (const std::uint64_t k : keys)
+      map.try_emplace(k, static_cast<std::uint32_t>(k));
+    for (const std::uint64_t k : keys) hits += map.count(k);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * keys.size()));
+}
+BENCHMARK(BM_StdUnorderedMapMemoPattern);
+
+// Isolated epoch-clear cost: the solver clears six tables per run_query, so
+// clear must be O(1), not O(capacity) or O(live entries with heap frees).
+void BM_FlatSetEpochClear(benchmark::State& state) {
+  const auto keys = solver_like_keys(4096);
+  support::FlatSet set;
+  for (const std::uint64_t k : keys) set.insert(k);
+  for (auto _ : state) {
+    set.clear();
+    benchmark::DoNotOptimize(set.size());
+  }
+}
+BENCHMARK(BM_FlatSetEpochClear);
 
 void BM_ContextPush(benchmark::State& state) {
   cfl::ContextTable table;
@@ -98,6 +171,26 @@ void BM_JmpStoreLookupHit(benchmark::State& state) {
 }
 BENCHMARK(BM_JmpStoreLookupHit);
 
+// Headline number: full batch of demand queries on the medium synth config,
+// single thread, no sharing — the per-step constant factor in its purest form.
+// items_per_second in the JSON output is the queries/sec trajectory tracked
+// across PRs (see EXPERIMENTS.md).
+void BM_QueryBatchMedium(benchmark::State& state) {
+  const auto& pag = workload_pag();
+  const auto queries = workload_queries(pag);
+  cfl::ContextTable contexts;
+  cfl::SolverOptions so;
+  so.budget = 50'000;
+  cfl::Solver solver(pag, contexts, nullptr, so);
+  for (auto _ : state) {
+    for (const pag::NodeId q : queries)
+      benchmark::DoNotOptimize(solver.points_to(q));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(queries.size()));
+}
+BENCHMARK(BM_QueryBatchMedium);
+
 void BM_SingleQueryNoSharing(benchmark::State& state) {
   const auto& pag = workload_pag();
   const auto queries = workload_queries(pag);
@@ -154,4 +247,24 @@ BENCHMARK(BM_SccLargeChainWithCycles);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Unless the caller already chose an output file, emit machine-readable
+// results to BENCH_micro.json in the working directory so the perf
+// trajectory can be tracked (and diffed) across PRs.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int arg_count = static_cast<int>(args.size());
+  benchmark::Initialize(&arg_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(arg_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -54,7 +54,10 @@ EngineResult Engine::run(std::span<const pag::NodeId> queries,
   result.mean_group_size = scheduling ? schedule.mean_group_size : 0.0;
   result.group_count = scheduling ? schedule.group_count : 0;
 
-  const unsigned threads = options_.threads;
+  // A solver (and a worker) beyond one-per-unit can never run a query; don't
+  // pay its construction or thread start-up cost.
+  const unsigned threads = static_cast<unsigned>(std::max<std::uint64_t>(
+      1, std::min<std::uint64_t>(options_.threads, schedule.units.size())));
   std::vector<std::unique_ptr<Solver>> solvers;
   solvers.reserve(threads);
   for (unsigned t = 0; t < threads; ++t)
@@ -65,19 +68,28 @@ EngineResult Engine::run(std::span<const pag::NodeId> queries,
   result.outcomes.resize(schedule.ordered.size());
   if (options_.collect_objects) result.objects.resize(schedule.ordered.size());
 
+  // Per-worker scratch so the query result and its flattened node list are
+  // reused (capacity retained) across every unit a worker runs.
+  struct WorkerScratch {
+    QueryResult qr;
+    std::vector<pag::NodeId> nodes;
+  };
+  std::vector<WorkerScratch> scratch(threads);
+
   support::WallTimer run_timer;
   auto run_unit = [&](unsigned worker, std::uint64_t unit_index) {
     Solver& solver = *solvers[worker];
+    WorkerScratch& ws = scratch[worker];
     const auto [begin, end] = schedule.units[unit_index];
     for (std::uint32_t i = begin; i < end; ++i) {
       const pag::NodeId var = schedule.ordered[i];
       const std::uint64_t charged_before = solver.counters().charged_steps;
-      const QueryResult qr = solver.points_to(var);
-      auto nodes = qr.nodes();
+      solver.points_to(var, ws.qr);
+      ws.qr.nodes_into(ws.nodes);
       result.outcomes[i] = QueryOutcome{
-          var, qr.status, static_cast<std::uint32_t>(nodes.size()),
+          var, ws.qr.status, static_cast<std::uint32_t>(ws.nodes.size()),
           solver.counters().charged_steps - charged_before};
-      if (options_.collect_objects) result.objects[i] = std::move(nodes);
+      if (options_.collect_objects) result.objects[i] = ws.nodes;
     }
   };
 
@@ -86,8 +98,7 @@ EngineResult Engine::run(std::span<const pag::NodeId> queries,
     for (std::uint64_t u = 0; u < schedule.units.size(); ++u) run_unit(0, u);
   } else {
     support::ThreadPool pool(threads);
-    const std::function<void(unsigned, std::uint64_t)> body = run_unit;
-    pool.parallel_for(schedule.units.size(), body);
+    pool.parallel_for(schedule.units.size(), run_unit);
   }
   result.wall_seconds = run_timer.seconds();
 

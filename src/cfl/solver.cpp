@@ -12,11 +12,16 @@ using pag::NodeId;
 
 std::vector<NodeId> QueryResult::nodes() const {
   std::vector<NodeId> out;
+  nodes_into(out);
+  return out;
+}
+
+void QueryResult::nodes_into(std::vector<NodeId>& out) const {
+  out.clear();
   out.reserve(tuples.size());
   for (const PtPair& t : tuples) out.push_back(t.node);
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
 }
 
 bool QueryResult::contains(NodeId n) const {
@@ -33,13 +38,25 @@ Solver::Solver(const pag::Pag& pag, ContextTable& contexts, JmpStore* store,
 }
 
 QueryResult Solver::points_to(NodeId l) {
-  PARCFL_CHECK_MSG(pag_.is_variable(l), "points_to takes a variable node");
-  return run_query(l, Direction::kBackward);
+  QueryResult out;
+  points_to(l, out);
+  return out;
 }
 
 QueryResult Solver::flows_to(NodeId o) {
+  QueryResult out;
+  flows_to(o, out);
+  return out;
+}
+
+void Solver::points_to(NodeId l, QueryResult& out) {
+  PARCFL_CHECK_MSG(pag_.is_variable(l), "points_to takes a variable node");
+  run_query(l, Direction::kBackward, out);
+}
+
+void Solver::flows_to(NodeId o, QueryResult& out) {
   PARCFL_CHECK_MSG(pag_.is_object(o), "flows_to takes an object node");
-  return run_query(o, Direction::kForward);
+  run_query(o, Direction::kForward, out);
 }
 
 const char* Solver::to_string(Via via) {
@@ -55,25 +72,93 @@ const char* Solver::to_string(Via via) {
   return "?";
 }
 
+Solver::Frame& Solver::frame_at(std::uint32_t depth) {
+  while (frames_.size() <= depth) frames_.push_back(std::make_unique<Frame>());
+  return *frames_[depth];
+}
+
+Solver::MemoEntry& Solver::memo_entry(support::FlatMap<std::uint32_t>& memo,
+                                      Key key) {
+  const auto slot = memo.try_emplace(key);
+  if (!slot.inserted) return memo_slab_[slot.value];
+  const auto [index, entry] = memo_slab_.acquire();
+  entry->reset();  // recycled entries keep their buffers, not their contents
+  slot.value = index;
+  return *entry;
+}
+
+Solver::PendingJmp& Solver::pending_for(std::uint64_t jmp_key) {
+  const auto slot = pending_map_.try_emplace(jmp_key);
+  if (slot.inserted) {
+    const auto [index, pending] = pending_slab_.acquire();
+    slot.value = index;
+    pending->key = jmp_key;
+    pending->max_cost = 0;
+    pending->iteration = 0;
+    pending->published = false;
+    pending->targets.clear();
+    return *pending;
+  }
+  PendingJmp& pending = pending_slab_[slot.value];
+  if (pending.published) {
+    // The entry was "erased" on publication; recreate it fresh.
+    pending.max_cost = 0;
+    pending.iteration = 0;
+    pending.published = false;
+    pending.targets.clear();
+  }
+  return pending;
+}
+
+Solver::MemoryStats Solver::memory_stats() const {
+  MemoryStats m;
+  m.table_rehashes = pts_memo_.rehash_count() + flows_memo_.rehash_count() +
+                     pending_map_.rehash_count() +
+                     consumed_jmp_keys_.rehash_count() +
+                     witness_pred_.rehash_count() + witness_obj_.rehash_count();
+  memo_slab_.for_each_constructed([&](const MemoEntry& e) {
+    m.table_rehashes += e.set.present.rehash_count();
+    m.scratch_capacity_bytes += e.set.items.capacity() * sizeof(PtPair);
+  });
+  pending_slab_.for_each_constructed([&](const PendingJmp& p) {
+    m.scratch_capacity_bytes += p.targets.capacity() * sizeof(JmpTarget);
+  });
+  for (const auto& frame : frames_) {
+    m.table_rehashes += frame->visited.rehash_count() +
+                        frame->rn_dedup.rehash_count() +
+                        frame->rn_out.present.rehash_count();
+    m.scratch_capacity_bytes +=
+        frame->work.capacity() * sizeof(PtPair) +
+        frame->rn_found.capacity() * sizeof(JmpTarget) +
+        frame->rn_out.items.capacity() * sizeof(PtPair);
+  }
+  m.slab_objects = memo_slab_.constructed() + pending_slab_.constructed();
+  m.slab_bytes = memo_slab_.arena_bytes() + pending_slab_.arena_bytes();
+  m.frame_count = frames_.size();
+  m.scratch_capacity_bytes += sharing_stack_.capacity() * sizeof(SharingFrame);
+  return m;
+}
+
 std::vector<Solver::WitnessStep> Solver::explain_points_to(NodeId var,
                                                            NodeId object) {
   witness_pred_.clear();
   witness_obj_.clear();
   recording_witness_ = true;
-  const QueryResult result = run_query(var, Direction::kBackward);
+  QueryResult result;
+  run_query(var, Direction::kBackward, result);
   recording_witness_ = false;
   (void)result;
 
   // The fact may have been discovered under any context: take the first.
   Key obj_key = 0;
   const WitnessPred* obj_pred = nullptr;
-  for (const auto& [key, pred] : witness_obj_) {
-    if (static_cast<std::uint32_t>(key >> 32) == object.value()) {
+  witness_obj_.for_each([&](Key key, WitnessPred& pred) {
+    if (obj_pred == nullptr &&
+        static_cast<std::uint32_t>(key >> 32) == object.value()) {
       obj_key = key;
       obj_pred = &pred;
-      break;
     }
-  }
+  });
   if (obj_pred == nullptr) return {};
 
   // Walk the predecessor chain back to the query root, then reverse.
@@ -84,11 +169,11 @@ std::vector<Solver::WitnessStep> Solver::explain_points_to(NodeId var,
   for (;;) {
     const PtPair config{NodeId(static_cast<std::uint32_t>(cur >> 32)),
                         CtxId(static_cast<std::uint32_t>(cur))};
-    const auto it = witness_pred_.find(cur);
-    PARCFL_CHECK_MSG(it != witness_pred_.end(), "broken witness chain");
-    chain.push_back(WitnessStep{config, it->second.via});
-    if (it->second.via == Via::kQueryRoot) break;
-    cur = it->second.from;
+    const WitnessPred* pred = witness_pred_.find(cur);
+    PARCFL_CHECK_MSG(pred != nullptr, "broken witness chain");
+    chain.push_back(WitnessStep{config, pred->via});
+    if (pred->via == Via::kQueryRoot) break;
+    cur = pred->from;
   }
   std::reverse(chain.begin(), chain.end());
   witness_pred_.clear();
@@ -156,7 +241,7 @@ void Solver::reachable_nodes(Direction dir, NodeId x, CtxId c, ResultSet& out,
       // the budget (once per query — repeats against warm memos are free in
       // the unshared run too) but nothing is walked.
       if (lk.finished != nullptr) {
-        if (consumed_jmp_keys_.insert(jmp_key).second) {
+        if (consumed_jmp_keys_.insert(jmp_key)) {
           if (options_.charge_jmp_costs) charged_ += lk.finished->cost;
           saved_ += lk.finished->cost;
           ++counters_.jmps_taken;
@@ -176,8 +261,13 @@ void Solver::reachable_nodes(Direction dir, NodeId x, CtxId c, ResultSet& out,
   const bool outer_taint = taint_flag_;
   taint_flag_ = false;
 
-  std::vector<JmpTarget> found;
-  compute(found, s0);
+  // Pooled scratch: the one ReachableNodes active at this compute depth owns
+  // the frame's rn_found / rn_dedup; nested sub-queries use deeper frames.
+  Frame& frame = frame_at(recursion_depth_);
+  std::vector<JmpTarget>& found = frame.rn_found;
+  found.clear();
+  frame.rn_dedup.clear();
+  compute(found, frame.rn_dedup, s0);
 
   const bool rn_tainted = taint_flag_;
   taint_flag_ = rn_tainted || outer_taint;
@@ -193,9 +283,13 @@ void Solver::reachable_nodes(Direction dir, NodeId x, CtxId c, ResultSet& out,
       // recompute may be cheap even though the cold first pass was not; keep
       // the max as the representative cost.
       std::uint64_t effective_cost = cost;
-      if (const auto it = pending_jmps_.find(jmp_key); it != pending_jmps_.end()) {
-        effective_cost = std::max<std::uint64_t>(effective_cost, it->second.max_cost);
-        pending_jmps_.erase(it);
+      if (std::uint32_t* pending_index = pending_map_.find(jmp_key)) {
+        PendingJmp& pending = pending_slab_[*pending_index];
+        if (!pending.published) {
+          effective_cost =
+              std::max<std::uint64_t>(effective_cost, pending.max_cost);
+          pending.published = true;  // consumed: drop from deferred publication
+        }
       }
       if (effective_cost >= options_.tau_finished) {
         const std::size_t edge_count = found.size();
@@ -203,19 +297,19 @@ void Solver::reachable_nodes(Direction dir, NodeId x, CtxId c, ResultSet& out,
                                     static_cast<std::uint32_t>(
                                         std::min<std::uint64_t>(effective_cost,
                                                                 UINT32_MAX)),
-                                    std::move(found)))
+                                    {found.begin(), found.end()}))
           counters_.jmps_added_finished += edge_count;
       } else {
         ++counters_.jmps_suppressed;
       }
     } else {
       // Possibly partial: defer until the query's fixpoint converges.
-      PendingJmp& pending = pending_jmps_[jmp_key];
+      PendingJmp& pending = pending_for(jmp_key);
       pending.max_cost =
           std::max(pending.max_cost, static_cast<std::uint32_t>(
                                          std::min<std::uint64_t>(cost, UINT32_MAX)));
       pending.iteration = iteration_;
-      pending.targets = std::move(found);
+      pending.targets.assign(found.begin(), found.end());
     }
   }
 }
@@ -223,8 +317,8 @@ void Solver::reachable_nodes(Direction dir, NodeId x, CtxId c, ResultSet& out,
 void Solver::reachable_nodes_backward(NodeId x, CtxId c, ResultSet& out) {
   reachable_nodes(
       Direction::kBackward, x, c, out,
-      [&](std::vector<JmpTarget>& found, std::uint64_t s0) {
-        std::unordered_set<Key> dedup;
+      [&](std::vector<JmpTarget>& found, support::FlatSet& dedup,
+          std::uint64_t s0) {
         // Alg. 1 lines 17-25: match each load x = p.f against every store
         // q.f = y whose base q aliases p. alias(p) is computed as
         // FlowsTo(o, c0) for each (o, c0) in PointsTo(p, c); instead of
@@ -239,7 +333,7 @@ void Solver::reachable_nodes_backward(NodeId x, CtxId c, ResultSet& out) {
             // consistent with partial balance).
             for (const HalfEdge st : pag_.stores_on_field(pag::FieldId(f))) {
               const NodeId y(st.aux);
-              if (!dedup.insert(make_key(y, ContextTable::empty())).second)
+              if (!dedup.insert(make_key(y, ContextTable::empty())))
                 continue;
               found.push_back(JmpTarget{y, ContextTable::empty(),
                                         static_cast<std::uint32_t>(charged_ - s0)});
@@ -255,7 +349,7 @@ void Solver::reachable_nodes_backward(NodeId x, CtxId c, ResultSet& out) {
               for (const HalfEdge st : pag_.in_edges(qc.node, EdgeKind::kStore)) {
                 if (st.aux != f) continue;
                 const NodeId y = st.other;  // rhs of q.f = y
-                if (!dedup.insert(make_key(y, qc.ctx)).second) continue;
+                if (!dedup.insert(make_key(y, qc.ctx))) continue;
                 found.push_back(JmpTarget{
                     y, qc.ctx, static_cast<std::uint32_t>(charged_ - s0)});
               }
@@ -268,8 +362,8 @@ void Solver::reachable_nodes_backward(NodeId x, CtxId c, ResultSet& out) {
 void Solver::reachable_nodes_forward(NodeId z, CtxId c, ResultSet& out) {
   reachable_nodes(
       Direction::kForward, z, c, out,
-      [&](std::vector<JmpTarget>& found, std::uint64_t s0) {
-        std::unordered_set<Key> dedup;
+      [&](std::vector<JmpTarget>& found, support::FlatSet& dedup,
+          std::uint64_t s0) {
         // Mirror image: a store q.f = z forwards z's value into o.f for each
         // object o pointed to by q; every load x = p'.f on an aliased base p'
         // then continues the flowsTo path at x.
@@ -279,7 +373,7 @@ void Solver::reachable_nodes_forward(NodeId z, CtxId c, ResultSet& out) {
           if (options_.field_approximation && !options_.refined_fields.contains(f)) {
             for (const HalfEdge ld : pag_.loads_on_field(pag::FieldId(f))) {
               const NodeId target(ld.aux);  // dst of x = p.f
-              if (!dedup.insert(make_key(target, ContextTable::empty())).second)
+              if (!dedup.insert(make_key(target, ContextTable::empty())))
                 continue;
               found.push_back(JmpTarget{target, ContextTable::empty(),
                                         static_cast<std::uint32_t>(charged_ - s0)});
@@ -295,7 +389,7 @@ void Solver::reachable_nodes_forward(NodeId z, CtxId c, ResultSet& out) {
               for (const HalfEdge ld : pag_.out_edges(pc.node, EdgeKind::kLoad)) {
                 if (ld.aux != f) continue;
                 const NodeId x = ld.other;  // dst of x = p'.f
-                if (!dedup.insert(make_key(x, pc.ctx)).second) continue;
+                if (!dedup.insert(make_key(x, pc.ctx))) continue;
                 found.push_back(JmpTarget{
                     x, pc.ctx, static_cast<std::uint32_t>(charged_ - s0)});
               }
@@ -307,7 +401,7 @@ void Solver::reachable_nodes_forward(NodeId z, CtxId c, ResultSet& out) {
 
 const Solver::ResultSet& Solver::compute_points_to(NodeId root, CtxId rc) {
   const Key key = make_key(root, rc);
-  MemoEntry& entry = pts_memo_[key];
+  MemoEntry& entry = memo_entry(pts_memo_, key);
   if (entry.state == MemoEntry::State::kDone) {
     taint_flag_ = taint_flag_ || entry.tainted;
     return entry.set;
@@ -328,14 +422,19 @@ const Solver::ResultSet& Solver::compute_points_to(NodeId root, CtxId rc) {
   // (heap matches appear as single annotated hops).
   const bool record = recording_witness_ && recursion_depth_ == 1;
 
-  std::vector<PtPair> work;
-  std::unordered_set<Key> visited;
+  Frame& frame = frame_at(recursion_depth_);
+  std::vector<PtPair>& work = frame.work;
+  support::FlatSet& visited = frame.visited;
+  work.clear();
+  visited.clear();
   auto push = [&](NodeId n, CtxId cc, const PtPair& from, Via via) {
-    if (!visited.insert(make_key(n, cc)).second) return;
+    if (!visited.insert(make_key(n, cc))) return;
     work.push_back(PtPair{n, cc});
-    if (record)
-      witness_pred_.emplace(make_key(n, cc),
-                            WitnessPred{make_key(from.node, from.ctx), via});
+    if (record) {
+      const auto pred = witness_pred_.try_emplace(make_key(n, cc));
+      if (pred.inserted)
+        pred.value = WitnessPred{make_key(from.node, from.ctx), via};
+    }
   };
   push(root, rc, PtPair{root, rc}, Via::kQueryRoot);
 
@@ -349,9 +448,11 @@ const Solver::ResultSet& Solver::compute_points_to(NodeId root, CtxId rc) {
     // flowsTo̅ terminals over incoming edges (Alg. 1 lines 7-15).
     for (const HalfEdge he : pag_.in_edges(u, EdgeKind::kNew)) {
       if (entry.set.add(he.other, cu)) grew_ = true;
-      if (record)
-        witness_obj_.emplace(make_key(he.other, cu),
-                             WitnessPred{make_key(u, cu), Via::kNew});
+      if (record) {
+        const auto pred = witness_obj_.try_emplace(make_key(he.other, cu));
+        if (pred.inserted)
+          pred.value = WitnessPred{make_key(u, cu), Via::kNew};
+      }
     }
     for (const HalfEdge he : pag_.in_edges(u, EdgeKind::kAssignLocal))
       push(he.other, cu, cur, Via::kAssignLocal);
@@ -381,7 +482,8 @@ const Solver::ResultSet& Solver::compute_points_to(NodeId root, CtxId rc) {
     }
 
     if (options_.field_sensitive && !pag_.in_edges(u, EdgeKind::kLoad).empty()) {
-      ResultSet rch;
+      ResultSet& rch = frame.rn_out;
+      rch.reset();
       reachable_nodes_backward(u, cu, rch);
       for (const PtPair& t : rch.items) push(t.node, t.ctx, cur, Via::kHeapMatch);
     }
@@ -396,7 +498,7 @@ const Solver::ResultSet& Solver::compute_points_to(NodeId root, CtxId rc) {
 
 const Solver::ResultSet& Solver::compute_flows_to(NodeId root, CtxId rc) {
   const Key key = make_key(root, rc);
-  MemoEntry& entry = flows_memo_[key];
+  MemoEntry& entry = memo_entry(flows_memo_, key);
   if (entry.state == MemoEntry::State::kDone) {
     taint_flag_ = taint_flag_ || entry.tainted;
     return entry.set;
@@ -412,10 +514,13 @@ const Solver::ResultSet& Solver::compute_flows_to(NodeId root, CtxId rc) {
   const bool outer_taint = taint_flag_;
   taint_flag_ = false;
 
-  std::vector<PtPair> work;
-  std::unordered_set<Key> visited;
+  Frame& frame = frame_at(recursion_depth_);
+  std::vector<PtPair>& work = frame.work;
+  support::FlatSet& visited = frame.visited;
+  work.clear();
+  visited.clear();
   auto push = [&](NodeId n, CtxId cc) {
-    if (visited.insert(make_key(n, cc)).second) work.push_back(PtPair{n, cc});
+    if (visited.insert(make_key(n, cc))) work.push_back(PtPair{n, cc});
   };
   push(root, rc);
 
@@ -461,7 +566,8 @@ const Solver::ResultSet& Solver::compute_flows_to(NodeId root, CtxId rc) {
 
     if (options_.field_sensitive && pag_.is_variable(u) &&
         !pag_.out_edges(u, EdgeKind::kStore).empty()) {
-      ResultSet rch;
+      ResultSet& rch = frame.rn_out;
+      rch.reset();
       reachable_nodes_forward(u, cu, rch);
       for (const PtPair& t : rch.items) push(t.node, t.ctx);
     }
@@ -474,23 +580,27 @@ const Solver::ResultSet& Solver::compute_flows_to(NodeId root, CtxId rc) {
   return entry.set;
 }
 
-QueryResult Solver::run_query(NodeId root, Direction dir) {
+void Solver::run_query(NodeId root, Direction dir, QueryResult& out) {
+  // Epoch-clear the maps and rewind the slabs: O(1), keeps all storage.
   pts_memo_.clear();
   flows_memo_.clear();
+  memo_slab_.reset();
+  pending_map_.clear();
+  pending_slab_.reset();
+  consumed_jmp_keys_.clear();
   sharing_stack_.clear();
   charged_ = 0;
   traversed_ = 0;
   saved_ = 0;
   taint_flag_ = false;
   recursion_depth_ = 0;
-  pending_jmps_.clear();
-  consumed_jmp_keys_.clear();
   iteration_ = 0;
 
   auto& memo = dir == Direction::kBackward ? pts_memo_ : flows_memo_;
   const Key root_key = make_key(root, ContextTable::empty());
 
-  QueryResult result;
+  out.status = QueryStatus::kComplete;
+  out.tuples.clear();
   std::uint32_t iterations = 0;
   bool converged = false;
   try {
@@ -506,7 +616,9 @@ QueryResult Solver::run_query(NodeId root, Direction dir) {
 
       // Exact if the root computation never touched a cycle; otherwise
       // iterate (sets grow monotonically) until stable or capped.
-      const bool root_tainted = memo[root_key].tainted;
+      const std::uint32_t* root_index = memo.find(root_key);
+      PARCFL_DCHECK(root_index != nullptr);
+      const bool root_tainted = memo_slab_[*root_index].tainted;
       if (!root_tainted) {
         converged = true;
         break;
@@ -518,30 +630,30 @@ QueryResult Solver::run_query(NodeId root, Direction dir) {
       if (iterations >= options_.max_fixpoint_iters) break;
 
       // Demote every tainted entry for recomputation, keeping its set as the
-      // (monotone) starting point.
-      auto demote = [](std::unordered_map<Key, MemoEntry>& m) {
-        for (auto& [k, e] : m) {
-          if (e.tainted && e.state == MemoEntry::State::kDone) {
-            e.state = MemoEntry::State::kStale;
-            e.tainted = false;
-          }
+      // (monotone) starting point. The slab holds exactly this query's
+      // entries (both directions), in creation order.
+      for (std::uint32_t i = 0; i < memo_slab_.used(); ++i) {
+        MemoEntry& e = memo_slab_[i];
+        if (e.tainted && e.state == MemoEntry::State::kDone) {
+          e.state = MemoEntry::State::kStale;
+          e.tainted = false;
         }
-      };
-      demote(pts_memo_);
-      demote(flows_memo_);
+      }
     }
-    result.status = QueryStatus::kComplete;
+    out.status = QueryStatus::kComplete;
 
     // Deferred publication: during the final (converged) iteration no memo
     // set grew, so every result read then — including partial reads on
     // cycles — was already complete. Tainted RN results from that iteration
     // are therefore exact and shareable.
     if (converged && options_.data_sharing && store_ != nullptr) {
-      for (auto& [key, pending] : pending_jmps_) {
+      for (std::uint32_t i = 0; i < pending_slab_.used(); ++i) {
+        PendingJmp& pending = pending_slab_[i];
+        if (pending.published) continue;                // consumed earlier
         if (pending.iteration != iterations) continue;  // possibly stale
         if (pending.max_cost >= options_.tau_finished) {
           const std::size_t edge_count = pending.targets.size();
-          if (store_->insert_finished(key, pending.max_cost,
+          if (store_->insert_finished(pending.key, pending.max_cost,
                                       std::move(pending.targets)))
             counters_.jmps_added_finished += edge_count;
         } else {
@@ -549,25 +661,22 @@ QueryResult Solver::run_query(NodeId root, Direction dir) {
         }
       }
     }
-    pending_jmps_.clear();
   } catch (const OutOfBudgetEx& ex) {
-    result.status = ex.early_termination ? QueryStatus::kEarlyTermination
-                                         : QueryStatus::kOutOfBudget;
+    out.status = ex.early_termination ? QueryStatus::kEarlyTermination
+                                      : QueryStatus::kOutOfBudget;
     sharing_stack_.clear();
-    pending_jmps_.clear();
   }
 
-  if (auto it = memo.find(root_key); it != memo.end())
-    result.tuples = it->second.set.items;
+  if (const std::uint32_t* root_index = memo.find(root_key))
+    out.tuples = memo_slab_[*root_index].set.items;
 
   ++counters_.queries;
-  if (result.status == QueryStatus::kOutOfBudget) ++counters_.out_of_budget;
+  if (out.status == QueryStatus::kOutOfBudget) ++counters_.out_of_budget;
   counters_.charged_steps += charged_;
   counters_.traversed_steps += traversed_;
   counters_.saved_steps += saved_;
-  counters_.points_to_tuples += result.tuples.size();
+  counters_.points_to_tuples += out.tuples.size();
   counters_.fixpoint_iterations += iterations - 1;
-  return result;
 }
 
 }  // namespace parcfl::cfl

@@ -33,10 +33,17 @@
 //
 // Thread-safety: one Solver per worker thread. The PAG, ContextTable and
 // JmpStore are shared; all per-query state is Solver-local.
+//
+// Hot-path storage (DESIGN.md § Hot-path data structures): memo tables,
+// visited/dedup sets and pending-jmp maps are flat open-addressing tables
+// with epoch-based O(1) clear; entries that own memory live in arena-backed
+// slabs addressed by index. A solver keeps all of it across queries, so the
+// steady-state query loop performs no heap allocation in the memo /
+// result-set path (memory_stats() is the verification hook).
 
 #include <cstdint>
+#include <memory>
 #include <optional>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -53,6 +60,9 @@
 #include "cfl/context.hpp"
 #include "cfl/jmp_store.hpp"
 #include "pag/pag.hpp"
+#include "support/flat_map.hpp"
+#include "support/flat_set.hpp"
+#include "support/slab.hpp"
 #include "support/stats.hpp"
 
 namespace parcfl::cfl {
@@ -100,6 +110,8 @@ struct QueryResult {
 
   /// Deduplicated object/variable ids (context projected away).
   std::vector<pag::NodeId> nodes() const;
+  /// Same, reusing `out`'s storage (allocation-free once warm).
+  void nodes_into(std::vector<pag::NodeId>& out) const;
   bool contains(pag::NodeId n) const;
   bool complete() const { return status == QueryStatus::kComplete; }
 };
@@ -115,6 +127,12 @@ class Solver {
 
   /// Variables the object o may flow to, from the empty context.
   QueryResult flows_to(pag::NodeId o);
+
+  /// Batch-friendly variants: answer into `out`, reusing its storage. The
+  /// engine's query loop uses these so the per-query path stays
+  /// allocation-free in steady state.
+  void points_to(pag::NodeId l, QueryResult& out);
+  void flows_to(pag::NodeId o, QueryResult& out);
 
   /// May v1 and v2 point to a common object? (client helper; both sub-queries
   /// must complete for a definitive "no").
@@ -153,6 +171,20 @@ class Solver {
 
   const SolverOptions& options() const { return options_; }
 
+  /// Allocation fingerprint of the solver-owned hot-path state. Every heap
+  /// allocation in the memo / result-set path moves at least one of these
+  /// numbers, so "two identical batches, identical stats after each" proves
+  /// the steady-state query loop is allocation-free (tests/flat_map_test).
+  struct MemoryStats {
+    std::uint64_t table_rehashes = 0;   // flat table growth events
+    std::uint64_t slab_objects = 0;     // memo/pending entries ever built
+    std::uint64_t slab_bytes = 0;       // arena bytes behind the slabs
+    std::uint64_t frame_count = 0;      // recursion scratch frames
+    std::uint64_t scratch_capacity_bytes = 0;  // pooled vector capacities
+    bool operator==(const MemoryStats&) const = default;
+  };
+  MemoryStats memory_stats() const;
+
  private:
   // ---- query-local state -------------------------------------------------
   using Key = std::uint64_t;  // (node << 32) | ctx
@@ -163,12 +195,16 @@ class Solver {
 
   struct ResultSet {
     std::vector<PtPair> items;
-    std::unordered_set<Key> present;
+    support::FlatSet present;
 
     bool add(pag::NodeId n, CtxId c) {
-      if (!present.insert(make_key(n, c)).second) return false;
+      if (!present.insert(make_key(n, c))) return false;
       items.push_back(PtPair{n, c});
       return true;
+    }
+    void reset() {
+      items.clear();
+      present.clear();
     }
   };
 
@@ -177,6 +213,12 @@ class Solver {
     State state = State::kFresh;
     bool tainted = false;  // consumed a partial (cycle) or tainted result
     ResultSet set;
+
+    void reset() {
+      state = State::kFresh;
+      tainted = false;
+      set.reset();
+    }
   };
 
   struct OutOfBudgetEx {
@@ -211,11 +253,13 @@ class Solver {
   void reachable_nodes_forward(pag::NodeId z, CtxId c, ResultSet& out);
 
   /// Shared shortcut-or-compute wrapper around both ReachableNodes bodies.
+  /// `compute(found, dedup, s0)` fills `found` using `dedup` for
+  /// per-invocation target dedup; both are pooled scratch.
   template <class ComputeFn>
   void reachable_nodes(Direction dir, pag::NodeId x, CtxId c, ResultSet& out,
                        ComputeFn&& compute);
 
-  QueryResult run_query(pag::NodeId root, Direction dir);
+  void run_query(pag::NodeId root, Direction dir, QueryResult& out);
 
   // ---- shared, immutable/concurrent --------------------------------------
   const pag::Pag& pag_;
@@ -223,9 +267,13 @@ class Solver {
   JmpStore* store_;
   SolverOptions options_;
 
-  // ---- per-query ----------------------------------------------------------
-  std::unordered_map<Key, MemoEntry> pts_memo_;
-  std::unordered_map<Key, MemoEntry> flows_memo_;
+  // ---- per-query (epoch-cleared and slab-recycled across queries) ---------
+  /// Memo tables map packed keys to indices into `memo_slab_`; the entries
+  /// themselves (which own growing result sets) live in the slab so their
+  /// addresses are stable under rehash and their buffers survive clear().
+  support::FlatMap<std::uint32_t> pts_memo_;
+  support::FlatMap<std::uint32_t> flows_memo_;
+  support::Slab<MemoEntry> memo_slab_;
   std::vector<SharingFrame> sharing_stack_;  // the S of Algorithm 2
 
   /// Tainted ReachableNodes results cannot be published when computed — a
@@ -235,11 +283,31 @@ class Solver {
   /// and are published then. Cost is the max observed across iterations
   /// (the first, cold iteration approximates what a fresh query would pay).
   struct PendingJmp {
+    std::uint64_t key = 0;             // the jmp key (slab iteration needs it)
     std::uint32_t max_cost = 0;
     std::uint32_t iteration = 0;       // iteration that produced `targets`
+    bool published = false;  // already in the store (the insert-only map's
+                             // stand-in for erasure)
     std::vector<JmpTarget> targets;
   };
-  std::unordered_map<std::uint64_t, PendingJmp> pending_jmps_;
+  support::FlatMap<std::uint32_t> pending_map_;  // jmp key -> pending slab idx
+  support::Slab<PendingJmp> pending_slab_;
+
+  /// Pooled traversal scratch, one frame per recursion depth. A compute_*
+  /// activation at depth d owns frame d's work stack and visited set; the
+  /// (single) ReachableNodes call active at depth d owns its rn_* members.
+  struct Frame {
+    std::vector<PtPair> work;
+    support::FlatSet visited;
+    ResultSet rn_out;
+    std::vector<JmpTarget> rn_found;
+    support::FlatSet rn_dedup;
+  };
+  std::vector<std::unique_ptr<Frame>> frames_;
+
+  Frame& frame_at(std::uint32_t depth);
+  MemoEntry& memo_entry(support::FlatMap<std::uint32_t>& memo, Key key);
+  PendingJmp& pending_for(std::uint64_t jmp_key);
 
   /// Witness recording (only while explain_points_to runs, and only for the
   /// root computation): first-discovery predecessor of each configuration,
@@ -249,12 +317,12 @@ class Solver {
     Via via;
   };
   bool recording_witness_ = false;
-  std::unordered_map<Key, WitnessPred> witness_pred_;
-  std::unordered_map<Key, WitnessPred> witness_obj_;
+  support::FlatMap<WitnessPred> witness_pred_;
+  support::FlatMap<WitnessPred> witness_obj_;
   /// jmp keys already charged this query: re-consuming a shortcut during a
   /// later fixpoint iteration charges nothing, mirroring the near-zero cost
   /// of recomputing a ReachableNodes body against warm memo tables.
-  std::unordered_set<std::uint64_t> consumed_jmp_keys_;
+  support::FlatSet consumed_jmp_keys_;
   std::uint32_t iteration_ = 0;
   std::uint64_t charged_ = 0;
   std::uint64_t traversed_ = 0;

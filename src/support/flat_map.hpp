@@ -1,0 +1,232 @@
+#pragma once
+// Flat open-addressing maps for the solver and the sharded concurrent store
+// (DESIGN.md § Hot-path data structures). Two variants share the probing
+// scheme of FlatSet (power-of-two capacity, linear probing, splitmix64 key
+// mixing, insert-only / no tombstones):
+//
+//  * FlatMap<Value>   — 64-bit packed keys, trivially-copyable values, and
+//    the epoch-based O(1) clear() that lets one memo table serve thousands of
+//    queries without reallocating. The solver stores slab indices or small
+//    PODs here; anything that owns memory lives in a Slab so a stale epoch
+//    cannot leak.
+//
+//  * FlatKV<K, V, H>  — general keys/values (e.g. shared_ptr-holding jmp
+//    entries) for use inside ShardedMap shards. clear() is O(capacity) and
+//    releases per-entry resources; there is still no erase().
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/flat_set.hpp"
+
+namespace parcfl::support {
+
+template <class Value>
+class FlatMap {
+  static_assert(std::is_trivially_copyable_v<Value>,
+                "FlatMap values are epoch-recycled without destruction; "
+                "own memory via a Slab index instead");
+
+ public:
+  FlatMap() = default;
+
+  struct Upsert {
+    Value& value;
+    bool inserted;
+  };
+
+  /// Find-or-insert. On insertion the slot holds `init`. The returned
+  /// reference is invalidated by the next insert (rehash) — copy out or
+  /// assign through it immediately.
+  Upsert try_emplace(std::uint64_t key, Value init = Value{}) {
+    if ((size_ + 1) * 4 > keys_.size() * 3) grow();
+    std::size_t i = hash_mix64(key) & mask_;
+    while (epochs_[i] == epoch_) {
+      if (keys_[i] == key) return Upsert{values_[i], false};
+      i = (i + 1) & mask_;
+    }
+    epochs_[i] = epoch_;
+    keys_[i] = key;
+    values_[i] = init;
+    ++size_;
+    return Upsert{values_[i], true};
+  }
+
+  Value* find(std::uint64_t key) {
+    if (size_ == 0) return nullptr;
+    std::size_t i = hash_mix64(key) & mask_;
+    while (epochs_[i] == epoch_) {
+      if (keys_[i] == key) return &values_[i];
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+  const Value* find(std::uint64_t key) const {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+
+  /// Visit every live entry as fn(key, Value&). O(capacity); meant for cold
+  /// paths (witness extraction), not the query loop.
+  template <class Fn>
+  void for_each(Fn&& fn) {
+    for (std::size_t i = 0; i < keys_.size(); ++i)
+      if (epochs_[i] == epoch_) fn(keys_[i], values_[i]);
+  }
+
+  /// O(1) epoch bump; see FlatSet::clear().
+  void clear() {
+    size_ = 0;
+    if (keys_.empty()) return;
+    if (++epoch_ == 0) {
+      std::fill(epochs_.begin(), epochs_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+
+  void reserve(std::size_t n) {
+    std::size_t cap = keys_.empty() ? 16 : keys_.size();
+    while (n * 4 > cap * 3) cap *= 2;
+    if (cap != keys_.size()) rehash_to(cap);
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return keys_.size(); }
+  std::uint64_t rehash_count() const { return rehashes_; }
+
+ private:
+  void grow() { rehash_to(keys_.empty() ? 16 : keys_.size() * 2); }
+
+  void rehash_to(std::size_t new_capacity) {
+    PARCFL_DCHECK((new_capacity & (new_capacity - 1)) == 0);
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<std::uint32_t> old_epochs = std::move(epochs_);
+    std::vector<Value> old_values = std::move(values_);
+    const std::uint32_t old_epoch = epoch_;
+    keys_.assign(new_capacity, 0);
+    epochs_.assign(new_capacity, 0);
+    values_.resize(new_capacity);
+    mask_ = new_capacity - 1;
+    epoch_ = 1;
+    ++rehashes_;
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_epochs[i] != old_epoch) continue;
+      std::size_t j = hash_mix64(old_keys[i]) & mask_;
+      while (epochs_[j] == epoch_) j = (j + 1) & mask_;
+      epochs_[j] = epoch_;
+      keys_[j] = old_keys[i];
+      values_[j] = old_values[i];
+    }
+  }
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint32_t> epochs_;
+  std::vector<Value> values_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+  std::uint32_t epoch_ = 1;
+  std::uint64_t rehashes_ = 0;
+};
+
+template <class Key, class Value, class Hash = std::hash<Key>>
+class FlatKV {
+ public:
+  FlatKV() = default;
+
+  /// Find-or-default-construct. Returns (pointer, inserted); the pointer is
+  /// invalidated by the next try_emplace (rehash).
+  std::pair<Value*, bool> try_emplace(const Key& key) {
+    if ((size_ + 1) * 4 > full_.size() * 3) grow();
+    std::size_t i = slot(key);
+    while (full_[i]) {
+      if (keys_[i] == key) return {&values_[i], false};
+      i = (i + 1) & mask_;
+    }
+    full_[i] = 1;
+    keys_[i] = key;
+    ++size_;
+    return {&values_[i], true};
+  }
+
+  Value* find(const Key& key) {
+    if (size_ == 0) return nullptr;
+    std::size_t i = slot(key);
+    while (full_[i]) {
+      if (keys_[i] == key) return &values_[i];
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+  const Value* find(const Key& key) const {
+    return const_cast<FlatKV*>(this)->find(key);
+  }
+
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < full_.size(); ++i)
+      if (full_[i]) fn(keys_[i], values_[i]);
+  }
+
+  /// Empties the table and releases per-entry resources; capacity is kept.
+  void clear() {
+    if (size_ == 0) return;
+    for (std::size_t i = 0; i < full_.size(); ++i) {
+      if (!full_[i]) continue;
+      full_[i] = 0;
+      values_[i] = Value();
+    }
+    size_ = 0;
+  }
+
+  void reserve(std::size_t n) {
+    std::size_t cap = full_.empty() ? 16 : full_.size();
+    while (n * 4 > cap * 3) cap *= 2;
+    if (cap != full_.size()) rehash_to(cap);
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return full_.size(); }
+  std::uint64_t rehash_count() const { return rehashes_; }
+
+ private:
+  std::size_t slot(const Key& key) const {
+    return hash_mix64(static_cast<std::uint64_t>(Hash{}(key))) & mask_;
+  }
+
+  void grow() { rehash_to(full_.empty() ? 16 : full_.size() * 2); }
+
+  void rehash_to(std::size_t new_capacity) {
+    PARCFL_DCHECK((new_capacity & (new_capacity - 1)) == 0);
+    std::vector<std::uint8_t> old_full = std::move(full_);
+    std::vector<Key> old_keys = std::move(keys_);
+    std::vector<Value> old_values = std::move(values_);
+    full_.assign(new_capacity, 0);
+    keys_.clear();
+    keys_.resize(new_capacity);
+    values_.clear();
+    values_.resize(new_capacity);
+    mask_ = new_capacity - 1;
+    ++rehashes_;
+    for (std::size_t i = 0; i < old_full.size(); ++i) {
+      if (!old_full[i]) continue;
+      std::size_t j = slot(old_keys[i]);
+      while (full_[j]) j = (j + 1) & mask_;
+      full_[j] = 1;
+      keys_[j] = std::move(old_keys[i]);
+      values_[j] = std::move(old_values[i]);
+    }
+  }
+
+  std::vector<std::uint8_t> full_;
+  std::vector<Key> keys_;
+  std::vector<Value> values_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t rehashes_ = 0;
+};
+
+}  // namespace parcfl::support

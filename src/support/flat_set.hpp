@@ -1,0 +1,121 @@
+#pragma once
+// Open-addressing hash set specialised for the solver's packed 64-bit
+// (node, ctx) configuration keys. Three properties matter on the query hot
+// path (see DESIGN.md § Hot-path data structures):
+//
+//  * flat storage — power-of-two capacity, linear probing, no per-node heap
+//    allocation and no bucket-list chasing; a membership test is one mixed
+//    hash plus a short contiguous scan.
+//  * epoch-based O(1) clear() — every slot carries the epoch in which it was
+//    written; clear() bumps the table epoch, instantly invalidating all slots
+//    while keeping their storage. A solver reuses one set across thousands of
+//    queries without ever releasing memory.
+//  * insert-only contract — there is no erase(), hence no tombstones and no
+//    probe-chain repair. All solver-side sets only ever grow within a query.
+//
+// Keys are arbitrary 64-bit values (0 included: occupancy lives in the epoch
+// tag, not in a sentinel key). Not thread-safe; one instance per owner.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace parcfl::support {
+
+/// splitmix64 finaliser: solver keys are (node << 32) | ctx with small,
+/// heavily clustered node and ctx ids, so low bits must depend on all input
+/// bits before masking to a power-of-two table.
+inline std::uint64_t hash_mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+class FlatSet {
+ public:
+  FlatSet() = default;
+
+  /// Insert key; returns true if it was not present in the current epoch.
+  bool insert(std::uint64_t key) {
+    if ((size_ + 1) * 4 > keys_.size() * 3) grow();
+    std::size_t i = hash_mix64(key) & mask_;
+    while (epochs_[i] == epoch_) {
+      if (keys_[i] == key) return false;
+      i = (i + 1) & mask_;
+    }
+    epochs_[i] = epoch_;
+    keys_[i] = key;
+    ++size_;
+    return true;
+  }
+
+  bool contains(std::uint64_t key) const {
+    if (size_ == 0) return false;
+    std::size_t i = hash_mix64(key) & mask_;
+    while (epochs_[i] == epoch_) {
+      if (keys_[i] == key) return true;
+      i = (i + 1) & mask_;
+    }
+    return false;
+  }
+
+  /// O(1): bump the epoch, logically emptying every slot. Storage (and hence
+  /// steady-state allocation-freedom) is retained. A 32-bit epoch wrap — once
+  /// per ~4 billion clears — triggers a physical wipe.
+  void clear() {
+    size_ = 0;
+    if (keys_.empty()) return;
+    if (++epoch_ == 0) {
+      std::fill(epochs_.begin(), epochs_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+
+  /// Grow once so that `n` keys fit without further rehashing.
+  void reserve(std::size_t n) {
+    std::size_t cap = keys_.empty() ? 16 : keys_.size();
+    while (n * 4 > cap * 3) cap *= 2;
+    if (cap != keys_.size()) rehash_to(cap);
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return keys_.size(); }
+
+  /// Number of (re)allocations this set has performed — the test hook for the
+  /// zero-allocation steady-state contract.
+  std::uint64_t rehash_count() const { return rehashes_; }
+
+ private:
+  void grow() { rehash_to(keys_.empty() ? 16 : keys_.size() * 2); }
+
+  void rehash_to(std::size_t new_capacity) {
+    PARCFL_DCHECK((new_capacity & (new_capacity - 1)) == 0);
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<std::uint32_t> old_epochs = std::move(epochs_);
+    const std::uint32_t old_epoch = epoch_;
+    keys_.assign(new_capacity, 0);
+    epochs_.assign(new_capacity, 0);
+    mask_ = new_capacity - 1;
+    epoch_ = 1;
+    ++rehashes_;
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_epochs[i] != old_epoch) continue;
+      std::size_t j = hash_mix64(old_keys[i]) & mask_;
+      while (epochs_[j] == epoch_) j = (j + 1) & mask_;
+      epochs_[j] = epoch_;
+      keys_[j] = old_keys[i];
+    }
+  }
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint32_t> epochs_;  // slot live iff epochs_[i] == epoch_
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+  std::uint32_t epoch_ = 1;  // 0 is reserved for "never written"
+  std::uint64_t rehashes_ = 0;
+};
+
+}  // namespace parcfl::support

@@ -1,7 +1,8 @@
 #pragma once
 // A sharded concurrent hash map — our substitute for the JVM
 // ConcurrentHashMap the paper uses to manage jmp edges (§IV-A). Keys hash to
-// one of N shards; each shard is an open-hashing table guarded by its own
+// one of N shards; each shard is a flat open-addressing table (FlatKV — no
+// bucket lists to chase, one probe sequence per lookup) guarded by its own
 // lock. Values are expected to be small (the jmp store keeps pointers to
 // arena-allocated immutable records).
 //
@@ -16,9 +17,10 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "support/flat_map.hpp"
 #include "support/spinlock.hpp"
 
 namespace parcfl::support {
@@ -36,23 +38,25 @@ class ShardedMap {
   bool insert_if_absent(const Key& key, const Value& value) {
     Shard& s = shard_for(key);
     std::lock_guard lock(s.mu);
-    return s.map.emplace(key, value).second;
+    const auto [slot, inserted] = s.map.try_emplace(key);
+    if (inserted) *slot = value;
+    return inserted;
   }
 
   /// Copy out the value for key, if present.
   bool find_copy(const Key& key, Value& out) const {
     const Shard& s = shard_for(key);
     std::lock_guard lock(s.mu);
-    auto it = s.map.find(key);
-    if (it == s.map.end()) return false;
-    out = it->second;
+    const Value* slot = s.map.find(key);
+    if (slot == nullptr) return false;
+    out = *slot;
     return true;
   }
 
   bool contains(const Key& key) const {
     const Shard& s = shard_for(key);
     std::lock_guard lock(s.mu);
-    return s.map.contains(key);
+    return s.map.find(key) != nullptr;
   }
 
   /// Run fn(value&) under the shard lock, creating a default value if absent.
@@ -62,7 +66,7 @@ class ShardedMap {
   void update(const Key& key, Fn&& fn) {
     Shard& s = shard_for(key);
     std::lock_guard lock(s.mu);
-    fn(s.map[key]);
+    fn(*s.map.try_emplace(key).first);
   }
 
   /// Iterate over a copy of every (key, value). Shard-consistent snapshot.
@@ -72,7 +76,10 @@ class ShardedMap {
       std::vector<std::pair<Key, Value>> snapshot;
       {
         std::lock_guard lock(s.mu);
-        snapshot.assign(s.map.begin(), s.map.end());
+        snapshot.reserve(s.map.size());
+        s.map.for_each([&](const Key& k, const Value& v) {
+          snapshot.emplace_back(k, v);
+        });
       }
       for (const auto& [k, v] : snapshot) fn(k, v);
     }
@@ -97,7 +104,7 @@ class ShardedMap {
  private:
   struct Shard {
     mutable SpinLock mu;
-    std::unordered_map<Key, Value, Hash> map;
+    FlatKV<Key, Value, Hash> map;
   };
 
   Shard& shard_for(const Key& key) { return shards_[shard_index(key)]; }

@@ -1,0 +1,85 @@
+#pragma once
+// Arena-backed object slab: the recycling companion of the epoch-cleared
+// flat tables (DESIGN.md § Hot-path data structures). FlatMap values must be
+// trivially copyable, so anything owning memory — memo entries with their
+// result sets, pending jmp target lists — lives here and is addressed by a
+// 32-bit slab index.
+//
+// Objects are placement-constructed in Arena blocks, so their addresses are
+// stable for the slab's lifetime (the solver holds ResultSet references
+// across deep recursion). reset() is O(1): it rewinds the reuse cursor
+// without destroying anything, and the next acquire() hands the object back
+// with its internal buffers (vector capacities, flat-table slots) intact —
+// the caller re-initialises logical state, the allocations are amortised
+// away. Destructors run once, when the slab dies.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "support/arena.hpp"
+#include "support/check.hpp"
+
+namespace parcfl::support {
+
+template <class T>
+class Slab {
+ public:
+  explicit Slab(std::size_t block_bytes = 1 << 16) : arena_(block_bytes) {}
+
+  Slab(const Slab&) = delete;
+  Slab& operator=(const Slab&) = delete;
+
+  ~Slab() {
+    for (T* p : objects_) p->~T();
+  }
+
+  /// Hand out the next object. Below the high-water mark this recycles a
+  /// previously constructed object *without* resetting it — the caller
+  /// clears logical state and keeps the capacity. Beyond it, a new T is
+  /// default-constructed in the arena.
+  std::pair<std::uint32_t, T*> acquire() {
+    if (used_ < objects_.size()) {
+      T* p = objects_[used_];
+      return {used_++, p};
+    }
+    T* p = new (arena_.allocate(sizeof(T), alignof(T))) T();
+    objects_.push_back(p);
+    return {used_++, p};
+  }
+
+  T& operator[](std::uint32_t index) {
+    PARCFL_DCHECK(index < used_);
+    return *objects_[index];
+  }
+  const T& operator[](std::uint32_t index) const {
+    PARCFL_DCHECK(index < used_);
+    return *objects_[index];
+  }
+
+  /// O(1): every object becomes reusable; nothing is destroyed or freed.
+  void reset() { used_ = 0; }
+
+  /// Objects handed out since the last reset().
+  std::uint32_t used() const { return used_; }
+
+  /// Objects ever constructed (the allocation high-water mark).
+  std::size_t constructed() const { return objects_.size(); }
+
+  /// Bytes the backing arena has handed out — part of the solver's
+  /// zero-allocation steady-state probe.
+  std::size_t arena_bytes() const { return arena_.allocated_bytes(); }
+
+  template <class Fn>
+  void for_each_constructed(Fn&& fn) const {
+    for (const T* p : objects_) fn(*p);
+  }
+
+ private:
+  Arena arena_;
+  std::vector<T*> objects_;  // construction order; [0, used_) are live
+  std::uint32_t used_ = 0;
+};
+
+}  // namespace parcfl::support

@@ -1,8 +1,24 @@
 #include "support/thread_pool.hpp"
 
+#include <algorithm>
+
 #include "support/check.hpp"
 
 namespace parcfl::support {
+namespace {
+
+/// Largest chunk a single claim may take. Bounds the imbalance a stale
+/// remaining-work estimate can cause on skewed unit costs.
+constexpr std::uint64_t kMaxChunk = 256;
+
+/// Guided self-scheduling: claim ~1/(4 * workers) of the remaining units so
+/// early claims are large (few fetch_adds) and tail claims shrink to 1.
+std::uint64_t chunk_hint(std::uint64_t remaining, unsigned workers) {
+  const std::uint64_t chunk = remaining / (4ull * workers);
+  return std::clamp<std::uint64_t>(chunk, 1, kMaxChunk);
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) {
@@ -23,12 +39,12 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::parallel_for(std::uint64_t unit_count,
-                              const std::function<void(unsigned, std::uint64_t)>& body) {
+void ThreadPool::run_for(std::uint64_t unit_count, ChunkFn invoke, void* ctx) {
   if (unit_count == 0) return;
   ForJob job;
   job.count = unit_count;
-  job.body = &body;
+  job.invoke = invoke;
+  job.ctx = ctx;
   {
     std::lock_guard lock(mu_);
     PARCFL_CHECK_MSG(for_job_ == nullptr, "nested parallel_for is not supported");
@@ -93,15 +109,22 @@ void ThreadPool::worker_main(unsigned id) {
     }
 
     // Claim-and-run loop for the active parallel_for. Workers race on an
-    // atomic cursor; completion is tracked with a separate counter so the
-    // issuing thread only wakes when the *last* unit finished running (cursor
-    // exhaustion alone would be too early).
+    // atomic cursor, claiming an adaptively sized chunk per fetch_add;
+    // completion is tracked with a separate counter so the issuing thread
+    // only wakes when the *last* unit finished running (cursor exhaustion
+    // alone would be too early).
+    const unsigned worker_count = thread_count();
     std::uint64_t finished = 0;
     for (;;) {
-      const std::uint64_t i = job->next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= job->count) break;
-      (*job->body)(id, i);
-      ++finished;
+      const std::uint64_t approx = job->next.load(std::memory_order_relaxed);
+      if (approx >= job->count) break;
+      const std::uint64_t chunk = chunk_hint(job->count - approx, worker_count);
+      const std::uint64_t begin =
+          job->next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= job->count) break;
+      const std::uint64_t end = std::min(begin + chunk, job->count);
+      job->invoke(job->ctx, id, begin, end);
+      finished += end - begin;
     }
     job->done.fetch_add(finished, std::memory_order_acq_rel);
     job->users.fetch_sub(1, std::memory_order_acq_rel);

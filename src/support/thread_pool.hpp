@@ -1,9 +1,15 @@
 #pragma once
 // A small fork-join thread pool. The engine uses one parallel_for-style
-// dispatch per analysis run: workers claim work-unit indices from an atomic
-// counter (the "lock-protected shared work list" of §III-A degenerates to a
-// fetch_add since units are pre-materialised), run the unit, and exit when
-// the counter passes the end.
+// dispatch per analysis run: workers claim *chunks* of work-unit indices
+// from an atomic cursor (the "lock-protected shared work list" of §III-A
+// degenerates to a fetch_add since units are pre-materialised), run them,
+// and exit when the cursor passes the end. Chunks shrink as the remaining
+// work shrinks (guided self-scheduling), so the claim rate stays low while
+// the tail still load-balances.
+//
+// parallel_for is a template: the body is invoked through one per-chunk
+// function-pointer call, and the per-unit loop calls the body directly —
+// no per-unit std::function indirection on the hot path.
 //
 // The pool is also usable as a persistent executor (submit/wait) for tests.
 
@@ -11,8 +17,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace parcfl::support {
@@ -32,8 +40,17 @@ class ThreadPool {
   /// dynamically load-balanced. Blocks until all units complete. worker_id is
   /// in [0, thread_count()). The calling thread never runs units itself: all
   /// work runs on pool workers, so per-worker step accounting stays exact.
-  void parallel_for(std::uint64_t unit_count,
-                    const std::function<void(unsigned, std::uint64_t)>& body);
+  template <class Body>
+  void parallel_for(std::uint64_t unit_count, Body&& body) {
+    using Fn = std::remove_reference_t<Body>;
+    run_for(unit_count,
+            [](void* ctx, unsigned worker, std::uint64_t begin,
+               std::uint64_t end) {
+              Fn& fn = *static_cast<Fn*>(ctx);
+              for (std::uint64_t i = begin; i < end; ++i) fn(worker, i);
+            },
+            const_cast<void*>(static_cast<const void*>(std::addressof(body))));
+  }
 
   /// Enqueue a one-off task (test utility).
   void submit(std::function<void()> task);
@@ -42,12 +59,18 @@ class ThreadPool {
   void wait_idle();
 
  private:
+  /// Chunk invoker: runs units [begin, end) of the installed job.
+  using ChunkFn = void (*)(void* ctx, unsigned worker, std::uint64_t begin,
+                           std::uint64_t end);
+
+  void run_for(std::uint64_t unit_count, ChunkFn invoke, void* ctx);
   void worker_main(unsigned id);
 
   struct ForJob {
     std::atomic<std::uint64_t> next{0};
     std::uint64_t count = 0;
-    const std::function<void(unsigned, std::uint64_t)>* body = nullptr;
+    ChunkFn invoke = nullptr;
+    void* ctx = nullptr;
     std::atomic<std::uint64_t> done{0};
     std::atomic<std::uint32_t> users{0};  // workers currently holding this job
   };
