@@ -206,10 +206,15 @@ int cmd_batch(const pag::Pag& raw, int argc, char** argv) {
   const auto result = engine.run(queries, contexts, store);
 
   if (state_path != nullptr) {
-    std::ofstream state_out(state_path);
-    cfl::save_sharing_state(state_out, collapsed.pag, contexts, store);
-    std::printf("saved sharing state to %s (%zu entries)\n", state_path,
-                store.entry_count());
+    // Crash-safe write (temp file + rename): a crash mid-save leaves the
+    // previous state file intact for the next warm start.
+    std::string error;
+    if (cfl::save_sharing_state_file(state_path, collapsed.pag, contexts,
+                                     store, &error))
+      std::printf("saved sharing state to %s (%zu entries)\n", state_path,
+                  store.entry_count());
+    else
+      std::fprintf(stderr, "pag_tool: state save failed: %s\n", error.c_str());
   }
 
   std::printf("%s with %u threads: %zu queries in %.3fs\n",

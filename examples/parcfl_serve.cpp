@@ -1,0 +1,127 @@
+// parcfl_serve — the resident demand-driven analysis server. Loads a PAG
+// once, keeps the jmp-edge sharing state warm across every query it ever
+// answers, and speaks the line protocol of service/protocol.hpp over TCP or
+// stdin/stdout.
+//
+//   parcfl_serve <file.pag> [options]
+//     --port N       listen on 127.0.0.1:N (0 = pick a free port); without
+//                    --port the server speaks on stdin/stdout
+//     --threads N    engine worker threads            (default 4)
+//     --mode M       seq|naive|d|dq                   (default dq)
+//     --state FILE   warm-start from FILE if present (missing file = cold);
+//                    `save FILE` requests snapshot back crash-safely
+//     --budget N     per-query step budget            (default 100000)
+//     --batch N      micro-batch size cap, query units (default 64)
+//     --linger-us N  micro-batch linger               (default 500)
+//     --queue N      admission queue depth, query units (default 4096)
+//
+// Example session (see README "Running the server"):
+//   $ pag_tool gen avrora /tmp/avrora.pag 0.5
+//   $ parcfl_serve /tmp/avrora.pag --port 7077 --state /tmp/avrora.state &
+//   $ printf 'query 17\nstats\nquit\n' | nc 127.0.0.1 7077
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "parcfl.hpp"
+
+using namespace parcfl;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: parcfl_serve <file.pag> [--port N] [--threads N]\n"
+               "                    [--mode seq|naive|d|dq] [--state FILE]\n"
+               "                    [--budget N] [--batch N] [--linger-us N]\n"
+               "                    [--queue N]\n");
+  return 2;
+}
+
+bool parse_mode(const char* name, cfl::Mode& out) {
+  if (std::strcmp(name, "seq") == 0) out = cfl::Mode::kSequential;
+  else if (std::strcmp(name, "naive") == 0) out = cfl::Mode::kNaive;
+  else if (std::strcmp(name, "d") == 0) out = cfl::Mode::kDataSharing;
+  else if (std::strcmp(name, "dq") == 0) out = cfl::Mode::kDataSharingScheduling;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+
+  service::ServiceOptions options;
+  options.session.engine.threads = 4;
+  options.session.engine.solver.budget = 100'000;
+  long port = -1;  // -1 = stdio
+
+  for (int i = 2; i < argc; ++i) {
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* arg = argv[i];
+    const char* v = nullptr;
+    if (std::strcmp(arg, "--port") == 0 && (v = value())) {
+      port = std::atol(v);
+    } else if (std::strcmp(arg, "--threads") == 0 && (v = value())) {
+      options.session.engine.threads = static_cast<unsigned>(std::atol(v));
+    } else if (std::strcmp(arg, "--mode") == 0 && (v = value())) {
+      if (!parse_mode(v, options.session.engine.mode)) return usage();
+    } else if (std::strcmp(arg, "--state") == 0 && (v = value())) {
+      options.session.state_path = v;
+    } else if (std::strcmp(arg, "--budget") == 0 && (v = value())) {
+      options.session.engine.solver.budget = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--batch") == 0 && (v = value())) {
+      options.max_batch = static_cast<std::uint32_t>(std::atol(v));
+    } else if (std::strcmp(arg, "--linger-us") == 0 && (v = value())) {
+      options.max_linger = std::chrono::microseconds(std::atol(v));
+    } else if (std::strcmp(arg, "--queue") == 0 && (v = value())) {
+      options.max_queue = static_cast<std::uint32_t>(std::atol(v));
+    } else {
+      return usage();
+    }
+  }
+
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "parcfl_serve: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::string error;
+  auto pag = pag::read_pag(in, &error);
+  if (!pag) {
+    std::fprintf(stderr, "parcfl_serve: parse error: %s\n", error.c_str());
+    return 1;
+  }
+
+  service::QueryService svc(std::move(*pag), options);
+  std::fprintf(stderr,
+               "parcfl_serve: %u nodes, %u edges, mode %s, %u threads, "
+               "batch<=%u linger=%lldus queue<=%u\n",
+               svc.pag().node_count(), svc.pag().edge_count(),
+               cfl::to_string(options.session.engine.mode),
+               options.session.engine.threads, options.max_batch,
+               static_cast<long long>(options.max_linger.count()),
+               options.max_queue);
+
+  if (port < 0) {
+    service::serve_stream(svc, std::cin, std::cout);
+    return 0;
+  }
+
+  service::TcpServer server(svc, static_cast<std::uint16_t>(port), &error);
+  if (!server.ok()) {
+    std::fprintf(stderr, "parcfl_serve: cannot listen: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "parcfl_serve: listening on 127.0.0.1:%u\n",
+               server.port());
+  server.serve();
+  return 0;
+}

@@ -24,6 +24,79 @@ std::uint64_t EngineResult::makespan_steps() const {
   return best;
 }
 
+namespace {
+
+// The batch body shared by Engine::run (fresh solvers, one-shot pool) and
+// BatchRunner::run (warm solvers, persistent pool). All counters in the
+// result are deltas from each solver's state on entry, so warm solvers may
+// accumulate across batches while every EngineResult stays per-batch.
+// `active_workers` caps pool wakeups for batches smaller than the pool.
+EngineResult run_batch(const EngineOptions& options, Schedule schedule,
+                       double schedule_seconds,
+                       std::span<const std::uint64_t> budgets,
+                       std::span<const std::unique_ptr<Solver>> solvers,
+                       std::span<detail::WorkerScratch> scratch,
+                       support::ThreadPool* pool, unsigned active_workers,
+                       const ContextTable& contexts, const JmpStore& store) {
+  EngineResult result;
+  result.schedule_seconds = schedule_seconds;
+  const bool scheduling = options.mode == Mode::kDataSharingScheduling;
+  result.mean_group_size = scheduling ? schedule.mean_group_size : 0.0;
+  result.group_count = scheduling ? schedule.group_count : 0;
+
+  const std::size_t workers = solvers.size();
+  std::vector<support::QueryCounters> baseline(workers);
+  for (std::size_t t = 0; t < workers; ++t) baseline[t] = solvers[t]->counters();
+
+  result.outcomes.resize(schedule.ordered.size());
+  if (options.collect_objects) result.objects.resize(schedule.ordered.size());
+
+  support::WallTimer run_timer;
+  auto run_unit = [&](unsigned worker, std::uint64_t unit_index) {
+    Solver& solver = *solvers[worker];
+    detail::WorkerScratch& ws = scratch[worker];
+    const auto [begin, end] = schedule.units[unit_index];
+    for (std::uint32_t i = begin; i < end; ++i) {
+      const pag::NodeId var = schedule.ordered[i];
+      if (!budgets.empty())
+        solver.set_query_budget(budgets[schedule.source_index[i]]);
+      const std::uint64_t charged_before = solver.counters().charged_steps;
+      solver.points_to(var, ws.qr);
+      ws.qr.nodes_into(ws.nodes);
+      result.outcomes[i] = QueryOutcome{
+          var, ws.qr.status, static_cast<std::uint32_t>(ws.nodes.size()),
+          solver.counters().charged_steps - charged_before};
+      if (options.collect_objects) result.objects[i] = ws.nodes;
+    }
+  };
+
+  if (active_workers <= 1 || pool == nullptr) {
+    // Run inline: the sequential baseline must not pay thread-pool costs.
+    for (std::uint64_t u = 0; u < schedule.units.size(); ++u) run_unit(0, u);
+  } else {
+    pool->parallel_for(schedule.units.size(), run_unit, active_workers);
+  }
+  result.wall_seconds = run_timer.seconds();
+
+  // Restore the default budget so a later budget-less batch is unaffected.
+  if (!budgets.empty())
+    for (const auto& solver : solvers) solver->set_query_budget(0);
+
+  result.per_thread_traversed.resize(workers, 0);
+  for (std::size_t t = 0; t < workers; ++t) {
+    const support::QueryCounters delta = solvers[t]->counters().since(baseline[t]);
+    result.per_thread_traversed[t] = delta.traversed_steps;
+    result.totals.merge(delta);
+  }
+  result.source_index = std::move(schedule.source_index);
+  result.jmp_stats = store.stats();
+  result.jmp_store_bytes = store.memory_bytes();
+  result.context_count = contexts.size();
+  return result;
+}
+
+}  // namespace
+
 Engine::Engine(const pag::Pag& pag, const EngineOptions& options)
     : pag_(pag), options_(options) {
   if (options_.mode == Mode::kSequential) options_.threads = 1;
@@ -38,8 +111,6 @@ EngineResult Engine::run(std::span<const pag::NodeId> queries) {
 
 EngineResult Engine::run(std::span<const pag::NodeId> queries,
                          ContextTable& contexts, JmpStore& store) {
-  EngineResult result;
-
   const bool sharing = options_.mode == Mode::kDataSharing ||
                        options_.mode == Mode::kDataSharingScheduling;
   const bool scheduling = options_.mode == Mode::kDataSharingScheduling;
@@ -48,11 +119,9 @@ EngineResult Engine::run(std::span<const pag::NodeId> queries,
   solver_options.data_sharing = sharing;
 
   support::WallTimer schedule_timer;
-  const Schedule schedule =
+  Schedule schedule =
       scheduling ? schedule_queries(pag_, queries) : identity_schedule(queries);
-  result.schedule_seconds = schedule_timer.seconds();
-  result.mean_group_size = scheduling ? schedule.mean_group_size : 0.0;
-  result.group_count = scheduling ? schedule.group_count : 0;
+  const double schedule_seconds = schedule_timer.seconds();
 
   // A solver (and a worker) beyond one-per-unit can never run a query; don't
   // pay its construction or thread start-up cost.
@@ -64,53 +133,54 @@ EngineResult Engine::run(std::span<const pag::NodeId> queries,
     solvers.push_back(std::make_unique<Solver>(pag_, contexts,
                                                sharing ? &store : nullptr,
                                                solver_options));
+  std::vector<detail::WorkerScratch> scratch(threads);
 
-  result.outcomes.resize(schedule.ordered.size());
-  if (options_.collect_objects) result.objects.resize(schedule.ordered.size());
+  std::unique_ptr<support::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<support::ThreadPool>(threads);
+  return run_batch(options_, std::move(schedule), schedule_seconds, {}, solvers,
+                   scratch, pool.get(), threads, contexts, store);
+}
 
-  // Per-worker scratch so the query result and its flattened node list are
-  // reused (capacity retained) across every unit a worker runs.
-  struct WorkerScratch {
-    QueryResult qr;
-    std::vector<pag::NodeId> nodes;
-  };
-  std::vector<WorkerScratch> scratch(threads);
+BatchRunner::BatchRunner(const pag::Pag& pag, const EngineOptions& options,
+                         ContextTable& contexts, JmpStore& store)
+    : pag_(pag), options_(options), store_(store), contexts_(contexts) {
+  if (options_.mode == Mode::kSequential) options_.threads = 1;
+  PARCFL_CHECK(options_.threads >= 1);
+  const bool sharing = options_.mode == Mode::kDataSharing ||
+                       options_.mode == Mode::kDataSharingScheduling;
+  SolverOptions solver_options = options_.solver;
+  solver_options.data_sharing = sharing;
+  solvers_.reserve(options_.threads);
+  for (unsigned t = 0; t < options_.threads; ++t)
+    solvers_.push_back(std::make_unique<Solver>(pag_, contexts_,
+                                                sharing ? &store_ : nullptr,
+                                                solver_options));
+  scratch_.resize(options_.threads);
+  if (options_.threads > 1)
+    pool_ = std::make_unique<support::ThreadPool>(options_.threads);
+}
 
-  support::WallTimer run_timer;
-  auto run_unit = [&](unsigned worker, std::uint64_t unit_index) {
-    Solver& solver = *solvers[worker];
-    WorkerScratch& ws = scratch[worker];
-    const auto [begin, end] = schedule.units[unit_index];
-    for (std::uint32_t i = begin; i < end; ++i) {
-      const pag::NodeId var = schedule.ordered[i];
-      const std::uint64_t charged_before = solver.counters().charged_steps;
-      solver.points_to(var, ws.qr);
-      ws.qr.nodes_into(ws.nodes);
-      result.outcomes[i] = QueryOutcome{
-          var, ws.qr.status, static_cast<std::uint32_t>(ws.nodes.size()),
-          solver.counters().charged_steps - charged_before};
-      if (options_.collect_objects) result.objects[i] = ws.nodes;
-    }
-  };
+BatchRunner::~BatchRunner() = default;
 
-  if (threads == 1) {
-    // Run inline: the sequential baseline must not pay thread-pool costs.
-    for (std::uint64_t u = 0; u < schedule.units.size(); ++u) run_unit(0, u);
-  } else {
-    support::ThreadPool pool(threads);
-    pool.parallel_for(schedule.units.size(), run_unit);
-  }
-  result.wall_seconds = run_timer.seconds();
+EngineResult BatchRunner::run(std::span<const pag::NodeId> queries,
+                              std::span<const std::uint64_t> budgets) {
+  PARCFL_CHECK_MSG(budgets.empty() || budgets.size() == queries.size(),
+                   "budgets must parallel queries");
+  const bool scheduling = options_.mode == Mode::kDataSharingScheduling;
+  support::WallTimer schedule_timer;
+  Schedule schedule =
+      scheduling ? schedule_queries(pag_, queries) : identity_schedule(queries);
+  const double schedule_seconds = schedule_timer.seconds();
+  const unsigned active = static_cast<unsigned>(std::max<std::uint64_t>(
+      1, std::min<std::uint64_t>(options_.threads, schedule.units.size())));
+  return run_batch(options_, std::move(schedule), schedule_seconds, budgets,
+                   solvers_, scratch_, pool_.get(), active, contexts_, store_);
+}
 
-  result.per_thread_traversed.resize(threads, 0);
-  for (unsigned t = 0; t < threads; ++t) {
-    result.per_thread_traversed[t] = solvers[t]->counters().traversed_steps;
-    result.totals.merge(solvers[t]->counters());
-  }
-  result.jmp_stats = store.stats();
-  result.jmp_store_bytes = store.memory_bytes();
-  result.context_count = contexts.size();
-  return result;
+support::QueryCounters BatchRunner::lifetime_totals() const {
+  support::QueryCounters totals;
+  for (const auto& solver : solvers_) totals.merge(solver->counters());
+  return totals;
 }
 
 }  // namespace parcfl::cfl

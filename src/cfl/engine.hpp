@@ -27,6 +27,10 @@
 #include "pag/pag.hpp"
 #include "support/stats.hpp"
 
+namespace parcfl::support {
+class ThreadPool;
+}
+
 namespace parcfl::cfl {
 
 enum class Mode : std::uint8_t {
@@ -55,6 +59,10 @@ struct QueryOutcome {
 
 struct EngineResult {
   std::vector<QueryOutcome> outcomes;        // in scheduled issue order
+  /// outcomes[i] answers queries[source_index[i]] — the schedule's
+  /// permutation, for callers (parcfl::service) that must route each outcome
+  /// back to the request that asked for it.
+  std::vector<std::uint32_t> source_index;
   /// Per-outcome sorted object sets; filled when collect_objects was set.
   std::vector<std::vector<pag::NodeId>> objects;
   support::QueryCounters totals;             // merged over all workers
@@ -91,6 +99,57 @@ class Engine {
  private:
   const pag::Pag& pag_;
   EngineOptions options_;
+};
+
+namespace detail {
+/// Per-worker query scratch, reused (capacity retained) across units — and,
+/// in a BatchRunner, across whole batches.
+struct WorkerScratch {
+  QueryResult qr;
+  std::vector<pag::NodeId> nodes;
+};
+}  // namespace detail
+
+/// Long-lived batch runner — the engine core of parcfl::service. Binds one
+/// engine configuration to shared mutable state (context table + jmp store)
+/// and keeps a warm solver per worker plus a persistent thread pool across
+/// run() calls: a query stream pays solver construction, flat-table growth
+/// and thread start-up once, and every batch after the first rides the jmp
+/// shortcuts minted by its predecessors.
+///
+/// Counters in each EngineResult are per-batch deltas (warm solvers
+/// accumulate internally); jmp/context statistics are store-wide absolutes.
+///
+/// run() is not internally synchronised — callers serialise batches
+/// (service::Session holds the batch lock). The shared store/context table
+/// may be concurrently read or extended by other threads (live save/load);
+/// their own concurrency contracts cover that.
+class BatchRunner {
+ public:
+  BatchRunner(const pag::Pag& pag, const EngineOptions& options,
+              ContextTable& contexts, JmpStore& store);
+  ~BatchRunner();
+
+  /// Answer one micro-batch against the warm shared state. `budgets`, when
+  /// non-empty, parallels `queries`: each entry caps that query's
+  /// charged-step budget at min(entry, options.solver.budget); 0 keeps the
+  /// engine default (per-request admission control).
+  EngineResult run(std::span<const pag::NodeId> queries,
+                   std::span<const std::uint64_t> budgets = {});
+
+  const EngineOptions& options() const { return options_; }
+
+  /// Cumulative counters over every batch run so far (merged over workers).
+  support::QueryCounters lifetime_totals() const;
+
+ private:
+  const pag::Pag& pag_;
+  EngineOptions options_;
+  JmpStore& store_;
+  ContextTable& contexts_;
+  std::vector<std::unique_ptr<Solver>> solvers_;
+  std::vector<detail::WorkerScratch> scratch_;
+  std::unique_ptr<support::ThreadPool> pool_;  // null when threads == 1
 };
 
 }  // namespace parcfl::cfl

@@ -1,10 +1,19 @@
 #include "cfl/persist.hpp"
 
+#include <cerrno>
 #include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <vector>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 namespace parcfl::cfl {
 
@@ -151,6 +160,47 @@ bool load_sharing_state(std::istream& is, const pag::Pag& pag,
     }
   }
   return true;
+}
+
+bool save_sharing_state_file(const std::string& path, const pag::Pag& pag,
+                             const ContextTable& contexts, const JmpStore& store,
+                             std::string* error) {
+  // Serialise into memory first: the snapshot holds each store shard's lock
+  // only while copying, never across file I/O.
+  std::ostringstream buffer;
+  save_sharing_state(buffer, pag, contexts, store);
+  const std::string data = buffer.str();
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr)
+    return fail(error, "cannot open " + tmp + ": " + std::strerror(errno));
+  const bool wrote =
+      std::fwrite(data.data(), 1, data.size(), f) == data.size() &&
+      std::fflush(f) == 0;
+#ifndef _WIN32
+  // Make the rename durable: data must hit the disk before the new name does.
+  const bool synced = wrote && ::fsync(::fileno(f)) == 0;
+#else
+  const bool synced = wrote;
+#endif
+  if (std::fclose(f) != 0 || !synced) {
+    std::remove(tmp.c_str());
+    return fail(error, "short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return fail(error, "rename to " + path + " failed: " + std::strerror(errno));
+  }
+  return true;
+}
+
+bool load_sharing_state_file(const std::string& path, const pag::Pag& pag,
+                             ContextTable& contexts, JmpStore& store,
+                             std::string* error) {
+  std::ifstream in(path);
+  if (!in) return fail(error, "cannot open " + path);
+  return load_sharing_state(in, pag, contexts, store, error);
 }
 
 }  // namespace parcfl::cfl

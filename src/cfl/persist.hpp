@@ -42,4 +42,19 @@ bool load_sharing_state(std::istream& is, const pag::Pag& pag,
                         ContextTable& contexts, JmpStore& store,
                         std::string* error = nullptr);
 
+/// Crash-safe save to `path`: the state is written to a temporary sibling
+/// file, flushed to disk (fsync), and renamed into place, so a process
+/// killed mid-save never leaves a torn state file — the previous state file,
+/// if any, survives intact. Safe to call while solvers are concurrently
+/// inserting into the store (shard-consistent snapshot). Returns false and
+/// fills *error on any I/O failure.
+bool save_sharing_state_file(const std::string& path, const pag::Pag& pag,
+                             const ContextTable& contexts, const JmpStore& store,
+                             std::string* error = nullptr);
+
+/// Open `path` and load_sharing_state from it.
+bool load_sharing_state_file(const std::string& path, const pag::Pag& pag,
+                             ContextTable& contexts, JmpStore& store,
+                             std::string* error = nullptr);
+
 }  // namespace parcfl::cfl

@@ -65,7 +65,9 @@ std::vector<std::uint32_t> compute_type_levels(const Pag& pag) {
 Schedule identity_schedule(std::span<const NodeId> queries) {
   Schedule s;
   s.ordered.assign(queries.begin(), queries.end());
+  s.source_index.resize(queries.size());
   s.units.reserve(queries.size());
+  for (std::uint32_t i = 0; i < queries.size(); ++i) s.source_index[i] = i;
   for (std::uint32_t i = 0; i < queries.size(); ++i) s.units.emplace_back(i, i + 1);
   s.group_count = static_cast<std::uint32_t>(queries.size());
   s.mean_group_size = queries.empty() ? 0.0 : 1.0;
@@ -159,6 +161,7 @@ Schedule schedule_queries(const Pag& pag, std::span<const NodeId> queries,
   Schedule s;
   s.ordered.reserve(queries.size());
   for (std::uint32_t idx : query_index) s.ordered.push_back(queries[idx]);
+  s.source_index = std::move(query_index);
   s.group_count = group_count;
   s.mean_group_size =
       group_count == 0 ? 0.0 : static_cast<double>(queries.size()) / group_count;

@@ -27,6 +27,10 @@ namespace parcfl::cfl {
 struct Schedule {
   /// All queries, in issue order.
   std::vector<pag::NodeId> ordered;
+  /// ordered[i] == queries[source_index[i]] — maps an issue position back to
+  /// the caller's input position (per-query metadata such as request budgets
+  /// and reply routing in parcfl::service follow the permutation through it).
+  std::vector<std::uint32_t> source_index;
   /// Work units as [begin, end) ranges into `ordered`.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> units;
 

@@ -32,7 +32,8 @@ bool QueryResult::contains(NodeId n) const {
 
 Solver::Solver(const pag::Pag& pag, ContextTable& contexts, JmpStore* store,
                const SolverOptions& options)
-    : pag_(pag), contexts_(contexts), store_(store), options_(options) {
+    : pag_(pag), contexts_(contexts), store_(store), options_(options),
+      budget_limit_(options.budget) {
   if (options_.data_sharing)
     PARCFL_CHECK_MSG(store_ != nullptr, "data sharing requires a JmpStore");
 }
@@ -202,7 +203,7 @@ void Solver::out_of_budget(std::uint64_t bdg, bool early) {
   if (options_.data_sharing && store_ != nullptr) {
     for (const SharingFrame& frame : sharing_stack_) {
       const std::uint64_t s =
-          std::min<std::uint64_t>(options_.budget, bdg + charged_ - frame.s0);
+          std::min<std::uint64_t>(budget_limit_, bdg + charged_ - frame.s0);
       if (s >= options_.tau_unfinished) {
         if (store_->insert_unfinished(frame.jmp_key, static_cast<std::uint32_t>(s)))
           ++counters_.jmps_added_unfinished;
@@ -230,11 +231,11 @@ void Solver::reachable_nodes(Direction dir, NodeId x, CtxId c, ResultSet& out,
       // Fig. 3(b): an unfinished jmp(s) warns that s more steps are needed
       // from here; terminate early if the remaining budget cannot cover it.
       if (lk.unfinished_s != 0 &&
-          options_.budget - std::min(charged_, options_.budget) < lk.unfinished_s) {
+          budget_limit_ - std::min(charged_, budget_limit_) < lk.unfinished_s) {
         ++counters_.early_terminations;
         // The recorded s proves this query would have exhausted its budget:
         // everything between here and B is traversal the jmp edge avoided.
-        saved_ += options_.budget - std::min(charged_, options_.budget);
+        saved_ += budget_limit_ - std::min(charged_, budget_limit_);
         out_of_budget(lk.unfinished_s, /*early=*/true);
       }
       // Fig. 3(a): take the shortcuts. The full traversal cost is charged to

@@ -41,6 +41,7 @@
 // steady-state query loop performs no heap allocation in the memo /
 // result-set path (memory_stats() is the verification hook).
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -139,6 +140,16 @@ class Solver {
   enum class AliasAnswer : std::uint8_t { kNo, kMay, kUnknown };
   AliasAnswer may_alias(pag::NodeId v1, pag::NodeId v2);
 
+  /// Cap subsequent queries' budget at min(b, options().budget); 0 restores
+  /// the configured budget. Per-request admission control in parcfl::service
+  /// sets this before each query. Published unfinished jmps are clamped to
+  /// the effective budget, so entries minted under a tighter cap remain
+  /// sound for consumers running with the full one.
+  void set_query_budget(std::uint64_t b) {
+    budget_limit_ = b == 0 ? options_.budget : std::min(b, options_.budget);
+  }
+  std::uint64_t query_budget() const { return budget_limit_; }
+
   /// How one traversal hop was justified, for witnesses.
   enum class Via : std::uint8_t {
     kQueryRoot,
@@ -234,7 +245,7 @@ class Solver {
   void step() {
     ++charged_;
     ++traversed_;
-    if (charged_ > options_.budget) out_of_budget(0, /*early=*/false);
+    if (charged_ > budget_limit_) out_of_budget(0, /*early=*/false);
   }
 
   /// Alg. 2's OUTOFBUDGET: publish unfinished jmps for every active
@@ -324,6 +335,7 @@ class Solver {
   /// of recomputing a ReachableNodes body against warm memo tables.
   support::FlatSet consumed_jmp_keys_;
   std::uint32_t iteration_ = 0;
+  std::uint64_t budget_limit_ = 0;  // effective per-query budget (<= options' B)
   std::uint64_t charged_ = 0;
   std::uint64_t traversed_ = 0;
   std::uint64_t saved_ = 0;

@@ -36,5 +36,10 @@
 #include "pag/pag.hpp"            // IWYU pragma: export
 #include "pag/pag_io.hpp"         // IWYU pragma: export
 #include "pag/validate.hpp"       // IWYU pragma: export
+#include "service/protocol.hpp"   // IWYU pragma: export
+#include "service/server.hpp"     // IWYU pragma: export
+#include "service/service.hpp"    // IWYU pragma: export
+#include "service/session.hpp"    // IWYU pragma: export
+#include "service/stats.hpp"      // IWYU pragma: export
 #include "synth/benchmarks.hpp"   // IWYU pragma: export
 #include "synth/generator.hpp"    // IWYU pragma: export

@@ -1,0 +1,174 @@
+#include "service/protocol.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace parcfl::service {
+
+namespace {
+
+/// Split on runs of spaces/tabs; CR from CRLF clients is stripped upstream.
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t begin = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > begin) tokens.push_back(line.substr(begin, i - begin));
+  }
+  return tokens;
+}
+
+bool parse_u64(std::string_view token, std::uint64_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), out);
+  return ec == std::errc() && ptr == token.data() + token.size();
+}
+
+bool parse_node(std::string_view token, std::uint32_t node_count,
+                pag::NodeId& out, std::string& error) {
+  if (!token.empty() && (token.front() == 'v' || token.front() == 'V'))
+    token.remove_prefix(1);
+  std::uint64_t id = 0;
+  if (token.empty() || !parse_u64(token, id)) {
+    error = "bad node id";
+    return false;
+  }
+  if (id >= node_count) {
+    error = "node id out of range (graph has " + std::to_string(node_count) +
+            " nodes)";
+    return false;
+  }
+  out = pag::NodeId(static_cast<std::uint32_t>(id));
+  return true;
+}
+
+/// Parse trailing `budget <n>` / `deadline <ms>` option pairs.
+bool parse_options(const std::vector<std::string_view>& tokens, std::size_t from,
+                   Request& out, std::string& error) {
+  for (std::size_t i = from; i < tokens.size(); i += 2) {
+    if (i + 1 >= tokens.size()) {
+      error = "option '" + std::string(tokens[i]) + "' is missing its value";
+      return false;
+    }
+    std::uint64_t value = 0;
+    if (!parse_u64(tokens[i + 1], value)) {
+      error = "bad value for option '" + std::string(tokens[i]) + "'";
+      return false;
+    }
+    if (tokens[i] == "budget") {
+      out.budget = value;
+    } else if (tokens[i] == "deadline") {
+      out.deadline_ms = value;
+    } else {
+      error = "unknown option '" + std::string(tokens[i]) + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool fail(std::string& error, const char* msg) {
+  error = msg;
+  return false;
+}
+
+}  // namespace
+
+bool parse_request(std::string_view line, std::uint32_t node_count,
+                   Request& out, std::string& error) {
+  out = Request{};
+  if (line.size() > kMaxRequestLine) return fail(error, "request line too long");
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  const auto tokens = tokenize(line);
+  if (tokens.empty()) return fail(error, "empty request");
+
+  const std::string_view verb = tokens[0];
+  if (verb == "query") {
+    out.verb = Verb::kQuery;
+    if (tokens.size() < 2) return fail(error, "query needs a node id");
+    if (!parse_node(tokens[1], node_count, out.a, error)) return false;
+    return parse_options(tokens, 2, out, error);
+  }
+  if (verb == "alias") {
+    out.verb = Verb::kAlias;
+    if (tokens.size() < 3) return fail(error, "alias needs two node ids");
+    if (!parse_node(tokens[1], node_count, out.a, error)) return false;
+    if (!parse_node(tokens[2], node_count, out.b, error)) return false;
+    return parse_options(tokens, 3, out, error);
+  }
+  if (verb == "stats" || verb == "ping" || verb == "quit") {
+    if (tokens.size() != 1)
+      return fail(error, "verb takes no arguments");
+    out.verb = verb == "stats" ? Verb::kStats
+               : verb == "ping" ? Verb::kPing
+                                : Verb::kQuit;
+    return true;
+  }
+  if (verb == "save" || verb == "load") {
+    if (tokens.size() != 2) return fail(error, "save/load need exactly a path");
+    out.verb = verb == "save" ? Verb::kSave : Verb::kLoad;
+    out.path = std::string(tokens[1]);
+    return true;
+  }
+  error = "unknown verb '" + std::string(verb) + "'";
+  return false;
+}
+
+const char* to_string(cfl::QueryStatus status) {
+  switch (status) {
+    case cfl::QueryStatus::kComplete: return "complete";
+    case cfl::QueryStatus::kOutOfBudget: return "partial";
+    case cfl::QueryStatus::kEarlyTermination: return "early";
+  }
+  return "?";
+}
+
+const char* to_string(cfl::Solver::AliasAnswer answer) {
+  switch (answer) {
+    case cfl::Solver::AliasAnswer::kNo: return "no";
+    case cfl::Solver::AliasAnswer::kMay: return "may";
+    case cfl::Solver::AliasAnswer::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+std::string format_reply(const Reply& reply) {
+  switch (reply.status) {
+    case Reply::Status::kError: return "err " + reply.text;
+    case Reply::Status::kShedOverload: return "shed overload";
+    case Reply::Status::kShedDeadline: return "shed deadline";
+    case Reply::Status::kOk: break;
+  }
+  std::ostringstream os;
+  os << "ok";
+  switch (reply.verb) {
+    case Verb::kQuery:
+      os << ' ' << to_string(reply.query_status) << ' ' << reply.charged_steps
+         << ' ' << reply.objects.size();
+      for (const pag::NodeId o : reply.objects) os << ' ' << o.value();
+      break;
+    case Verb::kAlias:
+      os << ' ' << to_string(reply.alias) << ' ' << reply.charged_steps;
+      break;
+    case Verb::kStats:
+      os << ' ' << reply.text;
+      break;
+    case Verb::kSave:
+      os << " saved " << reply.text;
+      break;
+    case Verb::kLoad:
+      os << " loaded " << reply.text;
+      break;
+    case Verb::kPing:
+      os << " pong";
+      break;
+    case Verb::kQuit:
+      os << " bye";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace parcfl::service

@@ -1,0 +1,94 @@
+#pragma once
+// Line-oriented wire protocol for the parcfl query service. One request per
+// line, one reply line per request; both sides are plain ASCII so the server
+// can be driven by netcat, a load generator, or a build-system integration.
+//
+// Request grammar (tokens separated by spaces; node ids accept an optional
+// leading 'v', so `query v17` and `query 17` are the same request):
+//
+//   query <node> [budget <steps>] [deadline <ms>]   points-to set of <node>
+//   alias <a> <b> [budget <steps>] [deadline <ms>]  may-alias of two nodes
+//   stats                                           ServiceStats JSON
+//   save <path>                                     crash-safe state snapshot
+//   load <path>                                     live warm-state merge
+//   ping                                            liveness probe
+//   quit                                            close this connection
+//
+// `budget` caps the query's charged steps at min(budget, server budget);
+// `deadline` sheds the request if it is still queued that many milliseconds
+// after submission. Both are admission-control knobs, 0/absent = default.
+//
+// Replies:
+//
+//   ok complete|partial|early <charged> <n> <id>*n   query
+//   ok no|may|unknown <charged>                      alias
+//   ok pong | ok saved <path> | ok loaded <path>     ping/save/load
+//   ok {...}                                         stats (one-line JSON)
+//   shed overload|deadline                           admission control
+//   err <message>                                    malformed or failed
+//
+// Parsing is total: any input line yields either a valid Request or an error
+// message, never undefined behaviour (tests/io_fuzz_test.cpp throws mutated
+// and truncated requests at it).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cfl/solver.hpp"
+#include "pag/pag.hpp"
+
+namespace parcfl::service {
+
+enum class Verb : std::uint8_t {
+  kQuery,
+  kAlias,
+  kStats,
+  kSave,
+  kLoad,
+  kPing,
+  kQuit,
+};
+
+struct Request {
+  Verb verb = Verb::kPing;
+  pag::NodeId a = pag::NodeId::invalid();
+  pag::NodeId b = pag::NodeId::invalid();
+  std::uint64_t budget = 0;       // 0 = server default
+  std::uint64_t deadline_ms = 0;  // 0 = no deadline
+  std::string path;               // save/load target
+};
+
+/// Longest request line the parser accepts; longer lines are rejected before
+/// tokenisation (wire robustness: a garbage megabyte costs O(1)).
+inline constexpr std::size_t kMaxRequestLine = 4096;
+
+/// Parse one request line. Node ids are bounds-checked against `node_count`.
+/// Returns false and fills `error` (never crashes) on malformed input.
+bool parse_request(std::string_view line, std::uint32_t node_count,
+                   Request& out, std::string& error);
+
+struct Reply {
+  enum class Status : std::uint8_t {
+    kOk,
+    kError,
+    kShedOverload,  // queue-depth backpressure rejected the request
+    kShedDeadline,  // request expired before a batch picked it up
+  };
+  Status status = Status::kOk;
+  Verb verb = Verb::kPing;
+  cfl::QueryStatus query_status = cfl::QueryStatus::kComplete;
+  std::vector<pag::NodeId> objects;  // query: sorted points-to set
+  cfl::Solver::AliasAnswer alias = cfl::Solver::AliasAnswer::kUnknown;
+  std::uint64_t charged_steps = 0;
+  std::string text;  // stats JSON, save/load path, or error message
+};
+
+/// Render a reply as one protocol line (no trailing newline).
+std::string format_reply(const Reply& reply);
+
+const char* to_string(cfl::QueryStatus status);  // complete|partial|early
+const char* to_string(cfl::Solver::AliasAnswer answer);
+
+}  // namespace parcfl::service

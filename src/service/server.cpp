@@ -1,0 +1,163 @@
+#include "service/server.hpp"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#endif
+
+namespace parcfl::service {
+
+namespace {
+
+/// Handle one protocol line; returns false when the connection should close
+/// (quit verb). Appends the reply (with newline) to `reply_line`.
+bool handle_line(QueryService& service, const std::string& line,
+                 std::string& reply_line) {
+  Request request;
+  std::string error;
+  if (!parse_request(line, service.pag().node_count(), request, error)) {
+    service.note_protocol_error();
+    Reply r;
+    r.status = Reply::Status::kError;
+    r.text = std::move(error);
+    reply_line = format_reply(r) + "\n";
+    return true;
+  }
+  const bool keep_open = request.verb != Verb::kQuit;
+  reply_line = format_reply(service.call(std::move(request))) + "\n";
+  return keep_open;
+}
+
+}  // namespace
+
+std::uint64_t serve_stream(QueryService& service, std::istream& in,
+                           std::ostream& out) {
+  std::uint64_t handled = 0;
+  std::string line, reply;
+  while (std::getline(in, line)) {
+    ++handled;
+    const bool keep_open = handle_line(service, line, reply);
+    out << reply << std::flush;
+    if (!keep_open) break;
+  }
+  return handled;
+}
+
+#ifndef _WIN32
+
+TcpServer::TcpServer(QueryService& service, std::uint16_t port,
+                     std::string* error)
+    : service_(service) {
+  // A client closing mid-reply must not kill the server process.
+  ::signal(SIGPIPE, SIG_IGN);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    ::close(fd);
+    return;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  listen_fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpServer::~TcpServer() { shutdown(); }
+
+void TcpServer::serve() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int listen_fd = listen_fd_.load(std::memory_order_acquire);
+    if (listen_fd < 0) break;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by shutdown(), or fatal
+    }
+    std::lock_guard lock(threads_mu_);
+    connections_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+}
+
+void TcpServer::shutdown() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  std::vector<std::thread> connections;
+  {
+    std::lock_guard lock(threads_mu_);
+    connections.swap(connections_);
+  }
+  for (std::thread& t : connections) t.join();
+}
+
+void TcpServer::handle_connection(int fd) {
+  std::string buffer, reply;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    // A flood of bytes with no newline is not a protocol line; cut it off
+    // instead of buffering without bound.
+    if (buffer.size() > 2 * kMaxRequestLine &&
+        buffer.find('\n') == std::string::npos)
+      break;
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start);
+         open && nl != std::string::npos; nl = buffer.find('\n', start)) {
+      const std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      open = handle_line(service_, line, reply);
+      std::size_t sent = 0;
+      while (sent < reply.size()) {
+        const ssize_t w = ::send(fd, reply.data() + sent, reply.size() - sent, 0);
+        if (w <= 0) {
+          open = false;
+          break;
+        }
+        sent += static_cast<std::size_t>(w);
+      }
+    }
+    buffer.erase(0, start);
+  }
+  ::close(fd);
+}
+
+#else  // _WIN32
+
+TcpServer::TcpServer(QueryService& service, std::uint16_t, std::string* error)
+    : service_(service) {
+  if (error != nullptr) *error = "TCP server is POSIX-only";
+}
+TcpServer::~TcpServer() = default;
+void TcpServer::serve() {}
+void TcpServer::shutdown() {}
+void TcpServer::handle_connection(int) {}
+
+#endif
+
+}  // namespace parcfl::service

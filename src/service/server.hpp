@@ -1,0 +1,58 @@
+#pragma once
+// Wire transports for QueryService: a stream loop (stdin/stdout, unit tests,
+// pipes) and a minimal TCP server (one thread per connection; connections
+// are expected to be long-lived analysis clients, not web-scale fan-in).
+// Both speak the line protocol of service/protocol.hpp.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.hpp"
+
+namespace parcfl::service {
+
+/// Serve line requests from `in`, one reply line per request on `out`, until
+/// EOF or a `quit` verb. Malformed lines get `err ...` replies and never
+/// abort the loop. Returns the number of lines handled. Safe to call from
+/// multiple threads with distinct streams (the service itself is concurrent).
+std::uint64_t serve_stream(QueryService& service, std::istream& in,
+                           std::ostream& out);
+
+/// Blocking TCP front-end. Construction binds and listens (port 0 picks an
+/// ephemeral port — see port()); serve() accepts until shutdown() is called
+/// from another thread. POSIX-only; construction fails on other platforms.
+class TcpServer {
+ public:
+  TcpServer(QueryService& service, std::uint16_t port, std::string* error);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  bool ok() const { return listen_fd_ >= 0; }
+  std::uint16_t port() const { return port_; }
+
+  /// Accept loop; returns once shutdown() has been called (or on a fatal
+  /// accept error). Each connection is served on its own thread.
+  void serve();
+
+  /// Close the listener and join every connection thread. Idempotent.
+  void shutdown();
+
+ private:
+  void handle_connection(int fd);
+
+  QueryService& service_;
+  std::atomic<int> listen_fd_{-1};  // shutdown() races with serve()'s accept
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::mutex threads_mu_;
+  std::vector<std::thread> connections_;
+};
+
+}  // namespace parcfl::service

@@ -1,0 +1,202 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace parcfl::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Reply ready_reply(Reply::Status status, Verb verb, std::string text = {}) {
+  Reply r;
+  r.status = status;
+  r.verb = verb;
+  r.text = std::move(text);
+  return r;
+}
+
+/// May-alias from two points-to results (both object lists sorted): a shared
+/// object proves may; a definitive no needs both sets complete.
+cfl::Solver::AliasAnswer alias_answer(const Session::ItemResult& a,
+                                      const Session::ItemResult& b) {
+  std::vector<pag::NodeId> common;
+  std::set_intersection(a.objects.begin(), a.objects.end(), b.objects.begin(),
+                        b.objects.end(), std::back_inserter(common));
+  if (!common.empty()) return cfl::Solver::AliasAnswer::kMay;
+  if (a.status == cfl::QueryStatus::kComplete &&
+      b.status == cfl::QueryStatus::kComplete)
+    return cfl::Solver::AliasAnswer::kNo;
+  return cfl::Solver::AliasAnswer::kUnknown;
+}
+
+}  // namespace
+
+QueryService::QueryService(pag::Pag pag, const ServiceOptions& options)
+    : options_(options), session_(std::move(pag), options.session) {
+  collector_ = std::thread([this] { collector_main(); });
+}
+
+QueryService::~QueryService() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  collector_.join();
+}
+
+std::future<Reply> QueryService::submit(Request request) {
+  std::promise<Reply> promise;
+  std::future<Reply> future = promise.get_future();
+
+  switch (request.verb) {
+    case Verb::kStats: {
+      Reply r = ready_reply(Reply::Status::kOk, Verb::kStats, stats().to_json());
+      promise.set_value(std::move(r));
+      return future;
+    }
+    case Verb::kSave:
+    case Verb::kLoad: {
+      std::string error;
+      const bool saved = request.verb == Verb::kSave
+                             ? session_.save(request.path, &error)
+                             : session_.load(request.path, &error);
+      promise.set_value(saved ? ready_reply(Reply::Status::kOk, request.verb,
+                                            request.path)
+                              : ready_reply(Reply::Status::kError, request.verb,
+                                            std::move(error)));
+      return future;
+    }
+    case Verb::kPing:
+    case Verb::kQuit:
+      promise.set_value(ready_reply(Reply::Status::kOk, request.verb));
+      return future;
+    case Verb::kQuery:
+    case Verb::kAlias:
+      // The wire parser only bounds-checks ids; points_to is defined on
+      // variable nodes, so reject anything else here rather than tripping
+      // the solver's precondition check mid-batch.
+      if (!session_.pag().is_variable(request.a) ||
+          (request.verb == Verb::kAlias &&
+           !session_.pag().is_variable(request.b))) {
+        promise.set_value(ready_reply(Reply::Status::kError, request.verb,
+                                      "not a variable node"));
+        return future;
+      }
+      break;
+  }
+
+  const std::uint32_t units = units_of(request);
+  {
+    std::lock_guard lock(mu_);
+    if (stop_ || queued_units_ + units > options_.max_queue) {
+      // Shed at admission: an overloaded server answers cheaply and
+      // immediately rather than queueing work it cannot serve in time.
+      recorder_.record_shed_overload();
+      promise.set_value(ready_reply(Reply::Status::kShedOverload, request.verb));
+      return future;
+    }
+    queued_units_ += units;
+    queue_.push_back(Pending{std::move(request), Clock::now(), std::move(promise)});
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void QueryService::collector_main() {
+  for (;;) {
+    std::vector<Pending> batch;
+    std::uint32_t batch_units = 0;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ && drained
+
+      // Micro-batch linger: from the first pending request, wait for the
+      // batch to fill — but never longer than max_linger past *its* arrival
+      // (late arrivals do not extend the window).
+      const auto window_end = queue_.front().enqueued + options_.max_linger;
+      cv_.wait_until(lock, window_end, [&] {
+        return stop_ || queued_units_ >= options_.max_batch;
+      });
+
+      while (!queue_.empty() && batch_units < options_.max_batch) {
+        batch_units += units_of(queue_.front().request);
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      queued_units_ -= batch_units;
+    }
+    execute_batch(std::move(batch));
+  }
+}
+
+void QueryService::execute_batch(std::vector<Pending> batch) {
+  // Deadline shedding happens at dispatch: a request that waited past its
+  // deadline is answered with `shed deadline` and costs no traversal.
+  const auto now = Clock::now();
+  std::vector<Pending> live;
+  live.reserve(batch.size());
+  for (Pending& p : batch) {
+    const auto deadline_ms = p.request.deadline_ms;
+    if (deadline_ms != 0 &&
+        now - p.enqueued > std::chrono::milliseconds(deadline_ms)) {
+      recorder_.record_shed_deadline();
+      p.promise.set_value(ready_reply(Reply::Status::kShedDeadline, p.request.verb));
+      continue;
+    }
+    live.push_back(std::move(p));
+  }
+  if (live.empty()) return;
+
+  std::vector<Session::Item> items;
+  items.reserve(live.size() + 4);
+  for (const Pending& p : live) {
+    items.push_back(Session::Item{p.request.a, p.request.budget});
+    if (p.request.verb == Verb::kAlias)
+      items.push_back(Session::Item{p.request.b, p.request.budget});
+  }
+  recorder_.record_batch(items.size());
+
+  Session::BatchResult result = session_.run_batch(items);
+
+  const auto done = Clock::now();
+  std::size_t next_item = 0;
+  for (Pending& p : live) {
+    Reply r;
+    r.status = Reply::Status::kOk;
+    r.verb = p.request.verb;
+    const double latency_ms =
+        std::chrono::duration<double, std::milli>(done - p.enqueued).count();
+    if (p.request.verb == Verb::kQuery) {
+      Session::ItemResult& item = result.items[next_item++];
+      r.query_status = item.status;
+      r.charged_steps = item.charged_steps;
+      r.objects = std::move(item.objects);
+      recorder_.record_request(latency_ms, /*alias=*/false);
+    } else {
+      const Session::ItemResult& a = result.items[next_item++];
+      const Session::ItemResult& b = result.items[next_item++];
+      r.alias = alias_answer(a, b);
+      r.charged_steps = a.charged_steps + b.charged_steps;
+      // The weaker of the two statuses, for observability.
+      r.query_status = a.status == cfl::QueryStatus::kComplete ? b.status : a.status;
+      recorder_.record_request(latency_ms, /*alias=*/true);
+    }
+    p.promise.set_value(std::move(r));
+  }
+}
+
+ServiceStats QueryService::stats() const {
+  ServiceStats out;
+  recorder_.snapshot(out);
+  out.engine = session_.lifetime_totals();
+  out.jmp_entries = session_.store().entry_count();
+  out.jmp_store_bytes = session_.store().memory_bytes();
+  out.context_count = session_.context_count();
+  return out;
+}
+
+}  // namespace parcfl::service

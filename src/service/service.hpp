@@ -1,0 +1,97 @@
+#pragma once
+// QueryService — the demand-driven analysis server. Concurrent clients
+// submit() points-to/alias requests; a collector thread micro-batches them
+// (up to max_batch query units, waiting at most max_linger for the batch to
+// fill) and hands each batch to the warm Session, so a late arrival rides
+// the jmp shortcuts minted by the requests batched just before it — the
+// paper's §III-B data sharing, amortised across an unbounded query stream
+// instead of one batch run.
+//
+// Admission control and robustness live at the request level:
+//  * queue-depth backpressure — a full queue sheds new work immediately
+//    (Reply::Status::kShedOverload) instead of growing latency unboundedly;
+//  * deadlines — a request still queued past its deadline is shed, not run;
+//  * per-request step budgets — a client may cap one query's work below the
+//    server default (admission for expensive speculative queries).
+//
+// stats/save/load/ping are control-plane verbs answered inline (save/load
+// are lock-free against the data plane; see Session).
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "service/session.hpp"
+#include "service/stats.hpp"
+
+namespace parcfl::service {
+
+struct ServiceOptions {
+  Session::Options session;
+  /// Micro-batcher: dispatch when the pending batch reaches `max_batch`
+  /// query units (an alias request counts two) or the oldest pending request
+  /// has lingered `max_linger` — whichever comes first.
+  std::uint32_t max_batch = 64;
+  std::chrono::microseconds max_linger{500};
+  /// Admission: maximum queued query units before shed-on-overload.
+  std::uint32_t max_queue = 4096;
+};
+
+class QueryService {
+ public:
+  QueryService(pag::Pag pag, const ServiceOptions& options);
+  ~QueryService();  // drains queued requests, then stops the collector
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Submit one request. Control-plane verbs (stats/save/load/ping/quit) and
+  /// shed requests complete immediately; query/alias futures resolve when
+  /// their micro-batch has run.
+  std::future<Reply> submit(Request request);
+
+  /// submit() + wait — the convenience path for synchronous callers.
+  Reply call(Request request) { return submit(std::move(request)).get(); }
+
+  ServiceStats stats() const;
+  const pag::Pag& pag() const { return session_.pag(); }
+  Session& session() { return session_; }
+
+  /// Wire-layer hook: a malformed line never reaches submit() but still
+  /// counts toward observability.
+  void note_protocol_error() { recorder_.record_protocol_error(); }
+
+ private:
+  struct Pending {
+    Request request;
+    std::chrono::steady_clock::time_point enqueued;
+    std::promise<Reply> promise;
+  };
+
+  void collector_main();
+  void execute_batch(std::vector<Pending> batch);
+  static std::uint32_t units_of(const Request& request) {
+    return request.verb == Verb::kAlias ? 2 : 1;
+  }
+
+  ServiceOptions options_;
+  Session session_;
+  StatsRecorder recorder_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  std::uint32_t queued_units_ = 0;
+  bool stop_ = false;
+
+  std::thread collector_;
+};
+
+}  // namespace parcfl::service

@@ -1,0 +1,82 @@
+#include "service/session.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "cfl/persist.hpp"
+
+namespace parcfl::service {
+
+namespace {
+
+cfl::EngineOptions service_engine_options(cfl::EngineOptions engine) {
+  // Replies carry the object sets, whatever the caller configured.
+  engine.collect_objects = true;
+  return engine;
+}
+
+}  // namespace
+
+Session::Session(pag::Pag pag, Options options)
+    : pag_(std::move(pag)),
+      runner_(pag_, service_engine_options(options.engine), contexts_, store_) {
+  if (!options.state_path.empty()) {
+    std::ifstream in(options.state_path);
+    if (in) {
+      // A stale or torn state file must not keep the service from starting;
+      // it just starts cold (and will overwrite the file on the next save).
+      std::string error;
+      if (!cfl::load_sharing_state(in, pag_, contexts_, store_, &error))
+        std::fprintf(stderr, "parcfl-service: ignoring warm-start state %s: %s\n",
+                     options.state_path.c_str(), error.c_str());
+    }
+  }
+}
+
+Session::BatchResult Session::run_batch(std::span<const Item> items) {
+  std::vector<pag::NodeId> queries;
+  std::vector<std::uint64_t> budgets;
+  queries.reserve(items.size());
+  budgets.reserve(items.size());
+  bool any_budget = false;
+  for (const Item& item : items) {
+    queries.push_back(item.var);
+    budgets.push_back(item.budget);
+    any_budget |= item.budget != 0;
+  }
+
+  BatchResult result;
+  result.items.resize(items.size());
+  {
+    std::lock_guard lock(batch_mu_);
+    cfl::EngineResult er = runner_.run(
+        queries, any_budget ? std::span<const std::uint64_t>(budgets)
+                            : std::span<const std::uint64_t>());
+    // Route scheduled outcomes back to input positions.
+    for (std::size_t i = 0; i < er.outcomes.size(); ++i) {
+      ItemResult& item = result.items[er.source_index[i]];
+      item.status = er.outcomes[i].status;
+      item.charged_steps = er.outcomes[i].charged_steps;
+      item.objects = std::move(er.objects[i]);
+    }
+    result.delta = er.totals;
+    result.wall_seconds = er.wall_seconds;
+  }
+  return result;
+}
+
+support::QueryCounters Session::lifetime_totals() const {
+  std::lock_guard lock(batch_mu_);
+  return runner_.lifetime_totals();
+}
+
+bool Session::save(const std::string& path, std::string* error) {
+  return cfl::save_sharing_state_file(path, pag_, contexts_, store_, error);
+}
+
+bool Session::load(const std::string& path, std::string* error) {
+  return cfl::load_sharing_state_file(path, pag_, contexts_, store_, error);
+}
+
+}  // namespace parcfl::service

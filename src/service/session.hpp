@@ -1,0 +1,82 @@
+#pragma once
+// A Session is the resident half of the query service: it owns a loaded PAG
+// plus the persistent ContextTable/JmpStore and a warm cfl::BatchRunner.
+// Every micro-batch executed against it leaves jmp shortcuts behind, so a
+// query stream gets monotonically cheaper — the across-run reuse that
+// cfl/persist.hpp only offered as save/reload is kept *live* here.
+//
+// Concurrency contract:
+//  * run_batch() serialises batches on an internal lock (the engine
+//    parallelises *within* a batch across the configured worker threads).
+//  * save()/load() are lock-free against running batches: the jmp store
+//    snapshot is shard-consistent and context entries are immutable once
+//    published, so a `save` wire request never stalls query traffic.
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cfl/engine.hpp"
+#include "pag/pag.hpp"
+
+namespace parcfl::service {
+
+class Session {
+ public:
+  struct Options {
+    Options() { engine.mode = cfl::Mode::kDataSharingScheduling; }
+    cfl::EngineOptions engine;  // defaults to ParCFL_DQ; threads from caller
+    /// When non-empty, warm-start from this state file if it exists (a
+    /// missing file is not an error — the session just starts cold).
+    std::string state_path;
+  };
+
+  /// One query of a micro-batch.
+  struct Item {
+    pag::NodeId var;
+    std::uint64_t budget = 0;  // 0 = engine default
+  };
+
+  struct ItemResult {
+    cfl::QueryStatus status = cfl::QueryStatus::kComplete;
+    std::vector<pag::NodeId> objects;  // sorted, context-projected
+    std::uint64_t charged_steps = 0;
+  };
+
+  struct BatchResult {
+    std::vector<ItemResult> items;       // parallels the input span
+    support::QueryCounters delta;        // engine counters for this batch only
+    double wall_seconds = 0.0;
+  };
+
+  Session(pag::Pag pag, Options options);
+
+  /// Execute one micro-batch; item order is preserved in the result even
+  /// when the DQ scheduler reorders execution. Thread-safe (serialised).
+  BatchResult run_batch(std::span<const Item> items);
+
+  /// Crash-safe snapshot of the shared state (temp file + rename); safe
+  /// while batches run.
+  bool save(const std::string& path, std::string* error);
+  /// Merge a previously saved state file into the live session.
+  bool load(const std::string& path, std::string* error);
+
+  const pag::Pag& pag() const { return pag_; }
+  const cfl::JmpStore& store() const { return store_; }
+  std::uint64_t context_count() const { return contexts_.size(); }
+  /// Cumulative engine counters over every batch served. Serialised against
+  /// run_batch (workers write their counters unsynchronised mid-batch), so a
+  /// stats probe may wait out the batch in flight.
+  support::QueryCounters lifetime_totals() const;
+
+ private:
+  pag::Pag pag_;
+  cfl::ContextTable contexts_;
+  cfl::JmpStore store_;
+  cfl::BatchRunner runner_;
+  mutable std::mutex batch_mu_;
+};
+
+}  // namespace parcfl::service

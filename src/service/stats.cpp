@@ -1,0 +1,93 @@
+#include "service/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace parcfl::service {
+
+namespace {
+
+double percentile(std::vector<float>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(p * (sorted.size() - 1));
+  return sorted[rank];
+}
+
+}  // namespace
+
+void StatsRecorder::record_request(double latency_ms, bool alias) {
+  std::lock_guard lock(mu_);
+  if (alias)
+    ++counters_.alias_served;
+  else
+    ++counters_.queries_served;
+  if (latencies_ms_.size() < kWindow) {
+    latencies_ms_.push_back(static_cast<float>(latency_ms));
+  } else {
+    latencies_ms_[latency_pos_] = static_cast<float>(latency_ms);
+    latency_pos_ = (latency_pos_ + 1) % kWindow;
+  }
+  max_ms_ = std::max(max_ms_, latency_ms);
+}
+
+void StatsRecorder::record_batch(std::uint64_t query_units) {
+  std::lock_guard lock(mu_);
+  ++counters_.batches;
+  batch_units_sum_ += query_units;
+  counters_.max_batch_size = std::max(counters_.max_batch_size, query_units);
+}
+
+void StatsRecorder::bump(std::uint64_t ServiceStats::* field) {
+  std::lock_guard lock(mu_);
+  ++(counters_.*field);
+}
+
+void StatsRecorder::snapshot(ServiceStats& out) const {
+  std::vector<float> sorted;
+  {
+    std::lock_guard lock(mu_);
+    out.queries_served = counters_.queries_served;
+    out.alias_served = counters_.alias_served;
+    out.batches = counters_.batches;
+    out.max_batch_size = counters_.max_batch_size;
+    out.shed_overload = counters_.shed_overload;
+    out.shed_deadline = counters_.shed_deadline;
+    out.protocol_errors = counters_.protocol_errors;
+    out.mean_batch_size =
+        counters_.batches == 0 ? 0.0
+                               : static_cast<double>(batch_units_sum_) /
+                                     static_cast<double>(counters_.batches);
+    out.max_ms = max_ms_;
+    sorted = latencies_ms_;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  out.p50_ms = percentile(sorted, 0.50);
+  out.p95_ms = percentile(sorted, 0.95);
+  out.p99_ms = percentile(sorted, 0.99);
+}
+
+std::string ServiceStats::to_json() const {
+  std::ostringstream os;
+  os.precision(6);
+  os << "{\"queries_served\":" << queries_served
+     << ",\"alias_served\":" << alias_served << ",\"batches\":" << batches
+     << ",\"mean_batch_size\":" << mean_batch_size
+     << ",\"max_batch_size\":" << max_batch_size
+     << ",\"shed_overload\":" << shed_overload
+     << ",\"shed_deadline\":" << shed_deadline
+     << ",\"protocol_errors\":" << protocol_errors
+     << ",\"latency_ms\":{\"p50\":" << p50_ms << ",\"p95\":" << p95_ms
+     << ",\"p99\":" << p99_ms << ",\"max\":" << max_ms << "}"
+     << ",\"jmp\":{\"lookups\":" << engine.jmp_lookups
+     << ",\"taken\":" << engine.jmps_taken
+     << ",\"hit_ratio\":" << jmp_hit_ratio()
+     << ",\"entries\":" << jmp_entries << ",\"bytes\":" << jmp_store_bytes
+     << "}"
+     << ",\"steps\":{\"charged\":" << engine.charged_steps
+     << ",\"traversed\":" << engine.traversed_steps
+     << ",\"saved\":" << engine.saved_steps << "}"
+     << ",\"contexts\":" << context_count << "}";
+  return os.str();
+}
+
+}  // namespace parcfl::service

@@ -1,0 +1,77 @@
+#pragma once
+// Service-level observability: counters and latency percentiles for the
+// long-lived query server. Engine-level numbers (steps, jmp hit ratios) come
+// from the BatchRunner's cumulative QueryCounters; this module adds the
+// request-plane view — what a client experiences.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/stats.hpp"
+
+namespace parcfl::service {
+
+/// Point-in-time snapshot, rendered by `stats` wire requests and the load
+/// generator's BENCH_service.json.
+struct ServiceStats {
+  // Request plane.
+  std::uint64_t queries_served = 0;   // points-to requests answered
+  std::uint64_t alias_served = 0;     // alias requests answered
+  std::uint64_t batches = 0;          // micro-batches executed
+  double mean_batch_size = 0.0;       // query units per batch
+  std::uint64_t max_batch_size = 0;
+  std::uint64_t shed_overload = 0;    // rejected at admission (queue full)
+  std::uint64_t shed_deadline = 0;    // expired while queued
+  std::uint64_t protocol_errors = 0;  // malformed wire requests
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0, max_ms = 0.0;
+
+  // Analysis plane (cumulative over the session's lifetime).
+  support::QueryCounters engine;
+  std::uint64_t jmp_entries = 0;
+  std::uint64_t jmp_store_bytes = 0;
+  std::uint64_t context_count = 0;
+
+  /// jmps_taken / jmp_lookups — how often a ReachableNodes probe rode a
+  /// finished shortcut. The warm-vs-cold delta of this ratio is the service's
+  /// whole reason to exist.
+  double jmp_hit_ratio() const {
+    return engine.jmp_lookups == 0
+               ? 0.0
+               : static_cast<double>(engine.jmps_taken) /
+                     static_cast<double>(engine.jmp_lookups);
+  }
+
+  /// One-line JSON (the `stats` wire reply and BENCH_service.json rows).
+  std::string to_json() const;
+};
+
+/// Thread-safe recorder for the request-plane half of ServiceStats. Latencies
+/// keep the most recent kWindow samples (a sliding window, not a decaying
+/// sketch: micro-batch services care about current tail behaviour).
+class StatsRecorder {
+ public:
+  static constexpr std::size_t kWindow = 1u << 16;
+
+  void record_request(double latency_ms, bool alias);
+  void record_batch(std::uint64_t query_units);
+  void record_shed_overload() { bump(&ServiceStats::shed_overload); }
+  void record_shed_deadline() { bump(&ServiceStats::shed_deadline); }
+  void record_protocol_error() { bump(&ServiceStats::protocol_errors); }
+
+  /// Fill the request-plane fields of `out` (percentiles sorted on demand).
+  void snapshot(ServiceStats& out) const;
+
+ private:
+  void bump(std::uint64_t ServiceStats::* field);
+
+  mutable std::mutex mu_;
+  ServiceStats counters_;            // request-plane fields only
+  std::uint64_t batch_units_sum_ = 0;
+  std::vector<float> latencies_ms_;  // ring buffer of recent samples
+  std::size_t latency_pos_ = 0;
+  double max_ms_ = 0.0;
+};
+
+}  // namespace parcfl::service

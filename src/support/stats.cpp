@@ -48,6 +48,24 @@ void QueryCounters::merge(const QueryCounters& other) {
   fixpoint_iterations += other.fixpoint_iterations;
 }
 
+QueryCounters QueryCounters::since(const QueryCounters& earlier) const {
+  QueryCounters d;
+  d.queries = queries - earlier.queries;
+  d.out_of_budget = out_of_budget - earlier.out_of_budget;
+  d.early_terminations = early_terminations - earlier.early_terminations;
+  d.charged_steps = charged_steps - earlier.charged_steps;
+  d.traversed_steps = traversed_steps - earlier.traversed_steps;
+  d.saved_steps = saved_steps - earlier.saved_steps;
+  d.jmp_lookups = jmp_lookups - earlier.jmp_lookups;
+  d.jmps_taken = jmps_taken - earlier.jmps_taken;
+  d.jmps_added_finished = jmps_added_finished - earlier.jmps_added_finished;
+  d.jmps_added_unfinished = jmps_added_unfinished - earlier.jmps_added_unfinished;
+  d.jmps_suppressed = jmps_suppressed - earlier.jmps_suppressed;
+  d.points_to_tuples = points_to_tuples - earlier.points_to_tuples;
+  d.fixpoint_iterations = fixpoint_iterations - earlier.fixpoint_iterations;
+  return d;
+}
+
 std::string QueryCounters::to_string() const {
   std::ostringstream os;
   os << "queries=" << queries << " oob=" << out_of_budget

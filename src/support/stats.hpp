@@ -50,6 +50,12 @@ struct QueryCounters {
   std::uint64_t fixpoint_iterations = 0; // top-level re-runs for cycle closure
 
   void merge(const QueryCounters& other);
+
+  /// Fieldwise difference (this - earlier). Workers that live across batches
+  /// (cfl::BatchRunner) accumulate forever; per-batch results subtract the
+  /// batch-entry snapshot.
+  QueryCounters since(const QueryCounters& earlier) const;
+
   std::string to_string() const;
 };
 

@@ -39,19 +39,30 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::run_for(std::uint64_t unit_count, ChunkFn invoke, void* ctx) {
+void ThreadPool::run_for(std::uint64_t unit_count, ChunkFn invoke, void* ctx,
+                         unsigned max_workers) {
   if (unit_count == 0) return;
   ForJob job;
   job.count = unit_count;
   job.invoke = invoke;
   job.ctx = ctx;
+  job.max_users = max_workers == 0
+                      ? thread_count()
+                      : std::max(1u, std::min(max_workers, thread_count()));
   {
     std::lock_guard lock(mu_);
     PARCFL_CHECK_MSG(for_job_ == nullptr, "nested parallel_for is not supported");
     for_job_ = &job;
     ++for_generation_;
   }
-  cv_.notify_all();
+  if (job.max_users >= thread_count()) {
+    cv_.notify_all();
+  } else {
+    // Wake only as many workers as may join. A woken worker that grabs a
+    // pending submitted task instead still re-checks for the job afterwards,
+    // so under-notification cannot strand the job.
+    for (std::uint32_t i = 0; i < job.max_users; ++i) cv_.notify_one();
+  }
   {
     // Wait until every unit ran AND no worker still holds a reference to the
     // stack-allocated job (a worker may observe cursor exhaustion after the
@@ -97,7 +108,12 @@ void ThreadPool::worker_main(unsigned id) {
       } else {
         job = for_job_;
         seen_generation = for_generation_;
-        job->users.fetch_add(1, std::memory_order_acq_rel);
+        if (job->joined.fetch_add(1, std::memory_order_acq_rel) >=
+            job->max_users) {
+          job = nullptr;  // admission cap reached; sit this job out
+        } else {
+          job->users.fetch_add(1, std::memory_order_acq_rel);
+        }
       }
     }
 
@@ -107,6 +123,7 @@ void ThreadPool::worker_main(unsigned id) {
       if (--pending_tasks_ == 0) done_cv_.notify_all();
       continue;
     }
+    if (job == nullptr) continue;
 
     // Claim-and-run loop for the active parallel_for. Workers race on an
     // atomic cursor, claiming an adaptively sized chunk per fetch_add;

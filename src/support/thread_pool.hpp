@@ -40,8 +40,14 @@ class ThreadPool {
   /// dynamically load-balanced. Blocks until all units complete. worker_id is
   /// in [0, thread_count()). The calling thread never runs units itself: all
   /// work runs on pool workers, so per-worker step accounting stays exact.
+  ///
+  /// `max_workers` caps how many pool workers may join this job (0 = all).
+  /// A long-lived pool sized for peak batches would otherwise wake every
+  /// worker for each micro-batch only to have most claim nothing; capping at
+  /// the unit count keeps the wakeup cost proportional to the batch.
   template <class Body>
-  void parallel_for(std::uint64_t unit_count, Body&& body) {
+  void parallel_for(std::uint64_t unit_count, Body&& body,
+                    unsigned max_workers = 0) {
     using Fn = std::remove_reference_t<Body>;
     run_for(unit_count,
             [](void* ctx, unsigned worker, std::uint64_t begin,
@@ -49,7 +55,8 @@ class ThreadPool {
               Fn& fn = *static_cast<Fn*>(ctx);
               for (std::uint64_t i = begin; i < end; ++i) fn(worker, i);
             },
-            const_cast<void*>(static_cast<const void*>(std::addressof(body))));
+            const_cast<void*>(static_cast<const void*>(std::addressof(body))),
+            max_workers);
   }
 
   /// Enqueue a one-off task (test utility).
@@ -63,7 +70,8 @@ class ThreadPool {
   using ChunkFn = void (*)(void* ctx, unsigned worker, std::uint64_t begin,
                            std::uint64_t end);
 
-  void run_for(std::uint64_t unit_count, ChunkFn invoke, void* ctx);
+  void run_for(std::uint64_t unit_count, ChunkFn invoke, void* ctx,
+               unsigned max_workers);
   void worker_main(unsigned id);
 
   struct ForJob {
@@ -72,7 +80,9 @@ class ThreadPool {
     ChunkFn invoke = nullptr;
     void* ctx = nullptr;
     std::atomic<std::uint64_t> done{0};
-    std::atomic<std::uint32_t> users{0};  // workers currently holding this job
+    std::atomic<std::uint32_t> users{0};   // workers currently holding this job
+    std::atomic<std::uint32_t> joined{0};  // workers ever admitted to this job
+    std::uint32_t max_users = 0;           // admission cap (always >= 1)
   };
 
   std::mutex mu_;

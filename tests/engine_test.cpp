@@ -121,6 +121,35 @@ TEST(Engine, DataSharingSavesSteps) {
   EXPECT_LT(d.totals.traversed_steps, seq.totals.traversed_steps);
 }
 
+TEST(BatchRunner, SecondBatchAgainstWarmStoreTraversesStrictlyFewerSteps) {
+  const auto w = container_workload();
+  const EngineOptions o = options_for(Mode::kDataSharing, 4);
+  ContextTable contexts;
+  JmpStore store;
+  BatchRunner runner(w.pag, o, contexts, store);
+
+  const auto first = runner.run(w.queries);
+  const auto second = runner.run(w.queries);
+
+  // Counters are per-batch deltas; both batches did answer every query.
+  EXPECT_EQ(first.totals.queries, w.queries.size());
+  EXPECT_EQ(second.totals.queries, w.queries.size());
+
+  // The second batch rides the jmp shortcuts the first one published into
+  // the shared store, so it must do strictly less real work.
+  EXPECT_GT(first.totals.traversed_steps, 0u);
+  EXPECT_LT(second.totals.traversed_steps, first.totals.traversed_steps);
+  EXPECT_GT(second.totals.jmps_taken, 0u);
+
+  // Same store, same answers.
+  EXPECT_EQ(outcome_map(second), outcome_map(first));
+
+  // Lifetime totals accumulate across both batches.
+  const auto lifetime = runner.lifetime_totals();
+  EXPECT_EQ(lifetime.traversed_steps,
+            first.totals.traversed_steps + second.totals.traversed_steps);
+}
+
 TEST(Engine, SchedulingReportsGroupStats) {
   const auto w = container_workload();
   const auto dq =

@@ -1,10 +1,19 @@
 // PAG text-format fuzzing: random graphs round-trip bit-exactly; mutated
 // inputs never crash the parser (they parse or fail with a message).
+// Also fuzzes the service wire protocol: mutated and truncated request lines
+// must yield error replies, never crashes or wrong-typed requests.
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <iterator>
+#include <sstream>
+
 #include "pag/pag_io.hpp"
 #include "pag/validate.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/service.hpp"
 #include "support/rng.hpp"
 #include "test_util.hpp"
 
@@ -82,6 +91,133 @@ TEST_P(IoFuzzTest, MutatedInputNeverCrashes) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IoFuzzTest, ::testing::Range<std::uint64_t>(1, 21));
+
+// ---- service wire protocol --------------------------------------------------
+
+class ServiceFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// Valid request lines to mutate (node bound passed to the parser is 50).
+const char* const kSeedLines[] = {
+    "query 17",
+    "query v17 budget 5 deadline 9",
+    "alias 3 44 budget 100",
+    "stats",
+    "save /tmp/state.bin",
+    "load /tmp/state.bin",
+    "ping",
+    "quit",
+};
+
+TEST_P(ServiceFuzzTest, MutatedRequestLinesParseOrFailWithMessage) {
+  support::Rng rng(GetParam() * 1299709 + 7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string line = kSeedLines[rng.below(std::size(kSeedLines))];
+    const std::size_t edits = 1 + rng.below(4);
+    for (std::size_t e = 0; e < edits; ++e) {
+      if (line.empty()) break;
+      const std::size_t pos = rng.below(line.size());
+      switch (rng.below(4)) {
+        case 0:  // flip a character
+          line[pos] = static_cast<char>(' ' + rng.below(95));
+          break;
+        case 1:  // truncate
+          line.resize(pos);
+          break;
+        case 2:  // delete a span
+          line.erase(pos, 1 + rng.below(5));
+          break;
+        case 3:  // duplicate a span
+          line.insert(pos, line.substr(pos, 1 + rng.below(5)));
+          break;
+      }
+    }
+    service::Request request;
+    std::string error;
+    const bool ok = service::parse_request(line, /*node_count=*/50, request,
+                                           error);
+    if (ok) {
+      // A parse must yield a well-typed request: node ids in bounds.
+      if (request.verb == service::Verb::kQuery ||
+          request.verb == service::Verb::kAlias)
+        EXPECT_LT(request.a.value(), 50u) << line;
+      if (request.verb == service::Verb::kAlias)
+        EXPECT_LT(request.b.value(), 50u) << line;
+    } else {
+      EXPECT_FALSE(error.empty()) << line;
+    }
+  }
+}
+
+TEST_P(ServiceFuzzTest, GarbageStreamsGetErrorRepliesNeverCrashes) {
+  test::RandomPagConfig cfg;
+  cfg.seed = GetParam();
+  const auto pag = test::random_layered_pag(cfg);
+  const std::uint32_t nodes = pag.node_count();
+
+  service::ServiceOptions options;
+  options.session.engine.mode = cfl::Mode::kDataSharing;
+  options.session.engine.threads = 2;
+  options.max_linger = std::chrono::microseconds(50);
+  service::QueryService svc(pag, options);
+
+  support::Rng rng(GetParam() * 6700417 + 3);
+  std::ostringstream request_text;
+  int expected = 0;
+  for (int i = 0; i < 60; ++i) {
+    ++expected;
+    switch (rng.below(6)) {
+      case 0:  // bad node id (out of range, or not a number)
+        request_text << "query " << (nodes + rng.below(1000)) << "\n";
+        break;
+      case 1:  // garbage verb
+        request_text << "frobnicate " << rng.below(100) << "\n";
+        break;
+      case 2: {  // binary noise
+        std::string noise;
+        for (std::size_t k = 0; k < 1 + rng.below(40); ++k)
+          noise += static_cast<char>(1 + rng.below(254));
+        for (char& c : noise)
+          if (c == '\n') c = ' ';
+        request_text << noise << "\n";
+        break;
+      }
+      case 3:  // oversized line (rejected before tokenisation)
+        request_text << std::string(service::kMaxRequestLine + 1, 'a') << "\n";
+        break;
+      case 4:  // valid query, to keep the session actually analysing
+        request_text << "query " << rng.below(nodes) << "\n";
+        break;
+      case 5:  // valid-looking but truncated option pair
+        request_text << "query " << rng.below(nodes) << " budget\n";
+        break;
+    }
+  }
+  std::istringstream in(request_text.str());
+  std::ostringstream out;
+  const std::uint64_t handled = service::serve_stream(svc, in, out);
+  EXPECT_EQ(handled, static_cast<std::uint64_t>(expected));
+
+  // One reply line per request, each either ok/shed or a non-empty error.
+  std::istringstream replies(out.str());
+  std::uint64_t reply_count = 0;
+  for (std::string line; std::getline(replies, line); ++reply_count) {
+    const bool ok = line.rfind("ok", 0) == 0 || line.rfind("shed", 0) == 0;
+    const bool err = line.rfind("err ", 0) == 0 && line.size() > 4;
+    EXPECT_TRUE(ok || err) << line;
+  }
+  EXPECT_EQ(reply_count, handled);
+
+  // The session stayed sane: a normal query still answers after the abuse.
+  const auto vars = test::all_variables(pag);
+  ASSERT_FALSE(vars.empty());
+  service::Request probe;
+  probe.verb = service::Verb::kQuery;
+  probe.a = vars[0];
+  EXPECT_EQ(svc.call(probe).status, service::Reply::Status::kOk);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServiceFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
 
 }  // namespace
 }  // namespace parcfl::pag

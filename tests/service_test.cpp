@@ -1,0 +1,532 @@
+// Service tests: the long-lived query server built on the warm BatchRunner.
+//
+//  * protocol — total parsing (any line → Request or error) and reply
+//    formatting;
+//  * Session — warm-state reuse (the ISSUE acceptance bar: a repeated batch
+//    traverses >= 2x fewer steps than the cold run), request-order routing
+//    through the DQ scheduler, per-item budgets;
+//  * QueryService — micro-batch coalescing, admission control (overload and
+//    deadline sheds), multi-client concurrency (the tsan target), save/load
+//    warm start;
+//  * wire — serve_stream over string streams and a loopback TCP smoke test.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cfl/engine.hpp"
+#include "frontend/lower.hpp"
+#include "pag/collapse.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/service.hpp"
+#include "service/session.hpp"
+#include "synth/generator.hpp"
+#include "test_util.hpp"
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace parcfl::service {
+namespace {
+
+using pag::NodeId;
+
+struct Workload {
+  pag::Pag pag;
+  std::vector<NodeId> queries;
+};
+
+Workload container_workload(std::uint64_t seed = 21) {
+  synth::GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.app_methods = 12;
+  cfg.library_methods = 12;
+  cfg.containers = 3;
+  cfg.container_use_blocks = 10;
+  const auto lowered = frontend::lower(synth::generate(cfg));
+  auto collapsed = pag::collapse_assign_cycles(lowered.pag);
+  std::vector<NodeId> queries;
+  for (const NodeId q : lowered.queries)
+    queries.push_back(collapsed.representative[q.value()]);
+  std::sort(queries.begin(), queries.end());
+  queries.erase(std::unique(queries.begin(), queries.end()), queries.end());
+  return Workload{std::move(collapsed.pag), std::move(queries)};
+}
+
+cfl::EngineOptions engine_options(cfl::Mode mode, unsigned threads) {
+  cfl::EngineOptions o;
+  o.mode = mode;
+  o.threads = threads;
+  o.solver.budget = 200'000;
+  // Miniature workloads: scale the taus down so sharing has something to do
+  // (the paper's τF=100/τU=10000 are tuned for full-size benchmarks).
+  o.solver.tau_finished = 10;
+  o.solver.tau_unfinished = 100;
+  return o;
+}
+
+Session::Options session_options(unsigned threads) {
+  Session::Options o;
+  o.engine = engine_options(cfl::Mode::kDataSharingScheduling, threads);
+  return o;
+}
+
+/// var -> sorted points-to set from an independent sequential engine run.
+std::map<std::uint32_t, std::vector<NodeId>> sequential_baseline(
+    const Workload& w) {
+  cfl::EngineOptions o = engine_options(cfl::Mode::kSequential, 1);
+  o.collect_objects = true;
+  const auto r = cfl::Engine(w.pag, o).run(w.queries);
+  std::map<std::uint32_t, std::vector<NodeId>> m;
+  for (std::size_t i = 0; i < r.outcomes.size(); ++i)
+    m[r.outcomes[i].var.value()] = r.objects[i];
+  return m;
+}
+
+// ---- protocol ---------------------------------------------------------------
+
+TEST(Protocol, ParsesQueryForms) {
+  Request r;
+  std::string error;
+  ASSERT_TRUE(parse_request("query 17", 100, r, error)) << error;
+  EXPECT_EQ(r.verb, Verb::kQuery);
+  EXPECT_EQ(r.a.value(), 17u);
+  EXPECT_EQ(r.budget, 0u);
+
+  ASSERT_TRUE(parse_request("query v17 budget 5 deadline 9", 100, r, error));
+  EXPECT_EQ(r.a.value(), 17u);
+  EXPECT_EQ(r.budget, 5u);
+  EXPECT_EQ(r.deadline_ms, 9u);
+
+  ASSERT_TRUE(parse_request("alias v3 v4\r", 100, r, error));
+  EXPECT_EQ(r.verb, Verb::kAlias);
+  EXPECT_EQ(r.a.value(), 3u);
+  EXPECT_EQ(r.b.value(), 4u);
+
+  ASSERT_TRUE(parse_request("save /tmp/x.state", 100, r, error));
+  EXPECT_EQ(r.verb, Verb::kSave);
+  EXPECT_EQ(r.path, "/tmp/x.state");
+
+  for (const char* line : {"stats", "ping", "quit"})
+    EXPECT_TRUE(parse_request(line, 100, r, error)) << line;
+}
+
+TEST(Protocol, RejectsMalformedLines) {
+  Request r;
+  std::string error;
+  const char* bad[] = {
+      "",                          // empty
+      "query",                     // missing node
+      "query x",                   // non-numeric
+      "query -1",                  // not a node id
+      "query 100",                 // out of range (node_count = 100)
+      "query 3 budget",            // dangling option
+      "query 3 frobnicate 7",      // unknown option
+      "alias 1",                   // missing second node
+      "alias 1 2 3",               // trailing junk
+      "save",                      // missing path
+      "frobnicate 12",             // unknown verb
+      "ping extra",                // arity
+  };
+  for (const char* line : bad) {
+    error.clear();
+    EXPECT_FALSE(parse_request(line, 100, r, error)) << "accepted: " << line;
+    EXPECT_FALSE(error.empty()) << line;
+  }
+  // Oversized lines are rejected before tokenisation.
+  std::string huge(kMaxRequestLine + 1, 'q');
+  EXPECT_FALSE(parse_request(huge, 100, r, error));
+}
+
+TEST(Protocol, FormatsReplies) {
+  Reply q;
+  q.verb = Verb::kQuery;
+  q.query_status = cfl::QueryStatus::kComplete;
+  q.charged_steps = 7;
+  q.objects = {NodeId(4), NodeId(9)};
+  EXPECT_EQ(format_reply(q), "ok complete 7 2 4 9");
+
+  Reply a;
+  a.verb = Verb::kAlias;
+  a.alias = cfl::Solver::AliasAnswer::kNo;
+  a.charged_steps = 12;
+  EXPECT_EQ(format_reply(a), "ok no 12");
+
+  Reply shed;
+  shed.status = Reply::Status::kShedOverload;
+  EXPECT_EQ(format_reply(shed), "shed overload");
+  shed.status = Reply::Status::kShedDeadline;
+  EXPECT_EQ(format_reply(shed), "shed deadline");
+
+  Reply err;
+  err.status = Reply::Status::kError;
+  err.text = "bad node";
+  EXPECT_EQ(format_reply(err), "err bad node");
+}
+
+// ---- Session ---------------------------------------------------------------
+
+TEST(Session, WarmRepeatBatchTraversesAtLeastTwiceFewerSteps) {
+  const auto w = container_workload();
+  Session session(w.pag, session_options(4));
+
+  std::vector<Session::Item> items;
+  for (const NodeId q : w.queries) items.push_back({q, 0});
+
+  const auto cold = session.run_batch(items);
+  const auto warm = session.run_batch(items);
+
+  ASSERT_GT(cold.delta.traversed_steps, 0u);
+  // The ISSUE acceptance bar: the repeated batch rides the jmp shortcuts the
+  // cold run minted.
+  EXPECT_GE(cold.delta.traversed_steps, 2 * warm.delta.traversed_steps)
+      << "cold=" << cold.delta.traversed_steps
+      << " warm=" << warm.delta.traversed_steps;
+
+  // Warm answers are the same answers.
+  ASSERT_EQ(cold.items.size(), warm.items.size());
+  for (std::size_t i = 0; i < cold.items.size(); ++i)
+    EXPECT_EQ(cold.items[i].objects, warm.items[i].objects) << i;
+}
+
+TEST(Session, ResultsFollowRequestOrderDespiteScheduling) {
+  const auto w = container_workload();
+  const auto baseline = sequential_baseline(w);
+  Session session(w.pag, session_options(4));
+
+  // Submit in reverse order so any identity assumption about the DQ
+  // schedule's permutation shows up as a mismatch.
+  std::vector<Session::Item> items;
+  for (auto it = w.queries.rbegin(); it != w.queries.rend(); ++it)
+    items.push_back({*it, 0});
+  const auto batch = session.run_batch(items);
+
+  ASSERT_EQ(batch.items.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    ASSERT_EQ(batch.items[i].status, cfl::QueryStatus::kComplete) << i;
+    EXPECT_EQ(batch.items[i].objects, baseline.at(items[i].var.value())) << i;
+  }
+}
+
+TEST(Session, PerItemBudgetCapsWork) {
+  const auto w = container_workload();
+
+  // Find the most expensive query from a fresh (cold) probe session.
+  Session probe(w.pag, session_options(1));
+  std::vector<Session::Item> all;
+  for (const NodeId q : w.queries) all.push_back({q, 0});
+  const auto full = probe.run_batch(all);
+  std::size_t costly = 0;
+  for (std::size_t i = 0; i < full.items.size(); ++i)
+    if (full.items[i].charged_steps > full.items[costly].charged_steps)
+      costly = i;
+  ASSERT_GT(full.items[costly].charged_steps, 10u)
+      << "workload too trivial to test budgets";
+
+  // A fresh session must cut that query short under a tiny budget...
+  Session session(w.pag, session_options(1));
+  std::vector<Session::Item> capped{{all[costly].var, 2}};
+  const auto r = session.run_batch(capped);
+  ASSERT_EQ(r.items.size(), 1u);
+  EXPECT_NE(r.items[0].status, cfl::QueryStatus::kComplete);
+  EXPECT_LT(r.items[0].charged_steps, full.items[costly].charged_steps);
+
+  // ...and a later uncapped run in the same session still completes with the
+  // full answer (the budget override does not stick).
+  std::vector<Session::Item> uncapped{{all[costly].var, 0}};
+  const auto r2 = session.run_batch(uncapped);
+  EXPECT_EQ(r2.items[0].status, cfl::QueryStatus::kComplete);
+  EXPECT_EQ(r2.items[0].objects, full.items[costly].objects);
+}
+
+// ---- QueryService ----------------------------------------------------------
+
+ServiceOptions service_options(unsigned threads) {
+  ServiceOptions o;
+  o.session = session_options(threads);
+  return o;
+}
+
+Request query_request(NodeId var, std::uint64_t budget = 0,
+                      std::uint64_t deadline_ms = 0) {
+  Request r;
+  r.verb = Verb::kQuery;
+  r.a = var;
+  r.budget = budget;
+  r.deadline_ms = deadline_ms;
+  return r;
+}
+
+TEST(QueryService, MicroBatchCoalescesConcurrentArrivals) {
+  const auto w = container_workload();
+  ServiceOptions o = service_options(2);
+  o.max_batch = 16;
+  o.max_linger = std::chrono::milliseconds(200);
+  QueryService svc(w.pag, o);
+
+  // Fire-and-forget eight requests, then collect: all land well inside the
+  // linger window, so the collector sees them as one batch.
+  std::vector<std::future<Reply>> futures;
+  for (std::size_t i = 0; i < 8; ++i)
+    futures.push_back(svc.submit(query_request(w.queries[i % w.queries.size()])));
+  for (auto& f : futures)
+    EXPECT_EQ(f.get().status, Reply::Status::kOk);
+
+  const auto s = svc.stats();
+  EXPECT_EQ(s.queries_served, 8u);
+  EXPECT_EQ(s.batches, 1u);
+  EXPECT_EQ(s.max_batch_size, 8u);
+}
+
+TEST(QueryService, FullBatchDispatchesBeforeLingerExpires) {
+  const auto w = container_workload();
+  ServiceOptions o = service_options(2);
+  o.max_batch = 4;
+  o.max_linger = std::chrono::seconds(30);  // only batch-full can dispatch
+  QueryService svc(w.pag, o);
+
+  std::vector<std::future<Reply>> futures;
+  for (std::size_t i = 0; i < 4; ++i)
+    futures.push_back(svc.submit(query_request(w.queries[i])));
+  for (auto& f : futures)  // would hang ~30s if the size trigger were broken
+    EXPECT_EQ(f.get().status, Reply::Status::kOk);
+  EXPECT_EQ(svc.stats().batches, 1u);
+}
+
+TEST(QueryService, OverloadShedsInsteadOfQueueingUnboundedly) {
+  const auto w = container_workload();
+  ServiceOptions o = service_options(1);
+  o.max_batch = 64;
+  o.max_linger = std::chrono::milliseconds(100);
+  o.max_queue = 2;
+  QueryService svc(w.pag, o);
+
+  // All eight arrive while the collector is still lingering on the first:
+  // two fit the queue, the rest must shed.
+  std::vector<std::future<Reply>> futures;
+  for (std::size_t i = 0; i < 8; ++i)
+    futures.push_back(svc.submit(query_request(w.queries[i])));
+  std::uint64_t ok = 0, shed = 0;
+  for (auto& f : futures) {
+    const Reply r = f.get();
+    if (r.status == Reply::Status::kOk) ++ok;
+    if (r.status == Reply::Status::kShedOverload) ++shed;
+  }
+  EXPECT_EQ(ok + shed, 8u);
+  EXPECT_GE(shed, 1u);
+  EXPECT_LE(ok, 2u);
+  EXPECT_EQ(svc.stats().shed_overload, shed);
+}
+
+TEST(QueryService, ExpiredDeadlineShedsAtDispatch) {
+  const auto w = container_workload();
+  ServiceOptions o = service_options(1);
+  o.max_batch = 64;
+  o.max_linger = std::chrono::milliseconds(100);
+  QueryService svc(w.pag, o);
+
+  // The request lingers ~100ms before its batch dispatches — far past its
+  // 1ms deadline.
+  const Reply r = svc.call(query_request(w.queries[0], 0, /*deadline_ms=*/1));
+  EXPECT_EQ(r.status, Reply::Status::kShedDeadline);
+  EXPECT_EQ(svc.stats().shed_deadline, 1u);
+  EXPECT_EQ(svc.stats().queries_served, 0u);
+}
+
+TEST(QueryService, AliasAnswersMatchTheFig2Paper) {
+  const auto f = test::fig2();
+  QueryService svc(f.lowered.pag, service_options(2));
+
+  Request r;
+  r.verb = Verb::kAlias;
+  r.a = f.s1;
+  r.b = f.n1;  // both reach o16
+  Reply may = svc.call(r);
+  ASSERT_EQ(may.status, Reply::Status::kOk);
+  EXPECT_EQ(may.alias, cfl::Solver::AliasAnswer::kMay);
+
+  r.a = f.s1;
+  r.b = f.s2;  // context-sensitively disjoint: {o16} vs {o20}
+  Reply no = svc.call(r);
+  ASSERT_EQ(no.status, Reply::Status::kOk);
+  EXPECT_EQ(no.alias, cfl::Solver::AliasAnswer::kNo);
+
+  const auto s = svc.stats();
+  EXPECT_EQ(s.alias_served, 2u);
+  EXPECT_EQ(s.queries_served, 0u);
+}
+
+// The tsan acceptance test: many client threads hammer one session while the
+// collector micro-batches into the multi-threaded DQ engine.
+TEST(QueryService, MultiClientConcurrentSessionIsSafe) {
+  const auto w = container_workload();
+  const auto baseline = sequential_baseline(w);
+  ServiceOptions o = service_options(4);
+  o.max_batch = 8;
+  o.max_linger = std::chrono::microseconds(200);
+  QueryService svc(w.pag, o);
+
+  constexpr unsigned kClients = 8;
+  constexpr unsigned kPerClient = 40;
+  std::atomic<std::uint64_t> wrong{0};
+
+  auto client = [&](unsigned id) {
+    for (unsigned i = 0; i < kPerClient; ++i) {
+      const NodeId var = w.queries[(id * 13 + i * 7) % w.queries.size()];
+      if (i % 10 == 9) {
+        Request r;
+        r.verb = Verb::kStats;
+        if (svc.call(r).status != Reply::Status::kOk) ++wrong;
+      } else if (i % 10 == 4) {
+        Request r;
+        r.verb = Verb::kAlias;
+        r.a = var;
+        r.b = w.queries[(id * 13 + i * 7 + 1) % w.queries.size()];
+        const Reply reply = svc.call(r);
+        if (reply.status != Reply::Status::kOk ||
+            reply.alias == cfl::Solver::AliasAnswer::kUnknown)
+          ++wrong;
+      } else {
+        const Reply reply = svc.call(query_request(var));
+        if (reply.status != Reply::Status::kOk ||
+            reply.query_status != cfl::QueryStatus::kComplete ||
+            reply.objects != baseline.at(var.value()))
+          ++wrong;
+      }
+    }
+  };
+
+  std::vector<std::thread> clients;
+  for (unsigned c = 0; c < kClients; ++c) clients.emplace_back(client, c);
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(wrong.load(), 0u);
+  const auto s = svc.stats();
+  // Per client: 32 plain queries, 4 alias requests, 4 stats probes.
+  EXPECT_EQ(s.queries_served, static_cast<std::uint64_t>(kClients) * 32);
+  EXPECT_EQ(s.alias_served, static_cast<std::uint64_t>(kClients) * 4);
+  EXPECT_GT(s.batches, 0u);
+  EXPECT_EQ(s.shed_overload, 0u);
+}
+
+TEST(QueryService, SaveThenWarmStartTraversesFewerSteps) {
+  const auto w = container_workload();
+  const std::string path = testing::TempDir() + "parcfl_service_state.bin";
+
+  std::uint64_t cold_steps = 0;
+  {
+    QueryService cold(w.pag, service_options(2));
+    for (const NodeId q : w.queries)
+      ASSERT_EQ(cold.call(query_request(q)).status, Reply::Status::kOk);
+    cold_steps = cold.stats().engine.traversed_steps;
+
+    Request save;
+    save.verb = Verb::kSave;
+    save.path = path;
+    ASSERT_EQ(cold.call(save).status, Reply::Status::kOk);
+  }
+
+  ServiceOptions warm_options = service_options(2);
+  warm_options.session.state_path = path;
+  QueryService warm(w.pag, warm_options);
+  for (const NodeId q : w.queries)
+    ASSERT_EQ(warm.call(query_request(q)).status, Reply::Status::kOk);
+  const std::uint64_t warm_steps = warm.stats().engine.traversed_steps;
+
+  ASSERT_GT(cold_steps, 0u);
+  EXPECT_GE(cold_steps, 2 * warm_steps)
+      << "cold=" << cold_steps << " warm=" << warm_steps;
+  std::remove(path.c_str());
+}
+
+// ---- wire ------------------------------------------------------------------
+
+TEST(Wire, ServeStreamSpeaksTheProtocol) {
+  const auto w = container_workload();
+  QueryService svc(w.pag, service_options(2));
+
+  std::ostringstream request_text;
+  request_text << "ping\n"
+               << "query " << w.queries[0].value() << "\n"
+               << "frobnicate\n"
+               << "stats\n"
+               << "quit\n"
+               << "ping\n";  // never reached: quit closes the loop
+  std::istringstream in(request_text.str());
+  std::ostringstream out;
+  const std::uint64_t handled = serve_stream(svc, in, out);
+  EXPECT_EQ(handled, 5u);
+
+  std::vector<std::string> lines;
+  std::istringstream replies(out.str());
+  for (std::string line; std::getline(replies, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_EQ(lines[0], "ok pong");
+  EXPECT_EQ(lines[1].rfind("ok ", 0), 0u) << lines[1];
+  EXPECT_EQ(lines[2].rfind("err ", 0), 0u) << lines[2];
+  EXPECT_EQ(lines[3].rfind("ok {", 0), 0u) << lines[3];
+  EXPECT_EQ(lines[4], "ok bye");
+  EXPECT_EQ(svc.stats().protocol_errors, 1u);
+}
+
+#ifndef _WIN32
+TEST(Wire, TcpServerAnswersOverLoopback) {
+  const auto w = container_workload();
+  QueryService svc(w.pag, service_options(2));
+
+  std::string error;
+  TcpServer server(svc, /*port=*/0, &error);
+  ASSERT_TRUE(server.ok()) << error;
+  ASSERT_NE(server.port(), 0u);
+  std::thread acceptor([&] { server.serve(); });
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+
+  const std::string request =
+      "ping\nquery " + std::to_string(w.queries[0].value()) + "\nquit\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+
+  std::string received;
+  char chunk[4096];
+  while (std::count(received.begin(), received.end(), '\n') < 3) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    received.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  server.shutdown();
+  acceptor.join();
+
+  std::vector<std::string> lines;
+  std::istringstream replies(received);
+  for (std::string line; std::getline(replies, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u) << received;
+  EXPECT_EQ(lines[0], "ok pong");
+  EXPECT_EQ(lines[1].rfind("ok ", 0), 0u) << lines[1];
+  EXPECT_EQ(lines[2], "ok bye");
+}
+#endif  // _WIN32
+
+}  // namespace
+}  // namespace parcfl::service

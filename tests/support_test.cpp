@@ -278,6 +278,28 @@ TEST(ThreadPool, EmptyForReturnsImmediately) {
   pool.parallel_for(0, body);
 }
 
+TEST(ThreadPool, MaxWorkersCapsAdmissionButCoversAllUnits) {
+  ThreadPool pool(8);
+  for (const unsigned cap : {1u, 2u, 8u, 100u}) {
+    constexpr std::uint64_t kUnits = 4000;
+    std::vector<std::atomic<int>> hits(kUnits);
+    std::array<std::atomic<int>, 8> used{};
+    const std::function<void(unsigned, std::uint64_t)> body =
+        [&](unsigned worker, std::uint64_t i) {
+          hits[i].fetch_add(1);
+          used[worker].store(1);
+        };
+    pool.parallel_for(kUnits, body, cap);
+    for (std::uint64_t i = 0; i < kUnits; ++i)
+      EXPECT_EQ(hits[i].load(), 1) << "cap=" << cap;
+    unsigned distinct = 0;
+    for (auto& u : used) distinct += static_cast<unsigned>(u.load());
+    // A cap above thread_count clamps to the pool size; fewer may show up
+    // (a busy worker can miss a short job entirely), never more.
+    EXPECT_LE(distinct, std::min(cap, 8u)) << "cap=" << cap;
+  }
+}
+
 TEST(ThreadPool, SubmitAndWaitIdle) {
   ThreadPool pool(2);
   std::atomic<int> done{0};
