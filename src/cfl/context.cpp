@@ -38,6 +38,11 @@ CtxId ContextTable::push(CtxId c, pag::CallSiteId site) {
       // entry before the id escapes the shard lock.
       const auto fresh =
           static_cast<std::uint32_t>(next_id_.fetch_add(1, std::memory_order_acq_rel));
+      // Hard limit, not a DCHECK: JmpStore::key packs ctx ids into 31 bits; a
+      // release build minting ids past this bound would silently alias jmp
+      // keys (unsound sharing). Fail loudly at interning instead.
+      PARCFL_CHECK_MSG(fresh < (1u << 31),
+                       "context id exceeds the 2^31 jmp-key id space");
       Entry* e = slot_for(fresh);
       e->parent = c;
       e->site = site;

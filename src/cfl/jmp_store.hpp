@@ -54,7 +54,10 @@ class JmpStore {
     std::uint32_t unfinished_s = 0;               // 0 = absent
   };
 
-  /// Key for configuration (x, c) in a traversal direction.
+  /// Key for configuration (x, c) in a traversal direction. The 31-bit id
+  /// bounds are enforced with hard checks where ids are minted
+  /// (Pag::Builder::finalize, ContextTable::push), so the DCHECK here cannot
+  /// be reached with aliasing ids in any build mode.
   static std::uint64_t key(Direction dir, pag::NodeId x, CtxId c) {
     PARCFL_DCHECK(x.value() < (1u << 31) && c.value() < (1u << 31));
     return (static_cast<std::uint64_t>(x.value()) << 33) |
@@ -107,6 +110,36 @@ class JmpStore {
   /// Approximate bytes held by jmp records (for the §IV-D5 memory study).
   std::uint64_t memory_bytes() const {
     return bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Selective invalidation support (cfl/invalidate.hpp): drop every entry
+  /// for which pred(key) returns true, releasing its bytes. Returns the
+  /// number of entries dropped. Shard-atomic like ShardedMap::retain; safe
+  /// against concurrent lookups, but the caller must ensure no solver is
+  /// mid-query against the graph the evicted entries were computed on.
+  template <class Pred>
+  std::uint64_t erase_if(Pred&& pred) {
+    std::uint64_t freed = 0;       // mirrors bytes_ accounting
+    std::uint64_t freed_recs = 0;  // mirrors MemTally (finished records only)
+    const std::size_t erased = map_.retain([&](std::uint64_t key, const Entry& e) {
+      if (!pred(key)) return true;
+      if (e.finished != nullptr) {
+        const std::uint64_t rec_bytes =
+            sizeof(FinishedJmp) +
+            e.finished->targets.capacity() * sizeof(JmpTarget);
+        freed += rec_bytes + sizeof(Entry);
+        freed_recs += rec_bytes;
+      }
+      if (e.unfinished_s != 0) freed += sizeof(Entry);
+      return false;
+    });
+    // Saturate rather than wrap if accounting ever disagrees with insertion.
+    std::uint64_t bytes = bytes_.load(std::memory_order_relaxed);
+    while (!bytes_.compare_exchange_weak(bytes, bytes - std::min(bytes, freed),
+                                         std::memory_order_relaxed)) {
+    }
+    support::MemTally::note_free(freed_recs);
+    return erased;
   }
 
   void clear() { map_.clear(); bytes_.store(0, std::memory_order_relaxed); }

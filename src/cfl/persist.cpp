@@ -42,9 +42,9 @@ std::uint64_t pag_fingerprint(const pag::Pag& pag) {
 
 void save_sharing_state(std::ostream& os, const pag::Pag& pag,
                         const ContextTable& contexts, const JmpStore& store) {
-  os << "parcfl-state 1\n";
+  os << "parcfl-state 2\n";
   os << "pag " << pag.node_count() << ' ' << pag.edge_count() << ' '
-     << pag_fingerprint(pag) << "\n";
+     << pag_fingerprint(pag) << ' ' << pag.revision() << "\n";
 
   // Contexts in id order: a parent is always interned before its children,
   // so parents precede children in the file.
@@ -86,10 +86,11 @@ bool load_sharing_state(std::istream& is, const pag::Pag& pag,
                         ContextTable& contexts, JmpStore& store,
                         std::string* error) {
   std::string line;
-  if (!std::getline(is, line) || line != "parcfl-state 1")
-    return fail(error, "bad header");
+  if (!std::getline(is, line)) return fail(error, "bad header");
+  const bool v1 = line == "parcfl-state 1";
+  if (!v1 && line != "parcfl-state 2") return fail(error, "bad header");
 
-  std::uint32_t nodes = 0, edges = 0;
+  std::uint32_t nodes = 0, edges = 0, revision = 0;
   std::uint64_t fingerprint = 0;
   {
     if (!std::getline(is, line)) return fail(error, "missing pag line");
@@ -97,9 +98,16 @@ bool load_sharing_state(std::istream& is, const pag::Pag& pag,
     std::string tag;
     if (!(ls >> tag >> nodes >> edges >> fingerprint) || tag != "pag")
       return fail(error, "bad pag line");
+    // v2 carries the delta epoch; v1 predates incremental updates and is
+    // treated as epoch 0.
+    if (!v1 && !(ls >> revision)) return fail(error, "bad pag line");
     if (nodes != pag.node_count() || edges != pag.edge_count() ||
         fingerprint != pag_fingerprint(pag))
       return fail(error, "state was computed for a different PAG");
+    if (revision != pag.revision())
+      return fail(error, "state was computed at delta epoch " +
+                             std::to_string(revision) + ", graph is at " +
+                             std::to_string(pag.revision()));
   }
 
   // old ctx id -> id in the receiving table. Index 0 is the empty context.
@@ -132,6 +140,11 @@ bool load_sharing_state(std::istream& is, const pag::Pag& pag,
         return fail(error, "bad fin line");
       const CtxId c = mapped(ctx);
       if (!c.valid()) return fail(error, "fin ctx unknown");
+      // The count came from untrusted input: every target needs at least
+      // "0 0 0" = five bytes of line, so a count past line.size() cannot be
+      // satisfied. Reject it before reserve() turns it into an allocation.
+      if (n > line.size())
+        return fail(error, "fin target count exceeds the line");
       std::vector<JmpTarget> targets;
       targets.reserve(n);
       for (std::size_t i = 0; i < n; ++i) {

@@ -8,15 +8,25 @@
 // batch takes shortcuts from step one. State is only meaningful for the
 // exact PAG it was computed on — a fingerprint is stored and checked.
 //
-// Format (line-oriented text, '#' comments):
-//   parcfl-state 1
-//   pag <node-count> <edge-count> <fingerprint>
+// Format v2 (line-oriented text, '#' comments):
+//   parcfl-state 2
+//   pag <node-count> <edge-count> <fingerprint> <revision>
 //   ctx <id> <parent-id> <site>                (in increasing id order)
 //   fin <dir> <node> <ctx> <cost> <n> {<node> <ctx> <steps>}*n
 //   unf <dir> <node> <ctx> <s>
 //
+// v2 adds the delta epoch: <revision> is Pag::revision() at save time, so a
+// session that applied incremental updates (pag::apply_delta) never feeds
+// state from one epoch into another even when the graphs happen to collide
+// structurally (e.g. a delta applied and then reverted — the fingerprint
+// matches, the revision does not). v1 files (header `parcfl-state 1`, pag
+// line without the revision column) are still accepted and are treated as
+// epoch 0, which is exactly what every v1 writer was running at.
+//
 // Context ids are remapped on load (the receiving table may already hold
-// other contexts), so state can be merged into a live analysis.
+// other contexts), so state can be merged into a live analysis. Counts read
+// from the input are validated against the line before any allocation, so a
+// hostile or corrupt file cannot demand unbounded memory.
 
 #include <iosfwd>
 #include <string>

@@ -100,7 +100,13 @@ struct EdgeOrder {
 }  // namespace
 
 Pag Pag::Builder::finalize() && {
+  // Hard limit, not a DCHECK: JmpStore::key packs node ids into 31 bits, so a
+  // release build past this bound would silently alias jmp keys (unsound
+  // sharing). Fail loudly at construction instead.
+  PARCFL_CHECK_MSG(nodes_.size() < (1ull << 31),
+                   "PAG node count exceeds the 2^31 jmp-key id space");
   Pag pag;
+  pag.revision_ = revision_;
   pag.nodes_ = std::move(nodes_);
   if (has_names_) {
     names_.resize(pag.nodes_.size());

@@ -126,6 +126,11 @@ class Pag {
     return kind_counts_[static_cast<unsigned>(k)];
   }
 
+  /// Delta epoch: 0 for a freshly built graph, incremented by each
+  /// pag::apply_delta. Persisted sharing state records the revision it was
+  /// computed at (cfl/persist.hpp format v2).
+  std::uint32_t revision() const { return revision_; }
+
   /// Optional display name (empty when not recorded).
   const std::string& name(NodeId n) const;
   void set_name(NodeId n, std::string name);
@@ -159,6 +164,7 @@ class Pag {
   std::uint32_t call_site_count_ = 0;
   std::uint32_t type_count_ = 0;
   std::uint32_t method_count_ = 0;
+  std::uint32_t revision_ = 0;
 };
 
 /// Accumulates nodes and edges, then freezes them into CSR form.
@@ -208,6 +214,10 @@ class Pag::Builder {
   /// carry no extra information and only inflate traversal work).
   void set_dedupe(bool dedupe) { dedupe_ = dedupe; }
 
+  /// Delta epoch of the finalized graph (pag::apply_delta sets base + 1;
+  /// frontends leave it at 0).
+  void set_revision(std::uint32_t revision) { revision_ = revision; }
+
   std::uint32_t node_count() const { return static_cast<std::uint32_t>(nodes_.size()); }
 
   /// Freeze into an immutable Pag. The builder is consumed.
@@ -219,6 +229,7 @@ class Pag::Builder {
   std::vector<std::string> names_;
   bool has_names_ = false;
   bool dedupe_ = true;
+  std::uint32_t revision_ = 0;
   std::uint32_t field_count_ = 0;
   std::uint32_t call_site_count_ = 0;
   std::uint32_t type_count_ = 0;

@@ -106,9 +106,12 @@ bool parse_request(std::string_view line, std::uint32_t node_count,
                                 : Verb::kQuit;
     return true;
   }
-  if (verb == "save" || verb == "load") {
-    if (tokens.size() != 2) return fail(error, "save/load need exactly a path");
-    out.verb = verb == "save" ? Verb::kSave : Verb::kLoad;
+  if (verb == "save" || verb == "load" || verb == "update") {
+    if (tokens.size() != 2)
+      return fail(error, "save/load/update need exactly a path");
+    out.verb = verb == "save"   ? Verb::kSave
+               : verb == "load" ? Verb::kLoad
+                                : Verb::kUpdate;
     out.path = std::string(tokens[1]);
     return true;
   }
@@ -160,6 +163,9 @@ std::string format_reply(const Reply& reply) {
       break;
     case Verb::kLoad:
       os << " loaded " << reply.text;
+      break;
+    case Verb::kUpdate:
+      os << " updated " << reply.text;
       break;
     case Verb::kPing:
       os << " pong";

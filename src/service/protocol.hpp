@@ -11,6 +11,7 @@
 //   stats                                           ServiceStats JSON
 //   save <path>                                     crash-safe state snapshot
 //   load <path>                                     live warm-state merge
+//   update <path>                                   apply a PAG delta file
 //   ping                                            liveness probe
 //   quit                                            close this connection
 //
@@ -23,9 +24,15 @@
 //   ok complete|partial|early <charged> <n> <id>*n   query
 //   ok no|may|unknown <charged>                      alias
 //   ok pong | ok saved <path> | ok loaded <path>     ping/save/load
+//   ok updated <summary>                             update
 //   ok {...}                                         stats (one-line JSON)
 //   shed overload|deadline                           admission control
 //   err <message>                                    malformed or failed
+//
+// `update` rides the request queue like a query: it is dispatched by the
+// collector thread as a batch of its own, strictly between query batches, so
+// no in-flight batch ever observes a half-applied delta (see
+// service::Session::update).
 //
 // Parsing is total: any input line yields either a valid Request or an error
 // message, never undefined behaviour (tests/io_fuzz_test.cpp throws mutated
@@ -47,6 +54,7 @@ enum class Verb : std::uint8_t {
   kStats,
   kSave,
   kLoad,
+  kUpdate,
   kPing,
   kQuit,
 };
@@ -57,7 +65,7 @@ struct Request {
   pag::NodeId b = pag::NodeId::invalid();
   std::uint64_t budget = 0;       // 0 = server default
   std::uint64_t deadline_ms = 0;  // 0 = no deadline
-  std::string path;               // save/load target
+  std::string path;               // save/load/update target
 };
 
 /// Longest request line the parser accepts; longer lines are rejected before

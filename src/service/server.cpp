@@ -24,7 +24,7 @@ bool handle_line(QueryService& service, const std::string& line,
                  std::string& reply_line) {
   Request request;
   std::string error;
-  if (!parse_request(line, service.pag().node_count(), request, error)) {
+  if (!parse_request(line, service.node_count(), request, error)) {
     service.note_protocol_error();
     Reply r;
     r.status = Reply::Status::kError;

@@ -73,14 +73,20 @@ std::future<Reply> QueryService::submit(Request request) {
     case Verb::kQuit:
       promise.set_value(ready_reply(Reply::Status::kOk, request.verb));
       return future;
+    case Verb::kUpdate:
+      // Falls through to the queue: the delta must be applied by the
+      // collector thread between batches, never from a client thread.
+      break;
     case Verb::kQuery:
     case Verb::kAlias:
       // The wire parser only bounds-checks ids; points_to is defined on
       // variable nodes, so reject anything else here rather than tripping
-      // the solver's precondition check mid-batch.
-      if (!session_.pag().is_variable(request.a) ||
+      // the solver's precondition check mid-batch. is_variable_node reads
+      // under the graph lock, and stays valid across updates (node ids are
+      // never removed, kinds never change).
+      if (!session_.is_variable_node(request.a) ||
           (request.verb == Verb::kAlias &&
-           !session_.pag().is_variable(request.b))) {
+           !session_.is_variable_node(request.b))) {
         promise.set_value(ready_reply(Reply::Status::kError, request.verb,
                                       "not a variable node"));
         return future;
@@ -109,6 +115,7 @@ void QueryService::collector_main() {
   for (;;) {
     std::vector<Pending> batch;
     std::uint32_t batch_units = 0;
+    bool is_update = false;
     {
       std::unique_lock lock(mu_);
       cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
@@ -116,21 +123,67 @@ void QueryService::collector_main() {
 
       // Micro-batch linger: from the first pending request, wait for the
       // batch to fill — but never longer than max_linger past *its* arrival
-      // (late arrivals do not extend the window).
-      const auto window_end = queue_.front().enqueued + options_.max_linger;
-      cv_.wait_until(lock, window_end, [&] {
-        return stop_ || queued_units_ >= options_.max_batch;
-      });
+      // (late arrivals do not extend the window), and never past the
+      // earliest pending deadline: a request expiring mid-linger used to sit
+      // out the whole window only to be shed at dispatch; now the batch
+      // dispatches the moment the first deadline lands. A plain wait (no
+      // predicate) per iteration so that a new arrival with a shorter
+      // deadline recomputes the window instead of sleeping through it.
+      for (;;) {
+        if (stop_ || queued_units_ >= options_.max_batch) break;
+        auto window_end = queue_.front().enqueued + options_.max_linger;
+        for (const Pending& p : queue_) {
+          if (p.request.deadline_ms == 0) continue;
+          const auto deadline =
+              p.enqueued + std::chrono::milliseconds(p.request.deadline_ms);
+          window_end = std::min(window_end, deadline);
+        }
+        if (Clock::now() >= window_end) break;
+        cv_.wait_until(lock, window_end);
+      }
 
+      // An update gets a batch of its own: everything queued before it runs
+      // (and completes) first, and queries queued after it only run against
+      // the fully-applied delta.
       while (!queue_.empty() && batch_units < options_.max_batch) {
+        const bool front_is_update =
+            queue_.front().request.verb == Verb::kUpdate;
+        if (front_is_update && !batch.empty()) break;
         batch_units += units_of(queue_.front().request);
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
+        if (front_is_update) {
+          is_update = true;
+          break;
+        }
       }
       queued_units_ -= batch_units;
     }
-    execute_batch(std::move(batch));
+    if (is_update)
+      execute_update(std::move(batch.front()));
+    else
+      execute_batch(std::move(batch));
   }
+}
+
+void QueryService::execute_update(Pending pending) {
+  std::string error;
+  Session::UpdateStats stats;
+  if (!session_.update_from_file(pending.request.path, &error, &stats)) {
+    recorder_.record_update(/*ok=*/false, 0);
+    pending.promise.set_value(
+        ready_reply(Reply::Status::kError, Verb::kUpdate, std::move(error)));
+    return;
+  }
+  recorder_.record_update(/*ok=*/true, stats.invalidate.evicted);
+  std::string summary =
+      pending.request.path + " rev " + std::to_string(stats.revision) + " +" +
+      std::to_string(stats.apply.edges_added) + "e -" +
+      std::to_string(stats.apply.edges_removed) + "e evicted " +
+      std::to_string(stats.invalidate.evicted) + "/" +
+      std::to_string(stats.invalidate.entries_before) + " jmps";
+  pending.promise.set_value(
+      ready_reply(Reply::Status::kOk, Verb::kUpdate, std::move(summary)));
 }
 
 void QueryService::execute_batch(std::vector<Pending> batch) {
@@ -196,6 +249,7 @@ ServiceStats QueryService::stats() const {
   out.jmp_entries = session_.store().entry_count();
   out.jmp_store_bytes = session_.store().memory_bytes();
   out.context_count = session_.context_count();
+  out.pag_revision = session_.revision();
   return out;
 }
 

@@ -15,7 +15,10 @@
 //    server default (admission for expensive speculative queries).
 //
 // stats/save/load/ping are control-plane verbs answered inline (save/load
-// are lock-free against the data plane; see Session).
+// are lock-free against the data plane; see Session). `update` is not: it
+// mutates the graph, so it rides the queue and is dispatched by the
+// collector as a batch of its own — strictly between query batches — which
+// is what guarantees no in-flight batch observes a half-applied delta.
 
 #include <chrono>
 #include <condition_variable>
@@ -53,14 +56,18 @@ class QueryService {
   QueryService& operator=(const QueryService&) = delete;
 
   /// Submit one request. Control-plane verbs (stats/save/load/ping/quit) and
-  /// shed requests complete immediately; query/alias futures resolve when
-  /// their micro-batch has run.
+  /// shed requests complete immediately; query/alias/update futures resolve
+  /// when the collector has run their micro-batch.
   std::future<Reply> submit(Request request);
 
   /// submit() + wait — the convenience path for synchronous callers.
   Reply call(Request request) { return submit(std::move(request)).get(); }
 
   ServiceStats stats() const;
+  /// Safe to call from any client thread, including concurrently with an
+  /// update (reads take the session's graph lock shared).
+  std::uint32_t node_count() const { return session_.node_count(); }
+  /// Single-threaded callers only — do not use where an update can race.
   const pag::Pag& pag() const { return session_.pag(); }
   Session& session() { return session_; }
 
@@ -77,6 +84,7 @@ class QueryService {
 
   void collector_main();
   void execute_batch(std::vector<Pending> batch);
+  void execute_update(Pending pending);
   static std::uint32_t units_of(const Request& request) {
     return request.verb == Verb::kAlias ? 2 : 1;
   }

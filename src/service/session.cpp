@@ -16,11 +16,18 @@ cfl::EngineOptions service_engine_options(cfl::EngineOptions engine) {
   return engine;
 }
 
+bool fail(std::string* error, std::string msg) {
+  if (error != nullptr) *error = std::move(msg);
+  return false;
+}
+
 }  // namespace
 
 Session::Session(pag::Pag pag, Options options)
     : pag_(std::move(pag)),
       runner_(pag_, service_engine_options(options.engine), contexts_, store_) {
+  invalidate_options_.field_approximation =
+      options.engine.solver.field_approximation;
   if (!options.state_path.empty()) {
     std::ifstream in(options.state_path);
     if (in) {
@@ -66,17 +73,77 @@ Session::BatchResult Session::run_batch(std::span<const Item> items) {
   return result;
 }
 
+bool Session::update(const pag::Delta& delta, std::string* error,
+                     UpdateStats* stats) {
+  // Exclude query batches for the whole apply: the solver must never run
+  // half against the old graph and half against the new one.
+  std::lock_guard batch_lock(batch_mu_);
+
+  pag::ApplyStats apply{};
+  std::string apply_error;
+  auto next = pag::apply_delta(pag_, delta, &apply, &apply_error);
+  if (!next) return fail(error, "delta rejected: " + apply_error);
+
+  UpdateStats out;
+  out.apply = apply;
+  {
+    // Exclude the lock-free control plane (save/load, validation reads) only
+    // for the invalidate + swap window.
+    std::unique_lock pag_lock(pag_mu_);
+    out.invalidate = cfl::invalidate_sharing_state(
+        pag_, *next, delta, contexts_, store_, invalidate_options_);
+    // Move-assign in place: the Pag's address is what the warm BatchRunner
+    // and its solvers hold, and that does not change.
+    pag_ = std::move(*next);
+    out.revision = pag_.revision();
+  }
+  if (stats != nullptr) *stats = out;
+  return true;
+}
+
+bool Session::update_from_file(const std::string& path, std::string* error,
+                               UpdateStats* stats) {
+  std::ifstream in(path);
+  if (!in) return fail(error, "cannot open " + path);
+  std::string parse_error;
+  std::optional<pag::Delta> delta;
+  {
+    // Parse against a stable view of the graph (bounds checks read pag_).
+    std::shared_lock lock(pag_mu_);
+    delta = pag::read_delta(in, pag_, &parse_error);
+  }
+  if (!delta) return fail(error, path + ": " + parse_error);
+  return update(*delta, error, stats);
+}
+
 support::QueryCounters Session::lifetime_totals() const {
   std::lock_guard lock(batch_mu_);
   return runner_.lifetime_totals();
 }
 
 bool Session::save(const std::string& path, std::string* error) {
+  std::shared_lock lock(pag_mu_);
   return cfl::save_sharing_state_file(path, pag_, contexts_, store_, error);
 }
 
 bool Session::load(const std::string& path, std::string* error) {
+  std::shared_lock lock(pag_mu_);
   return cfl::load_sharing_state_file(path, pag_, contexts_, store_, error);
+}
+
+std::uint32_t Session::node_count() const {
+  std::shared_lock lock(pag_mu_);
+  return pag_.node_count();
+}
+
+bool Session::is_variable_node(pag::NodeId n) const {
+  std::shared_lock lock(pag_mu_);
+  return n.valid() && n.value() < pag_.node_count() && pag_.is_variable(n);
+}
+
+std::uint32_t Session::revision() const {
+  std::shared_lock lock(pag_mu_);
+  return pag_.revision();
 }
 
 }  // namespace parcfl::service

@@ -6,19 +6,29 @@
 // cfl/persist.hpp only offered as save/reload is kept *live* here.
 //
 // Concurrency contract:
-//  * run_batch() serialises batches on an internal lock (the engine
-//    parallelises *within* a batch across the configured worker threads).
-//  * save()/load() are lock-free against running batches: the jmp store
-//    snapshot is shard-consistent and context entries are immutable once
-//    published, so a `save` wire request never stalls query traffic.
+//  * run_batch() serialises batches on batch_mu_ (the engine parallelises
+//    *within* a batch across the configured worker threads).
+//  * update() takes batch_mu_ exclusively too: the invalidate-then-swap runs
+//    strictly between batches, so no in-flight batch ever observes a
+//    half-applied delta. The Pag object itself is move-assigned in place —
+//    its address never changes — so the references the BatchRunner and its
+//    warm solvers hold stay valid across the swap.
+//  * pag_mu_ protects the graph's *contents* for readers outside batch_mu_:
+//    save/load, validation reads (node_count / is_variable_node) and stats
+//    take it shared; update holds it exclusively only for the short
+//    invalidate + swap window, so the control plane never blocks behind a
+//    whole batch.
 
 #include <cstdint>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "cfl/engine.hpp"
+#include "cfl/invalidate.hpp"
+#include "pag/delta.hpp"
 #include "pag/pag.hpp"
 
 namespace parcfl::service {
@@ -51,18 +61,45 @@ class Session {
     double wall_seconds = 0.0;
   };
 
+  struct UpdateStats {
+    pag::ApplyStats apply;
+    cfl::InvalidateStats invalidate;
+    std::uint32_t revision = 0;  // the graph's revision after the update
+  };
+
   Session(pag::Pag pag, Options options);
 
   /// Execute one micro-batch; item order is preserved in the result even
   /// when the DQ scheduler reorders execution. Thread-safe (serialised).
   BatchResult run_batch(std::span<const Item> items);
 
+  /// Apply a PAG delta: build base + delta, evict the jmp entries whose
+  /// recorded traversals the change could invalidate (cfl/invalidate.hpp),
+  /// and swap the new graph in. Serialised against batches; after it returns,
+  /// warm queries answer exactly as a cold run on the mutated graph would.
+  bool update(const pag::Delta& delta, std::string* error,
+              UpdateStats* stats = nullptr);
+  /// read_delta from `path`, then update().
+  bool update_from_file(const std::string& path, std::string* error,
+                        UpdateStats* stats = nullptr);
+
   /// Crash-safe snapshot of the shared state (temp file + rename); safe
-  /// while batches run.
+  /// while batches run (jmp snapshots are shard-consistent), serialised only
+  /// against update's swap window.
   bool save(const std::string& path, std::string* error);
   /// Merge a previously saved state file into the live session.
   bool load(const std::string& path, std::string* error);
 
+  /// Validation reads for client threads; consistent under concurrent
+  /// update (node ids are never removed, so a request validated against any
+  /// revision stays valid for all later ones).
+  std::uint32_t node_count() const;
+  bool is_variable_node(pag::NodeId n) const;
+  /// Delta epoch of the live graph (0 until the first update).
+  std::uint32_t revision() const;
+
+  /// Direct graph access for single-threaded callers (tests, benchmarks).
+  /// Do not use from a thread that can race an update().
   const pag::Pag& pag() const { return pag_; }
   const cfl::JmpStore& store() const { return store_; }
   std::uint64_t context_count() const { return contexts_.size(); }
@@ -75,8 +112,12 @@ class Session {
   pag::Pag pag_;
   cfl::ContextTable contexts_;
   cfl::JmpStore store_;
+  cfl::InvalidateOptions invalidate_options_;  // mirrors the solver config
   cfl::BatchRunner runner_;
   mutable std::mutex batch_mu_;
+  // Lock order: batch_mu_ before pag_mu_ (update takes both; everyone else
+  // takes exactly one).
+  mutable std::shared_mutex pag_mu_;
 };
 
 }  // namespace parcfl::service

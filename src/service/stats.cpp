@@ -37,6 +37,16 @@ void StatsRecorder::record_batch(std::uint64_t query_units) {
   counters_.max_batch_size = std::max(counters_.max_batch_size, query_units);
 }
 
+void StatsRecorder::record_update(bool ok, std::uint64_t jmp_evicted) {
+  std::lock_guard lock(mu_);
+  if (ok) {
+    ++counters_.updates_applied;
+    counters_.jmp_evicted += jmp_evicted;
+  } else {
+    ++counters_.update_errors;
+  }
+}
+
 void StatsRecorder::bump(std::uint64_t ServiceStats::* field) {
   std::lock_guard lock(mu_);
   ++(counters_.*field);
@@ -53,6 +63,9 @@ void StatsRecorder::snapshot(ServiceStats& out) const {
     out.shed_overload = counters_.shed_overload;
     out.shed_deadline = counters_.shed_deadline;
     out.protocol_errors = counters_.protocol_errors;
+    out.updates_applied = counters_.updates_applied;
+    out.update_errors = counters_.update_errors;
+    out.jmp_evicted = counters_.jmp_evicted;
     out.mean_batch_size =
         counters_.batches == 0 ? 0.0
                                : static_cast<double>(batch_units_sum_) /
@@ -76,6 +89,9 @@ std::string ServiceStats::to_json() const {
      << ",\"shed_overload\":" << shed_overload
      << ",\"shed_deadline\":" << shed_deadline
      << ",\"protocol_errors\":" << protocol_errors
+     << ",\"updates\":{\"applied\":" << updates_applied
+     << ",\"errors\":" << update_errors << ",\"jmp_evicted\":" << jmp_evicted
+     << ",\"pag_revision\":" << pag_revision << "}"
      << ",\"latency_ms\":{\"p50\":" << p50_ms << ",\"p95\":" << p95_ms
      << ",\"p99\":" << p99_ms << ",\"max\":" << max_ms << "}"
      << ",\"jmp\":{\"lookups\":" << engine.jmp_lookups

@@ -25,6 +25,9 @@ struct ServiceStats {
   std::uint64_t shed_overload = 0;    // rejected at admission (queue full)
   std::uint64_t shed_deadline = 0;    // expired while queued
   std::uint64_t protocol_errors = 0;  // malformed wire requests
+  std::uint64_t updates_applied = 0;  // PAG deltas applied
+  std::uint64_t update_errors = 0;    // deltas rejected (parse/apply failure)
+  std::uint64_t jmp_evicted = 0;      // entries invalidated across all updates
   double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0, max_ms = 0.0;
 
   // Analysis plane (cumulative over the session's lifetime).
@@ -32,6 +35,7 @@ struct ServiceStats {
   std::uint64_t jmp_entries = 0;
   std::uint64_t jmp_store_bytes = 0;
   std::uint64_t context_count = 0;
+  std::uint64_t pag_revision = 0;  // delta epoch of the live graph
 
   /// jmps_taken / jmp_lookups — how often a ReachableNodes probe rode a
   /// finished shortcut. The warm-vs-cold delta of this ratio is the service's
@@ -59,6 +63,7 @@ class StatsRecorder {
   void record_shed_overload() { bump(&ServiceStats::shed_overload); }
   void record_shed_deadline() { bump(&ServiceStats::shed_deadline); }
   void record_protocol_error() { bump(&ServiceStats::protocol_errors); }
+  void record_update(bool ok, std::uint64_t jmp_evicted);
 
   /// Fill the request-plane fields of `out` (percentiles sorted on demand).
   void snapshot(ServiceStats& out) const;

@@ -85,6 +85,31 @@ class ShardedMap {
     }
   }
 
+  /// Keep only entries for which fn(key, value) returns true; returns the
+  /// number of entries dropped. Each shard is filtered atomically under its
+  /// lock (FlatKV has no erase, so survivors are reinserted after an O(1)
+  /// epoch clear); concurrent readers of other shards are unaffected.
+  template <class Fn>
+  std::size_t retain(Fn&& fn) {
+    std::size_t erased = 0;
+    std::vector<std::pair<Key, Value>> keep;
+    for (Shard& s : shards_) {
+      keep.clear();
+      std::lock_guard lock(s.mu);
+      keep.reserve(s.map.size());
+      s.map.for_each([&](const Key& k, const Value& v) {
+        if (fn(k, v))
+          keep.emplace_back(k, v);
+        else
+          ++erased;
+      });
+      if (keep.size() == s.map.size()) continue;
+      s.map.clear();
+      for (auto& [k, v] : keep) *s.map.try_emplace(k).first = std::move(v);
+    }
+    return erased;
+  }
+
   std::size_t size() const {
     std::size_t total = 0;
     for (const Shard& s : shards_) {

@@ -1,7 +1,9 @@
 // PAG text-format fuzzing: random graphs round-trip bit-exactly; mutated
 // inputs never crash the parser (they parse or fail with a message).
-// Also fuzzes the service wire protocol: mutated and truncated request lines
-// must yield error replies, never crashes or wrong-typed requests.
+// Also fuzzes the service wire protocol (mutated and truncated request lines
+// must yield error replies, never crashes or wrong-typed requests) and the
+// sharing-state persistence format (mutated state files are either rejected
+// with a message or loaded into tables the solver can still run on).
 
 #include <gtest/gtest.h>
 
@@ -9,6 +11,10 @@
 #include <iterator>
 #include <sstream>
 
+#include "cfl/context.hpp"
+#include "cfl/jmp_store.hpp"
+#include "cfl/persist.hpp"
+#include "cfl/solver.hpp"
 #include "pag/pag_io.hpp"
 #include "pag/validate.hpp"
 #include "service/protocol.hpp"
@@ -138,10 +144,12 @@ TEST_P(ServiceFuzzTest, MutatedRequestLinesParseOrFailWithMessage) {
     if (ok) {
       // A parse must yield a well-typed request: node ids in bounds.
       if (request.verb == service::Verb::kQuery ||
-          request.verb == service::Verb::kAlias)
+          request.verb == service::Verb::kAlias) {
         EXPECT_LT(request.a.value(), 50u) << line;
-      if (request.verb == service::Verb::kAlias)
+      }
+      if (request.verb == service::Verb::kAlias) {
         EXPECT_LT(request.b.value(), 50u) << line;
+      }
     } else {
       EXPECT_FALSE(error.empty()) << line;
     }
@@ -218,6 +226,149 @@ TEST_P(ServiceFuzzTest, GarbageStreamsGetErrorRepliesNeverCrashes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ServiceFuzzTest,
                          ::testing::Range<std::uint64_t>(1, 9));
+
+// ---- sharing-state persistence ---------------------------------------------
+
+cfl::SolverOptions state_fuzz_opts() {
+  cfl::SolverOptions opts;
+  opts.budget = 1u << 20;
+  opts.data_sharing = true;
+  opts.tau_finished = 2;
+  opts.tau_unfinished = 10;
+  return opts;
+}
+
+class StateFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StateFuzzTest, MutatedStateFilesNeverCrashTheLoader) {
+  test::RandomPagConfig cfg;
+  cfg.seed = GetParam();
+  cfg.heap_edge_pairs = 4;  // load/store matches are what mint jmp entries
+  const auto pag = test::random_layered_pag(cfg);
+  const auto vars = test::all_variables(pag);
+
+  const cfl::SolverOptions opts = state_fuzz_opts();
+  std::string text;
+  {
+    cfl::ContextTable contexts;
+    cfl::JmpStore store;
+    cfl::Solver solver(pag, contexts, &store, opts);
+    for (const NodeId v : vars) (void)solver.points_to(v);
+    std::ostringstream os;
+    cfl::save_sharing_state(os, pag, contexts, store);
+    text = os.str();
+  }
+
+  support::Rng rng(GetParam() * 48271 + 11);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string mutated = text;
+    const std::size_t edits = 1 + rng.below(4);
+    for (std::size_t e = 0; e < edits; ++e) {
+      if (mutated.empty()) break;
+      const std::size_t pos = rng.below(mutated.size());
+      switch (rng.below(4)) {
+        case 0:  // flip a character
+          mutated[pos] = static_cast<char>(' ' + rng.below(95));
+          break;
+        case 1:  // truncate (a torn write)
+          mutated.resize(pos);
+          break;
+        case 2:  // delete a span
+          mutated.erase(pos, 1 + rng.below(8));
+          break;
+        case 3:  // duplicate a span
+          mutated.insert(pos, mutated.substr(pos, 1 + rng.below(8)));
+          break;
+      }
+    }
+
+    cfl::ContextTable contexts;
+    cfl::JmpStore store;
+    std::istringstream is(mutated);
+    std::string error;
+    const bool ok = cfl::load_sharing_state(is, pag, contexts, store, &error);
+    if (!ok) {
+      EXPECT_FALSE(error.empty());
+    }
+
+    // Whatever the loader accepted (possibly a prefix-valid corruption), the
+    // tables must still be usable: the solver must run to completion and
+    // return only ids that are objects of this PAG. Exact sets are not
+    // checked — a mutation can produce a parseable file with different but
+    // well-formed entries.
+    cfl::Solver solver(pag, contexts, &store, opts);
+    for (std::size_t i = 0; i < vars.size() && i < 4; ++i) {
+      const auto result = solver.points_to(vars[i]);
+      for (const NodeId n : result.nodes()) {
+        ASSERT_LT(n.value(), pag.node_count());
+        EXPECT_TRUE(pag.is_object(n));
+      }
+    }
+  }
+}
+
+TEST(StateFuzz, HostileFinishedCountIsRejectedWithoutAllocating) {
+  test::RandomPagConfig cfg;
+  cfg.seed = 3;
+  const auto pag = test::random_layered_pag(cfg);
+
+  // A structurally valid file whose trailing fin line claims four billion
+  // targets. The loader must reject it from the line length alone — a
+  // reserve() of the claimed count would be an instant multi-GB allocation.
+  std::string text;
+  {
+    cfl::ContextTable contexts;
+    cfl::JmpStore store;
+    std::ostringstream os;
+    cfl::save_sharing_state(os, pag, contexts, store);
+    text = os.str();
+  }
+  text += "fin 0 1 0 5 4000000000\n";
+
+  cfl::ContextTable contexts;
+  cfl::JmpStore store;
+  std::istringstream is(text);
+  std::string error;
+  EXPECT_FALSE(cfl::load_sharing_state(is, pag, contexts, store, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(store.entry_count(), 0u);
+}
+
+TEST_P(StateFuzzTest, BudgetCappedQueriesPublishOnlySoundJmps) {
+  // Differential check for admission-control soundness: a store warmed
+  // exclusively by budget-capped queries (which publish unfinished jmps
+  // clamped to the *effective* budget) must not mislead a later full-budget
+  // solver into wrong or incomplete answers.
+  test::RandomPagConfig cfg;
+  cfg.seed = GetParam() * 7 + 1;
+  cfg.heap_edge_pairs = 4;
+  const auto pag = test::random_layered_pag(cfg);
+  const auto vars = test::all_variables(pag);
+
+  const cfl::SolverOptions opts = state_fuzz_opts();
+  cfl::ContextTable contexts;
+  cfl::JmpStore store;
+  {
+    cfl::Solver capped(pag, contexts, &store, opts);
+    capped.set_query_budget(8);  // nearly everything runs out of budget
+    for (const NodeId v : vars) (void)capped.points_to(v);
+  }
+
+  cfl::Solver warm(pag, contexts, &store, opts);
+  cfl::SolverOptions plain_opts = state_fuzz_opts();
+  plain_opts.data_sharing = false;
+  cfl::ContextTable plain_contexts;
+  cfl::Solver plain(pag, plain_contexts, nullptr, plain_opts);
+  for (const NodeId v : vars) {
+    const auto got = warm.points_to(v);
+    const auto want = plain.points_to(v);
+    EXPECT_EQ(got.status, want.status) << "var " << v.value();
+    EXPECT_EQ(got.nodes(), want.nodes()) << "var " << v.value();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StateFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
 
 }  // namespace
 }  // namespace parcfl::pag
