@@ -5,6 +5,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <random>
 #include <string>
 #include <unordered_map>
@@ -19,6 +21,7 @@
 #include "support/flat_map.hpp"
 #include "support/scc.hpp"
 #include "support/sharded_map.hpp"
+#include "support/spinlock.hpp"
 #include "synth/generator.hpp"
 
 namespace {
@@ -170,6 +173,126 @@ void BM_JmpStoreLookupHit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_JmpStoreLookupHit);
+
+// ---- Jmp-lookup contention (DESIGN.md §9) --------------------------------
+//
+// N reader threads hammering a hot key set, the access pattern of parallel
+// workers riding a warm jmp store. Two arms:
+//
+//  * Locked: a faithful replica of the pre-EBR read path — 64 spinlock
+//    shards, a FlatKV per shard, and a shared_ptr<const FinishedJmp> copied
+//    under the lock (refcount RMW + lock word bouncing between cores).
+//  * Epoch: JmpStore::lookup — no lock, no RMW; one epoch pin held across
+//    the loop like the solver holds it across a query.
+//
+// The ratio at 8 threads is the PR-tracked contention number (EXPERIMENTS.md).
+
+class LockedJmpMap {
+ public:
+  struct Entry {
+    std::shared_ptr<const cfl::FinishedJmp> finished;
+    std::uint32_t unfinished_s = 0;
+  };
+  struct Lookup {
+    std::shared_ptr<const cfl::FinishedJmp> finished;
+    std::uint32_t unfinished_s = 0;
+  };
+
+  void insert_finished(std::uint64_t k, std::uint32_t cost,
+                       std::vector<cfl::JmpTarget> targets) {
+    Shard& s = shard(k);
+    std::lock_guard<support::SpinLock> lock(s.mu);
+    auto [entry, inserted] = s.map.try_emplace(k);
+    if (entry->finished != nullptr) return;
+    entry->finished = std::make_shared<const cfl::FinishedJmp>(
+        cfl::FinishedJmp{cost, std::move(targets)});
+  }
+
+  bool lookup(std::uint64_t k, Lookup& out) const {
+    const Shard& s = shard(k);
+    std::lock_guard<support::SpinLock> lock(s.mu);
+    const Entry* e = s.map.find(k);
+    if (e == nullptr) return false;
+    out.finished = e->finished;  // refcount increment under the lock
+    out.unfinished_s = e->unfinished_s;
+    return out.finished != nullptr || out.unfinished_s != 0;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    mutable support::SpinLock mu;
+    support::FlatKV<std::uint64_t, Entry> map;
+  };
+  Shard& shard(std::uint64_t k) const {
+    std::uint64_t h = k;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return shards_[h & 63];
+  }
+  mutable Shard shards_[64];
+};
+
+constexpr std::uint32_t kContendedKeys = 256;
+
+std::uint64_t contended_key(std::uint32_t i) {
+  return cfl::JmpStore::key(cfl::Direction::kBackward,
+                            pag::NodeId(i % kContendedKeys), cfl::CtxId(0));
+}
+
+std::vector<cfl::JmpTarget> contended_targets(std::uint32_t i) {
+  return {{pag::NodeId(i + 1), cfl::CtxId(0), 50},
+          {pag::NodeId(i + 2), cfl::CtxId(1), 70}};
+}
+
+void BM_JmpLookupContendedLocked(benchmark::State& state) {
+  static LockedJmpMap* map = [] {
+    auto* m = new LockedJmpMap();
+    for (std::uint32_t i = 0; i < kContendedKeys; ++i)
+      m->insert_finished(contended_key(i), 100 + i, contended_targets(i));
+    return m;
+  }();
+  std::uint32_t i = static_cast<std::uint32_t>(state.thread_index()) * 7919;
+  std::uint64_t found = 0;
+  for (auto _ : state) {
+    LockedJmpMap::Lookup lk;
+    if (map->lookup(contended_key(i++), lk))
+      found += lk.finished->targets.size();
+    benchmark::DoNotOptimize(found);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JmpLookupContendedLocked)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+void BM_JmpLookupContendedEpoch(benchmark::State& state) {
+  static cfl::JmpStore* store = [] {
+    auto* s = new cfl::JmpStore();
+    for (std::uint32_t i = 0; i < kContendedKeys; ++i)
+      s->insert_finished(contended_key(i), 100 + i, contended_targets(i));
+    return s;
+  }();
+  const auto pin = store->pin();  // one pin per "query", as the solver does
+  std::uint32_t i = static_cast<std::uint32_t>(state.thread_index()) * 7919;
+  std::uint64_t found = 0;
+  for (auto _ : state) {
+    cfl::JmpStore::Lookup lk;
+    if (store->lookup(contended_key(i++), lk))
+      found += lk.finished->targets.size();
+    benchmark::DoNotOptimize(found);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JmpLookupContendedEpoch)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
 
 // Headline number: full batch of demand queries on the medium synth config,
 // single thread, no sharing — the per-step constant factor in its purest form.

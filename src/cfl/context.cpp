@@ -4,10 +4,37 @@
 #include <sstream>
 
 #include "support/check.hpp"
+#include "support/flat_map.hpp"
 
 namespace parcfl::cfl {
 
-ContextTable::ContextTable(std::uint32_t max_depth) : max_depth_(max_depth) {}
+namespace {
+
+std::uint64_t next_generation() {
+  static std::atomic<std::uint64_t> counter{1};  // 0 = "no table" in caches
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Thread-local interning cache: (parent, site) key → interned id. One cache
+// per thread serves whichever table that thread is currently pushing into;
+// a generation mismatch (different table, or a table destroyed and another
+// constructed) clears it wholesale. Capped so a pathological context churn
+// cannot grow it without bound — FlatMap::clear is O(1) (epoch bump).
+struct TlInternCache {
+  static constexpr std::size_t kMaxEntries = 1u << 16;
+  std::uint64_t generation = 0;
+  support::FlatMap<std::uint32_t> map;
+};
+
+TlInternCache& tl_intern_cache() {
+  thread_local TlInternCache cache;
+  return cache;
+}
+
+}  // namespace
+
+ContextTable::ContextTable(std::uint32_t max_depth)
+    : max_depth_(max_depth), generation_(next_generation()) {}
 
 ContextTable::Entry* ContextTable::slot_for(std::uint32_t id) {
   const std::size_t chunk_index = id >> kChunkBits;
@@ -31,26 +58,33 @@ CtxId ContextTable::push(CtxId c, pag::CallSiteId site) {
 
   const std::uint64_t key =
       (static_cast<std::uint64_t>(c.value()) << 32) | site.value();
-  std::uint32_t id = 0;
-  intern_.update(key, [&](std::uint32_t& stored) {
-    if (stored == 0) {
-      // First thread to intern this (parent, site): allocate and publish the
-      // entry before the id escapes the shard lock.
-      const auto fresh =
-          static_cast<std::uint32_t>(next_id_.fetch_add(1, std::memory_order_acq_rel));
-      // Hard limit, not a DCHECK: JmpStore::key packs ctx ids into 31 bits; a
-      // release build minting ids past this bound would silently alias jmp
-      // keys (unsound sharing). Fail loudly at interning instead.
-      PARCFL_CHECK_MSG(fresh < (1u << 31),
-                       "context id exceeds the 2^31 jmp-key id space");
-      Entry* e = slot_for(fresh);
-      e->parent = c;
-      e->site = site;
-      e->depth = depth(c) + 1;
-      stored = fresh;
-    }
-    id = stored;
+
+  TlInternCache& cache = tl_intern_cache();
+  if (cache.generation != generation_) {
+    cache.map.clear();
+    cache.generation = generation_;
+  }
+  if (const std::uint32_t* hit = cache.map.find(key)) return CtxId(*hit);
+
+  const std::uint32_t id = intern_.get_or_insert(key, [&] {
+    // First thread to intern this (parent, site): allocate and publish the
+    // entry before the id escapes the shard lock.
+    const auto fresh =
+        static_cast<std::uint32_t>(next_id_.fetch_add(1, std::memory_order_acq_rel));
+    // Hard limit, not a DCHECK: JmpStore::key packs ctx ids into 31 bits; a
+    // release build minting ids past this bound would silently alias jmp
+    // keys (unsound sharing). Fail loudly at interning instead.
+    PARCFL_CHECK_MSG(fresh < (1u << 31),
+                     "context id exceeds the 2^31 jmp-key id space");
+    Entry* e = slot_for(fresh);
+    e->parent = c;
+    e->site = site;
+    e->depth = depth(c) + 1;
+    return fresh;
   });
+
+  if (cache.map.size() >= TlInternCache::kMaxEntries) cache.map.clear();
+  cache.map.try_emplace(key, id);
   return CtxId(id);
 }
 

@@ -29,6 +29,13 @@ struct CtxTag {};
 using CtxId = support::StrongId<CtxTag>;
 
 /// The empty context has id 0 and is always present.
+///
+/// push() consults a thread-local (parent, site) → id cache before touching
+/// the shared intern map, so repeat interning — the overwhelmingly common
+/// case on warm traversals — never takes a shard lock. Contexts are never
+/// erased, so cached ids cannot go stale within one table; caches are keyed
+/// by a per-table generation id so a fresh table never sees another table's
+/// entries.
 class ContextTable {
  public:
   explicit ContextTable(std::uint32_t max_depth = 256);
@@ -95,6 +102,7 @@ class ContextTable {
   Entry* slot_for(std::uint32_t id);  // creates the chunk if needed
 
   std::uint32_t max_depth_;
+  const std::uint64_t generation_;         // distinguishes tables in TL caches
   std::atomic<std::uint64_t> next_id_{1};  // 0 is the empty context
   std::array<std::atomic<Chunk*>, kMaxChunks> chunks_{};
   std::vector<std::unique_ptr<Chunk>> owned_chunks_;  // guarded by chunks_mu_

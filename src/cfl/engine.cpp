@@ -45,8 +45,15 @@ EngineResult run_batch(const EngineOptions& options, Schedule schedule,
   result.group_count = scheduling ? schedule.group_count : 0;
 
   const std::size_t workers = solvers.size();
-  std::vector<support::QueryCounters> baseline(workers);
-  for (std::size_t t = 0; t < workers; ++t) baseline[t] = solvers[t]->counters();
+  // Cache-line padded: run_unit reads its own worker's baseline entry while
+  // neighbours read theirs, and unpadded QueryCounters structs would sit
+  // several to a line in this contiguous vector.
+  struct alignas(64) PaddedCounters {
+    support::QueryCounters counters;
+  };
+  std::vector<PaddedCounters> baseline(workers);
+  for (std::size_t t = 0; t < workers; ++t)
+    baseline[t].counters = solvers[t]->counters();
 
   result.outcomes.resize(schedule.ordered.size());
   if (options.collect_objects) result.objects.resize(schedule.ordered.size());
@@ -84,7 +91,8 @@ EngineResult run_batch(const EngineOptions& options, Schedule schedule,
 
   result.per_thread_traversed.resize(workers, 0);
   for (std::size_t t = 0; t < workers; ++t) {
-    const support::QueryCounters delta = solvers[t]->counters().since(baseline[t]);
+    const support::QueryCounters delta =
+        solvers[t]->counters().since(baseline[t].counters);
     result.per_thread_traversed[t] = delta.traversed_steps;
     result.totals.merge(delta);
   }

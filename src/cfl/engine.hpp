@@ -103,8 +103,10 @@ class Engine {
 
 namespace detail {
 /// Per-worker query scratch, reused (capacity retained) across units — and,
-/// in a BatchRunner, across whole batches.
-struct WorkerScratch {
+/// in a BatchRunner, across whole batches. Cache-line padded: adjacent
+/// workers' scratch sits in one contiguous vector and is written on every
+/// query, so unpadded neighbours would false-share.
+struct alignas(64) WorkerScratch {
   QueryResult qr;
   std::vector<pag::NodeId> nodes;
 };

@@ -4,33 +4,36 @@ namespace parcfl::cfl {
 
 bool JmpStore::insert_finished(std::uint64_t k, std::uint32_t cost,
                                std::vector<JmpTarget> targets) {
-  auto rec = std::make_shared<FinishedJmp>();
-  rec->cost = cost;
-  rec->targets = std::move(targets);
+  // Lock-free pre-check: the dominant duplicate case (another worker already
+  // published this configuration) returns without building a record.
+  {
+    Entry probe;
+    if (map_.find_copy(k, probe) && probe.finished != nullptr) return false;
+  }
+
+  auto* rec = new FinishedJmp{cost, std::move(targets)};
   const std::uint64_t rec_bytes =
       sizeof(FinishedJmp) + rec->targets.capacity() * sizeof(JmpTarget);
 
-  bool inserted = false;
-  map_.update(k, [&](Entry& e) {
-    if (e.finished == nullptr) {
-      e.finished = std::move(rec);
-      inserted = true;
-    }
+  const bool inserted = map_.upsert(k, [&](Entry& e) {
+    if (e.finished != nullptr) return false;  // lost the race after all
+    e.finished = rec;
+    return true;
   });
   if (inserted) {
     bytes_.fetch_add(rec_bytes + sizeof(Entry), std::memory_order_relaxed);
     support::MemTally::note_alloc(rec_bytes);
+  } else {
+    delete rec;  // never published, no reader can hold it
   }
   return inserted;
 }
 
 bool JmpStore::insert_unfinished(std::uint64_t k, std::uint32_t s) {
-  bool inserted = false;
-  map_.update(k, [&](Entry& e) {
-    if (e.unfinished_s == 0) {
-      e.unfinished_s = s;
-      inserted = true;
-    }
+  const bool inserted = map_.upsert(k, [&](Entry& e) {
+    if (e.unfinished_s != 0) return false;
+    e.unfinished_s = s;
+    return true;
   });
   if (inserted) bytes_.fetch_add(sizeof(Entry), std::memory_order_relaxed);
   return inserted;

@@ -20,13 +20,24 @@
 // "only one of the two will succeed"; preferring the larger s was judged
 // cost-ineffective). Keys are direction-qualified: the backward (PointsTo)
 // and forward (FlowsTo) heap matches share independently.
+//
+// Read-path contract (DESIGN.md §9): lookup is lock-free and RMW-free — it
+// copies a {record pointer, unfinished s} pair out of an epoch-protected
+// slot array; no spinlock, no shared_ptr refcount traffic. The FinishedJmp
+// behind Lookup::finished is immutable and owned by the store. It stays
+// valid until the store reclaims it (erase_if / clear / destruction) — and
+// even across those, for as long as the reading thread holds a pin() guard
+// taken before the lookup. The solver pins once per query; erase_if/clear
+// run at quiescent points by the existing invalidation contract, so the two
+// protections overlap rather than leaving a gap.
 
+#include <atomic>
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "cfl/context.hpp"
 #include "pag/pag.hpp"
+#include "support/ebr.hpp"
 #include "support/mem_meter.hpp"
 #include "support/sharded_map.hpp"
 #include "support/stats.hpp"
@@ -50,9 +61,22 @@ struct FinishedJmp {
 class JmpStore {
  public:
   struct Lookup {
-    std::shared_ptr<const FinishedJmp> finished;  // null if absent
-    std::uint32_t unfinished_s = 0;               // 0 = absent
+    const FinishedJmp* finished = nullptr;  // store-owned; see lifetime note
+    std::uint32_t unfinished_s = 0;         // 0 = absent
   };
+
+  ~JmpStore() {
+    // Destruction is single-threaded by contract; free records directly
+    // rather than deferring them to the epoch domain.
+    map_.for_each_copy([](std::uint64_t, const Entry& e) { delete e.finished; });
+  }
+
+  /// Pin the reclamation epoch: every Lookup::finished pointer obtained while
+  /// the guard is alive stays valid even if erase_if/clear retire its entry
+  /// concurrently. Cheap when nested (the solver holds one per query).
+  support::EpochGuard pin() const {
+    return support::EpochGuard(support::global_epoch_domain());
+  }
 
   /// Key for configuration (x, c) in a traversal direction. The 31-bit id
   /// bounds are enforced with hard checks where ids are minted
@@ -66,10 +90,11 @@ class JmpStore {
   }
 
   /// Copy out both entry kinds for a key. Returns false if no entry exists.
+  /// Lock-free; see the read-path contract above for pointer lifetime.
   bool lookup(std::uint64_t k, Lookup& out) const {
     Entry e;
     if (!map_.find_copy(k, e)) return false;
-    out.finished = std::move(e.finished);
+    out.finished = e.finished;
     out.unfinished_s = e.unfinished_s;
     return out.finished != nullptr || out.unfinished_s != 0;
   }
@@ -93,10 +118,12 @@ class JmpStore {
   };
   Stats stats() const;
 
+  /// O(1): reads the map's relaxed entry counter, touches no lock.
   std::size_t entry_count() const { return map_.size(); }
 
-  /// Visit a copy of every entry as (key, Lookup). Shard-consistent snapshot
-  /// (see ShardedMap::for_each_copy); used by persistence and statistics.
+  /// Visit every entry as (key, Lookup). Lock-free; the whole iteration runs
+  /// under one epoch pin, so record pointers are valid inside fn but must
+  /// not escape it. Used by persistence and statistics.
   template <class Fn>
   void for_each_entry(Fn&& fn) const {
     map_.for_each_copy([&](std::uint64_t key, const Entry& e) {
@@ -114,39 +141,55 @@ class JmpStore {
 
   /// Selective invalidation support (cfl/invalidate.hpp): drop every entry
   /// for which pred(key) returns true, releasing its bytes. Returns the
-  /// number of entries dropped. Shard-atomic like ShardedMap::retain; safe
-  /// against concurrent lookups, but the caller must ensure no solver is
-  /// mid-query against the graph the evicted entries were computed on.
+  /// number of entries dropped. Shard-atomic (ShardedMap::retain); dropped
+  /// records are retired to the epoch domain, so a concurrent reader holding
+  /// pin() never touches freed memory — but the caller must still ensure no
+  /// solver is mid-query against the graph the evicted entries were computed
+  /// on (semantic staleness, not memory safety).
   template <class Pred>
   std::uint64_t erase_if(Pred&& pred) {
     std::uint64_t freed = 0;       // mirrors bytes_ accounting
     std::uint64_t freed_recs = 0;  // mirrors MemTally (finished records only)
-    const std::size_t erased = map_.retain([&](std::uint64_t key, const Entry& e) {
-      if (!pred(key)) return true;
-      if (e.finished != nullptr) {
-        const std::uint64_t rec_bytes =
-            sizeof(FinishedJmp) +
-            e.finished->targets.capacity() * sizeof(JmpTarget);
-        freed += rec_bytes + sizeof(Entry);
-        freed_recs += rec_bytes;
-      }
-      if (e.unfinished_s != 0) freed += sizeof(Entry);
-      return false;
-    });
+    const std::size_t erased = map_.retain(
+        [&](std::uint64_t key, const Entry& e) {
+          if (!pred(key)) return true;
+          if (e.finished != nullptr) {
+            const std::uint64_t rec_bytes =
+                sizeof(FinishedJmp) +
+                e.finished->targets.capacity() * sizeof(JmpTarget);
+            freed += rec_bytes + sizeof(Entry);
+            freed_recs += rec_bytes;
+          }
+          if (e.unfinished_s != 0) freed += sizeof(Entry);
+          return false;
+        },
+        [](const Entry& e) {
+          if (e.finished != nullptr)
+            support::global_epoch_domain().retire_object(e.finished);
+        });
     // Saturate rather than wrap if accounting ever disagrees with insertion.
     std::uint64_t bytes = bytes_.load(std::memory_order_relaxed);
     while (!bytes_.compare_exchange_weak(bytes, bytes - std::min(bytes, freed),
                                          std::memory_order_relaxed)) {
     }
     support::MemTally::note_free(freed_recs);
+    // Quiescent-point housekeeping: reclaim whatever is provably safe now.
+    support::global_epoch_domain().collect();
     return erased;
   }
 
-  void clear() { map_.clear(); bytes_.store(0, std::memory_order_relaxed); }
+  void clear() {
+    map_.clear([](const Entry& e) {
+      if (e.finished != nullptr)
+        support::global_epoch_domain().retire_object(e.finished);
+    });
+    bytes_.store(0, std::memory_order_relaxed);
+    support::global_epoch_domain().collect();
+  }
 
  private:
   struct Entry {
-    std::shared_ptr<const FinishedJmp> finished;
+    const FinishedJmp* finished = nullptr;  // owned by the store
     std::uint32_t unfinished_s = 0;
   };
 

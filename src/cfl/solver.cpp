@@ -137,6 +137,10 @@ Solver::MemoryStats Solver::memory_stats() const {
   m.slab_bytes = memo_slab_.arena_bytes() + pending_slab_.arena_bytes();
   m.frame_count = frames_.size();
   m.scratch_capacity_bytes += sharing_stack_.capacity() * sizeof(SharingFrame);
+  m.scratch_capacity_bytes +=
+      pub_finished_.capacity() * sizeof(BufferedFinished) +
+      pub_unfinished_.capacity() * sizeof(BufferedUnfinished) +
+      pub_targets_.capacity() * sizeof(JmpTarget);
   return m;
 }
 
@@ -195,6 +199,45 @@ Solver::AliasAnswer Solver::may_alias(NodeId v1, NodeId v2) {
   return AliasAnswer::kUnknown;
 }
 
+void Solver::publish_finished(std::uint64_t jmp_key, std::uint64_t cost,
+                              const JmpTarget* data, std::size_t n) {
+  const auto cost32 =
+      static_cast<std::uint32_t>(std::min<std::uint64_t>(cost, UINT32_MAX));
+  if (options_.batched_publication) {
+    const auto begin = static_cast<std::uint32_t>(pub_targets_.size());
+    pub_targets_.insert(pub_targets_.end(), data, data + n);
+    pub_finished_.push_back(BufferedFinished{
+        jmp_key, cost32, begin, static_cast<std::uint32_t>(pub_targets_.size())});
+    return;
+  }
+  if (store_->insert_finished(jmp_key, cost32, {data, data + n}))
+    counters_.jmps_added_finished += n;
+}
+
+void Solver::publish_unfinished(std::uint64_t jmp_key, std::uint32_t s) {
+  if (options_.batched_publication) {
+    pub_unfinished_.push_back(BufferedUnfinished{jmp_key, s});
+    return;
+  }
+  if (store_->insert_unfinished(jmp_key, s)) ++counters_.jmps_added_unfinished;
+}
+
+void Solver::flush_publications() {
+  if (store_ == nullptr) return;
+  for (const BufferedFinished& f : pub_finished_) {
+    if (store_->insert_finished(
+            f.key, f.cost,
+            {pub_targets_.begin() + f.begin, pub_targets_.begin() + f.end}))
+      counters_.jmps_added_finished += f.end - f.begin;
+  }
+  for (const BufferedUnfinished& u : pub_unfinished_) {
+    if (store_->insert_unfinished(u.key, u.s)) ++counters_.jmps_added_unfinished;
+  }
+  pub_finished_.clear();
+  pub_unfinished_.clear();
+  pub_targets_.clear();
+}
+
 void Solver::out_of_budget(std::uint64_t bdg, bool early) {
   // Alg. 2 OUTOFBUDGET (lines 23-25): for every active ReachableNodes frame
   // (x, c) entered at s0 charged steps, the analysis reached the aborting
@@ -205,8 +248,7 @@ void Solver::out_of_budget(std::uint64_t bdg, bool early) {
       const std::uint64_t s =
           std::min<std::uint64_t>(budget_limit_, bdg + charged_ - frame.s0);
       if (s >= options_.tau_unfinished) {
-        if (store_->insert_unfinished(frame.jmp_key, static_cast<std::uint32_t>(s)))
-          ++counters_.jmps_added_unfinished;
+        publish_unfinished(frame.jmp_key, static_cast<std::uint32_t>(s));
       } else {
         ++counters_.jmps_suppressed;
       }
@@ -293,13 +335,7 @@ void Solver::reachable_nodes(Direction dir, NodeId x, CtxId c, ResultSet& out,
         }
       }
       if (effective_cost >= options_.tau_finished) {
-        const std::size_t edge_count = found.size();
-        if (store_->insert_finished(jmp_key,
-                                    static_cast<std::uint32_t>(
-                                        std::min<std::uint64_t>(effective_cost,
-                                                                UINT32_MAX)),
-                                    {found.begin(), found.end()}))
-          counters_.jmps_added_finished += edge_count;
+        publish_finished(jmp_key, effective_cost, found.data(), found.size());
       } else {
         ++counters_.jmps_suppressed;
       }
@@ -582,6 +618,14 @@ const Solver::ResultSet& Solver::compute_flows_to(NodeId root, CtxId rc) {
 }
 
 void Solver::run_query(NodeId root, Direction dir, QueryResult& out) {
+  // Pin the reclamation epoch for the whole query: jmp lookups hand back raw
+  // pointers into store-owned records, and the pin keeps any record retired
+  // by a concurrent erase_if/clear alive until we are done with it. Nested
+  // pins (one per lookup would be the alternative) are cheap, but one per
+  // query is cheaper still.
+  std::optional<support::EpochGuard> epoch_pin;
+  if (store_ != nullptr) epoch_pin.emplace(support::global_epoch_domain());
+
   // Epoch-clear the maps and rewind the slabs: O(1), keeps all storage.
   pts_memo_.clear();
   flows_memo_.clear();
@@ -653,10 +697,8 @@ void Solver::run_query(NodeId root, Direction dir, QueryResult& out) {
         if (pending.published) continue;                // consumed earlier
         if (pending.iteration != iterations) continue;  // possibly stale
         if (pending.max_cost >= options_.tau_finished) {
-          const std::size_t edge_count = pending.targets.size();
-          if (store_->insert_finished(pending.key, pending.max_cost,
-                                      std::move(pending.targets)))
-            counters_.jmps_added_finished += edge_count;
+          publish_finished(pending.key, pending.max_cost,
+                           pending.targets.data(), pending.targets.size());
         } else {
           ++counters_.jmps_suppressed;
         }
@@ -667,6 +709,11 @@ void Solver::run_query(NodeId root, Direction dir, QueryResult& out) {
                                       : QueryStatus::kOutOfBudget;
     sharing_stack_.clear();
   }
+
+  // Batched publication flushes once per query, on every exit path: aborted
+  // queries still contribute their unfinished jmps (Alg. 2 line 24), they
+  // just stop contending with readers mid-traversal.
+  flush_publications();
 
   if (const std::uint32_t* root_index = memo.find(root_key))
     out.tuples = memo_slab_[*root_index].set.items;

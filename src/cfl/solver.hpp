@@ -85,6 +85,14 @@ struct SolverOptions {
   bool charge_jmp_costs = false;
   std::uint32_t tau_finished = 100;    // τF: min cost to publish a finished jmp
   std::uint32_t tau_unfinished = 10000;  // τU: min s to publish an unfinished jmp
+  /// Buffer jmp publications per query and flush them at query end (DESIGN.md
+  /// §9): mid-traversal the solver then never takes a store shard lock, so
+  /// writers stop contending with other workers' lock-free lookups. Flushing
+  /// still goes through the store's first-wins inserts, and single-threaded
+  /// outcomes are identical either way (the property test in
+  /// tests/concurrency_stress_test.cpp); disable to publish at the paper's
+  /// Alg. 2 line 20/24 points exactly.
+  bool batched_publication = true;
   bool field_approximation = false;  // regular approximation of field parens
   std::unordered_set<std::uint32_t> refined_fields;  // exact matching anyway
   std::uint32_t max_fixpoint_iters = 16;  // cycle-closure iterations per query
@@ -303,6 +311,30 @@ class Solver {
   };
   support::FlatMap<std::uint32_t> pending_map_;  // jmp key -> pending slab idx
   support::Slab<PendingJmp> pending_slab_;
+
+  /// Publication buffers (options_.batched_publication): finished/unfinished
+  /// jmps queue here during the traversal and flush once at query end.
+  /// Target lists live in one flat arena addressed by [begin, end) ranges, so
+  /// buffering allocates nothing in steady state (capacities are part of
+  /// memory_stats()).
+  struct BufferedFinished {
+    std::uint64_t key;
+    std::uint32_t cost;
+    std::uint32_t begin, end;  // range into pub_targets_
+  };
+  struct BufferedUnfinished {
+    std::uint64_t key;
+    std::uint32_t s;
+  };
+  std::vector<BufferedFinished> pub_finished_;
+  std::vector<BufferedUnfinished> pub_unfinished_;
+  std::vector<JmpTarget> pub_targets_;
+
+  /// Publish or buffer a finished/unfinished jmp per batched_publication.
+  void publish_finished(std::uint64_t jmp_key, std::uint64_t cost,
+                        const JmpTarget* data, std::size_t n);
+  void publish_unfinished(std::uint64_t jmp_key, std::uint32_t s);
+  void flush_publications();
 
   /// Pooled traversal scratch, one frame per recursion depth. A compute_*
   /// activation at depth d owns frame d's work stack and visited set; the

@@ -1,0 +1,219 @@
+#pragma once
+// Epoch-based reclamation (EBR) for the lock-free read paths of shared
+// sharing-state (ShardedMap tables/nodes, JmpStore records). Readers pin the
+// global epoch with an EpochGuard before dereferencing a published pointer;
+// writers unlink a pointer from the shared structure, then retire() it onto a
+// deferred list. A retired item is freed only once the global epoch has
+// advanced twice past its retirement epoch, which cannot happen while any
+// reader that could still hold the pointer stays pinned.
+//
+// Why this is safe (the three-way ordering argument):
+//  * unlink is sequenced-before retire() in the retiring thread;
+//  * retire() and the epoch-advance CAS both run under the domain mutex, so
+//    unlink happens-before any advance that follows the retirement;
+//  * a reader pinning the advanced epoch reads the global counter seq_cst
+//    (reads-from => synchronizes-with the advance), so its probe loads
+//    happen-after the unlink and cannot observe the retired pointer. Readers
+//    pinned at older epochs block the advance itself: collect() only bumps
+//    the epoch when every active slot has observed the current value.
+//
+// One process-global domain (global_epoch_domain()) serves all maps: slots
+// are claimed per thread via a thread_local handle and released at thread
+// exit, which sidesteps domain-vs-thread lifetime hazards entirely. The
+// domain destructor (static teardown) frees whatever garbage remains, so
+// leak checkers see every retirement reclaimed.
+//
+// collect() is cheap and safe to call at any time; erase_if/clear on the jmp
+// store call it opportunistically, and the service's between-batch quiescent
+// points (no solver mid-query) make it maximally effective there.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace parcfl::support {
+
+class EpochDomain {
+ public:
+  static constexpr std::uint64_t kIdle = ~0ull;
+  static constexpr unsigned kMaxReaders = 256;
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> epoch{kIdle};
+    std::atomic<bool> claimed{false};
+    std::uint32_t nest = 0;  // touched only by the owning thread
+  };
+
+  struct Retired {
+    void* ptr;
+    void (*del)(void*);
+    std::uint64_t epoch;
+  };
+
+ public:
+  EpochDomain() = default;
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  ~EpochDomain() {
+    // By contract no reader can still be pinned at domain teardown; free the
+    // remaining garbage directly so nothing leaks.
+    for (const Retired& r : retired_) r.del(r.ptr);
+  }
+
+  /// RAII epoch pin. Nested guards on the same thread are cheap (a non-atomic
+  /// counter bump); only the outermost guard publishes/retracts the pin.
+  class Guard {
+   public:
+    explicit Guard(EpochDomain& domain) : slot_(domain.thread_slot()) {
+      if (slot_->nest++ != 0) return;  // already pinned (at an epoch <= now)
+      // Pin loop: publish a candidate epoch, then re-read the global counter;
+      // retry until the published pin matches, so an in-flight advance can
+      // never leave us pinned "in the past" without collect() seeing it.
+      std::uint64_t e = domain.global_epoch_.load(std::memory_order_seq_cst);
+      for (;;) {
+        slot_->epoch.store(e, std::memory_order_seq_cst);
+        const std::uint64_t cur =
+            domain.global_epoch_.load(std::memory_order_seq_cst);
+        if (cur == e) break;
+        e = cur;
+      }
+    }
+    ~Guard() {
+      if (--slot_->nest == 0)
+        slot_->epoch.store(kIdle, std::memory_order_release);
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    Slot* slot_;
+  };
+
+  /// Defer `del(ptr)` until no pinned reader can still hold `ptr`. The caller
+  /// must have unlinked `ptr` from every shared structure first.
+  void retire(void* ptr, void (*del)(void*)) {
+    std::lock_guard lock(mu_);
+    retired_.push_back(
+        Retired{ptr, del, global_epoch_.load(std::memory_order_seq_cst)});
+    // Housekeeping so garbage cannot pile up unboundedly between explicit
+    // quiescent points.
+    if (retired_.size() >= kCollectThreshold) collect_locked();
+  }
+
+  template <class T>
+  void retire_object(T* ptr) {
+    retire(const_cast<void*>(static_cast<const void*>(ptr)),
+           [](void* p) { delete static_cast<T*>(p); });
+  }
+
+  /// Advance the epoch if possible and free everything now provably
+  /// unreachable. Returns the number of items freed.
+  std::size_t collect() {
+    std::lock_guard lock(mu_);
+    return collect_locked();
+  }
+
+  /// Items currently awaiting reclamation (test/diagnostic hook).
+  std::size_t retired_count() const {
+    std::lock_guard lock(mu_);
+    return retired_.size();
+  }
+
+  std::uint64_t epoch() const {
+    return global_epoch_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  static constexpr std::size_t kCollectThreshold = 1024;
+
+  // Thread slot management: each thread claims one slot per domain lifetime;
+  // a thread_local handle releases it at thread exit so slots recycle.
+  struct SlotHandle {
+    EpochDomain* domain = nullptr;
+    Slot* slot = nullptr;
+    ~SlotHandle() { release(); }
+    void release() {
+      if (slot == nullptr) return;
+      slot->epoch.store(kIdle, std::memory_order_release);
+      slot->claimed.store(false, std::memory_order_release);
+      slot = nullptr;
+      domain = nullptr;
+    }
+  };
+
+  Slot* thread_slot() {
+    thread_local SlotHandle handle;
+    if (handle.domain != this) {
+      handle.release();
+      handle.slot = claim_slot();
+      handle.domain = this;
+    }
+    return handle.slot;
+  }
+
+  Slot* claim_slot() {
+    for (Slot& s : slots_) {
+      bool expected = false;
+      if (s.claimed.compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel)) {
+        s.nest = 0;
+        return &s;
+      }
+    }
+    PARCFL_CHECK_MSG(false, "EpochDomain: more than kMaxReaders live threads");
+    return nullptr;
+  }
+
+  std::size_t collect_locked() {
+    // Try to advance up to twice; each step requires every pinned reader to
+    // have observed the current epoch.
+    for (int round = 0; round < 2; ++round) {
+      std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+      bool all_current = true;
+      for (const Slot& s : slots_) {
+        const std::uint64_t pinned = s.epoch.load(std::memory_order_seq_cst);
+        if (pinned != kIdle && pinned < e) {
+          all_current = false;
+          break;
+        }
+      }
+      if (!all_current) break;
+      global_epoch_.compare_exchange_strong(e, e + 1,
+                                            std::memory_order_seq_cst);
+    }
+    const std::uint64_t safe = global_epoch_.load(std::memory_order_seq_cst);
+    std::size_t freed = 0;
+    std::size_t kept = 0;
+    for (Retired& r : retired_) {
+      if (r.epoch + 2 <= safe) {
+        r.del(r.ptr);
+        ++freed;
+      } else {
+        retired_[kept++] = r;
+      }
+    }
+    retired_.resize(kept);
+    return freed;
+  }
+
+  std::atomic<std::uint64_t> global_epoch_{2};  // so retire epoch - 2 >= 0
+  Slot slots_[kMaxReaders];
+  mutable std::mutex mu_;
+  std::vector<Retired> retired_;  // guarded by mu_
+};
+
+using EpochGuard = EpochDomain::Guard;
+
+/// The process-global domain used by all sharing-state structures.
+inline EpochDomain& global_epoch_domain() {
+  static EpochDomain domain;
+  return domain;
+}
+
+}  // namespace parcfl::support

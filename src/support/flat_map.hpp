@@ -10,9 +10,11 @@
 //    PODs here; anything that owns memory lives in a Slab so a stale epoch
 //    cannot leak.
 //
-//  * FlatKV<K, V, H>  — general keys/values (e.g. shared_ptr-holding jmp
-//    entries) for use inside ShardedMap shards. clear() is O(capacity) and
-//    releases per-entry resources; there is still no erase().
+//  * FlatKV<K, V, H>  — general (possibly resource-owning) keys/values for
+//    single-threaded use. clear() is O(capacity) and releases per-entry
+//    resources; there is still no erase(). (ShardedMap used to build shards
+//    from FlatKV; it now publishes immutable epoch-protected slot arrays —
+//    see support/sharded_map.hpp.)
 
 #include <cstddef>
 #include <cstdint>

@@ -201,13 +201,47 @@ TEST(ShardedMap, InsertIfAbsentFirstWins) {
   EXPECT_FALSE(map.find_copy(43, out));
 }
 
-TEST(ShardedMap, UpdateCreatesDefault) {
+TEST(ShardedMap, UpsertCreatesDefaultAndCanDecline) {
   ShardedMap<std::uint64_t, int> map;
-  map.update(7, [](int& v) { v += 5; });
-  map.update(7, [](int& v) { v += 5; });
+  // Absent key: fn sees a default-constructed value; commit publishes it.
+  EXPECT_TRUE(map.upsert(7, [](int& v) {
+    v += 5;
+    return true;
+  }));
+  // Present key: fn sees the stored value and rewrites it copy-on-write.
+  EXPECT_TRUE(map.upsert(7, [](int& v) {
+    v += 5;
+    return true;
+  }));
   int out = 0;
   ASSERT_TRUE(map.find_copy(7, out));
   EXPECT_EQ(out, 10);
+  // Declined commits leave the map untouched (first-wins building block).
+  EXPECT_FALSE(map.upsert(7, [](int& v) {
+    v = 99;
+    return false;
+  }));
+  EXPECT_FALSE(map.upsert(8, [](int&) { return false; }));
+  ASSERT_TRUE(map.find_copy(7, out));
+  EXPECT_EQ(out, 10);
+  EXPECT_FALSE(map.contains(8));
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(ShardedMap, GetOrInsertRunsMakeOnlyOnce) {
+  ShardedMap<std::uint64_t, std::uint32_t> map;
+  int calls = 0;
+  EXPECT_EQ(map.get_or_insert(11, [&] {
+    ++calls;
+    return 77u;
+  }),
+            77u);
+  EXPECT_EQ(map.get_or_insert(11, [&] {
+    ++calls;
+    return 88u;
+  }),
+            77u);  // first wins; make() not called again
+  EXPECT_EQ(calls, 1);
 }
 
 TEST(ShardedMap, SizeAndClearAndForEach) {
