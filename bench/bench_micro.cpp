@@ -19,9 +19,11 @@
 #include "frontend/lower.hpp"
 #include "pag/collapse.hpp"
 #include "support/flat_map.hpp"
+#include "support/metrics.hpp"
 #include "support/scc.hpp"
 #include "support/sharded_map.hpp"
 #include "support/spinlock.hpp"
+#include "support/trace.hpp"
 #include "synth/generator.hpp"
 
 namespace {
@@ -313,6 +315,64 @@ void BM_QueryBatchMedium(benchmark::State& state) {
                           static_cast<std::int64_t>(queries.size()));
 }
 BENCHMARK(BM_QueryBatchMedium);
+
+// ---- Instrumentation overhead (DESIGN.md §10) ----------------------------
+//
+// The pair that keeps tracing honest. BM_QueryBatchMedium above is the
+// headline with trace_level 0, where the only residue of the observability
+// layer is a null-pointer test per emit site; BM_QueryBatchMediumTraced runs
+// the identical batch at trace_level 2 with a live ring, paying a 24-byte
+// store per event. EXPERIMENTS.md records both: the off number must stay
+// within 2% of the previous PR's headline, and the traced number bounds what
+// a slow-query capture costs when it actually fires.
+void BM_QueryBatchMediumTraced(benchmark::State& state) {
+  const auto& pag = workload_pag();
+  const auto queries = workload_queries(pag);
+  cfl::ContextTable contexts;
+  cfl::SolverOptions so;
+  so.budget = 50'000;
+  so.trace_level = 2;
+  cfl::Solver solver(pag, contexts, nullptr, so);
+  obs::TraceRing ring(1024);
+  solver.set_trace(&ring);
+  for (auto _ : state) {
+    for (const pag::NodeId q : queries)
+      benchmark::DoNotOptimize(solver.points_to(q));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(queries.size()));
+}
+BENCHMARK(BM_QueryBatchMediumTraced);
+
+// The registry's whole write path: one relaxed fetch_add on a per-thread
+// cell. Multi-threaded arms confirm the padding keeps writers off each
+// other's cache lines (flat scaling, not inverse).
+void BM_MetricsCounterAdd(benchmark::State& state) {
+  static obs::MetricsRegistry* registry = new obs::MetricsRegistry();
+  static const auto id =
+      registry->counter("bench_adds_total", "Microbenchmark counter.");
+  for (auto _ : state) registry->add(id);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsCounterAdd)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+void BM_MetricsHistogramObserve(benchmark::State& state) {
+  static obs::MetricsRegistry* registry = new obs::MetricsRegistry();
+  static const auto id = registry->histogram(
+      "bench_latency_ms", "Microbenchmark histogram.",
+      {0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000});
+  double v = 0.05;
+  for (auto _ : state) {
+    registry->observe(id, v);
+    v = v < 900.0 ? v * 1.7 : 0.05;  // sweep the buckets
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsHistogramObserve);
 
 void BM_SingleQueryNoSharing(benchmark::State& state) {
   const auto& pag = workload_pag();

@@ -22,10 +22,13 @@
 //                  [--clients N] [--requests N] [--rate QPS]
 //                  [--alias-every K] [--batch N] [--linger-us N]
 //                  [--queue N] [--out FILE] [--connect PORT]
+//                  [--scrape FILE]
 //
 // --connect PORT skips the in-process service and replays the request
 // sequence against a running `parcfl_serve` on 127.0.0.1:PORT over TCP
 // (request-plane metrics only; engine counters stay on the server).
+// --scrape FILE saves the service's Prometheus exposition after the warm
+// phase (in connect mode via the `metrics` wire verb).
 
 #include <algorithm>
 #include <array>
@@ -71,6 +74,7 @@ struct Config {
   long linger_us = 500;
   std::uint32_t queue = 4096;
   std::string out = "BENCH_service.json";
+  std::string scrape;  // empty = no metrics scrape
   long connect_port = -1;
 };
 
@@ -79,7 +83,7 @@ int usage() {
                "usage: parcfl_loadgen [--benchmark NAME] [--scale S]\n"
                "  [--threads N] [--clients N] [--requests N] [--rate QPS]\n"
                "  [--alias-every K] [--batch N] [--linger-us N] [--queue N]\n"
-               "  [--out FILE] [--connect PORT]\n");
+               "  [--out FILE] [--connect PORT] [--scrape FILE]\n");
   return 2;
 }
 
@@ -259,21 +263,50 @@ class TcpClient {
       if (w <= 0) return {};
       sent += static_cast<std::size_t>(w);
     }
+    bool got = false;
+    return read_line(got);
+  }
+
+  /// Fetch the server's Prometheus exposition through the counted multi-line
+  /// frame (`ok metrics <n>` header, then n payload lines). False on
+  /// transport or framing errors.
+  bool scrape(std::string& out) {
+    const std::string header = roundtrip("metrics\n");
+    const char kPrefix[] = "ok metrics ";
+    if (header.rfind(kPrefix, 0) != 0) return false;
+    const unsigned long lines =
+        std::strtoul(header.c_str() + sizeof(kPrefix) - 1, nullptr, 10);
+    out.clear();
+    for (unsigned long i = 0; i < lines; ++i) {
+      bool got = false;
+      const std::string line = read_line(got);
+      if (!got) return false;
+      out += line;
+      out += '\n';
+    }
+    return true;
+  }
+
+ private:
+  std::string read_line(bool& got) {
     for (;;) {
       const auto nl = buffer_.find('\n');
       if (nl != std::string::npos) {
         std::string reply = buffer_.substr(0, nl);
         buffer_.erase(0, nl + 1);
+        got = true;
         return reply;
       }
       char chunk[4096];
       const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-      if (n <= 0) return {};
+      if (n <= 0) {
+        got = false;
+        return {};
+      }
       buffer_.append(chunk, static_cast<std::size_t>(n));
     }
   }
 
- private:
   int fd_ = -1;
   std::string buffer_;
 };
@@ -285,6 +318,19 @@ std::string format_request_line(const service::Request& r) {
   return "query " + std::to_string(r.a.value()) + "\n";
 }
 #endif  // _WIN32
+
+void write_scrape(const std::string& path, const std::string& exposition) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "parcfl_loadgen: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fputs(exposition.c_str(), f);
+  if (!exposition.empty() && exposition.back() != '\n') std::fputc('\n', f);
+  std::fclose(f);
+  std::fprintf(stderr, "parcfl_loadgen: scraped metrics to %s\n", path.c_str());
+}
 
 }  // namespace
 
@@ -308,6 +354,7 @@ int main(int argc, char** argv) {
     else if (std::strcmp(arg, "--linger-us") == 0 && (v = value())) cfg.linger_us = std::atol(v);
     else if (std::strcmp(arg, "--queue") == 0 && (v = value())) cfg.queue = static_cast<std::uint32_t>(std::atol(v));
     else if (std::strcmp(arg, "--out") == 0 && (v = value())) cfg.out = v;
+    else if (std::strcmp(arg, "--scrape") == 0 && (v = value())) cfg.scrape = v;
     else if (std::strcmp(arg, "--connect") == 0 && (v = value())) cfg.connect_port = std::atol(v);
     else return usage();
   }
@@ -354,6 +401,13 @@ int main(int argc, char** argv) {
     };
     cold = run_phase(requests, cfg, issue);
     warm = run_phase(requests, cfg, issue);
+    if (!cfg.scrape.empty()) {
+      std::string exposition;
+      if (conns[0]->scrape(exposition))
+        write_scrape(cfg.scrape, exposition);
+      else
+        std::fprintf(stderr, "parcfl_loadgen: metrics scrape failed\n");
+    }
 #else
     std::fprintf(stderr, "parcfl_loadgen: --connect is POSIX-only\n");
     return 1;
@@ -390,6 +444,7 @@ int main(int argc, char** argv) {
     const auto stats = svc.stats();
     std::fprintf(stderr, "parcfl_loadgen: server stats %s\n",
                  stats.to_json().c_str());
+    write_scrape(cfg.scrape, svc.metrics_text());
   }
 
   const double step_ratio =

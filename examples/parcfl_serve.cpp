@@ -14,11 +14,15 @@
 //     --batch N      micro-batch size cap, query units (default 64)
 //     --linger-us N  micro-batch linger               (default 500)
 //     --queue N      admission queue depth, query units (default 4096)
+//     --slow-ms F    slow-query log threshold in ms   (default off)
+//     --trace N      solver trace level 0|1|2         (default 0); slow
+//                    queries then carry their trace in `slowlog` replies
 //
-// Example session (see README "Running the server"):
+// Example session (see README "Running the server" / "Scraping metrics"):
 //   $ pag_tool gen avrora /tmp/avrora.pag 0.5
 //   $ parcfl_serve /tmp/avrora.pag --port 7077 --state /tmp/avrora.state &
 //   $ printf 'query 17\nstats\nquit\n' | nc 127.0.0.1 7077
+//   $ printf 'metrics\nquit\n' | nc 127.0.0.1 7077
 
 #include <cstdio>
 #include <cstdlib>
@@ -38,7 +42,7 @@ int usage() {
                "usage: parcfl_serve <file.pag> [--port N] [--threads N]\n"
                "                    [--mode seq|naive|d|dq] [--state FILE]\n"
                "                    [--budget N] [--batch N] [--linger-us N]\n"
-               "                    [--queue N]\n");
+               "                    [--queue N] [--slow-ms F] [--trace 0|1|2]\n");
   return 2;
 }
 
@@ -83,6 +87,11 @@ int main(int argc, char** argv) {
       options.max_linger = std::chrono::microseconds(std::atol(v));
     } else if (std::strcmp(arg, "--queue") == 0 && (v = value())) {
       options.max_queue = static_cast<std::uint32_t>(std::atol(v));
+    } else if (std::strcmp(arg, "--slow-ms") == 0 && (v = value())) {
+      options.slow_query_ms = std::strtod(v, nullptr);
+    } else if (std::strcmp(arg, "--trace") == 0 && (v = value())) {
+      options.session.engine.solver.trace_level =
+          static_cast<std::uint32_t>(std::atol(v));
     } else {
       return usage();
     }

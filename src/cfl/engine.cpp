@@ -1,6 +1,7 @@
 #include "cfl/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "support/check.hpp"
 #include "support/thread_pool.hpp"
@@ -58,6 +59,11 @@ EngineResult run_batch(const EngineOptions& options, Schedule schedule,
   result.outcomes.resize(schedule.ordered.size());
   if (options.collect_objects) result.objects.resize(schedule.ordered.size());
 
+  // Per-query timing only when a slow-query sink is armed: two clock reads
+  // per query are cheap but not free, and most runs are benchmarks.
+  const bool slow_log =
+      options.slow_query_ms > 0.0 && options.slow_query_sink != nullptr;
+
   support::WallTimer run_timer;
   auto run_unit = [&](unsigned worker, std::uint64_t unit_index) {
     Solver& solver = *solvers[worker];
@@ -68,11 +74,30 @@ EngineResult run_batch(const EngineOptions& options, Schedule schedule,
       if (!budgets.empty())
         solver.set_query_budget(budgets[schedule.source_index[i]]);
       const std::uint64_t charged_before = solver.counters().charged_steps;
+      std::chrono::steady_clock::time_point q0;
+      if (slow_log) q0 = std::chrono::steady_clock::now();
       solver.points_to(var, ws.qr);
+      const std::uint64_t charged =
+          solver.counters().charged_steps - charged_before;
+      if (slow_log) {
+        const double ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - q0)
+                              .count();
+        if (ms >= options.slow_query_ms) {
+          SlowQueryRecord record;
+          record.var = var;
+          record.latency_ms = ms;
+          record.status = ws.qr.status;
+          record.charged_steps = charged;
+          if (const obs::TraceRing* ring = solver.trace())
+            record.trace_jsonl = ring->to_jsonl();
+          options.slow_query_sink(record);
+        }
+      }
       ws.qr.nodes_into(ws.nodes);
       result.outcomes[i] = QueryOutcome{
           var, ws.qr.status, static_cast<std::uint32_t>(ws.nodes.size()),
-          solver.counters().charged_steps - charged_before};
+          charged};
       if (options.collect_objects) result.objects[i] = ws.nodes;
     }
   };
@@ -136,11 +161,17 @@ EngineResult Engine::run(std::span<const pag::NodeId> queries,
   const unsigned threads = static_cast<unsigned>(std::max<std::uint64_t>(
       1, std::min<std::uint64_t>(options_.threads, schedule.units.size())));
   std::vector<std::unique_ptr<Solver>> solvers;
+  std::vector<std::unique_ptr<obs::TraceRing>> rings;  // outlives run_batch
   solvers.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t)
+  for (unsigned t = 0; t < threads; ++t) {
     solvers.push_back(std::make_unique<Solver>(pag_, contexts,
                                                sharing ? &store : nullptr,
                                                solver_options));
+    if (solver_options.trace_level > 0) {
+      rings.push_back(std::make_unique<obs::TraceRing>());
+      solvers.back()->set_trace(rings.back().get());
+    }
+  }
   std::vector<detail::WorkerScratch> scratch(threads);
 
   std::unique_ptr<support::ThreadPool> pool;
@@ -159,10 +190,15 @@ BatchRunner::BatchRunner(const pag::Pag& pag, const EngineOptions& options,
   SolverOptions solver_options = options_.solver;
   solver_options.data_sharing = sharing;
   solvers_.reserve(options_.threads);
-  for (unsigned t = 0; t < options_.threads; ++t)
+  for (unsigned t = 0; t < options_.threads; ++t) {
     solvers_.push_back(std::make_unique<Solver>(pag_, contexts_,
                                                 sharing ? &store_ : nullptr,
                                                 solver_options));
+    if (solver_options.trace_level > 0) {
+      rings_.push_back(std::make_unique<obs::TraceRing>());
+      solvers_.back()->set_trace(rings_.back().get());
+    }
+  }
   scratch_.resize(options_.threads);
   if (options_.threads > 1)
     pool_ = std::make_unique<support::ThreadPool>(options_.threads);

@@ -16,8 +16,10 @@
 // superlinear speedups; see DESIGN.md §1.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "cfl/context.hpp"
@@ -26,6 +28,7 @@
 #include "cfl/solver.hpp"
 #include "pag/pag.hpp"
 #include "support/stats.hpp"
+#include "support/trace.hpp"
 
 namespace parcfl::support {
 class ThreadPool;
@@ -42,12 +45,28 @@ enum class Mode : std::uint8_t {
 
 const char* to_string(Mode mode);
 
+/// One query that crossed the engine's slow-query threshold, handed to
+/// EngineOptions::slow_query_sink with its trace (when tracing is attached).
+struct SlowQueryRecord {
+  pag::NodeId var = pag::NodeId::invalid();
+  double latency_ms = 0.0;
+  QueryStatus status = QueryStatus::kComplete;
+  std::uint64_t charged_steps = 0;
+  std::string trace_jsonl;  // empty when solver.trace_level == 0
+};
+
 struct EngineOptions {
   Mode mode = Mode::kSequential;
   unsigned threads = 1;  // ignored for kSequential
   SolverOptions solver;  // budget, sensitivity, taus (sharing flag is derived)
   bool collect_objects = false;  // retain each query's object set in the
                                  // result (for clients::PointsToTable)
+  /// Slow-query observability: when > 0, every query is individually timed
+  /// and those at or above the threshold are handed to `slow_query_sink`
+  /// from the worker thread that ran them — the sink must be thread-safe.
+  /// 0 (the default) skips the per-query clock reads entirely.
+  double slow_query_ms = 0.0;
+  std::function<void(const SlowQueryRecord&)> slow_query_sink;
 };
 
 struct QueryOutcome {
@@ -151,6 +170,9 @@ class BatchRunner {
   ContextTable& contexts_;
   std::vector<std::unique_ptr<Solver>> solvers_;
   std::vector<detail::WorkerScratch> scratch_;
+  /// One ring per warm solver when solver.trace_level > 0 (same lifetime, so
+  /// the slow-query hook can export a query's trace at any point).
+  std::vector<std::unique_ptr<obs::TraceRing>> rings_;
   std::unique_ptr<support::ThreadPool> pool_;  // null when threads == 1
 };
 

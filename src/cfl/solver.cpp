@@ -203,6 +203,8 @@ void Solver::publish_finished(std::uint64_t jmp_key, std::uint64_t cost,
                               const JmpTarget* data, std::size_t n) {
   const auto cost32 =
       static_cast<std::uint32_t>(std::min<std::uint64_t>(cost, UINT32_MAX));
+  if (trace_jmp_events())
+    trace_->emit(obs::TraceEvent::kJmpPublishFinished, jmp_key, cost32);
   if (options_.batched_publication) {
     const auto begin = static_cast<std::uint32_t>(pub_targets_.size());
     pub_targets_.insert(pub_targets_.end(), data, data + n);
@@ -215,6 +217,8 @@ void Solver::publish_finished(std::uint64_t jmp_key, std::uint64_t cost,
 }
 
 void Solver::publish_unfinished(std::uint64_t jmp_key, std::uint32_t s) {
+  if (trace_jmp_events())
+    trace_->emit(obs::TraceEvent::kJmpPublishUnfinished, jmp_key, s);
   if (options_.batched_publication) {
     pub_unfinished_.push_back(BufferedUnfinished{jmp_key, s});
     return;
@@ -275,6 +279,9 @@ void Solver::reachable_nodes(Direction dir, NodeId x, CtxId c, ResultSet& out,
       if (lk.unfinished_s != 0 &&
           budget_limit_ - std::min(charged_, budget_limit_) < lk.unfinished_s) {
         ++counters_.early_terminations;
+        if (trace_jmp_events())
+          trace_->emit(obs::TraceEvent::kEarlyTermination, jmp_key,
+                       lk.unfinished_s);
         // The recorded s proves this query would have exhausted its budget:
         // everything between here and B is traversal the jmp edge avoided.
         saved_ += budget_limit_ - std::min(charged_, budget_limit_);
@@ -289,10 +296,13 @@ void Solver::reachable_nodes(Direction dir, NodeId x, CtxId c, ResultSet& out,
           saved_ += lk.finished->cost;
           ++counters_.jmps_taken;
         }
+        if (trace_jmp_events())
+          trace_->emit(obs::TraceEvent::kJmpHit, jmp_key, lk.finished->cost);
         for (const JmpTarget& t : lk.finished->targets) out.add(t.node, t.ctx);
         return;
       }
     }
+    if (trace_jmp_events()) trace_->emit(obs::TraceEvent::kJmpMiss, jmp_key);
   }
 
   const std::uint64_t s0 = charged_;
@@ -451,6 +461,8 @@ const Solver::ResultSet& Solver::compute_points_to(NodeId root, CtxId rc) {
   entry.state = MemoEntry::State::kInProgress;
   if (++recursion_depth_ > options_.max_recursion_depth)
     out_of_budget(0, /*early=*/false);
+  if (trace_ != nullptr && recursion_depth_ > depth_high_water_)
+    depth_high_water_ = recursion_depth_;
   const bool outer_taint = taint_flag_;
   taint_flag_ = false;
 
@@ -548,6 +560,8 @@ const Solver::ResultSet& Solver::compute_flows_to(NodeId root, CtxId rc) {
   entry.state = MemoEntry::State::kInProgress;
   if (++recursion_depth_ > options_.max_recursion_depth)
     out_of_budget(0, /*early=*/false);
+  if (trace_ != nullptr && recursion_depth_ > depth_high_water_)
+    depth_high_water_ = recursion_depth_;
   const bool outer_taint = taint_flag_;
   taint_flag_ = false;
 
@@ -641,6 +655,13 @@ void Solver::run_query(NodeId root, Direction dir, QueryResult& out) {
   recursion_depth_ = 0;
   iteration_ = 0;
 
+  if (trace_ != nullptr) {
+    trace_->clear();
+    depth_high_water_ = 0;
+    trace_->emit(obs::TraceEvent::kQueryStart, root.value(),
+                 dir == Direction::kForward ? 1u : 0u);
+  }
+
   auto& memo = dir == Direction::kBackward ? pts_memo_ : flows_memo_;
   const Key root_key = make_key(root, ContextTable::empty());
 
@@ -725,6 +746,13 @@ void Solver::run_query(NodeId root, Direction dir, QueryResult& out) {
   counters_.saved_steps += saved_;
   counters_.points_to_tuples += out.tuples.size();
   counters_.fixpoint_iterations += iterations - 1;
+
+  if (trace_ != nullptr) {
+    trace_->emit(obs::TraceEvent::kDepthHighWater, depth_high_water_);
+    trace_->emit(obs::TraceEvent::kQueryStats, traversed_, iterations);
+    trace_->emit(obs::TraceEvent::kQueryEnd, charged_,
+                 static_cast<std::uint32_t>(out.status));
+  }
 }
 
 }  // namespace parcfl::cfl

@@ -65,6 +65,7 @@
 #include "support/flat_set.hpp"
 #include "support/slab.hpp"
 #include "support/stats.hpp"
+#include "support/trace.hpp"
 
 namespace parcfl::cfl {
 
@@ -100,6 +101,12 @@ struct SolverOptions {
                                              // mutually recursive sub-queries;
                                              // exceeding it aborts the query
                                              // like budget exhaustion
+  /// Per-query tracing (parcfl::obs): 0 = off — the hot path pays a single
+  /// null-pointer test; 1 = span events (query start/end, step totals,
+  /// recursion-depth high-water); 2 = level 1 plus per-jmp events (hit /
+  /// miss / publish / early termination). Emission also requires a ring
+  /// attached via Solver::set_trace; the level alone allocates nothing.
+  std::uint32_t trace_level = 0;
 };
 
 enum class QueryStatus : std::uint8_t {
@@ -187,6 +194,15 @@ class Solver {
   /// Counters accumulated over every query answered by this solver.
   const support::QueryCounters& counters() const { return counters_; }
   void reset_counters() { counters_ = {}; }
+
+  /// Attach a trace ring (owned by the caller, same thread as the solver).
+  /// The ring is cleared at every query start, so after points_to/flows_to
+  /// returns it holds exactly that query's events. A null ring — or
+  /// options().trace_level == 0 — turns tracing off.
+  void set_trace(obs::TraceRing* ring) {
+    trace_ = options_.trace_level > 0 ? ring : nullptr;
+  }
+  obs::TraceRing* trace() const { return trace_; }
 
   const SolverOptions& options() const { return options_; }
 
@@ -374,6 +390,14 @@ class Solver {
   bool taint_flag_ = false;  // taint of the computation currently running
   bool grew_ = false;        // any memo set grew during this iteration
   std::uint32_t recursion_depth_ = 0;
+
+  /// Tracing (see SolverOptions::trace_level). trace_ stays null when the
+  /// level is 0, so every hook below level-gates on one pointer test.
+  obs::TraceRing* trace_ = nullptr;
+  std::uint32_t depth_high_water_ = 0;
+  bool trace_jmp_events() const {
+    return trace_ != nullptr && options_.trace_level >= 2;
+  }
 
   support::QueryCounters counters_;
 };

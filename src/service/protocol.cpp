@@ -1,5 +1,6 @@
 #include "service/protocol.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <sstream>
 
@@ -74,6 +75,13 @@ bool fail(std::string& error, const char* msg) {
   return false;
 }
 
+std::size_t count_lines(const std::string& text) {
+  if (text.empty()) return 0;
+  return static_cast<std::size_t>(
+             std::count(text.begin(), text.end(), '\n')) +
+         1;
+}
+
 }  // namespace
 
 bool parse_request(std::string_view line, std::uint32_t node_count,
@@ -98,12 +106,21 @@ bool parse_request(std::string_view line, std::uint32_t node_count,
     if (!parse_node(tokens[2], node_count, out.b, error)) return false;
     return parse_options(tokens, 3, out, error);
   }
-  if (verb == "stats" || verb == "ping" || verb == "quit") {
+  if (verb == "stats" || verb == "metrics" || verb == "ping" ||
+      verb == "quit") {
     if (tokens.size() != 1)
       return fail(error, "verb takes no arguments");
-    out.verb = verb == "stats" ? Verb::kStats
-               : verb == "ping" ? Verb::kPing
-                                : Verb::kQuit;
+    out.verb = verb == "stats"     ? Verb::kStats
+               : verb == "metrics" ? Verb::kMetrics
+               : verb == "ping"    ? Verb::kPing
+                                   : Verb::kQuit;
+    return true;
+  }
+  if (verb == "slowlog") {
+    if (tokens.size() > 2) return fail(error, "slowlog takes at most a count");
+    out.verb = Verb::kSlowLog;
+    if (tokens.size() == 2 && !parse_u64(tokens[1], out.count))
+      return fail(error, "bad slowlog count");
     return true;
   }
   if (verb == "save" || verb == "load" || verb == "update") {
@@ -157,6 +174,13 @@ std::string format_reply(const Reply& reply) {
       break;
     case Verb::kStats:
       os << ' ' << reply.text;
+      break;
+    case Verb::kMetrics:
+    case Verb::kSlowLog:
+      // Counted multi-line frame: header announces the payload line count.
+      os << (reply.verb == Verb::kMetrics ? " metrics " : " slowlog ")
+         << count_lines(reply.text);
+      if (!reply.text.empty()) os << '\n' << reply.text;
       break;
     case Verb::kSave:
       os << " saved " << reply.text;

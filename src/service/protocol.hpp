@@ -9,6 +9,8 @@
 //   query <node> [budget <steps>] [deadline <ms>]   points-to set of <node>
 //   alias <a> <b> [budget <steps>] [deadline <ms>]  may-alias of two nodes
 //   stats                                           ServiceStats JSON
+//   metrics                                         Prometheus text exposition
+//   slowlog [n]                                     last n slow-query records
 //   save <path>                                     crash-safe state snapshot
 //   load <path>                                     live warm-state merge
 //   update <path>                                   apply a PAG delta file
@@ -26,8 +28,15 @@
 //   ok pong | ok saved <path> | ok loaded <path>     ping/save/load
 //   ok updated <summary>                             update
 //   ok {...}                                         stats (one-line JSON)
+//   ok metrics <n>                                   + n payload lines
+//   ok slowlog <n>                                   + n JSONL payload lines
 //   shed overload|deadline                           admission control
 //   err <message>                                    malformed or failed
+//
+// `metrics` and `slowlog` are the protocol's only multi-line replies: the
+// header line carries the exact number of payload lines that follow, so a
+// line-oriented client consumes the frame without lookahead and the
+// one-request → one-frame invariant survives.
 //
 // `update` rides the request queue like a query: it is dispatched by the
 // collector thread as a batch of its own, strictly between query batches, so
@@ -52,6 +61,8 @@ enum class Verb : std::uint8_t {
   kQuery,
   kAlias,
   kStats,
+  kMetrics,
+  kSlowLog,
   kSave,
   kLoad,
   kUpdate,
@@ -65,6 +76,7 @@ struct Request {
   pag::NodeId b = pag::NodeId::invalid();
   std::uint64_t budget = 0;       // 0 = server default
   std::uint64_t deadline_ms = 0;  // 0 = no deadline
+  std::uint64_t count = 0;        // slowlog: max records (0 = all retained)
   std::string path;               // save/load/update target
 };
 
@@ -90,10 +102,12 @@ struct Reply {
   std::vector<pag::NodeId> objects;  // query: sorted points-to set
   cfl::Solver::AliasAnswer alias = cfl::Solver::AliasAnswer::kUnknown;
   std::uint64_t charged_steps = 0;
-  std::string text;  // stats JSON, save/load path, or error message
+  std::string text;  // stats JSON, metrics/slowlog payload, path, or error
 };
 
-/// Render a reply as one protocol line (no trailing newline).
+/// Render a reply as one protocol frame (no trailing newline). Most verbs
+/// render as a single line; kMetrics/kSlowLog render the counted header line
+/// followed by the payload lines from `text`.
 std::string format_reply(const Reply& reply);
 
 const char* to_string(cfl::QueryStatus status);  // complete|partial|early

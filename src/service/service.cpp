@@ -1,6 +1,7 @@
 #include "service/service.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 namespace parcfl::service {
@@ -34,8 +35,112 @@ cfl::Solver::AliasAnswer alias_answer(const Session::ItemResult& a,
 }  // namespace
 
 QueryService::QueryService(pag::Pag pag, const ServiceOptions& options)
-    : options_(options), session_(std::move(pag), options.session) {
+    : options_(options),
+      gauges_{
+          registry_.gauge("parcfl_jmp_entries", "Finished jmp store entries."),
+          registry_.gauge("parcfl_jmp_store_bytes", "Jmp store footprint."),
+          registry_.gauge("parcfl_contexts", "Context table entries."),
+          registry_.gauge("parcfl_pag_revision",
+                          "Delta epoch of the live graph."),
+          registry_.gauge("parcfl_engine_charged_steps",
+                          "Cumulative budget-visible solver steps."),
+          registry_.gauge("parcfl_engine_traversed_steps",
+                          "Cumulative solver steps actually walked."),
+          registry_.gauge("parcfl_engine_saved_steps",
+                          "Cumulative steps avoided via jmp shortcuts."),
+          registry_.gauge("parcfl_engine_jmp_lookups",
+                          "Cumulative jmp store probes."),
+          registry_.gauge("parcfl_engine_jmps_taken",
+                          "Cumulative finished shortcuts consumed."),
+          registry_.gauge("parcfl_engine_queries",
+                          "Cumulative solver queries (incl. alias halves)."),
+          registry_.gauge("parcfl_engine_early_terminations",
+                          "Cumulative unfinished-jmp early terminations."),
+      },
+      session_(std::move(pag), session_options_with_sink()),
+      recorder_(registry_) {
   collector_ = std::thread([this] { collector_main(); });
+}
+
+/// The session options as configured, plus the slow-query sink wired into
+/// the engine when the threshold is armed. Called from the ctor init list:
+/// the sink only fires from batches, which run after construction completes.
+Session::Options QueryService::session_options_with_sink() {
+  Session::Options s = options_.session;
+  if (options_.slow_query_ms > 0.0) {
+    s.engine.slow_query_ms = options_.slow_query_ms;
+    s.engine.slow_query_sink = [this](const cfl::SlowQueryRecord& record) {
+      note_slow_query(record);
+    };
+  }
+  return s;
+}
+
+void QueryService::note_slow_query(const cfl::SlowQueryRecord& record) {
+  recorder_.record_slow_query();
+  std::lock_guard lock(slow_mu_);
+  while (slow_log_.size() >= options_.slow_log_capacity &&
+         !slow_log_.empty())
+    slow_log_.pop_front();
+  if (options_.slow_log_capacity > 0) slow_log_.push_back(record);
+}
+
+std::vector<cfl::SlowQueryRecord> QueryService::slow_log(
+    std::size_t limit) const {
+  std::lock_guard lock(slow_mu_);
+  const std::size_t n = limit == 0 ? slow_log_.size()
+                                   : std::min(limit, slow_log_.size());
+  return {slow_log_.end() - static_cast<std::ptrdiff_t>(n), slow_log_.end()};
+}
+
+std::string QueryService::slow_log_jsonl(std::size_t limit) const {
+  std::string out;
+  char header[160];
+  for (const cfl::SlowQueryRecord& r : slow_log(limit)) {
+    std::size_t trace_lines = 0;
+    if (!r.trace_jsonl.empty())
+      trace_lines = 1 + static_cast<std::size_t>(std::count(
+                            r.trace_jsonl.begin(), r.trace_jsonl.end(), '\n'));
+    std::snprintf(header, sizeof header,
+                  "{\"var\":%u,\"latency_ms\":%.3f,\"status\":\"%s\","
+                  "\"charged\":%llu,\"trace_lines\":%zu}\n",
+                  r.var.value(), r.latency_ms, to_string(r.status),
+                  static_cast<unsigned long long>(r.charged_steps),
+                  trace_lines);
+    out += header;
+    if (trace_lines != 0) {
+      out += r.trace_jsonl;
+      out += '\n';
+    }
+  }
+  if (!out.empty() && out.back() == '\n') out.pop_back();
+  return out;
+}
+
+std::string QueryService::metrics_text() {
+  const support::QueryCounters totals = session_.lifetime_totals();
+  registry_.set_gauge(gauges_.jmp_entries,
+                      static_cast<double>(session_.store().entry_count()));
+  registry_.set_gauge(gauges_.jmp_store_bytes,
+                      static_cast<double>(session_.store().memory_bytes()));
+  registry_.set_gauge(gauges_.contexts,
+                      static_cast<double>(session_.context_count()));
+  registry_.set_gauge(gauges_.pag_revision,
+                      static_cast<double>(session_.revision()));
+  registry_.set_gauge(gauges_.charged_steps,
+                      static_cast<double>(totals.charged_steps));
+  registry_.set_gauge(gauges_.traversed_steps,
+                      static_cast<double>(totals.traversed_steps));
+  registry_.set_gauge(gauges_.saved_steps,
+                      static_cast<double>(totals.saved_steps));
+  registry_.set_gauge(gauges_.jmp_lookups,
+                      static_cast<double>(totals.jmp_lookups));
+  registry_.set_gauge(gauges_.jmps_taken,
+                      static_cast<double>(totals.jmps_taken));
+  registry_.set_gauge(gauges_.queries, static_cast<double>(totals.queries));
+  registry_.set_gauge(gauges_.early_terminations,
+                      static_cast<double>(totals.early_terminations));
+  return registry_.render_prometheus();
 }
 
 QueryService::~QueryService() {
@@ -55,6 +160,17 @@ std::future<Reply> QueryService::submit(Request request) {
     case Verb::kStats: {
       Reply r = ready_reply(Reply::Status::kOk, Verb::kStats, stats().to_json());
       promise.set_value(std::move(r));
+      return future;
+    }
+    case Verb::kMetrics: {
+      promise.set_value(
+          ready_reply(Reply::Status::kOk, Verb::kMetrics, metrics_text()));
+      return future;
+    }
+    case Verb::kSlowLog: {
+      promise.set_value(
+          ready_reply(Reply::Status::kOk, Verb::kSlowLog,
+                      slow_log_jsonl(static_cast<std::size_t>(request.count))));
       return future;
     }
     case Verb::kSave:

@@ -33,6 +33,7 @@
 #include "service/protocol.hpp"
 #include "service/session.hpp"
 #include "service/stats.hpp"
+#include "support/metrics.hpp"
 
 namespace parcfl::service {
 
@@ -45,6 +46,13 @@ struct ServiceOptions {
   std::chrono::microseconds max_linger{500};
   /// Admission: maximum queued query units before shed-on-overload.
   std::uint32_t max_queue = 4096;
+  /// Slow-query log: a solver-side query (not counting queueing) at or above
+  /// this many milliseconds is recorded — with its trace when
+  /// session.engine.solver.trace_level > 0 — and served by the `slowlog`
+  /// wire verb. 0 disables the per-query timing entirely.
+  double slow_query_ms = 0.0;
+  /// Retained slow-query records (oldest evicted first).
+  std::size_t slow_log_capacity = 64;
 };
 
 class QueryService {
@@ -64,6 +72,21 @@ class QueryService {
   Reply call(Request request) { return submit(std::move(request)).get(); }
 
   ServiceStats stats() const;
+
+  /// Prometheus text exposition of the service registry — what the `metrics`
+  /// wire verb returns. Refreshes the analysis-plane gauges (jmp store size,
+  /// contexts, cumulative engine steps) from the session before rendering.
+  std::string metrics_text();
+
+  /// The most recent `limit` slow-query records, newest last (0 = all
+  /// retained records). Empty unless ServiceOptions::slow_query_ms > 0.
+  std::vector<cfl::SlowQueryRecord> slow_log(std::size_t limit = 0) const;
+  /// The slowlog wire payload: one JSON header line per record, each
+  /// followed by the record's trace JSONL lines (if any).
+  std::string slow_log_jsonl(std::size_t limit = 0) const;
+
+  const obs::MetricsRegistry& registry() const { return registry_; }
+
   /// Safe to call from any client thread, including concurrently with an
   /// update (reads take the session's graph lock shared).
   std::uint32_t node_count() const { return session_.node_count(); }
@@ -85,13 +108,29 @@ class QueryService {
   void collector_main();
   void execute_batch(std::vector<Pending> batch);
   void execute_update(Pending pending);
+  void note_slow_query(const cfl::SlowQueryRecord& record);
+  Session::Options session_options_with_sink();
   static std::uint32_t units_of(const Request& request) {
     return request.verb == Verb::kAlias ? 2 : 1;
   }
 
   ServiceOptions options_;
+  /// Declared before session_/recorder_: the engine's slow-query sink and
+  /// the recorder both reference it, and it must be destroyed last.
+  obs::MetricsRegistry registry_;
+  /// Analysis-plane gauges, refreshed from the session at scrape time (the
+  /// engine keeps its own cumulative counters; the scrape mirrors them).
+  struct EngineGauges {
+    obs::MetricsRegistry::MetricId jmp_entries, jmp_store_bytes, contexts,
+        pag_revision, charged_steps, traversed_steps, saved_steps,
+        jmp_lookups, jmps_taken, queries, early_terminations;
+  };
+  EngineGauges gauges_;
   Session session_;
   StatsRecorder recorder_;
+
+  mutable std::mutex slow_mu_;
+  std::deque<cfl::SlowQueryRecord> slow_log_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

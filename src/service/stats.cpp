@@ -1,76 +1,115 @@
 #include "service/stats.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 namespace parcfl::service {
 
 namespace {
 
-double percentile(std::vector<float>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const auto rank = static_cast<std::size_t>(p * (sorted.size() - 1));
-  return sorted[rank];
+/// Nearest-rank percentile over an ascending window. A window of 0 or 1
+/// samples has no distribution to take a percentile of — both the empty
+/// vector and the single sample used to fall through the rank arithmetic
+/// (p * (size - 1) on size 0 underflows in spirit if not in type) — so they
+/// explicitly report 0 (tests/service_test.cpp pins empty/one/two).
+double percentile(const std::vector<float>& sorted, double p) {
+  if (sorted.size() < 2) return 0.0;
+  const double rank = std::ceil(p * static_cast<double>(sorted.size()));
+  const auto idx = static_cast<std::size_t>(
+      std::max(1.0, std::min(rank, static_cast<double>(sorted.size()))) - 1);
+  return sorted[idx];
 }
 
 }  // namespace
 
+StatsRecorder::StatsRecorder(obs::MetricsRegistry& registry)
+    : registry_(registry),
+      queries_served_(registry.counter("parcfl_queries_served_total",
+                                       "Points-to requests answered.")),
+      alias_served_(registry.counter("parcfl_alias_served_total",
+                                     "Alias requests answered.")),
+      batches_(registry.counter("parcfl_batches_total",
+                                "Micro-batches executed.")),
+      batch_units_(registry.counter("parcfl_batch_units_total",
+                                    "Query units across all batches.")),
+      shed_overload_(registry.counter(
+          "parcfl_shed_overload_total",
+          "Requests rejected at admission (queue full).")),
+      shed_deadline_(registry.counter("parcfl_shed_deadline_total",
+                                      "Requests expired while queued.")),
+      protocol_errors_(registry.counter("parcfl_protocol_errors_total",
+                                        "Malformed wire requests.")),
+      updates_applied_(registry.counter("parcfl_updates_applied_total",
+                                        "PAG deltas applied.")),
+      update_errors_(registry.counter("parcfl_update_errors_total",
+                                      "PAG deltas rejected.")),
+      jmp_evicted_(registry.counter(
+          "parcfl_jmp_evicted_total",
+          "Jmp entries invalidated across all updates.")),
+      slow_queries_(registry.counter(
+          "parcfl_slow_queries_total",
+          "Queries at or above the slow-query latency threshold.")),
+      latency_hist_(registry.histogram(
+          "parcfl_request_latency_ms", "Request latency in milliseconds.",
+          {0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000})),
+      max_batch_gauge_(registry.gauge("parcfl_max_batch_size",
+                                      "Largest micro-batch in query units.")),
+      max_latency_gauge_(registry.gauge(
+          "parcfl_max_request_latency_ms",
+          "Highest request latency observed, milliseconds.")) {}
+
 void StatsRecorder::record_request(double latency_ms, bool alias) {
+  registry_.add(alias ? alias_served_ : queries_served_);
+  registry_.observe(latency_hist_, latency_ms);
+  registry_.max_gauge(max_latency_gauge_, latency_ms);
   std::lock_guard lock(mu_);
-  if (alias)
-    ++counters_.alias_served;
-  else
-    ++counters_.queries_served;
   if (latencies_ms_.size() < kWindow) {
     latencies_ms_.push_back(static_cast<float>(latency_ms));
   } else {
     latencies_ms_[latency_pos_] = static_cast<float>(latency_ms);
     latency_pos_ = (latency_pos_ + 1) % kWindow;
   }
-  max_ms_ = std::max(max_ms_, latency_ms);
 }
 
 void StatsRecorder::record_batch(std::uint64_t query_units) {
-  std::lock_guard lock(mu_);
-  ++counters_.batches;
-  batch_units_sum_ += query_units;
-  counters_.max_batch_size = std::max(counters_.max_batch_size, query_units);
+  registry_.add(batches_);
+  registry_.add(batch_units_, query_units);
+  registry_.max_gauge(max_batch_gauge_, static_cast<double>(query_units));
 }
 
 void StatsRecorder::record_update(bool ok, std::uint64_t jmp_evicted) {
-  std::lock_guard lock(mu_);
   if (ok) {
-    ++counters_.updates_applied;
-    counters_.jmp_evicted += jmp_evicted;
+    registry_.add(updates_applied_);
+    if (jmp_evicted != 0) registry_.add(jmp_evicted_, jmp_evicted);
   } else {
-    ++counters_.update_errors;
+    registry_.add(update_errors_);
   }
 }
 
-void StatsRecorder::bump(std::uint64_t ServiceStats::* field) {
-  std::lock_guard lock(mu_);
-  ++(counters_.*field);
-}
-
 void StatsRecorder::snapshot(ServiceStats& out) const {
+  out.queries_served = registry_.counter_value(queries_served_);
+  out.alias_served = registry_.counter_value(alias_served_);
+  out.batches = registry_.counter_value(batches_);
+  out.shed_overload = registry_.counter_value(shed_overload_);
+  out.shed_deadline = registry_.counter_value(shed_deadline_);
+  out.protocol_errors = registry_.counter_value(protocol_errors_);
+  out.updates_applied = registry_.counter_value(updates_applied_);
+  out.update_errors = registry_.counter_value(update_errors_);
+  out.jmp_evicted = registry_.counter_value(jmp_evicted_);
+  out.slow_queries = registry_.counter_value(slow_queries_);
+  out.max_batch_size =
+      static_cast<std::uint64_t>(registry_.gauge_value(max_batch_gauge_));
+  out.mean_batch_size =
+      out.batches == 0
+          ? 0.0
+          : static_cast<double>(registry_.counter_value(batch_units_)) /
+                static_cast<double>(out.batches);
+  out.max_ms = registry_.gauge_value(max_latency_gauge_);
+
   std::vector<float> sorted;
   {
     std::lock_guard lock(mu_);
-    out.queries_served = counters_.queries_served;
-    out.alias_served = counters_.alias_served;
-    out.batches = counters_.batches;
-    out.max_batch_size = counters_.max_batch_size;
-    out.shed_overload = counters_.shed_overload;
-    out.shed_deadline = counters_.shed_deadline;
-    out.protocol_errors = counters_.protocol_errors;
-    out.updates_applied = counters_.updates_applied;
-    out.update_errors = counters_.update_errors;
-    out.jmp_evicted = counters_.jmp_evicted;
-    out.mean_batch_size =
-        counters_.batches == 0 ? 0.0
-                               : static_cast<double>(batch_units_sum_) /
-                                     static_cast<double>(counters_.batches);
-    out.max_ms = max_ms_;
     sorted = latencies_ms_;
   }
   std::sort(sorted.begin(), sorted.end());
@@ -89,6 +128,7 @@ std::string ServiceStats::to_json() const {
      << ",\"shed_overload\":" << shed_overload
      << ",\"shed_deadline\":" << shed_deadline
      << ",\"protocol_errors\":" << protocol_errors
+     << ",\"slow_queries\":" << slow_queries
      << ",\"updates\":{\"applied\":" << updates_applied
      << ",\"errors\":" << update_errors << ",\"jmp_evicted\":" << jmp_evicted
      << ",\"pag_revision\":" << pag_revision << "}"

@@ -3,12 +3,23 @@
 // long-lived query server. Engine-level numbers (steps, jmp hit ratios) come
 // from the BatchRunner's cumulative QueryCounters; this module adds the
 // request-plane view — what a client experiences.
+//
+// The recorder is rebased onto obs::MetricsRegistry (DESIGN.md §10): every
+// request-plane counter is a registry counter, and each request latency also
+// feeds a registry histogram, so the `metrics` wire verb scrapes the same
+// numbers `stats` reports, with no second bookkeeping path. What stays local
+// is the exact-percentile window: Prometheus histograms quantise into fixed
+// buckets, and the service's p50/p95/p99 contract predates them, so the
+// recorder keeps the most recent kWindow raw samples under a mutex
+// (record_request is off the solver hot path — one lock per *request* —
+// while the registry counters it also bumps are lock-free).
 
 #include <cstdint>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "support/metrics.hpp"
 #include "support/stats.hpp"
 
 namespace parcfl::service {
@@ -28,6 +39,7 @@ struct ServiceStats {
   std::uint64_t updates_applied = 0;  // PAG deltas applied
   std::uint64_t update_errors = 0;    // deltas rejected (parse/apply failure)
   std::uint64_t jmp_evicted = 0;      // entries invalidated across all updates
+  std::uint64_t slow_queries = 0;     // queries past the slow-query threshold
   double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0, max_ms = 0.0;
 
   // Analysis plane (cumulative over the session's lifetime).
@@ -51,32 +63,49 @@ struct ServiceStats {
   std::string to_json() const;
 };
 
-/// Thread-safe recorder for the request-plane half of ServiceStats. Latencies
-/// keep the most recent kWindow samples (a sliding window, not a decaying
-/// sketch: micro-batch services care about current tail behaviour).
+/// Thread-safe recorder for the request-plane half of ServiceStats. Counter
+/// state lives in the registry (scrapeable); latencies additionally keep the
+/// most recent kWindow raw samples (a sliding window, not a decaying sketch:
+/// micro-batch services care about current tail behaviour).
 class StatsRecorder {
  public:
   static constexpr std::size_t kWindow = 1u << 16;
 
+  /// Registers the request-plane metrics; the registry must outlive the
+  /// recorder (QueryService owns both, registry first).
+  explicit StatsRecorder(obs::MetricsRegistry& registry);
+
   void record_request(double latency_ms, bool alias);
   void record_batch(std::uint64_t query_units);
-  void record_shed_overload() { bump(&ServiceStats::shed_overload); }
-  void record_shed_deadline() { bump(&ServiceStats::shed_deadline); }
-  void record_protocol_error() { bump(&ServiceStats::protocol_errors); }
+  void record_shed_overload() { registry_.add(shed_overload_); }
+  void record_shed_deadline() { registry_.add(shed_deadline_); }
+  void record_protocol_error() { registry_.add(protocol_errors_); }
   void record_update(bool ok, std::uint64_t jmp_evicted);
+  void record_slow_query() { registry_.add(slow_queries_); }
 
   /// Fill the request-plane fields of `out` (percentiles sorted on demand).
   void snapshot(ServiceStats& out) const;
 
  private:
-  void bump(std::uint64_t ServiceStats::* field);
+  obs::MetricsRegistry& registry_;
+  obs::MetricsRegistry::MetricId queries_served_;
+  obs::MetricsRegistry::MetricId alias_served_;
+  obs::MetricsRegistry::MetricId batches_;
+  obs::MetricsRegistry::MetricId batch_units_;
+  obs::MetricsRegistry::MetricId shed_overload_;
+  obs::MetricsRegistry::MetricId shed_deadline_;
+  obs::MetricsRegistry::MetricId protocol_errors_;
+  obs::MetricsRegistry::MetricId updates_applied_;
+  obs::MetricsRegistry::MetricId update_errors_;
+  obs::MetricsRegistry::MetricId jmp_evicted_;
+  obs::MetricsRegistry::MetricId slow_queries_;
+  obs::MetricsRegistry::MetricId latency_hist_;
+  obs::MetricsRegistry::MetricId max_batch_gauge_;
+  obs::MetricsRegistry::MetricId max_latency_gauge_;
 
-  mutable std::mutex mu_;
-  ServiceStats counters_;            // request-plane fields only
-  std::uint64_t batch_units_sum_ = 0;
+  mutable std::mutex mu_;            // guards the latency window only
   std::vector<float> latencies_ms_;  // ring buffer of recent samples
   std::size_t latency_pos_ = 0;
-  double max_ms_ = 0.0;
 };
 
 }  // namespace parcfl::service

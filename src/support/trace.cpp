@@ -1,0 +1,90 @@
+#include "support/trace.hpp"
+
+#include <bit>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace parcfl::obs {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+TraceRing::TraceRing(std::size_t capacity, bool timestamps)
+    : timestamps_(timestamps) {
+  buf_.resize(std::bit_ceil(capacity == 0 ? std::size_t{1} : capacity));
+  if (timestamps_) epoch_ns_ = now_ns();
+}
+
+void TraceRing::clear() { total_ = 0; }
+
+void TraceRing::emit(TraceEvent event, std::uint64_t a, std::uint32_t b) {
+  TraceRecord& r = buf_[total_ & (buf_.size() - 1)];
+  r.t_ns = timestamps_ ? now_ns() - epoch_ns_ : 0;
+  r.a = a;
+  r.b = b;
+  r.event = event;
+  ++total_;
+}
+
+std::size_t TraceRing::size() const {
+  return total_ < buf_.size() ? static_cast<std::size_t>(total_) : buf_.size();
+}
+
+void TraceRing::snapshot_into(std::vector<TraceRecord>& out) const {
+  out.clear();
+  const std::size_t n = size();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(buf_[(total_ - n + i) & (buf_.size() - 1)]);
+}
+
+const char* TraceRing::event_name(TraceEvent event) {
+  switch (event) {
+    case TraceEvent::kQueryStart: return "query_start";
+    case TraceEvent::kQueryEnd: return "query_end";
+    case TraceEvent::kQueryStats: return "query_stats";
+    case TraceEvent::kDepthHighWater: return "depth_high_water";
+    case TraceEvent::kJmpHit: return "jmp_hit";
+    case TraceEvent::kJmpMiss: return "jmp_miss";
+    case TraceEvent::kJmpPublishFinished: return "jmp_publish_finished";
+    case TraceEvent::kJmpPublishUnfinished: return "jmp_publish_unfinished";
+    case TraceEvent::kEarlyTermination: return "early_termination";
+  }
+  return "?";
+}
+
+std::string TraceRing::to_jsonl() const {
+  const std::size_t n = size();
+  std::string out;
+  out.reserve(n * 56);
+  char line[160];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t seq = total_ - n + i;
+    const TraceRecord& r = buf_[seq & (buf_.size() - 1)];
+    if (timestamps_) {
+      std::snprintf(line, sizeof line,
+                    "{\"seq\":%" PRIu64 ",\"t_ns\":%" PRIu64
+                    ",\"ev\":\"%s\",\"a\":%" PRIu64 ",\"b\":%" PRIu32 "}\n",
+                    seq, r.t_ns, event_name(r.event), r.a, r.b);
+    } else {
+      std::snprintf(line, sizeof line,
+                    "{\"seq\":%" PRIu64 ",\"ev\":\"%s\",\"a\":%" PRIu64
+                    ",\"b\":%" PRIu32 "}\n",
+                    seq, event_name(r.event), r.a, r.b);
+    }
+    out += line;
+  }
+  if (!out.empty() && out.back() == '\n') out.pop_back();
+  return out;
+}
+
+}  // namespace parcfl::obs

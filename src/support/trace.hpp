@@ -1,0 +1,86 @@
+#pragma once
+// parcfl::obs — per-query trace ring. A TraceRing is a fixed-capacity,
+// single-writer ring of compact 24-byte records that a Solver fills while it
+// answers one query (the ring is cleared at query start, so after the query
+// it holds exactly that query's events). It is read by the *same* thread —
+// the engine's per-query slow-query hook — never concurrently with writes,
+// so records are plain PODs with no atomics and emit() is a store + bump.
+//
+// Determinism: with timestamps disabled (the default) every field of every
+// record is a pure function of the PAG, the query and the solver options, so
+// a single-threaded run produces byte-identical JSONL across runs — the
+// golden-trace test in tests/obs_test.cpp pins this.
+//
+// Event payload conventions ("a" is 64-bit, "b" 32-bit):
+//
+//   kQueryStart            a = root node id          b = direction (0 bwd)
+//   kQueryEnd              a = charged steps         b = QueryStatus
+//   kQueryStats            a = traversed steps       b = fixpoint iterations
+//   kDepthHighWater        a = max recursion depth
+//   kJmpHit                a = jmp key               b = recorded cost
+//   kJmpMiss               a = jmp key
+//   kJmpPublishFinished    a = jmp key               b = cost
+//   kJmpPublishUnfinished  a = jmp key               b = s (remaining steps)
+//   kEarlyTermination      a = jmp key               b = s that triggered ET
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parcfl::obs {
+
+enum class TraceEvent : std::uint8_t {
+  kQueryStart = 1,
+  kQueryEnd,
+  kQueryStats,
+  kDepthHighWater,
+  kJmpHit,
+  kJmpMiss,
+  kJmpPublishFinished,
+  kJmpPublishUnfinished,
+  kEarlyTermination,
+};
+
+struct TraceRecord {
+  std::uint64_t t_ns = 0;  // 0 when timestamps are disabled
+  std::uint64_t a = 0;
+  std::uint32_t b = 0;
+  TraceEvent event = TraceEvent::kQueryStart;
+  std::uint8_t pad[3] = {};
+};
+static_assert(sizeof(TraceRecord) == 24, "trace records are meant to be compact");
+
+class TraceRing {
+ public:
+  /// `capacity` is rounded up to a power of two. With timestamps enabled each
+  /// record carries steady_clock nanoseconds since the ring's construction
+  /// (relative, so traces from different runs stay comparable).
+  explicit TraceRing(std::size_t capacity = 1024, bool timestamps = false);
+
+  void clear();
+  void emit(TraceEvent event, std::uint64_t a, std::uint32_t b = 0);
+
+  std::size_t capacity() const { return buf_.size(); }
+  /// Records emitted since clear() — may exceed capacity() (older ones
+  /// overwritten; seq numbers in the export stay absolute).
+  std::uint64_t total() const { return total_; }
+  std::size_t size() const;
+
+  /// Copy the retained records oldest-first.
+  void snapshot_into(std::vector<TraceRecord>& out) const;
+
+  /// One JSON object per line, oldest-first, no trailing newline:
+  ///   {"seq":0,"ev":"query_start","a":17,"b":0}
+  /// ("t_ns" is included only when timestamps are enabled.)
+  std::string to_jsonl() const;
+
+  static const char* event_name(TraceEvent event);
+
+ private:
+  std::vector<TraceRecord> buf_;
+  std::uint64_t total_ = 0;
+  bool timestamps_ = false;
+  std::uint64_t epoch_ns_ = 0;  // construction time, timestamp origin
+};
+
+}  // namespace parcfl::obs

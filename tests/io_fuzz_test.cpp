@@ -8,8 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <iterator>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "cfl/context.hpp"
 #include "cfl/jmp_store.hpp"
@@ -108,6 +112,9 @@ const char* const kSeedLines[] = {
     "query v17 budget 5 deadline 9",
     "alias 3 44 budget 100",
     "stats",
+    "metrics",
+    "slowlog",
+    "slowlog 8",
     "save /tmp/state.bin",
     "load /tmp/state.bin",
     "ping",
@@ -156,6 +163,71 @@ TEST_P(ServiceFuzzTest, MutatedRequestLinesParseOrFailWithMessage) {
   }
 }
 
+TEST(ServiceFuzz, HostileObservabilityArgumentsAreTotal) {
+  service::Request r;
+  std::string error;
+  // metrics is arity-0; anything after it is a parse error, not a crash.
+  EXPECT_FALSE(service::parse_request("metrics 7", 50, r, error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(service::parse_request("metrics metrics", 50, r, error));
+  // slowlog takes at most one numeric count; hostile counts must parse to a
+  // bounded request or fail — never feed a negative/overflow into the log.
+  EXPECT_FALSE(service::parse_request("slowlog -1", 50, r, error));
+  EXPECT_FALSE(service::parse_request("slowlog 1 2", 50, r, error));
+  EXPECT_FALSE(service::parse_request("slowlog 999999999999999999999999", 50,
+                                      r, error));
+  ASSERT_TRUE(service::parse_request("slowlog 18446744073709551615", 50, r,
+                                     error))
+      << error;
+  EXPECT_EQ(r.verb, service::Verb::kSlowLog);
+  EXPECT_EQ(r.count, 18446744073709551615ull);
+}
+
+// A u64-max slowlog count is a request for "everything", not an allocation
+// hint: the service must answer from what it retains, instantly.
+TEST(ServiceFuzz, HugeSlowlogCountDoesNotAllocate) {
+  test::RandomPagConfig cfg;
+  cfg.seed = 5;
+  const auto pag = test::random_layered_pag(cfg);
+  service::ServiceOptions options;
+  options.session.engine.threads = 2;
+  options.slow_query_ms = 1e-6;
+  options.slow_log_capacity = 4;
+  service::QueryService svc(pag, options);
+  const auto vars = test::all_variables(pag);
+  for (std::size_t i = 0; i < vars.size() && i < 8; ++i) {
+    service::Request q;
+    q.verb = service::Verb::kQuery;
+    q.a = vars[i];
+    ASSERT_EQ(svc.call(q).status, service::Reply::Status::kOk);
+  }
+  std::istringstream in("slowlog 18446744073709551615\nmetrics\nquit\n");
+  std::ostringstream out;
+  EXPECT_EQ(service::serve_stream(svc, in, out), 3u);
+  EXPECT_EQ(out.str().rfind("ok slowlog ", 0), 0u) << out.str();
+}
+
+/// Consume one reply frame starting at `lines[i]`: a single line, except for
+/// `ok metrics <n>` / `ok slowlog <n>` headers which announce n payload
+/// lines. Returns the index past the frame, or npos on a malformed frame.
+std::size_t consume_reply_frame(const std::vector<std::string>& lines,
+                                std::size_t i) {
+  const std::string& head = lines[i];
+  const bool ok = head.rfind("ok", 0) == 0 || head.rfind("shed", 0) == 0;
+  const bool err = head.rfind("err ", 0) == 0 && head.size() > 4;
+  if (!ok && !err) return std::string::npos;
+  std::size_t payload = 0;
+  for (const char* prefix : {"ok metrics ", "ok slowlog "}) {
+    if (head.rfind(prefix, 0) == 0) {
+      char* end = nullptr;
+      payload = std::strtoull(head.c_str() + std::strlen(prefix), &end, 10);
+      if (*end != '\0') return std::string::npos;
+    }
+  }
+  if (i + 1 + payload > lines.size()) return std::string::npos;  // truncated
+  return i + 1 + payload;
+}
+
 TEST_P(ServiceFuzzTest, GarbageStreamsGetErrorRepliesNeverCrashes) {
   test::RandomPagConfig cfg;
   cfg.seed = GetParam();
@@ -173,7 +245,7 @@ TEST_P(ServiceFuzzTest, GarbageStreamsGetErrorRepliesNeverCrashes) {
   int expected = 0;
   for (int i = 0; i < 60; ++i) {
     ++expected;
-    switch (rng.below(6)) {
+    switch (rng.below(8)) {
       case 0:  // bad node id (out of range, or not a number)
         request_text << "query " << (nodes + rng.below(1000)) << "\n";
         break;
@@ -198,6 +270,14 @@ TEST_P(ServiceFuzzTest, GarbageStreamsGetErrorRepliesNeverCrashes) {
       case 5:  // valid-looking but truncated option pair
         request_text << "query " << rng.below(nodes) << " budget\n";
         break;
+      case 6:  // metrics scrape mid-abuse (counted multi-line reply)
+        request_text << "metrics\n";
+        break;
+      case 7:  // slowlog, sometimes with a hostile count
+        request_text << "slowlog " << (rng.below(2) == 0 ? rng.below(10)
+                                                         : rng.next_u64())
+                     << "\n";
+        break;
     }
   }
   std::istringstream in(request_text.str());
@@ -205,13 +285,21 @@ TEST_P(ServiceFuzzTest, GarbageStreamsGetErrorRepliesNeverCrashes) {
   const std::uint64_t handled = service::serve_stream(svc, in, out);
   EXPECT_EQ(handled, static_cast<std::uint64_t>(expected));
 
-  // One reply line per request, each either ok/shed or a non-empty error.
-  std::istringstream replies(out.str());
+  // One reply *frame* per request: a single ok/shed/err line, except the
+  // counted multi-line metrics/slowlog frames, whose headers must announce
+  // exactly the payload lines that follow (no truncated frames).
+  std::vector<std::string> lines;
+  {
+    std::istringstream replies(out.str());
+    for (std::string line; std::getline(replies, line);)
+      lines.push_back(line);
+  }
   std::uint64_t reply_count = 0;
-  for (std::string line; std::getline(replies, line); ++reply_count) {
-    const bool ok = line.rfind("ok", 0) == 0 || line.rfind("shed", 0) == 0;
-    const bool err = line.rfind("err ", 0) == 0 && line.size() > 4;
-    EXPECT_TRUE(ok || err) << line;
+  for (std::size_t i = 0; i < lines.size(); ++reply_count) {
+    const std::size_t next = consume_reply_frame(lines, i);
+    ASSERT_NE(next, std::string::npos)
+        << "malformed frame at line " << i << ": " << lines[i];
+    i = next;
   }
   EXPECT_EQ(reply_count, handled);
 

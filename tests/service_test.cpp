@@ -14,8 +14,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <future>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -28,6 +30,8 @@
 #include "service/server.hpp"
 #include "service/service.hpp"
 #include "service/session.hpp"
+#include "service/stats.hpp"
+#include "support/metrics.hpp"
 #include "synth/generator.hpp"
 #include "test_util.hpp"
 
@@ -527,6 +531,217 @@ TEST(Wire, TcpServerAnswersOverLoopback) {
   EXPECT_EQ(lines[2], "ok bye");
 }
 #endif  // _WIN32
+
+// ---- observability ---------------------------------------------------------
+
+// The percentile window cases PR 5 fixed: a window of 0 or 1 samples has no
+// distribution and must report 0 explicitly; 2 samples exercise the smallest
+// real nearest-rank computation.
+TEST(Percentile, EmptyWindowReportsZero) {
+  obs::MetricsRegistry reg;
+  StatsRecorder recorder(reg);
+  ServiceStats s;
+  recorder.snapshot(s);
+  EXPECT_EQ(s.p50_ms, 0.0);
+  EXPECT_EQ(s.p95_ms, 0.0);
+  EXPECT_EQ(s.p99_ms, 0.0);
+}
+
+TEST(Percentile, SingleSampleReportsZero) {
+  obs::MetricsRegistry reg;
+  StatsRecorder recorder(reg);
+  recorder.record_request(5.0, /*alias=*/false);
+  ServiceStats s;
+  recorder.snapshot(s);
+  EXPECT_EQ(s.p50_ms, 0.0);
+  EXPECT_EQ(s.p95_ms, 0.0);
+  EXPECT_EQ(s.p99_ms, 0.0);
+  EXPECT_EQ(s.max_ms, 5.0);  // max is still meaningful at one sample
+}
+
+TEST(Percentile, TwoSamplesUseNearestRank) {
+  obs::MetricsRegistry reg;
+  StatsRecorder recorder(reg);
+  recorder.record_request(1.0, false);
+  recorder.record_request(3.0, false);
+  ServiceStats s;
+  recorder.snapshot(s);
+  // Nearest rank over {1, 3}: p50 -> rank ceil(0.5*2)=1 -> 1.0;
+  // p95/p99 -> rank 2 -> 3.0.
+  EXPECT_EQ(s.p50_ms, 1.0);
+  EXPECT_EQ(s.p95_ms, 3.0);
+  EXPECT_EQ(s.p99_ms, 3.0);
+}
+
+/// Minimal Prometheus exposition check shared by the metrics-op tests: every
+/// line is `# HELP|TYPE ...` or `series[{labels}] value`, and every sample's
+/// base name was introduced by a TYPE comment.
+void expect_valid_exposition(const std::string& text) {
+  std::set<std::string> typed;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t samples = 0;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string hash, what, name, type;
+      ls >> hash >> what >> name >> type;
+      ASSERT_TRUE(what == "HELP" || what == "TYPE") << line;
+      if (what == "TYPE") typed.insert(name);
+      continue;
+    }
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    char* end = nullptr;
+    (void)std::strtod(line.c_str() + space + 1, &end);
+    ASSERT_EQ(*end, '\0') << "unparsable sample value: " << line;
+    std::string name = line.substr(0, std::min(space, line.find('{')));
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s(suffix);
+      if (name.size() > s.size() &&
+          name.compare(name.size() - s.size(), s.size(), s) == 0 &&
+          typed.count(name.substr(0, name.size() - s.size())))
+        name = name.substr(0, name.size() - s.size());
+    }
+    EXPECT_TRUE(typed.count(name)) << "sample without TYPE: " << line;
+    ++samples;
+  }
+  EXPECT_GT(samples, 0u);
+}
+
+TEST(QueryService, MetricsTextIsValidPrometheus) {
+  const auto w = container_workload();
+  QueryService svc(w.pag, service_options(2));
+  for (std::size_t i = 0; i < 4; ++i)
+    ASSERT_EQ(svc.call(query_request(w.queries[i])).status, Reply::Status::kOk);
+
+  const std::string text = svc.metrics_text();
+  expect_valid_exposition(text + "\n");
+  // The request-plane counter reflects the served queries...
+  EXPECT_NE(text.find("parcfl_queries_served_total 4"), std::string::npos)
+      << text;
+  // ...and the scrape refreshed the analysis-plane gauges.
+  EXPECT_NE(text.find("parcfl_engine_traversed_steps"), std::string::npos);
+  EXPECT_NE(text.find("parcfl_request_latency_ms_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+}
+
+TEST(Wire, MetricsOpReturnsCountedFrame) {
+  const auto w = container_workload();
+  QueryService svc(w.pag, service_options(2));
+
+  std::ostringstream request_text;
+  request_text << "query " << w.queries[0].value() << "\n"
+               << "metrics\nquit\n";
+  std::istringstream in(request_text.str());
+  std::ostringstream out;
+  EXPECT_EQ(serve_stream(svc, in, out), 3u);
+
+  std::vector<std::string> lines;
+  std::istringstream replies(out.str());
+  for (std::string line; std::getline(replies, line);) lines.push_back(line);
+  ASSERT_GE(lines.size(), 3u);
+
+  // Reply 1: the query. Reply 2: `ok metrics <n>` followed by exactly n
+  // payload lines. Last line: `ok bye`.
+  EXPECT_EQ(lines[0].rfind("ok ", 0), 0u);
+  ASSERT_EQ(lines[1].rfind("ok metrics ", 0), 0u) << lines[1];
+  const std::size_t payload_lines =
+      std::strtoull(lines[1].c_str() + 11, nullptr, 10);
+  ASSERT_EQ(lines.size(), 2 + payload_lines + 1) << out.str();
+  EXPECT_EQ(lines.back(), "ok bye");
+
+  std::string payload;
+  for (std::size_t i = 2; i < 2 + payload_lines; ++i) payload += lines[i] + "\n";
+  expect_valid_exposition(payload);
+}
+
+TEST(QueryService, SlowQueryLogCapturesTraces) {
+  const auto w = container_workload();
+  ServiceOptions options = service_options(2);
+  options.slow_query_ms = 1e-6;  // everything is "slow": the log must fill
+  options.slow_log_capacity = 4;
+  options.session.engine.solver.trace_level = 2;
+  QueryService svc(w.pag, options);
+
+  for (std::size_t i = 0; i < 8 && i < w.queries.size(); ++i)
+    ASSERT_EQ(svc.call(query_request(w.queries[i])).status, Reply::Status::kOk);
+
+  const auto records = svc.slow_log();
+  ASSERT_FALSE(records.empty());
+  EXPECT_LE(records.size(), options.slow_log_capacity);  // capped, oldest out
+  for (const auto& r : records) {
+    EXPECT_GE(r.latency_ms, 0.0);
+    EXPECT_FALSE(r.trace_jsonl.empty());
+    EXPECT_NE(r.trace_jsonl.find("\"ev\":\"query_start\""), std::string::npos);
+  }
+  EXPECT_EQ(svc.slow_log(2).size(), 2u);
+  EXPECT_GT(svc.stats().slow_queries, 0u);
+
+  const std::string jsonl = svc.slow_log_jsonl();
+  EXPECT_NE(jsonl.find("\"latency_ms\":"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"trace_lines\":"), std::string::npos);
+
+  // The wire verb frames the payload with its line count.
+  std::istringstream in("slowlog 1\nquit\n");
+  std::ostringstream out;
+  EXPECT_EQ(serve_stream(svc, in, out), 2u);
+  std::vector<std::string> lines;
+  std::istringstream replies(out.str());
+  for (std::string line; std::getline(replies, line);) lines.push_back(line);
+  ASSERT_GE(lines.size(), 2u);
+  ASSERT_EQ(lines[0].rfind("ok slowlog ", 0), 0u) << lines[0];
+  const std::size_t payload_lines =
+      std::strtoull(lines[0].c_str() + 11, nullptr, 10);
+  EXPECT_EQ(lines.size(), 1 + payload_lines + 1);
+}
+
+TEST(QueryService, SlowLogDisabledByDefault) {
+  const auto w = container_workload();
+  QueryService svc(w.pag, service_options(2));
+  ASSERT_EQ(svc.call(query_request(w.queries[0])).status, Reply::Status::kOk);
+  EXPECT_TRUE(svc.slow_log().empty());
+  EXPECT_EQ(svc.stats().slow_queries, 0u);
+}
+
+// tsan target: concurrent clients keep the engine busy while another thread
+// scrapes the exposition and the slow log. Nothing here synchronises with the
+// data plane beyond the registry's own contract.
+TEST(QueryService, ScrapeWhileSolvingIsSafe) {
+  const auto w = container_workload();
+  ServiceOptions options = service_options(2);
+  options.slow_query_ms = 1e-6;
+  options.session.engine.solver.trace_level = 2;
+  QueryService svc(w.pag, options);
+
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      EXPECT_FALSE(svc.metrics_text().empty());
+      (void)svc.slow_log_jsonl(4);
+      (void)svc.stats();
+    }
+  });
+
+  std::vector<std::thread> clients;
+  std::atomic<std::uint64_t> served{0};
+  for (int t = 0; t < 4; ++t)
+    clients.emplace_back([&] {
+      for (std::size_t i = 0; i < 50; ++i) {
+        const Reply r = svc.call(query_request(w.queries[i % w.queries.size()]));
+        if (r.status == Reply::Status::kOk)
+          served.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  for (auto& c : clients) c.join();
+  stop.store(true, std::memory_order_release);
+  scraper.join();
+
+  EXPECT_GT(served.load(), 0u);
+  const std::string text = svc.metrics_text();
+  expect_valid_exposition(text + "\n");
+}
 
 }  // namespace
 }  // namespace parcfl::service

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <set>
 #include <thread>
@@ -16,6 +17,7 @@
 #include "support/stats.hpp"
 #include "support/strong_id.hpp"
 #include "support/thread_pool.hpp"
+#include "support/timer.hpp"
 #include "support/union_find.hpp"
 
 namespace parcfl::support {
@@ -382,6 +384,28 @@ TEST(QueryCounters, MergeSums) {
 TEST(MemMeter, RssReadable) {
   EXPECT_GT(current_rss_bytes(), 0u);
   EXPECT_GE(peak_rss_bytes(), current_rss_bytes() / 2);  // sanity, not exact
+}
+
+// Timing audit (PR 5): every clock in the codebase is steady_clock — the
+// latency percentiles, slow-query log and trace timestamps must never jump
+// backwards with an NTP step the way system_clock can. This pins the timer's
+// clock choice and its monotonicity under rapid re-reads.
+TEST(WallTimer, IsMonotonicSteadyClock) {
+  static_assert(std::chrono::steady_clock::is_steady,
+                "steady_clock must be steady (the whole point)");
+  WallTimer timer;
+  double last = timer.seconds();
+  EXPECT_GE(last, 0.0);
+  for (int i = 0; i < 10'000; ++i) {
+    const double now = timer.seconds();
+    ASSERT_GE(now, last) << "timer went backwards at iteration " << i;
+    last = now;
+  }
+  const std::uint64_t n1 = timer.nanos();
+  const std::uint64_t n2 = timer.nanos();
+  EXPECT_GE(n2, n1);
+  timer.reset();
+  EXPECT_LT(timer.seconds(), 1.0);  // reset re-bases the origin
 }
 
 TEST(MemMeter, TallyTracksPeak) {
