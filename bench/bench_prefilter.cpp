@@ -1,0 +1,304 @@
+// bench_prefilter — the two-stage pre-solve pipeline study (DESIGN.md §11).
+//
+// Stage A (offline reduction): how many parenthesis edges the productive-bit
+// pass removes, what that costs, and how many traversal steps the sequential
+// engine saves on the reduced graph — the answer-preserving half of the
+// pipeline.
+//
+// Stage B (Andersen prefilter): cost to solve the bitset Andersen over the
+// reduced graph (scratch and incremental after a small add-only delta), the
+// per-probe cost of the definite-no predicates, and the coverage headline:
+// of the variable pairs whose Andersen points-to sets are truly disjoint
+// (ground truth on the faithful graph), what fraction the prefilter's
+// no_alias answers without ever waking the solver.
+//
+// End to end: a resident service::Session with the pipeline on vs off, cold
+// and warm, points-to q/s and traversed steps — the serving-path delta the
+// whole feature exists for.
+//
+// Results go to BENCH_prefilter.json (context object + benchmarks array,
+// same schema style as BENCH_update.json).
+//
+//   bench_prefilter [--out FILE]     (PARCFL_SCALE / PARCFL_BUDGET /
+//                                     PARCFL_THREADS apply)
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "andersen/andersen.hpp"
+#include "andersen/prefilter.hpp"
+#include "bench_util.hpp"
+#include "pag/delta.hpp"
+#include "pag/reduce.hpp"
+#include "service/session.hpp"
+#include "support/rng.hpp"
+
+using namespace parcfl;
+using namespace parcfl::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// A small add-only change (new locals wired into existing flows plus one
+/// fresh allocation) — the fast path the incremental rebuild targets.
+pag::Delta add_only_delta(const pag::Pag& pag, std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<pag::NodeId> vars;
+  for (std::uint32_t n = 0; n < pag.node_count(); ++n)
+    if (pag.is_variable(pag::NodeId(n))) vars.push_back(pag::NodeId(n));
+
+  pag::Delta d(pag);
+  if (vars.empty()) return d;
+  auto pick = [&] { return vars[rng.below(vars.size())]; };
+  for (int i = 0; i < 4; ++i) {
+    const pag::NodeId src = pick();
+    const pag::NodeId t = d.add_node(pag::NodeKind::kLocal, pag.node(src).type,
+                                     pag.node(src).method);
+    d.add_edge(pag::EdgeKind::kAssignLocal, t, src);
+  }
+  const pag::NodeId anchor = pick();
+  const pag::NodeId o = d.add_node(pag::NodeKind::kObject,
+                                   pag.node(anchor).type,
+                                   pag.node(anchor).method);
+  d.add_edge(pag::EdgeKind::kNew, anchor, o);
+  return d;
+}
+
+struct ServingArm {
+  double cold_qps = 0.0;
+  double warm_qps = 0.0;
+  std::uint64_t cold_steps = 0;
+  std::uint64_t warm_steps = 0;
+};
+
+ServingArm run_serving(const Workload& w, bool pipeline) {
+  service::Session::Options so;
+  so.engine.mode = cfl::Mode::kDataSharingScheduling;
+  so.engine.threads = threads();
+  so.engine.solver = solver_options();
+  so.reduce_graph = pipeline;
+  so.prefilter = pipeline;
+  service::Session session(w.pag, so);
+  if (pipeline) session.wait_for_prefilter();
+
+  std::vector<service::Session::Item> items;
+  items.reserve(w.queries.size());
+  for (const pag::NodeId q : w.queries) items.push_back({q, 0});
+
+  ServingArm arm;
+  const auto cold = session.run_batch(items);
+  arm.cold_steps = cold.delta.traversed_steps;
+  arm.cold_qps = cold.wall_seconds > 0
+                     ? static_cast<double>(items.size()) / cold.wall_seconds
+                     : 0.0;
+  const auto warm = session.run_batch(items);
+  arm.warm_steps = warm.delta.traversed_steps;
+  arm.warm_qps = warm.wall_seconds > 0
+                     ? static_cast<double>(items.size()) / warm.wall_seconds
+                     : 0.0;
+  return arm;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_prefilter.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_prefilter [--out FILE]\n");
+      return 2;
+    }
+  }
+
+  const double s = scale();
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_prefilter: cannot write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"context\": {\"scale\": %.2f, \"budget\": %" PRIu64
+               ", \"threads\": %u},\n  \"benchmarks\": [\n",
+               s, budget(), threads());
+
+  std::printf("Pre-solve pipeline study, scale=%.2f, threads=%u\n\n", s,
+              threads());
+
+  bool first = true;
+  int failures = 0;
+  for (const char* name : {"_202_jess", "fop"}) {
+    const Workload w = build_workload(synth::benchmark_spec(name), s);
+    std::printf("%s: %u nodes, %u edges, %zu queries\n", name,
+                w.pag.node_count(), w.pag.edge_count(), w.queries.size());
+
+    // ---- Stage A: reduction --------------------------------------------
+    pag::ReduceStats rstats;
+    const auto t_reduce = Clock::now();
+    const pag::Pag reduced = pag::reduce_unmatched_parens(w.pag, &rstats);
+    const double reduce_ms = ms_since(t_reduce);
+    const double edge_ratio =
+        rstats.edges_before == 0
+            ? 0.0
+            : static_cast<double>(rstats.edges_removed) /
+                  static_cast<double>(rstats.edges_before);
+
+    const auto seq_full = run_mode(w, cfl::Mode::kSequential, 1);
+    Workload wr;  // same queries over the reduced graph
+    wr.pag = reduced;
+    wr.queries = w.queries;
+    const auto seq_red = run_mode(wr, cfl::Mode::kSequential, 1);
+    const double step_ratio =
+        seq_full.totals.traversed_steps == 0
+            ? 1.0
+            : static_cast<double>(seq_red.totals.traversed_steps) /
+                  static_cast<double>(seq_full.totals.traversed_steps);
+    if (seq_red.totals.traversed_steps > seq_full.totals.traversed_steps)
+      ++failures;  // reduction must never add work
+
+    std::printf(
+        "  reduce: %u -> %u edges (-%.1f%%) in %.2f ms; seq steps %" PRIu64
+        " -> %" PRIu64 " (%.3fx)\n",
+        rstats.edges_before, rstats.edges_after(), 100.0 * edge_ratio,
+        reduce_ms, seq_full.totals.traversed_steps,
+        seq_red.totals.traversed_steps, step_ratio);
+
+    // ---- Stage B: prefilter build + probes -----------------------------
+    const auto t_build = Clock::now();
+    const auto pf = andersen::Prefilter::build(reduced);
+    const double build_ms = ms_since(t_build);
+
+    const pag::Delta delta = add_only_delta(reduced, 0xf11735u);
+    std::string error;
+    const auto next = pag::apply_delta(reduced, delta, nullptr, &error);
+    double incr_ms = 0.0, scratch2_ms = 0.0;
+    if (next.has_value()) {
+      const auto t_incr = Clock::now();
+      const auto incr = andersen::Prefilter::build_incremental(*next, pf);
+      incr_ms = ms_since(t_incr);
+      const auto t_s2 = Clock::now();
+      (void)andersen::Prefilter::build(*next);
+      scratch2_ms = ms_since(t_s2);
+      if (!incr.stats().incremental) ++failures;
+    } else {
+      std::fprintf(stderr, "bench_prefilter: delta failed on %s: %s\n", name,
+                   error.c_str());
+      ++failures;
+    }
+
+    // Probe cost + coverage over sampled variable pairs. Ground truth is
+    // Andersen on the *faithful* graph: a pair with disjoint sets there is a
+    // true no-alias the serving path should answer for free.
+    const auto truth = andersen::solve(w.pag);
+    support::Rng rng(0xa11a5u);
+    const std::size_t kPairs = 4000;
+    std::vector<std::pair<pag::NodeId, pag::NodeId>> pairs;
+    pairs.reserve(kPairs);
+    for (std::size_t i = 0; i < kPairs; ++i)
+      pairs.emplace_back(w.queries[rng.below(w.queries.size())],
+                         w.queries[rng.below(w.queries.size())]);
+
+    std::uint64_t true_no_alias = 0, caught = 0, pf_no_alias = 0;
+    for (const auto& [a, b] : pairs) {
+      const auto& pa = truth.points_to(a);
+      const auto& pb = truth.points_to(b);
+      std::vector<std::uint32_t> common;
+      std::set_intersection(pa.begin(), pa.end(), pb.begin(), pb.end(),
+                            std::back_inserter(common));
+      const bool hit = pf.no_alias(a, b);
+      pf_no_alias += hit;
+      if (common.empty()) {
+        ++true_no_alias;
+        caught += hit;
+      } else if (hit) {
+        ++failures;  // unsound definite answer — must never happen
+      }
+    }
+    const double coverage =
+        true_no_alias == 0
+            ? 1.0
+            : static_cast<double>(caught) / static_cast<double>(true_no_alias);
+    if (true_no_alias > 0 && coverage < 0.5)
+      ++failures;  // the acceptance bar: majority of true-no-alias answered
+
+    // ns per probe, measured over the sampled pairs many times.
+    const int kReps = 200;
+    const auto t_probe = Clock::now();
+    std::uint64_t sink = 0;
+    for (int r = 0; r < kReps; ++r)
+      for (const auto& [a, b] : pairs) sink += pf.no_alias(a, b);
+    const double no_alias_ns = ms_since(t_probe) * 1e6 /
+                               static_cast<double>(kReps * pairs.size());
+    const auto t_empty = Clock::now();
+    for (int r = 0; r < kReps; ++r)
+      for (const auto& [a, b] : pairs) sink += pf.pts_empty(a) + pf.pts_empty(b);
+    const double pts_empty_ns = ms_since(t_empty) * 1e6 /
+                                static_cast<double>(2 * kReps * pairs.size());
+    if (sink == UINT64_MAX) std::printf("unreachable\n");  // keep the loops
+
+    std::printf(
+        "  prefilter: build %.2f ms (incremental %.2f ms, scratch %.2f ms), "
+        "%" PRIu64 " empty vars, %.1f ns/no_alias, %.1f ns/pts_empty\n",
+        build_ms, incr_ms, scratch2_ms, pf.stats().empty_vars, no_alias_ns,
+        pts_empty_ns);
+    std::printf(
+        "  coverage: %" PRIu64 "/%zu sampled pairs truly no-alias, prefilter "
+        "caught %" PRIu64 " (%.1f%%)\n",
+        true_no_alias, pairs.size(), caught, 100.0 * coverage);
+
+    // ---- End to end: serving path on vs off ----------------------------
+    const ServingArm off = run_serving(w, /*pipeline=*/false);
+    const ServingArm on = run_serving(w, /*pipeline=*/true);
+    const double warm_delta =
+        off.warm_qps > 0 ? (on.warm_qps - off.warm_qps) / off.warm_qps : 0.0;
+    if (on.warm_steps > off.warm_steps) ++failures;
+
+    std::printf(
+        "  serving: cold %.0f -> %.0f q/s, warm %.0f -> %.0f q/s (%+.1f%%), "
+        "warm steps %" PRIu64 " -> %" PRIu64 "\n\n",
+        off.cold_qps, on.cold_qps, off.warm_qps, on.warm_qps,
+        100.0 * warm_delta, off.warm_steps, on.warm_steps);
+
+    std::fprintf(
+        f,
+        "%s    {\"name\": \"prefilter/%s/reduce\", \"edges_before\": %u, "
+        "\"edges_removed\": %u, \"reduction_ratio\": %.4f, \"reduce_ms\": "
+        "%.3f, \"seq_steps_full\": %" PRIu64 ", \"seq_steps_reduced\": %" PRIu64
+        ", \"step_ratio\": %.4f},\n"
+        "    {\"name\": \"prefilter/%s/build\", \"build_ms\": %.3f, "
+        "\"incremental_ms\": %.3f, \"incremental_scratch_ms\": %.3f, "
+        "\"objects\": %u, \"empty_vars\": %" PRIu64 ", \"memory_bytes\": %zu},\n"
+        "    {\"name\": \"prefilter/%s/probe\", \"pairs\": %zu, "
+        "\"no_alias_ns\": %.2f, \"pts_empty_ns\": %.2f, \"no_alias_rate\": "
+        "%.4f, \"true_no_alias\": %" PRIu64 ", \"caught\": %" PRIu64
+        ", \"coverage\": %.4f},\n"
+        "    {\"name\": \"prefilter/%s/serving\", \"cold_qps_off\": %.0f, "
+        "\"cold_qps_on\": %.0f, \"warm_qps_off\": %.0f, \"warm_qps_on\": "
+        "%.0f, \"warm_qps_delta\": %.4f, \"warm_steps_off\": %" PRIu64
+        ", \"warm_steps_on\": %" PRIu64 "}",
+        first ? "" : ",\n", name, rstats.edges_before, rstats.edges_removed,
+        edge_ratio, reduce_ms, seq_full.totals.traversed_steps,
+        seq_red.totals.traversed_steps, step_ratio, name, build_ms, incr_ms,
+        scratch2_ms, pf.stats().objects, pf.stats().empty_vars,
+        pf.memory_bytes(), name, pairs.size(), no_alias_ns, pts_empty_ns,
+        static_cast<double>(pf_no_alias) / static_cast<double>(pairs.size()),
+        true_no_alias, caught, coverage, name, off.cold_qps, on.cold_qps,
+        off.warm_qps, on.warm_qps, warm_delta, off.warm_steps, on.warm_steps);
+    first = false;
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return failures == 0 ? 0 : 1;
+}

@@ -42,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "andersen/prefilter.hpp"
 #include "bench_util.hpp"
 #include "service/service.hpp"
 #include "support/stats.hpp"
@@ -76,6 +77,8 @@ struct Config {
   std::string out = "BENCH_service.json";
   std::string scrape;  // empty = no metrics scrape
   long connect_port = -1;
+  bool reduce = true;     // serve the reduced graph (in-process mode)
+  bool prefilter = true;  // Andersen prefilter short-circuit (in-process mode)
 };
 
 int usage() {
@@ -83,7 +86,8 @@ int usage() {
                "usage: parcfl_loadgen [--benchmark NAME] [--scale S]\n"
                "  [--threads N] [--clients N] [--requests N] [--rate QPS]\n"
                "  [--alias-every K] [--batch N] [--linger-us N] [--queue N]\n"
-               "  [--out FILE] [--connect PORT] [--scrape FILE]\n");
+               "  [--out FILE] [--connect PORT] [--scrape FILE]\n"
+               "  [--no-reduce] [--no-prefilter]\n");
   return 2;
 }
 
@@ -109,6 +113,13 @@ double hit_ratio(const support::QueryCounters& c) {
   return c.jmp_lookups == 0 ? 0.0
                             : static_cast<double>(c.jmps_taken) /
                                   static_cast<double>(c.jmp_lookups);
+}
+
+double prefilter_hit_rate(const support::QueryCounters& c) {
+  const std::uint64_t probes = c.prefilter_hits + c.prefilter_misses;
+  return probes == 0 ? 0.0
+                     : static_cast<double>(c.prefilter_hits) /
+                           static_cast<double>(probes);
 }
 
 /// The fixed request sequence both phases replay. Cycles over the workload's
@@ -225,11 +236,16 @@ void emit_phase(std::FILE* f, const char* name, const Config& cfg,
   if (with_engine)
     std::fprintf(f,
                  ", \"traversed_steps\": %llu, \"charged_steps\": %llu, "
-                 "\"jmps_taken\": %llu, \"jmp_hit_ratio\": %.4f",
+                 "\"jmps_taken\": %llu, \"jmp_hit_ratio\": %.4f, "
+                 "\"prefilter_hits\": %llu, \"prefilter_misses\": %llu, "
+                 "\"prefilter_hit_rate\": %.4f",
                  static_cast<unsigned long long>(p.delta.traversed_steps),
                  static_cast<unsigned long long>(p.delta.charged_steps),
                  static_cast<unsigned long long>(p.delta.jmps_taken),
-                 hit_ratio(p.delta));
+                 hit_ratio(p.delta),
+                 static_cast<unsigned long long>(p.delta.prefilter_hits),
+                 static_cast<unsigned long long>(p.delta.prefilter_misses),
+                 prefilter_hit_rate(p.delta));
   std::fprintf(f, "}");
 }
 
@@ -356,6 +372,8 @@ int main(int argc, char** argv) {
     else if (std::strcmp(arg, "--out") == 0 && (v = value())) cfg.out = v;
     else if (std::strcmp(arg, "--scrape") == 0 && (v = value())) cfg.scrape = v;
     else if (std::strcmp(arg, "--connect") == 0 && (v = value())) cfg.connect_port = std::atol(v);
+    else if (std::strcmp(arg, "--no-reduce") == 0) cfg.reduce = false;
+    else if (std::strcmp(arg, "--no-prefilter") == 0) cfg.prefilter = false;
     else return usage();
   }
 
@@ -425,8 +443,20 @@ int main(int argc, char** argv) {
     options.max_batch = cfg.batch;
     options.max_linger = std::chrono::microseconds(cfg.linger_us);
     options.max_queue = cfg.queue;
+    options.session.reduce_graph = cfg.reduce;
+    options.session.prefilter = cfg.prefilter;
     service::QueryService svc(workload.pag, options);
     with_engine = true;
+    // Both phases should measure the steady state, not the background
+    // solve racing the first requests: wait for the prefilter up front.
+    if (cfg.prefilter && svc.session().wait_for_prefilter()) {
+      const auto pf = svc.session().prefilter_snapshot();
+      std::fprintf(stderr,
+                   "parcfl_loadgen: prefilter ready (%llu empty vars, "
+                   "solve %.3fs)\n",
+                   static_cast<unsigned long long>(pf->stats().empty_vars),
+                   pf->stats().solve_seconds);
+    }
 
     auto issue = [&](std::uint64_t i, bool& shed, bool& incomplete) {
       const service::Reply r = svc.call(requests[i]);
@@ -480,8 +510,9 @@ int main(int argc, char** argv) {
                  ",\n    {\"name\": \"service/warm_vs_cold\", \"run_type\": "
                  "\"aggregate\", \"step_ratio\": %.3f, "
                  "\"jmp_hit_ratio_cold\": %.4f, \"jmp_hit_ratio_warm\": "
-                 "%.4f}",
-                 step_ratio, hit_ratio(cold.delta), hit_ratio(warm.delta));
+                 "%.4f, \"prefilter_hit_rate\": %.4f}",
+                 step_ratio, hit_ratio(cold.delta), hit_ratio(warm.delta),
+                 prefilter_hit_rate(warm.delta));
   }
   std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);

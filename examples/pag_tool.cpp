@@ -6,6 +6,12 @@
 //   pag_tool stats <file.pag>                     node/edge/kind statistics
 //   pag_tool validate <file.pag>                  Fig. 1 well-formedness
 //   pag_tool query <file.pag> <node-id>...        demand points-to queries
+//   pag_tool reduce <in.pag> <out.pag> [--compact [remap.txt]]
+//                                                 drop parenthesis edges that
+//                                                 can never be matched
+//                                                 (pag/reduce.hpp); --compact
+//                                                 also drops isolated nodes
+//                                                 and writes old->new ids
 //   pag_tool batch <file.pag> [mode] [threads] [state-file]
 //                                                 batch-run all app locals;
 //                                                 mode: seq|naive|d|dq.
@@ -42,6 +48,7 @@ int usage() {
                "       pag_tool stats <file.pag>\n"
                "       pag_tool validate <file.pag>\n"
                "       pag_tool query <file.pag> <node-id>...\n"
+               "       pag_tool reduce <in.pag> <out.pag> [--compact [remap.txt]]\n"
                "       pag_tool batch <file.pag> [seq|naive|d|dq] [threads]\n");
   return 2;
 }
@@ -164,6 +171,60 @@ int cmd_query(const pag::Pag& pag, int argc, char** argv) {
   return 0;
 }
 
+void print_reduce_stats(const pag::ReduceStats& stats) {
+  std::printf("edges: %u -> %u (%u removed, %.1f%%)\n", stats.edges_before,
+              stats.edges_after(), stats.edges_removed,
+              stats.edges_before == 0
+                  ? 0.0
+                  : 100.0 * stats.edges_removed / stats.edges_before);
+  for (unsigned k = 0; k < pag::kEdgeKindCount; ++k)
+    if (stats.removed_by_kind[k] != 0)
+      std::printf("  -%-8s %u\n", pag::to_string(static_cast<pag::EdgeKind>(k)),
+                  stats.removed_by_kind[k]);
+  std::printf("unproductive vars: %u, dead fields: %u\n",
+              stats.unproductive_nodes, stats.dead_fields);
+}
+
+int cmd_reduce(const pag::Pag& pag, int argc, char** argv) {
+  if (argc < 4) return usage();
+  const bool compact = argc > 4 && std::strcmp(argv[4], "--compact") == 0;
+  std::ofstream out(argv[3]);
+  if (!out) {
+    std::fprintf(stderr, "pag_tool: cannot write %s\n", argv[3]);
+    return 1;
+  }
+  if (!compact) {
+    pag::ReduceStats stats;
+    const pag::Pag reduced = pag::reduce_unmatched_parens(pag, &stats);
+    pag::write_pag(out, reduced);
+    print_reduce_stats(stats);
+    std::printf("wrote %s (node ids preserved)\n", argv[3]);
+    return 0;
+  }
+  const pag::ReduceResult result = pag::reduce_and_compact(pag);
+  pag::write_pag(out, result.pag);
+  print_reduce_stats(result.stats);
+  std::printf("wrote %s (%u isolated nodes dropped)\n", argv[3],
+              result.stats.nodes_dropped);
+  if (argc > 5) {
+    std::ofstream remap_out(argv[5]);
+    if (!remap_out) {
+      std::fprintf(stderr, "pag_tool: cannot write %s\n", argv[5]);
+      return 1;
+    }
+    // One line per original node: "<old-id> <new-id>", -1 when dropped.
+    for (std::uint32_t n = 0; n < result.remap.size(); ++n) {
+      const pag::NodeId mapped = result.remap[n];
+      remap_out << n << ' '
+                << (mapped.valid() ? static_cast<long long>(mapped.value())
+                                   : -1LL)
+                << '\n';
+    }
+    std::printf("wrote remap %s\n", argv[5]);
+  }
+  return 0;
+}
+
 int cmd_batch(const pag::Pag& raw, int argc, char** argv) {
   cfl::EngineOptions options;
   options.mode = cfl::Mode::kDataSharingScheduling;
@@ -241,6 +302,7 @@ int main(int argc, char** argv) {
   if (cmd == "stats") return cmd_stats(*pag);
   if (cmd == "validate") return cmd_validate(*pag);
   if (cmd == "query") return cmd_query(*pag, argc, argv);
+  if (cmd == "reduce") return cmd_reduce(*pag, argc, argv);
   if (cmd == "batch") return cmd_batch(*pag, argc, argv);
   return usage();
 }

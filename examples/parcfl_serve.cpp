@@ -17,6 +17,8 @@
 //     --slow-ms F    slow-query log threshold in ms   (default off)
 //     --trace N      solver trace level 0|1|2         (default 0); slow
 //                    queries then carry their trace in `slowlog` replies
+//     --no-reduce    serve the faithful graph instead of the reduced one
+//     --no-prefilter disable the background Andersen prefilter
 //
 // Example session (see README "Running the server" / "Scraping metrics"):
 //   $ pag_tool gen avrora /tmp/avrora.pag 0.5
@@ -42,7 +44,8 @@ int usage() {
                "usage: parcfl_serve <file.pag> [--port N] [--threads N]\n"
                "                    [--mode seq|naive|d|dq] [--state FILE]\n"
                "                    [--budget N] [--batch N] [--linger-us N]\n"
-               "                    [--queue N] [--slow-ms F] [--trace 0|1|2]\n");
+               "                    [--queue N] [--slow-ms F] [--trace 0|1|2]\n"
+               "                    [--no-reduce] [--no-prefilter]\n");
   return 2;
 }
 
@@ -92,6 +95,10 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--trace") == 0 && (v = value())) {
       options.session.engine.solver.trace_level =
           static_cast<std::uint32_t>(std::atol(v));
+    } else if (std::strcmp(arg, "--no-reduce") == 0) {
+      options.session.reduce_graph = false;
+    } else if (std::strcmp(arg, "--no-prefilter") == 0) {
+      options.session.prefilter = false;
     } else {
       return usage();
     }
@@ -110,14 +117,17 @@ int main(int argc, char** argv) {
   }
 
   service::QueryService svc(std::move(*pag), options);
+  const pag::ReduceStats reduce = svc.session().reduce_stats();
   std::fprintf(stderr,
-               "parcfl_serve: %u nodes, %u edges, mode %s, %u threads, "
-               "batch<=%u linger=%lldus queue<=%u\n",
+               "parcfl_serve: %u nodes, %u edges (%u reduced away), mode %s, "
+               "%u threads, batch<=%u linger=%lldus queue<=%u, prefilter %s\n",
                svc.pag().node_count(), svc.pag().edge_count(),
+               reduce.edges_removed,
                cfl::to_string(options.session.engine.mode),
                options.session.engine.threads, options.max_batch,
                static_cast<long long>(options.max_linger.count()),
-               options.max_queue);
+               options.max_queue,
+               options.session.prefilter ? "on" : "off");
 
   if (port < 0) {
     service::serve_stream(svc, std::cin, std::cout);

@@ -1,9 +1,9 @@
 #include "andersen/andersen.hpp"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "support/check.hpp"
+#include "support/flat_set.hpp"
 #include "support/timer.hpp"
 
 namespace parcfl::andersen {
@@ -44,8 +44,10 @@ class Solver {
 
     AndersenResult result;
     result.var_pts_.assign(pts_.begin(), pts_.begin() + n_);
-    for (const auto& [key, cell] : cell_index_)
-      result.heap_pts_.emplace(key, pts_[cell]);
+    result.heap_pts_.reserve(cell_index_.size());
+    cell_index_.for_each([&](std::uint64_t key, std::uint32_t cell) {
+      *result.heap_pts_.try_emplace(key).first = pts_[cell];
+    });
     for (std::uint32_t v = 0; v < n_; ++v)
       stats_.total_pts_size += result.var_pts_[v].size();
     stats_.heap_cells = cell_index_.size();
@@ -75,16 +77,15 @@ class Solver {
   }
 
   std::uint32_t cell_for(std::uint32_t object, std::uint32_t field) {
-    const auto [it, fresh] =
-        cell_index_.emplace(cell_key(object, field),
-                            static_cast<std::uint32_t>(pts_.size()));
-    if (fresh) {
+    const auto slot = cell_index_.try_emplace(
+        cell_key(object, field), static_cast<std::uint32_t>(pts_.size()));
+    if (slot.inserted) {
       pts_.emplace_back();
       delta_.emplace_back();
       succ_.emplace_back();
       queued_.push_back(false);
     }
-    return it->second;
+    return slot.value;
   }
 
   void add_to_delta(std::uint32_t node, std::uint32_t object) {
@@ -97,8 +98,7 @@ class Solver {
 
   /// Add the copy edge src -> dst if new; propagate src's current set.
   void add_copy_edge(std::uint32_t src, std::uint32_t dst) {
-    if (!dynamic_edges_.insert((static_cast<std::uint64_t>(src) << 32) | dst)
-             .second)
+    if (!dynamic_edges_.insert((static_cast<std::uint64_t>(src) << 32) | dst))
       return;
     succ_[src].push_back(dst);
     if (!pts_[src].empty()) {
@@ -157,8 +157,8 @@ class Solver {
   std::vector<std::vector<std::uint32_t>> succ_;
   std::vector<bool> queued_;
   std::vector<std::uint32_t> worklist_;
-  std::unordered_map<std::uint64_t, std::uint32_t> cell_index_;
-  std::unordered_set<std::uint64_t> dynamic_edges_;
+  support::FlatMap<std::uint32_t> cell_index_;
+  support::FlatSet dynamic_edges_;
   AndersenStats stats_;
 };
 
@@ -170,9 +170,9 @@ bool AndersenResult::points_to(NodeId v, NodeId o) const {
 }
 
 std::span<const std::uint32_t> AndersenResult::heap_cell(NodeId o, FieldId f) const {
-  const auto it = heap_pts_.find(cell_key(o.value(), f.value()));
-  if (it == heap_pts_.end()) return {};
-  return it->second;
+  const auto* cell = heap_pts_.find(cell_key(o.value(), f.value()));
+  if (cell == nullptr) return {};
+  return *cell;
 }
 
 AndersenResult solve(const Pag& pag) { return Solver(pag).run(); }

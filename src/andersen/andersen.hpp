@@ -18,13 +18,15 @@
 //   st     q <- y (f)    : ∀ o ∈ pts(q): pts(o.f) ⊇ pts(y)
 //
 // Solved with a difference-propagation worklist over sorted-vector sets.
+// (The serving path uses the bitset re-formulation in prefilter.hpp; this
+// remains the reference implementation and the exact-set API.)
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "pag/pag.hpp"
+#include "support/flat_map.hpp"
 
 namespace parcfl::andersen {
 
@@ -51,7 +53,7 @@ class AndersenResult {
 
   // Raw result storage; populated by solve(). Treat as read-only.
   std::vector<std::vector<std::uint32_t>> var_pts_;
-  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> heap_pts_;
+  support::FlatKV<std::uint64_t, std::vector<std::uint32_t>> heap_pts_;
   AndersenStats stats_;
 };
 

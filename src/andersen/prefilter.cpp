@@ -1,0 +1,266 @@
+#include "andersen/prefilter.hpp"
+
+#include <bit>
+#include <utility>
+
+#include "support/bitset_ops.hpp"
+#include "support/check.hpp"
+#include "support/flat_map.hpp"
+#include "support/flat_set.hpp"
+#include "support/timer.hpp"
+
+namespace parcfl::andersen {
+
+using pag::EdgeKind;
+using pag::NodeId;
+using pag::Pag;
+using support::bitset_stride_for;
+using support::bitset_union_into;
+
+namespace {
+
+constexpr std::uint32_t kNoObject = UINT32_MAX;
+
+std::uint64_t cell_key(std::uint32_t dense_obj, std::uint32_t field) {
+  return (static_cast<std::uint64_t>(dense_obj) << 32) | field;
+}
+
+}  // namespace
+
+/// Bitset constraint solver. Rows [0, n) are PAG nodes; rows >= n are
+/// dynamically discovered (object, field) heap cells. Plain copy propagation
+/// is a full-row union (idempotent, word-parallel); only load/store bases
+/// track a `done` snapshot so each object expands its field constraints once.
+class PrefilterSolver {
+ public:
+  PrefilterSolver(const Pag& pag, const Prefilter* base)
+      : pag_(pag), n_(pag.node_count()) {
+    obj_dense_.assign(n_, kNoObject);
+    for (std::uint32_t v = 0; v < n_; ++v)
+      if (pag.is_object(NodeId(v))) obj_dense_[v] = object_count_++;
+    stride_ = bitset_stride_for(object_count_);
+    rows_.assign(static_cast<std::size_t>(n_) * stride_, 0);
+    succ_.resize(n_);
+    queued_.assign(n_, false);
+
+    // done rows only for nodes that anchor field constraints.
+    done_index_.assign(n_, kNoObject);
+    for (std::uint32_t v = 0; v < n_; ++v) {
+      if (!pag.out_edges(NodeId(v), EdgeKind::kLoad).empty() ||
+          !pag.in_edges(NodeId(v), EdgeKind::kStore).empty()) {
+        done_index_[v] = done_rows_;
+        ++done_rows_;
+      }
+    }
+    done_.assign(static_cast<std::size_t>(done_rows_) * stride_, 0);
+
+    if (base != nullptr && seedable_from(*base)) {
+      const std::uint32_t words = std::min(stride_, base->stride_);
+      for (std::uint32_t v = 0; v < base->node_count_; ++v) {
+        const std::uint64_t* src = base->row(v);
+        std::uint64_t* dst = row(v);
+        for (std::uint32_t w = 0; w < words; ++w) dst[w] = src[w];
+      }
+      stats_.incremental = true;
+    }
+  }
+
+  Prefilter run() {
+    support::WallTimer timer;
+    seed();
+    while (!worklist_.empty()) {
+      const std::uint32_t v = worklist_.back();
+      worklist_.pop_back();
+      queued_[v] = false;
+      ++stats_.worklist_pops;
+      process(v);
+    }
+
+    Prefilter result;
+    result.node_count_ = n_;
+    result.object_count_ = object_count_;
+    result.stride_ = stride_;
+    result.revision_ = pag_.revision();
+    result.obj_dense_ = std::move(obj_dense_);
+    rows_.resize(static_cast<std::size_t>(n_) * stride_);  // drop cell rows
+    rows_.shrink_to_fit();
+    result.rows_ = std::move(rows_);
+    result.nonempty_.assign(n_, 0);
+    for (std::uint32_t v = 0; v < n_; ++v) {
+      if (support::bitset_any(result.row(v), stride_)) {
+        result.nonempty_[v] = 1;
+      } else if (pag_.is_variable(NodeId(v))) {
+        ++stats_.empty_vars;
+      }
+    }
+    stats_.objects = object_count_;
+    stats_.words_per_row = stride_;
+    stats_.heap_cells = static_cast<std::uint32_t>(cell_index_.size());
+    stats_.solve_seconds = timer.seconds();
+    result.stats_ = stats_;
+    return result;
+  }
+
+ private:
+  bool seedable_from(const Prefilter& base) const {
+    if (base.node_count_ > n_ || base.object_count_ > object_count_ ||
+        base.stride_ > stride_)
+      return false;
+    // Add-only growth keeps old nodes' kinds, so the dense object numbering
+    // of the old graph must be a prefix of the new one.
+    for (std::uint32_t v = 0; v < base.node_count_; ++v)
+      if (base.obj_dense_[v] != obj_dense_[v]) return false;
+    return true;
+  }
+
+  std::uint64_t* row(std::uint32_t r) {
+    return rows_.data() + static_cast<std::size_t>(r) * stride_;
+  }
+
+  void enqueue(std::uint32_t r) {
+    if (r < queued_.size() && queued_[r]) return;
+    if (r >= queued_.size()) queued_.resize(r + 1, false);
+    queued_[r] = true;
+    worklist_.push_back(r);
+  }
+
+  /// dst_row |= src_row; enqueue dst on change.
+  void union_rows(std::uint32_t dst, std::uint32_t src) {
+    ++stats_.union_ops;
+    if (bitset_union_into(row(dst), row(src), stride_)) enqueue(dst);
+  }
+
+  std::uint32_t cell_row(std::uint32_t dense_obj, std::uint32_t field) {
+    auto slot = cell_index_.try_emplace(cell_key(dense_obj, field),
+                                        static_cast<std::uint32_t>(succ_.size()));
+    if (slot.inserted) {
+      rows_.resize(rows_.size() + stride_, 0);
+      succ_.emplace_back();
+    }
+    return slot.value;
+  }
+
+  void add_dynamic_edge(std::uint32_t src, std::uint32_t dst) {
+    if (!dynamic_edges_.insert((static_cast<std::uint64_t>(src) << 32) | dst))
+      return;
+    succ_[src].push_back(dst);
+    union_rows(dst, src);
+  }
+
+  void seed() {
+    for (const pag::Edge& e : pag_.edges()) {
+      switch (e.kind) {
+        case EdgeKind::kNew: {
+          const std::uint32_t dense = obj_dense_[e.src.value()];
+          if (dense != kNoObject)
+            support::bitset_set(row(e.dst.value()), dense);
+          break;
+        }
+        case EdgeKind::kAssignLocal:
+        case EdgeKind::kAssignGlobal:
+        case EdgeKind::kParam:
+        case EdgeKind::kRet:
+          succ_[e.src.value()].push_back(e.dst.value());
+          break;
+        case EdgeKind::kLoad:
+        case EdgeKind::kStore:
+          break;  // expanded per object as base rows grow
+      }
+    }
+    // Chaotic iteration from a sound under-approximation (zero rows, or the
+    // previous fixpoint when seeded incrementally) converges to the same
+    // least fixpoint as long as every row is examined once.
+    for (std::uint32_t v = 0; v < n_; ++v) enqueue(v);
+  }
+
+  void process(std::uint32_t v) {
+    if (v < n_ && done_index_[v] != kNoObject) expand_fields(v);
+    // succ_ may gain entries while we propagate; index-based loop stays valid.
+    for (std::size_t i = 0; i < succ_[v].size(); ++i) union_rows(succ_[v][i], v);
+  }
+
+  void expand_fields(std::uint32_t v) {
+    std::uint64_t* done =
+        done_.data() + static_cast<std::size_t>(done_index_[v]) * stride_;
+    diff_.assign(stride_, 0);
+    bool any = false;
+    {
+      const std::uint64_t* pts = row(v);
+      for (std::uint32_t w = 0; w < stride_; ++w) {
+        diff_[w] = pts[w] & ~done[w];
+        any |= diff_[w] != 0;
+        done[w] = pts[w];
+      }
+    }
+    if (!any) return;
+    const NodeId var(v);
+    for (std::uint32_t w = 0; w < stride_; ++w) {
+      std::uint64_t bits = diff_[w];
+      while (bits != 0) {
+        const std::uint32_t dense =
+            w * 64 + static_cast<std::uint32_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        // Loads x = v.f: cell (o, f) flows into x.
+        for (const pag::HalfEdge ld : pag_.out_edges(var, EdgeKind::kLoad))
+          add_dynamic_edge(cell_row(dense, ld.aux), ld.other.value());
+        // Stores v.f = y: y flows into cell (o, f).
+        for (const pag::HalfEdge st : pag_.in_edges(var, EdgeKind::kStore))
+          add_dynamic_edge(st.other.value(), cell_row(dense, st.aux));
+      }
+    }
+  }
+
+  const Pag& pag_;
+  const std::uint32_t n_;
+  std::uint32_t object_count_ = 0;
+  std::uint32_t stride_ = 0;
+  std::uint32_t done_rows_ = 0;
+  std::vector<std::uint32_t> obj_dense_;
+  std::vector<std::uint64_t> rows_;
+  std::vector<std::uint64_t> done_;
+  std::vector<std::uint64_t> diff_;
+  std::vector<std::vector<std::uint32_t>> succ_;
+  std::vector<std::uint32_t> done_index_;
+  std::vector<bool> queued_;
+  std::vector<std::uint32_t> worklist_;
+  support::FlatMap<std::uint32_t> cell_index_;
+  support::FlatSet dynamic_edges_;
+  PrefilterStats stats_;
+};
+
+Prefilter Prefilter::build(const Pag& pag) {
+  return PrefilterSolver(pag, nullptr).run();
+}
+
+Prefilter Prefilter::build_incremental(const Pag& pag, const Prefilter& base) {
+  return PrefilterSolver(pag, &base).run();
+}
+
+bool Prefilter::pts_empty(NodeId v) const {
+  return v.value() < node_count_ && nonempty_[v.value()] == 0;
+}
+
+bool Prefilter::no_alias(NodeId a, NodeId b) const {
+  if (a.value() >= node_count_ || b.value() >= node_count_) return false;
+  if (nonempty_[a.value()] == 0 || nonempty_[b.value()] == 0) return true;
+  return !support::bitset_intersects(row(a.value()), row(b.value()), stride_);
+}
+
+bool Prefilter::points_to(NodeId v, NodeId o) const {
+  if (v.value() >= node_count_ || o.value() >= obj_dense_.size()) return false;
+  const std::uint32_t dense = obj_dense_[o.value()];
+  if (dense == UINT32_MAX) return false;
+  return support::bitset_test(row(v.value()), dense);
+}
+
+std::uint64_t Prefilter::pts_count(NodeId v) const {
+  if (v.value() >= node_count_) return 0;
+  return support::bitset_count(row(v.value()), stride_);
+}
+
+std::size_t Prefilter::memory_bytes() const {
+  return rows_.capacity() * sizeof(std::uint64_t) +
+         obj_dense_.capacity() * sizeof(std::uint32_t) + nonempty_.capacity();
+}
+
+}  // namespace parcfl::andersen

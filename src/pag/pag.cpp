@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "pag/reduce.hpp"
+
 namespace parcfl::pag {
 
 const char* to_string(EdgeKind kind) {
@@ -147,6 +149,15 @@ Pag Pag::Builder::finalize() && {
   pag.call_site_count_ = std::max(call_site_count_, max_cs + has_cs);
   pag.type_count_ = std::max(type_count_, max_type + has_type);
   pag.method_count_ = std::max(method_count_, max_method + has_method);
+
+  if (reduce_) {
+    std::vector<char> keep;
+    compute_reduction(pag.nodes_, pag.edges_, pag.field_count_, keep);
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < pag.edges_.size(); ++i)
+      if (keep[i]) pag.edges_[w++] = pag.edges_[i];
+    pag.edges_.resize(w);
+  }
 
   // Build the 14 per-(direction, kind) CSRs with counting sort.
   auto build_csr = [n](Csr& csr, const std::vector<Edge>& edges, bool by_dst,

@@ -97,6 +97,8 @@ class Pag {
   std::uint32_t method_count() const { return method_count_; }
 
   const NodeInfo& node(NodeId n) const { return nodes_[n.value()]; }
+  /// All node records, indexed by id.
+  std::span<const NodeInfo> nodes() const { return nodes_; }
   NodeKind kind(NodeId n) const { return nodes_[n.value()].kind; }
   bool is_object(NodeId n) const { return kind(n) == NodeKind::kObject; }
   bool is_variable(NodeId n) const { return kind(n) != NodeKind::kObject; }
@@ -218,6 +220,13 @@ class Pag::Builder {
   /// frontends leave it at 0).
   void set_revision(std::uint32_t revision) { revision_ = revision; }
 
+  /// Run the parenthesis reduction (pag/reduce.hpp) on the edge list during
+  /// finalize, before CSR construction. Node ids are preserved; only edges
+  /// that can never lie on a complete flowsTo derivation are dropped.
+  /// Defaults to off: frontends and IO build faithful graphs, the serving
+  /// path opts in.
+  void set_reduce(bool reduce) { reduce_ = reduce; }
+
   std::uint32_t node_count() const { return static_cast<std::uint32_t>(nodes_.size()); }
 
   /// Freeze into an immutable Pag. The builder is consumed.
@@ -229,6 +238,7 @@ class Pag::Builder {
   std::vector<std::string> names_;
   bool has_names_ = false;
   bool dedupe_ = true;
+  bool reduce_ = false;
   std::uint32_t revision_ = 0;
   std::uint32_t field_count_ = 0;
   std::uint32_t call_site_count_ = 0;

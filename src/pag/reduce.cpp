@@ -1,0 +1,214 @@
+#include "pag/reduce.hpp"
+
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace parcfl::pag {
+
+namespace {
+
+bool copy_like(EdgeKind k) {
+  return k == EdgeKind::kAssignLocal || k == EdgeKind::kAssignGlobal ||
+         k == EdgeKind::kParam || k == EdgeKind::kRet;
+}
+
+}  // namespace
+
+ReduceStats compute_reduction(std::span<const NodeInfo> nodes,
+                              std::span<const Edge> edges,
+                              std::uint32_t field_count,
+                              std::vector<char>& keep) {
+  const auto n = static_cast<std::uint32_t>(nodes.size());
+  ReduceStats stats;
+  stats.edges_before = static_cast<std::uint32_t>(edges.size());
+  keep.assign(edges.size(), 1);
+
+  // productive[v] over-approximates pts(v) != 0: seeded at objects and new
+  // edges, closed under copy-like edges and matched ld/st pairs (the alias
+  // side-condition of the grammar relaxed to productivity of both ends).
+  std::vector<char> productive(n, 0);
+  std::vector<char> store_ok(field_count, 0);
+
+  // Incidence lists of edge indices: copy-like and load edges react to their
+  // src becoming productive; a store reacts to either endpoint (base q = dst,
+  // rhs y = src). Counting-sort into one flat CSR.
+  std::vector<std::uint32_t> offsets(n + 1, 0);
+  for (const Edge& e : edges) {
+    if (copy_like(e.kind) || e.kind == EdgeKind::kLoad) {
+      ++offsets[e.src.value() + 1];
+    } else if (e.kind == EdgeKind::kStore) {
+      ++offsets[e.src.value() + 1];
+      ++offsets[e.dst.value() + 1];
+    }
+  }
+  for (std::uint32_t i = 1; i <= n; ++i) offsets[i] += offsets[i - 1];
+  std::vector<std::uint32_t> incident(offsets[n]);
+  {
+    std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::uint32_t ei = 0; ei < edges.size(); ++ei) {
+      const Edge& e = edges[ei];
+      if (copy_like(e.kind) || e.kind == EdgeKind::kLoad) {
+        incident[cursor[e.src.value()]++] = ei;
+      } else if (e.kind == EdgeKind::kStore) {
+        incident[cursor[e.src.value()]++] = ei;
+        incident[cursor[e.dst.value()]++] = ei;
+      }
+    }
+  }
+
+  // Loads grouped by field, for re-examination when store_ok(f) flips.
+  std::vector<std::vector<std::uint32_t>> loads_by_field(field_count);
+  for (std::uint32_t ei = 0; ei < edges.size(); ++ei)
+    if (edges[ei].kind == EdgeKind::kLoad)
+      loads_by_field[edges[ei].aux].push_back(ei);
+
+  std::vector<std::uint32_t> worklist;
+  auto mark = [&](NodeId v) {
+    if (productive[v.value()]) return;
+    productive[v.value()] = 1;
+    worklist.push_back(v.value());
+  };
+
+  for (std::uint32_t v = 0; v < n; ++v)
+    if (nodes[v].kind == NodeKind::kObject) mark(NodeId(v));
+  for (const Edge& e : edges)
+    if (e.kind == EdgeKind::kNew) mark(e.dst);
+
+  while (!worklist.empty()) {
+    const std::uint32_t v = worklist.back();
+    worklist.pop_back();
+    for (std::uint32_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      const Edge& e = edges[incident[i]];
+      if (copy_like(e.kind)) {
+        mark(e.dst);  // v == src
+      } else if (e.kind == EdgeKind::kLoad) {
+        // v == src == base p. If the field already pairs, the loaded value
+        // flows; otherwise a later store_ok flip rescans loads_by_field.
+        if (store_ok[e.aux]) mark(e.dst);
+      } else {  // kStore: v is base q or rhs y
+        if (store_ok[e.aux] || !productive[e.dst.value()] ||
+            !productive[e.src.value()])
+          continue;
+        store_ok[e.aux] = 1;
+        for (const std::uint32_t li : loads_by_field[e.aux]) {
+          const Edge& ld = edges[li];
+          if (productive[ld.src.value()]) mark(ld.dst);
+        }
+      }
+    }
+  }
+
+  // A store participates only opposite a load whose base can reach it.
+  std::vector<char> load_base_ok(field_count, 0);
+  std::vector<char> field_used(field_count, 0);
+  for (const Edge& e : edges) {
+    if (e.kind == EdgeKind::kLoad) {
+      field_used[e.aux] = 1;
+      if (productive[e.src.value()]) load_base_ok[e.aux] = 1;
+    } else if (e.kind == EdgeKind::kStore) {
+      field_used[e.aux] = 1;
+    }
+  }
+
+  for (std::uint32_t ei = 0; ei < edges.size(); ++ei) {
+    const Edge& e = edges[ei];
+    bool kept = true;
+    switch (e.kind) {
+      case EdgeKind::kNew:
+        break;  // the derivation leaf; always kept
+      case EdgeKind::kAssignLocal:
+      case EdgeKind::kAssignGlobal:
+      case EdgeKind::kParam:
+      case EdgeKind::kRet:
+        kept = productive[e.src.value()];
+        break;
+      case EdgeKind::kLoad:
+        kept = productive[e.src.value()] && store_ok[e.aux];
+        break;
+      case EdgeKind::kStore:
+        kept = productive[e.dst.value()] && productive[e.src.value()] &&
+               load_base_ok[e.aux];
+        break;
+    }
+    if (!kept) {
+      keep[ei] = 0;
+      ++stats.edges_removed;
+      ++stats.removed_by_kind[static_cast<unsigned>(e.kind)];
+    }
+  }
+
+  for (std::uint32_t v = 0; v < n; ++v)
+    if (nodes[v].kind != NodeKind::kObject && !productive[v])
+      ++stats.unproductive_nodes;
+  for (std::uint32_t f = 0; f < field_count; ++f)
+    if (field_used[f] && !(store_ok[f] && load_base_ok[f])) ++stats.dead_fields;
+  return stats;
+}
+
+Pag reduce_unmatched_parens(const Pag& pag, ReduceStats* stats) {
+  std::vector<char> keep;
+  ReduceStats s =
+      compute_reduction(pag.nodes(), pag.edges(), pag.field_count(), keep);
+
+  Pag::Builder builder;
+  builder.set_counts(pag.field_count(), pag.call_site_count(), pag.type_count(),
+                     pag.method_count());
+  builder.set_revision(pag.revision());
+  for (std::uint32_t v = 0; v < pag.node_count(); ++v) {
+    const NodeInfo& info = pag.node(NodeId(v));
+    const NodeId fresh =
+        builder.add_node(info.kind, info.type, info.method, info.is_application);
+    PARCFL_DCHECK(fresh.value() == v);
+    if (!pag.name(NodeId(v)).empty()) builder.set_name(fresh, pag.name(NodeId(v)));
+  }
+  const auto edges = pag.edges();
+  for (std::uint32_t ei = 0; ei < edges.size(); ++ei)
+    if (keep[ei])
+      builder.add_edge(edges[ei].kind, edges[ei].dst, edges[ei].src,
+                       edges[ei].aux);
+  if (stats != nullptr) *stats = s;
+  return std::move(builder).finalize();
+}
+
+ReduceResult reduce_and_compact(const Pag& pag) {
+  const std::uint32_t n = pag.node_count();
+  ReduceResult result;
+  std::vector<char> keep;
+  result.stats =
+      compute_reduction(pag.nodes(), pag.edges(), pag.field_count(), keep);
+
+  const auto edges = pag.edges();
+  std::vector<char> referenced(n, 0);
+  for (std::uint32_t ei = 0; ei < edges.size(); ++ei) {
+    if (!keep[ei]) continue;
+    referenced[edges[ei].dst.value()] = 1;
+    referenced[edges[ei].src.value()] = 1;
+  }
+
+  Pag::Builder builder;
+  builder.set_counts(pag.field_count(), pag.call_site_count(), pag.type_count(),
+                     pag.method_count());
+  builder.set_revision(pag.revision());
+  result.remap.assign(n, NodeId::invalid());
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (!referenced[v]) {
+      ++result.stats.nodes_dropped;
+      continue;
+    }
+    const NodeInfo& info = pag.node(NodeId(v));
+    const NodeId fresh =
+        builder.add_node(info.kind, info.type, info.method, info.is_application);
+    if (!pag.name(NodeId(v)).empty()) builder.set_name(fresh, pag.name(NodeId(v)));
+    result.remap[v] = fresh;
+  }
+  for (std::uint32_t ei = 0; ei < edges.size(); ++ei) {
+    if (!keep[ei]) continue;
+    builder.add_edge(edges[ei].kind, result.remap[edges[ei].dst.value()],
+                     result.remap[edges[ei].src.value()], edges[ei].aux);
+  }
+  result.pag = std::move(builder).finalize();
+  return result;
+}
+
+}  // namespace parcfl::pag

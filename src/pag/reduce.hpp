@@ -1,0 +1,70 @@
+#pragma once
+// Offline parenthesis reduction (DESIGN.md §11). Removes edges that can never
+// lie on a complete flowsTo derivation, in the spirit of InterDyck graph
+// reduction (Chatterjee et al., "Optimal Dyck Reachability for
+// Data-Dependence and Alias Analysis"): a field parenthesis — an ld(f) or
+// st(f) edge — is deleted when no counterpart on the same field can ever be
+// reached with a non-empty points-to set behind it, and a copy-like edge is
+// deleted when its source provably has an empty points-to set.
+//
+// The analysis computes one boolean per node — "productive": an
+// over-approximation of pts(v) ≠ ∅ under the context-insensitive projection
+// of the CFL (alias side-conditions relaxed to productivity of both ends).
+// Every true flowsTo derivation maps onto productive facts by induction, so
+// an edge whose keep-condition fails cannot appear on any derivation, for
+// either traversal direction (PointsTo walks backward, FlowsTo forward over
+// the same derivations). Removing it changes no query answer; it only
+// removes traversal steps, so budget-capped queries can only move toward
+// completion (same guarantee the engine already documents for
+// charge_jmp_costs=false).
+//
+// Context parentheses (param_i/ret_i) are deliberately NOT matched away: the
+// LFS grammar permits partially balanced context strings (paper eq. 3 — a
+// lone open or close paren is always matchable against the empty stack), so
+// no context edge is deletable by mismatch. They still participate as
+// copy-like edges in the productivity rules above.
+
+#include <span>
+#include <vector>
+
+#include "pag/pag.hpp"
+
+namespace parcfl::pag {
+
+struct ReduceStats {
+  std::uint32_t edges_before = 0;
+  std::uint32_t edges_removed = 0;
+  std::uint32_t removed_by_kind[kEdgeKindCount] = {};
+  std::uint32_t unproductive_nodes = 0;  // variables with provably empty pts
+  std::uint32_t dead_fields = 0;  // fields whose ld/st can never pair up
+  std::uint32_t nodes_dropped = 0;  // compact variant only
+
+  std::uint32_t edges_after() const { return edges_before - edges_removed; }
+};
+
+/// Core pass: fills `keep` (one flag per edge, insertion order) and returns
+/// the stats. Exposed so Builder::finalize can reduce the raw edge list
+/// before CSR construction without building an intermediate Pag.
+ReduceStats compute_reduction(std::span<const NodeInfo> nodes,
+                              std::span<const Edge> edges,
+                              std::uint32_t field_count,
+                              std::vector<char>& keep);
+
+/// Edge-only reduction: same node set and ids as the input (queries, jmp
+/// state, witnesses, and deltas need no translation), fewer edges. This is
+/// the serving-path variant.
+Pag reduce_unmatched_parens(const Pag& pag, ReduceStats* stats = nullptr);
+
+struct ReduceResult {
+  Pag pag;
+  /// Original node id -> id in `pag`; NodeId::invalid() for dropped nodes.
+  std::vector<NodeId> remap;
+  ReduceStats stats;
+};
+
+/// Offline variant (pag_tool): additionally drops nodes left without any
+/// incident edge, emitting the id remap. Variables with provably empty
+/// points-to sets survive only if an edge still references them.
+ReduceResult reduce_and_compact(const Pag& pag);
+
+}  // namespace parcfl::pag

@@ -20,6 +20,7 @@
 // analysis through parcfl::andersen::solve.
 
 #include "andersen/andersen.hpp"  // IWYU pragma: export
+#include "andersen/prefilter.hpp" // IWYU pragma: export
 #include "cfl/context.hpp"        // IWYU pragma: export
 #include "clients/clients.hpp"    // IWYU pragma: export
 #include "clients/refinement.hpp" // IWYU pragma: export
@@ -35,6 +36,7 @@
 #include "pag/collapse.hpp"       // IWYU pragma: export
 #include "pag/pag.hpp"            // IWYU pragma: export
 #include "pag/pag_io.hpp"         // IWYU pragma: export
+#include "pag/reduce.hpp"         // IWYU pragma: export
 #include "pag/validate.hpp"       // IWYU pragma: export
 #include "service/protocol.hpp"   // IWYU pragma: export
 #include "service/server.hpp"     // IWYU pragma: export

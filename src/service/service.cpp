@@ -56,6 +56,13 @@ QueryService::QueryService(pag::Pag pag, const ServiceOptions& options)
                           "Cumulative solver queries (incl. alias halves)."),
           registry_.gauge("parcfl_engine_early_terminations",
                           "Cumulative unfinished-jmp early terminations."),
+          registry_.gauge("parcfl_prefilter_hits_total",
+                          "Queries and alias pairs answered by the Andersen "
+                          "prefilter without solver work."),
+          registry_.gauge("parcfl_prefilter_misses_total",
+                          "Prefilter probes that fell through to the solver."),
+          registry_.gauge("parcfl_prefilter_ready",
+                          "1 when the prefilter covers the live revision."),
       },
       session_(std::move(pag), session_options_with_sink()),
       recorder_(registry_) {
@@ -140,6 +147,12 @@ std::string QueryService::metrics_text() {
   registry_.set_gauge(gauges_.queries, static_cast<double>(totals.queries));
   registry_.set_gauge(gauges_.early_terminations,
                       static_cast<double>(totals.early_terminations));
+  registry_.set_gauge(gauges_.prefilter_hits,
+                      static_cast<double>(totals.prefilter_hits));
+  registry_.set_gauge(gauges_.prefilter_misses,
+                      static_cast<double>(totals.prefilter_misses));
+  registry_.set_gauge(gauges_.prefilter_ready,
+                      session_.prefilter_ready() ? 1.0 : 0.0);
   return registry_.render_prometheus();
 }
 
@@ -316,6 +329,24 @@ void QueryService::execute_batch(std::vector<Pending> batch) {
       p.promise.set_value(ready_reply(Reply::Status::kShedDeadline, p.request.verb));
       continue;
     }
+    // Alias pair the prefilter proves disjoint: answer at dispatch, spend no
+    // solver time. Safe here because updates run serialized on this same
+    // collector thread, so the revision the prefilter was checked against is
+    // the revision the batch would have run on.
+    if (p.request.verb == Verb::kAlias &&
+        session_.prefilter_no_alias(p.request.a, p.request.b)) {
+      Reply r;
+      r.status = Reply::Status::kOk;
+      r.verb = Verb::kAlias;
+      r.alias = cfl::Solver::AliasAnswer::kNo;
+      r.query_status = cfl::QueryStatus::kComplete;
+      r.charged_steps = 0;
+      const double latency_ms =
+          std::chrono::duration<double, std::milli>(now - p.enqueued).count();
+      recorder_.record_request(latency_ms, /*alias=*/true);
+      p.promise.set_value(std::move(r));
+      continue;
+    }
     live.push_back(std::move(p));
   }
   if (live.empty()) return;
@@ -366,6 +397,7 @@ ServiceStats QueryService::stats() const {
   out.jmp_store_bytes = session_.store().memory_bytes();
   out.context_count = session_.context_count();
   out.pag_revision = session_.revision();
+  out.prefilter_ready = session_.prefilter_ready();
   return out;
 }
 

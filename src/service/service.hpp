@@ -123,7 +123,8 @@ class QueryService {
   struct EngineGauges {
     obs::MetricsRegistry::MetricId jmp_entries, jmp_store_bytes, contexts,
         pag_revision, charged_steps, traversed_steps, saved_steps,
-        jmp_lookups, jmps_taken, queries, early_terminations;
+        jmp_lookups, jmps_taken, queries, early_terminations,
+        prefilter_hits, prefilter_misses, prefilter_ready;
   };
   EngineGauges gauges_;
   Session session_;

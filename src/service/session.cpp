@@ -1,31 +1,89 @@
 #include "service/session.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <tuple>
 #include <utility>
 
+#include "andersen/prefilter.hpp"
 #include "cfl/persist.hpp"
 
 namespace parcfl::service {
 
 namespace {
 
-cfl::EngineOptions service_engine_options(cfl::EngineOptions engine) {
-  // Replies carry the object sets, whatever the caller configured.
-  engine.collect_objects = true;
-  return engine;
-}
-
 bool fail(std::string* error, std::string msg) {
   if (error != nullptr) *error = std::move(msg);
   return false;
 }
 
+bool edge_less(const pag::Edge& a, const pag::Edge& b) {
+  return std::tie(a.kind, a.dst, a.src, a.aux) <
+         std::tie(b.kind, b.dst, b.src, b.aux);
+}
+
+/// The delta the *serving* graph actually underwent: the edge diff between
+/// the old and new reduced graphs, plus the client's node tombstones. The
+/// jmp invalidation cone (cfl/invalidate.hpp) seeds from delta edge
+/// endpoints, and reduction can flip an edge's keep decision arbitrarily far
+/// from the client delta (a new store can resurrect every load on its field),
+/// so seeding from the client delta would under-invalidate. Both graphs are
+/// deduped, so a plain sorted set-difference is exact.
+pag::Delta serving_diff(const pag::Pag& old_pag, const pag::Pag& new_pag,
+                        const pag::Delta& delta) {
+  const auto sorted_edges = [](std::span<const pag::Edge> edges) {
+    std::vector<pag::Edge> v(edges.begin(), edges.end());
+    std::sort(v.begin(), v.end(), edge_less);
+    return v;
+  };
+  const std::vector<pag::Edge> old_edges = sorted_edges(old_pag.edges());
+  const std::vector<pag::Edge> new_edges = sorted_edges(new_pag.edges());
+
+  pag::Delta d(old_pag.node_count());
+  std::size_t i = 0, j = 0;
+  while (i < old_edges.size() || j < new_edges.size()) {
+    if (j == new_edges.size() ||
+        (i < old_edges.size() && edge_less(old_edges[i], new_edges[j]))) {
+      const pag::Edge& e = old_edges[i++];
+      d.remove_edge(e.kind, e.dst, e.src, e.aux);
+    } else if (i == old_edges.size() || edge_less(new_edges[j], old_edges[i])) {
+      const pag::Edge& e = new_edges[j++];
+      d.add_edge(e.kind, e.dst, e.src, e.aux);
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  for (const pag::NodeId n : delta.removed_nodes()) d.remove_node(n);
+  return d;
+}
+
 }  // namespace
 
+cfl::EngineOptions Session::engine_options(const Options& options) {
+  cfl::EngineOptions engine = options.engine;
+  // Replies carry the object sets, whatever the caller configured.
+  engine.collect_objects = true;
+  if (options.prefilter) {
+    // Runs on engine workers inside runner_.run, i.e. under batch_mu_ —
+    // exactly where active_prefilter_ is stable (see member comment).
+    engine.definitely_empty = [this](pag::NodeId v) {
+      const andersen::Prefilter* p = active_prefilter_.get();
+      return p != nullptr && p->pts_empty(v);
+    };
+  }
+  return engine;
+}
+
 Session::Session(pag::Pag pag, Options options)
-    : pag_(std::move(pag)),
-      runner_(pag_, service_engine_options(options.engine), contexts_, store_) {
+    : reduce_graph_(options.reduce_graph),
+      prefilter_enabled_(options.prefilter),
+      base_pag_(options.reduce_graph ? std::optional<pag::Pag>(std::move(pag))
+                                     : std::nullopt),
+      pag_(base_pag_ ? pag::reduce_unmatched_parens(*base_pag_, &reduce_stats_)
+                     : std::move(pag)),
+      runner_(pag_, engine_options(options), contexts_, store_) {
   invalidate_options_.field_approximation =
       options.engine.solver.field_approximation;
   if (!options.state_path.empty()) {
@@ -39,6 +97,124 @@ Session::Session(pag::Pag pag, Options options)
                      options.state_path.c_str(), error.c_str());
     }
   }
+  if (prefilter_enabled_) {
+    pf_dirty_ = true;
+    prefilter_thread_ = std::thread([this] { prefilter_main(); });
+  }
+}
+
+Session::~Session() {
+  if (prefilter_thread_.joinable()) {
+    {
+      std::lock_guard lock(pf_mu_);
+      pf_stop_ = true;
+    }
+    pf_cv_.notify_all();
+    prefilter_thread_.join();
+  }
+}
+
+void Session::prefilter_main() {
+  for (;;) {
+    std::shared_ptr<const andersen::Prefilter> base;
+    bool add_only = false;
+    {
+      std::unique_lock lock(pf_mu_);
+      pf_cv_.wait(lock, [&] { return pf_stop_ || pf_dirty_; });
+      if (pf_stop_) return;
+      pf_dirty_ = false;
+      add_only = pf_add_only_;
+      pf_add_only_ = true;
+      base = prefilter_;
+    }
+    // Copy the live graph: the solve must not hold any session lock. A delta
+    // landing between the flag snapshot and this copy re-marks dirty, so the
+    // result is rebuilt; at worst this round seeds incrementally from a base
+    // the copy no longer extends, which over-approximates the fixpoint —
+    // still sound for definite-no answers (and superseded by the pending
+    // rebuild anyway).
+    std::optional<pag::Pag> copy;
+    {
+      std::shared_lock lock(pag_mu_);
+      copy.emplace(pag_);
+    }
+    auto built = std::make_shared<const andersen::Prefilter>(
+        add_only && base != nullptr
+            ? andersen::Prefilter::build_incremental(*copy, *base)
+            : andersen::Prefilter::build(*copy));
+    {
+      std::lock_guard lock(pf_mu_);
+      prefilter_ = std::move(built);
+    }
+    pf_cv_.notify_all();
+  }
+}
+
+void Session::refresh_active_prefilter() {
+  // batch_mu_ held: pag_ is stable, and active_prefilter_ may be written.
+  std::lock_guard lock(pf_mu_);
+  if (prefilter_ != nullptr && prefilter_->revision() == pag_.revision())
+    active_prefilter_ = prefilter_;
+  else
+    active_prefilter_ = nullptr;
+}
+
+bool Session::prefilter_no_alias(pag::NodeId a, pag::NodeId b) const {
+  if (!prefilter_enabled_) return false;
+  std::shared_ptr<const andersen::Prefilter> p;
+  {
+    std::lock_guard lock(pf_mu_);
+    p = prefilter_;
+  }
+  if (p == nullptr) return false;
+  {
+    std::shared_lock lock(pag_mu_);
+    if (p->revision() != pag_.revision()) return false;
+  }
+  const bool hit = p->no_alias(a, b);
+  (hit ? pf_alias_hits_ : pf_alias_misses_)
+      .fetch_add(1, std::memory_order_relaxed);
+  return hit;
+}
+
+bool Session::prefilter_ready() const {
+  if (!prefilter_enabled_) return false;
+  std::shared_ptr<const andersen::Prefilter> p;
+  {
+    std::lock_guard lock(pf_mu_);
+    p = prefilter_;
+  }
+  if (p == nullptr) return false;
+  std::shared_lock lock(pag_mu_);
+  return p->revision() == pag_.revision();
+}
+
+bool Session::wait_for_prefilter() {
+  if (!prefilter_enabled_) return false;
+  std::uint32_t rev = 0;
+  {
+    std::shared_lock lock(pag_mu_);
+    rev = pag_.revision();
+  }
+  std::unique_lock lock(pf_mu_);
+  // Revisions are monotone, so >= rev means "covers the revision that was
+  // live when the caller asked" — a racing update re-marks dirty and the
+  // caller can simply wait again.
+  pf_cv_.wait(lock, [&] {
+    return pf_stop_ ||
+           (!pf_dirty_ && prefilter_ != nullptr && prefilter_->revision() >= rev);
+  });
+  return !pf_stop_;
+}
+
+std::shared_ptr<const andersen::Prefilter> Session::prefilter_snapshot() const {
+  std::lock_guard lock(pf_mu_);
+  return prefilter_;
+}
+
+pag::ReduceStats Session::reduce_stats() const {
+  std::shared_lock lock(pag_mu_);
+  return reduce_stats_;
 }
 
 Session::BatchResult Session::run_batch(std::span<const Item> items) {
@@ -57,6 +233,7 @@ Session::BatchResult Session::run_batch(std::span<const Item> items) {
   result.items.resize(items.size());
   {
     std::lock_guard lock(batch_mu_);
+    if (prefilter_enabled_) refresh_active_prefilter();
     cfl::EngineResult er = runner_.run(
         queries, any_budget ? std::span<const std::uint64_t>(budgets)
                             : std::span<const std::uint64_t>());
@@ -81,21 +258,52 @@ bool Session::update(const pag::Delta& delta, std::string* error,
 
   pag::ApplyStats apply{};
   std::string apply_error;
-  auto next = pag::apply_delta(pag_, delta, &apply, &apply_error);
-  if (!next) return fail(error, "delta rejected: " + apply_error);
+  // The delta is recorded against the faithful base graph: it may remove an
+  // edge that reduction already dropped from the serving graph.
+  auto next_base =
+      pag::apply_delta(base_pag_ ? *base_pag_ : pag_, delta, &apply, &apply_error);
+  if (!next_base) return fail(error, "delta rejected: " + apply_error);
 
   UpdateStats out;
   out.apply = apply;
+
+  std::optional<pag::Pag> next_serving;
+  if (reduce_graph_)
+    next_serving = pag::reduce_unmatched_parens(*next_base, &out.reduce);
+
   {
     // Exclude the lock-free control plane (save/load, validation reads) only
     // for the invalidate + swap window.
     std::unique_lock pag_lock(pag_mu_);
-    out.invalidate = cfl::invalidate_sharing_state(
-        pag_, *next, delta, contexts_, store_, invalidate_options_);
-    // Move-assign in place: the Pag's address is what the warm BatchRunner
-    // and its solvers hold, and that does not change.
-    pag_ = std::move(*next);
+    if (next_serving) {
+      out.invalidate = cfl::invalidate_sharing_state(
+          pag_, *next_serving, serving_diff(pag_, *next_serving, delta),
+          contexts_, store_, invalidate_options_);
+      // Move-assign in place: the Pag's address is what the warm BatchRunner
+      // and its solvers hold, and that does not change.
+      pag_ = std::move(*next_serving);
+      *base_pag_ = std::move(*next_base);
+    } else {
+      out.invalidate = cfl::invalidate_sharing_state(
+          pag_, *next_base, delta, contexts_, store_, invalidate_options_);
+      pag_ = std::move(*next_base);
+    }
+    reduce_stats_ = out.reduce;
     out.revision = pag_.revision();
+  }
+
+  if (prefilter_enabled_) {
+    // Under batch_mu_: the next batch must not short-circuit against the old
+    // revision's rows. The batch-start refresh would catch the mismatch too;
+    // clearing here makes the invariant local.
+    active_prefilter_ = nullptr;
+    {
+      std::lock_guard pf_lock(pf_mu_);
+      pf_dirty_ = true;
+      pf_add_only_ = pf_add_only_ && delta.removed_edges().empty() &&
+                     delta.removed_nodes().empty();
+    }
+    pf_cv_.notify_all();
   }
   if (stats != nullptr) *stats = out;
   return true;
@@ -108,7 +316,8 @@ bool Session::update_from_file(const std::string& path, std::string* error,
   std::string parse_error;
   std::optional<pag::Delta> delta;
   {
-    // Parse against a stable view of the graph (bounds checks read pag_).
+    // Parse against a stable view of the graph (bounds checks read pag_;
+    // reduction keeps node ids, so serving and base agree on the id space).
     std::shared_lock lock(pag_mu_);
     delta = pag::read_delta(in, pag_, &parse_error);
   }
@@ -118,7 +327,10 @@ bool Session::update_from_file(const std::string& path, std::string* error,
 
 support::QueryCounters Session::lifetime_totals() const {
   std::lock_guard lock(batch_mu_);
-  return runner_.lifetime_totals();
+  support::QueryCounters totals = runner_.lifetime_totals();
+  totals.prefilter_hits += pf_alias_hits_.load(std::memory_order_relaxed);
+  totals.prefilter_misses += pf_alias_misses_.load(std::memory_order_relaxed);
+  return totals;
 }
 
 bool Session::save(const std::string& path, std::string* error) {

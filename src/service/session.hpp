@@ -5,6 +5,24 @@
 // query stream gets monotonically cheaper — the across-run reuse that
 // cfl/persist.hpp only offered as save/reload is kept *live* here.
 //
+// Pre-solve pipeline (DESIGN.md §11), both stages on by default:
+//  * Graph reduction — the session serves the *reduced* graph
+//    (pag/reduce.hpp): edges that can never lie on a complete flowsTo
+//    derivation are dropped up front, so every traversal walks fewer steps
+//    for identical answers. The faithful unreduced graph is kept as
+//    `base_pag_`: client deltas are recorded against it (a delta may remove
+//    an edge reduction already dropped), and each update re-reduces the new
+//    base. Reduction preserves node ids, so request validation and the wire
+//    protocol are oblivious to it.
+//  * Andersen prefilter — a background thread solves the word-parallel
+//    inclusion analysis (andersen/prefilter.hpp) over the serving graph and
+//    publishes the result revision-stamped. Batches consult it through
+//    EngineOptions::definitely_empty to answer provably-empty queries without
+//    touching a solver; the service consults no_alias() to short-circuit
+//    whole alias pairs. A result whose revision does not match the live
+//    graph is never consulted — between an update and the rebuild finishing,
+//    queries simply fall through to the solver (slower, never wrong).
+//
 // Concurrency contract:
 //  * run_batch() serialises batches on batch_mu_ (the engine parallelises
 //    *within* a batch across the configured worker threads).
@@ -17,19 +35,35 @@
 //    save/load, validation reads (node_count / is_variable_node) and stats
 //    take it shared; update holds it exclusively only for the short
 //    invalidate + swap window, so the control plane never blocks behind a
-//    whole batch.
+//    whole batch. The prefilter thread copies the graph under it.
+//  * pf_mu_ guards the prefilter build state (latest result, dirty flag).
+//    `active_prefilter_` — the result the in-flight batch reads through the
+//    definitely_empty predicate — is written only under batch_mu_ (refreshed
+//    at batch start, cleared by update), so predicate reads need no lock.
+//  * Lock order: batch_mu_ before pag_mu_; pf_mu_ is never held while
+//    acquiring another lock.
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cfl/engine.hpp"
 #include "cfl/invalidate.hpp"
 #include "pag/delta.hpp"
 #include "pag/pag.hpp"
+#include "pag/reduce.hpp"
+
+namespace parcfl::andersen {
+class Prefilter;
+}
 
 namespace parcfl::service {
 
@@ -41,6 +75,12 @@ class Session {
     /// When non-empty, warm-start from this state file if it exists (a
     /// missing file is not an error — the session just starts cold).
     std::string state_path;
+    /// Serve the reduced graph (pag/reduce.hpp). Identical answers, fewer
+    /// traversed steps; costs one extra graph copy (the unreduced base).
+    bool reduce_graph = true;
+    /// Solve the Andersen prefilter in the background and short-circuit
+    /// provably-empty queries / provably-no alias pairs.
+    bool prefilter = true;
   };
 
   /// One query of a micro-batch.
@@ -64,10 +104,12 @@ class Session {
   struct UpdateStats {
     pag::ApplyStats apply;
     cfl::InvalidateStats invalidate;
+    pag::ReduceStats reduce;     // all-zero when reduction is disabled
     std::uint32_t revision = 0;  // the graph's revision after the update
   };
 
   Session(pag::Pag pag, Options options);
+  ~Session();
 
   /// Execute one micro-batch; item order is preserved in the result even
   /// when the DQ scheduler reorders execution. Thread-safe (serialised).
@@ -77,6 +119,9 @@ class Session {
   /// recorded traversals the change could invalidate (cfl/invalidate.hpp),
   /// and swap the new graph in. Serialised against batches; after it returns,
   /// warm queries answer exactly as a cold run on the mutated graph would.
+  /// With reduction on, the delta applies to the unreduced base and the
+  /// invalidation cone is seeded from the *serving-graph* edge diff — the
+  /// edges whose keep decision actually changed, wherever they are.
   bool update(const pag::Delta& delta, std::string* error,
               UpdateStats* stats = nullptr);
   /// read_delta from `path`, then update().
@@ -98,18 +143,52 @@ class Session {
   /// Delta epoch of the live graph (0 until the first update).
   std::uint32_t revision() const;
 
+  /// True when Andersen proves pts(a) ∩ pts(b) = ∅ on the current revision —
+  /// alias(a,b) is impossible and the pair needs no solver time. False on a
+  /// stale or absent prefilter (never wrong, merely unhelpful). Counts into
+  /// lifetime_totals() as one prefilter hit/miss per consulted pair.
+  bool prefilter_no_alias(pag::NodeId a, pag::NodeId b) const;
+  /// True when the latest prefilter matches the live graph revision.
+  bool prefilter_ready() const;
+  /// Block until the prefilter covers the current revision (tests, benches,
+  /// loadgen warm-up). Returns false immediately when the prefilter is
+  /// disabled or the session is shutting down.
+  bool wait_for_prefilter();
+  /// Latest built prefilter (possibly stale — check revision()); null until
+  /// the first solve finishes or when disabled.
+  std::shared_ptr<const andersen::Prefilter> prefilter_snapshot() const;
+  /// Reduction stats of the live serving graph (all-zero when disabled).
+  pag::ReduceStats reduce_stats() const;
+
   /// Direct graph access for single-threaded callers (tests, benchmarks).
-  /// Do not use from a thread that can race an update().
+  /// Do not use from a thread that can race an update(). pag() is the graph
+  /// queries run against (reduced when reduce_graph is on); base_pag() is
+  /// the faithful client-visible graph deltas apply to.
   const pag::Pag& pag() const { return pag_; }
+  const pag::Pag& base_pag() const { return base_pag_ ? *base_pag_ : pag_; }
   const cfl::JmpStore& store() const { return store_; }
   std::uint64_t context_count() const { return contexts_.size(); }
-  /// Cumulative engine counters over every batch served. Serialised against
+  /// Cumulative engine counters over every batch served, including
+  /// service-level prefilter alias short-circuits. Serialised against
   /// run_batch (workers write their counters unsynchronised mid-batch), so a
   /// stats probe may wait out the batch in flight.
   support::QueryCounters lifetime_totals() const;
 
  private:
-  pag::Pag pag_;
+  cfl::EngineOptions engine_options(const Options& options);
+  /// Recompute active_prefilter_ for the batch about to run. Caller holds
+  /// batch_mu_.
+  void refresh_active_prefilter();
+  /// Background build loop: wait for a dirty graph, copy it, solve, publish.
+  void prefilter_main();
+
+  bool reduce_graph_ = false;
+  bool prefilter_enabled_ = false;
+  pag::ReduceStats reduce_stats_{};  // of the live pag_; guarded by pag_mu_
+  /// Engaged iff reduce_graph_: the unreduced graph, base for deltas. When
+  /// reduction is off the serving graph *is* the base and no copy is kept.
+  std::optional<pag::Pag> base_pag_;
+  pag::Pag pag_;  // the serving graph (reduced when reduce_graph_)
   cfl::ContextTable contexts_;
   cfl::JmpStore store_;
   cfl::InvalidateOptions invalidate_options_;  // mirrors the solver config
@@ -118,6 +197,24 @@ class Session {
   // Lock order: batch_mu_ before pag_mu_ (update takes both; everyone else
   // takes exactly one).
   mutable std::shared_mutex pag_mu_;
+
+  /// Read by the definitely_empty predicate from engine workers; written
+  /// only under batch_mu_ (refresh at batch start, clear in update), and the
+  /// predicate only runs inside runner_.run — also under batch_mu_.
+  std::shared_ptr<const andersen::Prefilter> active_prefilter_;
+  mutable std::mutex pf_mu_;  // guards prefilter_ / pf_dirty_ / pf_add_only_
+  std::condition_variable pf_cv_;
+  std::shared_ptr<const andersen::Prefilter> prefilter_;  // latest build
+  bool pf_dirty_ = false;
+  bool pf_stop_ = false;
+  /// Every delta since the last build start was add-only — the previous
+  /// fixpoint is a sound under-approximation and seeds the next solve.
+  bool pf_add_only_ = true;
+  /// Alias pairs short-circuited / consulted-but-unproven at the service
+  /// level (prefilter_no_alias), merged into lifetime_totals().
+  mutable std::atomic<std::uint64_t> pf_alias_hits_{0};
+  mutable std::atomic<std::uint64_t> pf_alias_misses_{0};
+  std::thread prefilter_thread_;
 };
 
 }  // namespace parcfl::service

@@ -139,6 +139,10 @@ std::string ServiceStats::to_json() const {
      << ",\"hit_ratio\":" << jmp_hit_ratio()
      << ",\"entries\":" << jmp_entries << ",\"bytes\":" << jmp_store_bytes
      << "}"
+     << ",\"prefilter\":{\"hits\":" << engine.prefilter_hits
+     << ",\"misses\":" << engine.prefilter_misses
+     << ",\"hit_ratio\":" << prefilter_hit_ratio()
+     << ",\"ready\":" << (prefilter_ready ? "true" : "false") << "}"
      << ",\"steps\":{\"charged\":" << engine.charged_steps
      << ",\"traversed\":" << engine.traversed_steps
      << ",\"saved\":" << engine.saved_steps << "}"

@@ -48,6 +48,17 @@ struct ServiceStats {
   std::uint64_t jmp_store_bytes = 0;
   std::uint64_t context_count = 0;
   std::uint64_t pag_revision = 0;  // delta epoch of the live graph
+  bool prefilter_ready = false;    // prefilter covers the live revision
+
+  /// Share of prefilter consultations (per-query pts_empty probes plus
+  /// per-pair no_alias probes) that short-circuited solver work entirely.
+  double prefilter_hit_ratio() const {
+    const std::uint64_t probes =
+        engine.prefilter_hits + engine.prefilter_misses;
+    return probes == 0 ? 0.0
+                       : static_cast<double>(engine.prefilter_hits) /
+                             static_cast<double>(probes);
+  }
 
   /// jmps_taken / jmp_lookups — how often a ReachableNodes probe rode a
   /// finished shortcut. The warm-vs-cold delta of this ratio is the service's

@@ -1,0 +1,93 @@
+#pragma once
+// Word-parallel bitset kernels for the Andersen prefilter (DESIGN.md §11).
+// Rows are fixed-stride arrays of 64-bit words padded to a multiple of 8
+// words — one 64-byte cache line — so the vector paths need no scalar tail.
+// AVX2 is used when the compiler targets it (e.g. -march=native builds); the
+// default build takes the portable uint64 loop, which the optimizer
+// autovectorizes for the common strides anyway.
+
+#include <cstdint>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace parcfl::support {
+
+/// Words per 64-byte cache line; every row stride is a multiple of this.
+constexpr std::uint32_t kBitsetWordAlign = 8;
+
+constexpr std::uint32_t bitset_stride_for(std::uint32_t bits) {
+  const std::uint32_t words = (bits + 63) / 64;
+  return (words + kBitsetWordAlign - 1) / kBitsetWordAlign * kBitsetWordAlign;
+}
+
+/// dst |= src over `words` (a multiple of kBitsetWordAlign). Returns whether
+/// dst changed.
+inline bool bitset_union_into(std::uint64_t* dst, const std::uint64_t* src,
+                              std::uint32_t words) {
+#if defined(__AVX2__)
+  __m256i changed = _mm256_setzero_si256();
+  for (std::uint32_t w = 0; w < words; w += 4) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + w));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + w));
+    const __m256i u = _mm256_or_si256(d, s);
+    changed = _mm256_or_si256(changed, _mm256_xor_si256(u, d));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + w), u);
+  }
+  return _mm256_testz_si256(changed, changed) == 0;
+#else
+  std::uint64_t changed = 0;
+  for (std::uint32_t w = 0; w < words; ++w) {
+    const std::uint64_t u = dst[w] | src[w];
+    changed |= u ^ dst[w];
+    dst[w] = u;
+  }
+  return changed != 0;
+#endif
+}
+
+/// a ∩ b ≠ ∅ over `words` (a multiple of kBitsetWordAlign).
+inline bool bitset_intersects(const std::uint64_t* a, const std::uint64_t* b,
+                              std::uint32_t words) {
+#if defined(__AVX2__)
+  __m256i acc = _mm256_setzero_si256();
+  for (std::uint32_t w = 0; w < words; w += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    const __m256i y =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+    acc = _mm256_or_si256(acc, _mm256_and_si256(x, y));
+  }
+  return _mm256_testz_si256(acc, acc) == 0;
+#else
+  std::uint64_t acc = 0;
+  for (std::uint32_t w = 0; w < words; ++w) acc |= a[w] & b[w];
+  return acc != 0;
+#endif
+}
+
+inline bool bitset_any(const std::uint64_t* a, std::uint32_t words) {
+  std::uint64_t acc = 0;
+  for (std::uint32_t w = 0; w < words; ++w) acc |= a[w];
+  return acc != 0;
+}
+
+inline std::uint64_t bitset_count(const std::uint64_t* a, std::uint32_t words) {
+  std::uint64_t count = 0;
+  for (std::uint32_t w = 0; w < words; ++w)
+    count += static_cast<std::uint64_t>(__builtin_popcountll(a[w]));
+  return count;
+}
+
+inline bool bitset_test(const std::uint64_t* a, std::uint32_t bit) {
+  return (a[bit / 64] >> (bit % 64)) & 1u;
+}
+
+inline void bitset_set(std::uint64_t* a, std::uint32_t bit) {
+  a[bit / 64] |= std::uint64_t{1} << (bit % 64);
+}
+
+}  // namespace parcfl::support

@@ -46,6 +46,8 @@ void QueryCounters::merge(const QueryCounters& other) {
   jmps_suppressed += other.jmps_suppressed;
   points_to_tuples += other.points_to_tuples;
   fixpoint_iterations += other.fixpoint_iterations;
+  prefilter_hits += other.prefilter_hits;
+  prefilter_misses += other.prefilter_misses;
 }
 
 QueryCounters QueryCounters::since(const QueryCounters& earlier) const {
@@ -63,6 +65,8 @@ QueryCounters QueryCounters::since(const QueryCounters& earlier) const {
   d.jmps_suppressed = jmps_suppressed - earlier.jmps_suppressed;
   d.points_to_tuples = points_to_tuples - earlier.points_to_tuples;
   d.fixpoint_iterations = fixpoint_iterations - earlier.fixpoint_iterations;
+  d.prefilter_hits = prefilter_hits - earlier.prefilter_hits;
+  d.prefilter_misses = prefilter_misses - earlier.prefilter_misses;
   return d;
 }
 
@@ -72,7 +76,8 @@ std::string QueryCounters::to_string() const {
      << " ETs=" << early_terminations << " charged=" << charged_steps
      << " traversed=" << traversed_steps << " saved=" << saved_steps
      << " jmpsTaken=" << jmps_taken << " jmpsFin=" << jmps_added_finished
-     << " jmpsUnf=" << jmps_added_unfinished << " tuples=" << points_to_tuples;
+     << " jmpsUnf=" << jmps_added_unfinished << " tuples=" << points_to_tuples
+     << " pfHits=" << prefilter_hits << " pfMisses=" << prefilter_misses;
   return os.str();
 }
 

@@ -48,6 +48,8 @@ struct QueryCounters {
   std::uint64_t jmps_suppressed = 0;     // below tau thresholds (Fig. 7 "opt")
   std::uint64_t points_to_tuples = 0;    // total result-set size
   std::uint64_t fixpoint_iterations = 0; // top-level re-runs for cycle closure
+  std::uint64_t prefilter_hits = 0;      // queries answered without the solver
+  std::uint64_t prefilter_misses = 0;    // prefilter consulted, solver still ran
 
   void merge(const QueryCounters& other);
 

@@ -6,7 +6,10 @@
 #include <algorithm>
 
 #include "andersen/andersen.hpp"
+#include "andersen/prefilter.hpp"
 #include "oracle/oracle.hpp"
+#include "pag/delta.hpp"
+#include "pag/reduce.hpp"
 #include "test_util.hpp"
 
 namespace parcfl::andersen {
@@ -140,6 +143,149 @@ TEST_P(AndersenPropertyTest, MatchesContextInsensitiveOracle) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AndersenPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+// ---- Prefilter (bitset Andersen on the serving path) -----------------------
+
+class PrefilterPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static pag::Pag make_pag(std::uint64_t salt) {
+    test::RandomPagConfig cfg;
+    cfg.seed = GetParam() + salt;
+    cfg.assign_edges = 6;
+    cfg.heap_edge_pairs = 3;
+    return test::random_layered_pag(cfg);
+  }
+  static std::uint64_t GetParam() {
+    return ::testing::TestWithParam<std::uint64_t>::GetParam();
+  }
+};
+
+// The bitset re-representation is the same analysis: every membership bit,
+// cardinality and emptiness answer must match the sorted-vector solver's.
+TEST_P(PrefilterPropertyTest, AgreesWithVectorSolver) {
+  const auto pag = make_pag(7000);
+  const auto vec = solve(pag);
+  const auto pf = Prefilter::build(pag);
+  EXPECT_EQ(pf.revision(), pag.revision());
+  for (const NodeId v : test::all_variables(pag)) {
+    const auto want = vec.points_to(v);
+    EXPECT_EQ(pf.pts_count(v), want.size()) << "var " << v.value();
+    EXPECT_EQ(pf.pts_empty(v), want.empty()) << "var " << v.value();
+    for (const NodeId o : test::all_objects(pag))
+      EXPECT_EQ(pf.points_to(v, o), vec.points_to(v, o))
+          << "var " << v.value() << " obj " << o.value();
+  }
+}
+
+// The serving-path soundness contract: the prefilter's definite answers must
+// never contradict the *context-sensitive* ground truth (the CFL answer is a
+// subset of Andersen's, so prefilter-empty implies truly empty and
+// prefilter-disjoint implies no alias). This is the differential that
+// licenses the engine short-circuit.
+TEST_P(PrefilterPropertyTest, DefiniteAnswersSoundVsContextSensitiveOracle) {
+  const auto pag = make_pag(7100);
+  const oracle::ExactOracle exact(pag);  // context-sensitive by default
+  const auto pf = Prefilter::build(pag);
+  const auto vars = test::all_variables(pag);
+
+  std::vector<std::vector<std::uint32_t>> truth;
+  truth.reserve(vars.size());
+  for (const NodeId v : vars) truth.push_back(exact.points_to(v));
+
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    if (pf.pts_empty(vars[i])) {
+      EXPECT_TRUE(truth[i].empty())
+          << "prefilter claimed empty for var " << vars[i].value()
+          << " but the oracle disagrees (seed " << GetParam() << ")";
+    }
+    // Superset check: every true object is in the prefilter's row.
+    for (const std::uint32_t o : truth[i])
+      EXPECT_TRUE(pf.points_to(vars[i], NodeId(o)))
+          << "var " << vars[i].value() << " missing obj " << o;
+  }
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    for (std::size_t j = i; j < vars.size(); ++j) {
+      if (!pf.no_alias(vars[i], vars[j])) continue;
+      std::vector<std::uint32_t> common;
+      std::set_intersection(truth[i].begin(), truth[i].end(),
+                            truth[j].begin(), truth[j].end(),
+                            std::back_inserter(common));
+      EXPECT_TRUE(common.empty())
+          << "prefilter claimed no-alias(" << vars[i].value() << ", "
+          << vars[j].value() << ") falsely (seed " << GetParam() << ")";
+    }
+  }
+}
+
+// The deployed configuration solves the prefilter over the *reduced* graph.
+// Reduction preserves CFL answers, so the combination must stay sound
+// against the oracle on the faithful graph.
+TEST_P(PrefilterPropertyTest, SoundOnReducedGraph) {
+  const auto pag = make_pag(7200);
+  const pag::Pag reduced = pag::reduce_unmatched_parens(pag);
+  const oracle::ExactOracle exact(pag);
+  const auto pf = Prefilter::build(reduced);
+  for (const NodeId v : test::all_variables(pag)) {
+    const auto want = exact.points_to(v);
+    if (pf.pts_empty(v)) {
+      EXPECT_TRUE(want.empty())
+          << "var " << v.value() << " seed " << GetParam();
+    }
+    for (const std::uint32_t o : want)
+      EXPECT_TRUE(pf.points_to(v, NodeId(o)))
+          << "var " << v.value() << " missing obj " << o;
+  }
+}
+
+// Incremental rebuild after an add-only delta must land on exactly the same
+// fixpoint as a from-scratch solve of the extended graph.
+TEST_P(PrefilterPropertyTest, IncrementalMatchesScratchAfterAddOnlyDelta) {
+  const auto pag = make_pag(7300);
+  const auto base = Prefilter::build(pag);
+
+  pag::Delta delta(pag);
+  const auto vars = test::all_variables(pag);
+  const NodeId nv = delta.add_node(pag::NodeKind::kLocal, TypeId(0), MethodId(0));
+  const NodeId no = delta.add_node(pag::NodeKind::kObject, TypeId(0), MethodId(0));
+  delta.add_edge(pag::EdgeKind::kNew, nv, no);
+  delta.add_edge(pag::EdgeKind::kAssignLocal, vars[0], nv);
+  delta.add_edge(pag::EdgeKind::kAssignLocal, vars[1 % vars.size()], vars[0]);
+  delta.add_edge(pag::EdgeKind::kStore, vars[0], nv, 0);
+  delta.add_edge(pag::EdgeKind::kLoad, vars[2 % vars.size()], vars[0], 0);
+  auto next = pag::apply_delta(pag, delta);
+  ASSERT_TRUE(next.has_value());
+
+  const auto scratch = Prefilter::build(*next);
+  const auto incremental = Prefilter::build_incremental(*next, base);
+  EXPECT_TRUE(incremental.stats().incremental);
+  EXPECT_EQ(incremental.revision(), scratch.revision());
+  for (const NodeId v : test::all_variables(*next)) {
+    EXPECT_EQ(incremental.pts_count(v), scratch.pts_count(v))
+        << "var " << v.value() << " seed " << GetParam();
+    for (const NodeId o : test::all_objects(*next))
+      EXPECT_EQ(incremental.points_to(v, o), scratch.points_to(v, o))
+          << "var " << v.value() << " obj " << o.value();
+  }
+}
+
+// Unknown node ids (e.g. nodes a delta added after the solve) must never be
+// claimed empty — out-of-range probes answer false on every predicate.
+TEST(Prefilter, OutOfRangeProbesNeverClaimEmptiness) {
+  pag::Pag::Builder b;
+  const auto x = b.add_local(TypeId(0), MethodId(0));
+  const auto o = b.add_object(TypeId(0), MethodId(0));
+  b.new_edge(x, o);
+  const auto pag = std::move(b).finalize();
+  const auto pf = Prefilter::build(pag);
+  const NodeId beyond(pag.node_count() + 5);
+  EXPECT_FALSE(pf.pts_empty(beyond));
+  EXPECT_FALSE(pf.no_alias(beyond, x));
+  EXPECT_FALSE(pf.no_alias(x, beyond));
+  EXPECT_FALSE(pf.pts_empty(NodeId::invalid()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefilterPropertyTest,
                          ::testing::Range<std::uint64_t>(1, 31));
 
 }  // namespace

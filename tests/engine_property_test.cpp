@@ -11,6 +11,7 @@
 #include "cfl/engine.hpp"
 #include "frontend/lower.hpp"
 #include "pag/collapse.hpp"
+#include "pag/reduce.hpp"
 #include "synth/generator.hpp"
 
 namespace parcfl::cfl {
@@ -136,6 +137,72 @@ TEST_P(EnginePropertyTest, TightBudgetStatusesAreConsistent) {
     } else {
       EXPECT_LE(qo.charged_steps, o.solver.budget);
     }
+  }
+}
+
+// Metamorphic check for the pre-solve reduction (pag/reduce.hpp): dropping
+// never-matchable parenthesis edges must leave every answer identical in all
+// four engine configurations, both cold (fresh jmp state) and warm (second
+// run over the state the cold run minted). The unreduced sequential run is
+// the ground truth.
+TEST_P(EnginePropertyTest, ReductionPreservesAnswersAllModesWarmAndCold) {
+  const auto w = make_workload(GetParam() + 200);
+  pag::ReduceStats stats;
+  const pag::Pag reduced = pag::reduce_unmatched_parens(w.pag, &stats);
+  ASSERT_EQ(reduced.node_count(), w.pag.node_count());
+  ASSERT_EQ(reduced.edge_count(), stats.edges_after());
+
+  const auto seq = Engine(w.pag, opts(Mode::kSequential, 1)).run(w.queries);
+  const auto want = answer_map(seq);
+  for (const auto& qo : seq.outcomes)
+    ASSERT_EQ(qo.status, QueryStatus::kComplete);
+
+  for (const Mode mode : {Mode::kSequential, Mode::kNaive, Mode::kDataSharing,
+                          Mode::kDataSharingScheduling}) {
+    Engine engine(reduced, opts(mode, 4));
+    ContextTable contexts;
+    JmpStore store;
+    const auto cold = engine.run(w.queries, contexts, store);
+    EXPECT_EQ(answer_map(cold), want)
+        << "cold " << to_string(mode) << " seed=" << GetParam();
+    const auto warm = engine.run(w.queries, contexts, store);
+    EXPECT_EQ(answer_map(warm), want)
+        << "warm " << to_string(mode) << " seed=" << GetParam();
+  }
+
+  // The whole point: the reduced graph is never more work. Sequential runs
+  // are deterministic, so the comparison is exact, not statistical.
+  const auto red_seq = Engine(reduced, opts(Mode::kSequential, 1)).run(w.queries);
+  EXPECT_LE(red_seq.totals.traversed_steps, seq.totals.traversed_steps);
+}
+
+// Under a tight budget the reduction can only help: a query that completed
+// on the faithful graph must still complete on the reduced one (with the
+// same objects, for no more charge), because every removed edge was provably
+// off all derivations — the traversal skips dead branches it used to pay for.
+TEST_P(EnginePropertyTest, ReductionNeverHurtsBudgetedQueries) {
+  const auto w = make_workload(GetParam() + 250);
+  const pag::Pag reduced = pag::reduce_unmatched_parens(w.pag);
+
+  EngineOptions o = opts(Mode::kSequential, 1);
+  o.solver.budget = 300;  // most interesting queries die on the full graph
+  const auto full = Engine(w.pag, o).run(w.queries);
+  const auto red = Engine(reduced, o).run(w.queries);
+  const auto full_answers = answer_map(full);
+  const auto red_answers = answer_map(red);
+
+  ASSERT_EQ(full.outcomes.size(), red.outcomes.size());
+  for (std::size_t i = 0; i < full.outcomes.size(); ++i) {
+    const auto& f = full.outcomes[i];
+    const auto& r = red.outcomes[i];
+    ASSERT_EQ(f.var, r.var);  // identity schedule: same order
+    if (f.status != QueryStatus::kComplete) continue;
+    EXPECT_EQ(r.status, QueryStatus::kComplete)
+        << "var " << f.var.value() << " seed=" << GetParam();
+    EXPECT_LE(r.charged_steps, f.charged_steps)
+        << "var " << f.var.value() << " seed=" << GetParam();
+    EXPECT_EQ(red_answers.at(r.var.value()), full_answers.at(f.var.value()))
+        << "var " << f.var.value() << " seed=" << GetParam();
   }
 }
 

@@ -20,6 +20,7 @@
 #include "cfl/persist.hpp"
 #include "cfl/solver.hpp"
 #include "pag/pag_io.hpp"
+#include "pag/reduce.hpp"
 #include "pag/validate.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
@@ -97,6 +98,79 @@ TEST_P(IoFuzzTest, MutatedInputNeverCrashes) {
     } else {
       EXPECT_FALSE(error.empty());
     }
+  }
+}
+
+// The reducer sits on the load path right behind the parser (Session,
+// pag_tool), so it must be total over anything the parser lets through —
+// including the structurally weird graphs mutation produces. Invariants on
+// every surviving parse: both variants run without crashing, the edge-only
+// variant keeps ids and removes edges monotonically (subset, stats add up,
+// idempotent), and the compact variant's remap is a consistent partial map.
+TEST_P(IoFuzzTest, ReducerIsTotalOnMutatedInputs) {
+  test::RandomPagConfig cfg;
+  cfg.seed = GetParam() + 400;
+  const auto pag = test::random_layered_pag(cfg);
+  const std::string text = write_pag_string(pag);
+
+  support::Rng rng(GetParam() * 1409 + 7);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string mutated = text;
+    const std::size_t edits = 1 + rng.below(4);
+    for (std::size_t e = 0; e < edits; ++e) {
+      if (mutated.empty()) break;
+      const std::size_t pos = rng.below(mutated.size());
+      switch (rng.below(3)) {
+        case 0:
+          mutated[pos] = static_cast<char>(' ' + rng.below(95));
+          break;
+        case 1:
+          mutated.erase(pos, 1 + rng.below(5));
+          break;
+        case 2:
+          mutated.insert(pos, mutated.substr(pos, 1 + rng.below(5)));
+          break;
+      }
+    }
+    const auto parsed = read_pag_string(mutated, nullptr);
+    if (!parsed.has_value()) continue;
+
+    ReduceStats stats;
+    const Pag reduced = reduce_unmatched_parens(*parsed, &stats);
+    EXPECT_EQ(reduced.node_count(), parsed->node_count());
+    EXPECT_EQ(stats.edges_before, parsed->edge_count());
+    EXPECT_EQ(reduced.edge_count(), stats.edges_after());
+    std::uint32_t by_kind = 0;
+    for (unsigned k = 0; k < kEdgeKindCount; ++k) {
+      by_kind += stats.removed_by_kind[k];
+      EXPECT_LE(reduced.edge_count_of_kind(static_cast<EdgeKind>(k)),
+                parsed->edge_count_of_kind(static_cast<EdgeKind>(k)));
+    }
+    EXPECT_EQ(by_kind, stats.edges_removed);
+    (void)validate(reduced);  // must not crash
+
+    // Idempotent: a second pass finds nothing left to remove.
+    ReduceStats again;
+    const Pag twice = reduce_unmatched_parens(reduced, &again);
+    EXPECT_EQ(again.edges_removed, 0u);
+    EXPECT_EQ(twice.edge_count(), reduced.edge_count());
+
+    const ReduceResult compact = reduce_and_compact(*parsed);
+    EXPECT_EQ(compact.pag.node_count() + compact.stats.nodes_dropped,
+              parsed->node_count());
+    ASSERT_EQ(compact.remap.size(), parsed->node_count());
+    std::vector<char> hit(compact.pag.node_count(), 0);
+    for (std::uint32_t n = 0; n < compact.remap.size(); ++n) {
+      const NodeId to = compact.remap[n];
+      if (!to.valid()) continue;
+      ASSERT_LT(to.value(), compact.pag.node_count());
+      EXPECT_FALSE(hit[to.value()]) << "remap not injective at " << n;
+      hit[to.value()] = 1;
+      EXPECT_EQ(compact.pag.kind(to), parsed->kind(NodeId(n)));
+    }
+    // Surjective onto the compacted id space: every kept id has a preimage.
+    for (std::uint32_t n = 0; n < compact.pag.node_count(); ++n)
+      EXPECT_TRUE(hit[n]) << "compacted id " << n << " unmapped";
   }
 }
 

@@ -8,8 +8,10 @@
 #include <numeric>
 #include <set>
 #include <thread>
+#include <vector>
 
 #include "support/arena.hpp"
+#include "support/bitset_ops.hpp"
 #include "support/mem_meter.hpp"
 #include "support/rng.hpp"
 #include "support/scc.hpp"
@@ -406,6 +408,70 @@ TEST(WallTimer, IsMonotonicSteadyClock) {
   EXPECT_GE(n2, n1);
   timer.reset();
   EXPECT_LT(timer.seconds(), 1.0);  // reset re-bases the origin
+}
+
+
+TEST(BitsetOps, StrideIsCacheLinePadded) {
+  EXPECT_EQ(bitset_stride_for(0), 0u);
+  EXPECT_EQ(bitset_stride_for(1), kBitsetWordAlign);
+  EXPECT_EQ(bitset_stride_for(512), kBitsetWordAlign);
+  EXPECT_EQ(bitset_stride_for(513), 2 * kBitsetWordAlign);
+  for (std::uint32_t bits = 1; bits < 4000; bits += 97)
+    EXPECT_EQ(bitset_stride_for(bits) % kBitsetWordAlign, 0u) << bits;
+}
+
+// The union/intersect kernels have an AVX2 and a portable path; random rows
+// checked word-by-word against the obvious scalar reference catch either one
+// drifting (notably the "changed" detection, which the prefilter worklist
+// depends on for termination and completeness).
+TEST(BitsetOps, KernelsMatchScalarReferenceOnRandomRows) {
+  Rng rng(20260807);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint32_t words =
+        kBitsetWordAlign * (1 + rng.below(4));  // 8..32 words
+    std::vector<std::uint64_t> a(words), b(words);
+    for (std::uint32_t w = 0; w < words; ++w) {
+      // Sparse rows so empty intersections actually occur.
+      a[w] = rng.chance(0.3) ? rng.next_u64() & rng.next_u64() & rng.next_u64() : 0;
+      b[w] = rng.chance(0.3) ? rng.next_u64() & rng.next_u64() & rng.next_u64() : 0;
+    }
+
+    bool want_intersects = false;
+    bool want_any = false;
+    std::uint64_t want_count = 0;
+    for (std::uint32_t w = 0; w < words; ++w) {
+      want_intersects |= (a[w] & b[w]) != 0;
+      want_any |= a[w] != 0;
+      want_count += static_cast<std::uint64_t>(__builtin_popcountll(a[w]));
+    }
+    EXPECT_EQ(bitset_intersects(a.data(), b.data(), words), want_intersects);
+    EXPECT_EQ(bitset_any(a.data(), words), want_any);
+    EXPECT_EQ(bitset_count(a.data(), words), want_count);
+
+    std::vector<std::uint64_t> want_union(words);
+    bool want_changed = false;
+    for (std::uint32_t w = 0; w < words; ++w) {
+      want_union[w] = a[w] | b[w];
+      want_changed |= want_union[w] != a[w];
+    }
+    std::vector<std::uint64_t> dst = a;
+    EXPECT_EQ(bitset_union_into(dst.data(), b.data(), words), want_changed);
+    EXPECT_EQ(dst, want_union);
+    // Second union is a no-op by idempotence.
+    EXPECT_FALSE(bitset_union_into(dst.data(), b.data(), words));
+    EXPECT_EQ(dst, want_union);
+  }
+}
+
+TEST(BitsetOps, TestAndSetRoundTrip) {
+  const std::uint32_t words = bitset_stride_for(300);
+  std::vector<std::uint64_t> row(words, 0);
+  for (const std::uint32_t bit : {0u, 1u, 63u, 64u, 127u, 255u, 299u}) {
+    EXPECT_FALSE(bitset_test(row.data(), bit));
+    bitset_set(row.data(), bit);
+    EXPECT_TRUE(bitset_test(row.data(), bit));
+  }
+  EXPECT_EQ(bitset_count(row.data(), words), 7u);
 }
 
 TEST(MemMeter, TallyTracksPeak) {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "andersen/andersen.hpp"
+#include "andersen/prefilter.hpp"
 #include "cfl/engine.hpp"
 #include "cfl/invalidate.hpp"
 #include "cfl/solver.hpp"
@@ -710,6 +711,136 @@ TEST(ServiceUpdate, ConcurrentQueriesSeeOldOrNewGraphNeverABlend) {
     const service::Reply r = svc.call(request);
     ASSERT_EQ(r.status, service::Reply::Status::kOk);
     EXPECT_EQ(r.objects, after.at(q.value())) << "var " << q.value();
+  }
+}
+
+// ---- Prefilter staleness across updates ------------------------------------
+
+/// a --new--> oa, b --new--> ob: provably disjoint points-to sets.
+struct DisjointPair {
+  pag::Pag pag;
+  NodeId a, b, oa, ob;
+};
+
+DisjointPair disjoint_pair() {
+  pag::Pag::Builder b;
+  b.set_counts(1, 1, 1, 1);
+  DisjointPair g;
+  g.a = b.add_local(pag::TypeId(0), pag::MethodId(0));
+  g.b = b.add_local(pag::TypeId(0), pag::MethodId(0));
+  g.oa = b.add_object(pag::TypeId(0), pag::MethodId(0));
+  g.ob = b.add_object(pag::TypeId(0), pag::MethodId(0));
+  b.new_edge(g.a, g.oa);
+  b.new_edge(g.b, g.ob);
+  g.pag = std::move(b).finalize();
+  return g;
+}
+
+/// The prefilter rebuild runs asynchronously after an update; between the
+/// graph swap and the rebuild landing, the session holds only the
+/// old-revision result. The definite-no contract requires that window to
+/// answer "don't know", never the stale truth — here every update flips the
+/// ground truth between no-alias and alias, so any stale answer would be an
+/// unsound kNo.
+TEST(SessionUpdate, StalePrefilterNeverAnswersAcrossUpdates) {
+  const DisjointPair g = disjoint_pair();
+  service::Session session(g.pag, session_options(2));
+  session.wait_for_prefilter();
+  ASSERT_TRUE(session.prefilter_ready());
+  EXPECT_TRUE(session.prefilter_no_alias(g.a, g.b));
+
+  // Flip to aliasing: b also points to oa now (add-only → incremental path).
+  pag::Delta make_alias(g.pag);
+  make_alias.add_edge(EdgeKind::kNew, g.b, g.oa);
+  std::string error;
+  ASSERT_TRUE(session.update(make_alias, &error)) << error;
+
+  // From this point no_alias(a, b) is untrue; whether the async rebuild has
+  // landed yet or not, the session must not claim it.
+  EXPECT_FALSE(session.prefilter_no_alias(g.a, g.b));
+  session.wait_for_prefilter();
+  EXPECT_TRUE(session.prefilter_ready());
+  EXPECT_FALSE(session.prefilter_no_alias(g.a, g.b));
+  const auto pf = session.prefilter_snapshot();
+  ASSERT_NE(pf, nullptr);
+  EXPECT_EQ(pf->revision(), session.revision());
+
+  // Flip back via a removal (cold-rebuild path: the add-only flag is off
+  // once any removal has been seen since the last build).
+  pag::Delta unalias(session.node_count());
+  unalias.remove_edge(EdgeKind::kNew, g.b, g.oa);
+  ASSERT_TRUE(session.update(unalias, &error)) << error;
+  // The truth is no-alias again, so both outcomes are legal here: false while
+  // the stale rev-1 result is benched, true once the rev-2 rebuild lands. A
+  // true answer is only permitted from a result covering the live revision.
+  if (session.prefilter_no_alias(g.a, g.b)) {
+    const auto snap = session.prefilter_snapshot();
+    ASSERT_NE(snap, nullptr);
+    EXPECT_EQ(snap->revision(), session.revision());
+  }
+  session.wait_for_prefilter();
+  EXPECT_TRUE(session.prefilter_no_alias(g.a, g.b));
+
+  // Churn without waiting: the invariant must hold at every revision, not
+  // just after quiescence. On even rounds the pair aliases, so a true
+  // answer at any point in those rounds would be a staleness bug.
+  for (int round = 0; round < 8; ++round) {
+    pag::Delta flip(session.node_count());
+    if (round % 2 == 0)
+      flip.add_edge(EdgeKind::kNew, g.b, g.oa);
+    else
+      flip.remove_edge(EdgeKind::kNew, g.b, g.oa);
+    ASSERT_TRUE(session.update(flip, &error)) << error;
+    if (round % 2 == 0) {
+      EXPECT_FALSE(session.prefilter_no_alias(g.a, g.b)) << "round " << round;
+    }
+  }
+  session.wait_for_prefilter();
+  EXPECT_TRUE(session.prefilter_no_alias(g.a, g.b));  // round 7 removed it
+}
+
+/// Same bar one layer up: the service dispatch short-circuits alias queries
+/// through the prefilter, so a stale result would surface as a wrong kNo on
+/// the wire. Before the update the short-circuit must fire (charged 0,
+/// counted as a hit); after it, kNo must never appear again.
+TEST(ServiceUpdate, AliasShortCircuitStaysSoundAcrossUpdate) {
+  const DisjointPair g = disjoint_pair();
+  service::ServiceOptions options;
+  options.session = session_options(2);
+  options.max_linger = std::chrono::microseconds(50);
+  service::QueryService svc(g.pag, options);
+  svc.session().wait_for_prefilter();
+
+  service::Request alias;
+  alias.verb = service::Verb::kAlias;
+  alias.a = g.a;
+  alias.b = g.b;
+  const service::Reply before = svc.call(alias);
+  ASSERT_EQ(before.status, service::Reply::Status::kOk);
+  EXPECT_EQ(before.alias, cfl::Solver::AliasAnswer::kNo);
+  EXPECT_EQ(before.charged_steps, 0u);  // served by the prefilter
+  const auto s = svc.stats();
+  EXPECT_TRUE(s.prefilter_ready);
+  EXPECT_GE(s.engine.prefilter_hits, 1u);
+
+  pag::Delta make_alias(g.pag);
+  make_alias.add_edge(EdgeKind::kNew, g.b, g.oa);
+  const std::string delta_path =
+      ::testing::TempDir() + "update_test_prefilter.delta";
+  {
+    std::ofstream out(delta_path);
+    pag::write_delta(out, make_alias);
+  }
+  service::Request update;
+  update.verb = service::Verb::kUpdate;
+  update.path = delta_path;
+  ASSERT_EQ(svc.call(update).status, service::Reply::Status::kOk);
+
+  // Hammer the alias query while the rebuild races: kNo would be unsound.
+  for (int i = 0; i < 50; ++i) {
+    const service::Reply after = svc.call(alias);
+    ASSERT_EQ(after.status, service::Reply::Status::kOk);
+    EXPECT_EQ(after.alias, cfl::Solver::AliasAnswer::kMay) << "iteration " << i;
   }
 }
 
