@@ -20,18 +20,37 @@
 //     --no-reduce    serve the faithful graph instead of the reduced one
 //     --no-prefilter disable the background Andersen prefilter
 //
+// Multi-tenant fleet (clients `open <name> <file.pag>` more graphs at
+// runtime; see README "Serving many tenants"):
+//     --max-sessions N    tenant sessions resident at once    (default 8)
+//     --max-resident-mb N byte cap over all resident sessions (default off)
+//     --spill-dir DIR     where evicted warm state spills     (default .)
+//     --tenant-queue N    per-tenant admission quota, units   (default off)
+//     --tenant-budget N   per-tenant step budget clamp        (default off)
+//
+// Graceful shutdown: SIGINT/SIGTERM stop the accept loop, half-close live
+// connections, drain in-flight batches, spill every dirty session, then
+// exit 0.
+//
 // Example session (see README "Running the server" / "Scraping metrics"):
 //   $ pag_tool gen avrora /tmp/avrora.pag 0.5
 //   $ parcfl_serve /tmp/avrora.pag --port 7077 --state /tmp/avrora.state &
 //   $ printf 'query 17\nstats\nquit\n' | nc 127.0.0.1 7077
 //   $ printf 'metrics\nquit\n' | nc 127.0.0.1 7077
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
+
+#ifndef _WIN32
+#include <signal.h>
+#include <unistd.h>
+#endif
 
 #include "parcfl.hpp"
 
@@ -45,7 +64,10 @@ int usage() {
                "                    [--mode seq|naive|d|dq] [--state FILE]\n"
                "                    [--budget N] [--batch N] [--linger-us N]\n"
                "                    [--queue N] [--slow-ms F] [--trace 0|1|2]\n"
-               "                    [--no-reduce] [--no-prefilter]\n");
+               "                    [--no-reduce] [--no-prefilter]\n"
+               "                    [--max-sessions N] [--max-resident-mb N]\n"
+               "                    [--spill-dir DIR] [--tenant-queue N]\n"
+               "                    [--tenant-budget N]\n");
   return 2;
 }
 
@@ -99,10 +121,32 @@ int main(int argc, char** argv) {
       options.session.reduce_graph = false;
     } else if (std::strcmp(arg, "--no-prefilter") == 0) {
       options.session.prefilter = false;
+    } else if (std::strcmp(arg, "--max-sessions") == 0 && (v = value())) {
+      options.max_sessions = static_cast<std::size_t>(std::atol(v));
+    } else if (std::strcmp(arg, "--max-resident-mb") == 0 && (v = value())) {
+      options.max_resident_bytes =
+          std::strtoull(v, nullptr, 10) * 1024ull * 1024ull;
+    } else if (std::strcmp(arg, "--spill-dir") == 0 && (v = value())) {
+      options.spill_dir = v;
+    } else if (std::strcmp(arg, "--tenant-queue") == 0 && (v = value())) {
+      options.tenant_max_queue = static_cast<std::uint32_t>(std::atol(v));
+    } else if (std::strcmp(arg, "--tenant-budget") == 0 && (v = value())) {
+      options.tenant_step_budget = std::strtoull(v, nullptr, 10);
     } else {
       return usage();
     }
   }
+
+#ifndef _WIN32
+  // Block the shutdown signals *before* the service spawns its threads, so
+  // every thread inherits the mask and only the watcher's sigwait ever sees
+  // them — the sigwait pattern avoids doing real work in a signal handler.
+  sigset_t shutdown_signals;
+  sigemptyset(&shutdown_signals);
+  sigaddset(&shutdown_signals, SIGINT);
+  sigaddset(&shutdown_signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &shutdown_signals, nullptr);
+#endif
 
   std::ifstream in(argv[1]);
   if (!in) {
@@ -129,9 +173,24 @@ int main(int argc, char** argv) {
                options.max_queue,
                options.session.prefilter ? "on" : "off");
 
+  // Spill every dirty session (named tenants as mmap-able v3 pairs, the
+  // default tenant to --state when set) so the next start reopens warm.
+  auto save_dirty_sessions = [&svc]() -> int {
+    std::string save_error;
+    const std::size_t saved = svc.manager().save_dirty(&save_error);
+    if (!save_error.empty()) {
+      std::fprintf(stderr, "parcfl_serve: shutdown save failed: %s\n",
+                   save_error.c_str());
+      return 1;
+    }
+    if (saved != 0)
+      std::fprintf(stderr, "parcfl_serve: %zu session(s) saved\n", saved);
+    return 0;
+  };
+
   if (port < 0) {
     service::serve_stream(svc, std::cin, std::cout);
-    return 0;
+    return save_dirty_sessions();
   }
 
   service::TcpServer server(svc, static_cast<std::uint16_t>(port), &error);
@@ -141,6 +200,25 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "parcfl_serve: listening on 127.0.0.1:%u\n",
                server.port());
+
+#ifndef _WIN32
+  std::atomic<bool> exiting{false};
+  std::thread watcher([&] {
+    int sig = 0;
+    if (sigwait(&shutdown_signals, &sig) != 0) return;
+    if (exiting.load(std::memory_order_acquire)) return;
+    std::fprintf(stderr, "parcfl_serve: caught signal %d, draining\n", sig);
+    server.shutdown();
+  });
   server.serve();
-  return 0;
+  exiting.store(true, std::memory_order_release);
+  // Unblock the watcher if serve() returned without a signal. A signal that
+  // already fired leaves this one pending-and-blocked; it dies with us.
+  ::kill(::getpid(), SIGTERM);
+  watcher.join();
+#else
+  server.serve();
+#endif
+  server.shutdown();  // idempotent; covers the no-signal exit path
+  return save_dirty_sessions();
 }

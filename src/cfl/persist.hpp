@@ -27,6 +27,30 @@
 // other contexts), so state can be merged into a live analysis. Counts read
 // from the input are validated against the line before any allocation, so a
 // hostile or corrupt file cannot demand unbounded memory.
+//
+// Format v3 (binary, native-endian, mmap-able) exists for the session
+// manager's evict/reopen cycle, where reload latency is the product with
+// tenant count. Layout:
+//
+//   [V3Header 64B] [ctx: (ctx_count-1) × {u32 parent, u32 site}]
+//   [fin: fin_count × {u64 key, u64 target_begin, u32 cost, u32 target_len}]
+//   [unf: unf_count × {u64 key, u32 s, u32 pad}]
+//   [targets: target_count × {u32 node, u32 ctx, u32 steps}]
+//
+// Section strides are 8-byte multiples except the trailing target array
+// (12B = sizeof(JmpTarget)), which comes last so nothing needs padding. The
+// header carries the same fingerprint + revision guard as v2 plus every
+// section count and the total file size, all validated against the actual
+// byte count before any allocation. Entries are key-sorted at save time, so
+// equal state produces byte-identical files.
+//
+// The fast path: reopening an evicted session loads into a *fresh*
+// ContextTable, where pushing the ctx section in file order reproduces the
+// file's ids exactly (identity remap). Finished-jmp target arrays are then
+// bulk-memcpy'd straight out of the mapped file — no text parse, no
+// per-target id translation. A non-empty receiving table falls back to the
+// same per-target remap as the text loader. v1/v2 text files are still
+// accepted everywhere via load_sharing_state_file_any.
 
 #include <iosfwd>
 #include <string>
@@ -40,6 +64,11 @@ namespace parcfl::cfl {
 /// Order-independent structural fingerprint of a PAG (used to refuse state
 /// computed for a different graph).
 std::uint64_t pag_fingerprint(const pag::Pag& pag);
+
+/// Crash-safe whole-file write: tmp sibling + fsync + rename. Shared by the
+/// state writers here and by the session manager's graph spill.
+bool write_file_atomic(const std::string& path, const std::string& data,
+                       std::string* error = nullptr);
 
 /// Serialise every context and jmp entry.
 void save_sharing_state(std::ostream& os, const pag::Pag& pag,
@@ -66,5 +95,47 @@ bool save_sharing_state_file(const std::string& path, const pag::Pag& pag,
 bool load_sharing_state_file(const std::string& path, const pag::Pag& pag,
                              ContextTable& contexts, JmpStore& store,
                              std::string* error = nullptr);
+
+// ---- v3 binary format ------------------------------------------------------
+
+/// First 8 bytes of every v3 state file.
+inline constexpr char kStateV3Magic[8] = {'p', 'c', 'f', 'l', 's', 't', '3',
+                                          '\n'};
+
+/// How load_sharing_state_file_v3 gets the bytes. kMmap maps the file
+/// read-only and parses in place (the zero-copy reopen path); kStream reads
+/// it through a heap buffer (also the non-POSIX fallback); kAuto prefers
+/// mmap and falls back to stream.
+enum class StateLoadMode { kAuto, kMmap, kStream };
+
+/// Serialise to the v3 binary format (key-sorted, deterministic) and write
+/// crash-safely (tmp + fsync + rename), like save_sharing_state_file.
+/// `revision_override` (≥ 0) replaces the stored delta epoch: the session
+/// manager's evict path spills an updated graph *and* its state together, and
+/// stamps the pair as epoch 0 so a reopen — which reads the spilled graph
+/// back at epoch 0 — accepts the state it was saved with.
+bool save_sharing_state_file_v3(const std::string& path, const pag::Pag& pag,
+                                const ContextTable& contexts,
+                                const JmpStore& store,
+                                std::string* error = nullptr,
+                                std::int64_t revision_override = -1);
+
+/// Parse a v3 image already in memory (mapped or buffered). Same semantics
+/// as load_sharing_state: merges into possibly non-empty contexts/store,
+/// validates fingerprint, revision, every count and every id before use.
+bool load_sharing_state_v3(const char* data, std::size_t size,
+                           const pag::Pag& pag, ContextTable& contexts,
+                           JmpStore& store, std::string* error = nullptr);
+
+bool load_sharing_state_file_v3(const std::string& path, const pag::Pag& pag,
+                                ContextTable& contexts, JmpStore& store,
+                                StateLoadMode mode = StateLoadMode::kAuto,
+                                std::string* error = nullptr);
+
+/// Sniff the leading magic and dispatch: v3 → binary loader (kAuto), anything
+/// else → text v1/v2 loader. The one entry point sessions use for warm-start.
+bool load_sharing_state_file_any(const std::string& path, const pag::Pag& pag,
+                                 ContextTable& contexts, JmpStore& store,
+                                 std::string* error = nullptr);
 
 }  // namespace parcfl::cfl

@@ -1,5 +1,6 @@
 #include "service/server.hpp"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <string>
@@ -94,6 +95,13 @@ void TcpServer::serve() {
       break;  // listener closed by shutdown(), or fatal
     }
     std::lock_guard lock(threads_mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      // shutdown() already swept the thread list; a connection spawned now
+      // would never be joined. Refuse it instead.
+      ::close(fd);
+      continue;
+    }
+    live_fds_.push_back(fd);
     connections_.emplace_back([this, fd] { handle_connection(fd); });
   }
 }
@@ -108,6 +116,10 @@ void TcpServer::shutdown() {
   std::vector<std::thread> connections;
   {
     std::lock_guard lock(threads_mu_);
+    // Half-close live connections: their handlers' recv returns 0 and the
+    // threads run to completion — in-flight replies still get written (the
+    // client sees its answer before the close), new reads see EOF.
+    for (const int conn_fd : live_fds_) ::shutdown(conn_fd, SHUT_RD);
     connections.swap(connections_);
   }
   for (std::thread& t : connections) t.join();
@@ -144,6 +156,8 @@ void TcpServer::handle_connection(int fd) {
     }
     buffer.erase(0, start);
   }
+  std::lock_guard lock(threads_mu_);
+  live_fds_.erase(std::find(live_fds_.begin(), live_fds_.end(), fd));
   ::close(fd);
 }
 

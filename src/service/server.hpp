@@ -41,7 +41,9 @@ class TcpServer {
   /// accept error). Each connection is served on its own thread.
   void serve();
 
-  /// Close the listener and join every connection thread. Idempotent.
+  /// Close the listener, half-close every live connection (so a handler
+  /// blocked in recv on an idle client wakes up instead of wedging the
+  /// join), and join every connection thread. Idempotent.
   void shutdown();
 
  private:
@@ -53,6 +55,9 @@ class TcpServer {
   std::atomic<bool> stopping_{false};
   std::mutex threads_mu_;
   std::vector<std::thread> connections_;
+  /// Open connection fds; a handler erases its fd (and closes it) under
+  /// threads_mu_, so shutdown()'s half-close can never hit a reused fd.
+  std::vector<int> live_fds_;
 };
 
 }  // namespace parcfl::service

@@ -64,23 +64,45 @@ QueryService::QueryService(pag::Pag pag, const ServiceOptions& options)
           registry_.gauge("parcfl_prefilter_ready",
                           "1 when the prefilter covers the live revision."),
       },
-      session_(std::move(pag), session_options_with_sink()),
-      recorder_(registry_) {
+      manager_gauges_{
+          registry_.gauge("parcfl_sessions_open",
+                          "Registered tenants, including the default."),
+          registry_.gauge("parcfl_sessions_resident",
+                          "Tenant sessions currently in memory."),
+          registry_.gauge("parcfl_sessions_resident_bytes",
+                          "Summed resident session footprint."),
+          registry_.gauge("parcfl_session_loads",
+                          "First-time tenant graph loads."),
+          registry_.gauge("parcfl_session_reopens",
+                          "Evict-then-warm-reopen cycles."),
+          registry_.gauge("parcfl_session_evictions",
+                          "LRU session evictions to disk."),
+          registry_.gauge("parcfl_tenant_label_overflow",
+                          "Tenant label values collapsed onto the overflow "
+                          "series."),
+      },
+      manager_(manager_options_with_sink()),
+      default_session_(manager_.adopt("", std::move(pag))),
+      recorder_(registry_, options.tenant_label_capacity) {
   collector_ = std::thread([this] { collector_main(); });
 }
 
-/// The session options as configured, plus the slow-query sink wired into
-/// the engine when the threshold is armed. Called from the ctor init list:
-/// the sink only fires from batches, which run after construction completes.
-Session::Options QueryService::session_options_with_sink() {
-  Session::Options s = options_.session;
+/// The fleet options as configured, with the slow-query sink wired into the
+/// session template's engine when the threshold is armed. Called from the
+/// ctor init list: the sink only fires from batches, which run after
+/// construction completes.
+SessionManager::Options QueryService::manager_options_with_sink() {
+  SessionManager::Options m;
+  m.session = options_.session;
   if (options_.slow_query_ms > 0.0) {
-    s.engine.slow_query_ms = options_.slow_query_ms;
-    s.engine.slow_query_sink = [this](const cfl::SlowQueryRecord& record) {
-      note_slow_query(record);
-    };
+    m.session.engine.slow_query_ms = options_.slow_query_ms;
+    m.session.engine.slow_query_sink =
+        [this](const cfl::SlowQueryRecord& record) { note_slow_query(record); };
   }
-  return s;
+  m.max_resident = options_.max_sessions;
+  m.max_resident_bytes = options_.max_resident_bytes;
+  m.spill_dir = options_.spill_dir;
+  return m;
 }
 
 void QueryService::note_slow_query(const cfl::SlowQueryRecord& record) {
@@ -125,15 +147,16 @@ std::string QueryService::slow_log_jsonl(std::size_t limit) const {
 }
 
 std::string QueryService::metrics_text() {
-  const support::QueryCounters totals = session_.lifetime_totals();
+  const Session& session = *default_session_;
+  const support::QueryCounters totals = session.lifetime_totals();
   registry_.set_gauge(gauges_.jmp_entries,
-                      static_cast<double>(session_.store().entry_count()));
+                      static_cast<double>(session.store().entry_count()));
   registry_.set_gauge(gauges_.jmp_store_bytes,
-                      static_cast<double>(session_.store().memory_bytes()));
+                      static_cast<double>(session.store().memory_bytes()));
   registry_.set_gauge(gauges_.contexts,
-                      static_cast<double>(session_.context_count()));
+                      static_cast<double>(session.context_count()));
   registry_.set_gauge(gauges_.pag_revision,
-                      static_cast<double>(session_.revision()));
+                      static_cast<double>(session.revision()));
   registry_.set_gauge(gauges_.charged_steps,
                       static_cast<double>(totals.charged_steps));
   registry_.set_gauge(gauges_.traversed_steps,
@@ -152,7 +175,21 @@ std::string QueryService::metrics_text() {
   registry_.set_gauge(gauges_.prefilter_misses,
                       static_cast<double>(totals.prefilter_misses));
   registry_.set_gauge(gauges_.prefilter_ready,
-                      session_.prefilter_ready() ? 1.0 : 0.0);
+                      session.prefilter_ready() ? 1.0 : 0.0);
+  const SessionManager::Counters fleet = manager_.counters();
+  registry_.set_gauge(manager_gauges_.open_tenants,
+                      static_cast<double>(fleet.open_tenants));
+  registry_.set_gauge(manager_gauges_.resident,
+                      static_cast<double>(fleet.resident));
+  registry_.set_gauge(manager_gauges_.resident_bytes,
+                      static_cast<double>(fleet.resident_bytes));
+  registry_.set_gauge(manager_gauges_.loads, static_cast<double>(fleet.loads));
+  registry_.set_gauge(manager_gauges_.reopens,
+                      static_cast<double>(fleet.reopens));
+  registry_.set_gauge(manager_gauges_.evictions,
+                      static_cast<double>(fleet.evictions));
+  registry_.set_gauge(manager_gauges_.label_overflow,
+                      static_cast<double>(registry_.label_overflow_count()));
   return registry_.render_prometheus();
 }
 
@@ -186,16 +223,48 @@ std::future<Reply> QueryService::submit(Request request) {
                       slow_log_jsonl(static_cast<std::size_t>(request.count))));
       return future;
     }
+    case Verb::kOpen: {
+      // Inline: registration is a probe + map insert, never a graph parse
+      // (the load is lazy — see SessionManager::open).
+      std::string error;
+      const bool ok = manager_.open(request.tenant, request.path, &error);
+      promise.set_value(ok ? ready_reply(Reply::Status::kOk, Verb::kOpen,
+                                         request.tenant)
+                           : ready_reply(Reply::Status::kError, Verb::kOpen,
+                                         std::move(error)));
+      return future;
+    }
+    case Verb::kClose: {
+      // Inline on the client thread, which blocks while the tenant's
+      // in-flight batch (if any) drains — close-while-queried never yanks a
+      // session mid-batch; requests still queued answer "unknown tenant"
+      // when dispatched.
+      std::string error;
+      const bool ok = manager_.close(request.tenant, &error);
+      promise.set_value(ok ? ready_reply(Reply::Status::kOk, Verb::kClose,
+                                         request.tenant)
+                           : ready_reply(Reply::Status::kError, Verb::kClose,
+                                         std::move(error)));
+      return future;
+    }
     case Verb::kSave:
     case Verb::kLoad: {
       std::string error;
-      const bool saved = request.verb == Verb::kSave
-                             ? session_.save(request.path, &error)
-                             : session_.load(request.path, &error);
-      promise.set_value(saved ? ready_reply(Reply::Status::kOk, request.verb,
-                                            request.path)
-                              : ready_reply(Reply::Status::kError, request.verb,
-                                            std::move(error)));
+      bool ok = false;
+      if (request.tenant.empty()) {
+        ok = request.verb == Verb::kSave
+                 ? default_session_->save(request.path, &error)
+                 : default_session_->load(request.path, &error);
+      } else {
+        SessionManager::Lease lease = manager_.acquire(request.tenant, &error);
+        if (lease)
+          ok = request.verb == Verb::kSave ? lease->save(request.path, &error)
+                                           : lease->load(request.path, &error);
+      }
+      promise.set_value(ok ? ready_reply(Reply::Status::kOk, request.verb,
+                                         request.path)
+                           : ready_reply(Reply::Status::kError, request.verb,
+                                         std::move(error)));
       return future;
     }
     case Verb::kPing:
@@ -205,19 +274,35 @@ std::future<Reply> QueryService::submit(Request request) {
     case Verb::kUpdate:
       // Falls through to the queue: the delta must be applied by the
       // collector thread between batches, never from a client thread.
+      if (!request.tenant.empty() && !manager_.known(request.tenant)) {
+        promise.set_value(ready_reply(Reply::Status::kError, Verb::kUpdate,
+                                      "unknown tenant '" + request.tenant +
+                                          "'"));
+        return future;
+      }
       break;
     case Verb::kQuery:
     case Verb::kAlias:
-      // The wire parser only bounds-checks ids; points_to is defined on
-      // variable nodes, so reject anything else here rather than tripping
-      // the solver's precondition check mid-batch. is_variable_node reads
-      // under the graph lock, and stays valid across updates (node ids are
-      // never removed, kinds never change).
-      if (!session_.is_variable_node(request.a) ||
-          (request.verb == Verb::kAlias &&
-           !session_.is_variable_node(request.b))) {
+      if (request.tenant.empty()) {
+        // The wire parser only bounds-checks ids; points_to is defined on
+        // variable nodes, so reject anything else here rather than tripping
+        // the solver's precondition check mid-batch. is_variable_node reads
+        // under the graph lock, and stays valid across updates (node ids are
+        // never removed, kinds never change).
+        if (!default_session_->is_variable_node(request.a) ||
+            (request.verb == Verb::kAlias &&
+             !default_session_->is_variable_node(request.b))) {
+          promise.set_value(ready_reply(Reply::Status::kError, request.verb,
+                                        "not a variable node"));
+          return future;
+        }
+      } else if (!manager_.known(request.tenant)) {
+        // Node validation for tenant requests waits for dispatch (the graph
+        // may not even be resident yet); the tenant's existence is checkable
+        // now, so unknown names fail fast instead of riding the queue.
         promise.set_value(ready_reply(Reply::Status::kError, request.verb,
-                                      "not a variable node"));
+                                      "unknown tenant '" + request.tenant +
+                                          "'"));
         return future;
       }
       break;
@@ -226,14 +311,26 @@ std::future<Reply> QueryService::submit(Request request) {
   const std::uint32_t units = units_of(request);
   {
     std::lock_guard lock(mu_);
-    if (stop_ || queued_units_ + units > options_.max_queue) {
+    bool shed = stop_ || queued_units_ + units > options_.max_queue;
+    std::uint32_t tenant_queued = 0;
+    if (!shed && options_.tenant_max_queue != 0) {
+      // Per-tenant quota: one tenant flooding the queue sheds its own
+      // traffic while everyone else keeps being admitted.
+      const auto it = tenant_queued_units_.find(request.tenant);
+      if (it != tenant_queued_units_.end()) tenant_queued = it->second;
+      shed = tenant_queued + units > options_.tenant_max_queue;
+    }
+    if (shed) {
       // Shed at admission: an overloaded server answers cheaply and
       // immediately rather than queueing work it cannot serve in time.
       recorder_.record_shed_overload();
+      recorder_.record_tenant_shed(tenant_label(request.tenant));
       promise.set_value(ready_reply(Reply::Status::kShedOverload, request.verb));
       return future;
     }
     queued_units_ += units;
+    if (options_.tenant_max_queue != 0)
+      tenant_queued_units_[request.tenant] = tenant_queued + units;
     queue_.push_back(Pending{std::move(request), Clock::now(), std::move(promise)});
   }
   cv_.notify_one();
@@ -273,17 +370,48 @@ void QueryService::collector_main() {
 
       // An update gets a batch of its own: everything queued before it runs
       // (and completes) first, and queries queued after it only run against
-      // the fully-applied delta.
-      while (!queue_.empty() && batch_units < options_.max_batch) {
-        const bool front_is_update =
-            queue_.front().request.verb == Verb::kUpdate;
-        if (front_is_update && !batch.empty()) break;
+      // the fully-applied delta. A batch also never crosses a tenant
+      // boundary — every item runs against one session. The queue front
+      // fixes the batch's tenant; later same-tenant queries are gathered
+      // from anywhere ahead of the first update, hopping over other
+      // tenants' entries. Per-tenant FIFO order is preserved, and
+      // cross-tenant order carries no semantics (every tenant is its own
+      // graph) — without the hop, Zipf-interleaved tenants fragment
+      // micro-batches down to near size one.
+      if (queue_.front().request.verb == Verb::kUpdate) {
+        is_update = true;
         batch_units += units_of(queue_.front().request);
+        if (options_.tenant_max_queue != 0) {
+          const auto it =
+              tenant_queued_units_.find(queue_.front().request.tenant);
+          if (it != tenant_queued_units_.end()) {
+            const std::uint32_t units = units_of(queue_.front().request);
+            it->second = it->second > units ? it->second - units : 0;
+            if (it->second == 0) tenant_queued_units_.erase(it);
+          }
+        }
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
-        if (front_is_update) {
-          is_update = true;
-          break;
+      } else {
+        const std::string batch_tenant = queue_.front().request.tenant;
+        for (auto it = queue_.begin();
+             it != queue_.end() && batch_units < options_.max_batch;) {
+          if (it->request.verb == Verb::kUpdate) break;  // ordering barrier
+          if (it->request.tenant != batch_tenant) {
+            ++it;
+            continue;
+          }
+          const std::uint32_t units = units_of(it->request);
+          batch_units += units;
+          if (options_.tenant_max_queue != 0) {
+            const auto q = tenant_queued_units_.find(batch_tenant);
+            if (q != tenant_queued_units_.end()) {
+              q->second = q->second > units ? q->second - units : 0;
+              if (q->second == 0) tenant_queued_units_.erase(q);
+            }
+          }
+          batch.push_back(std::move(*it));
+          it = queue_.erase(it);
         }
       }
       queued_units_ -= batch_units;
@@ -296,9 +424,23 @@ void QueryService::collector_main() {
 }
 
 void QueryService::execute_update(Pending pending) {
+  Session* session = default_session_.get();
+  SessionManager::Lease lease;
+  if (!pending.request.tenant.empty()) {
+    std::string acquire_error;
+    lease = manager_.acquire(pending.request.tenant, &acquire_error);
+    if (!lease) {
+      recorder_.record_update(/*ok=*/false, 0);
+      pending.promise.set_value(ready_reply(Reply::Status::kError,
+                                            Verb::kUpdate,
+                                            std::move(acquire_error)));
+      return;
+    }
+    session = lease.get();
+  }
   std::string error;
   Session::UpdateStats stats;
-  if (!session_.update_from_file(pending.request.path, &error, &stats)) {
+  if (!session->update_from_file(pending.request.path, &error, &stats)) {
     recorder_.record_update(/*ok=*/false, 0);
     pending.promise.set_value(
         ready_reply(Reply::Status::kError, Verb::kUpdate, std::move(error)));
@@ -316,6 +458,26 @@ void QueryService::execute_update(Pending pending) {
 }
 
 void QueryService::execute_batch(std::vector<Pending> batch) {
+  // One tenant per batch (the collector never crosses a boundary). Named
+  // tenants run under a lease: the session is resident — loaded or warm-
+  // reopened right here if it was evicted — and stays pinned until every
+  // reply below is set.
+  const std::string tenant = batch.front().request.tenant;
+  Session* session = default_session_.get();
+  SessionManager::Lease lease;
+  if (!tenant.empty()) {
+    std::string acquire_error;
+    lease = manager_.acquire(tenant, &acquire_error);
+    if (!lease) {
+      // Closed between admission and dispatch, or the (re)load failed.
+      for (Pending& p : batch)
+        p.promise.set_value(
+            ready_reply(Reply::Status::kError, p.request.verb, acquire_error));
+      return;
+    }
+    session = lease.get();
+  }
+
   // Deadline shedding happens at dispatch: a request that waited past its
   // deadline is answered with `shed deadline` and costs no traversal.
   const auto now = Clock::now();
@@ -329,12 +491,35 @@ void QueryService::execute_batch(std::vector<Pending> batch) {
       p.promise.set_value(ready_reply(Reply::Status::kShedDeadline, p.request.verb));
       continue;
     }
+    if (!tenant.empty()) {
+      // Tenant requests skip node validation at parse (the graph need not be
+      // resident then); do it now against the leased session.
+      const std::uint32_t n = session->node_count();
+      bool bad = p.request.a.value() >= n ||
+                 !session->is_variable_node(p.request.a);
+      if (p.request.verb == Verb::kAlias)
+        bad = bad || p.request.b.value() >= n ||
+              !session->is_variable_node(p.request.b);
+      if (bad) {
+        p.promise.set_value(ready_reply(Reply::Status::kError, p.request.verb,
+                                        "not a variable node"));
+        continue;
+      }
+      if (options_.tenant_step_budget != 0) {
+        // Per-tenant work cap: a tenant may lower its own budget further,
+        // never raise it past the clamp.
+        p.request.budget = p.request.budget == 0
+                               ? options_.tenant_step_budget
+                               : std::min(p.request.budget,
+                                          options_.tenant_step_budget);
+      }
+    }
     // Alias pair the prefilter proves disjoint: answer at dispatch, spend no
     // solver time. Safe here because updates run serialized on this same
     // collector thread, so the revision the prefilter was checked against is
     // the revision the batch would have run on.
     if (p.request.verb == Verb::kAlias &&
-        session_.prefilter_no_alias(p.request.a, p.request.b)) {
+        session->prefilter_no_alias(p.request.a, p.request.b)) {
       Reply r;
       r.status = Reply::Status::kOk;
       r.verb = Verb::kAlias;
@@ -344,6 +529,7 @@ void QueryService::execute_batch(std::vector<Pending> batch) {
       const double latency_ms =
           std::chrono::duration<double, std::milli>(now - p.enqueued).count();
       recorder_.record_request(latency_ms, /*alias=*/true);
+      recorder_.record_tenant_request(tenant_label(tenant), latency_ms);
       p.promise.set_value(std::move(r));
       continue;
     }
@@ -360,7 +546,7 @@ void QueryService::execute_batch(std::vector<Pending> batch) {
   }
   recorder_.record_batch(items.size());
 
-  Session::BatchResult result = session_.run_batch(items);
+  Session::BatchResult result = session->run_batch(items);
 
   const auto done = Clock::now();
   std::size_t next_item = 0;
@@ -385,6 +571,7 @@ void QueryService::execute_batch(std::vector<Pending> batch) {
       r.query_status = a.status == cfl::QueryStatus::kComplete ? b.status : a.status;
       recorder_.record_request(latency_ms, /*alias=*/true);
     }
+    recorder_.record_tenant_request(tenant_label(tenant), latency_ms);
     p.promise.set_value(std::move(r));
   }
 }
@@ -392,12 +579,20 @@ void QueryService::execute_batch(std::vector<Pending> batch) {
 ServiceStats QueryService::stats() const {
   ServiceStats out;
   recorder_.snapshot(out);
-  out.engine = session_.lifetime_totals();
-  out.jmp_entries = session_.store().entry_count();
-  out.jmp_store_bytes = session_.store().memory_bytes();
-  out.context_count = session_.context_count();
-  out.pag_revision = session_.revision();
-  out.prefilter_ready = session_.prefilter_ready();
+  out.engine = default_session_->lifetime_totals();
+  out.jmp_entries = default_session_->store().entry_count();
+  out.jmp_store_bytes = default_session_->store().memory_bytes();
+  out.context_count = default_session_->context_count();
+  out.pag_revision = default_session_->revision();
+  out.prefilter_ready = default_session_->prefilter_ready();
+  const SessionManager::Counters fleet = manager_.counters();
+  out.open_tenants = fleet.open_tenants;
+  out.resident_sessions = fleet.resident;
+  out.resident_bytes = fleet.resident_bytes;
+  out.tenant_loads = fleet.loads;
+  out.session_reopens = fleet.reopens;
+  out.session_evictions = fleet.evictions;
+  out.label_overflow = registry_.label_overflow_count();
   return out;
 }
 

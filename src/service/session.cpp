@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <tuple>
 #include <utility>
 
 #include "andersen/prefilter.hpp"
 #include "cfl/persist.hpp"
+#include "pag/pag_io.hpp"
 
 namespace parcfl::service {
 
@@ -87,12 +89,17 @@ Session::Session(pag::Pag pag, Options options)
   invalidate_options_.field_approximation =
       options.engine.solver.field_approximation;
   if (!options.state_path.empty()) {
-    std::ifstream in(options.state_path);
-    if (in) {
+    std::ifstream probe(options.state_path);
+    if (probe) {
+      probe.close();
       // A stale or torn state file must not keep the service from starting;
       // it just starts cold (and will overwrite the file on the next save).
+      // The auto loader takes the mmap fast path on v3 spill files — the
+      // reopen latency the session manager's evict cycle depends on — and
+      // the text slow path on v1/v2.
       std::string error;
-      if (!cfl::load_sharing_state(in, pag_, contexts_, store_, &error))
+      if (!cfl::load_sharing_state_file_any(options.state_path, pag_, contexts_,
+                                            store_, &error))
         std::fprintf(stderr, "parcfl-service: ignoring warm-start state %s: %s\n",
                      options.state_path.c_str(), error.c_str());
     }
@@ -340,7 +347,36 @@ bool Session::save(const std::string& path, std::string* error) {
 
 bool Session::load(const std::string& path, std::string* error) {
   std::shared_lock lock(pag_mu_);
-  return cfl::load_sharing_state_file(path, pag_, contexts_, store_, error);
+  return cfl::load_sharing_state_file_any(path, pag_, contexts_, store_, error);
+}
+
+bool Session::spill(const std::string& state_path,
+                    const std::string& spill_pag_path, bool* wrote_pag,
+                    std::string* error) {
+  std::shared_lock lock(pag_mu_);
+  if (wrote_pag != nullptr) *wrote_pag = false;
+  std::int64_t revision_override = -1;
+  if (pag_.revision() != 0) {
+    // The graph drifted from its source file (applied deltas). Spill the
+    // faithful base next to the state and stamp both epoch 0: reloading the
+    // spilled graph yields this exact content at revision 0, so the pair is
+    // self-consistent and the fingerprint guard still protects it.
+    std::ostringstream os;
+    pag::write_pag(os, base_pag_ ? *base_pag_ : pag_);
+    if (!cfl::write_file_atomic(spill_pag_path, os.str(), error)) return false;
+    if (wrote_pag != nullptr) *wrote_pag = true;
+    revision_override = 0;
+  }
+  return cfl::save_sharing_state_file_v3(state_path, pag_, contexts_, store_,
+                                         error, revision_override);
+}
+
+std::uint64_t Session::resident_bytes() const {
+  std::shared_lock lock(pag_mu_);
+  std::uint64_t total = pag_.memory_bytes() + store_.memory_bytes() +
+                        contexts_.size() * 16;  // entry + intern slot
+  if (base_pag_) total += base_pag_->memory_bytes();
+  return total;
 }
 
 std::uint32_t Session::node_count() const {

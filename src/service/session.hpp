@@ -132,8 +132,22 @@ class Session {
   /// while batches run (jmp snapshots are shard-consistent), serialised only
   /// against update's swap window.
   bool save(const std::string& path, std::string* error);
-  /// Merge a previously saved state file into the live session.
+  /// Merge a previously saved state file (any format: v3 binary or v1/v2
+  /// text) into the live session.
   bool load(const std::string& path, std::string* error);
+
+  /// Eviction spill (session manager): write the warm state as mmap-able v3
+  /// to `state_path`, and — iff the graph drifted from its source file
+  /// (revision() != 0) — write the current base graph to `spill_pag_path`,
+  /// stamping the pair as a consistent epoch-0 snapshot (*wrote_pag reports
+  /// whether that happened). A reopen then reads the spilled graph at epoch 0
+  /// and warm-starts from the state via the zero-copy mmap path.
+  bool spill(const std::string& state_path, const std::string& spill_pag_path,
+             bool* wrote_pag, std::string* error);
+
+  /// Approximate resident footprint: serving + base graph, jmp store, and
+  /// context table. What the manager's max_resident_bytes cap meters.
+  std::uint64_t resident_bytes() const;
 
   /// Validation reads for client threads; consistent under concurrent
   /// update (node ids are never removed, so a request validated against any

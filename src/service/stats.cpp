@@ -23,7 +23,8 @@ double percentile(const std::vector<float>& sorted, double p) {
 
 }  // namespace
 
-StatsRecorder::StatsRecorder(obs::MetricsRegistry& registry)
+StatsRecorder::StatsRecorder(obs::MetricsRegistry& registry,
+                             std::uint32_t tenant_label_capacity)
     : registry_(registry),
       queries_served_(registry.counter("parcfl_queries_served_total",
                                        "Points-to requests answered.")),
@@ -57,7 +58,31 @@ StatsRecorder::StatsRecorder(obs::MetricsRegistry& registry)
                                       "Largest micro-batch in query units.")),
       max_latency_gauge_(registry.gauge(
           "parcfl_max_request_latency_ms",
-          "Highest request latency observed, milliseconds.")) {}
+          "Highest request latency observed, milliseconds.")),
+      tenant_requests_family_(registry.counter_family(
+          "parcfl_tenant_requests_total", "Requests answered, per tenant.",
+          "tenant", tenant_label_capacity)),
+      tenant_latency_family_(registry.histogram_family(
+          "parcfl_tenant_request_latency_ms",
+          "Request latency in milliseconds, per tenant.", "tenant",
+          tenant_label_capacity,
+          {0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 1000})),
+      tenant_shed_family_(registry.counter_family(
+          "parcfl_tenant_shed_total",
+          "Requests shed at admission (global or per-tenant quota), per "
+          "tenant.",
+          "tenant", tenant_label_capacity)) {}
+
+void StatsRecorder::record_tenant_request(std::string_view tenant,
+                                          double latency_ms) {
+  registry_.add(registry_.labeled(tenant_requests_family_, tenant));
+  registry_.observe(registry_.labeled(tenant_latency_family_, tenant),
+                    latency_ms);
+}
+
+void StatsRecorder::record_tenant_shed(std::string_view tenant) {
+  registry_.add(registry_.labeled(tenant_shed_family_, tenant));
+}
 
 void StatsRecorder::record_request(double latency_ms, bool alias) {
   registry_.add(alias ? alias_served_ : queries_served_);
@@ -146,7 +171,13 @@ std::string ServiceStats::to_json() const {
      << ",\"steps\":{\"charged\":" << engine.charged_steps
      << ",\"traversed\":" << engine.traversed_steps
      << ",\"saved\":" << engine.saved_steps << "}"
-     << ",\"contexts\":" << context_count << "}";
+     << ",\"contexts\":" << context_count
+     << ",\"sessions\":{\"open\":" << open_tenants
+     << ",\"resident\":" << resident_sessions
+     << ",\"resident_bytes\":" << resident_bytes
+     << ",\"loads\":" << tenant_loads << ",\"reopens\":" << session_reopens
+     << ",\"evictions\":" << session_evictions
+     << ",\"label_overflow\":" << label_overflow << "}}";
   return os.str();
 }
 

@@ -50,6 +50,15 @@ struct ServiceStats {
   std::uint64_t pag_revision = 0;  // delta epoch of the live graph
   bool prefilter_ready = false;    // prefilter covers the live revision
 
+  // Session fleet (the multi-tenant manager; zero in single-tenant use).
+  std::uint64_t open_tenants = 0;      // registered tenants (incl. default)
+  std::uint64_t resident_sessions = 0; // sessions currently in memory
+  std::uint64_t resident_bytes = 0;    // summed resident footprint samples
+  std::uint64_t tenant_loads = 0;      // first-time graph loads
+  std::uint64_t session_reopens = 0;   // evict → warm-reopen cycles
+  std::uint64_t session_evictions = 0;
+  std::uint64_t label_overflow = 0;    // tenant label values past capacity
+
   /// Share of prefilter consultations (per-query pts_empty probes plus
   /// per-pair no_alias probes) that short-circuited solver work entirely.
   double prefilter_hit_ratio() const {
@@ -84,9 +93,19 @@ class StatsRecorder {
 
   /// Registers the request-plane metrics; the registry must outlive the
   /// recorder (QueryService owns both, registry first).
-  explicit StatsRecorder(obs::MetricsRegistry& registry);
+  /// `tenant_label_capacity` bounds the tenant label dimension of the
+  /// per-tenant families — past it, traffic lands on the shared
+  /// tenant="overflow" series (see MetricsRegistry label families).
+  explicit StatsRecorder(obs::MetricsRegistry& registry,
+                         std::uint32_t tenant_label_capacity = 16);
 
   void record_request(double latency_ms, bool alias);
+  /// Per-tenant view of record_request: bumps the tenant-labeled request
+  /// counter and latency histogram. `tenant` is the display label — the
+  /// service passes "default" for bare (unprefixed) requests.
+  void record_tenant_request(std::string_view tenant, double latency_ms);
+  /// Per-tenant shed (admission quota or global queue) counter.
+  void record_tenant_shed(std::string_view tenant);
   void record_batch(std::uint64_t query_units);
   void record_shed_overload() { registry_.add(shed_overload_); }
   void record_shed_deadline() { registry_.add(shed_deadline_); }
@@ -113,6 +132,9 @@ class StatsRecorder {
   obs::MetricsRegistry::MetricId latency_hist_;
   obs::MetricsRegistry::MetricId max_batch_gauge_;
   obs::MetricsRegistry::MetricId max_latency_gauge_;
+  obs::MetricsRegistry::FamilyId tenant_requests_family_;
+  obs::MetricsRegistry::FamilyId tenant_latency_family_;
+  obs::MetricsRegistry::FamilyId tenant_shed_family_;
 
   mutable std::mutex mu_;            // guards the latency window only
   std::vector<float> latencies_ms_;  // ring buffer of recent samples

@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iterator>
 #include <sstream>
 #include <string>
@@ -193,6 +194,11 @@ const char* const kSeedLines[] = {
     "load /tmp/state.bin",
     "ping",
     "quit",
+    "open acme /tmp/graph.pag",
+    "close acme",
+    "@acme query 17",
+    "@acme alias 3 44 budget 9",
+    "@t-1_x.Y save /tmp/state.bin",
 };
 
 TEST_P(ServiceFuzzTest, MutatedRequestLinesParseOrFailWithMessage) {
@@ -223,13 +229,21 @@ TEST_P(ServiceFuzzTest, MutatedRequestLinesParseOrFailWithMessage) {
     const bool ok = service::parse_request(line, /*node_count=*/50, request,
                                            error);
     if (ok) {
-      // A parse must yield a well-typed request: node ids in bounds.
-      if (request.verb == service::Verb::kQuery ||
-          request.verb == service::Verb::kAlias) {
-        EXPECT_LT(request.a.value(), 50u) << line;
-      }
-      if (request.verb == service::Verb::kAlias) {
-        EXPECT_LT(request.b.value(), 50u) << line;
+      // A parse must yield a well-typed request: node ids in bounds. A
+      // tenant-prefixed query defers the node check to dispatch (the graph
+      // may be evicted), so only the bare form promises the bound here.
+      if (request.tenant.empty()) {
+        if (request.verb == service::Verb::kQuery ||
+            request.verb == service::Verb::kAlias) {
+          EXPECT_LT(request.a.value(), 50u) << line;
+        }
+        if (request.verb == service::Verb::kAlias) {
+          EXPECT_LT(request.b.value(), 50u) << line;
+        }
+      } else {
+        // Every route that sets a tenant (the @ prefix, open, close) must
+        // have validated the name — spill-file stems come from it.
+        EXPECT_TRUE(service::valid_tenant_name(request.tenant)) << line;
       }
     } else {
       EXPECT_FALSE(error.empty()) << line;
@@ -255,6 +269,103 @@ TEST(ServiceFuzz, HostileObservabilityArgumentsAreTotal) {
       << error;
   EXPECT_EQ(r.verb, service::Verb::kSlowLog);
   EXPECT_EQ(r.count, 18446744073709551615ull);
+}
+
+// Hostile tenant names and fleet-verb shapes (ISSUE 7 satellite): names
+// become spill-file stems, so traversal characters, control bytes, and the
+// dot-dirs must be rejected at the parser, and the @ prefix must only attach
+// to the verbs that can route to a tenant.
+TEST(ServiceFuzz, HostileTenantNamesAndFleetVerbsAreTotal) {
+  service::Request r;
+  std::string error;
+
+  // Path traversal, separators, spaces, control bytes, empty, oversized.
+  for (const char* open : {
+           "open .. /tmp/g.pag",
+           "open . /tmp/g.pag",
+           "open ../../etc/passwd /tmp/g.pag",
+           "open a/b /tmp/g.pag",
+           "open a\tb /tmp/g.pag",
+           "open \x01evil /tmp/g.pag",
+           "open  /tmp/g.pag",      // name missing (double space collapses)
+           "open acme",             // path missing
+           "open acme /g.pag junk"  // trailing garbage
+       }) {
+    EXPECT_FALSE(service::parse_request(open, 50, r, error)) << open;
+    EXPECT_FALSE(error.empty()) << open;
+  }
+  const std::string oversized(service::kMaxTenantName + 1, 'a');
+  EXPECT_FALSE(
+      service::parse_request("open " + oversized + " /tmp/g.pag", 50, r,
+                             error));
+  EXPECT_FALSE(service::parse_request("close " + oversized, 50, r, error));
+  EXPECT_FALSE(service::parse_request("@" + oversized + " query 1", 50, r,
+                                      error));
+  // Exactly at the cap is legal.
+  const std::string max_name(service::kMaxTenantName, 'a');
+  ASSERT_TRUE(
+      service::parse_request("close " + max_name, 50, r, error))
+      << error;
+  EXPECT_EQ(r.tenant, max_name);
+
+  // The @ prefix: needs a name, needs a verb, and only routes data-plane
+  // verbs — control-plane and fleet verbs refuse it.
+  EXPECT_FALSE(service::parse_request("@ query 1", 50, r, error));
+  EXPECT_FALSE(service::parse_request("@..", 50, r, error));
+  EXPECT_FALSE(service::parse_request("@acme", 50, r, error));
+  EXPECT_FALSE(service::parse_request("@a cme query 1", 50, r, error));
+  EXPECT_FALSE(service::parse_request("@acme stats", 50, r, error));
+  EXPECT_FALSE(service::parse_request("@acme metrics", 50, r, error));
+  EXPECT_FALSE(service::parse_request("@acme open b /tmp/g.pag", 50, r,
+                                      error));
+  EXPECT_FALSE(service::parse_request("@acme close b", 50, r, error));
+  EXPECT_FALSE(service::parse_request("@acme quit", 50, r, error));
+
+  // Well-formed tenant requests parse, with node checks deferred: an id the
+  // default graph would reject rides through to dispatch-time validation.
+  ASSERT_TRUE(service::parse_request("@acme query 4000000000", 50, r, error))
+      << error;
+  EXPECT_EQ(r.tenant, "acme");
+  EXPECT_EQ(r.a.value(), 4000000000u);
+  ASSERT_TRUE(service::parse_request("open t.0-b_c /tmp/g.pag", 50, r, error))
+      << error;
+  EXPECT_EQ(r.tenant, "t.0-b_c");
+  EXPECT_EQ(r.path, "/tmp/g.pag");
+}
+
+// Fleet verbs against a live service: open-nonexistent-path answers an
+// error (not a crash, not a registration), close-unknown errors, and a
+// hostile name that sneaks past the wire (empty = the pinned default
+// tenant's manager name) stays unaddressable.
+TEST(ServiceFuzz, FleetVerbsAgainstServiceAreTotal) {
+  test::RandomPagConfig cfg;
+  cfg.seed = 11;
+  auto pag = test::random_layered_pag(cfg);
+  service::ServiceOptions options;
+  options.session.engine.threads = 2;
+  options.session.prefilter = false;
+  service::QueryService svc(std::move(pag), options);
+
+  service::Request open;
+  open.verb = service::Verb::kOpen;
+  open.tenant = "ghost";
+  open.path = "/nonexistent/graph.pag";
+  EXPECT_EQ(svc.call(std::move(open)).status,
+            service::Reply::Status::kError);
+  EXPECT_FALSE(svc.manager().known("ghost"));
+
+  service::Request close;
+  close.verb = service::Verb::kClose;
+  close.tenant = "never-opened";
+  EXPECT_EQ(svc.call(std::move(close)).status,
+            service::Reply::Status::kError);
+
+  // The default tenant is adopted under "" — pinned, not closable even if a
+  // crafted Request bypasses the parser's name validation.
+  service::Request close_default;
+  close_default.verb = service::Verb::kClose;
+  EXPECT_EQ(svc.call(std::move(close_default)).status,
+            service::Reply::Status::kError);
 }
 
 // A u64-max slowlog count is a request for "everything", not an allocation
@@ -458,6 +569,79 @@ TEST_P(StateFuzzTest, MutatedStateFilesNeverCrashTheLoader) {
     // return only ids that are objects of this PAG. Exact sets are not
     // checked — a mutation can produce a parseable file with different but
     // well-formed entries.
+    cfl::Solver solver(pag, contexts, &store, opts);
+    for (std::size_t i = 0; i < vars.size() && i < 4; ++i) {
+      const auto result = solver.points_to(vars[i]);
+      for (const NodeId n : result.nodes()) {
+        ASSERT_LT(n.value(), pag.node_count());
+        EXPECT_TRUE(pag.is_object(n));
+      }
+    }
+  }
+}
+
+// The binary v3 loader takes the same hammering: bit flips, truncations,
+// and splices across the header, section arrays, and the trailing target
+// block. Counts and offsets are attacker-controlled u64s, so every accept
+// must still yield tables the solver can run on.
+TEST_P(StateFuzzTest, MutatedV3StateImagesNeverCrashTheLoader) {
+  test::RandomPagConfig cfg;
+  cfg.seed = GetParam();
+  cfg.heap_edge_pairs = 4;
+  const auto pag = test::random_layered_pag(cfg);
+  const auto vars = test::all_variables(pag);
+
+  const cfl::SolverOptions opts = state_fuzz_opts();
+  std::string image;
+  {
+    cfl::ContextTable contexts;
+    cfl::JmpStore store;
+    cfl::Solver solver(pag, contexts, &store, opts);
+    for (const NodeId v : vars) (void)solver.points_to(v);
+    const std::string path = testing::TempDir() + "fuzz_v3_" +
+                             std::to_string(GetParam()) + ".state";
+    std::string error;
+    ASSERT_TRUE(
+        cfl::save_sharing_state_file_v3(path, pag, contexts, store, &error))
+        << error;
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    image = os.str();
+  }
+  ASSERT_GT(image.size(), 64u);
+
+  support::Rng rng(GetParam() * 69621 + 17);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string mutated = image;
+    const std::size_t edits = 1 + rng.below(4);
+    for (std::size_t e = 0; e < edits; ++e) {
+      if (mutated.empty()) break;
+      const std::size_t pos = rng.below(mutated.size());
+      switch (rng.below(4)) {
+        case 0:  // flip a byte (any value — this is binary data)
+          mutated[pos] = static_cast<char>(rng.below(256));
+          break;
+        case 1:  // truncate (a torn write)
+          mutated.resize(pos);
+          break;
+        case 2:  // delete a span (shears every later section offset)
+          mutated.erase(pos, 1 + rng.below(16));
+          break;
+        case 3:  // duplicate a span
+          mutated.insert(pos, mutated.substr(pos, 1 + rng.below(16)));
+          break;
+      }
+    }
+
+    cfl::ContextTable contexts;
+    cfl::JmpStore store;
+    std::string error;
+    const bool ok = cfl::load_sharing_state_v3(mutated.data(), mutated.size(),
+                                               pag, contexts, store, &error);
+    if (!ok) {
+      EXPECT_FALSE(error.empty());
+    }
     cfl::Solver solver(pag, contexts, &store, opts);
     for (std::size_t i = 0; i < vars.size() && i < 4; ++i) {
       const auto result = solver.points_to(vars[i]);

@@ -184,7 +184,14 @@ TEST(Protocol, FormatsReplies) {
 
 TEST(Session, WarmRepeatBatchTraversesAtLeastTwiceFewerSteps) {
   const auto w = container_workload();
-  Session session(w.pag, session_options(4));
+  // Deterministic pipeline state: wait for the prefilter so both passes see
+  // it ready (readiness landing between the passes under slow schedulers —
+  // tsan — used to skew the ratio run-to-run), and mint aggressively so the
+  // repeat batch rides the store as hard as the subsystem allows.
+  Session::Options opts = session_options(4);
+  opts.engine.solver.tau_finished = 1;
+  Session session(w.pag, opts);
+  session.wait_for_prefilter();
 
   std::vector<Session::Item> items;
   for (const NodeId q : w.queries) items.push_back({q, 0});
