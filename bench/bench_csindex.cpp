@@ -1,0 +1,210 @@
+// bench_csindex — the background index compactor study (DESIGN.md §13).
+//
+// The serving claim the feature makes: once the compactor has mined a hot
+// key, repeat queries for it are answered from the frozen index at 0 charged
+// steps, with a per-query p50 at least 5x below what the *warm* solver —
+// sharing state fully populated — needs for the same key. Both arms run the
+// same resident-session path (admission, batch bookkeeping, result
+// projection), so the delta isolates the index lookup against the solve.
+//
+// Also measured: the offline build (wall time and charged steps the
+// compactor spent mining), and outcome identity — every hot answer from the
+// index arm must equal the warm-solver arm's answer object-for-object, and
+// every hot query must actually hit (miss = the bench is not measuring what
+// it claims). Any violation exits non-zero.
+//
+// Results go to BENCH_csindex.json (context object + benchmarks array, same
+// schema style as BENCH_prefilter.json).
+//
+//   bench_csindex [--out FILE]      (PARCFL_SCALE / PARCFL_BUDGET /
+//                                    PARCFL_THREADS apply)
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "service/session.hpp"
+
+using namespace parcfl;
+using namespace parcfl::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double us_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t i = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[i];
+}
+
+service::Session::Options serving_options(bool index) {
+  service::Session::Options o;
+  o.engine.mode = cfl::Mode::kDataSharingScheduling;
+  o.engine.threads = threads();
+  o.engine.solver = solver_options();
+  o.reduce_graph = false;  // isolate the index against the plain warm solver
+  o.prefilter = false;
+  o.index = index;
+  o.index_hot_threshold = 1;
+  return o;
+}
+
+struct Arm {
+  std::vector<double> lat_us;  // one sample per (rep, hot key)
+  std::vector<std::vector<pag::NodeId>> objects;  // last rep, per hot key
+  std::uint64_t zero_step = 0;
+  std::uint64_t total = 0;
+};
+
+/// Time single-item batches over the hot set: the per-query serving path,
+/// repeated kReps times so the medians are stable.
+Arm drive(service::Session& session, const std::vector<pag::NodeId>& hot,
+          int reps) {
+  Arm arm;
+  arm.objects.resize(hot.size());
+  for (int r = 0; r < reps; ++r) {
+    for (std::size_t i = 0; i < hot.size(); ++i) {
+      const service::Session::Item item{hot[i], 0};
+      const auto t0 = Clock::now();
+      auto result = session.run_batch({&item, 1});
+      arm.lat_us.push_back(us_since(t0));
+      arm.total += 1;
+      arm.zero_step += result.items[0].charged_steps == 0;
+      arm.objects[i] = std::move(result.items[0].objects);
+    }
+  }
+  return arm;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_csindex.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_csindex [--out FILE]\n");
+      return 2;
+    }
+  }
+
+  const double s = scale();
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_csindex: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"context\": {\"scale\": %.2f, \"budget\": %" PRIu64
+               ", \"threads\": %u},\n  \"benchmarks\": [\n",
+               s, budget(), threads());
+
+  std::printf("Index compactor study, scale=%.2f, threads=%u\n\n", s,
+              threads());
+
+  bool first = true;
+  int failures = 0;
+  const int kReps = 50;
+  for (const char* name : {"_202_jess", "fop"}) {
+    const Workload w = build_workload(synth::benchmark_spec(name), s);
+    std::vector<pag::NodeId> hot(
+        w.queries.begin(),
+        w.queries.begin() + std::min<std::size_t>(64, w.queries.size()));
+    std::printf("%s: %u nodes, %u edges, %zu hot keys\n", name,
+                w.pag.node_count(), w.pag.edge_count(), hot.size());
+
+    // ---- Offline build ---------------------------------------------------
+    service::Session on(w.pag, serving_options(/*index=*/true));
+    for (const pag::NodeId v : hot) on.note_hot(v);
+    const auto t_build = Clock::now();
+    if (!on.wait_for_index()) {
+      std::fprintf(stderr, "bench_csindex: index build failed on %s\n", name);
+      ++failures;
+      continue;
+    }
+    const double build_ms = us_since(t_build) / 1000.0;
+    const auto info = on.index_info();
+    std::printf("  build: %" PRIu64 " entries, %" PRIu64 " targets, %" PRIu64
+                " charged steps, %.2f ms wall, %" PRIu64 " bytes\n",
+                info.entries, info.targets, info.build_charged_steps,
+                build_ms, info.memory_bytes);
+
+    // ---- Serving: index hits vs the warm solver --------------------------
+    service::Session off(w.pag, serving_options(/*index=*/false));
+    {  // warm the off-arm's sharing state before timing anything
+      std::vector<service::Session::Item> items;
+      for (const pag::NodeId v : hot) items.push_back({v, 0});
+      off.run_batch(items);
+    }
+    const Arm warm = drive(off, hot, kReps);
+    const Arm idx = drive(on, hot, kReps);
+    const auto after = on.index_info();
+
+    for (std::size_t i = 0; i < hot.size(); ++i) {
+      if (idx.objects[i] != warm.objects[i]) {
+        std::fprintf(stderr,
+                     "bench_csindex: identity violation on %s var %u\n", name,
+                     hot[i].value());
+        ++failures;
+      }
+    }
+    // Every timed index-arm query must be an actual 0-step hit.
+    if (idx.zero_step != idx.total) {
+      std::fprintf(stderr,
+                   "bench_csindex: %s: only %" PRIu64 "/%" PRIu64
+                   " index-arm queries hit at 0 steps\n",
+                   name, idx.zero_step, idx.total);
+      ++failures;
+    }
+
+    const double p50_idx = percentile(idx.lat_us, 0.50);
+    const double p50_warm = percentile(warm.lat_us, 0.50);
+    const double p99_idx = percentile(idx.lat_us, 0.99);
+    const double p99_warm = percentile(warm.lat_us, 0.99);
+    const double speedup = p50_idx > 0 ? p50_warm / p50_idx : 0.0;
+    if (speedup < 5.0) {
+      std::fprintf(stderr,
+                   "bench_csindex: %s: p50 speedup %.2fx below the 5x bar\n",
+                   name, speedup);
+      ++failures;
+    }
+
+    std::printf("  serving: p50 %.2f -> %.2f us (%.1fx), p99 %.2f -> %.2f "
+                "us; %" PRIu64 "/%" PRIu64 " zero-step hits\n\n",
+                p50_warm, p50_idx, speedup, p99_warm, p99_idx, idx.zero_step,
+                idx.total);
+
+    std::fprintf(
+        f,
+        "%s    {\"name\": \"csindex/%s/build\", \"entries\": %" PRIu64
+        ", \"targets\": %" PRIu64 ", \"build_charged_steps\": %" PRIu64
+        ", \"build_ms\": %.3f, \"memory_bytes\": %" PRIu64 "},\n"
+        "    {\"name\": \"csindex/%s/serving\", \"hot_keys\": %zu, \"reps\": "
+        "%d, \"p50_us_warm\": %.3f, \"p50_us_index\": %.3f, \"p99_us_warm\": "
+        "%.3f, \"p99_us_index\": %.3f, \"p50_speedup\": %.2f, "
+        "\"zero_step_hits\": %" PRIu64 ", \"queries\": %" PRIu64
+        ", \"index_hits\": %" PRIu64 ", \"index_misses\": %" PRIu64 "}",
+        first ? "" : ",\n", name, info.entries, info.targets,
+        info.build_charged_steps, build_ms, info.memory_bytes, name,
+        hot.size(), kReps, p50_warm, p50_idx, p99_warm, p99_idx, speedup,
+        idx.zero_step, idx.total, after.hits, after.misses);
+    first = false;
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return failures == 0 ? 0 : 1;
+}

@@ -93,6 +93,7 @@ struct Config {
   long connect_port = -1;
   bool reduce = true;     // serve the reduced graph (in-process mode)
   bool prefilter = true;  // Andersen prefilter short-circuit (in-process mode)
+  bool index = true;      // background index compactor (in-process mode)
 
   // Mixed-tenant fleet mode (0 = off).
   unsigned tenants = 0;
@@ -109,7 +110,7 @@ int usage() {
                "  [--threads N] [--clients N] [--requests N] [--rate QPS]\n"
                "  [--alias-every K] [--batch N] [--linger-us N] [--queue N]\n"
                "  [--out FILE] [--connect PORT] [--scrape FILE]\n"
-               "  [--no-reduce] [--no-prefilter]\n"
+               "  [--no-reduce] [--no-prefilter] [--index] [--no-index]\n"
                "  [--tenants N] [--tenant-skew S] [--max-sessions N]\n"
                "  [--max-resident-mb N] [--spill-dir DIR] [--tenants-out F]\n");
   return 2;
@@ -406,6 +407,7 @@ int run_tenant_mode(const Config& cfg, const bench::Workload& workload,
   options.max_queue = cfg.queue;
   options.session.reduce_graph = cfg.reduce;
   options.session.prefilter = cfg.prefilter;
+  options.session.index = cfg.index;
   options.max_sessions = cfg.max_sessions;
   options.max_resident_bytes = cfg.max_resident_mb * 1024ull * 1024ull;
   options.spill_dir = cfg.spill_dir;
@@ -603,6 +605,8 @@ int main(int argc, char** argv) {
     else if (std::strcmp(arg, "--connect") == 0 && (v = value())) cfg.connect_port = std::atol(v);
     else if (std::strcmp(arg, "--no-reduce") == 0) cfg.reduce = false;
     else if (std::strcmp(arg, "--no-prefilter") == 0) cfg.prefilter = false;
+    else if (std::strcmp(arg, "--index") == 0) cfg.index = true;
+    else if (std::strcmp(arg, "--no-index") == 0) cfg.index = false;
     else if (std::strcmp(arg, "--tenants") == 0 && (v = value())) cfg.tenants = static_cast<unsigned>(std::atol(v));
     else if (std::strcmp(arg, "--tenant-skew") == 0 && (v = value())) cfg.tenant_skew = std::atof(v);
     else if (std::strcmp(arg, "--max-sessions") == 0 && (v = value())) cfg.max_sessions = static_cast<std::size_t>(std::atol(v));
@@ -688,6 +692,7 @@ int main(int argc, char** argv) {
     options.max_queue = cfg.queue;
     options.session.reduce_graph = cfg.reduce;
     options.session.prefilter = cfg.prefilter;
+    options.session.index = cfg.index;
     service::QueryService svc(workload.pag, options);
     with_engine = true;
     // Both phases should measure the steady state, not the background

@@ -19,6 +19,8 @@
 //                    queries then carry their trace in `slowlog` replies
 //     --no-reduce    serve the faithful graph instead of the reduced one
 //     --no-prefilter disable the background Andersen prefilter
+//     --index        enable the background index compactor (default)
+//     --no-index     disable it; hot queries always reach the solver
 //
 // Multi-tenant fleet (clients `open <name> <file.pag>` more graphs at
 // runtime; see README "Serving many tenants"):
@@ -65,6 +67,7 @@ int usage() {
                "                    [--budget N] [--batch N] [--linger-us N]\n"
                "                    [--queue N] [--slow-ms F] [--trace 0|1|2]\n"
                "                    [--no-reduce] [--no-prefilter]\n"
+               "                    [--index] [--no-index]\n"
                "                    [--max-sessions N] [--max-resident-mb N]\n"
                "                    [--spill-dir DIR] [--tenant-queue N]\n"
                "                    [--tenant-budget N]\n");
@@ -121,6 +124,10 @@ int main(int argc, char** argv) {
       options.session.reduce_graph = false;
     } else if (std::strcmp(arg, "--no-prefilter") == 0) {
       options.session.prefilter = false;
+    } else if (std::strcmp(arg, "--index") == 0) {
+      options.session.index = true;
+    } else if (std::strcmp(arg, "--no-index") == 0) {
+      options.session.index = false;
     } else if (std::strcmp(arg, "--max-sessions") == 0 && (v = value())) {
       options.max_sessions = static_cast<std::size_t>(std::atol(v));
     } else if (std::strcmp(arg, "--max-resident-mb") == 0 && (v = value())) {
@@ -164,14 +171,16 @@ int main(int argc, char** argv) {
   const pag::ReduceStats reduce = svc.session().reduce_stats();
   std::fprintf(stderr,
                "parcfl_serve: %u nodes, %u edges (%u reduced away), mode %s, "
-               "%u threads, batch<=%u linger=%lldus queue<=%u, prefilter %s\n",
+               "%u threads, batch<=%u linger=%lldus queue<=%u, prefilter %s, "
+               "index %s\n",
                svc.pag().node_count(), svc.pag().edge_count(),
                reduce.edges_removed,
                cfl::to_string(options.session.engine.mode),
                options.session.engine.threads, options.max_batch,
                static_cast<long long>(options.max_linger.count()),
                options.max_queue,
-               options.session.prefilter ? "on" : "off");
+               options.session.prefilter ? "on" : "off",
+               options.session.index ? "on" : "off");
 
   // Spill every dirty session (named tenants as mmap-able v3 pairs, the
   // default tenant to --state when set) so the next start reopens warm.

@@ -1,0 +1,148 @@
+#pragma once
+// CsIndex — an immutable, compact reachability index over hot (source node,
+// context) regions of the PAG (DESIGN.md §13). The service's background
+// compactor mines hot keys from the batch stream, runs a bounded offline
+// closure per key (a cold sequential solve — no jmp store, no data sharing),
+// and freezes the answers into this structure:
+//
+//   * a key-sorted entry array (binary-searched at dispatch) pointing into
+//     one flat, per-entry-sorted target pool — an index hit is answered by a
+//     memcpy, at 0 charged solver steps;
+//   * GRAIL-style interval labels (two labelings over the SCC condensation
+//     of the invalidation step graph) that let `dirty_keys` over-approximate
+//     `invalidate_sharing_state`'s cone closure per entry in O(seeds) integer
+//     compares instead of a graph walk, so updates drop exactly the covered
+//     entries whose cone a delta touches.
+//
+// Soundness contract (why serving an entry is outcome-identical to solving):
+// only `QueryStatus::kComplete` answers are indexed, together with the
+// charged-step cost of the cold solve that produced them. Dispatch serves an
+// entry only when the request's effective budget is at least that cost; a
+// deterministic re-solve under any mode would complete with the same answer
+// (the solver's cross-configuration answer identity, solver.hpp).
+//
+// Invalidation contract: `dirty_keys(touched)` must return a superset of the
+// entries `invalidate_sharing_state` would evict for a delta whose touched
+// set is `touched` (both planes of every added/removed edge endpoint and
+// removed node are seeded there; we mirror that seeding). The step graph is
+// built once over the build-time PAG and *shared across `without()` copies
+// forever*; that stays sound by induction: a delta's endpoints are always in
+// its own touched set, so any cone path using a post-build edge starts its
+// final all-old-edge suffix at a seeded node — which the build-time labels
+// cover. Entries surviving a prune therefore never gain reachability the
+// labels miss. Nodes at or beyond the build-time node count are unknown to
+// the labels: entries on them are always dirty, seeds on them are ignored
+// (a new node's cone reaches old entries only through old edges out of a
+// seeded old endpoint).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cfl/context.hpp"
+#include "cfl/solver.hpp"
+#include "pag/pag.hpp"
+
+namespace parcfl::cfl {
+
+struct CsIndexStats {
+  std::uint64_t entries = 0;
+  std::uint64_t targets = 0;
+  /// Total charged solver steps spent building (amortisation numerator).
+  std::uint64_t build_charged_steps = 0;
+  std::uint32_t components = 0;  // SCC condensation size of the step graph
+  std::uint32_t revision = 0;    // PAG revision the entries answer for
+  std::uint64_t memory_bytes = 0;
+};
+
+class CsIndex {
+ public:
+  struct Entry {
+    std::uint64_t key;           // (node << 32) | ctx
+    std::uint32_t target_begin;  // into the shared target pool
+    std::uint32_t target_len;
+    std::uint32_t cost;  // charged steps of the cold solve that minted it
+  };
+
+  /// Interval labels over the SCC condensation of the invalidation step
+  /// graph (vertex = 2*node + plane, field hubs appended after 2n). Shared
+  /// by every `without()` descendant of one build — see the header comment
+  /// for why that stays sound across updates.
+  struct Labels {
+    std::uint32_t node_count = 0;      // build-time PAG node count
+    std::uint32_t hub_fields = 0;      // 0 unless field approximation was on
+    std::vector<std::uint32_t> component_of;      // step vertex -> component
+    std::vector<std::uint32_t> low1;              // labeling 1: min comp id
+    std::vector<std::uint32_t> low2, post2;       // labeling 2: DFS intervals
+    std::uint32_t component_count = 0;
+
+    /// May component `a` reach component `b` in the condensation? Exact "no"
+    /// when either labeling excludes containment; conservative "yes" else.
+    bool may_reach(std::uint32_t a, std::uint32_t b) const {
+      return low1[a] <= low1[b] && b <= a &&  // labeling 1 (rank = comp id)
+             low2[a] <= low2[b] && post2[b] <= post2[a];
+    }
+  };
+
+  static std::uint64_t key(pag::NodeId node, CtxId ctx = ContextTable::empty()) {
+    return (static_cast<std::uint64_t>(node.value()) << 32) | ctx.value();
+  }
+  static pag::NodeId key_node(std::uint64_t key) {
+    return pag::NodeId(static_cast<std::uint32_t>(key >> 32));
+  }
+
+  /// Binary search; null on miss. Lock-free — callers hold an EpochGuard on
+  /// the domain the index was published through.
+  const Entry* find(std::uint64_t key) const;
+
+  std::span<const pag::NodeId> targets(const Entry& e) const {
+    return {targets_.data() + e.target_begin, e.target_len};
+  }
+  std::span<const Entry> entries() const { return entries_; }
+  std::uint32_t revision() const { return revision_; }
+  /// Build-time PAG node count — entries on nodes >= this are always dirty.
+  std::uint32_t node_count() const { return labels_->node_count; }
+  CsIndexStats stats() const;
+
+  /// Entry keys whose invalidation cone a delta touching `touched` (sorted
+  /// node ids, both planes seeded) could cross — a superset of what
+  /// invalidate_sharing_state would evict for the same delta. Returned
+  /// sorted.
+  std::vector<std::uint64_t> dirty_keys(
+      std::span<const std::uint32_t> touched) const;
+
+  /// A copy without the given (sorted) keys, restamped to `new_revision`.
+  /// Shares the labels; the target pool is compacted.
+  std::unique_ptr<const CsIndex> without(
+      std::span<const std::uint64_t> drop_sorted,
+      std::uint32_t new_revision) const;
+
+ private:
+  CsIndex() = default;
+  friend std::unique_ptr<const CsIndex> build_csindex(
+      const pag::Pag& pag, std::span<const std::uint64_t> hot_keys,
+      const SolverOptions& options, const std::atomic<bool>* cancel);
+
+  std::vector<Entry> entries_;          // sorted by key
+  std::vector<pag::NodeId> targets_;    // each entry's run sorted ascending
+  std::shared_ptr<const Labels> labels_;
+  std::uint32_t revision_ = 0;
+  std::uint64_t build_charged_steps_ = 0;
+};
+
+/// Build an index over `hot_keys` ((node << 32) | ctx; duplicates, foreign
+/// nodes, non-variables and non-empty contexts are skipped — the compactor
+/// only mines context-empty roots today). Each key is answered by a cold
+/// sequential solve under `options` (data sharing and tracing forced off);
+/// only complete answers are kept. `cancel`, when non-null, aborts the build
+/// between solves and returns null — the caller re-queues. Never returns an
+/// index answering for a different graph than `pag` (revision is stamped
+/// from it).
+std::unique_ptr<const CsIndex> build_csindex(
+    const pag::Pag& pag, std::span<const std::uint64_t> hot_keys,
+    const SolverOptions& options,
+    const std::atomic<bool>* cancel = nullptr);
+
+}  // namespace parcfl::cfl

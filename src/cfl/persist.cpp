@@ -85,11 +85,18 @@ bool fail(std::string* error, const std::string& msg) {
   return false;
 }
 
+/// fail() + mark the file as a well-formed image for the wrong graph/epoch.
+bool fail_stale(std::string* error, bool* stale, const std::string& msg) {
+  if (stale != nullptr) *stale = true;
+  return fail(error, msg);
+}
+
 }  // namespace
 
 bool load_sharing_state(std::istream& is, const pag::Pag& pag,
                         ContextTable& contexts, JmpStore& store,
-                        std::string* error) {
+                        std::string* error, bool* stale) {
+  if (stale != nullptr) *stale = false;
   std::string line;
   if (!std::getline(is, line)) return fail(error, "bad header");
   const bool v1 = line == "parcfl-state 1";
@@ -108,11 +115,12 @@ bool load_sharing_state(std::istream& is, const pag::Pag& pag,
     if (!v1 && !(ls >> revision)) return fail(error, "bad pag line");
     if (nodes != pag.node_count() || edges != pag.edge_count() ||
         fingerprint != pag_fingerprint(pag))
-      return fail(error, "state was computed for a different PAG");
+      return fail_stale(error, stale, "state was computed for a different PAG");
     if (revision != pag.revision())
-      return fail(error, "state was computed at delta epoch " +
-                             std::to_string(revision) + ", graph is at " +
-                             std::to_string(pag.revision()));
+      return fail_stale(error, stale,
+                        "state was computed at delta epoch " +
+                            std::to_string(revision) + ", graph is at " +
+                            std::to_string(pag.revision()));
   }
 
   // old ctx id -> id in the receiving table. Index 0 is the empty context.
@@ -218,10 +226,10 @@ bool save_sharing_state_file(const std::string& path, const pag::Pag& pag,
 
 bool load_sharing_state_file(const std::string& path, const pag::Pag& pag,
                              ContextTable& contexts, JmpStore& store,
-                             std::string* error) {
+                             std::string* error, bool* stale) {
   std::ifstream in(path);
   if (!in) return fail(error, "cannot open " + path);
-  return load_sharing_state(in, pag, contexts, store, error);
+  return load_sharing_state(in, pag, contexts, store, error, stale);
 }
 
 // ---- v3 binary format ------------------------------------------------------
@@ -239,8 +247,12 @@ struct V3Header {
   std::uint64_t unf_count;
   std::uint64_t target_count;
   std::uint64_t total_size;  // whole file, header included
+  std::uint32_t flags;       // bit 0: trailing hot-key section present
+  std::uint32_t hot_count;   // advisory CsIndex keys after the target section
 };
-static_assert(sizeof(V3Header) == 64);
+static_assert(sizeof(V3Header) == 72);
+
+constexpr std::uint32_t kV3FlagHotKeys = 1u;
 
 struct V3Ctx {
   std::uint32_t parent;
@@ -285,7 +297,8 @@ void append_raw(std::string& out, const T* data, std::size_t n) {
 bool save_sharing_state_file_v3(const std::string& path, const pag::Pag& pag,
                                 const ContextTable& contexts,
                                 const JmpStore& store, std::string* error,
-                                std::int64_t revision_override) {
+                                std::int64_t revision_override,
+                                std::span<const std::uint64_t> hot_keys) {
   // Snapshot the store into plain vectors (one epoch-pinned pass), then sort
   // by key so equal state always produces byte-identical files.
   struct FinSnap {
@@ -334,9 +347,12 @@ bool save_sharing_state_file_v3(const std::string& path, const pag::Pag& pag,
   h.fin_count = fins.size();
   h.unf_count = unfs.size();
   h.target_count = target_count;
+  h.flags = hot_keys.empty() ? 0 : kV3FlagHotKeys;
+  h.hot_count = static_cast<std::uint32_t>(hot_keys.size());
   h.total_size = sizeof(V3Header) + (ctx_count - 1) * sizeof(V3Ctx) +
                  fins.size() * sizeof(V3Fin) + unfs.size() * sizeof(V3Unf) +
-                 target_count * sizeof(V3Target);
+                 target_count * sizeof(V3Target) +
+                 hot_keys.size() * sizeof(std::uint64_t);
 
   std::string out;
   out.reserve(h.total_size);
@@ -350,12 +366,16 @@ bool save_sharing_state_file_v3(const std::string& path, const pag::Pag& pag,
   append_raw(out, unfs.data(), unfs.size());
   for (const FinSnap& snap : fins)
     append_raw(out, snap.targets.data(), snap.targets.size());
+  append_raw(out, hot_keys.data(), hot_keys.size());
   return write_file_atomic(path, out, error);
 }
 
 bool load_sharing_state_v3(const char* data, std::size_t size,
                            const pag::Pag& pag, ContextTable& contexts,
-                           JmpStore& store, std::string* error) {
+                           JmpStore& store, std::string* error,
+                           std::vector<std::uint64_t>* hot_out, bool* stale) {
+  if (stale != nullptr) *stale = false;
+  if (hot_out != nullptr) hot_out->clear();
   if (size < sizeof(V3Header)) return fail(error, "truncated v3 header");
   V3Header h;
   std::memcpy(&h, data, sizeof h);
@@ -364,12 +384,16 @@ bool load_sharing_state_v3(const char* data, std::size_t size,
   if (h.total_size != size) return fail(error, "v3 total size mismatch");
   if (h.node_count != pag.node_count() || h.edge_count != pag.edge_count() ||
       h.fingerprint != pag_fingerprint(pag))
-    return fail(error, "state was computed for a different PAG");
+    return fail_stale(error, stale, "state was computed for a different PAG");
   if (h.revision != pag.revision())
-    return fail(error, "state was computed at delta epoch " +
-                           std::to_string(h.revision) + ", graph is at " +
-                           std::to_string(pag.revision()));
+    return fail_stale(error, stale,
+                      "state was computed at delta epoch " +
+                          std::to_string(h.revision) + ", graph is at " +
+                          std::to_string(pag.revision()));
   if (h.ctx_count == 0) return fail(error, "bad v3 ctx count");
+  if ((h.flags & ~kV3FlagHotKeys) != 0) return fail(error, "unknown v3 flags");
+  if ((h.flags & kV3FlagHotKeys) == 0 && h.hot_count != 0)
+    return fail(error, "v3 hot count without hot flag");
 
   // Every count is untrusted: bound each against the file size before any
   // multiply or allocation, then require the sections to tile the file
@@ -377,18 +401,30 @@ bool load_sharing_state_v3(const char* data, std::size_t size,
   const std::uint64_t ctx_n = h.ctx_count - 1;
   if (ctx_n > size / sizeof(V3Ctx) || h.fin_count > size / sizeof(V3Fin) ||
       h.unf_count > size / sizeof(V3Unf) ||
-      h.target_count > size / sizeof(V3Target))
+      h.target_count > size / sizeof(V3Target) ||
+      h.hot_count > size / sizeof(std::uint64_t))
     return fail(error, "v3 section counts exceed the file");
   const std::uint64_t need = sizeof(V3Header) + ctx_n * sizeof(V3Ctx) +
                              h.fin_count * sizeof(V3Fin) +
                              h.unf_count * sizeof(V3Unf) +
-                             h.target_count * sizeof(V3Target);
+                             h.target_count * sizeof(V3Target) +
+                             h.hot_count * sizeof(std::uint64_t);
   if (need != size) return fail(error, "v3 sections do not tile the file");
 
   const char* ctx_base = data + sizeof(V3Header);
   const char* fin_base = ctx_base + ctx_n * sizeof(V3Ctx);
   const char* unf_base = fin_base + h.fin_count * sizeof(V3Fin);
   const char* tgt_base = unf_base + h.unf_count * sizeof(V3Unf);
+  const char* hot_base = tgt_base + h.target_count * sizeof(V3Target);
+
+  // The hot section is advisory (queue seeds, re-validated by the index
+  // builder), so it is copied out as-is — before the store mutations below,
+  // which cannot fail after validation anyway.
+  if (hot_out != nullptr && h.hot_count != 0) {
+    hot_out->resize(h.hot_count);
+    std::memcpy(hot_out->data(), hot_base,
+                h.hot_count * sizeof(std::uint64_t));
+  }
 
   // Contexts, parents-before-children by construction (id order). A fresh
   // receiving table reproduces the file ids exactly — the identity remap that
@@ -466,34 +502,37 @@ namespace {
 
 bool load_v3_stream(const std::string& path, const pag::Pag& pag,
                     ContextTable& contexts, JmpStore& store,
-                    std::string* error) {
+                    std::string* error, std::vector<std::uint64_t>* hot_out,
+                    bool* stale) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return fail(error, "cannot open " + path);
   std::string buf((std::istreambuf_iterator<char>(in)),
                   std::istreambuf_iterator<char>());
   return load_sharing_state_v3(buf.data(), buf.size(), pag, contexts, store,
-                               error);
+                               error, hot_out, stale);
 }
 
 }  // namespace
 
 bool load_sharing_state_file_v3(const std::string& path, const pag::Pag& pag,
                                 ContextTable& contexts, JmpStore& store,
-                                StateLoadMode mode, std::string* error) {
+                                StateLoadMode mode, std::string* error,
+                                std::vector<std::uint64_t>* hot_out,
+                                bool* stale) {
 #ifndef _WIN32
   if (mode != StateLoadMode::kStream) {
     const int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0) {
       if (mode == StateLoadMode::kMmap)
         return fail(error, "cannot open " + path + ": " + std::strerror(errno));
-      return load_v3_stream(path, pag, contexts, store, error);
+      return load_v3_stream(path, pag, contexts, store, error, hot_out, stale);
     }
     struct stat st = {};
     if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
       ::close(fd);
       if (mode == StateLoadMode::kMmap)
         return fail(error, "cannot stat " + path);
-      return load_v3_stream(path, pag, contexts, store, error);
+      return load_v3_stream(path, pag, contexts, store, error, hot_out, stale);
     }
     const auto map_size = static_cast<std::size_t>(st.st_size);
     void* map = ::mmap(nullptr, map_size, PROT_READ, MAP_PRIVATE, fd, 0);
@@ -501,22 +540,27 @@ bool load_sharing_state_file_v3(const std::string& path, const pag::Pag& pag,
     if (map == MAP_FAILED) {
       if (mode == StateLoadMode::kMmap)
         return fail(error, "mmap of " + path + " failed: " + std::strerror(errno));
-      return load_v3_stream(path, pag, contexts, store, error);
+      return load_v3_stream(path, pag, contexts, store, error, hot_out, stale);
     }
-    const bool ok = load_sharing_state_v3(static_cast<const char*>(map),
-                                          map_size, pag, contexts, store, error);
+    const bool ok =
+        load_sharing_state_v3(static_cast<const char*>(map), map_size, pag,
+                              contexts, store, error, hot_out, stale);
     ::munmap(map, map_size);
     return ok;
   }
 #else
   (void)mode;
 #endif
-  return load_v3_stream(path, pag, contexts, store, error);
+  return load_v3_stream(path, pag, contexts, store, error, hot_out, stale);
 }
 
 bool load_sharing_state_file_any(const std::string& path, const pag::Pag& pag,
                                  ContextTable& contexts, JmpStore& store,
-                                 std::string* error) {
+                                 std::string* error,
+                                 std::vector<std::uint64_t>* hot_out,
+                                 bool* stale) {
+  if (stale != nullptr) *stale = false;
+  if (hot_out != nullptr) hot_out->clear();
   char magic[8] = {};
   {
     std::ifstream in(path, std::ios::binary);
@@ -527,8 +571,9 @@ bool load_sharing_state_file_any(const std::string& path, const pag::Pag& pag,
   }
   if (std::memcmp(magic, kStateV3Magic, sizeof magic) == 0)
     return load_sharing_state_file_v3(path, pag, contexts, store,
-                                      StateLoadMode::kAuto, error);
-  return load_sharing_state_file(path, pag, contexts, store, error);
+                                      StateLoadMode::kAuto, error, hot_out,
+                                      stale);
+  return load_sharing_state_file(path, pag, contexts, store, error, stale);
 }
 
 }  // namespace parcfl::cfl

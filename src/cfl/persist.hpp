@@ -32,17 +32,19 @@
 // manager's evict/reopen cycle, where reload latency is the product with
 // tenant count. Layout:
 //
-//   [V3Header 64B] [ctx: (ctx_count-1) × {u32 parent, u32 site}]
+//   [V3Header 72B] [ctx: (ctx_count-1) × {u32 parent, u32 site}]
 //   [fin: fin_count × {u64 key, u64 target_begin, u32 cost, u32 target_len}]
 //   [unf: unf_count × {u64 key, u32 s, u32 pad}]
 //   [targets: target_count × {u32 node, u32 ctx, u32 steps}]
+//   [hot: hot_count × u64 CsIndex key]         (present iff flags bit 0)
 //
-// Section strides are 8-byte multiples except the trailing target array
-// (12B = sizeof(JmpTarget)), which comes last so nothing needs padding. The
-// header carries the same fingerprint + revision guard as v2 plus every
-// section count and the total file size, all validated against the actual
-// byte count before any allocation. Entries are key-sorted at save time, so
-// equal state produces byte-identical files.
+// Section strides are 8-byte multiples except the target array (12B =
+// sizeof(JmpTarget)); the trailing hot section is advisory (the compactor's
+// hot-region queue — see DESIGN.md §13) and 8-byte-strided, tolerating the
+// unaligned start. The header carries the same fingerprint + revision guard
+// as v2 plus every section count and the total file size, all validated
+// against the actual byte count before any allocation. Entries are
+// key-sorted at save time, so equal state produces byte-identical files.
 //
 // The fast path: reopening an evicted session loads into a *fresh*
 // ContextTable, where pushing the ctx section in file order reproduces the
@@ -52,8 +54,11 @@
 // same per-target remap as the text loader. v1/v2 text files are still
 // accepted everywhere via load_sharing_state_file_any.
 
+#include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "cfl/context.hpp"
 #include "cfl/jmp_store.hpp"
@@ -76,10 +81,13 @@ void save_sharing_state(std::ostream& os, const pag::Pag& pag,
 
 /// Load state saved by save_sharing_state into (possibly non-empty) contexts
 /// and store. Returns false and fills *error on malformed input or a PAG
-/// fingerprint mismatch.
+/// fingerprint mismatch. `stale`, when non-null, is set to true exactly when
+/// the file is a well-formed state image for a *different* graph or delta
+/// epoch — the session manager unlinks such spills instead of letting them
+/// shadow future saves.
 bool load_sharing_state(std::istream& is, const pag::Pag& pag,
                         ContextTable& contexts, JmpStore& store,
-                        std::string* error = nullptr);
+                        std::string* error = nullptr, bool* stale = nullptr);
 
 /// Crash-safe save to `path`: the state is written to a temporary sibling
 /// file, flushed to disk (fsync), and renamed into place, so a process
@@ -94,7 +102,8 @@ bool save_sharing_state_file(const std::string& path, const pag::Pag& pag,
 /// Open `path` and load_sharing_state from it.
 bool load_sharing_state_file(const std::string& path, const pag::Pag& pag,
                              ContextTable& contexts, JmpStore& store,
-                             std::string* error = nullptr);
+                             std::string* error = nullptr,
+                             bool* stale = nullptr);
 
 // ---- v3 binary format ------------------------------------------------------
 
@@ -114,28 +123,44 @@ enum class StateLoadMode { kAuto, kMmap, kStream };
 /// manager's evict path spills an updated graph *and* its state together, and
 /// stamps the pair as epoch 0 so a reopen — which reads the spilled graph
 /// back at epoch 0 — accepts the state it was saved with.
-bool save_sharing_state_file_v3(const std::string& path, const pag::Pag& pag,
-                                const ContextTable& contexts,
-                                const JmpStore& store,
-                                std::string* error = nullptr,
-                                std::int64_t revision_override = -1);
+///
+/// `hot_keys` (CsIndex keys, (node << 32) | ctx) are appended as a trailing
+/// advisory section and the header's hot flag is set: the reachability index
+/// itself is rebuilt, never spilled (DESIGN.md §13), but the hot-region queue
+/// that seeds it survives the evict/reopen cycle through this section. The
+/// header grew from 64 to 72 bytes for the flag + count; old 64-byte-header
+/// files fail the exact-tiling check and reject gracefully (cold start) — no
+/// version bump needed because no v3 spill predates a running fleet.
+bool save_sharing_state_file_v3(
+    const std::string& path, const pag::Pag& pag, const ContextTable& contexts,
+    const JmpStore& store, std::string* error = nullptr,
+    std::int64_t revision_override = -1,
+    std::span<const std::uint64_t> hot_keys = {});
 
 /// Parse a v3 image already in memory (mapped or buffered). Same semantics
 /// as load_sharing_state: merges into possibly non-empty contexts/store,
 /// validates fingerprint, revision, every count and every id before use.
+/// `hot_out`, when non-null, receives the advisory hot-key section (empty if
+/// the file has none); `stale` as in load_sharing_state.
 bool load_sharing_state_v3(const char* data, std::size_t size,
                            const pag::Pag& pag, ContextTable& contexts,
-                           JmpStore& store, std::string* error = nullptr);
+                           JmpStore& store, std::string* error = nullptr,
+                           std::vector<std::uint64_t>* hot_out = nullptr,
+                           bool* stale = nullptr);
 
 bool load_sharing_state_file_v3(const std::string& path, const pag::Pag& pag,
                                 ContextTable& contexts, JmpStore& store,
                                 StateLoadMode mode = StateLoadMode::kAuto,
-                                std::string* error = nullptr);
+                                std::string* error = nullptr,
+                                std::vector<std::uint64_t>* hot_out = nullptr,
+                                bool* stale = nullptr);
 
 /// Sniff the leading magic and dispatch: v3 → binary loader (kAuto), anything
 /// else → text v1/v2 loader. The one entry point sessions use for warm-start.
 bool load_sharing_state_file_any(const std::string& path, const pag::Pag& pag,
                                  ContextTable& contexts, JmpStore& store,
-                                 std::string* error = nullptr);
+                                 std::string* error = nullptr,
+                                 std::vector<std::uint64_t>* hot_out = nullptr,
+                                 bool* stale = nullptr);
 
 }  // namespace parcfl::cfl

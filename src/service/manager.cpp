@@ -144,13 +144,25 @@ SessionManager::Lease SessionManager::acquire(const std::string& name,
     e.busy = true;
     const std::string pag_path = e.pag_path;
     const std::string state_path = e.state_path;
+    const std::string pag_spill = pag_spill_path_for(name);
     const bool reopen = e.ever_loaded;
     lock.unlock();
     std::string load_error;
     std::shared_ptr<Session> session =
         load_session(pag_path, state_path, &load_error);
+    // A stale spill is a well-formed state image for a *different* graph or
+    // epoch — the residue of close + re-open of this tenant name with
+    // another graph. The session already started cold past it; left on disk
+    // it would shadow this tenant's future spills, so unlink it (and the
+    // orphaned graph spill, unless the registration itself points there).
+    const bool stale = session != nullptr && session->warm_start_stale();
+    if (stale) {
+      std::remove(state_path.c_str());
+      if (pag_spill != pag_path) std::remove(pag_spill.c_str());
+    }
     lock.lock();
     e.busy = false;
+    if (stale) counters_.stale_spills += 1;
     if (session == nullptr) {
       cv_.notify_all();
       fail(error, "tenant '" + name + "': " + load_error);

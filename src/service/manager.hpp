@@ -69,6 +69,11 @@ class SessionManager {
     std::uint64_t reopens = 0;    // evict → reload cycles
     std::uint64_t evictions = 0;
     std::uint64_t closes = 0;
+    /// Fingerprint/epoch-mismatched spill files found at load time and
+    /// unlinked (a close + re-open of the same tenant name with a different
+    /// graph leaves the old tenant's spill behind; left in place it would
+    /// shadow future spills under the same name).
+    std::uint64_t stale_spills = 0;
     std::uint64_t open_tenants = 0;    // gauge: registered tenants
     std::uint64_t resident = 0;        // gauge: resident sessions (incl. pinned)
     std::uint64_t resident_bytes = 0;  // gauge: summed byte samples

@@ -118,12 +118,14 @@ bool parse_request(std::string_view line, std::uint32_t node_count,
     out.tenant = std::string(name);
     tokens.erase(tokens.begin());
     if (tokens.empty()) return fail(error, "tenant prefix needs a verb");
+    if (tokens[0].front() == '@')
+      return fail(error, "duplicate tenant prefix");
     node_count = kNoNodeCheck;
   }
 
   const std::string_view verb = tokens[0];
   const bool tenant_ok = verb == "query" || verb == "alias" || verb == "save" ||
-                         verb == "load" || verb == "update";
+                         verb == "load" || verb == "update" || verb == "index";
   if (!out.tenant.empty() && !tenant_ok)
     return fail(error, "verb does not take a tenant prefix");
   if (verb == "query") {
@@ -147,6 +149,11 @@ bool parse_request(std::string_view line, std::uint32_t node_count,
                : verb == "metrics" ? Verb::kMetrics
                : verb == "ping"    ? Verb::kPing
                                    : Verb::kQuit;
+    return true;
+  }
+  if (verb == "index") {
+    if (tokens.size() != 1) return fail(error, "verb takes no arguments");
+    out.verb = Verb::kIndex;
     return true;
   }
   if (verb == "slowlog") {
@@ -238,6 +245,9 @@ std::string format_reply(const Reply& reply) {
       break;
     case Verb::kUpdate:
       os << " updated " << reply.text;
+      break;
+    case Verb::kIndex:
+      os << " index " << reply.text;
       break;
     case Verb::kOpen:
       os << " opened " << reply.text;

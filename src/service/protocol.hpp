@@ -14,13 +14,14 @@
 //   save <path>                                     crash-safe state snapshot
 //   load <path>                                     live warm-state merge
 //   update <path>                                   apply a PAG delta file
+//   index                                           index-compaction JSON
 //   open <name> <path>                              register tenant <name>
 //   close <name>                                    save + drop tenant <name>
 //   ping                                            liveness probe
 //   quit                                            close this connection
 //
-// Multi-tenant addressing: any data-plane verb (query/alias/save/load/update)
-// may be prefixed with `@<tenant>`, e.g. `@acme query v17`. Bare verbs hit
+// Multi-tenant addressing: any data-plane verb (query/alias/save/load/
+// update/index) may be prefixed with `@<tenant>`, e.g. `@acme query v17`. Bare verbs hit
 // the default tenant — the graph the server was started with — so every
 // pre-manager client keeps working unchanged. Tenant names are confined to
 // [A-Za-z0-9_.-], at most kMaxTenantName bytes, and never "." or ".." (the
@@ -40,6 +41,7 @@
 //   ok updated <summary>                             update
 //   ok opened <name> | ok closed <name>              open/close
 //   ok {...}                                         stats (one-line JSON)
+//   ok index {...}                                   index (one-line JSON)
 //   ok metrics <n>                                   + n payload lines
 //   ok slowlog <n>                                   + n JSONL payload lines
 //   shed overload|deadline                           admission control
@@ -78,6 +80,7 @@ enum class Verb : std::uint8_t {
   kSave,
   kLoad,
   kUpdate,
+  kIndex,
   kOpen,
   kClose,
   kPing,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <sstream>
 #include <utility>
 
 namespace parcfl::service {
@@ -30,6 +31,22 @@ cfl::Solver::AliasAnswer alias_answer(const Session::ItemResult& a,
       b.status == cfl::QueryStatus::kComplete)
     return cfl::Solver::AliasAnswer::kNo;
   return cfl::Solver::AliasAnswer::kUnknown;
+}
+
+/// One-line JSON for the `index` wire verb (a session-scoped slice of the
+/// `stats` csindex block — per-tenant, where `stats` is default-tenant only).
+std::string index_json(const Session::IndexInfo& info) {
+  std::ostringstream os;
+  os << "{\"enabled\":" << (info.enabled ? "true" : "false")
+     << ",\"entries\":" << info.entries << ",\"targets\":" << info.targets
+     << ",\"hits\":" << info.hits << ",\"misses\":" << info.misses
+     << ",\"builds\":" << info.builds
+     << ",\"invalidated\":" << info.invalidated
+     << ",\"pending\":" << info.pending
+     << ",\"build_charged_steps\":" << info.build_charged_steps
+     << ",\"memory_bytes\":" << info.memory_bytes
+     << ",\"revision\":" << info.revision << "}";
+  return os.str();
 }
 
 }  // namespace
@@ -63,6 +80,14 @@ QueryService::QueryService(pag::Pag pag, const ServiceOptions& options)
                           "Prefilter probes that fell through to the solver."),
           registry_.gauge("parcfl_prefilter_ready",
                           "1 when the prefilter covers the live revision."),
+          registry_.gauge("parcfl_index_hits_total",
+                          "Queries answered from the compact reachability "
+                          "index at 0 charged steps."),
+          registry_.gauge("parcfl_index_misses_total",
+                          "Index consultations that fell through to the "
+                          "prefilter/solver path."),
+          registry_.gauge("parcfl_index_entries",
+                          "Entries frozen in the published index."),
       },
       manager_gauges_{
           registry_.gauge("parcfl_sessions_open",
@@ -77,6 +102,9 @@ QueryService::QueryService(pag::Pag pag, const ServiceOptions& options)
                           "Evict-then-warm-reopen cycles."),
           registry_.gauge("parcfl_session_evictions",
                           "LRU session evictions to disk."),
+          registry_.gauge("parcfl_spill_stale_total",
+                          "Fingerprint-mismatched spill files unlinked at "
+                          "tenant load."),
           registry_.gauge("parcfl_tenant_label_overflow",
                           "Tenant label values collapsed onto the overflow "
                           "series."),
@@ -176,6 +204,11 @@ std::string QueryService::metrics_text() {
                       static_cast<double>(totals.prefilter_misses));
   registry_.set_gauge(gauges_.prefilter_ready,
                       session.prefilter_ready() ? 1.0 : 0.0);
+  const Session::IndexInfo index = session.index_info();
+  registry_.set_gauge(gauges_.index_hits, static_cast<double>(index.hits));
+  registry_.set_gauge(gauges_.index_misses, static_cast<double>(index.misses));
+  registry_.set_gauge(gauges_.index_entries,
+                      static_cast<double>(index.entries));
   const SessionManager::Counters fleet = manager_.counters();
   registry_.set_gauge(manager_gauges_.open_tenants,
                       static_cast<double>(fleet.open_tenants));
@@ -188,6 +221,8 @@ std::string QueryService::metrics_text() {
                       static_cast<double>(fleet.reopens));
   registry_.set_gauge(manager_gauges_.evictions,
                       static_cast<double>(fleet.evictions));
+  registry_.set_gauge(manager_gauges_.stale_spills,
+                      static_cast<double>(fleet.stale_spills));
   registry_.set_gauge(manager_gauges_.label_overflow,
                       static_cast<double>(registry_.label_overflow_count()));
   return registry_.render_prometheus();
@@ -265,6 +300,26 @@ std::future<Reply> QueryService::submit(Request request) {
                                          request.path)
                            : ready_reply(Reply::Status::kError, request.verb,
                                          std::move(error)));
+      return future;
+    }
+    case Verb::kIndex: {
+      // Inline: index_info() takes only the compactor's leaf lock, never the
+      // graph lock, so it cannot stall behind a running batch.
+      std::string text;
+      if (request.tenant.empty()) {
+        text = index_json(default_session_->index_info());
+      } else {
+        std::string error;
+        SessionManager::Lease lease = manager_.acquire(request.tenant, &error);
+        if (!lease) {
+          promise.set_value(ready_reply(Reply::Status::kError, Verb::kIndex,
+                                        std::move(error)));
+          return future;
+        }
+        text = index_json(lease->index_info());
+      }
+      promise.set_value(
+          ready_reply(Reply::Status::kOk, Verb::kIndex, std::move(text)));
       return future;
     }
     case Verb::kPing:
@@ -585,6 +640,19 @@ ServiceStats QueryService::stats() const {
   out.context_count = default_session_->context_count();
   out.pag_revision = default_session_->revision();
   out.prefilter_ready = default_session_->prefilter_ready();
+  out.prefilter_building_revision =
+      out.prefilter_ready ? 0 : default_session_->revision();
+  const Session::IndexInfo index = default_session_->index_info();
+  out.index_enabled = index.enabled;
+  out.index_entries = index.entries;
+  out.index_targets = index.targets;
+  out.index_hits = index.hits;
+  out.index_misses = index.misses;
+  out.index_builds = index.builds;
+  out.index_invalidated = index.invalidated;
+  out.index_pending = index.pending;
+  out.index_memory_bytes = index.memory_bytes;
+  out.index_revision = index.revision;
   const SessionManager::Counters fleet = manager_.counters();
   out.open_tenants = fleet.open_tenants;
   out.resident_sessions = fleet.resident;
@@ -592,6 +660,7 @@ ServiceStats QueryService::stats() const {
   out.tenant_loads = fleet.loads;
   out.session_reopens = fleet.reopens;
   out.session_evictions = fleet.evictions;
+  out.stale_spills = fleet.stale_spills;
   out.label_overflow = registry_.label_overflow_count();
   return out;
 }

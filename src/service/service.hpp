@@ -171,13 +171,14 @@ class QueryService {
     obs::MetricsRegistry::MetricId jmp_entries, jmp_store_bytes, contexts,
         pag_revision, charged_steps, traversed_steps, saved_steps,
         jmp_lookups, jmps_taken, queries, early_terminations,
-        prefilter_hits, prefilter_misses, prefilter_ready;
+        prefilter_hits, prefilter_misses, prefilter_ready,
+        index_hits, index_misses, index_entries;
   };
   EngineGauges gauges_;
   /// Fleet-plane gauges, refreshed from the manager at scrape time.
   struct ManagerGauges {
     obs::MetricsRegistry::MetricId open_tenants, resident, resident_bytes,
-        loads, reopens, evictions, label_overflow;
+        loads, reopens, evictions, stale_spills, label_overflow;
   };
   ManagerGauges manager_gauges_;
   SessionManager manager_;

@@ -8,8 +8,10 @@
 #include <utility>
 
 #include "andersen/prefilter.hpp"
+#include "cfl/csindex.hpp"
 #include "cfl/persist.hpp"
 #include "pag/pag_io.hpp"
+#include "support/ebr.hpp"
 
 namespace parcfl::service {
 
@@ -85,9 +87,17 @@ Session::Session(pag::Pag pag, Options options)
                                      : std::nullopt),
       pag_(base_pag_ ? pag::reduce_unmatched_parens(*base_pag_, &reduce_stats_)
                      : std::move(pag)),
-      runner_(pag_, engine_options(options), contexts_, store_) {
+      runner_(pag_, engine_options(options), contexts_, store_),
+      // charge_jmp_costs makes budget consumption configuration-dependent,
+      // so an index hit could complete a query a live solve would not — the
+      // outcome-identity contract only holds with it off (the default).
+      index_enabled_(options.index && !options.engine.solver.charge_jmp_costs),
+      index_hot_threshold_(std::max<std::uint32_t>(1, options.index_hot_threshold)),
+      index_max_entries_(options.index_max_entries),
+      default_budget_(options.engine.solver.budget) {
   invalidate_options_.field_approximation =
       options.engine.solver.field_approximation;
+  cx_solver_options_ = options.engine.solver;
   if (!options.state_path.empty()) {
     std::ifstream probe(options.state_path);
     if (probe) {
@@ -98,19 +108,42 @@ Session::Session(pag::Pag pag, Options options)
       // reopen latency the session manager's evict cycle depends on — and
       // the text slow path on v1/v2.
       std::string error;
+      std::vector<std::uint64_t> hot;
       if (!cfl::load_sharing_state_file_any(options.state_path, pag_, contexts_,
-                                            store_, &error))
+                                            store_, &error, &hot, &warm_stale_))
         std::fprintf(stderr, "parcfl-service: ignoring warm-start state %s: %s\n",
                      options.state_path.c_str(), error.c_str());
+      // The spill's advisory hot section re-seeds the compactor queue, so a
+      // reopened tenant regains its index without re-mining the stream.
+      if (index_enabled_ && !hot.empty()) {
+        for (const std::uint64_t k : hot) {
+          if (cx_queued_.size() >= index_max_entries_) break;
+          if (cx_queued_.insert(k).second) cx_queue_.push_back(k);
+        }
+        cx_dirty_ = !cx_queue_.empty();
+      }
     }
   }
   if (prefilter_enabled_) {
     pf_dirty_ = true;
     prefilter_thread_ = std::thread([this] { prefilter_main(); });
   }
+  if (index_enabled_)
+    compactor_thread_ = std::thread([this] { compactor_main(); });
 }
 
 Session::~Session() {
+  if (compactor_thread_.joinable()) {
+    {
+      std::lock_guard lock(cx_mu_);
+      cx_stop_ = true;
+    }
+    // Aborts a mid-flight build between solves — eviction of a hot session
+    // must not wait out a full compaction pass.
+    cx_cancel_.store(true, std::memory_order_relaxed);
+    cx_cv_.notify_all();
+    compactor_thread_.join();
+  }
   if (prefilter_thread_.joinable()) {
     {
       std::lock_guard lock(pf_mu_);
@@ -119,6 +152,10 @@ Session::~Session() {
     pf_cv_.notify_all();
     prefilter_thread_.join();
   }
+  // Late readers may still sit in retired-epoch grace; route the last
+  // published snapshot through the domain like every predecessor.
+  const cfl::CsIndex* last = index_.load(std::memory_order_relaxed);
+  if (last != nullptr) support::global_epoch_domain().retire_object(last);
 }
 
 void Session::prefilter_main() {
@@ -127,7 +164,7 @@ void Session::prefilter_main() {
     bool add_only = false;
     {
       std::unique_lock lock(pf_mu_);
-      pf_cv_.wait(lock, [&] { return pf_stop_ || pf_dirty_; });
+      pf_cv_.wait(lock, [&] { return pf_stop_ || (pf_dirty_ && !pf_paused_); });
       if (pf_stop_) return;
       pf_dirty_ = false;
       add_only = pf_add_only_;
@@ -219,6 +256,14 @@ std::shared_ptr<const andersen::Prefilter> Session::prefilter_snapshot() const {
   return prefilter_;
 }
 
+void Session::set_prefilter_paused(bool paused) {
+  {
+    std::lock_guard lock(pf_mu_);
+    pf_paused_ = paused;
+  }
+  pf_cv_.notify_all();
+}
+
 pag::ReduceStats Session::reduce_stats() const {
   std::shared_lock lock(pag_mu_);
   return reduce_stats_;
@@ -227,34 +272,200 @@ pag::ReduceStats Session::reduce_stats() const {
 Session::BatchResult Session::run_batch(std::span<const Item> items) {
   std::vector<pag::NodeId> queries;
   std::vector<std::uint64_t> budgets;
+  std::vector<std::size_t> positions;  // solver item -> input position
   queries.reserve(items.size());
   budgets.reserve(items.size());
+  positions.reserve(items.size());
   bool any_budget = false;
-  for (const Item& item : items) {
-    queries.push_back(item.var);
-    budgets.push_back(item.budget);
-    any_budget |= item.budget != 0;
-  }
 
   BatchResult result;
   result.items.resize(items.size());
+  bool mined = false;
   {
     std::lock_guard lock(batch_mu_);
-    if (prefilter_enabled_) refresh_active_prefilter();
-    cfl::EngineResult er = runner_.run(
-        queries, any_budget ? std::span<const std::uint64_t>(budgets)
-                            : std::span<const std::uint64_t>());
-    // Route scheduled outcomes back to input positions.
-    for (std::size_t i = 0; i < er.outcomes.size(); ++i) {
-      ItemResult& item = result.items[er.source_index[i]];
-      item.status = er.outcomes[i].status;
-      item.charged_steps = er.outcomes[i].charged_steps;
-      item.objects = std::move(er.objects[i]);
+    // Index dispatch first: a covered root is answered from the immutable
+    // snapshot at 0 charged steps, before prefilter or solver see it. The
+    // epoch pin keeps the snapshot alive for the whole read.
+    const cfl::CsIndex* index = nullptr;
+    std::optional<support::EpochGuard> guard;
+    if (index_enabled_) {
+      guard.emplace(support::global_epoch_domain());
+      index = index_.load(std::memory_order_acquire);
     }
-    result.delta = er.totals;
-    result.wall_seconds = er.wall_seconds;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const Item& item = items[i];
+      if (index_enabled_) {
+        const cfl::CsIndex::Entry* entry =
+            index != nullptr ? index->find(cfl::CsIndex::key(item.var))
+                             : nullptr;
+        // Serve a hit only when the request's effective budget covers the
+        // recorded solve cost: a smaller budget would not have completed,
+        // and outcome identity with index-off is the contract.
+        const std::uint64_t effective =
+            item.budget == 0 ? default_budget_
+                             : std::min(item.budget, default_budget_);
+        if (entry != nullptr && entry->cost <= effective) {
+          ItemResult& r = result.items[i];
+          r.status = cfl::QueryStatus::kComplete;
+          const auto run = index->targets(*entry);
+          r.objects.assign(run.begin(), run.end());
+          r.charged_steps = 0;
+          cx_hits_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        cx_misses_.fetch_add(1, std::memory_order_relaxed);
+      }
+      positions.push_back(i);
+      queries.push_back(item.var);
+      budgets.push_back(item.budget);
+      any_budget |= item.budget != 0;
+    }
+
+    if (!queries.empty()) {
+      if (prefilter_enabled_) refresh_active_prefilter();
+      cfl::EngineResult er = runner_.run(
+          queries, any_budget ? std::span<const std::uint64_t>(budgets)
+                              : std::span<const std::uint64_t>());
+      // Route scheduled outcomes back to input positions.
+      for (std::size_t i = 0; i < er.outcomes.size(); ++i) {
+        ItemResult& item = result.items[positions[er.source_index[i]]];
+        item.status = er.outcomes[i].status;
+        item.charged_steps = er.outcomes[i].charged_steps;
+        item.objects = std::move(er.objects[i]);
+      }
+      result.delta = er.totals;
+      result.wall_seconds = er.wall_seconds;
+    }
+
+    // Hot mining: roots the solver had to serve count toward the threshold;
+    // at it, the root is queued for the compactor. cx_queued_ membership is
+    // permanent, so a root is mined at most once per session lifetime.
+    if (index_enabled_ && !queries.empty()) {
+      std::lock_guard cx_lock(cx_mu_);
+      for (const pag::NodeId v : queries) {
+        const std::uint64_t k = cfl::CsIndex::key(v);
+        if (cx_queued_.count(k) != 0) continue;
+        if (++cx_counts_[v.value()] < index_hot_threshold_) continue;
+        if (cx_queued_.size() >= index_max_entries_) continue;
+        cx_queued_.insert(k);
+        cx_queue_.push_back(k);
+        cx_counts_.erase(v.value());
+        cx_dirty_ = true;
+        mined = true;
+      }
+    }
   }
+  if (mined) cx_cv_.notify_all();
   return result;
+}
+
+void Session::compactor_main() {
+  for (;;) {
+    std::vector<std::uint64_t> want;
+    std::uint64_t generation = 0;
+    {
+      std::unique_lock lock(cx_mu_);
+      cx_cv_.wait(lock, [&] { return cx_stop_ || cx_dirty_; });
+      if (cx_stop_) return;
+      cx_dirty_ = false;
+      cx_building_ = true;
+      generation = cx_generation_;
+      want = std::move(cx_queue_);
+      cx_queue_.clear();
+    }
+    // A rebuild must keep covering what is already published (the queue only
+    // carries the delta: fresh hot roots + entries an update dirtied).
+    {
+      support::EpochGuard guard(support::global_epoch_domain());
+      const cfl::CsIndex* current = index_.load(std::memory_order_acquire);
+      if (current != nullptr)
+        for (const cfl::CsIndex::Entry& e : current->entries())
+          want.push_back(e.key);
+    }
+    std::sort(want.begin(), want.end());
+    want.erase(std::unique(want.begin(), want.end()), want.end());
+    if (want.size() > index_max_entries_) want.resize(index_max_entries_);
+
+    std::unique_ptr<const cfl::CsIndex> built;
+    if (!want.empty()) {
+      // Copy the live graph; the build itself holds no session lock, so
+      // batches and updates proceed while it runs.
+      std::optional<pag::Pag> copy;
+      {
+        std::shared_lock lock(pag_mu_);
+        copy.emplace(pag_);
+      }
+      built = cfl::build_csindex(*copy, want, cx_solver_options_, &cx_cancel_);
+    }
+
+    {
+      std::lock_guard lock(cx_mu_);
+      cx_building_ = false;
+      if (cx_stop_) return;
+      if (built != nullptr && generation == cx_generation_) {
+        const cfl::CsIndex* old = index_.load(std::memory_order_relaxed);
+        index_.store(built.release(), std::memory_order_release);
+        if (old != nullptr) support::global_epoch_domain().retire_object(old);
+        ++cx_builds_;
+      } else if (!want.empty()) {
+        // Cancelled, or an update landed mid-build: the answers may be for a
+        // graph that is no longer live. Discard and re-queue — the published
+        // index was already pruned by the update itself.
+        cx_queue_.insert(cx_queue_.end(), want.begin(), want.end());
+        cx_dirty_ = true;
+      }
+    }
+    cx_cv_.notify_all();
+  }
+}
+
+Session::IndexInfo Session::index_info() const {
+  IndexInfo info;
+  info.enabled = index_enabled_;
+  if (!index_enabled_) return info;
+  info.hits = cx_hits_.load(std::memory_order_relaxed);
+  info.misses = cx_misses_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(cx_mu_);
+    info.builds = cx_builds_;
+    info.invalidated = cx_invalidated_;
+    info.pending = cx_queue_.size();
+  }
+  support::EpochGuard guard(support::global_epoch_domain());
+  const cfl::CsIndex* current = index_.load(std::memory_order_acquire);
+  if (current != nullptr) {
+    const cfl::CsIndexStats s = current->stats();
+    info.entries = s.entries;
+    info.targets = s.targets;
+    info.build_charged_steps = s.build_charged_steps;
+    info.memory_bytes = s.memory_bytes;
+    info.revision = s.revision;
+  }
+  return info;
+}
+
+bool Session::wait_for_index() {
+  if (!index_enabled_) return false;
+  std::unique_lock lock(cx_mu_);
+  cx_cv_.wait(lock, [&] {
+    return cx_stop_ || (!cx_dirty_ && cx_queue_.empty() && !cx_building_);
+  });
+  return !cx_stop_;
+}
+
+void Session::note_hot(pag::NodeId var) {
+  if (!index_enabled_) return;
+  bool notify = false;
+  {
+    std::lock_guard lock(cx_mu_);
+    const std::uint64_t k = cfl::CsIndex::key(var);
+    if (cx_queued_.size() < index_max_entries_ && cx_queued_.insert(k).second) {
+      cx_queue_.push_back(k);
+      cx_dirty_ = true;
+      notify = true;
+    }
+  }
+  if (notify) cx_cv_.notify_all();
 }
 
 bool Session::update(const pag::Delta& delta, std::string* error,
@@ -278,25 +489,76 @@ bool Session::update(const pag::Delta& delta, std::string* error,
   if (reduce_graph_)
     next_serving = pag::reduce_unmatched_parens(*next_base, &out.reduce);
 
+  // The nodes whose planes the invalidation cone seeds from — collected so
+  // the index prune below can mirror the jmp eviction exactly.
+  std::vector<std::uint32_t> touched;
+  const auto collect_touched = [&](const pag::Delta& d) {
+    if (!index_enabled_) return;
+    const auto push = [&](pag::NodeId v) {
+      if (v.valid()) touched.push_back(v.value());
+    };
+    for (const pag::Edge& e : d.added_edges()) {
+      push(e.dst);
+      push(e.src);
+    }
+    for (const pag::Edge& e : d.removed_edges()) {
+      push(e.dst);
+      push(e.src);
+    }
+    for (const pag::NodeId v : d.removed_nodes()) push(v);
+  };
+
   {
     // Exclude the lock-free control plane (save/load, validation reads) only
     // for the invalidate + swap window.
     std::unique_lock pag_lock(pag_mu_);
     if (next_serving) {
+      const pag::Delta sdiff = serving_diff(pag_, *next_serving, delta);
+      collect_touched(sdiff);
       out.invalidate = cfl::invalidate_sharing_state(
-          pag_, *next_serving, serving_diff(pag_, *next_serving, delta),
-          contexts_, store_, invalidate_options_);
+          pag_, *next_serving, sdiff, contexts_, store_, invalidate_options_);
       // Move-assign in place: the Pag's address is what the warm BatchRunner
       // and its solvers hold, and that does not change.
       pag_ = std::move(*next_serving);
       *base_pag_ = std::move(*next_base);
     } else {
+      collect_touched(delta);
       out.invalidate = cfl::invalidate_sharing_state(
           pag_, *next_base, delta, contexts_, store_, invalidate_options_);
       pag_ = std::move(*next_base);
     }
     reduce_stats_ = out.reduce;
     out.revision = pag_.revision();
+  }
+
+  if (index_enabled_) {
+    // Prune the published index to exactly the entries whose cone the delta
+    // could touch (CsIndex::dirty_keys over-approximates the eviction above),
+    // restamp the survivors to the new revision, and re-queue the dropped
+    // keys for compaction. The generation bump makes any mid-build compactor
+    // pass discard its (old-graph) result at publish time.
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    bool notify = false;
+    {
+      std::lock_guard cx_lock(cx_mu_);
+      ++cx_generation_;
+      const cfl::CsIndex* old = index_.load(std::memory_order_relaxed);
+      if (old != nullptr) {
+        std::vector<std::uint64_t> dirty = old->dirty_keys(touched);
+        cx_invalidated_ += dirty.size();
+        std::unique_ptr<const cfl::CsIndex> next =
+            old->without(dirty, out.revision);
+        index_.store(next.release(), std::memory_order_release);
+        support::global_epoch_domain().retire_object(old);
+        if (!dirty.empty()) {
+          cx_queue_.insert(cx_queue_.end(), dirty.begin(), dirty.end());
+          cx_dirty_ = true;
+          notify = true;
+        }
+      }
+    }
+    if (notify) cx_cv_.notify_all();
   }
 
   if (prefilter_enabled_) {
@@ -353,6 +615,26 @@ bool Session::load(const std::string& path, std::string* error) {
 bool Session::spill(const std::string& state_path,
                     const std::string& spill_pag_path, bool* wrote_pag,
                     std::string* error) {
+  // The index itself is rebuilt, never spilled; what survives eviction is
+  // the hot-region set (published entries + still-queued roots), written as
+  // the v3 advisory hot section so reopen re-seeds the compactor.
+  std::vector<std::uint64_t> hot;
+  if (index_enabled_) {
+    {
+      support::EpochGuard guard(support::global_epoch_domain());
+      const cfl::CsIndex* current = index_.load(std::memory_order_acquire);
+      if (current != nullptr)
+        for (const cfl::CsIndex::Entry& e : current->entries())
+          hot.push_back(e.key);
+    }
+    {
+      std::lock_guard cx_lock(cx_mu_);
+      hot.insert(hot.end(), cx_queue_.begin(), cx_queue_.end());
+    }
+    std::sort(hot.begin(), hot.end());
+    hot.erase(std::unique(hot.begin(), hot.end()), hot.end());
+    if (hot.size() > index_max_entries_) hot.resize(index_max_entries_);
+  }
   std::shared_lock lock(pag_mu_);
   if (wrote_pag != nullptr) *wrote_pag = false;
   std::int64_t revision_override = -1;
@@ -368,7 +650,7 @@ bool Session::spill(const std::string& state_path,
     revision_override = 0;
   }
   return cfl::save_sharing_state_file_v3(state_path, pag_, contexts_, store_,
-                                         error, revision_override);
+                                         error, revision_override, hot);
 }
 
 std::uint64_t Session::resident_bytes() const {

@@ -40,8 +40,14 @@
 //    `active_prefilter_` — the result the in-flight batch reads through the
 //    definitely_empty predicate — is written only under batch_mu_ (refreshed
 //    at batch start, cleared by update), so predicate reads need no lock.
-//  * Lock order: batch_mu_ before pag_mu_; pf_mu_ is never held while
-//    acquiring another lock.
+//  * The reachability index (cfl/csindex.hpp, DESIGN.md §13) is published
+//    through the process EpochDomain: run_batch pins an epoch and
+//    acquire-loads `index_`; update and the compactor swap it under cx_mu_
+//    and retire the old snapshot, so index reads never block. cx_mu_ guards
+//    the compactor's queue/counters.
+//  * Lock order: batch_mu_ before pag_mu_ before cx_mu_; pf_mu_ and cx_mu_
+//    are leaf locks — never held while acquiring another lock (the compactor
+//    releases cx_mu_ before copying the graph under pag_mu_).
 
 #include <atomic>
 #include <condition_variable>
@@ -53,6 +59,8 @@
 #include <span>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cfl/engine.hpp"
@@ -63,6 +71,10 @@
 
 namespace parcfl::andersen {
 class Prefilter;
+}
+
+namespace parcfl::cfl {
+class CsIndex;
 }
 
 namespace parcfl::service {
@@ -81,6 +93,17 @@ class Session {
     /// Solve the Andersen prefilter in the background and short-circuit
     /// provably-empty queries / provably-no alias pairs.
     bool prefilter = true;
+    /// Mine hot query roots into the compact reachability index
+    /// (cfl/csindex.hpp) and answer covered queries at 0 charged steps.
+    /// Forced off when charge_jmp_costs is set: under that (diagnostic)
+    /// configuration budget consumption is configuration-dependent, so an
+    /// index hit could complete a query a live solve would not.
+    bool index = true;
+    /// Solver-served batches a root must appear in before the compactor
+    /// queues it (misses on an already-indexed root requeue immediately).
+    std::uint32_t index_hot_threshold = 4;
+    /// Cap on distinct roots the index ever covers per session.
+    std::uint32_t index_max_entries = 4096;
   };
 
   /// One query of a micro-batch.
@@ -171,8 +194,40 @@ class Session {
   /// Latest built prefilter (possibly stale — check revision()); null until
   /// the first solve finishes or when disabled.
   std::shared_ptr<const andersen::Prefilter> prefilter_snapshot() const;
+  /// Pause/resume the background prefilter rebuild loop (test hook: holds
+  /// the service in the update-committed/rebuild-pending window so the stats
+  /// staleness contract can be observed deterministically).
+  void set_prefilter_paused(bool paused);
   /// Reduction stats of the live serving graph (all-zero when disabled).
   pag::ReduceStats reduce_stats() const;
+
+  // ---- reachability index (cfl/csindex.hpp; DESIGN.md §13) ----------------
+
+  struct IndexInfo {
+    bool enabled = false;
+    std::uint64_t entries = 0, targets = 0;
+    std::uint64_t hits = 0, misses = 0;
+    std::uint64_t builds = 0;       // compactor passes published
+    std::uint64_t invalidated = 0;  // entries dropped by updates, lifetime
+    std::uint64_t pending = 0;      // hot keys queued for the next pass
+    std::uint64_t build_charged_steps = 0;
+    std::uint64_t memory_bytes = 0;
+    std::uint32_t revision = 0;  // graph revision the index answers for
+  };
+  /// Snapshot of the index plane; `enabled` false when the index is off.
+  IndexInfo index_info() const;
+  /// True when the index is live on this session.
+  bool index_enabled() const { return index_enabled_; }
+  /// Block until the compactor has drained its queue (tests, benches).
+  /// Returns false immediately when the index is disabled, or when the
+  /// session is shutting down.
+  bool wait_for_index();
+  /// Force-queue a root for compaction regardless of the hot threshold
+  /// (tests, benches — the serving path mines organically).
+  void note_hot(pag::NodeId var);
+  /// True when warm-start found a state file that is a well-formed image for
+  /// a *different* graph or epoch (the manager unlinks such stale spills).
+  bool warm_start_stale() const { return warm_stale_; }
 
   /// Direct graph access for single-threaded callers (tests, benchmarks).
   /// Do not use from a thread that can race an update(). pag() is the graph
@@ -195,6 +250,9 @@ class Session {
   void refresh_active_prefilter();
   /// Background build loop: wait for a dirty graph, copy it, solve, publish.
   void prefilter_main();
+  /// Background compaction loop: wait for queued hot roots, copy the graph,
+  /// build the index (generation-checked against racing updates), publish.
+  void compactor_main();
 
   bool reduce_graph_ = false;
   bool prefilter_enabled_ = false;
@@ -228,7 +286,43 @@ class Session {
   /// level (prefilter_no_alias), merged into lifetime_totals().
   mutable std::atomic<std::uint64_t> pf_alias_hits_{0};
   mutable std::atomic<std::uint64_t> pf_alias_misses_{0};
+  /// Test hook: while true the rebuild loop sits on a marked-dirty graph.
+  bool pf_paused_ = false;  // guarded by pf_mu_
   std::thread prefilter_thread_;
+
+  // ---- reachability index / compactor state -------------------------------
+  bool index_enabled_ = false;
+  std::uint32_t index_hot_threshold_ = 4;
+  std::uint32_t index_max_entries_ = 4096;
+  std::uint64_t default_budget_ = 0;  // engine solver budget (hit gating)
+  cfl::SolverOptions cx_solver_options_;  // for the compactor's cold solves
+  /// The published index. Readers pin the global EpochDomain and
+  /// acquire-load; writers (update under batch_mu_, the compactor) swap
+  /// under cx_mu_ and retire the old snapshot through the domain.
+  std::atomic<const cfl::CsIndex*> index_{nullptr};
+  mutable std::mutex cx_mu_;
+  std::condition_variable cx_cv_;
+  std::vector<std::uint64_t> cx_queue_;  // hot keys awaiting compaction
+  /// Miss counts per root until the hot threshold promotes them.
+  std::unordered_map<std::uint32_t, std::uint32_t> cx_counts_;
+  /// Every key ever queued (queued, published, or attempted-and-skipped):
+  /// membership stops the miss path from re-mining a root the compactor
+  /// already decided about, so an unindexable root cannot loop.
+  std::unordered_set<std::uint64_t> cx_queued_;
+  bool cx_dirty_ = false;
+  bool cx_stop_ = false;
+  bool cx_building_ = false;
+  /// Bumped by every update (under cx_mu_): a compactor pass whose start
+  /// generation is stale at publish time discards its build and re-queues.
+  std::uint64_t cx_generation_ = 0;
+  /// Set only at shutdown: aborts a mid-flight build between solves.
+  std::atomic<bool> cx_cancel_{false};
+  mutable std::atomic<std::uint64_t> cx_hits_{0};
+  mutable std::atomic<std::uint64_t> cx_misses_{0};
+  std::uint64_t cx_builds_ = 0;       // guarded by cx_mu_
+  std::uint64_t cx_invalidated_ = 0;  // guarded by cx_mu_
+  std::thread compactor_thread_;
+  bool warm_stale_ = false;  // set once in the constructor, then read-only
 };
 
 }  // namespace parcfl::service

@@ -164,10 +164,27 @@ std::string ServiceStats::to_json() const {
      << ",\"hit_ratio\":" << jmp_hit_ratio()
      << ",\"entries\":" << jmp_entries << ",\"bytes\":" << jmp_store_bytes
      << "}"
-     << ",\"prefilter\":{\"hits\":" << engine.prefilter_hits
-     << ",\"misses\":" << engine.prefilter_misses
-     << ",\"hit_ratio\":" << prefilter_hit_ratio()
-     << ",\"ready\":" << (prefilter_ready ? "true" : "false") << "}"
+     << ",\"prefilter\":{";
+  if (prefilter_ready) {
+    os << "\"ready\":true,\"hits\":" << engine.prefilter_hits
+       << ",\"misses\":" << engine.prefilter_misses
+       << ",\"hit_ratio\":" << prefilter_hit_ratio();
+  } else {
+    // Mid-rebuild the hit counters describe the *previous* revision's filter;
+    // reporting them here would pass off a stale hit-rate as live signal. Say
+    // only that a rebuild is chasing this revision.
+    os << "\"ready\":false,\"building_revision\":" << prefilter_building_revision;
+  }
+  os << "}"
+     << ",\"csindex\":{\"enabled\":" << (index_enabled ? "true" : "false")
+     << ",\"entries\":" << index_entries << ",\"targets\":" << index_targets
+     << ",\"hits\":" << index_hits << ",\"misses\":" << index_misses
+     << ",\"hit_ratio\":" << index_hit_ratio()
+     << ",\"builds\":" << index_builds
+     << ",\"invalidated\":" << index_invalidated
+     << ",\"pending\":" << index_pending
+     << ",\"memory_bytes\":" << index_memory_bytes
+     << ",\"revision\":" << index_revision << "}"
      << ",\"steps\":{\"charged\":" << engine.charged_steps
      << ",\"traversed\":" << engine.traversed_steps
      << ",\"saved\":" << engine.saved_steps << "}"
@@ -177,6 +194,7 @@ std::string ServiceStats::to_json() const {
      << ",\"resident_bytes\":" << resident_bytes
      << ",\"loads\":" << tenant_loads << ",\"reopens\":" << session_reopens
      << ",\"evictions\":" << session_evictions
+     << ",\"stale_spills\":" << stale_spills
      << ",\"label_overflow\":" << label_overflow << "}}";
   return os.str();
 }

@@ -49,6 +49,23 @@ struct ServiceStats {
   std::uint64_t context_count = 0;
   std::uint64_t pag_revision = 0;  // delta epoch of the live graph
   bool prefilter_ready = false;    // prefilter covers the live revision
+  /// Graph revision the prefilter rebuild is chasing. Meaningful only while
+  /// !prefilter_ready; to_json reports it *instead of* the hit counters then,
+  /// because those counters describe the previous revision's filter and a
+  /// stale hit-rate mid-rebuild reads as live signal (PR 8 bugfix).
+  std::uint64_t prefilter_building_revision = 0;
+
+  // Compact reachability index (the background compactor; DESIGN.md §13).
+  bool index_enabled = false;
+  std::uint64_t index_entries = 0;     // (node, ctx) keys frozen in the index
+  std::uint64_t index_targets = 0;     // summed points-to targets stored
+  std::uint64_t index_hits = 0;        // queries served at 0 charged steps
+  std::uint64_t index_misses = 0;      // index consulted, fell through
+  std::uint64_t index_builds = 0;      // published compactor passes
+  std::uint64_t index_invalidated = 0; // entries dropped by update cones
+  std::uint64_t index_pending = 0;     // hot keys queued for the next pass
+  std::uint64_t index_memory_bytes = 0;
+  std::uint64_t index_revision = 0;    // graph revision the index covers
 
   // Session fleet (the multi-tenant manager; zero in single-tenant use).
   std::uint64_t open_tenants = 0;      // registered tenants (incl. default)
@@ -57,6 +74,7 @@ struct ServiceStats {
   std::uint64_t tenant_loads = 0;      // first-time graph loads
   std::uint64_t session_reopens = 0;   // evict → warm-reopen cycles
   std::uint64_t session_evictions = 0;
+  std::uint64_t stale_spills = 0;      // mismatched spill files unlinked
   std::uint64_t label_overflow = 0;    // tenant label values past capacity
 
   /// Share of prefilter consultations (per-query pts_empty probes plus
@@ -66,6 +84,15 @@ struct ServiceStats {
         engine.prefilter_hits + engine.prefilter_misses;
     return probes == 0 ? 0.0
                        : static_cast<double>(engine.prefilter_hits) /
+                             static_cast<double>(probes);
+  }
+
+  /// Share of index consultations answered from the frozen index (each hit
+  /// is a complete answer at 0 charged steps).
+  double index_hit_ratio() const {
+    const std::uint64_t probes = index_hits + index_misses;
+    return probes == 0 ? 0.0
+                       : static_cast<double>(index_hits) /
                              static_cast<double>(probes);
   }
 

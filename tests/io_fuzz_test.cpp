@@ -199,6 +199,9 @@ const char* const kSeedLines[] = {
     "@acme query 17",
     "@acme alias 3 44 budget 9",
     "@t-1_x.Y save /tmp/state.bin",
+    "@acme @other query 3",
+    "@acme index",
+    "index",
 };
 
 TEST_P(ServiceFuzzTest, MutatedRequestLinesParseOrFailWithMessage) {
@@ -331,6 +334,40 @@ TEST(ServiceFuzz, HostileTenantNamesAndFleetVerbsAreTotal) {
       << error;
   EXPECT_EQ(r.tenant, "t.0-b_c");
   EXPECT_EQ(r.path, "/tmp/g.pag");
+}
+
+// Malformed @-prefix remainders (PR 8 satellite): a prefix followed by only
+// whitespace, or by a second @-token, must parse to a protocol error — the
+// second prefix in particular must never silently reroute or be read as a
+// verb.
+TEST(ServiceFuzz, MalformedTenantPrefixRemaindersAreTotal) {
+  service::Request r;
+  std::string error;
+  for (const char* line : {
+           "@acme ",          // whitespace-only remainder
+           "@acme \t \t  ",   //
+           "@acme @acme query 1",  // duplicated prefix, same name
+           "@acme @other query 1", // duplicated prefix, different name
+           "@acme @ query 1",      //
+           "@a @b @c query 1",     //
+           "@acme @query 1",       // verb position holds another prefix
+       }) {
+    error.clear();
+    EXPECT_FALSE(service::parse_request(line, 50, r, error)) << line;
+    EXPECT_FALSE(error.empty()) << line;
+  }
+  EXPECT_FALSE(service::parse_request("@acme @other query 1", 50, r, error));
+  EXPECT_EQ(error, "duplicate tenant prefix");
+
+  // `index` rides the prefix like any data-plane verb, and is arity-0.
+  ASSERT_TRUE(service::parse_request("@acme index", 50, r, error)) << error;
+  EXPECT_EQ(r.verb, service::Verb::kIndex);
+  EXPECT_EQ(r.tenant, "acme");
+  ASSERT_TRUE(service::parse_request("index", 50, r, error)) << error;
+  EXPECT_EQ(r.verb, service::Verb::kIndex);
+  EXPECT_TRUE(r.tenant.empty());
+  EXPECT_FALSE(service::parse_request("index 3", 50, r, error));
+  EXPECT_FALSE(service::parse_request("@acme index 3", 50, r, error));
 }
 
 // Fleet verbs against a live service: open-nonexistent-path answers an

@@ -184,6 +184,53 @@ TEST(ManagerTest, CloseUnregistersAndUnknownNamesError) {
   EXPECT_FALSE(mgr.acquire("a", &error));
 }
 
+// Close + re-open of a tenant name with a *different* graph must not leave
+// the first graph's spilled warm state behind: it would shadow the new
+// registration's future spills forever. The reopened session starts cold,
+// the stale file is unlinked, and the stale_spills counter records it.
+TEST(ManagerTest, StaleSpillFromReopenedNameIsUnlinked) {
+  const Workload w1 = small_workload(7);
+  const Workload w2 = small_workload(8);
+  const std::string pag1 = write_workload_pag(w1, "mgr_stale1.pag");
+  const std::string pag2 = write_workload_pag(w2, "mgr_stale2.pag");
+  auto options = manager_options(2, "stale");
+  SessionManager mgr(options);
+  std::string error;
+
+  ASSERT_TRUE(mgr.open("t", pag1, &error));
+  {
+    auto lease = mgr.acquire("t", &error);
+    ASSERT_TRUE(lease) << error;
+    lease->run_batch(query_items(w1, 24));  // dirty so close() spills
+  }
+  ASSERT_TRUE(mgr.close("t", &error)) << error;
+  const std::string state_path = options.spill_dir + "/t.state";
+  ASSERT_TRUE(std::filesystem::exists(state_path));
+
+  // Same name, different graph: the first graph's spill is now stale.
+  ASSERT_TRUE(mgr.open("t", pag2, &error));
+  {
+    auto lease = mgr.acquire("t", &error);
+    ASSERT_TRUE(lease) << error;
+    // The mismatched spill was ignored — this is a cold session.
+    EXPECT_EQ(lease->store().entry_count(), 0u);
+    lease->run_batch(query_items(w2, 8));
+  }
+  EXPECT_EQ(mgr.counters().stale_spills, 1u);
+  EXPECT_FALSE(std::filesystem::exists(state_path));
+
+  // And the tenant's own spills work again: evict-by-close rewrites the
+  // state file for the *new* graph, which a reopen accepts as warm.
+  ASSERT_TRUE(mgr.close("t", &error)) << error;
+  ASSERT_TRUE(std::filesystem::exists(state_path));
+  ASSERT_TRUE(mgr.open("t", pag2, &error));
+  {
+    auto lease = mgr.acquire("t", &error);
+    ASSERT_TRUE(lease) << error;
+  }
+  EXPECT_EQ(mgr.counters().stale_spills, 1u);  // unchanged: spill was fresh
+}
+
 // ---------------------------------------------------------------------------
 // Eviction
 
