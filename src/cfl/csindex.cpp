@@ -121,7 +121,8 @@ CsIndexStats CsIndex::stats() const {
 }
 
 std::vector<std::uint64_t> CsIndex::dirty_keys(
-    std::span<const std::uint32_t> touched) const {
+    std::span<const std::uint32_t> touched,
+    std::span<const std::uint32_t> touched_fields) const {
   std::vector<std::uint64_t> out;
   if (entries_.empty()) return out;
   const Labels& lab = *labels_;
@@ -130,11 +131,26 @@ std::vector<std::uint64_t> CsIndex::dirty_keys(
   // from one into build-time state runs through a seeded build-time endpoint
   // (the delta's own edge endpoints are always in `touched`).
   std::vector<std::uint32_t> seeds;
-  seeds.reserve(touched.size() * 2);
+  seeds.reserve(touched.size() * 2 + touched_fields.size() * 2);
   for (const std::uint32_t t : touched) {
     if (t >= lab.node_count) continue;
     seeds.push_back(lab.component_of[plane_b(t)]);
     seeds.push_back(lab.component_of[plane_f(t)]);
+  }
+  // Field-approximation coupling runs through the hubs, and a delta adding a
+  // field's *first* store/load has no build-time plane->hub edge for the node
+  // seeds above to ride — seed the hubs themselves. A field the labels never
+  // saw (post-build field id) has no hub: every entry is conservatively
+  // dirty, and the compactor's next full build refreshes the labels.
+  const std::uint32_t hub0 = 2 * lab.node_count;
+  for (const std::uint32_t f : touched_fields) {
+    if (f >= lab.hub_fields) {
+      out.reserve(entries_.size());
+      for (const Entry& e : entries_) out.push_back(e.key);
+      return out;
+    }
+    seeds.push_back(lab.component_of[hub0 + 2 * f]);
+    seeds.push_back(lab.component_of[hub0 + 2 * f + 1]);
   }
   std::sort(seeds.begin(), seeds.end());
   seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());

@@ -21,19 +21,27 @@
 // deterministic re-solve under any mode would complete with the same answer
 // (the solver's cross-configuration answer identity, solver.hpp).
 //
-// Invalidation contract: `dirty_keys(touched)` must return a superset of the
-// entries `invalidate_sharing_state` would evict for a delta whose touched
-// set is `touched` (both planes of every added/removed edge endpoint and
-// removed node are seeded there; we mirror that seeding). The step graph is
-// built once over the build-time PAG and *shared across `without()` copies
-// forever*; that stays sound by induction: a delta's endpoints are always in
-// its own touched set, so any cone path using a post-build edge starts its
-// final all-old-edge suffix at a seeded node — which the build-time labels
-// cover. Entries surviving a prune therefore never gain reachability the
-// labels miss. Nodes at or beyond the build-time node count are unknown to
-// the labels: entries on them are always dirty, seeds on them are ignored
-// (a new node's cone reaches old entries only through old edges out of a
-// seeded old endpoint).
+// Invalidation contract: `dirty_keys(touched, touched_fields)` must return a
+// superset of the entries `invalidate_sharing_state` would evict for a delta
+// whose touched set is `touched` (both planes of every added/removed edge
+// endpoint and removed node are seeded there; we mirror that seeding) and
+// whose store/load edges carry the fields `touched_fields`. The step graph
+// is built once over the build-time PAG and *shared across `without()`
+// copies forever*; that stays sound by induction: a delta's endpoints are
+// always in its own touched set, so any cone path using a post-build plane
+// edge starts its final all-old-edge suffix at a seeded node — which the
+// build-time labels cover. Field-approximation coupling needs one more seed
+// class: a post-build store/load on field f couples through f's hub, and the
+// hub is an endpoint of no delta, so the suffix after the new plane->hub
+// step starts at the hub itself. Seeding both hub components of every field
+// carrying a delta store/load edge closes that hole (a *first* store on f
+// has no build-time plane->hub edge for the node seeds to ride). Entries
+// surviving a prune therefore never gain reachability the labels miss.
+// Nodes at or beyond the build-time node count are unknown to the labels:
+// entries on them are always dirty, seeds on them are ignored (a new node's
+// cone reaches old entries only through old edges out of a seeded old
+// endpoint). Fields at or beyond the build-time field count have no hub:
+// every entry is conservatively dirty.
 
 #include <atomic>
 #include <cstdint>
@@ -108,10 +116,15 @@ class CsIndex {
 
   /// Entry keys whose invalidation cone a delta touching `touched` (sorted
   /// node ids, both planes seeded) could cross — a superset of what
-  /// invalidate_sharing_state would evict for the same delta. Returned
-  /// sorted.
+  /// invalidate_sharing_state would evict for the same delta. Under field
+  /// approximation the caller must also pass `touched_fields`, the field ids
+  /// of the delta's added/removed store/load edges: coupling runs through
+  /// the field hubs, which no node seed covers when the delta adds a field's
+  /// first store or load. A field the labels never saw dirties every entry.
+  /// Returned sorted.
   std::vector<std::uint64_t> dirty_keys(
-      std::span<const std::uint32_t> touched) const;
+      std::span<const std::uint32_t> touched,
+      std::span<const std::uint32_t> touched_fields = {}) const;
 
   /// A copy without the given (sorted) keys, restamped to `new_revision`.
   /// Shares the labels; the target pool is compacted.

@@ -304,7 +304,10 @@ std::future<Reply> QueryService::submit(Request request) {
     }
     case Verb::kIndex: {
       // Inline: index_info() takes only the compactor's leaf lock, never the
-      // graph lock, so it cannot stall behind a running batch.
+      // graph lock, so it cannot stall behind a running batch. The
+      // tenant-prefixed form additionally pays manager_.acquire on this
+      // thread — like save/load, that can reopen an evicted tenant from
+      // disk, so only the default-session probe is stall-free.
       std::string text;
       if (request.tenant.empty()) {
         text = index_json(default_session_->index_info());

@@ -337,12 +337,17 @@ Session::BatchResult Session::run_batch(std::span<const Item> items) {
       result.wall_seconds = er.wall_seconds;
     }
 
-    // Hot mining: roots the solver had to serve count toward the threshold;
-    // at it, the root is queued for the compactor. cx_queued_ membership is
-    // permanent, so a root is mined at most once per session lifetime.
+    // Hot mining: the threshold counts solver-served *batches* a root
+    // appeared in, so distinct roots are counted once per batch — a batch
+    // repeating one root index_hot_threshold_ times must not promote it in
+    // one shot. cx_queued_ membership is permanent, so a root is mined at
+    // most once per session lifetime.
     if (index_enabled_ && !queries.empty()) {
+      std::vector<pag::NodeId> roots(queries);
+      std::sort(roots.begin(), roots.end());
+      roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
       std::lock_guard cx_lock(cx_mu_);
-      for (const pag::NodeId v : queries) {
+      for (const pag::NodeId v : roots) {
         const std::uint64_t k = cfl::CsIndex::key(v);
         if (cx_queued_.count(k) != 0) continue;
         if (++cx_counts_[v.value()] < index_hot_threshold_) continue;
@@ -490,20 +495,31 @@ bool Session::update(const pag::Delta& delta, std::string* error,
     next_serving = pag::reduce_unmatched_parens(*next_base, &out.reduce);
 
   // The nodes whose planes the invalidation cone seeds from — collected so
-  // the index prune below can mirror the jmp eviction exactly.
+  // the index prune below can mirror the jmp eviction exactly. Under field
+  // approximation the coupling also runs per *field*: a store/load edge in
+  // the delta dirties through its field's hub even when neither endpoint has
+  // a build-time edge on that field, so the hubs must be seeded too.
   std::vector<std::uint32_t> touched;
+  std::vector<std::uint32_t> touched_fields;
   const auto collect_touched = [&](const pag::Delta& d) {
     if (!index_enabled_) return;
     const auto push = [&](pag::NodeId v) {
       if (v.valid()) touched.push_back(v.value());
     };
+    const auto push_field = [&](const pag::Edge& e) {
+      if (invalidate_options_.field_approximation &&
+          (e.kind == pag::EdgeKind::kStore || e.kind == pag::EdgeKind::kLoad))
+        touched_fields.push_back(e.aux);
+    };
     for (const pag::Edge& e : d.added_edges()) {
       push(e.dst);
       push(e.src);
+      push_field(e);
     }
     for (const pag::Edge& e : d.removed_edges()) {
       push(e.dst);
       push(e.src);
+      push_field(e);
     }
     for (const pag::NodeId v : d.removed_nodes()) push(v);
   };
@@ -539,13 +555,18 @@ bool Session::update(const pag::Delta& delta, std::string* error,
     // pass discard its (old-graph) result at publish time.
     std::sort(touched.begin(), touched.end());
     touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    std::sort(touched_fields.begin(), touched_fields.end());
+    touched_fields.erase(
+        std::unique(touched_fields.begin(), touched_fields.end()),
+        touched_fields.end());
     bool notify = false;
     {
       std::lock_guard cx_lock(cx_mu_);
       ++cx_generation_;
       const cfl::CsIndex* old = index_.load(std::memory_order_relaxed);
       if (old != nullptr) {
-        std::vector<std::uint64_t> dirty = old->dirty_keys(touched);
+        std::vector<std::uint64_t> dirty =
+            old->dirty_keys(touched, touched_fields);
         cx_invalidated_ += dirty.size();
         std::unique_ptr<const cfl::CsIndex> next =
             old->without(dirty, out.revision);

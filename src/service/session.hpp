@@ -99,8 +99,10 @@ class Session {
     /// configuration budget consumption is configuration-dependent, so an
     /// index hit could complete a query a live solve would not.
     bool index = true;
-    /// Solver-served batches a root must appear in before the compactor
-    /// queues it (misses on an already-indexed root requeue immediately).
+    /// Solver-served batches a root must appear in (counted once per batch,
+    /// however often the batch repeats it) before the compactor queues it.
+    /// A root is mined at most once per session lifetime; only updates
+    /// requeue the entries they dirty.
     std::uint32_t index_hot_threshold = 4;
     /// Cap on distinct roots the index ever covers per session.
     std::uint32_t index_max_entries = 4096;

@@ -2,8 +2,10 @@
 //
 //  * build — entries agree with a cold sequential solve, find() is exact on
 //    hits and misses, cancellation aborts between solves;
-//  * invalidation — dirty_keys covers touched entries, without() drops them
-//    and compacts the target pool, and after a Session::update the pruned
+//  * invalidation — dirty_keys covers touched entries (including, under
+//    field approximation, entries coupled through a field hub by a field's
+//    first store — the PR 8 review regression), without() drops them and
+//    compacts the target pool, and after a Session::update the pruned
 //    index still answers identically to an index-free session that applied
 //    the same delta;
 //  * outcome identity — the metamorphic bar: with the index on, every mode,
@@ -224,6 +226,63 @@ TEST(CsIndexBuild, DirtyKeysCoverTouchedEntriesAndWithoutDropsThem) {
   }
 }
 
+/// A minimal field-coupling fixture: x = q.f0 feeds z, while s and y sit
+/// apart with *no* store or load on any field. Adding the first store
+/// s.f0 = y couples — under field approximation — to the load destination x
+/// (and so to z) through f0's hub, with neither store endpoint owning a
+/// build-time edge on f0.
+struct FieldCouplingPag {
+  pag::Pag pag;
+  NodeId q, x, z, s, y, ob, oy;
+};
+
+FieldCouplingPag field_coupling_pag() {
+  pag::Pag::Builder b;
+  b.set_counts(/*fields=*/2, /*call_sites=*/1, /*types=*/1, /*methods=*/1);
+  const NodeId q = b.add_local(pag::TypeId(0), pag::MethodId(0));
+  const NodeId x = b.add_local(pag::TypeId(0), pag::MethodId(0));
+  const NodeId z = b.add_local(pag::TypeId(0), pag::MethodId(0));
+  const NodeId s = b.add_local(pag::TypeId(0), pag::MethodId(0));
+  const NodeId y = b.add_local(pag::TypeId(0), pag::MethodId(0));
+  const NodeId ob = b.add_object(pag::TypeId(0), pag::MethodId(0));
+  const NodeId oy = b.add_object(pag::TypeId(0), pag::MethodId(0));
+  b.new_edge(q, ob);
+  b.new_edge(y, oy);
+  b.load(x, q, pag::FieldId(0));
+  b.assign_local(z, x);
+  return {std::move(b).finalize(), q, x, z, s, y, ob, oy};
+}
+
+TEST(CsIndexBuild, FirstStoreOnFieldDirtiesCoupledEntriesUnderFieldApprox) {
+  const FieldCouplingPag g = field_coupling_pag();
+  cfl::SolverOptions opts = cold_opts();
+  opts.field_approximation = true;
+  const auto index = cfl::build_csindex(
+      g.pag, keys_of({g.q, g.x, g.z, g.s, g.y}), opts);
+  ASSERT_NE(index, nullptr);
+  ASSERT_NE(index->find(cfl::CsIndex::key(g.x)), nullptr);
+  ASSERT_NE(index->find(cfl::CsIndex::key(g.z)), nullptr);
+
+  // The store's endpoints have no build-time edge on field 0, so their plane
+  // seeds alone reach no hub — exactly the hole the field seeds close.
+  const std::uint32_t touched[] = {g.s.value(), g.y.value()};
+  const auto node_only = index->dirty_keys(touched);
+  EXPECT_FALSE(std::binary_search(node_only.begin(), node_only.end(),
+                                  cfl::CsIndex::key(g.x)));
+
+  const std::uint32_t fields[] = {0};
+  const auto dirty = index->dirty_keys(touched, fields);
+  EXPECT_TRUE(std::binary_search(dirty.begin(), dirty.end(),
+                                 cfl::CsIndex::key(g.x)));
+  EXPECT_TRUE(std::binary_search(dirty.begin(), dirty.end(),
+                                 cfl::CsIndex::key(g.z)));
+
+  // A field the labels never saw has no hub: everything is dirty.
+  const std::uint32_t unknown[] = {7};
+  EXPECT_EQ(index->dirty_keys(touched, unknown).size(),
+            index->entries().size());
+}
+
 // ---------------------------------------------------------------------------
 // Serving: outcome identity
 
@@ -255,6 +314,24 @@ TEST(CsIndexSession, HitsServeCompleteAnswersAtZeroChargedSteps) {
   }
   EXPECT_GT(zero_step_hits, 0u);
   EXPECT_GT(on.index_info().hits, 0u);
+}
+
+TEST(CsIndexSession, HotThresholdCountsBatchesNotOccurrences) {
+  // The threshold is solver-served *batches* a root appeared in: one batch
+  // repeating the root four times is one appearance, not four.
+  const pag::Pag pag = small_pag(10);
+  auto o = session_options(cfl::Mode::kSequential, true);
+  o.index_hot_threshold = 2;
+  service::Session s(pag, o);
+  const NodeId root = test::all_variables(pag).front();
+  const std::vector<service::Session::Item> repeated(
+      4, service::Session::Item{root, 0});
+  s.run_batch(repeated);
+  ASSERT_TRUE(s.wait_for_index());
+  EXPECT_EQ(s.index_info().entries, 0u);
+  s.run_batch(repeated);
+  ASSERT_TRUE(s.wait_for_index());
+  EXPECT_EQ(s.index_info().entries, 1u);
 }
 
 class CsIndexMetamorphic : public ::testing::TestWithParam<std::uint64_t> {};
@@ -354,6 +431,52 @@ TEST(CsIndexSession, UpdateInvalidatesCoveredEntriesAndKeepsIdentity) {
           << "seed " << seed << " var " << vars[i].value();
     }
   }
+}
+
+TEST(CsIndexSession, FirstStoreOnFieldKeepsIdentityUnderFieldApproximation) {
+  // Regression (PR 8 review): with field approximation on, a delta adding a
+  // field's *first* store couples to every load destination of that field
+  // through the field hub. Neither store endpoint has a build-time edge on
+  // the field, so a node-seeded dirty_keys comes back empty, no rebuild is
+  // queued, and the surviving load-destination entries serve stale kComplete
+  // answers forever.
+  const FieldCouplingPag g = field_coupling_pag();
+  auto opts_of = [](bool index) {
+    auto o = session_options(cfl::Mode::kSequential, index);
+    o.engine.solver.field_approximation = true;
+    return o;
+  };
+  service::Session off(g.pag, opts_of(false));
+  service::Session on(g.pag, opts_of(true));
+  const std::vector<NodeId> vars = {g.q, g.x, g.z, g.s, g.y};
+  const auto items = items_of(vars);
+  // Mine only the load side: the store endpoints s and y must NOT be index
+  // entries, else their own (trivially dirty) keys would requeue and the
+  // resulting full rebuild would repair x by accident — the stale-serving
+  // hole needs dirty_keys to come back empty.
+  for (const NodeId v : {g.q, g.x, g.z}) on.note_hot(v);
+  ASSERT_TRUE(on.wait_for_index());
+  ASSERT_NE(on.index_info().entries, 0u);
+
+  pag::Delta d(g.pag);
+  d.add_edge(EdgeKind::kStore, /*dst=base*/ g.s, /*src=value*/ g.y,
+             /*aux=field*/ 0);
+  std::string error;
+  ASSERT_TRUE(off.update(d, &error)) << error;
+  ASSERT_TRUE(on.update(d, &error)) << error;
+  ASSERT_TRUE(on.wait_for_index());
+
+  const auto expect = off.run_batch(items).items;
+  const auto got = on.run_batch(items).items;
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].status, expect[i].status) << vars[i].value();
+    EXPECT_EQ(got[i].objects, expect[i].objects) << vars[i].value();
+  }
+  // The approximation matches the new store against the load with no alias
+  // test, so x (and z through the assign) must now see oy.
+  EXPECT_EQ(got[1].objects, std::vector<NodeId>{g.oy});
+  EXPECT_EQ(got[2].objects, std::vector<NodeId>{g.oy});
 }
 
 // ---------------------------------------------------------------------------
