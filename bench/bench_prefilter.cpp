@@ -129,9 +129,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(f,
-               "{\n  \"context\": {\"scale\": %.2f, \"budget\": %" PRIu64
+               "{\n  \"context\": {%s, \"scale\": %.2f, \"budget\": %" PRIu64
                ", \"threads\": %u},\n  \"benchmarks\": [\n",
-               s, budget(), threads());
+               json_context_stamp().c_str(), s, budget(), threads());
 
   std::printf("Pre-solve pipeline study, scale=%.2f, threads=%u\n\n", s,
               threads());

@@ -1,0 +1,513 @@
+// Partitioned scale-out study: metamorphic identity and worker-fleet
+// scaling for the consistent-hash query router (DESIGN.md §14).
+//
+// Two claims, both enforced (any violation exits non-zero):
+//
+//   identity:  a router + worker fleet returns *object-identical* answers to
+//              a single-node server over the same graph — across 12
+//              partitioner seeds x 4 engine modes, cold and warm (the warm
+//              pass re-asks every query after the fleet's jmp stores and the
+//              router's fact tables have seen the workload once);
+//   scaling:   warm query throughput grows with the fleet. Fleets of 1, 2
+//              and 4 workers serve the same workload (the graph is sharded
+//              into as many partitions as there are workers, so the 4-worker
+//              point runs the graph partitioned into 4); the 1->4 ratio is
+//              the headline. The single-node in-process q/s is measured
+//              alongside as the no-regression reference.
+//
+// Workers are real parcfl Sessions behind real TcpServers on ephemeral
+// loopback ports — the full wire path (cont/cfact framing, delta fact
+// seeding, escape closure) is exercised, not a mock.
+//
+// Results go to BENCH_router.json (context object + benchmarks array, same
+// schema style as BENCH_scaling.json).
+//
+//   bench_router [--out FILE] [--identity-seeds N] [--scale S]
+//                [--scaling-scale S] [--requests N] [--clients N]
+//                (PARCFL_BUDGET applies)
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "pag/partition.hpp"
+#include "service/router.hpp"
+#include "service/server.hpp"
+#include "service/service.hpp"
+
+using namespace parcfl;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Config {
+  std::string out = "BENCH_router.json";
+  unsigned identity_seeds = 12;
+  double identity_scale = 0.05;
+  double scaling_scale = 0.25;
+  std::uint64_t requests = 0;  // 0 = 4x the query-var count
+  unsigned clients = 16;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_router [--out FILE] [--identity-seeds N]\n"
+               "                    [--scale S] [--scaling-scale S]\n"
+               "                    [--requests N] [--clients N]\n");
+  return 2;
+}
+
+/// An in-process worker fleet: one partition Session + TcpServer per
+/// partition, and a RouterCore connected to all of them.
+struct Fleet {
+  std::shared_ptr<const pag::PartitionMap> map;
+  std::vector<std::unique_ptr<service::QueryService>> services;
+  std::vector<std::unique_ptr<service::TcpServer>> servers;
+  std::vector<std::thread> serve_threads;
+  std::unique_ptr<service::RouterCore> router;
+
+  ~Fleet() {
+    router.reset();  // closes pooled worker connections first
+    for (auto& s : servers) s->shutdown();
+    for (auto& t : serve_threads) t.join();
+  }
+};
+
+std::unique_ptr<Fleet> make_fleet(const pag::Pag& full, std::uint32_t parts,
+                                  std::uint64_t seed, cfl::Mode mode,
+                                  unsigned threads) {
+  auto fleet = std::make_unique<Fleet>();
+  pag::PartitionOptions po;
+  po.parts = parts;
+  po.seed = seed;
+  fleet->map =
+      std::make_shared<const pag::PartitionMap>(pag::partition_pag(full, po));
+
+  service::RouterOptions ro;
+  ro.map = fleet->map;
+  std::string error;
+  for (std::uint32_t p = 0; p < parts; ++p) {
+    service::ServiceOptions so;
+    so.session.engine.mode = mode;
+    so.session.engine.threads = threads;
+    so.session.engine.solver = bench::solver_options();
+    so.session.partition = fleet->map;
+    so.session.partition_id = p;
+    fleet->services.push_back(std::make_unique<service::QueryService>(
+        pag::make_sub_pag(full, *fleet->map, p), so));
+    fleet->servers.push_back(std::make_unique<service::TcpServer>(
+        *fleet->services.back(), std::uint16_t{0}, &error));
+    if (!fleet->servers.back()->ok()) {
+      std::fprintf(stderr, "bench_router: worker listen failed: %s\n",
+                   error.c_str());
+      return nullptr;
+    }
+    service::TcpServer* server = fleet->servers.back().get();
+    fleet->serve_threads.emplace_back([server] { server->serve(); });
+    ro.workers.push_back(std::to_string(server->port()));
+  }
+
+  fleet->router = std::make_unique<service::RouterCore>(std::move(ro), &error);
+  if (!fleet->router->ok()) {
+    std::fprintf(stderr, "bench_router: router init failed: %s\n",
+                 error.c_str());
+    return nullptr;
+  }
+  return fleet;
+}
+
+std::string objects_string(const std::vector<pag::NodeId>& objects) {
+  std::string s;
+  for (const pag::NodeId o : objects) {
+    if (!s.empty()) s += ',';
+    s += std::to_string(o.value());
+  }
+  return s;
+}
+
+/// One identity sweep: every query var (and every 8th pair as an alias)
+/// through the router, compared frame-for-frame against the single-node
+/// reference. Returns the number of mismatches (and prints each).
+std::uint64_t identity_pass(service::RouterCore& router,
+                            service::QueryService& single,
+                            const std::vector<pag::NodeId>& vars,
+                            const char* label) {
+  std::uint64_t mismatches = 0;
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    service::Request rq;
+    rq.verb = service::Verb::kQuery;
+    rq.a = vars[i];
+    service::Reply distributed = router.handle(rq);
+    service::Reply reference = single.call(service::Request(rq));
+    if (distributed.status != reference.status ||
+        distributed.query_status != reference.query_status ||
+        distributed.objects != reference.objects) {
+      ++mismatches;
+      std::fprintf(stderr,
+                   "bench_router: MISMATCH [%s] query %u: router {%s} %s != "
+                   "single {%s} %s\n",
+                   label, vars[i].value(),
+                   objects_string(distributed.objects).c_str(),
+                   service::to_string(distributed.query_status),
+                   objects_string(reference.objects).c_str(),
+                   service::to_string(reference.query_status));
+    }
+    if (i % 8 == 7) {
+      service::Request aq;
+      aq.verb = service::Verb::kAlias;
+      aq.a = vars[i];
+      aq.b = vars[(i * 5 + 1) % vars.size()];
+      service::Reply da = router.handle(aq);
+      service::Reply ra = single.call(service::Request(aq));
+      if (da.status != ra.status || da.alias != ra.alias) {
+        ++mismatches;
+        std::fprintf(stderr, "bench_router: MISMATCH [%s] alias %u %u\n",
+                     label, aq.a.value(), aq.b.value());
+      }
+    }
+  }
+  return mismatches;
+}
+
+/// The scale-out target workload: a program of four near-independent modules
+/// (four equal-size synth benchmarks merged into one PAG with disjoint
+/// field/call-site/type id spaces) stitched by a handful of cross-module
+/// assignments. This is the graph shape sharding is for — the partitioner
+/// recovers the module boundaries, most query cones stay partition-local,
+/// and the few stitched flows keep the cross-partition continuation path
+/// honest (rate > 0). Equal modules matter: a module bigger than the ideal
+/// share must split, and the split edges, not the stitches, then dominate
+/// the cut.
+bench::Workload merged_module_workload(double s) {
+  pag::Pag::Builder b;
+  bench::Workload merged;
+  merged.name = "merged8";
+  std::uint32_t fields = 0, sites = 0, types = 0, methods = 0;
+  std::vector<pag::NodeId> stitch;
+  // Eight copies rather than one-per-worker: each module is itself several
+  // disconnected pieces with very uneven query cost, so with modules ==
+  // partitions whichever partition draws the expensive piece sets the
+  // makespan. Eight modules give the bin-packer enough identical pieces to
+  // spread the heavy ones across a four-partition fleet.
+  for (int module = 0; module < 8; ++module) {
+    const bench::Workload w =
+        bench::build_workload(synth::benchmark_spec("avrora"), s);
+    const std::uint32_t node_off = b.node_count();
+    for (const pag::NodeInfo& n : w.pag.nodes()) {
+      const pag::TypeId t = n.type.valid()
+                                ? pag::TypeId(n.type.value() + types)
+                                : pag::TypeId::invalid();
+      const pag::MethodId m = n.method.valid()
+                                  ? pag::MethodId(n.method.value() + methods)
+                                  : pag::MethodId::invalid();
+      b.add_node(n.kind, t, m, n.is_application);
+    }
+    for (const pag::Edge& e : w.pag.edges()) {
+      std::uint32_t aux = e.aux;
+      if (e.kind == pag::EdgeKind::kLoad || e.kind == pag::EdgeKind::kStore)
+        aux += fields;
+      else if (e.kind == pag::EdgeKind::kParam || e.kind == pag::EdgeKind::kRet)
+        aux += sites;
+      b.add_edge(e.kind, pag::NodeId(e.dst.value() + node_off),
+                 pag::NodeId(e.src.value() + node_off), aux);
+    }
+    for (const pag::NodeId q : w.queries)
+      merged.queries.push_back(pag::NodeId(q.value() + node_off));
+    stitch.push_back(pag::NodeId(w.queries.back().value() + node_off));
+    fields += w.pag.field_count();
+    sites += w.pag.call_site_count();
+    types += w.pag.type_count();
+    methods += w.pag.method_count();
+  }
+  // One cross-module flow is enough to keep the continuation path honest;
+  // stitching every module would make most query cones cross-partition and
+  // the steady state would measure the (deliberately unwarmable) dirty-query
+  // tax instead of fleet capacity.
+  b.assign_local(stitch[1], stitch[0]);
+  b.set_counts(fields, sites, types, methods);
+  merged.pag = std::move(b).finalize();
+  return merged;
+}
+
+double crude_json_double(const std::string& json, const std::string& key) {
+  const std::size_t at = json.find("\"" + key + "\":");
+  if (at == std::string::npos) return 0.0;
+  return std::strtod(json.c_str() + at + key.size() + 3, nullptr);
+}
+
+/// Warm throughput of a fleet: one full sequential warm-up pass, then
+/// `requests` round-robin queries from `clients` concurrent threads.
+///
+/// Two numbers come out. `wall_qps` is raw wall-clock — honest but
+/// meaningless for *scaling* on a small CI host, where every in-process
+/// "worker" shares the same cores. `makespan_qps` divides the request count
+/// by the fleet's serialized-resource makespan (max over workers of wall
+/// time inside the continuation lock — Session::PartitionInfo::busy_ns), the
+/// same machine-independent convention the engine benches use for
+/// step-domain speedup: it is what wall-clock converges to when each worker
+/// owns real cores.
+struct FleetThroughput {
+  double wall_qps = 0.0;
+  double makespan_qps = 0.0;
+  double cross_rate = 0.0;
+};
+
+FleetThroughput fleet_warm_throughput(Fleet& fleet,
+                                      const std::vector<pag::NodeId>& vars,
+                                      std::uint64_t requests,
+                                      unsigned clients) {
+  service::RouterCore& router = *fleet.router;
+  for (const pag::NodeId v : vars) {
+    service::Request rq;
+    rq.verb = service::Verb::kQuery;
+    rq.a = v;
+    (void)router.handle(rq);
+  }
+  std::vector<std::uint64_t> busy_before;
+  for (auto& svc : fleet.services)
+    busy_before.push_back(svc->session().partition_info().busy_ns);
+  std::atomic<std::uint64_t> next{0};
+  std::atomic<std::uint64_t> errors{0};
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (unsigned c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= requests) break;
+        service::Request rq;
+        rq.verb = service::Verb::kQuery;
+        rq.a = vars[i % vars.size()];
+        const service::Reply r = router.handle(rq);
+        if (r.status != service::Reply::Status::kOk)
+          errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  if (errors.load() != 0)
+    std::fprintf(stderr, "bench_router: %" PRIu64 " errored requests\n",
+                 errors.load());
+  std::uint64_t makespan_ns = 0;
+  for (std::size_t i = 0; i < fleet.services.size(); ++i) {
+    const auto info = fleet.services[i]->session().partition_info();
+    std::printf("    worker %zu: %.3f ms busy, %" PRIu64 " continuations\n", i,
+                static_cast<double>(info.busy_ns - busy_before[i]) / 1e6,
+                info.continuations);
+    makespan_ns = std::max(makespan_ns, info.busy_ns - busy_before[i]);
+  }
+  FleetThroughput t;
+  t.cross_rate = crude_json_double(router.stats_json(), "cross_rate");
+  t.wall_qps = seconds > 0 ? static_cast<double>(requests) / seconds : 0.0;
+  t.makespan_qps = makespan_ns > 0 ? static_cast<double>(requests) * 1e9 /
+                                         static_cast<double>(makespan_ns)
+                                   : 0.0;
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* arg = argv[i];
+    const char* v = nullptr;
+    if (std::strcmp(arg, "--out") == 0 && (v = value())) cfg.out = v;
+    else if (std::strcmp(arg, "--identity-seeds") == 0 && (v = value()))
+      cfg.identity_seeds = static_cast<unsigned>(std::atol(v));
+    else if (std::strcmp(arg, "--scale") == 0 && (v = value()))
+      cfg.identity_scale = std::atof(v);
+    else if (std::strcmp(arg, "--scaling-scale") == 0 && (v = value()))
+      cfg.scaling_scale = std::atof(v);
+    else if (std::strcmp(arg, "--requests") == 0 && (v = value()))
+      cfg.requests = std::strtoull(v, nullptr, 10);
+    else if (std::strcmp(arg, "--clients") == 0 && (v = value()))
+      cfg.clients = std::max(1u, static_cast<unsigned>(std::atol(v)));
+    else
+      return usage();
+  }
+
+  // ---- Identity: 12 partitioner seeds x 4 modes, cold and warm. ----------
+  const auto identity_workload = bench::build_workload(
+      synth::benchmark_spec("avrora"), cfg.identity_scale);
+  const std::vector<cfl::Mode> modes = {
+      cfl::Mode::kSequential, cfl::Mode::kNaive, cfl::Mode::kDataSharing,
+      cfl::Mode::kDataSharingScheduling};
+  std::uint64_t mismatches = 0;
+  std::uint64_t identity_queries = 0;
+  std::printf("Identity sweep: %u seeds x %zu modes, %zu query vars\n",
+              cfg.identity_seeds, modes.size(),
+              identity_workload.queries.size());
+  for (const cfl::Mode mode : modes) {
+    service::ServiceOptions so;
+    so.session.engine.mode = mode;
+    so.session.engine.threads = 2;
+    so.session.engine.solver = bench::solver_options();
+    service::QueryService single(identity_workload.pag, so);
+    for (unsigned seed = 1; seed <= cfg.identity_seeds; ++seed) {
+      auto fleet = make_fleet(identity_workload.pag, 2, seed, mode, 2);
+      if (fleet == nullptr) return 1;
+      char label[64];
+      std::snprintf(label, sizeof label, "%s seed=%u cold",
+                    cfl::to_string(mode), seed);
+      mismatches += identity_pass(*fleet->router, single,
+                                  identity_workload.queries, label);
+      std::snprintf(label, sizeof label, "%s seed=%u warm",
+                    cfl::to_string(mode), seed);
+      mismatches += identity_pass(*fleet->router, single,
+                                  identity_workload.queries, label);
+      identity_queries += 2 * identity_workload.queries.size();
+    }
+  }
+  std::printf("identity: %" PRIu64 " distributed queries, %" PRIu64
+              " mismatches\n",
+              identity_queries, mismatches);
+
+  // ---- Scaling: fleets of 1, 2, 4 workers on the same workload. ----------
+  const auto scaling_workload = merged_module_workload(cfg.scaling_scale);
+  // Whole passes over the (module-sorted) query list: a fractional pass
+  // would hit the leading module's partition more often and read as skew.
+  const std::uint64_t vars_n =
+      static_cast<std::uint64_t>(scaling_workload.queries.size());
+  const std::uint64_t requests =
+      cfg.requests != 0 ? (cfg.requests + vars_n - 1) / vars_n * vars_n
+                        : 4 * vars_n;
+  std::printf("\nScaling sweep: %u nodes, %zu query vars, %" PRIu64
+              " warm requests, %u clients\n",
+              scaling_workload.pag.node_count(),
+              scaling_workload.queries.size(), requests, cfg.clients);
+
+  struct Point {
+    std::uint32_t workers;
+    std::uint64_t cross_edges;
+    FleetThroughput t;
+  };
+  std::vector<Point> points;
+  for (const std::uint32_t workers : {1u, 2u, 4u}) {
+    auto fleet =
+        make_fleet(scaling_workload.pag, workers, /*seed=*/1,
+                   cfl::Mode::kDataSharingScheduling, /*threads=*/2);
+    if (fleet == nullptr) return 1;
+    Point p;
+    p.workers = workers;
+    p.cross_edges = fleet->map->cross_edges;
+    p.t = fleet_warm_throughput(*fleet, scaling_workload.queries, requests,
+                                cfg.clients);
+    points.push_back(p);
+    std::printf("  %u worker(s): %8.1f q/s makespan, %8.1f q/s wall  "
+                "(cut %" PRIu64 "/%u edges, cross rate %.2f)\n",
+                workers, p.t.makespan_qps, p.t.wall_qps, p.cross_edges,
+                scaling_workload.pag.edge_count(), p.t.cross_rate);
+  }
+  const double scaleup = points.front().t.makespan_qps > 0
+                             ? points.back().t.makespan_qps /
+                                   points.front().t.makespan_qps
+                             : 0.0;
+  const double wall_scaleup =
+      points.front().t.wall_qps > 0
+          ? points.back().t.wall_qps / points.front().t.wall_qps
+          : 0.0;
+  std::printf("  1 -> %u workers: %.2fx makespan (%.2fx wall on %u-core "
+              "host)\n",
+              points.back().workers, scaleup, wall_scaleup,
+              std::thread::hardware_concurrency());
+
+  // ---- Single-node reference headline (in-process, same workload). -------
+  double single_qps = 0.0;
+  {
+    service::ServiceOptions so;
+    so.session.engine.mode = cfl::Mode::kDataSharingScheduling;
+    so.session.engine.threads = 2;
+    so.session.engine.solver = bench::solver_options();
+    service::QueryService single(scaling_workload.pag, so);
+    for (const pag::NodeId v : scaling_workload.queries) {
+      service::Request rq;
+      rq.verb = service::Verb::kQuery;
+      rq.a = v;
+      (void)single.call(std::move(rq));
+    }
+    std::atomic<std::uint64_t> next{0};
+    const auto start = Clock::now();
+    std::vector<std::thread> threads;
+    for (unsigned c = 0; c < cfg.clients; ++c) {
+      threads.emplace_back([&] {
+        for (;;) {
+          const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= requests) break;
+          service::Request rq;
+          rq.verb = service::Verb::kQuery;
+          rq.a = scaling_workload.queries[i % scaling_workload.queries.size()];
+          (void)single.call(std::move(rq));
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    single_qps = seconds > 0 ? static_cast<double>(requests) / seconds : 0.0;
+    std::printf("  single-node reference: %8.1f q/s (warm, in-process)\n",
+                single_qps);
+  }
+
+  std::FILE* f = std::fopen(cfg.out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_router: cannot write %s\n", cfg.out.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"context\": {%s, \"identity_seeds\": %u, "
+               "\"identity_scale\": %.2f, \"scaling_scale\": %.2f, "
+               "\"budget\": %" PRIu64 ", \"requests\": %" PRIu64
+               ", \"clients\": %u, \"host_cores\": %u},\n  \"benchmarks\": [\n",
+               bench::json_context_stamp().c_str(), cfg.identity_seeds,
+               cfg.identity_scale, cfg.scaling_scale, bench::budget(), requests,
+               cfg.clients, std::thread::hardware_concurrency());
+  std::fprintf(f,
+               "    {\"name\": \"router/identity\", \"run_type\": "
+               "\"aggregate\", \"queries\": %" PRIu64 ", \"mismatches\": %" PRIu64
+               "}",
+               identity_queries, mismatches);
+  for (const Point& p : points)
+    std::fprintf(f,
+                 ",\n    {\"name\": \"router/warm_qps_%uw\", \"run_type\": "
+                 "\"aggregate\", \"workers\": %u, \"qps\": %.1f, "
+                 "\"wall_qps\": %.1f, \"cross_edges\": %" PRIu64
+                 ", \"cross_partition_rate\": %.4f}",
+                 p.workers, p.workers, p.t.makespan_qps, p.t.wall_qps,
+                 p.cross_edges, p.t.cross_rate);
+  std::fprintf(f,
+               ",\n    {\"name\": \"router/scaleup_1_to_4\", \"run_type\": "
+               "\"aggregate\", \"scaleup\": %.2f, \"wall_scaleup\": %.2f}",
+               scaleup, wall_scaleup);
+  std::fprintf(f,
+               ",\n    {\"name\": \"router/single_node_warm_qps\", "
+               "\"run_type\": \"aggregate\", \"qps\": %.1f}\n  ]\n}\n",
+               single_qps);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", cfg.out.c_str());
+
+  if (mismatches != 0) {
+    std::fprintf(stderr,
+                 "bench_router: FAILED — %" PRIu64
+                 " router-vs-single-node mismatches\n",
+                 mismatches);
+    return 1;
+  }
+  return 0;
+}

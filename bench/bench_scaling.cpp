@@ -86,11 +86,12 @@ int main(int argc, char** argv) {
   const double size_factors[] = {0.5, 1.0, 2.0};
 
   std::fprintf(f,
-               "{\n  \"context\": {\"benchmark\": \"%s\", \"base_scale\": "
+               "{\n  \"context\": {%s, \"benchmark\": \"%s\", \"base_scale\": "
                "%.2f, \"budget\": %" PRIu64
                ", \"hardware_concurrency\": %u, \"max_threads\": %u},\n"
                "  \"benchmarks\": [\n",
-               spec.name.c_str(), base_scale, budget(),
+               json_context_stamp().c_str(), spec.name.c_str(), base_scale,
+               budget(),
                std::thread::hardware_concurrency(), max_threads);
 
   std::printf("Thread scaling, ParCFL_D on %s, base scale %.2f, budget %" PRIu64

@@ -117,9 +117,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(f,
-               "{\n  \"context\": {\"scale\": %.2f, \"budget\": %" PRIu64
+               "{\n  \"context\": {%s, \"scale\": %.2f, \"budget\": %" PRIu64
                "},\n  \"benchmarks\": [\n",
-               s, budget());
+               json_context_stamp().c_str(), s, budget());
 
   std::printf("Incremental update study, scale=%.2f\n\n", s);
   std::printf("%-12s %9s %9s %12s %14s %14s %7s\n", "Benchmark", "apply ms",

@@ -40,6 +40,43 @@ inline unsigned env_unsigned(const char* name, unsigned fallback) {
              : fallback;
 }
 
+/// Schema version stamped into every BENCH_*.json "context" object. Bump it
+/// whenever a field changes meaning, so CI's committed-artifact summaries
+/// stay comparable across PRs.
+inline constexpr unsigned kBenchSchemaVersion = 2;
+
+/// Git revision for benchmark provenance: PARCFL_GIT_REV wins (lets a
+/// harness runner pin the value), then CI's GITHUB_SHA, then `git
+/// rev-parse`, else "unknown" (e.g. running from a tarball).
+inline std::string git_revision() {
+  for (const char* env : {"PARCFL_GIT_REV", "GITHUB_SHA"}) {
+    const char* v = std::getenv(env);
+    if (v != nullptr && *v != '\0') return std::string(v).substr(0, 40);
+  }
+#ifndef _WIN32
+  if (std::FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buffer[64] = {0};
+    const bool got = std::fgets(buffer, sizeof buffer, p) != nullptr;
+    ::pclose(p);
+    if (got) {
+      std::string rev(buffer);
+      while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r'))
+        rev.pop_back();
+      if (!rev.empty()) return rev;
+    }
+  }
+#endif
+  return "unknown";
+}
+
+/// Leading fields for every BENCH_*.json context object: stamp provenance
+/// once here instead of in each emitter. Emit as
+///   fprintf(f, "{\n  \"context\": {%s, ...}", json_context_stamp().c_str())
+inline std::string json_context_stamp() {
+  return "\"schema_version\": " + std::to_string(kBenchSchemaVersion) +
+         ", \"git_rev\": \"" + git_revision() + "\"";
+}
+
 inline double scale() { return env_double("PARCFL_SCALE", 1.0); }
 inline unsigned threads() { return env_unsigned("PARCFL_THREADS", 16); }
 inline std::uint64_t budget() {

@@ -22,14 +22,21 @@
 //                  [--clients N] [--requests N] [--rate QPS]
 //                  [--alias-every K] [--batch N] [--linger-us N]
 //                  [--queue N] [--out FILE] [--connect PORT]
-//                  [--scrape FILE]
+//                  [--scrape FILE] [--answers-out FILE]
 //                  [--tenants N] [--tenant-skew S] [--max-sessions N]
 //                  [--max-resident-mb N] [--spill-dir DIR]
 //                  [--tenants-out FILE]
 //
 // --connect PORT skips the in-process service and replays the request
 // sequence against a running `parcfl_serve` on 127.0.0.1:PORT over TCP
-// (request-plane metrics only; engine counters stay on the server).
+// (request-plane metrics only; engine counters stay on the server). The
+// same flag drives a `parcfl_route` front-end — the protocol is identical.
+// --answers-out FILE (connect mode) replays the request sequence once more
+// on a single connection after the phases and writes one normalized
+// `<request> -> <reply>` line per request (charged-steps token blanked, the
+// one field legitimately differing between engines). Dumps from a router
+// fleet and from a single-node server over the same graph must be
+// byte-identical — CI diffs them (see README "Scaling out").
 // --scrape FILE saves the service's Prometheus exposition after the warm
 // phase (in connect mode via the `metrics` wire verb).
 //
@@ -89,7 +96,8 @@ struct Config {
   long linger_us = 500;
   std::uint32_t queue = 4096;
   std::string out = "BENCH_service.json";
-  std::string scrape;  // empty = no metrics scrape
+  std::string scrape;       // empty = no metrics scrape
+  std::string answers_out;  // empty = no answer dump (connect mode only)
   long connect_port = -1;
   bool reduce = true;     // serve the reduced graph (in-process mode)
   bool prefilter = true;  // Andersen prefilter short-circuit (in-process mode)
@@ -110,6 +118,7 @@ int usage() {
                "  [--threads N] [--clients N] [--requests N] [--rate QPS]\n"
                "  [--alias-every K] [--batch N] [--linger-us N] [--queue N]\n"
                "  [--out FILE] [--connect PORT] [--scrape FILE]\n"
+               "  [--answers-out FILE]\n"
                "  [--no-reduce] [--no-prefilter] [--index] [--no-index]\n"
                "  [--tenants N] [--tenant-skew S] [--max-sessions N]\n"
                "  [--max-resident-mb N] [--spill-dir DIR] [--tenants-out F]\n");
@@ -358,6 +367,45 @@ std::string format_request_line(const service::Request& r) {
            std::to_string(r.b.value()) + "\n";
   return "query " + std::to_string(r.a.value()) + "\n";
 }
+
+/// Blank the charged-steps token (third field of ok frames) — it reflects
+/// which engine answered and how warm it was, not what the answer is.
+std::string normalize_reply(const std::string& reply) {
+  if (reply.rfind("ok ", 0) != 0) return reply;
+  const std::size_t status_end = reply.find(' ', 3);
+  if (status_end == std::string::npos) return reply;
+  std::size_t charged_end = reply.find(' ', status_end + 1);
+  if (charged_end == std::string::npos) charged_end = reply.size();
+  return reply.substr(0, status_end + 1) + "_" + reply.substr(charged_end);
+}
+
+/// Deterministic answer dump for cross-engine identity diffs: the request
+/// sequence replayed sequentially on one fresh connection.
+bool dump_answers(const std::vector<service::Request>& requests,
+                  const Config& cfg) {
+  TcpClient conn(cfg.connect_port);
+  if (!conn.ok()) {
+    std::fprintf(stderr, "parcfl_loadgen: answers-out: cannot connect\n");
+    return false;
+  }
+  std::FILE* f = std::fopen(cfg.answers_out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "parcfl_loadgen: cannot write %s\n",
+                 cfg.answers_out.c_str());
+    return false;
+  }
+  for (const service::Request& r : requests) {
+    std::string line = format_request_line(r);
+    line.pop_back();  // newline
+    const std::string reply = conn.roundtrip(line + "\n");
+    std::fprintf(f, "%s -> %s\n", line.c_str(),
+                 normalize_reply(reply).c_str());
+  }
+  std::fclose(f);
+  std::printf("wrote %s (%zu answers)\n", cfg.answers_out.c_str(),
+              requests.size());
+  return true;
+}
 #endif  // _WIN32
 
 void write_scrape(const std::string& path, const std::string& exposition);
@@ -515,12 +563,13 @@ int run_tenant_mode(const Config& cfg, const bench::Workload& workload,
     return 1;
   }
   std::fprintf(f,
-               "{\n  \"context\": {\"benchmark\": \"%s\", \"scale\": %.2f, "
+               "{\n  \"context\": {%s, \"benchmark\": \"%s\", \"scale\": %.2f, "
                "\"tenants\": %u, \"tenant_skew\": %.2f, \"max_sessions\": "
                "%zu, \"max_resident_mb\": %llu, \"requests\": %llu, "
                "\"clients\": %u, \"engine_threads\": %u},\n"
                "  \"benchmarks\": [\n",
-               workload.name.c_str(), cfg.scale, cfg.tenants, cfg.tenant_skew,
+               bench::json_context_stamp().c_str(), workload.name.c_str(),
+               cfg.scale, cfg.tenants, cfg.tenant_skew,
                cfg.max_sessions,
                static_cast<unsigned long long>(cfg.max_resident_mb),
                static_cast<unsigned long long>(cfg.requests), cfg.clients,
@@ -602,6 +651,7 @@ int main(int argc, char** argv) {
     else if (std::strcmp(arg, "--queue") == 0 && (v = value())) cfg.queue = static_cast<std::uint32_t>(std::atol(v));
     else if (std::strcmp(arg, "--out") == 0 && (v = value())) cfg.out = v;
     else if (std::strcmp(arg, "--scrape") == 0 && (v = value())) cfg.scrape = v;
+    else if (std::strcmp(arg, "--answers-out") == 0 && (v = value())) cfg.answers_out = v;
     else if (std::strcmp(arg, "--connect") == 0 && (v = value())) cfg.connect_port = std::atol(v);
     else if (std::strcmp(arg, "--no-reduce") == 0) cfg.reduce = false;
     else if (std::strcmp(arg, "--no-prefilter") == 0) cfg.prefilter = false;
@@ -673,6 +723,7 @@ int main(int argc, char** argv) {
       else
         std::fprintf(stderr, "parcfl_loadgen: metrics scrape failed\n");
     }
+    if (!cfg.answers_out.empty() && !dump_answers(requests, cfg)) return 1;
 #else
     std::fprintf(stderr, "parcfl_loadgen: --connect is POSIX-only\n");
     return 1;
@@ -737,13 +788,14 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(f,
-               "{\n  \"context\": {\"benchmark\": \"%s\", \"scale\": %.2f, "
+               "{\n  \"context\": {%s, \"benchmark\": \"%s\", \"scale\": %.2f, "
                "\"nodes\": %u, \"edges\": %u, \"query_vars\": %zu, "
                "\"requests\": %llu, \"clients\": %u, \"engine_threads\": %u, "
                "\"rate_qps\": %.1f, \"alias_every\": %llu, \"max_batch\": %u, "
                "\"linger_us\": %ld, \"max_queue\": %u, \"transport\": \"%s\"},\n"
                "  \"benchmarks\": [\n",
-               workload.name.c_str(), cfg.scale, workload.pag.node_count(),
+               bench::json_context_stamp().c_str(), workload.name.c_str(),
+               cfg.scale, workload.pag.node_count(),
                workload.pag.edge_count(), workload.queries.size(),
                static_cast<unsigned long long>(cfg.requests), cfg.clients,
                cfg.threads, cfg.rate,

@@ -184,6 +184,7 @@ EngineResult Engine::run(std::span<const pag::NodeId> queries,
     solvers.push_back(std::make_unique<Solver>(pag_, contexts,
                                                sharing ? &store : nullptr,
                                                solver_options));
+    solvers.back()->set_partition(options_.partition);
     if (solver_options.trace_level > 0) {
       rings.push_back(std::make_unique<obs::TraceRing>());
       solvers.back()->set_trace(rings.back().get());
@@ -212,6 +213,7 @@ BatchRunner::BatchRunner(const pag::Pag& pag, const EngineOptions& options,
     solvers_.push_back(std::make_unique<Solver>(pag_, contexts_,
                                                 sharing ? &store_ : nullptr,
                                                 solver_options));
+    solvers_.back()->set_partition(options_.partition);
     if (solver_options.trace_level > 0) {
       rings_.push_back(std::make_unique<obs::TraceRing>());
       solvers_.back()->set_trace(rings_.back().get());

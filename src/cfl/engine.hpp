@@ -75,6 +75,12 @@ struct EngineOptions {
   /// empty set is a definite no). Called concurrently from worker threads —
   /// must be thread-safe and stable for the duration of a run.
   std::function<bool(pag::NodeId)> definitely_empty;
+  /// Partitioned worker execution (DESIGN.md §14): when set, every solver
+  /// runs with this view — cross-partition pushes are dropped (batch-path
+  /// answers become partition-local) and any partition-contaminated query
+  /// publishes no jmps, keeping the shared store full-graph exact for the
+  /// service's continuation path. The view must outlive the engine/runner.
+  const PartitionView* partition = nullptr;
 };
 
 struct QueryOutcome {

@@ -199,8 +199,32 @@ Solver::AliasAnswer Solver::may_alias(NodeId v1, NodeId v2) {
   return AliasAnswer::kUnknown;
 }
 
+void Solver::take_escapes(std::vector<EscapeRecord>& out) {
+  std::sort(escapes_.begin(), escapes_.end());
+  escapes_.erase(std::unique(escapes_.begin(), escapes_.end()), escapes_.end());
+  out = std::move(escapes_);
+  escapes_.clear();
+}
+
+void Solver::seed_entry(MemoEntry& entry, Key key, Direction dir) {
+  if (seeds_ == nullptr) return;
+  const std::vector<PtPair>* facts = seeds_->find(dir, key);
+  if (facts == nullptr) return;
+  // Consuming a cross-partition fact makes this query's derived sets
+  // partition-dependent: publication is off from here on.
+  partition_dirty_ = true;
+  for (const PtPair& t : *facts)
+    if (entry.set.add(t.node, t.ctx)) ++seeded_tuples_;
+}
+
 void Solver::publish_finished(std::uint64_t jmp_key, std::uint64_t cost,
                               const JmpTarget* data, std::size_t n) {
+  if (partition_dirty_) {
+    // The target set may mix full-graph facts (seeds) with partition-local
+    // traversal; only fully local computations are store-exact.
+    ++counters_.jmps_suppressed;
+    return;
+  }
   const auto cost32 =
       static_cast<std::uint32_t>(std::min<std::uint64_t>(cost, UINT32_MAX));
   if (trace_jmp_events())
@@ -217,6 +241,10 @@ void Solver::publish_finished(std::uint64_t jmp_key, std::uint64_t cost,
 }
 
 void Solver::publish_unfinished(std::uint64_t jmp_key, std::uint32_t s) {
+  if (partition_dirty_) {
+    ++counters_.jmps_suppressed;
+    return;
+  }
   if (trace_jmp_events())
     trace_->emit(obs::TraceEvent::kJmpPublishUnfinished, jmp_key, s);
   if (options_.batched_publication) {
@@ -228,6 +256,16 @@ void Solver::publish_unfinished(std::uint64_t jmp_key, std::uint32_t s) {
 
 void Solver::flush_publications() {
   if (store_ == nullptr) return;
+  if (partition_dirty_) {
+    // Entries buffered before the query went dirty were computed cleanly,
+    // but dropping the whole batch keeps the invariant simple; the local
+    // recompute next time is what mints them.
+    counters_.jmps_suppressed += pub_finished_.size() + pub_unfinished_.size();
+    pub_finished_.clear();
+    pub_unfinished_.clear();
+    pub_targets_.clear();
+    return;
+  }
   for (const BufferedFinished& f : pub_finished_) {
     if (store_->insert_finished(
             f.key, f.cost,
@@ -458,6 +496,17 @@ const Solver::ResultSet& Solver::compute_points_to(NodeId root, CtxId rc) {
     return entry.set;
   }
 
+  if (entry.state == MemoEntry::State::kFresh)
+    seed_entry(entry, key, Direction::kBackward);
+  if (partition_ != nullptr && !partition_owns(root)) {
+    // Foreign-rooted sub-query: no local edges to walk. Serve the injected
+    // facts (already seeded above) and ask the router to task the owner.
+    record_request(key, Direction::kBackward);
+    entry.tainted = false;
+    entry.state = MemoEntry::State::kDone;
+    return entry.set;
+  }
+
   entry.state = MemoEntry::State::kInProgress;
   if (++recursion_depth_ > options_.max_recursion_depth)
     out_of_budget(0, /*early=*/false);
@@ -478,6 +527,10 @@ const Solver::ResultSet& Solver::compute_points_to(NodeId root, CtxId rc) {
   visited.clear();
   auto push = [&](NodeId n, CtxId cc, const PtPair& from, Via via) {
     if (!visited.insert(make_key(n, cc))) return;
+    if (partition_ != nullptr && !partition_owns(n)) {
+      record_escape(key, make_key(n, cc), Direction::kBackward);
+      return;
+    }
     work.push_back(PtPair{n, cc});
     if (record) {
       const auto pred = witness_pred_.try_emplace(make_key(n, cc));
@@ -557,6 +610,15 @@ const Solver::ResultSet& Solver::compute_flows_to(NodeId root, CtxId rc) {
     return entry.set;
   }
 
+  if (entry.state == MemoEntry::State::kFresh)
+    seed_entry(entry, key, Direction::kForward);
+  if (partition_ != nullptr && !partition_owns(root)) {
+    record_request(key, Direction::kForward);
+    entry.tainted = false;
+    entry.state = MemoEntry::State::kDone;
+    return entry.set;
+  }
+
   entry.state = MemoEntry::State::kInProgress;
   if (++recursion_depth_ > options_.max_recursion_depth)
     out_of_budget(0, /*early=*/false);
@@ -571,7 +633,12 @@ const Solver::ResultSet& Solver::compute_flows_to(NodeId root, CtxId rc) {
   work.clear();
   visited.clear();
   auto push = [&](NodeId n, CtxId cc) {
-    if (visited.insert(make_key(n, cc))) work.push_back(PtPair{n, cc});
+    if (!visited.insert(make_key(n, cc))) return;
+    if (partition_ != nullptr && !partition_owns(n)) {
+      record_escape(key, make_key(n, cc), Direction::kForward);
+      return;
+    }
+    work.push_back(PtPair{n, cc});
   };
   push(root, rc);
 
@@ -631,7 +698,7 @@ const Solver::ResultSet& Solver::compute_flows_to(NodeId root, CtxId rc) {
   return entry.set;
 }
 
-void Solver::run_query(NodeId root, Direction dir, QueryResult& out) {
+void Solver::run_query(NodeId root, CtxId rc, Direction dir, QueryResult& out) {
   // Pin the reclamation epoch for the whole query: jmp lookups hand back raw
   // pointers into store-owned records, and the pin keeps any record retired
   // by a concurrent erase_if/clear alive until we are done with it. Nested
@@ -654,6 +721,9 @@ void Solver::run_query(NodeId root, Direction dir, QueryResult& out) {
   taint_flag_ = false;
   recursion_depth_ = 0;
   iteration_ = 0;
+  partition_dirty_ = false;
+  seeded_tuples_ = 0;
+  escapes_.clear();
 
   if (trace_ != nullptr) {
     trace_->clear();
@@ -663,7 +733,7 @@ void Solver::run_query(NodeId root, Direction dir, QueryResult& out) {
   }
 
   auto& memo = dir == Direction::kBackward ? pts_memo_ : flows_memo_;
-  const Key root_key = make_key(root, ContextTable::empty());
+  const Key root_key = make_key(root, rc);
 
   out.status = QueryStatus::kComplete;
   out.tuples.clear();
@@ -676,9 +746,9 @@ void Solver::run_query(NodeId root, Direction dir, QueryResult& out) {
       grew_ = false;
       taint_flag_ = false;
       if (dir == Direction::kBackward)
-        compute_points_to(root, ContextTable::empty());
+        compute_points_to(root, rc);
       else
-        compute_flows_to(root, ContextTable::empty());
+        compute_flows_to(root, rc);
 
       // Exact if the root computation never touched a cycle; otherwise
       // iterate (sets grow monotonically) until stable or capped.

@@ -1,0 +1,405 @@
+#include "pag/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <queue>
+#include <tuple>
+#include <unordered_map>
+
+#include "pag/pag_io.hpp"
+#include "support/check.hpp"
+#include "support/scc.hpp"
+
+namespace parcfl::pag {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+PartitionMap partition_pag(const Pag& pag, const PartitionOptions& opt) {
+  const std::uint32_t n = pag.node_count();
+  const std::uint32_t parts = std::max<std::uint32_t>(1, opt.parts);
+  PartitionMap map;
+  map.parts = parts;
+  map.seed = opt.seed;
+  map.owner.assign(n, 0);
+  // Carry the variable flags on the in-memory map too, not only through the
+  // file format's v section — a router built over a freshly computed map
+  // must mirror the service's "not a variable node" check just like one
+  // built from files.
+  map.variables.resize(n);
+  for (std::uint32_t v = 0; v < n; ++v)
+    map.variables[v] = pag.is_variable(NodeId(v)) ? 1 : 0;
+  if (n == 0 || parts == 1) {
+    for (const Edge& e : pag.edges())
+      if (map.owner[e.src.value()] != map.owner[e.dst.value()]) ++map.cross_edges;
+    return map;
+  }
+
+  // SCC condensation over every edge: a points-to cycle (or mutually
+  // recursive call cluster) must never straddle partitions — the fixpoint on
+  // it would otherwise bounce continuations every iteration.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> arcs;
+  arcs.reserve(pag.edge_count());
+  for (const Edge& e : pag.edges())
+    arcs.emplace_back(e.src.value(), e.dst.value());
+  const support::CsrGraph g = support::CsrGraph::from_edges(n, arcs);
+  const support::SccResult scc = support::strongly_connected_components(g);
+  const std::uint32_t comps = scc.component_count;
+
+  // Balance on degree-weighted load, not node counts. A worker's query cost
+  // is proportional to the edges its traversals visit, and a dense component
+  // with few nodes can cost more than a sparse one many times its size —
+  // node-count balance then packs several dense components into one
+  // partition and that worker sets the fleet makespan.
+  std::vector<std::uint32_t> deg(n, 0);
+  for (const Edge& e : pag.edges()) {
+    ++deg[e.src.value()];
+    ++deg[e.dst.value()];
+  }
+  std::vector<std::uint64_t> comp_size(comps, 0);
+  std::uint64_t total_weight = 0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    comp_size[scc.component_of[v]] += 1 + deg[v];
+    total_weight += 1 + deg[v];
+  }
+
+  // Inter-component adjacency with multiplicities (both directions folded).
+  std::unordered_map<std::uint64_t, std::uint32_t> weight;
+  for (const Edge& e : pag.edges()) {
+    std::uint32_t a = scc.component_of[e.src.value()];
+    std::uint32_t b = scc.component_of[e.dst.value()];
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    ++weight[(static_cast<std::uint64_t>(a) << 32) | b];
+  }
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> adjacent(comps);
+  for (const auto& [key, w] : weight) {
+    const auto a = static_cast<std::uint32_t>(key >> 32);
+    const auto b = static_cast<std::uint32_t>(key);
+    adjacent[a].emplace_back(b, w);
+    adjacent[b].emplace_back(a, w);
+  }
+  for (auto& adj : adjacent) std::sort(adj.begin(), adj.end());
+
+  // Greedy region growing in max-attachment order. Streaming the components
+  // in condensation order places sources (every allocation site) before any
+  // of their neighbours — zero gain, hash placement, a shredded cut. Instead,
+  // grow regions from seeds: always place next the unassigned component with
+  // the largest edge weight into already-placed territory (attachment is
+  // monotone, so a lazy max-heap with re-push on growth is exact), and when
+  // nothing is attached to anything — a fresh connected region — seed the
+  // least-loaded partition with the largest remaining component. The growth
+  // phase uses the tight ideal share as its cap so one region cannot ooze
+  // into a neighbouring partition's budget; the refinement sweeps below get
+  // the full balance slack.
+  const auto cap = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(total_weight) * std::max(1.0, opt.balance) /
+                parts));
+  const auto grow_cap = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(total_weight) / parts));
+  std::vector<std::uint64_t> load(parts, 0);
+  std::vector<std::uint32_t> comp_owner(comps, 0);
+  std::vector<std::uint64_t> gain(parts, 0);
+  std::vector<char> assigned(comps, 0);
+  std::vector<std::uint64_t> attachment(comps, 0);
+  using HeapEntry = std::tuple<std::uint64_t, std::uint64_t, std::uint32_t>;
+  std::priority_queue<HeapEntry> heap;
+
+  std::vector<std::uint32_t> seed_order(comps);
+  for (std::uint32_t c = 0; c < comps; ++c) seed_order[c] = c;
+  std::stable_sort(seed_order.begin(), seed_order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return comp_size[a] > comp_size[b];
+                   });
+  std::size_t seed_cursor = 0;
+
+  const auto place = [&](std::uint32_t c, std::uint32_t p) {
+    comp_owner[c] = p;
+    assigned[c] = 1;
+    load[p] += comp_size[c];
+    for (const auto& [other, w] : adjacent[c])
+      if (!assigned[other]) {
+        attachment[other] += w;
+        heap.emplace(attachment[other],
+                     splitmix64(map.seed ^ (static_cast<std::uint64_t>(other) *
+                                            0x9e3779b9u)),
+                     other);
+      }
+  };
+  // The gain-maximising partition with room under `limit`; least-loaded
+  // (hash-tied) when nothing fits.
+  const auto pick = [&](std::uint32_t c, std::uint64_t limit) {
+    std::fill(gain.begin(), gain.end(), 0);
+    for (const auto& [other, w] : adjacent[c])
+      if (assigned[other]) gain[comp_owner[other]] += w;
+    std::uint32_t best = parts;
+    std::uint64_t best_gain = 0, best_tie = 0;
+    for (std::uint32_t p = 0; p < parts; ++p) {
+      if (load[p] + comp_size[c] > limit) continue;
+      const std::uint64_t tie =
+          splitmix64(map.seed ^ (static_cast<std::uint64_t>(c) * parts + p));
+      if (best == parts || gain[p] > best_gain ||
+          (gain[p] == best_gain && tie > best_tie)) {
+        best = p;
+        best_gain = gain[p];
+        best_tie = tie;
+      }
+    }
+    if (best == parts) {
+      best = 0;
+      for (std::uint32_t p = 1; p < parts; ++p)
+        if (load[p] < load[best]) best = p;
+    }
+    return best;
+  };
+
+  for (std::uint32_t placed = 0; placed < comps;) {
+    std::uint32_t next = comps;
+    while (!heap.empty()) {
+      const auto [att, tie, c] = heap.top();
+      heap.pop();
+      if (assigned[c] || att != attachment[c]) continue;  // stale entry
+      next = c;
+      break;
+    }
+    if (next == comps) {  // no attached candidate: seed a fresh region
+      while (seed_cursor < comps && assigned[seed_order[seed_cursor]])
+        ++seed_cursor;
+      next = seed_order[seed_cursor];
+    }
+    place(next, pick(next, grow_cap));
+    ++placed;
+  }
+
+  // Refinement sweeps: move a component to the partition holding the
+  // majority of its edge weight when that strictly reduces the cut and the
+  // balance cap allows it. Streaming placement is blind to the future — a
+  // component placed before its neighbours lands by hash, and those strays
+  // dominate the cut on modular graphs. Strict-improvement moves in fixed
+  // component order keep the result deterministic for a given seed.
+  for (int sweep = 0; sweep < 8; ++sweep) {
+    bool moved = false;
+    for (std::uint32_t c = 0; c < comps; ++c) {
+      std::fill(gain.begin(), gain.end(), 0);
+      for (const auto& [other, w] : adjacent[c]) gain[comp_owner[other]] += w;
+      const std::uint32_t cur = comp_owner[c];
+      std::uint32_t best = cur;
+      for (std::uint32_t p = 0; p < parts; ++p) {
+        if (p == cur || load[p] + comp_size[c] > cap) continue;
+        if (gain[p] > gain[best]) best = p;
+      }
+      if (best != cur) {
+        load[cur] -= comp_size[c];
+        load[best] += comp_size[c];
+        comp_owner[c] = best;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+
+  for (std::uint32_t v = 0; v < n; ++v)
+    map.owner[v] = comp_owner[scc.component_of[v]];
+  for (const Edge& e : pag.edges())
+    if (map.owner[e.src.value()] != map.owner[e.dst.value()]) ++map.cross_edges;
+  return map;
+}
+
+Pag make_sub_pag(const Pag& pag, const PartitionMap& map, std::uint32_t part) {
+  PARCFL_CHECK(map.owner.size() == pag.node_count());
+  Pag::Builder builder;
+  for (std::uint32_t v = 0; v < pag.node_count(); ++v) {
+    const NodeInfo& info = pag.node(NodeId(v));
+    const NodeId id =
+        builder.add_node(info.kind, info.type, info.method, info.is_application);
+    PARCFL_CHECK(id.value() == v);
+    const std::string& name = pag.name(NodeId(v));
+    if (!name.empty()) builder.set_name(id, name);
+  }
+  for (const Edge& e : pag.edges()) {
+    const bool heap = e.kind == EdgeKind::kLoad || e.kind == EdgeKind::kStore;
+    if (heap || map.owner[e.src.value()] == part ||
+        map.owner[e.dst.value()] == part)
+      builder.add_edge(e.kind, e.dst, e.src, e.aux);
+  }
+  builder.set_counts(pag.field_count(), pag.call_site_count(), pag.type_count(),
+                     pag.method_count());
+  builder.set_revision(pag.revision());
+  builder.set_reduce(false);
+  return std::move(builder).finalize();
+}
+
+std::vector<Edge> boundary_edges(const Pag& pag, const PartitionMap& map,
+                                 std::uint32_t part) {
+  std::vector<Edge> out;
+  for (const Edge& e : pag.edges())
+    if (map.owner[e.src.value()] != map.owner[e.dst.value()] &&
+        map.owner[e.dst.value()] == part)
+      out.push_back(e);
+  return out;
+}
+
+std::string write_partition_map_string(const Pag& pag, const PartitionMap& map) {
+  std::ostringstream os;
+  os << "parcfl-part 1\n";
+  os << "parts " << map.parts << " nodes " << map.owner.size() << " seed "
+     << map.seed << " cross " << map.cross_edges << '\n';
+  for (std::size_t i = 0; i < map.owner.size(); ++i) {
+    os << (i % 32 == 0 ? "o" : "") << ' ' << map.owner[i];
+    if (i % 32 == 31 || i + 1 == map.owner.size()) os << '\n';
+  }
+  for (std::uint32_t i = 0; i < pag.node_count(); ++i) {
+    os << (i % 64 == 0 ? "v" : "") << ' '
+       << (pag.is_variable(NodeId(i)) ? 1 : 0);
+    if (i % 64 == 63 || i + 1 == pag.node_count()) os << '\n';
+  }
+  for (std::uint32_t p = 0; p < map.parts; ++p) {
+    const auto cut = boundary_edges(pag, map, p);
+    os << "boundary " << p << ' ' << cut.size() << '\n';
+    for (const Edge& e : cut)
+      os << "e " << to_string(e.kind) << ' ' << e.dst.value() << ' '
+         << e.src.value() << ' ' << e.aux << '\n';
+  }
+  os << "end\n";
+  return os.str();
+}
+
+std::optional<PartitionMap> read_partition_map_string(const std::string& text,
+                                                      std::string* error) {
+  const auto fail = [&](const std::string& msg) -> std::optional<PartitionMap> {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != "parcfl-part 1")
+    return fail("partition map: bad magic");
+  PartitionMap map;
+  std::uint64_t nodes = 0;
+  {
+    if (!std::getline(is, line)) return fail("partition map: truncated header");
+    std::istringstream hs(line);
+    std::string k1, k2, k3, k4;
+    if (!(hs >> k1 >> map.parts >> k2 >> nodes >> k3 >> map.seed >> k4 >>
+          map.cross_edges) ||
+        k1 != "parts" || k2 != "nodes" || k3 != "seed" || k4 != "cross")
+      return fail("partition map: bad header");
+    if (map.parts == 0) return fail("partition map: zero parts");
+    if (nodes > (1ull << 31)) return fail("partition map: node count too large");
+  }
+  map.owner.reserve(nodes);
+  while (map.owner.size() < nodes) {
+    if (!std::getline(is, line)) return fail("partition map: truncated owners");
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag) || tag != "o") return fail("partition map: bad owner line");
+    std::uint32_t o = 0;
+    while (ls >> o) {
+      if (o >= map.parts) return fail("partition map: owner out of range");
+      if (map.owner.size() == nodes) return fail("partition map: extra owners");
+      map.owner.push_back(o);
+    }
+    if (!ls.eof()) return fail("partition map: bad owner value");
+  }
+  // Boundary sections are advisory for readers of the map (workers recompute
+  // their cut from the sub-PAG); validate their shape only.
+  bool saw_end = false;
+  while (std::getline(is, line)) {
+    if (line == "end") {
+      saw_end = true;
+      break;
+    }
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag)) continue;
+    if (tag == "v") {
+      // Optional variable-flag section (absent in older maps).
+      std::uint32_t flag = 0;
+      while (ls >> flag) {
+        if (flag > 1) return fail("partition map: bad variable flag");
+        if (map.variables.size() == nodes)
+          return fail("partition map: extra variable flags");
+        map.variables.push_back(static_cast<std::uint8_t>(flag));
+      }
+      if (!ls.eof()) return fail("partition map: bad variable flag");
+    } else if (tag == "boundary") {
+      std::uint32_t p = 0;
+      std::uint64_t count = 0;
+      if (!(ls >> p >> count) || p >= map.parts)
+        return fail("partition map: bad boundary header");
+    } else if (tag == "e") {
+      std::string kind;
+      std::uint64_t dst = 0, src = 0, aux = 0;
+      if (!(ls >> kind >> dst >> src >> aux) || dst >= nodes || src >= nodes)
+        return fail("partition map: bad boundary edge");
+    } else {
+      return fail("partition map: unknown line '" + tag + "'");
+    }
+  }
+  if (!saw_end) return fail("partition map: missing end marker");
+  if (!map.variables.empty() && map.variables.size() != nodes)
+    return fail("partition map: truncated variable flags");
+  return map;
+}
+
+bool write_partition_map_file(const std::string& path, const Pag& pag,
+                              const PartitionMap& map, std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot write " + path;
+    return false;
+  }
+  out << write_partition_map_string(pag, map);
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write failed: " + path;
+    return false;
+  }
+  return true;
+}
+
+std::optional<PartitionMap> read_partition_map_file(const std::string& path,
+                                                    std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return read_partition_map_string(buffer.str(), error);
+}
+
+bool write_partition_files(const Pag& pag, const PartitionMap& map,
+                           const std::string& stem, std::string* error) {
+  for (std::uint32_t p = 0; p < map.parts; ++p) {
+    const Pag sub = make_sub_pag(pag, map, p);
+    char suffix[32];
+    std::snprintf(suffix, sizeof suffix, ".p%u.pag", p);
+    std::ofstream out(stem + suffix);
+    if (!out) {
+      if (error != nullptr) *error = "cannot write " + stem + suffix;
+      return false;
+    }
+    write_pag(out, sub);
+    out.flush();
+    if (!out) {
+      if (error != nullptr) *error = "write failed: " + stem + suffix;
+      return false;
+    }
+  }
+  return write_partition_map_file(stem + ".map", pag, map, error);
+}
+
+}  // namespace parcfl::pag

@@ -1,0 +1,88 @@
+#pragma once
+// PAG sharding for the partitioned scale-out engine (DESIGN.md §14).
+//
+// partition_pag() clusters the SCC condensation of the full PAG into K
+// regions balanced by degree-weighted load (query cost tracks edges visited,
+// not nodes owned) with a greedy edge-cut objective: region growing in
+// max-attachment order from largest-component seeds, then strict-improvement
+// refinement sweeps. The result is deterministic for a given (graph, parts,
+// seed) triple — ties are broken by a seeded hash so different seeds explore
+// different placements, and the same seed always reproduces byte-identical
+// partition files.
+//
+// make_sub_pag() materialises the sub-PAG a worker serves: the full node
+// table (global node ids stay valid everywhere — contexts, protocol node
+// checks and partition maps never need translation) plus
+//   * every edge incident to a node the partition owns, and
+//   * every load/store edge of the whole graph.
+// Heap-access edges are replicated because the alias match in
+// ReachableNodes joins store/load edges against points-to tuples that may
+// name any node; they are a small fraction of a PAG, while the bulk
+// (new/assign/param/ret) is split by ownership. A traversal that never
+// leaves owned nodes therefore sees exactly the full graph's edges — which
+// is what makes locally published jmps globally exact (cfl::PartitionView).
+//
+// The boundary map assigns every cross-partition edge to exactly one
+// partition — the owner of its *destination* — so the union of the per-
+// partition boundary lists is a disjoint cover of the cut (tested in
+// tests/partition_test.cpp).
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pag/pag.hpp"
+
+namespace parcfl::pag {
+
+struct PartitionOptions {
+  std::uint32_t parts = 2;
+  std::uint64_t seed = 1;
+  /// Per-partition degree-weighted load cap as a multiple of the ideal
+  /// total/parts share.
+  double balance = 1.15;
+};
+
+struct PartitionMap {
+  std::uint32_t parts = 1;
+  std::uint64_t seed = 0;
+  std::vector<std::uint32_t> owner;  // node id -> owning partition
+  std::uint64_t cross_edges = 0;     // edges whose endpoints differ in owner
+  /// Variable-node flags (0/1 per node), so a graph-less front-end (the
+  /// query router) can mirror the service's "not a variable node" check.
+  /// Empty in maps written before the section existed — readers must treat
+  /// that as "unknown" and skip the check.
+  std::vector<std::uint8_t> variables;
+
+  std::uint32_t owner_of(NodeId n) const { return owner[n.value()]; }
+};
+
+/// Deterministic SCC-condensation clustering of `pag` into opt.parts regions.
+PartitionMap partition_pag(const Pag& pag, const PartitionOptions& opt);
+
+/// The sub-PAG partition `part` serves (see file comment for edge rules).
+Pag make_sub_pag(const Pag& pag, const PartitionMap& map, std::uint32_t part);
+
+/// Cross-partition edges owned by `part` under the dst-owner rule, in the
+/// full graph's edge order.
+std::vector<Edge> boundary_edges(const Pag& pag, const PartitionMap& map,
+                                 std::uint32_t part);
+
+/// Text format `parcfl-part 1`: header, chunked owner table, and one
+/// boundary section per partition. Deterministic given (pag, map).
+std::string write_partition_map_string(const Pag& pag, const PartitionMap& map);
+std::optional<PartitionMap> read_partition_map_string(const std::string& text,
+                                                      std::string* error);
+bool write_partition_map_file(const std::string& path, const Pag& pag,
+                              const PartitionMap& map, std::string* error);
+std::optional<PartitionMap> read_partition_map_file(const std::string& path,
+                                                    std::string* error);
+
+/// Emit the whole serving bundle: `<stem>.p<k>.pag` per partition plus
+/// `<stem>.map`. Returns false (with *error set) on the first I/O failure.
+bool write_partition_files(const Pag& pag, const PartitionMap& map,
+                           const std::string& stem, std::string* error);
+
+}  // namespace parcfl::pag

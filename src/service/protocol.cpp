@@ -91,6 +91,38 @@ std::size_t count_lines(const std::string& text) {
 
 }  // namespace
 
+std::string format_chain(std::span<const std::uint32_t> chain) {
+  if (chain.empty()) return "-";
+  std::string out;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    if (i != 0) out += '.';
+    out += std::to_string(chain[i]);
+  }
+  return out;
+}
+
+bool parse_chain(std::string_view token, std::vector<std::uint32_t>& out,
+                 std::string& error) {
+  out.clear();
+  if (token == "-") return true;
+  if (token.empty()) return fail(error, "empty chain");
+  while (!token.empty()) {
+    const std::size_t dot = token.find('.');
+    const std::string_view site_token =
+        dot == std::string_view::npos ? token : token.substr(0, dot);
+    token.remove_prefix(dot == std::string_view::npos ? token.size() : dot + 1);
+    std::uint64_t site = 0;
+    if (site_token.empty() || !parse_u64(site_token, site) ||
+        site > 0xffffffffull)
+      return fail(error, "bad chain site");
+    if (out.size() == kMaxChainSites) return fail(error, "chain too deep");
+    out.push_back(static_cast<std::uint32_t>(site));
+    if (dot != std::string_view::npos && token.empty())
+      return fail(error, "bad chain site");  // trailing '.'
+  }
+  return true;
+}
+
 bool valid_tenant_name(std::string_view name) {
   if (name.empty() || name.size() > kMaxTenantName) return false;
   if (name == "." || name == "..") return false;
@@ -187,6 +219,60 @@ bool parse_request(std::string_view line, std::uint32_t node_count,
     out.tenant = std::string(tokens[1]);
     return true;
   }
+  if (verb == "part") {
+    if (tokens.size() > 2) return fail(error, "part takes at most an id");
+    out.verb = Verb::kPart;
+    if (tokens.size() == 2) {
+      std::uint64_t id = 0;
+      if (!parse_u64(tokens[1], id) || id > 0xffffffffull)
+        return fail(error, "bad partition id");
+      out.part_given = true;
+      out.part = static_cast<std::uint32_t>(id);
+    }
+    return true;
+  }
+  if (verb == "creset") {
+    if (tokens.size() != 1) return fail(error, "verb takes no arguments");
+    out.verb = Verb::kCReset;
+    return true;
+  }
+  if (verb == "cont" || verb == "cfact") {
+    const bool is_cont = verb == "cont";
+    out.verb = is_cont ? Verb::kCont : Verb::kCFact;
+    if (tokens.size() < (is_cont ? 4u : 5u))
+      return fail(error, is_cont
+                             ? "cont needs b|f, a node and a chain"
+                             : "cfact needs b|f, a node, a chain and a count");
+    if (tokens[1] == "b") {
+      out.dir = 0;
+    } else if (tokens[1] == "f") {
+      out.dir = 1;
+    } else {
+      return fail(error, "bad direction (want b or f)");
+    }
+    if (!parse_node(tokens[2], node_count, out.a, error)) return false;
+    if (!parse_chain(tokens[3], out.chain, error)) return false;
+    if (is_cont) return parse_options(tokens, 4, out, error);
+    std::uint64_t k = 0;
+    if (!parse_u64(tokens[4], k)) return fail(error, "bad cfact tuple count");
+    if (k > kMaxContTuples) return fail(error, "too many cfact tuples");
+    if (tokens.size() != 5 + k)
+      return fail(error, "cfact tuple count does not match line");
+    out.tuples.reserve(k);
+    for (std::uint64_t i = 0; i < k; ++i) {
+      const std::string_view token = tokens[5 + i];
+      const std::size_t colon = token.find(':');
+      if (colon == std::string_view::npos)
+        return fail(error, "cfact tuple needs <node>:<chain>");
+      WireTuple tuple;
+      if (!parse_node(token.substr(0, colon), node_count, tuple.node, error))
+        return false;
+      if (!parse_chain(token.substr(colon + 1), tuple.chain, error))
+        return false;
+      out.tuples.push_back(std::move(tuple));
+    }
+    return true;
+  }
   error = "unknown verb '" + std::string(verb) + "'";
   return false;
 }
@@ -260,6 +346,22 @@ std::string format_reply(const Reply& reply) {
       break;
     case Verb::kQuit:
       os << " bye";
+      break;
+    case Verb::kPart:
+      os << " part " << reply.text;
+      break;
+    case Verb::kCont:
+      // Counted multi-line frame like metrics/slowlog: the header carries
+      // the task status, charge and payload line count.
+      os << " cont " << to_string(reply.query_status) << ' '
+         << reply.charged_steps << ' ' << count_lines(reply.text);
+      if (!reply.text.empty()) os << '\n' << reply.text;
+      break;
+    case Verb::kCFact:
+      os << " cfact " << reply.charged_steps;
+      break;
+    case Verb::kCReset:
+      os << " creset";
       break;
   }
   return os.str();

@@ -1,0 +1,100 @@
+#pragma once
+// Consistent-hash query router over a partitioned worker fleet (DESIGN.md
+// §14). The router is the scale-out front-end: it speaks the ordinary line
+// protocol to clients (query/alias/stats/ping/quit) and answers each query by
+// orchestrating continuation tasks across the parcfl_serve --worker
+// processes that each own one partition's sub-PAG.
+//
+// Execution model — chaotic iteration of the monotone configuration
+// fixpoint:
+//  * every configuration (direction, node, context chain) has one home
+//    worker: the partition that owns its node (consistent hashing picks
+//    among replicas of a partition);
+//  * a worker runs a task with the router's accumulated facts seeded and
+//    returns locally-found result tuples plus *escapes* — configurations it
+//    could not traverse (foreign pushes and foreign-rooted sub-queries);
+//  * the router unions returned tuples into its fact table, closes it over
+//    the union-escape edges, spawns a task at the home of every escaped
+//    configuration, and re-runs until a round adds nothing (or max_rounds).
+// Facts only grow and task results are deterministic functions of (graph,
+// seeded facts), so first-insert-wins duplication across rounds is harmless
+// and no distributed locking exists anywhere.
+//
+// Failure semantics: each worker reply is awaited under a receive deadline;
+// a dead or wedged worker fails the distributed query as a counted
+// `err partition unavailable` within that deadline (one transparent retry
+// covers a worker that merely dropped the pooled connection). An inflight
+// cap sheds excess distributed queries as `shed overload` before they fan
+// out.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pag/partition.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+
+namespace parcfl::service {
+
+struct RouterOptions {
+  /// Worker addresses, "host:port" or "port" (loopback). Each worker is
+  /// handshaken with `part` at construction; its announced partition decides
+  /// which configurations route to it.
+  std::vector<std::string> workers;
+  /// The partition map the fleet was sharded with (owner table + parts).
+  std::shared_ptr<const pag::PartitionMap> map;
+  /// Step budget attached to every continuation task (0 = worker default).
+  /// A client query's own budget option, when set, takes precedence.
+  std::uint64_t default_budget = 0;
+  /// Fixpoint round cap; a query still growing after this many rounds
+  /// answers partial.
+  std::uint32_t max_rounds = 64;
+  /// Distributed queries allowed in flight before shed-on-overload.
+  std::uint32_t max_inflight = 64;
+  /// Per-reply receive deadline; bounds how long a dead worker can stall a
+  /// query before it fails as `err partition unavailable`.
+  std::uint32_t deadline_ms = 5000;
+  /// Virtual ring nodes per worker (consistent hashing among partition
+  /// replicas).
+  std::uint32_t vnodes = 64;
+};
+
+class RouterCore {
+ public:
+  /// Connects to and handshakes every worker; on failure ok() is false and
+  /// `error` says why (unreachable worker, partition map mismatch, no worker
+  /// for a partition).
+  RouterCore(RouterOptions options, std::string* error);
+  ~RouterCore();
+
+  RouterCore(const RouterCore&) = delete;
+  RouterCore& operator=(const RouterCore&) = delete;
+
+  bool ok() const;
+  /// Node id space queries are validated against (the partition map's).
+  std::uint32_t node_count() const;
+
+  /// Answer one parsed request. kQuery/kAlias run distributed; kStats
+  /// answers the router's own stats JSON; kPing/kQuit are local. Everything
+  /// else is `err unsupported by router`.
+  Reply handle(const Request& request);
+
+  /// Wire front-end: parse + handle + format, one line in, one frame out.
+  /// Returns false when the connection should close (quit).
+  bool handle_line(const std::string& line, std::string& reply_line);
+
+  /// Adapter for TcpServer's factory constructor.
+  TcpServer::HandlerFactory handler_factory();
+
+  /// One-line JSON: router totals (queries, shed, failures, continuation
+  /// frames, cross-partition rate, rounds) and per-worker health.
+  std::string stats_json() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace parcfl::service

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <istream>
+#include <memory>
 #include <ostream>
 #include <string>
+#include <utility>
+
+#include "service/worker.hpp"
 
 #ifndef _WIN32
 #include <arpa/inet.h>
@@ -19,23 +23,15 @@ namespace parcfl::service {
 
 namespace {
 
-/// Handle one protocol line; returns false when the connection should close
-/// (quit verb). Appends the reply (with newline) to `reply_line`.
-bool handle_line(QueryService& service, const std::string& line,
-                 std::string& reply_line) {
-  Request request;
-  std::string error;
-  if (!parse_request(line, service.node_count(), request, error)) {
-    service.note_protocol_error();
-    Reply r;
-    r.status = Reply::Status::kError;
-    r.text = std::move(error);
-    reply_line = format_reply(r) + "\n";
-    return true;
-  }
-  const bool keep_open = request.verb != Verb::kQuit;
-  reply_line = format_reply(service.call(std::move(request))) + "\n";
-  return keep_open;
+/// Per-connection handler over a QueryService: a WireSession parses lines,
+/// serves the worker verbs locally and delegates the rest (worker.hpp).
+TcpServer::HandlerFactory service_factory(QueryService& service) {
+  return [&service]() -> TcpServer::LineHandler {
+    auto session = std::make_shared<WireSession>(service);
+    return [session](const std::string& line, std::string& reply_line) {
+      return session->handle(line, reply_line);
+    };
+  };
 }
 
 }  // namespace
@@ -43,10 +39,11 @@ bool handle_line(QueryService& service, const std::string& line,
 std::uint64_t serve_stream(QueryService& service, std::istream& in,
                            std::ostream& out) {
   std::uint64_t handled = 0;
+  WireSession session(service);
   std::string line, reply;
   while (std::getline(in, line)) {
     ++handled;
-    const bool keep_open = handle_line(service, line, reply);
+    const bool keep_open = session.handle(line, reply);
     out << reply << std::flush;
     if (!keep_open) break;
   }
@@ -57,7 +54,15 @@ std::uint64_t serve_stream(QueryService& service, std::istream& in,
 
 TcpServer::TcpServer(QueryService& service, std::uint16_t port,
                      std::string* error)
-    : service_(service) {
+    : TcpServer(service_factory(service), port, error) {}
+
+TcpServer::TcpServer(HandlerFactory factory, std::uint16_t port,
+                     std::string* error)
+    : factory_(std::move(factory)) {
+  init(port, error);
+}
+
+void TcpServer::init(std::uint16_t port, std::string* error) {
   // A client closing mid-reply must not kill the server process.
   ::signal(SIGPIPE, SIG_IGN);
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -126,6 +131,7 @@ void TcpServer::shutdown() {
 }
 
 void TcpServer::handle_connection(int fd) {
+  const LineHandler handler = factory_();
   std::string buffer, reply;
   char chunk[4096];
   bool open = true;
@@ -143,7 +149,7 @@ void TcpServer::handle_connection(int fd) {
          open && nl != std::string::npos; nl = buffer.find('\n', start)) {
       const std::string line = buffer.substr(start, nl - start);
       start = nl + 1;
-      open = handle_line(service_, line, reply);
+      open = handler(line, reply);
       std::size_t sent = 0;
       while (sent < reply.size()) {
         const ssize_t w = ::send(fd, reply.data() + sent, reply.size() - sent, 0);
@@ -163,10 +169,14 @@ void TcpServer::handle_connection(int fd) {
 
 #else  // _WIN32
 
-TcpServer::TcpServer(QueryService& service, std::uint16_t, std::string* error)
-    : service_(service) {
+TcpServer::TcpServer(QueryService& service, std::uint16_t port,
+                     std::string* error)
+    : TcpServer(service_factory(service), port, error) {}
+TcpServer::TcpServer(HandlerFactory factory, std::uint16_t, std::string* error)
+    : factory_(std::move(factory)) {
   if (error != nullptr) *error = "TCP server is POSIX-only";
 }
+void TcpServer::init(std::uint16_t, std::string*) {}
 TcpServer::~TcpServer() = default;
 void TcpServer::serve() {}
 void TcpServer::shutdown() {}

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <mutex>
 #include <string>
@@ -20,6 +21,8 @@ namespace parcfl::service {
 /// EOF or a `quit` verb. Malformed lines get `err ...` replies and never
 /// abort the loop. Returns the number of lines handled. Safe to call from
 /// multiple threads with distinct streams (the service itself is concurrent).
+/// Each call owns one WireSession, so worker continuation state is per
+/// stream, exactly like a TCP connection.
 std::uint64_t serve_stream(QueryService& service, std::istream& in,
                            std::ostream& out);
 
@@ -28,7 +31,17 @@ std::uint64_t serve_stream(QueryService& service, std::istream& in,
 /// from another thread. POSIX-only; construction fails on other platforms.
 class TcpServer {
  public:
+  /// Handles one protocol line, writing the reply frame (with newline) into
+  /// the string; returns false when the connection should close. One handler
+  /// per connection (made by the factory), so handlers may keep state; each
+  /// is only ever called from its own connection thread.
+  using LineHandler = std::function<bool(const std::string&, std::string&)>;
+  using HandlerFactory = std::function<LineHandler()>;
+
+  /// Serve a QueryService: each connection gets a WireSession over it.
   TcpServer(QueryService& service, std::uint16_t port, std::string* error);
+  /// Serve an arbitrary line handler (the router front-end uses this).
+  TcpServer(HandlerFactory factory, std::uint16_t port, std::string* error);
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;
@@ -47,9 +60,10 @@ class TcpServer {
   void shutdown();
 
  private:
+  void init(std::uint16_t port, std::string* error);
   void handle_connection(int fd);
 
-  QueryService& service_;
+  HandlerFactory factory_;
   std::atomic<int> listen_fd_{-1};  // shutdown() races with serve()'s accept
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};

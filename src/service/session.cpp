@@ -13,9 +13,29 @@
 #include "pag/pag_io.hpp"
 #include "support/ebr.hpp"
 
+#ifndef _WIN32
+#include <ctime>
+#endif
+
 namespace parcfl::service {
 
 namespace {
+
+/// CPU time of the calling thread. The continuation busy counter uses it
+/// instead of wall time so occupancy stays exact on oversubscribed hosts —
+/// a preemption while batch_mu_ is held must not count as worker work.
+std::uint64_t thread_cpu_ns() {
+#ifndef _WIN32
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+#endif
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 bool fail(std::string* error, std::string msg) {
   if (error != nullptr) *error = std::move(msg);
@@ -69,7 +89,23 @@ cfl::EngineOptions Session::engine_options(const Options& options) {
   cfl::EngineOptions engine = options.engine;
   // Replies carry the object sets, whatever the caller configured.
   engine.collect_objects = true;
-  if (options.prefilter) {
+  if (options.partition != nullptr) {
+    // Worker mode: every batch solver drops cross-partition pushes and
+    // publishes jmps only from fully partition-local computations. The map
+    // must cover the sub-PAG's (global) node id space.
+    partition_map_ = options.partition;
+    partition_id_ = options.partition_id;
+    PARCFL_CHECK_MSG(partition_map_->owner.size() == pag_.node_count(),
+                     "partition map does not cover the graph");
+    PARCFL_CHECK_MSG(partition_id_ < partition_map_->parts,
+                     "partition id out of range");
+    PARCFL_CHECK_MSG(!options.engine.solver.field_approximation,
+                     "field approximation is unsupported in partitioned mode");
+    partition_view_.owner = partition_map_->owner.data();
+    partition_view_.local = partition_id_;
+    engine.partition = &partition_view_;
+  }
+  if (prefilter_enabled_) {
     // Runs on engine workers inside runner_.run, i.e. under batch_mu_ —
     // exactly where active_prefilter_ is stable (see member comment).
     engine.definitely_empty = [this](pag::NodeId v) {
@@ -81,17 +117,21 @@ cfl::EngineOptions Session::engine_options(const Options& options) {
 }
 
 Session::Session(pag::Pag pag, Options options)
-    : reduce_graph_(options.reduce_graph),
-      prefilter_enabled_(options.prefilter),
-      base_pag_(options.reduce_graph ? std::optional<pag::Pag>(std::move(pag))
-                                     : std::nullopt),
+    // Partitioned workers force the pre-solve pipeline off (Options doc):
+    // reduction is unsound on a sub-PAG and prefilter/index would answer
+    // from partition-local information.
+    : reduce_graph_(options.reduce_graph && options.partition == nullptr),
+      prefilter_enabled_(options.prefilter && options.partition == nullptr),
+      base_pag_(reduce_graph_ ? std::optional<pag::Pag>(std::move(pag))
+                              : std::nullopt),
       pag_(base_pag_ ? pag::reduce_unmatched_parens(*base_pag_, &reduce_stats_)
                      : std::move(pag)),
       runner_(pag_, engine_options(options), contexts_, store_),
       // charge_jmp_costs makes budget consumption configuration-dependent,
       // so an index hit could complete a query a live solve would not — the
       // outcome-identity contract only holds with it off (the default).
-      index_enabled_(options.index && !options.engine.solver.charge_jmp_costs),
+      index_enabled_(options.index && !options.engine.solver.charge_jmp_costs &&
+                     options.partition == nullptr),
       index_hot_threshold_(std::max<std::uint32_t>(1, options.index_hot_threshold)),
       index_max_entries_(options.index_max_entries),
       default_budget_(options.engine.solver.budget) {
@@ -362,6 +402,110 @@ Session::BatchResult Session::run_batch(std::span<const Item> items) {
   }
   if (mined) cx_cv_.notify_all();
   return result;
+}
+
+bool Session::intern_chain(std::span<const std::uint32_t> chain,
+                           cfl::CtxId* out, std::string* error) {
+  std::uint32_t sites = 0;
+  {
+    std::shared_lock lock(pag_mu_);
+    sites = pag_.call_site_count();
+  }
+  cfl::CtxId c = cfl::ContextTable::empty();
+  for (const std::uint32_t site : chain) {
+    if (site >= sites)
+      return fail(error, "call site out of range (graph has " +
+                             std::to_string(sites) + " sites)");
+    c = contexts_.push(c, pag::CallSiteId(site));
+    if (!c.valid()) return fail(error, "context chain too deep");
+  }
+  *out = c;
+  return true;
+}
+
+bool Session::run_continuation(const ContRequest& request,
+                               const cfl::SeedFacts& seeds, ContResult& out,
+                               std::string* error) {
+  out = ContResult{};
+  if (!partitioned()) return fail(error, "not a partitioned worker");
+  if (!request.node.valid() || request.node.value() >= node_count())
+    return fail(error, "node id out of range");
+  cfl::CtxId rc = cfl::ContextTable::empty();
+  if (!intern_chain(request.chain, &rc, error)) return false;
+
+  // Serialised with batches and updates: the continuation solver shares the
+  // graph, context table and jmp store with the batch plane.
+  std::lock_guard lock(batch_mu_);
+  const std::uint64_t busy_start = thread_cpu_ns();
+  if (cont_solver_ == nullptr) {
+    const cfl::Mode mode = runner_.options().mode;
+    const bool sharing = mode == cfl::Mode::kDataSharing ||
+                         mode == cfl::Mode::kDataSharingScheduling;
+    cfl::SolverOptions solver_options = runner_.options().solver;
+    solver_options.data_sharing = sharing;
+    cont_solver_ = std::make_unique<cfl::Solver>(
+        pag_, contexts_, sharing ? &store_ : nullptr, solver_options);
+    cont_solver_->set_partition(&partition_view_);
+  }
+  cont_solver_->set_seed_facts(&seeds);
+  cont_solver_->set_query_budget(request.budget);
+  const std::uint64_t charged_before = cont_solver_->counters().charged_steps;
+  cfl::QueryResult qr;
+  cont_solver_->run_config(request.node, rc, request.dir, qr);
+  out.charged_steps = cont_solver_->counters().charged_steps - charged_before;
+  cont_solver_->set_seed_facts(nullptr);
+  cont_solver_->set_query_budget(0);
+
+  // Results and escapes cross the wire as chains, not CtxIds (the peer's
+  // context table interns independently). for_each_site walks top-first;
+  // the wire format is bottom-first.
+  const auto chain_of = [&](cfl::CtxId c, std::vector<std::uint32_t>& sites) {
+    sites.clear();
+    contexts_.for_each_site(
+        c, [&](pag::CallSiteId s) { sites.push_back(s.value()); });
+    std::reverse(sites.begin(), sites.end());
+  };
+  out.status = qr.status;
+  out.tuples.reserve(qr.tuples.size());
+  for (const cfl::PtPair& t : qr.tuples) {
+    ContTuple tuple;
+    tuple.node = t.node;
+    chain_of(t.ctx, tuple.chain);
+    out.tuples.push_back(std::move(tuple));
+  }
+  std::vector<cfl::EscapeRecord> raw;
+  cont_solver_->take_escapes(raw);
+  out.escapes.reserve(raw.size());
+  for (const cfl::EscapeRecord& e : raw) {
+    ContEscape escape;
+    escape.request = e.kind == cfl::EscapeRecord::Kind::kRequest;
+    escape.dir = e.dir;
+    escape.src.node = pag::NodeId(static_cast<std::uint32_t>(e.src >> 32));
+    chain_of(cfl::CtxId(static_cast<std::uint32_t>(e.src)), escape.src.chain);
+    escape.dst.node = pag::NodeId(static_cast<std::uint32_t>(e.dst >> 32));
+    chain_of(cfl::CtxId(static_cast<std::uint32_t>(e.dst)), escape.dst.chain);
+    out.escapes.push_back(std::move(escape));
+  }
+  part_continuations_.fetch_add(1, std::memory_order_relaxed);
+  part_escapes_.fetch_add(out.escapes.size(), std::memory_order_relaxed);
+  part_seeded_.fetch_add(cont_solver_->seeded_tuples(),
+                         std::memory_order_relaxed);
+  part_busy_ns_.fetch_add(thread_cpu_ns() - busy_start,
+                          std::memory_order_relaxed);
+  return true;
+}
+
+Session::PartitionInfo Session::partition_info() const {
+  PartitionInfo info;
+  info.enabled = partitioned();
+  if (!info.enabled) return info;
+  info.id = partition_id_;
+  info.parts = partition_map_->parts;
+  info.continuations = part_continuations_.load(std::memory_order_relaxed);
+  info.escapes = part_escapes_.load(std::memory_order_relaxed);
+  info.seeded_tuples = part_seeded_.load(std::memory_order_relaxed);
+  info.busy_ns = part_busy_ns_.load(std::memory_order_relaxed);
+  return info;
 }
 
 void Session::compactor_main() {

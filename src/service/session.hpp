@@ -67,6 +67,7 @@
 #include "cfl/invalidate.hpp"
 #include "pag/delta.hpp"
 #include "pag/pag.hpp"
+#include "pag/partition.hpp"
 #include "pag/reduce.hpp"
 
 namespace parcfl::andersen {
@@ -106,6 +107,17 @@ class Session {
     std::uint32_t index_hot_threshold = 4;
     /// Cap on distinct roots the index ever covers per session.
     std::uint32_t index_max_entries = 4096;
+    /// Partitioned worker mode (DESIGN.md §14): when set, this session
+    /// serves partition `partition_id` of a sharded PAG. The graph passed to
+    /// the constructor must be that partition's sub-PAG (pag::make_sub_pag —
+    /// node ids are global, so the owner table indexes it directly). The
+    /// pre-solve pipeline is forced off: graph reduction is unsound on a
+    /// sub-PAG (a paren's match may live on another partition), and the
+    /// prefilter/index would answer from partition-local information. Batch
+    /// queries (`query`/`alias`) answer partition-local reachability only;
+    /// exact global answers flow through run_continuation and the router.
+    std::shared_ptr<const pag::PartitionMap> partition;
+    std::uint32_t partition_id = 0;
   };
 
   /// One query of a micro-batch.
@@ -139,6 +151,77 @@ class Session {
   /// Execute one micro-batch; item order is preserved in the result even
   /// when the DQ scheduler reorders execution. Thread-safe (serialised).
   BatchResult run_batch(std::span<const Item> items);
+
+  // ---- partitioned continuation plane (DESIGN.md §14) ---------------------
+
+  /// One (node, context-chain) tuple crossing the process boundary. Chains
+  /// are call-site id lists, bottom-first; CtxIds never leave the process
+  /// (they index this session's private interning table).
+  struct ContTuple {
+    pag::NodeId node = pag::NodeId::invalid();
+    std::vector<std::uint32_t> chain;
+  };
+
+  /// A cross-partition discovery the router must follow up on. `request`
+  /// distinguishes a foreign-rooted sub-query (results consumed structurally
+  /// by the escaping task, never unioned) from a suppressed push (dst's
+  /// result set belongs inside src's).
+  struct ContEscape {
+    bool request = false;
+    cfl::Direction dir = cfl::Direction::kBackward;
+    ContTuple src, dst;
+  };
+
+  /// One continuation task: run configuration (node, chain) in `dir` with
+  /// the caller's accumulated facts seeded.
+  struct ContRequest {
+    pag::NodeId node = pag::NodeId::invalid();
+    cfl::Direction dir = cfl::Direction::kBackward;
+    std::span<const std::uint32_t> chain;  // bottom-first call-site ids
+    std::uint64_t budget = 0;              // 0 = engine default
+  };
+
+  struct ContResult {
+    cfl::QueryStatus status = cfl::QueryStatus::kComplete;
+    std::uint64_t charged_steps = 0;
+    std::vector<ContTuple> tuples;
+    std::vector<ContEscape> escapes;
+  };
+
+  bool partitioned() const { return partition_map_ != nullptr; }
+  std::uint32_t partition_id() const { return partition_id_; }
+  std::uint32_t partition_count() const {
+    return partition_map_ ? partition_map_->parts : 1;
+  }
+
+  /// Intern a wire chain into the session's context table, validating every
+  /// call site against the graph. Fails on out-of-range sites or depth
+  /// overflow; never crashes on hostile input.
+  bool intern_chain(std::span<const std::uint32_t> chain, cfl::CtxId* out,
+                    std::string* error);
+
+  /// Run one continuation task against this partition: seeds the solver with
+  /// `seeds` (the caller's accumulated cross-partition facts, keyed by this
+  /// session's interned CtxIds), runs the configuration, and returns result
+  /// tuples plus the escapes the router must chase. Serialised with batches
+  /// on the batch lock. Fails when the session is not partitioned.
+  bool run_continuation(const ContRequest& request, const cfl::SeedFacts& seeds,
+                        ContResult& out, std::string* error);
+
+  struct PartitionInfo {
+    bool enabled = false;
+    std::uint32_t id = 0, parts = 1;
+    std::uint64_t continuations = 0;  // run_continuation calls served
+    std::uint64_t escapes = 0;        // escape records returned, lifetime
+    std::uint64_t seeded_tuples = 0;  // injected facts consumed by tasks
+    /// Wall time spent inside the serialized continuation section (the
+    /// per-worker bottleneck resource). Benchmarks derive the fleet's
+    /// machine-independent makespan from it — max over workers — the same
+    /// way the engine benches report step-domain makespan, so scaling
+    /// numbers survive single-core CI hosts.
+    std::uint64_t busy_ns = 0;
+  };
+  PartitionInfo partition_info() const;
 
   /// Apply a PAG delta: build base + delta, evict the jmp entries whose
   /// recorded traversals the change could invalidate (cfl/invalidate.hpp),
@@ -266,7 +349,20 @@ class Session {
   cfl::ContextTable contexts_;
   cfl::JmpStore store_;
   cfl::InvalidateOptions invalidate_options_;  // mirrors the solver config
+  /// Worker-mode partition state. Declared before runner_: engine_options()
+  /// publishes the view into the engine options while runner_ constructs.
+  std::shared_ptr<const pag::PartitionMap> partition_map_;
+  std::uint32_t partition_id_ = 0;
+  cfl::PartitionView partition_view_{};
   cfl::BatchRunner runner_;
+  /// Lazy dedicated solver for run_continuation (guarded by batch_mu_): the
+  /// BatchRunner's solvers stay on the batch path, the continuation path
+  /// keeps its own so the two never share per-query scratch.
+  std::unique_ptr<cfl::Solver> cont_solver_;
+  std::atomic<std::uint64_t> part_continuations_{0};
+  std::atomic<std::uint64_t> part_escapes_{0};
+  std::atomic<std::uint64_t> part_seeded_{0};
+  std::atomic<std::uint64_t> part_busy_ns_{0};
   mutable std::mutex batch_mu_;
   // Lock order: batch_mu_ before pag_mu_ (update takes both; everyone else
   // takes exactly one).

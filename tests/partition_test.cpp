@@ -1,0 +1,382 @@
+// Partitioner tests: the PAG sharding layer under the scale-out engine
+// (DESIGN.md §14, src/pag/partition.*).
+//
+//  * determinism — the same (graph, parts, seed) must reproduce byte-identical
+//    partition map text and byte-identical serving-bundle files, because the
+//    fleet launch procedure shards on one machine and ships files to workers;
+//  * boundary cover — every cross-partition edge appears in exactly one
+//    partition's boundary list (the dst-owner rule), so the per-partition
+//    boundary sections are a disjoint cover of the cut;
+//  * balance — per-partition degree-weighted load stays under the configured
+//    balance cap;
+//  * sub-PAG edge rules — a worker's graph is the full node table plus every
+//    edge incident to an owned node plus every load/store edge, and nothing
+//    else;
+//  * map parser — hostile inputs (truncations, out-of-range owners, bad
+//    variable flags, unknown sections) must fail with an error, never crash
+//    or mis-parse; a written map round-trips losslessly.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "frontend/lower.hpp"
+#include "pag/collapse.hpp"
+#include "pag/partition.hpp"
+#include "synth/generator.hpp"
+
+namespace parcfl::pag {
+namespace {
+
+Pag synth_pag(std::uint64_t seed = 33) {
+  synth::GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.app_methods = 14;
+  cfg.library_methods = 10;
+  cfg.containers = 2;
+  cfg.container_use_blocks = 8;
+  auto lowered = frontend::lower(synth::generate(cfg));
+  return std::move(pag::collapse_assign_cycles(lowered.pag).pag);
+}
+
+/// Two identical assign-chain modules bridged by a single edge — the shape
+/// the partitioner exists for. Each module: one object flowing down a chain
+/// of locals.
+Pag two_module_pag() {
+  Pag::Builder b;
+  std::vector<NodeId> chain_tail;
+  for (int module = 0; module < 2; ++module) {
+    const NodeId obj = b.add_object(TypeId(0), MethodId::invalid());
+    NodeId prev = b.add_local(TypeId(0), MethodId::invalid());
+    b.new_edge(prev, obj);
+    for (int i = 0; i < 6; ++i) {
+      const NodeId next = b.add_local(TypeId(0), MethodId::invalid());
+      b.assign_local(next, prev);
+      prev = next;
+    }
+    chain_tail.push_back(prev);
+  }
+  b.assign_local(chain_tail[1], chain_tail[0]);  // the one bridge
+  b.set_counts(1, 1, 1, 1);
+  return std::move(b).finalize();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// ---- determinism -----------------------------------------------------------
+
+TEST(PartitionDeterminism, SameSeedSameOwners) {
+  const Pag pag = synth_pag();
+  PartitionOptions opt;
+  opt.parts = 4;
+  opt.seed = 7;
+  const PartitionMap a = partition_pag(pag, opt);
+  const PartitionMap b = partition_pag(pag, opt);
+  EXPECT_EQ(a.owner, b.owner);
+  EXPECT_EQ(a.cross_edges, b.cross_edges);
+  EXPECT_EQ(write_partition_map_string(pag, a),
+            write_partition_map_string(pag, b));
+}
+
+TEST(PartitionDeterminism, SameSeedByteIdenticalFiles) {
+  const Pag pag = synth_pag();
+  PartitionOptions opt;
+  opt.parts = 3;
+  opt.seed = 11;
+  const PartitionMap map = partition_pag(pag, opt);
+
+  const std::string dir = testing::TempDir();
+  std::string error;
+  ASSERT_TRUE(write_partition_files(pag, map, dir + "/det_a", &error)) << error;
+  ASSERT_TRUE(write_partition_files(pag, map, dir + "/det_b", &error)) << error;
+  for (std::uint32_t p = 0; p < opt.parts; ++p) {
+    const std::string suffix = ".p" + std::to_string(p) + ".pag";
+    const std::string a = slurp(dir + "/det_a" + suffix);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, slurp(dir + "/det_b" + suffix)) << suffix;
+  }
+  const std::string map_a = slurp(dir + "/det_a.map");
+  ASSERT_FALSE(map_a.empty());
+  EXPECT_EQ(map_a, slurp(dir + "/det_b.map"));
+}
+
+TEST(PartitionDeterminism, SeedsProduceValidAssignments) {
+  const Pag pag = synth_pag();
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 99ull}) {
+    PartitionOptions opt;
+    opt.parts = 2;
+    opt.seed = seed;
+    const PartitionMap map = partition_pag(pag, opt);
+    ASSERT_EQ(map.owner.size(), pag.node_count());
+    for (const std::uint32_t o : map.owner) EXPECT_LT(o, opt.parts);
+    EXPECT_EQ(map.seed, seed);
+    EXPECT_EQ(map.parts, opt.parts);
+  }
+}
+
+// ---- boundary cover --------------------------------------------------------
+
+std::uint64_t edge_key(const Pag& pag, const Edge& e) {
+  // Edge identity by position in the full graph's edge order (the order
+  // boundary_edges preserves): find is O(E) but graphs here are small.
+  for (std::uint32_t i = 0; i < pag.edge_count(); ++i) {
+    const Edge& f = pag.edges()[i];
+    if (f.kind == e.kind && f.src == e.src && f.dst == e.dst && f.aux == e.aux)
+      return i;
+  }
+  ADD_FAILURE() << "boundary edge not present in the full graph";
+  return ~0ull;
+}
+
+TEST(PartitionBoundary, DisjointCoverOfTheCut) {
+  const Pag pag = synth_pag();
+  PartitionOptions opt;
+  opt.parts = 4;
+  opt.seed = 5;
+  const PartitionMap map = partition_pag(pag, opt);
+
+  std::set<std::uint64_t> covered;
+  std::uint64_t total = 0;
+  for (std::uint32_t p = 0; p < opt.parts; ++p) {
+    for (const Edge& e : boundary_edges(pag, map, p)) {
+      // dst-owner rule: the boundary list of p holds edges *into* p only.
+      EXPECT_EQ(map.owner[e.dst.value()], p);
+      EXPECT_NE(map.owner[e.src.value()], map.owner[e.dst.value()]);
+      // Exactly-once: no edge may appear in two partitions' lists.
+      EXPECT_TRUE(covered.insert(edge_key(pag, e)).second);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, map.cross_edges);
+
+  // The union covers the whole cut: recount independently.
+  std::uint64_t cut = 0;
+  for (const Edge& e : pag.edges())
+    if (map.owner[e.src.value()] != map.owner[e.dst.value()]) ++cut;
+  EXPECT_EQ(cut, map.cross_edges);
+}
+
+// ---- balance ---------------------------------------------------------------
+
+TEST(PartitionBalance, WeightedLoadUnderCap) {
+  const Pag pag = synth_pag();
+  PartitionOptions opt;
+  opt.parts = 4;
+  opt.seed = 3;
+  const PartitionMap map = partition_pag(pag, opt);
+
+  std::vector<std::uint64_t> deg(pag.node_count(), 0);
+  for (const Edge& e : pag.edges()) {
+    ++deg[e.src.value()];
+    ++deg[e.dst.value()];
+  }
+  std::uint64_t total = 0;
+  std::vector<std::uint64_t> load(opt.parts, 0);
+  for (std::uint32_t v = 0; v < pag.node_count(); ++v) {
+    load[map.owner[v]] += 1 + deg[v];
+    total += 1 + deg[v];
+  }
+  // Matches the partitioner's cap, plus the largest single component's
+  // indivisibility slack: a component cannot be split, so when nothing fits a
+  // spill to the least-loaded partition may exceed the cap by one component.
+  const auto cap = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(total) * opt.balance / opt.parts));
+  for (std::uint32_t p = 0; p < opt.parts; ++p)
+    EXPECT_LE(load[p], cap + total / 4) << "partition " << p;
+  // And the cap is not vacuous: no partition is empty on this graph.
+  for (std::uint32_t p = 0; p < opt.parts; ++p)
+    EXPECT_GT(load[p], 0u) << "partition " << p;
+}
+
+TEST(PartitionBalance, ModularGraphRecoversModules) {
+  const Pag pag = two_module_pag();
+  PartitionOptions opt;
+  opt.parts = 2;
+  opt.seed = 1;
+  const PartitionMap map = partition_pag(pag, opt);
+  // Two identical bridged chains: the only cut the objective should pay for
+  // is the bridge itself.
+  EXPECT_EQ(map.cross_edges, 1u);
+  // Each module lands whole: nodes 0..7 share an owner, nodes 8..15 share
+  // the other.
+  for (std::uint32_t v = 1; v < 8; ++v) EXPECT_EQ(map.owner[v], map.owner[0]);
+  for (std::uint32_t v = 9; v < 16; ++v) EXPECT_EQ(map.owner[v], map.owner[8]);
+  EXPECT_NE(map.owner[0], map.owner[8]);
+}
+
+TEST(PartitionBalance, SinglePartitionIsTrivial) {
+  const Pag pag = two_module_pag();
+  PartitionOptions opt;
+  opt.parts = 1;
+  const PartitionMap map = partition_pag(pag, opt);
+  EXPECT_EQ(map.cross_edges, 0u);
+  for (const std::uint32_t o : map.owner) EXPECT_EQ(o, 0u);
+}
+
+// ---- sub-PAG edge rules ----------------------------------------------------
+
+std::multiset<std::tuple<int, std::uint32_t, std::uint32_t, std::uint32_t>>
+edge_multiset(const Pag& pag) {
+  std::multiset<std::tuple<int, std::uint32_t, std::uint32_t, std::uint32_t>> s;
+  for (const Edge& e : pag.edges())
+    s.emplace(static_cast<int>(e.kind), e.dst.value(), e.src.value(), e.aux);
+  return s;
+}
+
+TEST(SubPag, ExactlyTheOwnedPlusHeapEdges) {
+  const Pag pag = synth_pag();
+  PartitionOptions opt;
+  opt.parts = 3;
+  opt.seed = 2;
+  const PartitionMap map = partition_pag(pag, opt);
+
+  for (std::uint32_t p = 0; p < opt.parts; ++p) {
+    const Pag sub = make_sub_pag(pag, map, p);
+    // Global node ids stay valid: the node table is never filtered.
+    ASSERT_EQ(sub.node_count(), pag.node_count());
+    for (std::uint32_t v = 0; v < pag.node_count(); ++v)
+      EXPECT_EQ(sub.kind(NodeId(v)), pag.kind(NodeId(v)));
+
+    // Expected edges: heap edges always, others iff incident to an owned
+    // node. make_sub_pag builds with dedupe on, so compare deduplicated sets.
+    std::multiset<std::tuple<int, std::uint32_t, std::uint32_t, std::uint32_t>>
+        expected;
+    for (const Edge& e : pag.edges()) {
+      const bool heap =
+          e.kind == EdgeKind::kLoad || e.kind == EdgeKind::kStore;
+      if (heap || map.owner[e.src.value()] == p ||
+          map.owner[e.dst.value()] == p)
+        expected.emplace(static_cast<int>(e.kind), e.dst.value(),
+                         e.src.value(), e.aux);
+    }
+    std::set<std::tuple<int, std::uint32_t, std::uint32_t, std::uint32_t>>
+        expected_dedup(expected.begin(), expected.end());
+    const auto actual = edge_multiset(sub);
+    EXPECT_TRUE(std::equal(expected_dedup.begin(), expected_dedup.end(),
+                           actual.begin(), actual.end()))
+        << "partition " << p << ": " << actual.size() << " edges vs "
+        << expected_dedup.size() << " expected";
+    EXPECT_EQ(sub.field_count(), pag.field_count());
+    EXPECT_EQ(sub.call_site_count(), pag.call_site_count());
+  }
+}
+
+// ---- map text format -------------------------------------------------------
+
+TEST(PartitionMapText, RoundTripsLosslessly) {
+  const Pag pag = synth_pag();
+  PartitionOptions opt;
+  opt.parts = 4;
+  opt.seed = 13;
+  const PartitionMap map = partition_pag(pag, opt);
+
+  std::string error;
+  const std::string text = write_partition_map_string(pag, map);
+  const auto read = read_partition_map_string(text, &error);
+  ASSERT_TRUE(read.has_value()) << error;
+  EXPECT_EQ(read->parts, map.parts);
+  EXPECT_EQ(read->seed, map.seed);
+  EXPECT_EQ(read->owner, map.owner);
+  EXPECT_EQ(read->cross_edges, map.cross_edges);
+  // The v section mirrors the graph's variable-node flags.
+  ASSERT_EQ(read->variables.size(), pag.node_count());
+  for (std::uint32_t v = 0; v < pag.node_count(); ++v)
+    EXPECT_EQ(read->variables[v] != 0, pag.is_variable(NodeId(v)));
+}
+
+TEST(PartitionMapText, FileRoundTrip) {
+  const Pag pag = two_module_pag();
+  PartitionOptions opt;
+  opt.parts = 2;
+  const PartitionMap map = partition_pag(pag, opt);
+  const std::string path = testing::TempDir() + "/roundtrip.map";
+  std::string error;
+  ASSERT_TRUE(write_partition_map_file(path, pag, map, &error)) << error;
+  const auto read = read_partition_map_file(path, &error);
+  ASSERT_TRUE(read.has_value()) << error;
+  EXPECT_EQ(read->owner, map.owner);
+}
+
+TEST(PartitionMapText, RejectsHostileInputs) {
+  const Pag pag = two_module_pag();
+  PartitionOptions opt;
+  opt.parts = 2;
+  const PartitionMap map = partition_pag(pag, opt);
+  const std::string good = write_partition_map_string(pag, map);
+
+  const auto rejects = [&](const std::string& text, const char* label) {
+    std::string error;
+    EXPECT_FALSE(read_partition_map_string(text, &error).has_value()) << label;
+    EXPECT_FALSE(error.empty()) << label;
+  };
+
+  rejects("", "empty input");
+  rejects("parcfl-part 2\n", "wrong version");
+  rejects("not-a-map 1\n", "bad magic");
+  rejects("parcfl-part 1\n", "missing header");
+  rejects("parcfl-part 1\nparts 2 nodes\n", "truncated header");
+  rejects("parcfl-part 1\nparts 0 nodes 4 seed 1 cross 0\nend\n", "zero parts");
+  rejects("parcfl-part 1\nparts 2 nodes 9999999999 seed 1 cross 0\nend\n",
+          "node count too large");
+  rejects("parcfl-part 1\nparts 2 nodes 4 seed 1 cross 0\nend\n",
+          "truncated owners");
+  rejects("parcfl-part 1\nparts 2 nodes 4 seed 1 cross 0\no 0 1 7 0\nend\n",
+          "owner out of range");
+  rejects("parcfl-part 1\nparts 2 nodes 2 seed 1 cross 0\no 0 1 0\nend\n",
+          "extra owners");
+  rejects("parcfl-part 1\nparts 2 nodes 2 seed 1 cross 0\no 0 x\nend\n",
+          "bad owner value");
+  rejects("parcfl-part 1\nparts 2 nodes 2 seed 1 cross 0\nq 0 1\nend\n",
+          "bad owner tag");
+  rejects("parcfl-part 1\nparts 2 nodes 2 seed 1 cross 0\no 0 1\nv 1 2\nend\n",
+          "variable flag out of range");
+  rejects("parcfl-part 1\nparts 2 nodes 2 seed 1 cross 0\no 0 1\nv 1 0 1\nend\n",
+          "extra variable flags");
+  rejects("parcfl-part 1\nparts 2 nodes 2 seed 1 cross 0\no 0 1\nv 1\nend\n",
+          "truncated variable flags");
+  rejects("parcfl-part 1\nparts 2 nodes 2 seed 1 cross 0\no 0 1\nwhat 3\nend\n",
+          "unknown section");
+  rejects("parcfl-part 1\nparts 2 nodes 2 seed 1 cross 0\no 0 1\n",
+          "missing end");
+  rejects(
+      "parcfl-part 1\nparts 2 nodes 2 seed 1 cross 0\no 0 1\nboundary 5 0\n"
+      "end\n",
+      "boundary partition out of range");
+  rejects(
+      "parcfl-part 1\nparts 2 nodes 2 seed 1 cross 0\no 0 1\nboundary 0 1\n"
+      "e assign 9 0 0\nend\n",
+      "boundary edge node out of range");
+  // Truncating the good text anywhere before `end` must fail, never crash.
+  for (std::size_t cut = 0; cut + 4 < good.size(); cut += 7) {
+    std::string error;
+    const auto r = read_partition_map_string(good.substr(0, cut), &error);
+    EXPECT_FALSE(r.has_value()) << "prefix of " << cut;
+  }
+}
+
+TEST(PartitionMapText, AcceptsMapWithoutVariableSection) {
+  // Maps written before the v section existed must still parse; readers then
+  // see empty variables (meaning "unknown").
+  std::string error;
+  const auto r = read_partition_map_string(
+      "parcfl-part 1\nparts 2 nodes 2 seed 1 cross 0\no 0 1\nend\n", &error);
+  ASSERT_TRUE(r.has_value()) << error;
+  EXPECT_TRUE(r->variables.empty());
+  EXPECT_EQ(r->owner, (std::vector<std::uint32_t>{0, 1}));
+}
+
+}  // namespace
+}  // namespace parcfl::pag
