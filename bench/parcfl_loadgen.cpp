@@ -92,6 +92,8 @@ struct Config {
   std::uint64_t requests = 0;
   double rate = 0.0;          // arrivals per second; 0 = unpaced
   std::uint64_t alias_every = 8;  // every K-th request is an alias query
+  std::uint64_t taint_every = 0;    // every K-th request is a taint query (0 = off)
+  std::uint64_t depends_every = 0;  // every K-th request is a depends query
   std::uint32_t batch = 64;
   long linger_us = 500;
   std::uint32_t queue = 4096;
@@ -116,7 +118,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: parcfl_loadgen [--benchmark NAME] [--scale S]\n"
                "  [--threads N] [--clients N] [--requests N] [--rate QPS]\n"
-               "  [--alias-every K] [--batch N] [--linger-us N] [--queue N]\n"
+               "  [--alias-every K] [--taint-every K] [--depends-every K]\n"
+               "  [--batch N] [--linger-us N] [--queue N]\n"
                "  [--out FILE] [--connect PORT] [--scrape FILE]\n"
                "  [--answers-out FILE]\n"
                "  [--no-reduce] [--no-prefilter] [--index] [--no-index]\n"
@@ -174,7 +177,20 @@ std::vector<service::Request> build_requests(const bench::Workload& w,
   for (std::uint64_t i = 0; i < cfg.requests; ++i) {
     service::Request r;
     const pag::NodeId a = vars[i % vars.size()];
-    if (cfg.alias_every != 0 && i % cfg.alias_every == cfg.alias_every - 1) {
+    // Two-node verbs interleave on their own strides; taint/depends take
+    // precedence over alias so a mixed scenario actually carries flow
+    // traffic (all roots are query variables, as the grammars require).
+    if (cfg.taint_every != 0 && i % cfg.taint_every == cfg.taint_every - 1) {
+      r.verb = service::Verb::kTaint;
+      r.a = a;
+      r.b = vars[(i + 1) % vars.size()];
+    } else if (cfg.depends_every != 0 &&
+               i % cfg.depends_every == cfg.depends_every / 2) {
+      r.verb = service::Verb::kDepends;
+      r.a = a;
+      r.b = vars[(i + 1) % vars.size()];
+    } else if (cfg.alias_every != 0 &&
+               i % cfg.alias_every == cfg.alias_every - 1) {
       r.verb = service::Verb::kAlias;
       r.a = a;
       r.b = vars[(i + 1) % vars.size()];
@@ -362,9 +378,14 @@ class TcpClient {
 };
 
 std::string format_request_line(const service::Request& r) {
-  if (r.verb == service::Verb::kAlias)
-    return "alias " + std::to_string(r.a.value()) + " " +
+  if (r.verb == service::Verb::kAlias || r.verb == service::Verb::kTaint ||
+      r.verb == service::Verb::kDepends) {
+    const char* verb = r.verb == service::Verb::kAlias    ? "alias"
+                       : r.verb == service::Verb::kTaint  ? "taint"
+                                                          : "depends";
+    return std::string(verb) + " " + std::to_string(r.a.value()) + " " +
            std::to_string(r.b.value()) + "\n";
+  }
   return "query " + std::to_string(r.a.value()) + "\n";
 }
 
@@ -646,6 +667,8 @@ int main(int argc, char** argv) {
     else if (std::strcmp(arg, "--requests") == 0 && (v = value())) cfg.requests = std::strtoull(v, nullptr, 10);
     else if (std::strcmp(arg, "--rate") == 0 && (v = value())) cfg.rate = std::atof(v);
     else if (std::strcmp(arg, "--alias-every") == 0 && (v = value())) cfg.alias_every = std::strtoull(v, nullptr, 10);
+    else if (std::strcmp(arg, "--taint-every") == 0 && (v = value())) cfg.taint_every = std::strtoull(v, nullptr, 10);
+    else if (std::strcmp(arg, "--depends-every") == 0 && (v = value())) cfg.depends_every = std::strtoull(v, nullptr, 10);
     else if (std::strcmp(arg, "--batch") == 0 && (v = value())) cfg.batch = static_cast<std::uint32_t>(std::atol(v));
     else if (std::strcmp(arg, "--linger-us") == 0 && (v = value())) cfg.linger_us = std::atol(v);
     else if (std::strcmp(arg, "--queue") == 0 && (v = value())) cfg.queue = static_cast<std::uint32_t>(std::atol(v));
@@ -710,9 +733,15 @@ int main(int argc, char** argv) {
         conn = conns[conn_ids.fetch_add(1) % conns.size()].get();
       const std::string reply = conn->roundtrip(format_request_line(requests[i]));
       shed = reply.rfind("shed", 0) == 0 || reply.empty();
+      // Definite replies per verb; "unknown" (flow verbs) and "partial"
+      // (query) count as incomplete.
       incomplete = reply.rfind("ok complete", 0) != 0 &&
                    reply.rfind("ok no", 0) != 0 &&
-                   reply.rfind("ok may", 0) != 0;
+                   reply.rfind("ok may", 0) != 0 &&
+                   reply.rfind("ok tainted", 0) != 0 &&
+                   reply.rfind("ok clean", 0) != 0 &&
+                   reply.rfind("ok depends", 0) != 0 &&
+                   reply.rfind("ok independent", 0) != 0;
     };
     cold = run_phase(requests, cfg, issue);
     warm = run_phase(requests, cfg, issue);

@@ -35,6 +35,7 @@ namespace {
 EngineResult run_batch(const EngineOptions& options, Schedule schedule,
                        double schedule_seconds,
                        std::span<const std::uint64_t> budgets,
+                       std::span<const QueryKind> kinds,
                        std::span<const std::unique_ptr<Solver>> solvers,
                        std::span<detail::WorkerScratch> scratch,
                        std::span<detail::PrefilterTally> prefilter_tally,
@@ -74,7 +75,12 @@ EngineResult run_batch(const EngineOptions& options, Schedule schedule,
     const auto [begin, end] = schedule.units[unit_index];
     for (std::uint32_t i = begin; i < end; ++i) {
       const pag::NodeId var = schedule.ordered[i];
-      if (options.definitely_empty) {
+      const QueryKind kind =
+          kinds.empty() ? QueryKind::kPointsTo : kinds[schedule.source_index[i]];
+      // The Andersen prefilter proves *points-to* sets empty; taint/depends
+      // answers are variable sets with different reachability, so only
+      // pointer queries may short-circuit on it.
+      if (kind == QueryKind::kPointsTo && options.definitely_empty) {
         if (options.definitely_empty(var)) {
           // Proven empty: complete answer, zero objects, zero charge — the
           // solver (and its jmp state) is never touched.
@@ -90,7 +96,20 @@ EngineResult run_batch(const EngineOptions& options, Schedule schedule,
       const std::uint64_t charged_before = solver.counters().charged_steps;
       std::chrono::steady_clock::time_point q0;
       if (slow_log) q0 = std::chrono::steady_clock::now();
-      solver.points_to(var, ws.qr);
+      switch (kind) {
+        case QueryKind::kPointsTo:
+          if (options.grammar != nullptr)
+            solver.reach(var, *options.grammar, ws.qr);
+          else
+            solver.points_to(var, ws.qr);
+          break;
+        case QueryKind::kTaint:
+          solver.reach(var, taint_table(), ws.qr);
+          break;
+        case QueryKind::kDepends:
+          solver.reach(var, depends_table(), ws.qr);
+          break;
+      }
       const std::uint64_t charged =
           solver.counters().charged_steps - charged_before;
       if (slow_log) {
@@ -153,14 +172,16 @@ Engine::Engine(const pag::Pag& pag, const EngineOptions& options)
   PARCFL_CHECK(options_.threads >= 1);
 }
 
-EngineResult Engine::run(std::span<const pag::NodeId> queries) {
+EngineResult Engine::run(std::span<const pag::NodeId> queries,
+                         std::span<const QueryKind> kinds) {
   ContextTable contexts;
   JmpStore store;
-  return run(queries, contexts, store);
+  return run(queries, contexts, store, kinds);
 }
 
 EngineResult Engine::run(std::span<const pag::NodeId> queries,
-                         ContextTable& contexts, JmpStore& store) {
+                         ContextTable& contexts, JmpStore& store,
+                         std::span<const QueryKind> kinds) {
   const bool sharing = options_.mode == Mode::kDataSharing ||
                        options_.mode == Mode::kDataSharingScheduling;
   const bool scheduling = options_.mode == Mode::kDataSharingScheduling;
@@ -195,8 +216,9 @@ EngineResult Engine::run(std::span<const pag::NodeId> queries,
 
   std::unique_ptr<support::ThreadPool> pool;
   if (threads > 1) pool = std::make_unique<support::ThreadPool>(threads);
-  return run_batch(options_, std::move(schedule), schedule_seconds, {}, solvers,
-                   scratch, tally, pool.get(), threads, contexts, store);
+  return run_batch(options_, std::move(schedule), schedule_seconds, {}, kinds,
+                   solvers, scratch, tally, pool.get(), threads, contexts,
+                   store);
 }
 
 BatchRunner::BatchRunner(const pag::Pag& pag, const EngineOptions& options,
@@ -228,9 +250,12 @@ BatchRunner::BatchRunner(const pag::Pag& pag, const EngineOptions& options,
 BatchRunner::~BatchRunner() = default;
 
 EngineResult BatchRunner::run(std::span<const pag::NodeId> queries,
-                              std::span<const std::uint64_t> budgets) {
+                              std::span<const std::uint64_t> budgets,
+                              std::span<const QueryKind> kinds) {
   PARCFL_CHECK_MSG(budgets.empty() || budgets.size() == queries.size(),
                    "budgets must parallel queries");
+  PARCFL_CHECK_MSG(kinds.empty() || kinds.size() == queries.size(),
+                   "kinds must parallel queries");
   const bool scheduling = options_.mode == Mode::kDataSharingScheduling;
   support::WallTimer schedule_timer;
   Schedule schedule =
@@ -239,8 +264,8 @@ EngineResult BatchRunner::run(std::span<const pag::NodeId> queries,
   const unsigned active = static_cast<unsigned>(std::max<std::uint64_t>(
       1, std::min<std::uint64_t>(options_.threads, schedule.units.size())));
   return run_batch(options_, std::move(schedule), schedule_seconds, budgets,
-                   solvers_, scratch_, prefilter_tally_, pool_.get(), active,
-                   contexts_, store_);
+                   kinds, solvers_, scratch_, prefilter_tally_, pool_.get(),
+                   active, contexts_, store_);
 }
 
 support::QueryCounters BatchRunner::lifetime_totals() const {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "cfl/context.hpp"
+#include "cfl/grammar.hpp"
 #include "cfl/jmp_store.hpp"
 #include "cfl/scheduler.hpp"
 #include "cfl/solver.hpp"
@@ -75,6 +76,13 @@ struct EngineOptions {
   /// empty set is a definite no). Called concurrently from worker threads —
   /// must be thread-safe and stable for the duration of a run.
   std::function<bool(pag::NodeId)> definitely_empty;
+  /// Diagnostic/test override (DESIGN.md §15): when set, pointer-kind queries
+  /// run Solver::reach over this compiled table instead of the hard-coded
+  /// fast path. The metamorphic identity suite drives the generic walker with
+  /// the pointer grammar through every engine mode this way; production
+  /// sessions leave it null. The table must outlive the engine/runner.
+  /// Incompatible with `partition` (the generic walker checks).
+  const GrammarTable* grammar = nullptr;
   /// Partitioned worker execution (DESIGN.md §14): when set, every solver
   /// runs with this view — cross-partition pushes are dropped (batch-path
   /// answers become partition-local) and any partition-contaminated query
@@ -120,12 +128,15 @@ class Engine {
 
   /// Answer every query; `queries` are PAG variable node ids. Uses a fresh
   /// context table and jmp store, so runs are independent measurements.
-  EngineResult run(std::span<const pag::NodeId> queries);
+  /// `kinds`, when non-empty, parallels `queries` and routes each one to its
+  /// query kind (empty = all points-to).
+  EngineResult run(std::span<const pag::NodeId> queries,
+                   std::span<const QueryKind> kinds = {});
 
   /// Same, but over caller-provided shared state — e.g. warm-started from
   /// cfl/persist.hpp, or carried across multiple batches.
   EngineResult run(std::span<const pag::NodeId> queries, ContextTable& contexts,
-                   JmpStore& store);
+                   JmpStore& store, std::span<const QueryKind> kinds = {});
 
   const EngineOptions& options() const { return options_; }
 
@@ -177,9 +188,12 @@ class BatchRunner {
   /// Answer one micro-batch against the warm shared state. `budgets`, when
   /// non-empty, parallels `queries`: each entry caps that query's
   /// charged-step budget at min(entry, options.solver.budget); 0 keeps the
-  /// engine default (per-request admission control).
+  /// engine default (per-request admission control). `kinds`, when non-empty,
+  /// also parallels `queries` and routes each one to its query kind
+  /// (empty = all points-to; taint/depends run the generic grammar walker).
   EngineResult run(std::span<const pag::NodeId> queries,
-                   std::span<const std::uint64_t> budgets = {});
+                   std::span<const std::uint64_t> budgets = {},
+                   std::span<const QueryKind> kinds = {});
 
   const EngineOptions& options() const { return options_; }
 

@@ -1,0 +1,275 @@
+#include "cfl/grammar.hpp"
+
+#include <cstddef>
+
+#include "support/check.hpp"
+
+namespace parcfl::cfl {
+namespace {
+
+using Symbol = GrammarSpec::Symbol;
+
+// Edge-terminal symbols map one-to-one onto pag::EdgeKind so the walker can
+// index cells[] directly with the edge kind.
+static_assert(static_cast<int>(Symbol::kNew) ==
+              static_cast<int>(pag::EdgeKind::kNew));
+static_assert(static_cast<int>(Symbol::kAssignLocal) ==
+              static_cast<int>(pag::EdgeKind::kAssignLocal));
+static_assert(static_cast<int>(Symbol::kAssignGlobal) ==
+              static_cast<int>(pag::EdgeKind::kAssignGlobal));
+static_assert(static_cast<int>(Symbol::kLoad) ==
+              static_cast<int>(pag::EdgeKind::kLoad));
+static_assert(static_cast<int>(Symbol::kStore) ==
+              static_cast<int>(pag::EdgeKind::kStore));
+static_assert(static_cast<int>(Symbol::kParam) ==
+              static_cast<int>(pag::EdgeKind::kParam));
+static_assert(static_cast<int>(Symbol::kRet) ==
+              static_cast<int>(pag::EdgeKind::kRet));
+
+constexpr const char* kAcceptSinkName = "<accept>";
+
+struct Transition {
+  std::uint32_t from = 0;
+  Symbol symbol = Symbol::kNew;
+  std::uint32_t to = 0;
+};
+
+}  // namespace
+
+const char* to_string(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kPointsTo:
+      return "points-to";
+    case QueryKind::kTaint:
+      return "taint";
+    case QueryKind::kDepends:
+      return "depends";
+  }
+  return "?";
+}
+
+std::optional<GrammarTable> compile_grammar(const GrammarSpec& spec,
+                                            std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return std::optional<GrammarTable>{};
+  };
+  if (spec.productions.empty()) return fail("grammar has no productions");
+  if (spec.start.empty()) return fail("grammar has no start nonterminal");
+
+  // Dense state ids: start first, then remaining lhs in first-appearance
+  // order; fresh normalisation states and the shared accept sink appended.
+  std::vector<std::string> names;
+  auto find_state = [&](const std::string& name) -> std::ptrdiff_t {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == name) return static_cast<std::ptrdiff_t>(i);
+    }
+    return -1;
+  };
+  names.push_back(spec.start);
+  bool start_has_production = false;
+  for (const GrammarSpec::Production& p : spec.productions) {
+    if (p.lhs.empty()) return fail("production with empty lhs");
+    if (p.lhs == spec.start) start_has_production = true;
+    if (find_state(p.lhs) < 0) names.push_back(p.lhs);
+  }
+  if (!start_has_production) {
+    return fail("start nonterminal '" + spec.start + "' has no productions");
+  }
+
+  std::vector<Transition> transitions;
+  std::vector<std::uint32_t> accepting;
+  std::ptrdiff_t sink = -1;  // shared accept state for `-> symbols` tails
+  std::uint32_t fresh = 0;
+
+  for (const GrammarSpec::Production& p : spec.productions) {
+    const std::uint32_t lhs = static_cast<std::uint32_t>(find_state(p.lhs));
+    std::ptrdiff_t tail = -1;
+    if (!p.next.empty()) {
+      tail = find_state(p.next);
+      if (tail < 0) {
+        return fail("production tail '" + p.next +
+                    "' names a nonterminal with no productions");
+      }
+    }
+    if (p.symbols.empty()) {
+      if (tail >= 0) {
+        return fail("unit production '" + p.lhs + " -> " + p.next +
+                    "' is not right-linear normalisable");
+      }
+      accepting.push_back(lhs);
+      continue;
+    }
+    if (tail < 0) {
+      if (sink < 0) {
+        sink = static_cast<std::ptrdiff_t>(names.size());
+        names.push_back(kAcceptSinkName);
+        accepting.push_back(static_cast<std::uint32_t>(sink));
+      }
+      tail = sink;
+    }
+    // Normalise: lhs --s0--> f0 --s1--> ... --sk--> tail.
+    std::uint32_t cur = lhs;
+    for (std::size_t i = 0; i < p.symbols.size(); ++i) {
+      std::uint32_t to;
+      if (i + 1 == p.symbols.size()) {
+        to = static_cast<std::uint32_t>(tail);
+      } else {
+        to = static_cast<std::uint32_t>(names.size());
+        names.push_back(p.lhs + "#" + std::to_string(fresh++));
+      }
+      transitions.push_back(Transition{cur, p.symbols[i], to});
+      cur = to;
+    }
+  }
+
+  if (names.size() > GrammarTable::kMaxStates) {
+    return fail("grammar needs " + std::to_string(names.size()) +
+                " states after normalisation (limit " +
+                std::to_string(GrammarTable::kMaxStates) + ")");
+  }
+
+  GrammarTable table;
+  table.direction = spec.direction;
+  table.root_is_variable = spec.root_is_variable;
+  table.state_count = static_cast<std::uint32_t>(names.size());
+  table.state_names = names;
+  for (const std::uint32_t s : accepting) table.accept[s] = true;
+  for (const Transition& t : transitions) {
+    if (t.symbol == Symbol::kHeap) {
+      if (table.heap[t.from]) {
+        return fail("nondeterministic: state '" + names[t.from] +
+                    "' consumes the heap symbol twice");
+      }
+      table.heap[t.from] = true;
+      table.heap_next[t.from] = static_cast<std::uint8_t>(t.to);
+      continue;
+    }
+    GrammarTable::Cell& cell =
+        table.cells[t.from][static_cast<std::uint32_t>(t.symbol)];
+    if (cell.present) {
+      return fail("nondeterministic: state '" + names[t.from] +
+                  "' consumes edge kind '" +
+                  pag::to_string(static_cast<pag::EdgeKind>(t.symbol)) +
+                  "' twice");
+    }
+    cell.present = true;
+    cell.next = static_cast<std::uint8_t>(t.to);
+  }
+
+  // Emit pass: a transition into a bare accept (accepting, no out-cells, no
+  // heap rule) records the endpoint without pushing it — the fast path's
+  // in-`new` emission at zero extra budget.
+  auto bare_accept = [&](std::uint32_t s) {
+    if (!table.accept[s] || table.heap[s]) return false;
+    for (std::uint32_t k = 0; k < GrammarTable::kEdgeKinds; ++k) {
+      if (table.cells[s][k].present) return false;
+    }
+    return true;
+  };
+  for (std::uint32_t s = 0; s < table.state_count; ++s) {
+    for (std::uint32_t k = 0; k < GrammarTable::kEdgeKinds; ++k) {
+      GrammarTable::Cell& cell = table.cells[s][k];
+      if (cell.present && bare_accept(cell.next)) cell.emit = true;
+    }
+  }
+  return table;
+}
+
+namespace {
+GrammarSpec make_spec(std::string start, Direction direction,
+                      bool root_is_variable,
+                      std::vector<GrammarSpec::Production> productions) {
+  GrammarSpec s;
+  s.start = std::move(start);
+  s.direction = direction;
+  s.root_is_variable = root_is_variable;
+  s.productions = std::move(productions);
+  return s;
+}
+}  // namespace
+
+GrammarSpec pointer_backward_spec() {
+  return make_spec("S", Direction::kBackward, /*root_is_variable=*/true,
+                   {
+                       {"S", {Symbol::kNew}, ""},
+                       {"S", {Symbol::kAssignLocal}, "S"},
+                       {"S", {Symbol::kAssignGlobal}, "S"},
+                       {"S", {Symbol::kParam}, "S"},
+                       {"S", {Symbol::kRet}, "S"},
+                       {"S", {Symbol::kHeap}, "S"},
+                   });
+}
+
+GrammarSpec pointer_forward_spec() {
+  // flowsTo roots are allocation sites, not variables.
+  return make_spec("S", Direction::kForward, /*root_is_variable=*/false,
+                   {
+                       {"S", {}, ""},
+                       {"S", {Symbol::kNew}, "S"},
+                       {"S", {Symbol::kAssignLocal}, "S"},
+                       {"S", {Symbol::kAssignGlobal}, "S"},
+                       {"S", {Symbol::kParam}, "S"},
+                       {"S", {Symbol::kRet}, "S"},
+                       {"S", {Symbol::kHeap}, "S"},
+                   });
+}
+
+GrammarSpec taint_spec() {
+  // No `new` hop: taint sources are variables and forward value flow between
+  // variables never crosses an allocation edge.
+  return make_spec("S", Direction::kForward, /*root_is_variable=*/true,
+                   {
+                       {"S", {}, ""},
+                       {"S", {Symbol::kAssignLocal}, "S"},
+                       {"S", {Symbol::kAssignGlobal}, "S"},
+                       {"S", {Symbol::kParam}, "S"},
+                       {"S", {Symbol::kRet}, "S"},
+                       {"S", {Symbol::kHeap}, "S"},
+                   });
+}
+
+GrammarSpec depends_spec() {
+  // The pointer backward grammar without the terminating `new`: every
+  // variable on the backward slice answers, not just allocation sites.
+  return make_spec("S", Direction::kBackward, /*root_is_variable=*/true,
+                   {
+                       {"S", {}, ""},
+                       {"S", {Symbol::kAssignLocal}, "S"},
+                       {"S", {Symbol::kAssignGlobal}, "S"},
+                       {"S", {Symbol::kParam}, "S"},
+                       {"S", {Symbol::kRet}, "S"},
+                       {"S", {Symbol::kHeap}, "S"},
+                   });
+}
+
+namespace {
+GrammarTable must_compile(const GrammarSpec& spec) {
+  std::string error;
+  std::optional<GrammarTable> table = compile_grammar(spec, &error);
+  PARCFL_CHECK_MSG(table.has_value(), "built-in grammar failed to compile");
+  return *table;
+}
+}  // namespace
+
+const GrammarTable& pointer_backward_table() {
+  static const GrammarTable table = must_compile(pointer_backward_spec());
+  return table;
+}
+
+const GrammarTable& pointer_forward_table() {
+  static const GrammarTable table = must_compile(pointer_forward_spec());
+  return table;
+}
+
+const GrammarTable& taint_table() {
+  static const GrammarTable table = must_compile(taint_spec());
+  return table;
+}
+
+const GrammarTable& depends_table() {
+  static const GrammarTable table = must_compile(depends_spec());
+  return table;
+}
+
+}  // namespace parcfl::cfl

@@ -1,0 +1,131 @@
+#pragma once
+// Compiled query grammars (DESIGN.md §15). The solver's traversal core is
+// CFL-reachability over PAG edge kinds; the pointer grammar stays hard-coded
+// as the fast path, but the same worklist machinery answers taint and
+// data-dependence queries. A GrammarSpec is a small deterministic right-linear
+// grammar over edge-kind terminals plus the composite heap-parenthesis symbol
+// (which stands for the whole `st(f) .. alias .. ld(f)` group matched through
+// recursive ReachableNodes sub-queries). compile_grammar() validates it,
+// normalises multi-symbol productions into single-step transitions with fresh
+// intermediate states, and emits a dense state × edge-kind table that
+// Solver::reach walks with the same budgeted loop as the hard-coded paths.
+//
+// Deliberately small: deterministic right-linear means a traversal carries one
+// grammar state per (node, ctx) configuration and never branches on grammar
+// structure — the shape the zero-alloc worklist loop requires. Arbitrary CFLs
+// (user-defined nested parentheses) are out of scope; the built-in
+// parenthesis structure (RCS call contexts over param/ret, heap field parens)
+// is reused through direction-derived context actions and the heap symbol.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cfl/jmp_store.hpp"
+#include "pag/pag.hpp"
+
+namespace parcfl::cfl {
+
+/// Query kinds the engine dispatches on. Pointer queries take the hard-coded
+/// fast path (or an explicit table override in tests); taint/depends run the
+/// generic table walker.
+enum class QueryKind : std::uint8_t { kPointsTo = 0, kTaint = 1, kDepends = 2 };
+const char* to_string(QueryKind kind);
+
+struct GrammarSpec {
+  /// Terminals a production may consume. The first seven mirror pag::EdgeKind
+  /// one-to-one (traversed over in_edges backward / out_edges forward); kHeap
+  /// is the composite field-parenthesis group resolved by ReachableNodes.
+  enum class Symbol : std::uint8_t {
+    kNew = 0,
+    kAssignLocal,
+    kAssignGlobal,
+    kLoad,
+    kStore,
+    kParam,
+    kRet,
+    kHeap,
+  };
+
+  /// One right-linear production: `lhs -> symbols... next`. An empty `next`
+  /// means the derivation may stop after consuming `symbols`; an empty
+  /// `symbols` list with empty `next` marks lhs itself accepting. Nonterminals
+  /// are named; the compiler assigns dense state ids (start = state 0).
+  struct Production {
+    std::string lhs;
+    std::vector<Symbol> symbols;
+    std::string next;
+  };
+
+  std::string start;
+  Direction direction = Direction::kBackward;
+  /// Query roots must be variable nodes (the service's answer domain). The
+  /// pointer forward grammar starts at allocation sites instead.
+  bool root_is_variable = true;
+  std::vector<Production> productions;
+};
+
+/// Dense transition/accept tables, compiled once at session open and walked by
+/// Solver::reach. Context actions are not stored: they are fully determined by
+/// edge kind and direction (param/ret are the RCS call parentheses whichever
+/// grammar consumes them; assign_global clears), so the walker derives them.
+///
+/// Answer semantics: visiting a *variable* node in an accepting state records
+/// it; a transition whose target is a bare accept sink (accepting, no
+/// outgoing transitions, no heap rule) is compiled to `emit` — the far
+/// endpoint is recorded verbatim without being pushed, which is exactly the
+/// fast path's in-`new` emission of allocation sites at zero extra budget.
+struct GrammarTable {
+  static constexpr std::uint32_t kMaxStates = 4;
+  static constexpr std::uint32_t kEdgeKinds = pag::kEdgeKindCount;
+
+  struct Cell {
+    bool present = false;   // this state consumes this edge kind
+    bool emit = false;      // record the endpoint instead of pushing it
+    std::uint8_t next = 0;  // target state when pushed
+  };
+
+  Direction direction = Direction::kBackward;
+  bool root_is_variable = true;
+  std::uint32_t state_count = 0;
+  Cell cells[kMaxStates][kEdgeKinds] = {};
+  bool heap[kMaxStates] = {};             // heap-paren group enabled here
+  std::uint8_t heap_next[kMaxStates] = {};
+  bool accept[kMaxStates] = {};
+  std::vector<std::string> state_names;   // diagnostics / tests
+};
+
+/// Compile a spec into tables. On failure returns nullopt and fills `error`
+/// with a one-line reason. Rejected: empty grammar, start without productions,
+/// a `next` naming a nonterminal with no productions, a production with no
+/// symbols but a non-empty `next` (unit production — not normalisable here),
+/// two productions from one state consuming the same symbol (nondeterminism),
+/// and more than kMaxStates states after normalisation.
+std::optional<GrammarTable> compile_grammar(const GrammarSpec& spec,
+                                            std::string* error);
+
+// ---- built-in grammars ------------------------------------------------------
+
+/// flowsTo̅ (points-to): S -> new | assign S | assign_g S | param S | ret S |
+/// heap S over inverse edges — equivalent to the hard-coded backward path.
+GrammarSpec pointer_backward_spec();
+/// flowsTo: every variable visited along the forward walk answers.
+GrammarSpec pointer_forward_spec();
+/// `taint <source> <sink>`: forward value flow from a variable — the pointer
+/// forward grammar minus the `new` hop (sources are variables, not
+/// allocation sites).
+GrammarSpec taint_spec();
+/// `depends <x> <y>`: backward data-dependence slice rooted at x — the
+/// pointer backward grammar with every variable on the slice answering
+/// instead of terminating at allocation sites.
+GrammarSpec depends_spec();
+
+/// Compiled singletons. The specs above are known-good, so compilation cannot
+/// fail (checked once under PARCFL_CHECK on first use).
+const GrammarTable& pointer_backward_table();
+const GrammarTable& pointer_forward_table();
+const GrammarTable& taint_table();
+const GrammarTable& depends_table();
+
+}  // namespace parcfl::cfl

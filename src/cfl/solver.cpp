@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cfl/grammar.hpp"
 #include "support/check.hpp"
 
 namespace parcfl::cfl {
@@ -60,6 +61,30 @@ void Solver::flows_to(NodeId o, QueryResult& out) {
   run_query(o, Direction::kForward, out);
 }
 
+Solver::Key Solver::generic_key(std::uint32_t state, NodeId n, CtxId c) {
+  PARCFL_DCHECK(state < GrammarTable::kMaxStates);
+  PARCFL_DCHECK(n.value() < (1u << 31) && c.value() < (1u << 31));
+  return (static_cast<std::uint64_t>(state) << 62) |
+         (static_cast<std::uint64_t>(n.value()) << 31) | c.value();
+}
+
+QueryResult Solver::reach(NodeId root, const GrammarTable& table) {
+  QueryResult out;
+  reach(root, table, out);
+  return out;
+}
+
+void Solver::reach(NodeId root, const GrammarTable& table, QueryResult& out) {
+  PARCFL_CHECK_MSG(partition_ == nullptr,
+                   "generic-grammar queries are unsupported on partitioned "
+                   "workers (the router rejects them upstream)");
+  PARCFL_CHECK_MSG(!table.root_is_variable || pag_.is_variable(root),
+                   "grammar query root must be a variable node");
+  grammar_ = &table;
+  run_query(root, table.direction, out);
+  grammar_ = nullptr;
+}
+
 const char* Solver::to_string(Via via) {
   switch (via) {
     case Via::kQueryRoot: return "query";
@@ -114,7 +139,7 @@ Solver::PendingJmp& Solver::pending_for(std::uint64_t jmp_key) {
 Solver::MemoryStats Solver::memory_stats() const {
   MemoryStats m;
   m.table_rehashes = pts_memo_.rehash_count() + flows_memo_.rehash_count() +
-                     pending_map_.rehash_count() +
+                     generic_memo_.rehash_count() + pending_map_.rehash_count() +
                      consumed_jmp_keys_.rehash_count() +
                      witness_pred_.rehash_count() + witness_obj_.rehash_count();
   memo_slab_.for_each_constructed([&](const MemoEntry& e) {
@@ -130,6 +155,7 @@ Solver::MemoryStats Solver::memory_stats() const {
                         frame->rn_out.present.rehash_count();
     m.scratch_capacity_bytes +=
         frame->work.capacity() * sizeof(PtPair) +
+        frame->work_state.capacity() +
         frame->rn_found.capacity() * sizeof(JmpTarget) +
         frame->rn_out.items.capacity() * sizeof(PtPair);
   }
@@ -698,6 +724,125 @@ const Solver::ResultSet& Solver::compute_flows_to(NodeId root, CtxId rc) {
   return entry.set;
 }
 
+const Solver::ResultSet& Solver::compute_generic(NodeId root, CtxId rc,
+                                                 std::uint32_t state) {
+  const GrammarTable& g = *grammar_;
+  const Key key = generic_key(state, root, rc);
+  MemoEntry& entry = memo_entry(generic_memo_, key);
+  if (entry.state == MemoEntry::State::kDone) {
+    taint_flag_ = taint_flag_ || entry.tainted;
+    return entry.set;
+  }
+  if (entry.state == MemoEntry::State::kInProgress) {
+    taint_flag_ = true;  // cycle: the caller sees a partial set
+    return entry.set;
+  }
+
+  entry.state = MemoEntry::State::kInProgress;
+  if (++recursion_depth_ > options_.max_recursion_depth)
+    out_of_budget(0, /*early=*/false);
+  if (trace_ != nullptr && recursion_depth_ > depth_high_water_)
+    depth_high_water_ = recursion_depth_;
+  const bool outer_taint = taint_flag_;
+  taint_flag_ = false;
+
+  const bool backward = g.direction == Direction::kBackward;
+  Frame& frame = frame_at(recursion_depth_);
+  std::vector<PtPair>& work = frame.work;
+  std::vector<std::uint8_t>& work_state = frame.work_state;
+  support::FlatSet& visited = frame.visited;
+  work.clear();
+  work_state.clear();
+  visited.clear();
+  auto push = [&](NodeId n, CtxId cc, std::uint8_t s) {
+    if (!visited.insert(generic_key(s, n, cc))) return;
+    work.push_back(PtPair{n, cc});
+    work_state.push_back(s);
+  };
+  push(root, rc, static_cast<std::uint8_t>(state));
+
+  while (!work.empty()) {
+    const PtPair cur = work.back();
+    const std::uint8_t s = work_state.back();
+    work.pop_back();
+    work_state.pop_back();
+    const NodeId u = cur.node;
+    const CtxId cu = cur.ctx;
+    step();
+
+    // A variable visited in an accepting state is an answer (the forward
+    // loop's accept-at-visit; allocation sites instead arrive through `emit`
+    // cells below, mirroring the backward loop's in-`new` emission).
+    if (g.accept[s] && pag_.is_variable(u)) {
+      if (entry.set.add(u, cu)) grew_ = true;
+    }
+
+    // Transitions in EdgeKind order — the same relative order in which the
+    // hard-coded loops push, so pointer-table walks charge identically.
+    for (std::uint32_t k = 0; k < GrammarTable::kEdgeKinds; ++k) {
+      const GrammarTable::Cell cell = g.cells[s][k];
+      if (!cell.present) continue;
+      const auto kind = static_cast<EdgeKind>(k);
+      const auto edges =
+          backward ? pag_.in_edges(u, kind) : pag_.out_edges(u, kind);
+      for (const HalfEdge he : edges) {
+        CtxId cc = cu;
+        if (kind == EdgeKind::kAssignGlobal) {
+          cc = ContextTable::empty();
+        } else if (options_.context_sensitive &&
+                   (kind == EdgeKind::kParam || kind == EdgeKind::kRet)) {
+          // RCS parentheses: whichever grammar consumes a param/ret edge, the
+          // context action is fixed by kind and direction — backward exits
+          // the callee over param and enters over ret; forward mirrors.
+          const bool enter =
+              backward ? kind == EdgeKind::kRet : kind == EdgeKind::kParam;
+          if (enter) {
+            cc = contexts_.push(cu, pag::CallSiteId(he.aux));
+            if (!cc.valid()) out_of_budget(0, /*early=*/false);
+          } else if (cu == ContextTable::empty()) {
+            cc = cu;  // partial balance on the empty stack
+          } else if (contexts_.top(cu) == pag::CallSiteId(he.aux)) {
+            cc = contexts_.pop(cu);
+          } else {
+            continue;  // unrealisable call path
+          }
+        }
+        if (cell.emit) {
+          if (entry.set.add(he.other, cc)) grew_ = true;
+        } else {
+          push(he.other, cc, cell.next);
+        }
+      }
+    }
+
+    // Heap-paren group last, exactly where the hard-coded loops run it. The
+    // bodies issue pointer-semantics alias sub-queries, so their jmp keys are
+    // grammar-independent and warm state is shared across query kinds.
+    if (g.heap[s] && options_.field_sensitive) {
+      const bool wanted =
+          backward ? !pag_.in_edges(u, EdgeKind::kLoad).empty()
+                   : pag_.is_variable(u) &&
+                         !pag_.out_edges(u, EdgeKind::kStore).empty();
+      if (wanted) {
+        ResultSet& rch = frame.rn_out;
+        rch.reset();
+        if (backward)
+          reachable_nodes_backward(u, cu, rch);
+        else
+          reachable_nodes_forward(u, cu, rch);
+        for (const PtPair& t : rch.items)
+          push(t.node, t.ctx, g.heap_next[s]);
+      }
+    }
+  }
+
+  --recursion_depth_;
+  entry.tainted = taint_flag_;
+  entry.state = MemoEntry::State::kDone;
+  taint_flag_ = outer_taint || entry.tainted;
+  return entry.set;
+}
+
 void Solver::run_query(NodeId root, CtxId rc, Direction dir, QueryResult& out) {
   // Pin the reclamation epoch for the whole query: jmp lookups hand back raw
   // pointers into store-owned records, and the pin keeps any record retired
@@ -710,6 +855,7 @@ void Solver::run_query(NodeId root, CtxId rc, Direction dir, QueryResult& out) {
   // Epoch-clear the maps and rewind the slabs: O(1), keeps all storage.
   pts_memo_.clear();
   flows_memo_.clear();
+  generic_memo_.clear();
   memo_slab_.reset();
   pending_map_.clear();
   pending_slab_.reset();
@@ -732,8 +878,11 @@ void Solver::run_query(NodeId root, CtxId rc, Direction dir, QueryResult& out) {
                  dir == Direction::kForward ? 1u : 0u);
   }
 
-  auto& memo = dir == Direction::kBackward ? pts_memo_ : flows_memo_;
-  const Key root_key = make_key(root, rc);
+  auto& memo = grammar_ != nullptr
+                   ? generic_memo_
+                   : (dir == Direction::kBackward ? pts_memo_ : flows_memo_);
+  const Key root_key =
+      grammar_ != nullptr ? generic_key(0, root, rc) : make_key(root, rc);
 
   out.status = QueryStatus::kComplete;
   out.tuples.clear();
@@ -745,7 +894,9 @@ void Solver::run_query(NodeId root, CtxId rc, Direction dir, QueryResult& out) {
       iteration_ = iterations;
       grew_ = false;
       taint_flag_ = false;
-      if (dir == Direction::kBackward)
+      if (grammar_ != nullptr)
+        compute_generic(root, rc, /*state=*/0);
+      else if (dir == Direction::kBackward)
         compute_points_to(root, rc);
       else
         compute_flows_to(root, rc);

@@ -70,6 +70,8 @@
 
 namespace parcfl::cfl {
 
+struct GrammarTable;  // cfl/grammar.hpp
+
 struct SolverOptions {
   std::uint64_t budget = 75000;   // B — max charged steps per query (paper §IV-A)
   bool context_sensitive = true;  // RCS filtering on param/ret parentheses
@@ -213,6 +215,21 @@ class Solver {
   void points_to(pag::NodeId l, QueryResult& out);
   void flows_to(pag::NodeId o, QueryResult& out);
 
+  /// Generic-grammar reachability (DESIGN.md §15): walk the PAG under a
+  /// compiled GrammarTable — the machinery behind the `taint` and `depends`
+  /// query kinds, and (with the pointer table) a semantics-identical slow
+  /// path used to pin the hard-coded fast path in tests. Shares the budget /
+  /// memo / fixpoint / warm-state plumbing with points_to; heap-paren groups
+  /// still run pointer-semantics ReachableNodes sub-queries, so jmp keys stay
+  /// grammar-independent and the shared store remains sound across kinds.
+  /// Unsupported on partitioned workers (checked). `cold` keeps the whole
+  /// generic path in .text.unlikely, away from the pointer fast path's
+  /// working set (see compute_generic below).
+  __attribute__((cold)) QueryResult reach(pag::NodeId root,
+                                          const GrammarTable& table);
+  __attribute__((cold)) void reach(pag::NodeId root, const GrammarTable& table,
+                                   QueryResult& out);
+
   /// May v1 and v2 point to a common object? (client helper; both sub-queries
   /// must complete for a definitive "no").
   enum class AliasAnswer : std::uint8_t { kNo, kMay, kUnknown };
@@ -314,6 +331,11 @@ class Solver {
     return (static_cast<std::uint64_t>(n.value()) << 32) | c.value();
   }
 
+  /// Generic-walk keys carry the grammar state in the top bits (kMaxStates is
+  /// 4, so 2 bits suffice); node and ctx shrink to 31 bits each, far above
+  /// any real graph or context-table size.
+  static Key generic_key(std::uint32_t state, pag::NodeId n, CtxId c);
+
   struct ResultSet {
     std::vector<PtPair> items;
     support::FlatSet present;
@@ -367,6 +389,16 @@ class Solver {
   const ResultSet& compute_points_to(pag::NodeId x, CtxId c);
   const ResultSet& compute_flows_to(pag::NodeId o, CtxId c);
 
+  /// Table-driven variant of the two loops above, active when grammar_ is
+  /// set: one worklist walk carrying (node, ctx, grammar state), transitions
+  /// and accepts read from the compiled table, context actions derived from
+  /// edge kind + direction. Heap groups recurse into the pointer-semantics
+  /// ReachableNodes bodies. Kept out of the hot text section: the pointer
+  /// fast path shares this TU, and letting this loop interleave with
+  /// compute_points_to's code costs the headline measurable icache misses.
+  __attribute__((cold, noinline)) const ResultSet& compute_generic(
+      pag::NodeId x, CtxId c, std::uint32_t state);
+
   /// Heap-access match for the backward (PointsTo) direction: all (y, c')
   /// such that some load x = p.f matches a store q.f = y with q alias p.
   void reachable_nodes_backward(pag::NodeId x, CtxId c, ResultSet& out);
@@ -411,6 +443,8 @@ class Solver {
   ContextTable& contexts_;
   JmpStore* store_;
   SolverOptions options_;
+  /// Active compiled grammar, non-null only for the duration of reach().
+  const GrammarTable* grammar_ = nullptr;
 
   // ---- per-query (epoch-cleared and slab-recycled across queries) ---------
   /// Memo tables map packed keys to indices into `memo_slab_`; the entries
@@ -418,6 +452,11 @@ class Solver {
   /// addresses are stable under rehash and their buffers survive clear().
   support::FlatMap<std::uint32_t> pts_memo_;
   support::FlatMap<std::uint32_t> flows_memo_;
+  /// Memo for generic-grammar walks, keyed by generic_key. Entries share
+  /// memo_slab_ so the fixpoint demote-stale sweep covers them uniformly;
+  /// pointer sub-queries issued from heap groups still land in
+  /// pts_memo_/flows_memo_.
+  support::FlatMap<std::uint32_t> generic_memo_;
   support::Slab<MemoEntry> memo_slab_;
   std::vector<SharingFrame> sharing_stack_;  // the S of Algorithm 2
 
@@ -467,6 +506,8 @@ class Solver {
   /// (single) ReachableNodes call active at depth d owns its rn_* members.
   struct Frame {
     std::vector<PtPair> work;
+    std::vector<std::uint8_t> work_state;  // generic walks only: grammar
+                                           // state, in lockstep with `work`
     support::FlatSet visited;
     ResultSet rn_out;
     std::vector<JmpTarget> rn_found;

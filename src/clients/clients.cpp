@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cfl/grammar.hpp"
 #include "support/check.hpp"
 #include "support/union_find.hpp"
 
@@ -149,6 +150,25 @@ std::vector<NullnessReport> check_dereferences(
     reports.push_back(r);
   }
   return reports;
+}
+
+namespace {
+
+FlowVerdict flow_verdict(const cfl::QueryResult& r, NodeId target) {
+  if (r.contains(target)) return FlowVerdict::kFlows;
+  return r.complete() ? FlowVerdict::kNoFlow : FlowVerdict::kUnknown;
+}
+
+}  // namespace
+
+FlowVerdict taint_flows(cfl::Solver& solver, NodeId source, NodeId sink) {
+  cfl::QueryResult r = solver.reach(source, cfl::taint_table());
+  return flow_verdict(r, sink);
+}
+
+FlowVerdict depends_on(cfl::Solver& solver, NodeId x, NodeId y) {
+  cfl::QueryResult r = solver.reach(x, cfl::depends_table());
+  return flow_verdict(r, y);
 }
 
 ModRefAnalysis::ModRefAnalysis(const pag::Pag& pag, const PointsToTable& table) {

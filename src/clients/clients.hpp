@@ -94,6 +94,26 @@ std::vector<NullnessReport> check_dereferences(
     const pag::Pag& pag, const PointsToTable& table,
     std::span<const pag::NodeId> null_objects);
 
+// ---- flow-query clients (taint / dependence; DESIGN.md §15) -----------------
+
+enum class FlowVerdict : std::uint8_t {
+  kFlows,    // a grammar path proves the flow/dependence
+  kNoFlow,   // the traversal completed and found no path
+  kUnknown,  // the traversal was truncated before the answer was settled
+};
+
+/// Forward value-flow query: may a value read through variable `source` reach
+/// variable `sink`? One Solver::reach traversal under the taint grammar, then
+/// a membership test — the embedded form of the service's `taint` verb
+/// (identical ternary, so a client library and a wire client agree).
+/// Conservative like everything here: kNoFlow needs a complete traversal.
+FlowVerdict taint_flows(cfl::Solver& solver, pag::NodeId source,
+                        pag::NodeId sink);
+
+/// Backward data-dependence query: may variable `x`'s value depend on
+/// variable `y`? One Solver::reach traversal under the depends grammar.
+FlowVerdict depends_on(cfl::Solver& solver, pag::NodeId x, pag::NodeId y);
+
 // ---- mod-ref client ----------------------------------------------------------
 
 /// May-read / may-write sets of heap cells (object, field) per method,

@@ -165,13 +165,28 @@ std::vector<std::vector<Move>> doubled_adjacency(const Pag& pag) {
 
 }  // namespace
 
-BruteForceResult brute_force_flows_to(const Pag& pag, NodeId o,
-                                      const BruteForceOptions& options) {
-  PARCFL_CHECK(pag.is_object(o));
-  const Grammar grammar = build_lfs_grammar(pag.field_count());
+Grammar build_taint_grammar(std::uint32_t field_count) {
+  Grammar g = build_lfs_grammar(field_count);
+  g.start = kR;
+  return g;
+}
+
+Grammar build_depends_grammar(std::uint32_t field_count) {
+  Grammar g = build_lfs_grammar(field_count);
+  g.start = kRb;
+  return g;
+}
+
+namespace {
+
+BruteForceResult enumerate_reach(const Pag& pag, NodeId root,
+                                 const Grammar& grammar,
+                                 const BruteForceOptions& options,
+                                 bool accept_root) {
   const auto adj = doubled_adjacency(pag);
 
   std::unordered_set<std::uint32_t> accepted;
+  if (accept_root && pag.is_variable(root)) accepted.insert(root.value());
   std::vector<std::uint32_t> labels;
   std::vector<std::uint32_t> cstack;
   std::uint64_t paths = 0;
@@ -235,13 +250,28 @@ BruteForceResult brute_force_flows_to(const Pag& pag, NodeId o,
 
   for (depth_limit = 1; depth_limit <= options.max_path_length && !truncated;
        ++depth_limit)
-    dfs(dfs, o.value());
+    dfs(dfs, root.value());
 
   BruteForceResult result;
   result.vars.assign(accepted.begin(), accepted.end());
   std::sort(result.vars.begin(), result.vars.end());
   result.truncated = truncated;
   return result;
+}
+
+}  // namespace
+
+BruteForceResult brute_force_flows_to(const Pag& pag, NodeId o,
+                                      const BruteForceOptions& options) {
+  PARCFL_CHECK(pag.is_object(o));
+  return enumerate_reach(pag, o, build_lfs_grammar(pag.field_count()), options,
+                         /*accept_root=*/false);
+}
+
+BruteForceResult brute_force_reach(const Pag& pag, NodeId root,
+                                   const Grammar& grammar,
+                                   const BruteForceOptions& options) {
+  return enumerate_reach(pag, root, grammar, options, /*accept_root=*/true);
 }
 
 }  // namespace parcfl::oracle

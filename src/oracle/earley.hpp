@@ -53,6 +53,18 @@ struct BruteForceOptions {
 /// Terminal ids (see earley.cpp) are dense after the nonterminals.
 Grammar build_lfs_grammar(std::uint32_t field_count);
 
+/// Ground-truth grammars for the service's other query kinds (DESIGN.md §15),
+/// sharing the LFS production set with a different start symbol:
+///  * taint — forward value flow between variables: nonempty sequences of A
+///    elements (assigns, incl. param/ret under RCS, and st(f)..alias..ld(f)
+///    heap groups), i.e. start = R;
+///  * depends — backward data-dependence slices: the inverse Ab sequences,
+///    start = Rb.
+/// Neither derives the empty string; brute_force_reach accepts the query root
+/// itself separately (the solver accepts it at zero consumed symbols).
+Grammar build_taint_grammar(std::uint32_t field_count);
+Grammar build_depends_grammar(std::uint32_t field_count);
+
 struct BruteForceResult {
   std::vector<std::uint32_t> vars;  // sorted, deduplicated
   /// True when the enumeration budget ran out before all paths up to
@@ -67,5 +79,14 @@ struct BruteForceResult {
 /// always found before the enumeration budget can run out on longer ones.
 BruteForceResult brute_force_flows_to(const pag::Pag& pag, pag::NodeId o,
                                       const BruteForceOptions& options = {});
+
+/// Grammar-generalised enumeration: all variables reachable from `root` along
+/// some realisable path (<= max_path_length) whose label string derives from
+/// `grammar.start`, plus `root` itself when it is a variable — intended for
+/// the taint/depends grammars, whose accepting start state covers the empty
+/// path. Differentially pins Solver::reach for every new query kind.
+BruteForceResult brute_force_reach(const pag::Pag& pag, pag::NodeId root,
+                                   const Grammar& grammar,
+                                   const BruteForceOptions& options = {});
 
 }  // namespace parcfl::oracle

@@ -156,8 +156,10 @@ bool parse_request(std::string_view line, std::uint32_t node_count,
   }
 
   const std::string_view verb = tokens[0];
-  const bool tenant_ok = verb == "query" || verb == "alias" || verb == "save" ||
-                         verb == "load" || verb == "update" || verb == "index";
+  const bool tenant_ok = verb == "query" || verb == "alias" ||
+                         verb == "taint" || verb == "depends" ||
+                         verb == "save" || verb == "load" ||
+                         verb == "update" || verb == "index";
   if (!out.tenant.empty() && !tenant_ok)
     return fail(error, "verb does not take a tenant prefix");
   if (verb == "query") {
@@ -166,9 +168,12 @@ bool parse_request(std::string_view line, std::uint32_t node_count,
     if (!parse_node(tokens[1], node_count, out.a, error)) return false;
     return parse_options(tokens, 2, out, error);
   }
-  if (verb == "alias") {
-    out.verb = Verb::kAlias;
-    if (tokens.size() < 3) return fail(error, "alias needs two node ids");
+  if (verb == "alias" || verb == "taint" || verb == "depends") {
+    out.verb = verb == "alias"   ? Verb::kAlias
+               : verb == "taint" ? Verb::kTaint
+                                 : Verb::kDepends;
+    if (tokens.size() < 3)
+      return fail(error, "alias/taint/depends need two node ids");
     if (!parse_node(tokens[1], node_count, out.a, error)) return false;
     if (!parse_node(tokens[2], node_count, out.b, error)) return false;
     return parse_options(tokens, 3, out, error);
@@ -312,6 +317,21 @@ std::string format_reply(const Reply& reply) {
       break;
     case Verb::kAlias:
       os << ' ' << to_string(reply.alias) << ' ' << reply.charged_steps;
+      break;
+    case Verb::kTaint:
+      // Same ternary as alias, rendered in taint vocabulary.
+      os << ' '
+         << (reply.alias == cfl::Solver::AliasAnswer::kMay  ? "tainted"
+             : reply.alias == cfl::Solver::AliasAnswer::kNo ? "clean"
+                                                            : "unknown")
+         << ' ' << reply.charged_steps;
+      break;
+    case Verb::kDepends:
+      os << ' '
+         << (reply.alias == cfl::Solver::AliasAnswer::kMay  ? "depends"
+             : reply.alias == cfl::Solver::AliasAnswer::kNo ? "independent"
+                                                            : "unknown")
+         << ' ' << reply.charged_steps;
       break;
     case Verb::kStats:
       os << ' ' << reply.text;

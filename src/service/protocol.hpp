@@ -8,6 +8,8 @@
 //
 //   query <node> [budget <steps>] [deadline <ms>]   points-to set of <node>
 //   alias <a> <b> [budget <steps>] [deadline <ms>]  may-alias of two nodes
+//   taint <src> <sink> [budget ..] [deadline ..]    may <src> flow to <sink>
+//   depends <x> <y> [budget ..] [deadline ..]       may <x> depend on <y>
 //   stats                                           ServiceStats JSON
 //   metrics                                         Prometheus text exposition
 //   slowlog [n]                                     last n slow-query records
@@ -35,8 +37,15 @@
 // per connection, union-idempotent, until `creset`. `cont` runs the solver
 // from its configuration with the accumulated facts seeded.
 //
-// Multi-tenant addressing: any data-plane verb (query/alias/save/load/
-// update/index) may be prefixed with `@<tenant>`, e.g. `@acme query v17`. Bare verbs hit
+// `taint` and `depends` run the grammar-generalised solver (DESIGN.md §15):
+// `taint a b` asks whether a value may flow from variable <src> to variable
+// <sink> (forward value-flow grammar); `depends x y` asks whether <x>'s value
+// may depend on <y> (backward slice grammar). Both arguments must be variable
+// nodes, and partitioned workers reject the verbs (the continuation plane is
+// pointer-only).
+//
+// Multi-tenant addressing: any data-plane verb (query/alias/taint/depends/
+// save/load/update/index) may be prefixed with `@<tenant>`, e.g. `@acme query v17`. Bare verbs hit
 // the default tenant — the graph the server was started with — so every
 // pre-manager client keeps working unchanged. Tenant names are confined to
 // [A-Za-z0-9_.-], at most kMaxTenantName bytes, and never "." or ".." (the
@@ -52,6 +61,8 @@
 //
 //   ok complete|partial|early <charged> <n> <id>*n   query
 //   ok no|may|unknown <charged>                      alias
+//   ok tainted|clean|unknown <charged>               taint
+//   ok depends|independent|unknown <charged>         depends
 //   ok pong | ok saved <path> | ok loaded <path>     ping/save/load
 //   ok updated <summary>                             update
 //   ok opened <name> | ok closed <name>              open/close
@@ -96,6 +107,8 @@ namespace parcfl::service {
 enum class Verb : std::uint8_t {
   kQuery,
   kAlias,
+  kTaint,    // may <a> flow to <b>? (forward value-flow grammar)
+  kDepends,  // may <a> depend on <b>? (backward slice grammar)
   kStats,
   kMetrics,
   kSlowLog,
@@ -184,6 +197,8 @@ struct Reply {
   Verb verb = Verb::kPing;
   cfl::QueryStatus query_status = cfl::QueryStatus::kComplete;
   std::vector<pag::NodeId> objects;  // query: sorted points-to set
+  /// Ternary verdict for the two-node verbs: alias renders no|may|unknown,
+  /// taint renders clean|tainted|unknown, depends independent|depends|unknown.
   cfl::Solver::AliasAnswer alias = cfl::Solver::AliasAnswer::kUnknown;
   std::uint64_t charged_steps = 0;
   std::string text;  // stats JSON, metrics/slowlog payload, path, or error

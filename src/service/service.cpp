@@ -329,6 +329,15 @@ std::future<Reply> QueryService::submit(Request request) {
     case Verb::kQuit:
       promise.set_value(ready_reply(Reply::Status::kOk, request.verb));
       return future;
+    case Verb::kPart:
+    case Verb::kCont:
+    case Verb::kCFact:
+    case Verb::kCReset:
+      // Worker verbs are served by the wire layer (service/worker.cpp);
+      // nothing routes them here, but parsing stays total anyway.
+      promise.set_value(ready_reply(Reply::Status::kError, request.verb,
+                                    "worker verb outside the worker loop"));
+      return future;
     case Verb::kUpdate:
       // Falls through to the queue: the delta must be applied by the
       // collector thread between batches, never from a client thread.
@@ -341,14 +350,17 @@ std::future<Reply> QueryService::submit(Request request) {
       break;
     case Verb::kQuery:
     case Verb::kAlias:
+    case Verb::kTaint:
+    case Verb::kDepends:
       if (request.tenant.empty()) {
         // The wire parser only bounds-checks ids; points_to is defined on
-        // variable nodes, so reject anything else here rather than tripping
-        // the solver's precondition check mid-batch. is_variable_node reads
-        // under the graph lock, and stays valid across updates (node ids are
-        // never removed, kinds never change).
+        // variable nodes — and so are both ends of alias/taint/depends — so
+        // reject anything else here rather than tripping the solver's
+        // precondition check mid-batch. is_variable_node reads under the
+        // graph lock, and stays valid across updates (node ids are never
+        // removed, kinds never change).
         if (!default_session_->is_variable_node(request.a) ||
-            (request.verb == Verb::kAlias &&
+            (request.verb != Verb::kQuery &&
              !default_session_->is_variable_node(request.b))) {
           promise.set_value(ready_reply(Reply::Status::kError, request.verb,
                                         "not a variable node"));
@@ -549,13 +561,24 @@ void QueryService::execute_batch(std::vector<Pending> batch) {
       p.promise.set_value(ready_reply(Reply::Status::kShedDeadline, p.request.verb));
       continue;
     }
+    // The continuation plane is pointer-only: a partitioned worker's batch
+    // queries answer partition-local *pointer* reachability, and the grammar
+    // walker refuses to run partitioned (Solver::reach checks). Reject here,
+    // before the item reaches the engine.
+    if ((p.request.verb == Verb::kTaint || p.request.verb == Verb::kDepends) &&
+        session->partitioned()) {
+      p.promise.set_value(
+          ready_reply(Reply::Status::kError, p.request.verb,
+                      "taint/depends unsupported on a partitioned worker"));
+      continue;
+    }
     if (!tenant.empty()) {
       // Tenant requests skip node validation at parse (the graph need not be
       // resident then); do it now against the leased session.
       const std::uint32_t n = session->node_count();
       bool bad = p.request.a.value() >= n ||
                  !session->is_variable_node(p.request.a);
-      if (p.request.verb == Verb::kAlias)
+      if (p.request.verb != Verb::kQuery)
         bad = bad || p.request.b.value() >= n ||
               !session->is_variable_node(p.request.b);
       if (bad) {
@@ -598,7 +621,12 @@ void QueryService::execute_batch(std::vector<Pending> batch) {
   std::vector<Session::Item> items;
   items.reserve(live.size() + 4);
   for (const Pending& p : live) {
-    items.push_back(Session::Item{p.request.a, p.request.budget});
+    Session::Item item{p.request.a, p.request.budget};
+    if (p.request.verb == Verb::kTaint)
+      item.kind = cfl::QueryKind::kTaint;
+    else if (p.request.verb == Verb::kDepends)
+      item.kind = cfl::QueryKind::kDepends;
+    items.push_back(item);
     if (p.request.verb == Verb::kAlias)
       items.push_back(Session::Item{p.request.b, p.request.budget});
   }
@@ -619,7 +647,26 @@ void QueryService::execute_batch(std::vector<Pending> batch) {
       r.query_status = item.status;
       r.charged_steps = item.charged_steps;
       r.objects = std::move(item.objects);
-      recorder_.record_request(latency_ms, /*alias=*/false);
+      recorder_.record_request(latency_ms, StatsRecorder::Served::kQuery);
+    } else if (p.request.verb == Verb::kTaint ||
+               p.request.verb == Verb::kDepends) {
+      // One traversal, membership test on the sink/criterion: <b> in the
+      // grammar's reach set proves may-flow/may-depend; absent + complete
+      // proves not; absent + truncated stays unknown. The set itself never
+      // crosses the wire — the ternary is the whole answer.
+      const Session::ItemResult& item = result.items[next_item++];
+      const bool hit = std::binary_search(item.objects.begin(),
+                                          item.objects.end(), p.request.b);
+      r.alias = hit ? cfl::Solver::AliasAnswer::kMay
+                : item.status == cfl::QueryStatus::kComplete
+                    ? cfl::Solver::AliasAnswer::kNo
+                    : cfl::Solver::AliasAnswer::kUnknown;
+      r.query_status = item.status;
+      r.charged_steps = item.charged_steps;
+      recorder_.record_request(latency_ms,
+                               p.request.verb == Verb::kTaint
+                                   ? StatsRecorder::Served::kTaint
+                                   : StatsRecorder::Served::kDepends);
     } else {
       const Session::ItemResult& a = result.items[next_item++];
       const Session::ItemResult& b = result.items[next_item++];
@@ -627,7 +674,7 @@ void QueryService::execute_batch(std::vector<Pending> batch) {
       r.charged_steps = a.charged_steps + b.charged_steps;
       // The weaker of the two statuses, for observability.
       r.query_status = a.status == cfl::QueryStatus::kComplete ? b.status : a.status;
-      recorder_.record_request(latency_ms, /*alias=*/true);
+      recorder_.record_request(latency_ms, StatsRecorder::Served::kAlias);
     }
     recorder_.record_tenant_request(tenant_label(tenant), latency_ms);
     p.promise.set_value(std::move(r));

@@ -312,11 +312,14 @@ pag::ReduceStats Session::reduce_stats() const {
 Session::BatchResult Session::run_batch(std::span<const Item> items) {
   std::vector<pag::NodeId> queries;
   std::vector<std::uint64_t> budgets;
+  std::vector<cfl::QueryKind> kinds;
   std::vector<std::size_t> positions;  // solver item -> input position
   queries.reserve(items.size());
   budgets.reserve(items.size());
+  kinds.reserve(items.size());
   positions.reserve(items.size());
   bool any_budget = false;
+  bool any_nonpointer = false;
 
   BatchResult result;
   result.items.resize(items.size());
@@ -334,7 +337,8 @@ Session::BatchResult Session::run_batch(std::span<const Item> items) {
     }
     for (std::size_t i = 0; i < items.size(); ++i) {
       const Item& item = items[i];
-      if (index_enabled_) {
+      // The index caches points-to answers only; taint/depends always solve.
+      if (index_enabled_ && item.kind == cfl::QueryKind::kPointsTo) {
         const cfl::CsIndex::Entry* entry =
             index != nullptr ? index->find(cfl::CsIndex::key(item.var))
                              : nullptr;
@@ -358,14 +362,19 @@ Session::BatchResult Session::run_batch(std::span<const Item> items) {
       positions.push_back(i);
       queries.push_back(item.var);
       budgets.push_back(item.budget);
+      kinds.push_back(item.kind);
       any_budget |= item.budget != 0;
+      any_nonpointer |= item.kind != cfl::QueryKind::kPointsTo;
     }
 
     if (!queries.empty()) {
       if (prefilter_enabled_) refresh_active_prefilter();
       cfl::EngineResult er = runner_.run(
-          queries, any_budget ? std::span<const std::uint64_t>(budgets)
-                              : std::span<const std::uint64_t>());
+          queries,
+          any_budget ? std::span<const std::uint64_t>(budgets)
+                     : std::span<const std::uint64_t>(),
+          any_nonpointer ? std::span<const cfl::QueryKind>(kinds)
+                         : std::span<const cfl::QueryKind>());
       // Route scheduled outcomes back to input positions.
       for (std::size_t i = 0; i < er.outcomes.size(); ++i) {
         ItemResult& item = result.items[positions[er.source_index[i]]];
@@ -383,7 +392,13 @@ Session::BatchResult Session::run_batch(std::span<const Item> items) {
     // one shot. cx_queued_ membership is permanent, so a root is mined at
     // most once per session lifetime.
     if (index_enabled_ && !queries.empty()) {
-      std::vector<pag::NodeId> roots(queries);
+      // Only pointer queries mine: a taint/depends root's answer set is not
+      // what the index stores for that key.
+      std::vector<pag::NodeId> roots;
+      roots.reserve(queries.size());
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        if (kinds[i] == cfl::QueryKind::kPointsTo) roots.push_back(queries[i]);
+      }
       std::sort(roots.begin(), roots.end());
       roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
       std::lock_guard cx_lock(cx_mu_);

@@ -124,6 +124,11 @@ class Session {
   struct Item {
     pag::NodeId var;
     std::uint64_t budget = 0;  // 0 = engine default
+    /// Grammar the traversal runs under (DESIGN.md §15). Non-pointer kinds
+    /// bypass the reachability index and hot mining — both planes cache
+    /// points-to answers only — and `var` must be a variable node for every
+    /// kind (taint/depends roots are variables by grammar).
+    cfl::QueryKind kind = cfl::QueryKind::kPointsTo;
   };
 
   struct ItemResult {

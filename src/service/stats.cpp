@@ -30,6 +30,10 @@ StatsRecorder::StatsRecorder(obs::MetricsRegistry& registry,
                                        "Points-to requests answered.")),
       alias_served_(registry.counter("parcfl_alias_served_total",
                                      "Alias requests answered.")),
+      taint_served_(registry.counter("parcfl_taint_served_total",
+                                     "Taint requests answered.")),
+      depends_served_(registry.counter("parcfl_depends_served_total",
+                                       "Depends requests answered.")),
       batches_(registry.counter("parcfl_batches_total",
                                 "Micro-batches executed.")),
       batch_units_(registry.counter("parcfl_batch_units_total",
@@ -84,8 +88,21 @@ void StatsRecorder::record_tenant_shed(std::string_view tenant) {
   registry_.add(registry_.labeled(tenant_shed_family_, tenant));
 }
 
-void StatsRecorder::record_request(double latency_ms, bool alias) {
-  registry_.add(alias ? alias_served_ : queries_served_);
+void StatsRecorder::record_request(double latency_ms, Served served) {
+  switch (served) {
+    case Served::kQuery:
+      registry_.add(queries_served_);
+      break;
+    case Served::kAlias:
+      registry_.add(alias_served_);
+      break;
+    case Served::kTaint:
+      registry_.add(taint_served_);
+      break;
+    case Served::kDepends:
+      registry_.add(depends_served_);
+      break;
+  }
   registry_.observe(latency_hist_, latency_ms);
   registry_.max_gauge(max_latency_gauge_, latency_ms);
   std::lock_guard lock(mu_);
@@ -115,6 +132,8 @@ void StatsRecorder::record_update(bool ok, std::uint64_t jmp_evicted) {
 void StatsRecorder::snapshot(ServiceStats& out) const {
   out.queries_served = registry_.counter_value(queries_served_);
   out.alias_served = registry_.counter_value(alias_served_);
+  out.taint_served = registry_.counter_value(taint_served_);
+  out.depends_served = registry_.counter_value(depends_served_);
   out.batches = registry_.counter_value(batches_);
   out.shed_overload = registry_.counter_value(shed_overload_);
   out.shed_deadline = registry_.counter_value(shed_deadline_);
@@ -147,7 +166,9 @@ std::string ServiceStats::to_json() const {
   std::ostringstream os;
   os.precision(6);
   os << "{\"queries_served\":" << queries_served
-     << ",\"alias_served\":" << alias_served << ",\"batches\":" << batches
+     << ",\"alias_served\":" << alias_served
+     << ",\"taint_served\":" << taint_served
+     << ",\"depends_served\":" << depends_served << ",\"batches\":" << batches
      << ",\"mean_batch_size\":" << mean_batch_size
      << ",\"max_batch_size\":" << max_batch_size
      << ",\"shed_overload\":" << shed_overload

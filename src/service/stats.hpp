@@ -30,6 +30,8 @@ struct ServiceStats {
   // Request plane.
   std::uint64_t queries_served = 0;   // points-to requests answered
   std::uint64_t alias_served = 0;     // alias requests answered
+  std::uint64_t taint_served = 0;     // taint requests answered (§15)
+  std::uint64_t depends_served = 0;   // depends requests answered (§15)
   std::uint64_t batches = 0;          // micro-batches executed
   double mean_batch_size = 0.0;       // query units per batch
   std::uint64_t max_batch_size = 0;
@@ -126,7 +128,14 @@ class StatsRecorder {
   explicit StatsRecorder(obs::MetricsRegistry& registry,
                          std::uint32_t tenant_label_capacity = 16);
 
-  void record_request(double latency_ms, bool alias);
+  /// Request verbs the recorder distinguishes — one served counter each.
+  enum class Served : std::uint8_t { kQuery, kAlias, kTaint, kDepends };
+
+  void record_request(double latency_ms, Served served);
+  /// Legacy two-verb form, kept for callers predating the grammar verbs.
+  void record_request(double latency_ms, bool alias) {
+    record_request(latency_ms, alias ? Served::kAlias : Served::kQuery);
+  }
   /// Per-tenant view of record_request: bumps the tenant-labeled request
   /// counter and latency histogram. `tenant` is the display label — the
   /// service passes "default" for bare (unprefixed) requests.
@@ -147,6 +156,8 @@ class StatsRecorder {
   obs::MetricsRegistry& registry_;
   obs::MetricsRegistry::MetricId queries_served_;
   obs::MetricsRegistry::MetricId alias_served_;
+  obs::MetricsRegistry::MetricId taint_served_;
+  obs::MetricsRegistry::MetricId depends_served_;
   obs::MetricsRegistry::MetricId batches_;
   obs::MetricsRegistry::MetricId batch_units_;
   obs::MetricsRegistry::MetricId shed_overload_;

@@ -221,6 +221,55 @@ TEST(Nullness, FlagsNullHoldingBases) {
   EXPECT_TRUE(reports[0].complete);
 }
 
+// ---- flow queries (taint / depends) ------------------------------------------
+
+TEST(FlowQueries, Fig2TaintAndDependence) {
+  const auto fx = test::fig2();
+  cfl::ContextTable contexts;
+  cfl::SolverOptions so;
+  so.budget = 1'000'000;
+  cfl::Solver solver(fx.lowered.pag, contexts, nullptr, so);
+
+  // Paper Fig. 2: n1 is added to v1 and read back as s1; v2's container
+  // carries n2 to s2. Cross-container flow does not exist.
+  EXPECT_EQ(taint_flows(solver, fx.n1, fx.s1), FlowVerdict::kFlows);
+  EXPECT_EQ(taint_flows(solver, fx.n1, fx.s2), FlowVerdict::kNoFlow);
+  EXPECT_EQ(depends_on(solver, fx.s1, fx.n1), FlowVerdict::kFlows);
+  EXPECT_EQ(depends_on(solver, fx.s2, fx.n1), FlowVerdict::kNoFlow);
+  EXPECT_EQ(depends_on(solver, fx.s2, fx.n2), FlowVerdict::kFlows);
+
+  // A variable trivially taints (and depends on) itself: the accepting start
+  // state covers the empty path.
+  EXPECT_EQ(taint_flows(solver, fx.s1, fx.s1), FlowVerdict::kFlows);
+  EXPECT_EQ(depends_on(solver, fx.n2, fx.n2), FlowVerdict::kFlows);
+}
+
+TEST(FlowQueries, TaintAndDependsAreDual) {
+  const auto fx = test::fig2();
+  cfl::ContextTable contexts;
+  cfl::SolverOptions so;
+  so.budget = 1'000'000;
+  cfl::Solver solver(fx.lowered.pag, contexts, nullptr, so);
+
+  // depends(x, y) is taint(y, x) read backwards; with an ample budget both
+  // verdicts are definite, so they must agree on every pair.
+  const NodeId named[] = {fx.s1, fx.s2, fx.n1, fx.n2, fx.v1, fx.v2};
+  for (const NodeId x : named)
+    for (const NodeId y : named)
+      EXPECT_EQ(depends_on(solver, x, y), taint_flows(solver, y, x))
+          << "x=" << x.value() << " y=" << y.value();
+}
+
+TEST(FlowQueries, TruncatedTraversalIsUnknown) {
+  const auto fx = test::fig2();
+  cfl::ContextTable contexts;
+  cfl::SolverOptions so;
+  so.budget = 1;  // the walk dies after one step: s1 is unreachable in one
+  cfl::Solver solver(fx.lowered.pag, contexts, nullptr, so);
+  EXPECT_EQ(taint_flows(solver, fx.n1, fx.s1), FlowVerdict::kUnknown);
+  EXPECT_EQ(depends_on(solver, fx.s1, fx.n1), FlowVerdict::kUnknown);
+}
+
 // ---- mod-ref ------------------------------------------------------------------
 
 TEST(ModRef, ReadsWritesAndInterference) {

@@ -9,6 +9,7 @@
 #include <map>
 
 #include "cfl/engine.hpp"
+#include "cfl/grammar.hpp"
 #include "frontend/lower.hpp"
 #include "pag/collapse.hpp"
 #include "pag/reduce.hpp"
@@ -96,7 +97,9 @@ TEST_P(EnginePropertyTest, StatisticsInvariants) {
   // ample, so every traversal it skips is one the baseline performed).
   EXPECT_LE(d.totals.traversed_steps, seq.totals.traversed_steps);
   // jmps taken implies jmps added by someone.
-  if (d.totals.jmps_taken > 0) EXPECT_GT(d.jmp_stats.finished_edges, 0u);
+  if (d.totals.jmps_taken > 0) {
+    EXPECT_GT(d.jmp_stats.finished_edges, 0u);
+  }
   // Per-thread accounting adds up.
   std::uint64_t sum = 0;
   for (const auto t : d.per_thread_traversed) sum += t;
@@ -203,6 +206,66 @@ TEST_P(EnginePropertyTest, ReductionNeverHurtsBudgetedQueries) {
         << "var " << f.var.value() << " seed=" << GetParam();
     EXPECT_EQ(red_answers.at(r.var.value()), full_answers.at(f.var.value()))
         << "var " << f.var.value() << " seed=" << GetParam();
+  }
+}
+
+// Metamorphic check for the compiled grammar tables (cfl/grammar.hpp,
+// DESIGN.md §15): driving the generic table walker with the pointer grammar
+// (EngineOptions::grammar) must reproduce the hard-coded fast path exactly —
+// every answer, in all four engine configurations, both cold (fresh jmp
+// state) and warm (second run over the state the cold run minted). The
+// hard-coded sequential run is the ground truth.
+TEST_P(EnginePropertyTest, GenericPointerGrammarMatchesFastPathAllModesWarmAndCold) {
+  const auto w = make_workload(GetParam() + 300);
+  const auto seq = Engine(w.pag, opts(Mode::kSequential, 1)).run(w.queries);
+  const auto want = answer_map(seq);
+  for (const auto& qo : seq.outcomes)
+    ASSERT_EQ(qo.status, QueryStatus::kComplete);
+
+  for (const Mode mode : {Mode::kSequential, Mode::kNaive, Mode::kDataSharing,
+                          Mode::kDataSharingScheduling}) {
+    EngineOptions o = opts(mode, 4);
+    o.grammar = &pointer_backward_table();
+    Engine engine(w.pag, o);
+    ContextTable contexts;
+    JmpStore store;
+    const auto cold = engine.run(w.queries, contexts, store);
+    EXPECT_EQ(answer_map(cold), want)
+        << "cold " << to_string(mode) << " seed=" << GetParam();
+    const auto warm = engine.run(w.queries, contexts, store);
+    EXPECT_EQ(answer_map(warm), want)
+        << "warm " << to_string(mode) << " seed=" << GetParam();
+  }
+}
+
+// Budget monotonicity holds on the generic path exactly as on the fast path:
+// a tighter budget yields a subset of the ample answer per query, and a
+// query that completes under the tight budget found the full answer.
+// Sequential mode keeps both runs deterministic.
+TEST_P(EnginePropertyTest, GenericPathBudgetMonotonicity) {
+  const auto w = make_workload(GetParam() + 350);
+
+  EngineOptions ample = opts(Mode::kSequential, 1);
+  ample.grammar = &pointer_backward_table();
+  EngineOptions tight = ample;
+  tight.solver.budget = 300;
+
+  const auto full = Engine(w.pag, ample).run(w.queries);
+  const auto cut = Engine(w.pag, tight).run(w.queries);
+  const auto full_answers = answer_map(full);
+
+  ASSERT_EQ(cut.outcomes.size(), full.outcomes.size());
+  for (std::size_t i = 0; i < cut.outcomes.size(); ++i) {
+    const auto& qo = cut.outcomes[i];
+    ASSERT_EQ(qo.var, full.outcomes[i].var);  // identity schedule: same order
+    ASSERT_EQ(full.outcomes[i].status, QueryStatus::kComplete);
+    const auto& small = cut.objects[i];
+    const auto& big = full_answers.at(qo.var.value());
+    EXPECT_TRUE(std::includes(big.begin(), big.end(), small.begin(), small.end()))
+        << "var " << qo.var.value() << " seed=" << GetParam();
+    if (qo.status == QueryStatus::kComplete) {
+      EXPECT_EQ(small, big) << "var " << qo.var.value() << " seed=" << GetParam();
+    }
   }
 }
 

@@ -1,0 +1,290 @@
+// Grammar-table compiler tests (cfl/grammar.hpp, DESIGN.md §15): table
+// construction from production lists, rejection of malformed and
+// non-normalisable grammars, totality of the compiled transition tables over
+// every edge kind, and a solver smoke check that the generic walker under the
+// compiled pointer grammar reproduces the hard-coded fast path on Fig. 2.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "cfl/grammar.hpp"
+#include "cfl/solver.hpp"
+#include "test_util.hpp"
+
+namespace parcfl {
+namespace {
+
+using cfl::compile_grammar;
+using cfl::GrammarSpec;
+using cfl::GrammarTable;
+using Symbol = cfl::GrammarSpec::Symbol;
+using cfl::Direction;
+using pag::NodeId;
+
+GrammarSpec spec(std::string start, Direction direction,
+                 std::vector<GrammarSpec::Production> productions) {
+  GrammarSpec s;
+  s.start = std::move(start);
+  s.direction = direction;
+  s.productions = std::move(productions);
+  return s;
+}
+
+/// Every structural invariant a compiled table must satisfy, whatever the
+/// spec: dense ids, in-range targets, names parallel to states, and an
+/// accepting state or emit cell somewhere (a grammar that can never answer
+/// would compile to a useless table).
+void expect_well_formed(const GrammarTable& t) {
+  ASSERT_GT(t.state_count, 0u);
+  ASSERT_LE(t.state_count, GrammarTable::kMaxStates);
+  EXPECT_EQ(t.state_names.size(), t.state_count);
+  bool any_answer = false;
+  for (std::uint32_t s = 0; s < t.state_count; ++s) {
+    if (t.accept[s]) any_answer = true;
+    if (t.heap[s]) {
+      EXPECT_LT(t.heap_next[s], t.state_count);
+    }
+    for (std::uint32_t k = 0; k < GrammarTable::kEdgeKinds; ++k) {
+      const GrammarTable::Cell& cell = t.cells[s][k];
+      if (!cell.present) {
+        // Totality: an absent cell is a well-defined "stop" — the walker
+        // reads present first, so next/emit of absent cells must be inert.
+        EXPECT_FALSE(cell.emit);
+        continue;
+      }
+      EXPECT_LT(cell.next, t.state_count);
+      if (cell.emit) any_answer = true;
+    }
+  }
+  // States beyond state_count must be all-absent (the walker never reads
+  // them, but a stray write there would mean an id overflowed the bound).
+  for (std::uint32_t s = t.state_count; s < GrammarTable::kMaxStates; ++s) {
+    EXPECT_FALSE(t.accept[s]);
+    EXPECT_FALSE(t.heap[s]);
+    for (std::uint32_t k = 0; k < GrammarTable::kEdgeKinds; ++k)
+      EXPECT_FALSE(t.cells[s][k].present);
+  }
+  EXPECT_TRUE(any_answer);
+}
+
+// ---- construction -----------------------------------------------------------
+
+TEST(GrammarCompile, PointerBackwardShape) {
+  const GrammarTable& t = cfl::pointer_backward_table();
+  expect_well_formed(t);
+  EXPECT_EQ(t.direction, Direction::kBackward);
+  EXPECT_TRUE(t.root_is_variable);
+  // S plus the shared accept sink for `S -> new`.
+  ASSERT_EQ(t.state_count, 2u);
+  EXPECT_EQ(t.state_names[0], "S");
+  EXPECT_FALSE(t.accept[0]);  // a bare variable has no points-to answer
+  EXPECT_TRUE(t.accept[1]);
+  // The `new` transition targets the bare accept sink, so it compiles to an
+  // emit — allocation sites are recorded without being pushed, exactly like
+  // the hard-coded fast path.
+  const auto knew = static_cast<std::uint32_t>(Symbol::kNew);
+  EXPECT_TRUE(t.cells[0][knew].present);
+  EXPECT_TRUE(t.cells[0][knew].emit);
+  // Assign-family loops stay in S and are real pushes.
+  for (const Symbol s : {Symbol::kAssignLocal, Symbol::kAssignGlobal,
+                         Symbol::kParam, Symbol::kRet}) {
+    const GrammarTable::Cell& cell = t.cells[0][static_cast<std::uint32_t>(s)];
+    EXPECT_TRUE(cell.present);
+    EXPECT_FALSE(cell.emit);
+    EXPECT_EQ(cell.next, 0u);
+  }
+  // load/store are consumed only through the composite heap-paren rule.
+  EXPECT_FALSE(t.cells[0][static_cast<std::uint32_t>(Symbol::kLoad)].present);
+  EXPECT_FALSE(t.cells[0][static_cast<std::uint32_t>(Symbol::kStore)].present);
+  EXPECT_TRUE(t.heap[0]);
+  EXPECT_EQ(t.heap_next[0], 0u);
+}
+
+TEST(GrammarCompile, PointerForwardTaintDependsShape) {
+  const GrammarTable& fwd = cfl::pointer_forward_table();
+  expect_well_formed(fwd);
+  EXPECT_EQ(fwd.direction, Direction::kForward);
+  EXPECT_FALSE(fwd.root_is_variable);  // flowsTo roots are allocation sites
+  EXPECT_EQ(fwd.state_count, 1u);      // every loop re-enters S; S accepts
+  EXPECT_TRUE(fwd.accept[0]);
+
+  const GrammarTable& taint = cfl::taint_table();
+  expect_well_formed(taint);
+  EXPECT_EQ(taint.direction, Direction::kForward);
+  EXPECT_TRUE(taint.root_is_variable);
+  EXPECT_EQ(taint.state_count, 1u);
+  EXPECT_TRUE(taint.accept[0]);
+  // Taint never crosses an allocation edge: sources are variables.
+  EXPECT_FALSE(
+      taint.cells[0][static_cast<std::uint32_t>(Symbol::kNew)].present);
+  EXPECT_TRUE(taint.heap[0]);
+
+  const GrammarTable& dep = cfl::depends_table();
+  expect_well_formed(dep);
+  EXPECT_EQ(dep.direction, Direction::kBackward);
+  EXPECT_TRUE(dep.root_is_variable);
+  EXPECT_FALSE(
+      dep.cells[0][static_cast<std::uint32_t>(Symbol::kNew)].present);
+}
+
+TEST(GrammarCompile, MultiSymbolProductionNormalises) {
+  // S -> new | load store S needs one fresh intermediate state.
+  std::string error;
+  const auto t = compile_grammar(
+      spec("S", Direction::kBackward,
+           {{"S", {Symbol::kNew}, ""},
+            {"S", {Symbol::kLoad, Symbol::kStore}, "S"}}),
+      &error);
+  ASSERT_TRUE(t.has_value()) << error;
+  expect_well_formed(*t);
+  ASSERT_EQ(t->state_count, 3u);  // S, <accept>, S#0
+  const auto kload = static_cast<std::uint32_t>(Symbol::kLoad);
+  const auto kstore = static_cast<std::uint32_t>(Symbol::kStore);
+  ASSERT_TRUE(t->cells[0][kload].present);
+  const std::uint8_t mid = t->cells[0][kload].next;
+  EXPECT_NE(mid, 0u);
+  EXPECT_FALSE(t->accept[mid]);
+  ASSERT_TRUE(t->cells[mid][kstore].present);
+  EXPECT_EQ(t->cells[mid][kstore].next, 0u);
+  // The fresh state's name is derived from its lhs.
+  EXPECT_EQ(t->state_names[mid].rfind("S#", 0), 0u);
+}
+
+TEST(GrammarCompile, SharedAcceptSinkIsReused) {
+  // Two stop-productions share one sink state instead of minting two.
+  std::string error;
+  const auto t = compile_grammar(
+      spec("S", Direction::kBackward,
+           {{"S", {Symbol::kNew}, ""}, {"S", {Symbol::kAssignLocal}, ""}}),
+      &error);
+  ASSERT_TRUE(t.has_value()) << error;
+  EXPECT_EQ(t->state_count, 2u);
+  EXPECT_TRUE(t->cells[0][static_cast<std::uint32_t>(Symbol::kNew)].emit);
+  EXPECT_TRUE(
+      t->cells[0][static_cast<std::uint32_t>(Symbol::kAssignLocal)].emit);
+}
+
+// ---- rejection --------------------------------------------------------------
+
+TEST(GrammarCompile, RejectsEmptyGrammar) {
+  std::string error;
+  EXPECT_FALSE(compile_grammar(spec("S", Direction::kBackward, {}), &error));
+  EXPECT_NE(error.find("no productions"), std::string::npos);
+
+  GrammarSpec no_start = spec("", Direction::kBackward,
+                              {{"S", {Symbol::kNew}, ""}});
+  EXPECT_FALSE(compile_grammar(no_start, &error));
+  EXPECT_NE(error.find("start"), std::string::npos);
+}
+
+TEST(GrammarCompile, RejectsStartWithoutProductions) {
+  std::string error;
+  EXPECT_FALSE(compile_grammar(
+      spec("S", Direction::kBackward, {{"T", {Symbol::kNew}, ""}}), &error));
+  EXPECT_NE(error.find("has no productions"), std::string::npos);
+}
+
+TEST(GrammarCompile, RejectsEmptyLhs) {
+  std::string error;
+  EXPECT_FALSE(compile_grammar(
+      spec("S", Direction::kBackward,
+           {{"S", {Symbol::kNew}, ""}, {"", {Symbol::kNew}, ""}}),
+      &error));
+  EXPECT_NE(error.find("empty lhs"), std::string::npos);
+}
+
+TEST(GrammarCompile, RejectsUnknownTail) {
+  std::string error;
+  EXPECT_FALSE(compile_grammar(
+      spec("S", Direction::kBackward, {{"S", {Symbol::kNew}, "T"}}), &error));
+  EXPECT_NE(error.find("'T'"), std::string::npos);
+}
+
+TEST(GrammarCompile, RejectsUnitProduction) {
+  std::string error;
+  EXPECT_FALSE(compile_grammar(
+      spec("S", Direction::kBackward,
+           {{"S", {Symbol::kNew}, ""}, {"S", {}, "S"}}),
+      &error));
+  EXPECT_NE(error.find("unit production"), std::string::npos);
+}
+
+TEST(GrammarCompile, RejectsNondeterminism) {
+  std::string error;
+  // Same state consuming the same edge kind twice.
+  EXPECT_FALSE(compile_grammar(
+      spec("S", Direction::kBackward,
+           {{"S", {Symbol::kNew}, ""}, {"S", {Symbol::kNew}, "S"}}),
+      &error));
+  EXPECT_NE(error.find("nondeterministic"), std::string::npos);
+  // The heap symbol is checked the same way.
+  EXPECT_FALSE(compile_grammar(
+      spec("S", Direction::kBackward,
+           {{"S", {Symbol::kNew}, ""},
+            {"S", {Symbol::kHeap}, "S"},
+            {"S", {Symbol::kHeap}, "S"}}),
+      &error));
+  EXPECT_NE(error.find("heap"), std::string::npos);
+}
+
+TEST(GrammarCompile, RejectsTooManyStates) {
+  // S -> a A, A -> a B, B -> a C, C -> new: five states with the sink.
+  std::string error;
+  EXPECT_FALSE(compile_grammar(
+      spec("S", Direction::kBackward,
+           {{"S", {Symbol::kAssignLocal}, "A"},
+            {"A", {Symbol::kAssignLocal}, "B"},
+            {"B", {Symbol::kAssignLocal}, "C"},
+            {"C", {Symbol::kNew}, ""}}),
+      &error));
+  EXPECT_NE(error.find("states"), std::string::npos);
+}
+
+// ---- solver smoke -----------------------------------------------------------
+
+TEST(GrammarSolver, CompiledPointerGrammarMatchesFastPathOnFig2) {
+  const auto f = test::fig2();
+  cfl::SolverOptions options;
+  options.budget = 100'000'000;
+
+  cfl::ContextTable c1;
+  cfl::Solver hard(f.lowered.pag, c1, nullptr, options);
+  cfl::ContextTable c2;
+  cfl::Solver generic(f.lowered.pag, c2, nullptr, options);
+
+  for (const NodeId v : {f.s1, f.s2, f.n1, f.n2, f.v1, f.v2}) {
+    const cfl::QueryResult expect = hard.points_to(v);
+    const cfl::QueryResult got =
+        generic.reach(v, cfl::pointer_backward_table());
+    EXPECT_EQ(got.status, expect.status);
+    EXPECT_EQ(got.nodes(), expect.nodes()) << "var " << v.value();
+  }
+}
+
+TEST(GrammarSolver, TaintReachesThroughContainerOnFig2) {
+  const auto f = test::fig2();
+  cfl::SolverOptions options;
+  options.budget = 100'000'000;
+  cfl::ContextTable contexts;
+  cfl::Solver solver(f.lowered.pag, contexts, nullptr, options);
+
+  // The value stored via add(v1, n1) is what get(v1) returns: n1 taints s1.
+  const cfl::QueryResult from_n1 = solver.reach(f.n1, cfl::taint_table());
+  ASSERT_EQ(from_n1.status, cfl::QueryStatus::kComplete);
+  EXPECT_TRUE(from_n1.contains(f.s1));
+  // Context sensitivity keeps the two clients apart: n1 never reaches s2.
+  EXPECT_FALSE(from_n1.contains(f.s2));
+  // The root itself answers (zero-symbol derivation).
+  EXPECT_TRUE(from_n1.contains(f.n1));
+
+  // depends is the mirror: s1's slice contains n1, not n2.
+  const cfl::QueryResult s1_slice = solver.reach(f.s1, cfl::depends_table());
+  ASSERT_EQ(s1_slice.status, cfl::QueryStatus::kComplete);
+  EXPECT_TRUE(s1_slice.contains(f.n1));
+  EXPECT_FALSE(s1_slice.contains(f.n2));
+}
+
+}  // namespace
+}  // namespace parcfl

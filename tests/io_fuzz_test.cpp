@@ -188,6 +188,11 @@ const char* const kSeedLines[] = {
     "query 17",
     "query v17 budget 5 deadline 9",
     "alias 3 44 budget 100",
+    "taint 3 44",
+    "taint v3 v44 budget 9",
+    "depends 3 44 deadline 7",
+    "@acme taint 3 44",
+    "@acme depends 3 44 budget 9",
     "stats",
     "metrics",
     "slowlog",
@@ -247,11 +252,15 @@ TEST_P(ServiceFuzzTest, MutatedRequestLinesParseOrFailWithMessage) {
       if (request.tenant.empty()) {
         if (request.verb == service::Verb::kQuery ||
             request.verb == service::Verb::kAlias ||
+            request.verb == service::Verb::kTaint ||
+            request.verb == service::Verb::kDepends ||
             request.verb == service::Verb::kCont ||
             request.verb == service::Verb::kCFact) {
           EXPECT_LT(request.a.value(), 50u) << line;
         }
-        if (request.verb == service::Verb::kAlias) {
+        if (request.verb == service::Verb::kAlias ||
+            request.verb == service::Verb::kTaint ||
+            request.verb == service::Verb::kDepends) {
           EXPECT_LT(request.b.value(), 50u) << line;
         }
         if (request.verb == service::Verb::kCont ||
@@ -360,6 +369,117 @@ TEST(ServiceFuzz, HostileWorkerFramesAreTotal) {
   EXPECT_FALSE(service::parse_request("@acme cont b 17 -", 50, r, error));
   EXPECT_FALSE(service::parse_request("@acme part", 50, r, error));
   EXPECT_FALSE(service::parse_request("@acme creset", 50, r, error));
+}
+
+// Hostile taint/depends frames (DESIGN.md §15): the flow verbs share the
+// two-node shape with alias, so truncations, non-numeric ids, out-of-range
+// nodes, and malformed option tails must all die in the parser with a
+// message; well-formed frames parse with both ids bound (tenant-prefixed
+// forms defer the bound to dispatch like every routed verb).
+TEST(ServiceFuzz, HostileFlowVerbFramesAreTotal) {
+  service::Request r;
+  std::string error;
+
+  for (const char* verb : {"taint", "depends"}) {
+    const std::string v = verb;
+    for (const std::string& line : {
+             v,                        // no nodes
+             v + " 3",                 // one node (truncated frame)
+             v + " 3 4 5",             // three nodes
+             v + " x 4",               // non-numeric source
+             v + " 3 x",               // non-numeric sink
+             v + " 99 3",              // source out of range (bound is 50)
+             v + " 3 99",              // sink out of range
+             v + " -3 4",              // negative id
+             v + " 3 4 budget",        // option without value
+             v + " 3 4 budget x",      // non-numeric budget
+             v + " 3 4 frobnicate 1",  // unknown option
+             v + " v 4",               // bare variable prefix
+             "@acme " + v + " 3",      // truncated under a tenant prefix
+             "@ " + v + " 3 4",        // empty tenant name
+         }) {
+      error.clear();
+      EXPECT_FALSE(service::parse_request(line, 50, r, error)) << line;
+      EXPECT_FALSE(error.empty()) << line;
+    }
+  }
+
+  // Well-formed frames parse with verb, ids, and options intact.
+  ASSERT_TRUE(service::parse_request("taint v3 v44 budget 9", 50, r, error))
+      << error;
+  EXPECT_EQ(r.verb, service::Verb::kTaint);
+  EXPECT_EQ(r.a.value(), 3u);
+  EXPECT_EQ(r.b.value(), 44u);
+  EXPECT_EQ(r.budget, 9u);
+  ASSERT_TRUE(service::parse_request("depends 3 44", 50, r, error)) << error;
+  EXPECT_EQ(r.verb, service::Verb::kDepends);
+  // Tenant-prefixed: ids the default graph would reject still parse (the
+  // target graph's bound is checked at dispatch).
+  ASSERT_TRUE(
+      service::parse_request("@acme taint 4000000000 2", 50, r, error))
+      << error;
+  EXPECT_EQ(r.tenant, "acme");
+  EXPECT_EQ(r.a.value(), 4000000000u);
+}
+
+// Flow verbs against a live service: non-variable roots and sinks answer an
+// error (the grammar's roots are variables), and a partitioned worker
+// refuses the verbs outright — never a crash, and the session keeps serving.
+TEST(ServiceFuzz, FlowVerbsAgainstServiceAreTotal) {
+  test::RandomPagConfig cfg;
+  cfg.seed = 9;
+  const auto pag = test::random_layered_pag(cfg);
+  const auto vars = test::all_variables(pag);
+  const auto objects = test::all_objects(pag);
+  ASSERT_GE(vars.size(), 2u);
+  ASSERT_FALSE(objects.empty());
+
+  service::ServiceOptions options;
+  options.session.engine.threads = 2;
+  options.session.prefilter = false;
+  service::QueryService svc(pag, options);
+
+  auto flow = [&](service::Verb verb, NodeId a, NodeId b) {
+    service::Request q;
+    q.verb = verb;
+    q.a = a;
+    q.b = b;
+    return svc.call(std::move(q));
+  };
+
+  for (const service::Verb verb :
+       {service::Verb::kTaint, service::Verb::kDepends}) {
+    EXPECT_EQ(flow(verb, objects[0], vars[0]).status,
+              service::Reply::Status::kError);
+    EXPECT_EQ(flow(verb, vars[0], objects[0]).status,
+              service::Reply::Status::kError);
+    EXPECT_EQ(flow(verb, NodeId(pag.node_count() + 7), vars[0]).status,
+              service::Reply::Status::kError);
+    EXPECT_EQ(flow(verb, vars[0], vars[1]).status,
+              service::Reply::Status::kOk);
+  }
+
+  // Partitioned worker: the flow verbs are rejected at dispatch (the
+  // sub-PAG cannot answer them), and pointer queries still work after.
+  PartitionOptions po;
+  po.parts = 2;
+  const auto map =
+      std::make_shared<const PartitionMap>(partition_pag(pag, po));
+  service::ServiceOptions wo;
+  wo.session.engine.threads = 2;
+  wo.session.partition = map;
+  wo.session.partition_id = 0;
+  service::QueryService worker(make_sub_pag(pag, *map, 0), wo);
+  service::Request t;
+  t.verb = service::Verb::kTaint;
+  t.a = vars[0];
+  t.b = vars[1];
+  EXPECT_EQ(worker.call(std::move(t)).status, service::Reply::Status::kError);
+  service::Request probe;
+  probe.verb = service::Verb::kQuery;
+  probe.a = vars[0];
+  EXPECT_EQ(worker.call(std::move(probe)).status,
+            service::Reply::Status::kOk);
 }
 
 // Hostile tenant names and fleet-verb shapes (ISSUE 7 satellite): names
@@ -573,7 +693,7 @@ TEST_P(ServiceFuzzTest, GarbageStreamsGetErrorRepliesNeverCrashes) {
   int expected = 0;
   for (int i = 0; i < 60; ++i) {
     ++expected;
-    switch (rng.below(9)) {
+    switch (rng.below(10)) {
       case 0:  // bad node id (out of range, or not a number)
         request_text << "query " << (nodes + rng.below(1000)) << "\n";
         break;
@@ -630,6 +750,11 @@ TEST_P(ServiceFuzzTest, GarbageStreamsGetErrorRepliesNeverCrashes) {
             request_text << "creset\n";
             break;
         }
+        break;
+      case 9:  // flow verbs — refused on a partitioned worker, never fatal
+        request_text << (rng.below(2) == 0 ? "taint " : "depends ")
+                     << rng.below(nodes + 5) << " " << rng.below(nodes + 5)
+                     << "\n";
         break;
     }
   }

@@ -1,0 +1,332 @@
+// Oracle-differential validation of the taint / depends query kinds
+// (DESIGN.md §15) against the grammar-generalised brute force
+// (oracle/earley.hpp): path enumeration over the doubled graph, Earley
+// parsing each label string under the LFS production set started at R
+// (taint) / Rb (depends).
+//
+// Methodology mirrors property_test.cpp's BruteForceCrossChecksExactOracle:
+// graphs stay tiny (enumeration is exponential), brute ⊆ solver always — a
+// short witnessed path is a real flow — and equality holds whenever the
+// enumeration did not truncate and the solver completed within budget.
+//
+// Also here: the forward pointer grammar table vs. the hard-coded flows_to
+// fast path (random graphs), tight-budget subset/monotonicity for the new
+// kinds, and the Session-level end-to-end check including a post-update
+// (delta) run. Session tests disable graph reduction: reduction drops
+// copy-like edges whose source provably points nowhere, which preserves
+// pointer answers but not value-flow answers (a `y = x` chain carries taint
+// even when nothing allocates into it) — see the Options doc.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cfl/grammar.hpp"
+#include "cfl/solver.hpp"
+#include "oracle/earley.hpp"
+#include "pag/delta.hpp"
+#include "service/session.hpp"
+#include "test_util.hpp"
+
+namespace parcfl {
+namespace {
+
+using cfl::ContextTable;
+using cfl::QueryStatus;
+using cfl::Solver;
+using cfl::SolverOptions;
+using pag::EdgeKind;
+using pag::NodeId;
+using pag::NodeKind;
+using test::RandomPagConfig;
+
+SolverOptions unlimited() {
+  SolverOptions o;
+  o.budget = 100'000'000;
+  o.context_sensitive = true;
+  return o;
+}
+
+std::vector<std::uint32_t> values_of(const std::vector<NodeId>& nodes) {
+  std::vector<std::uint32_t> out;
+  out.reserve(nodes.size());
+  for (const NodeId n : nodes) out.push_back(n.value());
+  return out;
+}
+
+/// The tiny-graph configuration shared with property_test.cpp's brute-force
+/// cross-check: small enough that path enumeration usually completes.
+RandomPagConfig tiny_config(std::uint64_t seed) {
+  RandomPagConfig cfg;
+  cfg.seed = seed;
+  cfg.layers = 2;
+  cfg.vars_per_layer = 2;
+  cfg.objects = 2;
+  cfg.assign_edges = 2;
+  cfg.param_ret_edges = 2;
+  cfg.heap_edge_pairs = 1;
+  cfg.globals = 1;
+  return cfg;
+}
+
+oracle::BruteForceOptions brute_options() {
+  oracle::BruteForceOptions bf;
+  bf.max_path_length = 10;
+  bf.max_paths = 2'000'000;
+  return bf;
+}
+
+/// Differential core: for every variable root, solver.reach under `table`
+/// against brute_force_reach under `grammar`.
+void check_kind_against_oracle(const pag::Pag& pag,
+                               const cfl::GrammarTable& table,
+                               const oracle::Grammar& grammar,
+                               std::uint64_t seed, const char* kind) {
+  ContextTable contexts;
+  Solver solver(pag, contexts, nullptr, unlimited());
+  const auto bf = brute_options();
+
+  for (const NodeId v : test::all_variables(pag)) {
+    const auto r = solver.reach(v, table);
+    EXPECT_EQ(r.status, QueryStatus::kComplete)
+        << kind << " seed " << seed << " var " << v.value();
+    const auto got = values_of(r.nodes());
+    const auto brute = oracle::brute_force_reach(pag, v, grammar, bf);
+    // Soundness: every path-witnessed flow is in the solver's answer.
+    EXPECT_TRUE(std::includes(got.begin(), got.end(), brute.vars.begin(),
+                              brute.vars.end()))
+        << kind << " seed " << seed << " var " << v.value();
+    // Precision: a completed enumeration witnesses every solver fact.
+    if (!brute.truncated && r.complete()) {
+      EXPECT_EQ(got, brute.vars)
+          << kind << " seed " << seed << " var " << v.value();
+    }
+  }
+}
+
+class TaintDependsOracleTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TaintDependsOracleTest, TaintMatchesBruteForce) {
+  const auto cfg = tiny_config(GetParam());
+  const auto pag = test::random_layered_pag(cfg);
+  check_kind_against_oracle(pag, cfl::taint_table(),
+                            oracle::build_taint_grammar(pag.field_count()),
+                            cfg.seed, "taint");
+}
+
+TEST_P(TaintDependsOracleTest, DependsMatchesBruteForce) {
+  const auto cfg = tiny_config(GetParam() + 100);
+  const auto pag = test::random_layered_pag(cfg);
+  check_kind_against_oracle(pag, cfl::depends_table(),
+                            oracle::build_depends_grammar(pag.field_count()),
+                            cfg.seed, "depends");
+}
+
+// The taint root is always in its own reach set (a variable taints itself;
+// the accepting start state covers the empty path) and so is the depends
+// root — pinned separately because the oracle adds the root out-of-band.
+TEST_P(TaintDependsOracleTest, RootIsInItsOwnAnswer) {
+  const auto pag = test::random_layered_pag(tiny_config(GetParam() + 200));
+  ContextTable contexts;
+  Solver solver(pag, contexts, nullptr, unlimited());
+  for (const NodeId v : test::all_variables(pag)) {
+    EXPECT_TRUE(solver.reach(v, cfl::taint_table()).contains(v));
+    EXPECT_TRUE(solver.reach(v, cfl::depends_table()).contains(v));
+  }
+}
+
+// The compiled *forward pointer* grammar must reproduce the hard-coded
+// flows_to fast path exactly — regular-size graphs, every object. (The
+// backward identity runs across all engine modes in engine_property_test.)
+TEST_P(TaintDependsOracleTest, ForwardPointerTableMatchesFlowsTo) {
+  RandomPagConfig cfg;
+  cfg.seed = GetParam() + 300;
+  const auto pag = test::random_layered_pag(cfg);
+
+  ContextTable c1, c2;
+  Solver hard(pag, c1, nullptr, unlimited());
+  Solver generic(pag, c2, nullptr, unlimited());
+
+  for (const NodeId o : test::all_objects(pag)) {
+    const auto want = hard.flows_to(o);
+    const auto got = generic.reach(o, cfl::pointer_forward_table());
+    EXPECT_EQ(got.status, want.status) << "seed " << cfg.seed << " obj "
+                                       << o.value();
+    EXPECT_EQ(values_of(got.nodes()), values_of(want.nodes()))
+        << "seed " << cfg.seed << " obj " << o.value();
+  }
+}
+
+// A tight budget may truncate the traversal but never invent a flow: the
+// tight answer is a subset of the unlimited one, and a tight run that still
+// reports kComplete found the full answer.
+TEST_P(TaintDependsOracleTest, TightBudgetIsSoundSubset) {
+  RandomPagConfig cfg;
+  cfg.seed = GetParam() + 400;
+  const auto pag = test::random_layered_pag(cfg);
+
+  SolverOptions tight_opts = unlimited();
+  tight_opts.budget = 40;
+  ContextTable c1, c2;
+  Solver tight(pag, c1, nullptr, tight_opts);
+  Solver full(pag, c2, nullptr, unlimited());
+
+  for (const cfl::GrammarTable* table :
+       {&cfl::taint_table(), &cfl::depends_table()}) {
+    for (const NodeId v : test::all_variables(pag)) {
+      const auto small = tight.reach(v, *table);
+      const auto big = full.reach(v, *table);
+      ASSERT_EQ(big.status, QueryStatus::kComplete);
+      const auto sv = values_of(small.nodes());
+      const auto bv = values_of(big.nodes());
+      EXPECT_TRUE(std::includes(bv.begin(), bv.end(), sv.begin(), sv.end()))
+          << "seed " << cfg.seed << " var " << v.value();
+      if (small.complete()) {
+        EXPECT_EQ(sv, bv) << "seed " << cfg.seed << " var " << v.value();
+      }
+    }
+  }
+}
+
+// ---- Session end-to-end: serve, update, serve again -------------------------
+
+service::Session::Options flow_session_options() {
+  service::Session::Options o;
+  o.engine.mode = cfl::Mode::kDataSharingScheduling;
+  o.engine.threads = 2;
+  o.engine.solver = unlimited();
+  o.engine.solver.tau_finished = 10;
+  // Reduction is pointer-preserving, not flow-preserving: it may drop a copy
+  // edge whose source provably points nowhere, yet `y = x` still carries
+  // taint/dependence. Serve the faithful graph for exact oracle agreement.
+  o.reduce_graph = false;
+  o.prefilter = false;
+  o.index = false;
+  return o;
+}
+
+/// A well-formed delta: cross-wires two existing variables, wires in a fresh
+/// local (so added nodes must show up in post-update answers), and removes
+/// one existing assign edge (so dropped flows must disappear).
+pag::Delta flow_delta(const pag::Pag& pag, std::uint64_t seed) {
+  support::Rng rng(seed);
+  pag::Delta d(pag);
+  const auto vars = test::all_variables(pag);
+  d.add_edge(EdgeKind::kAssignLocal, vars[rng.below(vars.size())],
+             vars[rng.below(vars.size())]);
+  const NodeId fresh =
+      d.add_node(NodeKind::kLocal, pag::TypeId(0), pag::MethodId(0));
+  d.add_edge(EdgeKind::kAssignLocal, fresh, vars[rng.below(vars.size())]);
+  for (const pag::Edge& e : pag.edges())
+    if (e.kind == EdgeKind::kAssignLocal) {
+      d.remove_edge(e.kind, e.dst, e.src, e.aux);
+      break;
+    }
+  return d;
+}
+
+/// Every taint/depends item of a batch against the brute-force oracle on
+/// `truth` (the graph the session is currently serving).
+void check_session_batch(const service::Session::BatchResult& result,
+                         std::span<const service::Session::Item> items,
+                         const pag::Pag& truth, std::uint64_t seed,
+                         const char* phase) {
+  // Tighter enumeration cap than the solver-level differential: this runs
+  // once per item per served graph, and exactness on truncation-free graphs
+  // is already pinned by TaintMatchesBruteForce / DependsMatchesBruteForce.
+  auto bf = brute_options();
+  bf.max_paths = 400'000;
+  ASSERT_EQ(result.items.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto grammar = items[i].kind == cfl::QueryKind::kTaint
+                             ? oracle::build_taint_grammar(truth.field_count())
+                             : oracle::build_depends_grammar(truth.field_count());
+    const auto brute = oracle::brute_force_reach(truth, items[i].var, grammar, bf);
+    EXPECT_EQ(result.items[i].status, QueryStatus::kComplete)
+        << phase << " seed " << seed << " item " << i;
+    const auto got = values_of(result.items[i].objects);
+    EXPECT_TRUE(std::includes(got.begin(), got.end(), brute.vars.begin(),
+                              brute.vars.end()))
+        << phase << " seed " << seed << " item " << i << " var "
+        << items[i].var.value();
+    if (!brute.truncated) {
+      EXPECT_EQ(got, brute.vars) << phase << " seed " << seed << " item " << i
+                                 << " var " << items[i].var.value();
+    }
+  }
+}
+
+TEST_P(TaintDependsOracleTest, SessionServesFlowsAndSurvivesUpdates) {
+  const auto cfg = tiny_config(GetParam() + 500);
+  const auto pag = test::random_layered_pag(cfg);
+  service::Session session(pag, flow_session_options());
+
+  std::vector<service::Session::Item> items;
+  for (const NodeId v : test::all_variables(pag)) {
+    items.push_back({v, 0, cfl::QueryKind::kTaint});
+    items.push_back({v, 0, cfl::QueryKind::kDepends});
+  }
+
+  // Cold serve against the oracle, then once more warm: the jmp plane the
+  // heap-group sub-queries populate must not perturb flow answers, so the
+  // warm batch must reproduce the cold one bit-for-bit.
+  const auto cold = session.run_batch(items);
+  check_session_batch(cold, items, pag, cfg.seed, "cold");
+  const auto warm = session.run_batch(items);
+  ASSERT_EQ(warm.items.size(), cold.items.size());
+  for (std::size_t i = 0; i < cold.items.size(); ++i) {
+    EXPECT_EQ(warm.items[i].status, cold.items[i].status)
+        << "warm seed " << cfg.seed << " item " << i;
+    EXPECT_EQ(values_of(warm.items[i].objects), values_of(cold.items[i].objects))
+        << "warm seed " << cfg.seed << " item " << i;
+  }
+
+  // Mutate, then re-serve: warm-after-update answers must equal the oracle
+  // on the mutated graph (invalidation covers the pointer sub-query plane;
+  // generic traversals are never cached across batches).
+  const pag::Delta delta = flow_delta(pag, cfg.seed + 77);
+  std::string error;
+  const auto mutated = pag::apply_delta(pag, delta, nullptr, &error);
+  ASSERT_TRUE(mutated.has_value()) << error;
+  ASSERT_TRUE(session.update(delta, &error)) << error;
+
+  check_session_batch(session.run_batch(items), items, *mutated, cfg.seed,
+                      "post-update");
+}
+
+// Mixed batches: pointer items interleaved with flow items must each keep
+// their own semantics (the engine dispatches per-item on QueryKind).
+TEST_P(TaintDependsOracleTest, MixedBatchKeepsKindsApart) {
+  const auto cfg = tiny_config(GetParam() + 600);
+  const auto pag = test::random_layered_pag(cfg);
+  service::Session session(pag, flow_session_options());
+
+  ContextTable contexts;
+  Solver solver(pag, contexts, nullptr, unlimited());
+
+  std::vector<service::Session::Item> items;
+  for (const NodeId v : test::all_variables(pag)) {
+    items.push_back({v, 0, cfl::QueryKind::kPointsTo});
+    items.push_back({v, 0, cfl::QueryKind::kTaint});
+    items.push_back({v, 0, cfl::QueryKind::kDepends});
+  }
+  const auto result = session.run_batch(items);
+  ASSERT_EQ(result.items.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto want =
+        items[i].kind == cfl::QueryKind::kPointsTo
+            ? solver.points_to(items[i].var)
+            : solver.reach(items[i].var, items[i].kind == cfl::QueryKind::kTaint
+                                             ? cfl::taint_table()
+                                             : cfl::depends_table());
+    EXPECT_EQ(values_of(result.items[i].objects), values_of(want.nodes()))
+        << "seed " << cfg.seed << " item " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TaintDependsOracleTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace parcfl
